@@ -1,0 +1,167 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation isolates one reconstruction decision and quantifies its
+effect on the steady-state cost, using the analytic model (exact) so the
+ablation measures design, not sampling noise:
+
+* **two-phase Write-Through-V write (+2 tokens)** — the cost of keeping
+  the writer's copy valid, vs Write-Through's fire-and-forget write;
+* **Synapse retry vs Illinois direct service (+2 tokens per remote-dirty
+  miss and data-less upgrades)** — decomposing why Illinois dominates;
+* **ownership migration (Berkeley) vs fixed home (Illinois)** — the value
+  of moving the serialization point to the activity center;
+* **invalidate vs update families across the read/write-share spectrum**;
+* **sensitivity to the S and P cost parameters** around the Figure 5
+  operating point.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Deviation, WorkloadParams, analytical_acc
+
+from .conftest import emit
+
+BASE = WorkloadParams(N=50, p=0.2, a=10, sigma=0.03, S=5000.0, P=30.0)
+
+
+def sweep(protocols, field, values, base=BASE, deviation=Deviation.READ):
+    rows = []
+    for v in values:
+        w = base.with_(**{field: v})
+        rows.append((v, {p: analytical_acc(p, w, deviation)
+                         for p in protocols}))
+    return rows
+
+
+def fmt(rows, protocols, field):
+    lines = [f"{field:>10} " + "".join(f"{p:>18}" for p in protocols)]
+    for v, accs in rows:
+        lines.append(f"{v:10.3f} "
+                     + "".join(f"{accs[p]:18.1f}" for p in protocols))
+    return "\n".join(lines)
+
+
+def test_ablation_two_phase_wtv_write(benchmark, results_dir):
+    """WT vs WTV: the +2-token blocking write buys read-after-write hits."""
+    protos = ["write_through", "write_through_v"]
+
+    def run():
+        # sigma small enough that the whole p sweep stays feasible
+        return sweep(protos, "p", np.linspace(0.05, 0.95, 10),
+                     base=BASE.with_(S=100.0, sigma=0.004))
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(results_dir, "ablation_two_phase_write.txt",
+         fmt(rows, protos, "p"))
+    # WTV wins while read-after-write misses outweigh 2 tokens per write;
+    # WT wins in the write-heavy extreme (Section 5.1's line).
+    assert rows[0][1]["write_through_v"] < rows[0][1]["write_through"]
+    assert rows[-1][1]["write_through"] < rows[-1][1]["write_through_v"]
+
+
+def test_ablation_synapse_vs_illinois_decomposition(benchmark, results_dir):
+    """Quantify the two Illinois improvements over Synapse."""
+    protos = ["synapse", "illinois"]
+
+    def run():
+        return sweep(protos, "sigma", np.linspace(0.0, 0.07, 8))
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    gap = [(v, accs["synapse"] - accs["illinois"]) for v, accs in rows]
+    emit(results_dir, "ablation_synapse_vs_illinois.txt",
+         fmt(rows, protos, "sigma")
+         + "\n\nSynapse-minus-Illinois gap:\n"
+         + "\n".join(f"sigma={v:.3f}: {g:12.1f}" for v, g in gap))
+    assert all(g >= -1e-9 for _v, g in gap)
+    assert gap[-1][1] > gap[0][1]  # the gap grows with disturbance
+
+
+def test_ablation_ownership_migration(benchmark, results_dir):
+    """Berkeley (migrating owner) vs Illinois (fixed home): the benefit of
+    letting the activity center serialize its own writes."""
+    protos = ["berkeley", "illinois"]
+
+    def run():
+        return sweep(protos, "p", np.linspace(0.05, 0.6, 8))
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(results_dir, "ablation_ownership_migration.txt",
+         fmt(rows, protos, "p"))
+    for _v, accs in rows:
+        assert accs["berkeley"] <= accs["illinois"] + 1e-9
+
+
+def test_ablation_invalidate_vs_update(benchmark, results_dir):
+    """Family comparison across the write-share spectrum (read dist.)."""
+    protos = ["berkeley", "dragon"]
+
+    def run():
+        return sweep(protos, "p", np.linspace(0.01, 0.8, 9),
+                     base=BASE.with_(sigma=0.02))
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(results_dir, "ablation_invalidate_vs_update.txt",
+         fmt(rows, protos, "p"))
+    # update wins at the read-mostly end, invalidate at the write-heavy end
+    assert rows[0][1]["dragon"] < rows[0][1]["berkeley"]
+    assert rows[-1][1]["berkeley"] < rows[-1][1]["dragon"]
+
+
+def test_ablation_broadcast_vs_directory(benchmark, results_dir):
+    """Broadcast vs copyset-multicast invalidation as the system scales.
+
+    Write-Through pays ``P + N`` per write regardless of who holds copies;
+    the directory variant pays ``P + 1 + |copyset|``, which depends only on
+    the sharers (``a``), so its cost is flat in ``N``."""
+    protos = ["write_through", "write_through_dir"]
+
+    def run():
+        rows = []
+        for n in (5, 10, 20, 40, 80):
+            # small copies so the invalidation fan-out dominates
+            w = WorkloadParams(N=n, p=0.2, a=3, sigma=0.05,
+                               S=100.0, P=BASE.P)
+            rows.append((n, {p: analytical_acc(p, w, Deviation.READ)
+                             for p in protos}))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(results_dir, "ablation_broadcast_vs_directory.txt",
+         fmt(rows, protos, "N"))
+    for _n, accs in rows:
+        assert accs["write_through_dir"] <= accs["write_through"] + 1e-9
+    # broadcast grows linearly in N; the directory stays flat
+    wt = [accs["write_through"] for _n, accs in rows]
+    dr = [accs["write_through_dir"] for _n, accs in rows]
+    assert wt[-1] - wt[0] > 10.0
+    assert abs(dr[-1] - dr[0]) < 1.0
+
+
+@pytest.mark.parametrize("field,values", [
+    ("S", [10.0, 100.0, 1000.0, 5000.0, 20000.0]),
+    ("P", [1.0, 10.0, 30.0, 100.0, 300.0]),
+])
+def test_ablation_cost_parameter_sensitivity(field, values, benchmark,
+                                             results_dir):
+    protos = ["write_through", "berkeley", "dragon"]
+
+    def run():
+        return sweep(protos, field, values)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(results_dir, f"ablation_sensitivity_{field}.txt",
+         fmt(rows, protos, field))
+    for proto in protos:
+        series = [accs[proto] for _v, accs in rows]
+        # acc is non-decreasing in either cost parameter
+        assert all(b >= a - 1e-9 for a, b in zip(series, series[1:])), proto
+    if field == "S":
+        # Dragon never moves whole copies: flat in S
+        dragon = [accs["dragon"] for _v, accs in rows]
+        assert np.allclose(dragon, dragon[0])
+    else:
+        # Write-Through's miss term is flat in P only through p*(P+N)
+        wt = [accs["write_through"] for _v, accs in rows]
+        diffs = np.diff(wt) / np.diff(np.asarray(values, dtype=float))
+        assert np.allclose(diffs, BASE.p, atol=1e-6)

@@ -1,0 +1,67 @@
+"""Adaptive protocol selection (paper Section 6 outlook) vs fixed protocols.
+
+The paper closes by proposing "a classifier for the development of adaptive
+data replication coherence protocols with self-tuning capability based on
+run-time information".  This benchmark runs the implemented estimator +
+classifier + switching runtime over a phase-changing computation and
+compares its total cost per operation against every fixed protocol.
+"""
+
+import pytest
+
+from repro.adaptive import AdaptiveRuntime
+from repro.core import ALL_PROTOCOLS, WorkloadParams
+from repro.workloads import (
+    read_disturbance_workload,
+    write_disturbance_workload,
+)
+
+from .conftest import emit
+
+N, S, P = 4, 200.0, 30.0
+
+
+def phases():
+    read_heavy = WorkloadParams(N=N, p=0.1, a=3, sigma=0.25, S=S, P=P)
+    write_heavy = WorkloadParams(N=N, p=0.5, a=3, xi=0.15, S=S, P=P)
+    return [
+        (read_disturbance_workload(read_heavy), 1600),
+        (write_disturbance_workload(write_heavy), 1600),
+        (read_disturbance_workload(read_heavy), 1600),
+    ]
+
+
+def run_adaptive():
+    runtime = AdaptiveRuntime(N=N, M=1, S=S, P=P,
+                              initial_protocol="write_through")
+    return runtime.run_phases(phases(), epochs_per_phase=4, seed=0)
+
+
+def test_adaptive_vs_fixed(benchmark, results_dir):
+    adaptive = benchmark.pedantic(run_adaptive, rounds=1, iterations=1)
+    runtime = AdaptiveRuntime(N=N, M=1, S=S, P=P)
+    fixed = {
+        name: runtime.run_fixed(name, phases(), epochs_per_phase=4,
+                                seed=0).overall_acc
+        for name in ALL_PROTOCOLS
+    }
+    lines = [
+        "Adaptive self-tuning vs fixed protocols (phase-changing workload)",
+        f"adaptive: acc={adaptive.overall_acc:8.2f} "
+        f"switches={adaptive.switches} "
+        f"sequence={'->'.join(dict.fromkeys(adaptive.protocol_sequence()))}",
+    ]
+    for name, acc in sorted(fixed.items(), key=lambda kv: kv[1]):
+        lines.append(f"fixed {name:18s} acc={acc:8.2f}")
+    emit(results_dir, "adaptive_vs_fixed.txt", "\n".join(lines))
+
+    best = min(fixed.values())
+    worst = max(fixed.values())
+    median = sorted(fixed.values())[len(fixed) // 2]
+    # the adaptive runtime must beat the median fixed choice and come
+    # within 60% of the (oracle) best fixed protocol despite switching
+    # overheads and estimation warm-up
+    assert adaptive.overall_acc < median
+    assert adaptive.overall_acc < worst
+    assert adaptive.overall_acc < best * 1.6
+    assert adaptive.switches >= 2  # it reacted to the phase changes

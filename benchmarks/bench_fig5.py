@@ -1,0 +1,111 @@
+"""Figure 5 reproduction: characteristic acc surfaces, read disturbance.
+
+Panels (paper parameterization N=50, a=10, P=30):
+
+* (a) Write-Once, Synapse, Illinois, Berkeley at S=5000;
+* (b) Write-Through-V at S=100;
+* (c) Dragon, Firefly at S=5000;
+* (d) Dragon vs Berkeley minimum-acc region split at S=5000.
+
+The benchmark regenerates every surface over a (p, sigma) grid, prints
+characteristic slices (the series a plot would show), renders panel (d)'s
+winner map, and asserts the shape properties the paper reads off the
+figures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Deviation,
+    WorkloadParams,
+    figure_surfaces,
+    min_acc_region_map,
+)
+
+from .conftest import emit
+
+DEV = Deviation.READ
+P_POINTS = 13
+D_POINTS = 13
+
+
+def run_panels():
+    return figure_surfaces(DEV, p_points=P_POINTS, disturb_points=D_POINTS)
+
+
+def format_surfaces(panels):
+    lines = [
+        f"Figure 5 (reproduced): acc surfaces, {DEV.value}, "
+        "N=50 a=10 P=30 (S=5000; panel b S=100)",
+    ]
+    for key, surfaces in sorted(panels.items()):
+        for surf in surfaces:
+            lines.append(f"\npanel ({key}) {surf.protocol}:")
+            header = "  p\\sigma " + "".join(
+                f"{s:9.3f}" for s in surf.disturb_values[::3]
+            )
+            lines.append(header)
+            for i in range(0, len(surf.p_values), 3):
+                row = surf.acc[i, ::3]
+                cells = "".join(
+                    "      --." if np.isnan(v) else f"{v:9.1f}" for v in row
+                )
+                lines.append(f"  {surf.p_values[i]:7.2f} {cells}")
+    return "\n".join(lines)
+
+
+def test_figure5_surfaces(benchmark, results_dir):
+    panels = benchmark.pedantic(run_panels, rounds=1, iterations=1)
+    emit(results_dir, "figure5_surfaces.txt", format_surfaces(panels))
+
+    # shape assertions the paper reads off Figure 5:
+    for key, surfaces in panels.items():
+        for surf in surfaces:
+            feasible = ~np.isnan(surf.acc)
+            # p = 0 edge is free for every protocol
+            assert np.allclose(surf.acc[0, :][feasible[0, :]], 0.0)
+    # panel (a): Berkeley below Synapse/Illinois/Write-Once pointwise
+    by_name = {s.protocol: s for s in panels["a"]}
+    b = by_name["berkeley"].acc
+    for other in ("synapse", "illinois", "write_once"):
+        o = by_name[other].acc
+        mask = ~np.isnan(b) & ~np.isnan(o)
+        assert np.all(b[mask] <= o[mask] + 1e-9), other
+    # panel (c): Dragon/Firefly surfaces are flat in sigma (reads free)
+    for surf in panels["c"]:
+        for i in range(surf.acc.shape[0]):
+            row = surf.acc[i, :]
+            vals = row[~np.isnan(row)]
+            if vals.size > 1:
+                assert np.allclose(vals, vals[0])
+
+
+def test_figure5d_region_map(benchmark, results_dir):
+    """Panel (d): the Dragon/Berkeley minimum-acc split at S=5000."""
+    base = WorkloadParams(N=50, p=0.0, a=10, S=5000.0, P=30.0)
+
+    def run():
+        return min_acc_region_map(
+            base, DEV, protocols=("dragon", "berkeley"),
+            p_values=np.linspace(0, 1, 21),
+            disturb_values=np.linspace(0, 0.1, 21),
+        )
+
+    region = benchmark.pedantic(run, rounds=1, iterations=1)
+    share = region.share()
+    lines = ["Figure 5d (reproduced): Dragon vs Berkeley winner map",
+             f"feasible-region share: {share}"]
+    for i in range(0, 21, 2):
+        row = "".join(
+            {-1: ".", 0: "D", 1: "B"}[int(region.winner[i, j])]
+            for j in range(0, 21, 2)
+        )
+        lines.append(f"p={region.p_values[i]:4.2f}  {row}")
+    emit(results_dir, "figure5d_regions.txt", "\n".join(lines))
+    # both regions exist at S=5000 (NP = 1500 < S + 2 = 5002)
+    assert share["dragon"] > 0.0
+    assert share["berkeley"] > 0.0
+    # Berkeley wins the write-heavy edge, Dragon the read-share edge
+    assert region.winner_at(0.9, 0.0) == "berkeley"
+    assert region.winner_at(0.05, 0.095) == "dragon"

@@ -1,0 +1,56 @@
+"""Operation-latency benchmark: queueing behavior under load.
+
+Not a paper artifact (the paper counts messages, not time), but the
+discrete-event substrate models time, so this benchmark characterizes it:
+as the arrival rate approaches the service capacity of the blocking
+protocol paths, operations queue behind each other in the local queues and
+at the sequencer's serialization point, and completion latency grows — the
+classic open-queueing hockey stick.  The update protocols' non-blocking
+reads keep their read latency flat regardless of load.
+"""
+
+import pytest
+
+from repro.core.parameters import WorkloadParams
+from repro.sim import DSMSystem
+from repro.workloads import read_disturbance_workload
+
+from .conftest import emit
+
+PARAMS = WorkloadParams(N=4, p=0.3, a=3, sigma=0.15, S=100.0, P=30.0)
+
+
+def run_load_sweep(protocol: str):
+    rows = []
+    for mean_gap in (40.0, 10.0, 4.0, 2.0, 1.0):
+        system = DSMSystem(protocol, N=PARAMS.N, M=1, S=PARAMS.S,
+                           P=PARAMS.P)
+        workload = read_disturbance_workload(PARAMS, M=1)
+        system.run_workload(workload, num_ops=4000, warmup=500, seed=21,
+                            mean_gap=mean_gap)
+        system.check_coherence()
+        stats = system.metrics.latency_stats(skip=500)
+        rows.append((mean_gap, stats))
+    return rows
+
+
+@pytest.mark.parametrize("protocol", ["write_through_v", "dragon"])
+def test_latency_vs_load(protocol, benchmark, results_dir):
+    rows = benchmark.pedantic(run_load_sweep, args=(protocol,), rounds=1,
+                              iterations=1)
+    lines = [f"latency vs load ({protocol}); gaps in channel-latency units",
+             f"{'mean gap':>9} {'mean':>8} {'p50':>8} {'p95':>8} {'p99':>8}"]
+    for gap, s in rows:
+        lines.append(f"{gap:9.1f} {s['mean']:8.2f} {s['p50']:8.2f} "
+                     f"{s['p95']:8.2f} {s['p99']:8.2f}")
+    emit(results_dir, f"latency_{protocol}.txt", "\n".join(lines))
+
+    means = [s["mean"] for _g, s in rows]
+    # latency is (weakly) increasing as the arrival gap shrinks
+    assert means[-1] >= means[0] - 1e-9
+    if protocol == "dragon":
+        # Dragon reads are local: the p50 stays at zero even under load
+        assert all(s["p50"] == 0.0 for _g, s in rows)
+    else:
+        # blocking misses put the p95 well above a single round trip
+        assert rows[-1][1]["p95"] >= 2.0

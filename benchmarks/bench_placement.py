@@ -1,0 +1,61 @@
+"""Activity-center placement benchmark (the tr5/tr6 calculus applied).
+
+Where should the hot writer live relative to the object's home?  The
+paper's own trace set answers for Write-Through (sequencer writes cost
+``N`` — trace tr6 — instead of ``P + N``); this benchmark generalizes the
+question to every protocol: the saving from placing the activity center at
+the home node, as a function of the write share.
+
+Expected shape (asserted): the fixed-home protocols save the write-relay
+traffic (Write-Through saves ``p·P`` plus all its read misses; Firefly
+saves its ACK token); the migrating-owner protocols save ~nothing
+(ownership follows the writer anyway) — which is precisely Section 5.1's
+"an activity center becomes the sequencer" insight, now quantified.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import Deviation, WorkloadParams
+from repro.core.placement import placement_advantage
+
+from .conftest import emit
+
+PROTOS = ["write_through", "write_through_v", "synapse", "illinois",
+          "write_once", "berkeley", "dragon", "firefly"]
+BASE = WorkloadParams(N=20, p=0.0, a=4, sigma=0.05, S=400.0, P=30.0)
+
+
+def run_sweep():
+    rows = []
+    for p in np.linspace(0.05, 0.7, 8):
+        w = BASE.with_(p=float(p))
+        rows.append((float(p), {
+            proto: placement_advantage(proto, w, Deviation.READ)
+            for proto in PROTOS
+        }))
+    return rows
+
+
+def test_placement_study(benchmark, results_dir):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = ["home-vs-client activity-center placement: saving in acc "
+             "(positive = home placement cheaper)",
+             f"{'p':>6}" + "".join(f"{p:>18}" for p in PROTOS)]
+    for p, per in rows:
+        lines.append(f"{p:6.2f}" + "".join(
+            f"{per[proto][2]:18.2f}" for proto in PROTOS
+        ))
+    emit(results_dir, "placement_study.txt", "\n".join(lines))
+
+    for p, per in rows:
+        # home placement is never worse, for any protocol
+        for proto in PROTOS:
+            assert per[proto][2] >= -1e-9, proto
+        # the migrating-owner protocols are placement-indifferent
+        assert per["berkeley"][2] == pytest.approx(0.0, abs=1e-9)
+        assert per["dragon"][2] == pytest.approx(0.0, abs=1e-9)
+        # Write-Through's saving includes the relayed parameters (p*P)
+        assert per["write_through"][2] >= p * BASE.P - 1e-9
+        # Firefly saves exactly its per-write ACK token
+        assert per["firefly"][2] == pytest.approx(p, rel=1e-9)

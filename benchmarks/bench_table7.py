@@ -1,0 +1,63 @@
+"""Table 7 reproduction: analytical vs simulation, Write-Once & Write-Through-V.
+
+The paper validates its analysis against the multitasking Ada simulator:
+``N = 3`` clients (one activity center, ``a = 2`` disturbing readers),
+``M = 20`` shared objects, ``P = 30``, ``S = 100``; per cell the first 500
+operations are dropped and about 1500 steady-state operations measured; the
+reported maximum discrepancy is below ±8%.
+
+This benchmark reruns the experiment on our discrete-event simulator over
+the feasible ``(p, sigma)`` grid and asserts the same accuracy band.  The
+grid uses ``sigma`` steps of 0.1 up to the feasibility limit
+``p + 2 sigma <= 1`` (the paper's blank cells).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import WorkloadParams
+from repro.validation import comparison_table
+
+from .conftest import emit
+
+BASE = WorkloadParams(N=3, p=0.0, a=2, S=100.0, P=30.0)
+P_VALUES = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+SIGMA_VALUES = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5]
+
+
+def run_panel(protocol: str):
+    # 2x the paper's per-cell operation budget (4000 vs ~2000) to keep the
+    # per-cell sampling noise comfortably inside the +-8% band.
+    return comparison_table(
+        protocol, BASE, P_VALUES, SIGMA_VALUES,
+        M=20, total_ops=4000, warmup=1000, seed=0, mean_gap=25.0,
+    )
+
+
+@pytest.mark.parametrize("protocol", ["write_once", "write_through_v"])
+def test_table7_panel(protocol, benchmark, results_dir):
+    table = benchmark.pedantic(run_panel, args=(protocol,), rounds=1,
+                               iterations=1)
+    emit(results_dir, f"table7_{protocol}.txt", table.format())
+    # the paper's headline: discrepancy below +-8%
+    assert table.max_abs_discrepancy_pct < 8.0, table.format()
+    # the grid shape: infeasible cells skipped
+    assert all(c.p + 2 * c.disturb <= 1.0 + 1e-9 for c in table.cells)
+    # p = 0 cells: zero steady-state cost; the simulated residue is the
+    # bounded cold-start transient (first-touch misses) only
+    zero_cells = [c for c in table.cells if c.p == 0.0]
+    assert zero_cells
+    assert all(c.acc_sim < 1.0 for c in zero_cells)
+
+
+def test_table7_discrepancy_shrinks_with_ops(results_dir):
+    """Longer measurement windows tighten the agreement — evidence that
+    the residual discrepancy is sampling noise, not model error."""
+    short = comparison_table("write_through_v", BASE, [0.4], [0.2],
+                             M=20, total_ops=1000, warmup=250, seed=123)
+    long = comparison_table("write_through_v", BASE, [0.4], [0.2],
+                            M=20, total_ops=16000, warmup=1000, seed=123)
+    assert long.max_abs_discrepancy_pct < 4.0
+    emit(results_dir, "table7_convergence.txt",
+         f"1k ops:  {short.max_abs_discrepancy_pct:.2f}%\n"
+         f"16k ops: {long.max_abs_discrepancy_pct:.2f}%")

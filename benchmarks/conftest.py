@@ -1,0 +1,28 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one evaluation artifact of the paper (a table
+or a figure's data) and times the computation with pytest-benchmark.  The
+regenerated artifact is printed and also written under
+``benchmarks/results/`` so it survives output capturing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where regenerated tables/series are persisted."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Print an artifact and persist it to ``benchmarks/results/<name>``."""
+    print(f"\n===== {name} =====\n{text}\n")
+    (results_dir / name).write_text(text + "\n")

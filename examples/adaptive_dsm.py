@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Self-tuning DSM: adaptive coherence-protocol selection at run time.
+
+Implements the outlook of the paper's conclusion: "the model can be applied
+to implement a classifier for the development of adaptive data replication
+coherence protocols with self-tuning capability based on run-time
+information."
+
+A synthetic computation runs through three phases with very different
+sharing behavior.  The adaptive runtime watches the operation stream with a
+sliding-window estimator, re-fits the paper's five workload parameters,
+asks the analytic model which protocol is cheapest, and switches (paying a
+re-initialization cost) when the predicted savings beat a hysteresis
+margin.  The run is compared against every fixed protocol.
+
+Run:  python examples/adaptive_dsm.py
+"""
+
+from repro.adaptive import AdaptiveRuntime, ProtocolClassifier
+from repro.core import ALL_PROTOCOLS, WorkloadParams
+from repro.protocols import PROTOCOLS
+from repro.workloads import (
+    read_disturbance_workload,
+    write_disturbance_workload,
+)
+
+N, S, P = 6, 300.0, 25.0
+
+
+def build_phases():
+    """Three program phases with different sharing patterns."""
+    producer = WorkloadParams(N=N, p=0.12, a=4, sigma=0.2, S=S, P=P)
+    checkpoint = WorkloadParams(N=N, p=0.55, a=4, xi=0.1, S=S, P=P)
+    readback = WorkloadParams(N=N, p=0.03, a=4, sigma=0.24, S=S, P=P)
+    return [
+        (read_disturbance_workload(producer), 1600),
+        (write_disturbance_workload(checkpoint), 1600),
+        (read_disturbance_workload(readback), 1600),
+    ]
+
+
+def main() -> None:
+    phases = build_phases()
+    runtime = AdaptiveRuntime(
+        N=N, M=1, S=S, P=P,
+        classifier=ProtocolClassifier(switch_margin=0.05),
+        initial_protocol="write_through",
+    )
+
+    print("Running the adaptive self-tuning DSM ...")
+    adaptive = runtime.run_phases(phases, epochs_per_phase=4, seed=0)
+
+    print("\nEpoch log (protocol switches marked with *):")
+    for e in adaptive.epochs:
+        mark = "*" if e.switched else " "
+        print(f"  epoch {e.epoch:2d} {mark} {e.protocol:18s} "
+              f"measured acc = {e.measured_acc:8.2f}"
+              + (f"  (+{e.switch_cost:.0f} switch cost)" if e.switched
+                 else ""))
+
+    print(f"\nadaptive: overall acc = {adaptive.overall_acc:8.2f} "
+          f"({adaptive.switches} switches)")
+
+    print("\nFixed-protocol baselines on the same phased computation:")
+    results = []
+    for name in ALL_PROTOCOLS:
+        fixed = runtime.run_fixed(name, phases, epochs_per_phase=4, seed=0)
+        results.append((fixed.overall_acc, name))
+    for acc, name in sorted(results):
+        print(f"  {PROTOCOLS[name].display_name:18s} acc = {acc:8.2f}")
+
+    best_acc, best_name = min(results)
+    print(f"\nThe adaptive runtime achieves {adaptive.overall_acc:.1f} vs "
+          f"{best_acc:.1f} for the best fixed protocol "
+          f"({PROTOCOLS[best_name].display_name}) — without knowing the "
+          "phases in advance.")
+
+
+if __name__ == "__main__":
+    main()

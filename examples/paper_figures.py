@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation artifacts as CSV/text files.
+
+Produces, under ``./paper_artifacts/`` (or a directory given on the
+command line):
+
+* ``table6_read_disturbance.csv`` — acc per protocol over a (p, sigma)
+  grid (the reconstruction of Table 6);
+* ``figure5_<panel>.csv`` / ``figure6_<panel>.csv`` — the characteristic
+  surface series of Figures 5 and 6 in long format
+  (protocol, p, disturb, acc), ready for any plotting tool;
+* ``table7_write_once.txt`` / ``table7_write_through_v.txt`` — the
+  analytical-vs-simulation validation panels.
+
+Run:  python examples/paper_figures.py [output_dir] [--fast]
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import (
+    ALL_PROTOCOLS,
+    Deviation,
+    WorkloadParams,
+    analytical_acc,
+    figure_surfaces,
+)
+from repro.validation import comparison_table
+
+
+def write_table6(outdir: Path) -> None:
+    base = WorkloadParams(N=50, p=0.0, a=10, S=5000.0, P=30.0)
+    rows = ["protocol,p,sigma,acc"]
+    for proto in ALL_PROTOCOLS:
+        for p in np.linspace(0.0, 0.9, 10):
+            for sigma in np.linspace(0.0, 0.09, 10):
+                if p + base.a * sigma > 1.0:
+                    continue
+                w = base.with_(p=float(p), sigma=float(sigma))
+                acc = analytical_acc(proto, w, Deviation.READ)
+                rows.append(f"{proto},{p:.3f},{sigma:.3f},{acc:.4f}")
+    (outdir / "table6_read_disturbance.csv").write_text("\n".join(rows))
+    print(f"  table6_read_disturbance.csv ({len(rows) - 1} rows)")
+
+
+def write_surfaces(outdir: Path, deviation: Deviation, tag: str,
+                   points: int) -> None:
+    panels = figure_surfaces(deviation, p_points=points,
+                             disturb_points=points)
+    for key, surfaces in panels.items():
+        rows = ["protocol,p,disturb,acc"]
+        for surf in surfaces:
+            for i, p in enumerate(surf.p_values):
+                for j, d in enumerate(surf.disturb_values):
+                    v = surf.acc[i, j]
+                    if np.isnan(v):
+                        continue
+                    rows.append(f"{surf.protocol},{p:.4f},{d:.4f},{v:.4f}")
+        name = f"{tag}_{key}.csv"
+        (outdir / name).write_text("\n".join(rows))
+        print(f"  {name} ({len(rows) - 1} rows)")
+
+
+def write_table7(outdir: Path, fast: bool) -> None:
+    base = WorkloadParams(N=3, p=0.0, a=2, S=100.0, P=30.0)
+    ops = 1000 if fast else 2000
+    for proto in ("write_once", "write_through_v"):
+        table = comparison_table(
+            proto, base,
+            p_values=[0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+            disturb_values=[0.0, 0.1, 0.2, 0.3, 0.4, 0.5],
+            M=20, total_ops=ops, warmup=ops // 4, seed=0,
+        )
+        name = f"table7_{proto}.txt"
+        (outdir / name).write_text(table.format())
+        print(f"  {name} (max |disc| = "
+              f"{table.max_abs_discrepancy_pct:.2f}%)")
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:] if not a.startswith("-")]
+    fast = "--fast" in sys.argv[1:]
+    outdir = Path(args[0]) if args else Path("paper_artifacts")
+    outdir.mkdir(parents=True, exist_ok=True)
+    points = 9 if fast else 21
+
+    if fast:
+        print("(--fast: reduced grids and simulation budgets; Table 7 "
+              "discrepancies widen accordingly — use the full run or "
+              "benchmarks/bench_table7.py for the paper-band numbers)")
+    print(f"Writing artifacts to {outdir}/")
+    write_table6(outdir)
+    write_surfaces(outdir, Deviation.READ, "figure5", points)
+    write_surfaces(outdir, Deviation.WRITE, "figure6", points)
+    write_table7(outdir, fast)
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Protocol selection study: which coherence protocol for which workload?
+
+Reproduces the decision-support use the paper motivates ("the choice of a
+coherence protocol is a significant design decision problem since the
+performance differences for a given workload can be quite large",
+Section 6):
+
+* ranks all eight protocols on three representative workload scenarios;
+* draws an ASCII minimum-``acc`` region map over the whole ``(p, sigma)``
+  plane (the all-protocols generalization of the paper's Figure 5d);
+* reports how much choosing wrong costs in each scenario.
+
+Run:  python examples/protocol_comparison.py
+"""
+
+import numpy as np
+
+from repro import Deviation, WorkloadParams, rank_protocols
+from repro.core import min_acc_region_map
+from repro.protocols import PROTOCOLS
+
+SCENARIOS = {
+    "producer/consumer (one writer, many readers, big objects)":
+        WorkloadParams(N=20, p=0.15, a=8, sigma=0.08, S=2000.0, P=20.0),
+    "write-heavy private working set (rare sharing)":
+        WorkloadParams(N=20, p=0.6, a=2, sigma=0.01, S=500.0, P=30.0),
+    "small updates, chatty sharing (sensor-style)":
+        WorkloadParams(N=20, p=0.05, a=8, sigma=0.1, S=5000.0, P=2.0),
+}
+
+
+def show_rankings() -> None:
+    for title, params in SCENARIOS.items():
+        ranking = rank_protocols(params, Deviation.READ)
+        best_name, best_acc = ranking[0]
+        worst_name, worst_acc = ranking[-1]
+        print(f"\n{title}")
+        print(f"  {params}")
+        for name, acc in ranking:
+            display = PROTOCOLS[name].display_name
+            marker = "  <== best" if name == best_name else ""
+            print(f"    {display:18s} acc = {acc:10.2f}{marker}")
+        factor = worst_acc / best_acc if best_acc else float("inf")
+        print(f"  choosing {PROTOCOLS[worst_name].display_name} instead of "
+              f"{PROTOCOLS[best_name].display_name} costs {factor:.1f}x")
+
+
+def show_region_map() -> None:
+    base = WorkloadParams(N=20, p=0.0, a=8, S=2000.0, P=20.0)
+    region = min_acc_region_map(
+        base,
+        Deviation.READ,
+        p_values=np.linspace(0.0, 1.0, 25),
+        disturb_values=np.linspace(0.0, 1.0 / base.a, 25),
+    )
+    letters = {name: name[0].upper() for name in region.protocols}
+    letters["write_through_v"] = "V"
+    letters["write_once"] = "O"
+    print("\nMinimum-acc region map over (p, sigma), all eight protocols")
+    print("   legend: " + "  ".join(f"{v}={k}" for k, v in letters.items())
+          + "  .=infeasible")
+    header = "        sigma -> 0.00" + " " * 16 + f"{1.0 / base.a:.3f}"
+    print(header)
+    for i, p in enumerate(region.p_values):
+        row = "".join(
+            "." if region.winner[i, j] < 0
+            else letters[region.protocols[region.winner[i, j]]]
+            for j in range(len(region.disturb_values))
+        )
+        print(f"  p={p:4.2f}  {row}")
+    print("\nregion shares:", {
+        k: f"{v:.0%}" for k, v in region.share().items() if v > 0
+    })
+
+
+def main() -> None:
+    print("Analytic protocol comparison (read disturbance deviation)")
+    show_rankings()
+    show_region_map()
+
+
+if __name__ == "__main__":
+    main()

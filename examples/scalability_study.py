@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Scalability study: how each protocol's cost grows with the system size.
+
+The model makes "what happens at 2x the nodes?" a one-liner, which is the
+kind of design-time question the paper's methodology targets ("the choice
+of a coherence protocol is a significant design decision problem").  This
+study fixes a sharing pattern and sweeps ``N``:
+
+* broadcast-invalidation and update protocols pay O(N) per write;
+* the directory extension pays O(sharers), flat in N;
+* Berkeley's ownership migration keeps the activity center's writes nearly
+  free, so its growth comes only from the SHARED-DIRTY invalidations.
+
+It also cross-checks three of the analytic points against the simulator.
+
+Run:  python examples/scalability_study.py
+"""
+
+from repro import Deviation, DSMSystem, WorkloadParams, analytical_acc
+from repro.workloads import read_disturbance_workload
+
+PROTOCOLS = ("write_through", "write_through_dir", "berkeley", "dragon")
+SIZES = (5, 10, 20, 40, 80, 160)
+SHARING = dict(p=0.25, a=4, sigma=0.06, S=400.0, P=20.0)
+
+
+def analytic_sweep() -> None:
+    print("Analytic acc as the system grows (fixed sharing pattern:"
+          f" p={SHARING['p']}, a={SHARING['a']}, sigma={SHARING['sigma']})")
+    print(f"{'N':>5}" + "".join(f"{p:>20}" for p in PROTOCOLS))
+    rows = {}
+    for n in SIZES:
+        params = WorkloadParams(N=n, **SHARING)
+        rows[n] = {
+            proto: analytical_acc(proto, params, Deviation.READ)
+            for proto in PROTOCOLS
+        }
+        print(f"{n:5d}" + "".join(f"{rows[n][p]:20.2f}" for p in PROTOCOLS))
+    print("\nGrowth factor from N=5 to N=160:")
+    for proto in PROTOCOLS:
+        factor = rows[SIZES[-1]][proto] / rows[SIZES[0]][proto]
+        print(f"  {proto:20s} {factor:6.1f}x")
+
+
+def spot_check() -> None:
+    print("\nSimulator spot checks at N=20:")
+    params = WorkloadParams(N=20, **SHARING)
+    for proto in PROTOCOLS[:3]:
+        predicted = analytical_acc(proto, params, Deviation.READ)
+        system = DSMSystem(proto, N=20, M=2, S=SHARING["S"], P=SHARING["P"])
+        result = system.run_workload(
+            read_disturbance_workload(params, M=2),
+            num_ops=4000, warmup=800, seed=5,
+        )
+        system.check_coherence()
+        print(f"  {proto:20s} predicted {predicted:9.2f}  "
+              f"measured {result.acc:9.2f}")
+
+
+def main() -> None:
+    analytic_sweep()
+    spot_check()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""repro — reproduction of Srbljic & Budin (HPDC 1993),
+"Analytical Performance Evaluation of Data Replication Based Shared Memory
+Model".
+
+The package provides:
+
+* :mod:`repro.core` — the analytic model: five-parameter workloads, trace
+  cost calculus, exact Markov evaluation, closed forms, characteristic
+  surfaces, crossover lines (the paper's primary contribution);
+* :mod:`repro.machines` — the formal Mealy-machine protocol model
+  (Section 3, Tables 1-4);
+* :mod:`repro.protocols` — the eight data-replication coherence protocols;
+* :mod:`repro.sim` — the message-passing distributed-system simulator;
+* :mod:`repro.workloads` — synthetic and trace-replay workload generators;
+* :mod:`repro.validation` — analytical-vs-simulation comparison (Table 7);
+* :mod:`repro.adaptive` — the self-tuning protocol-selection extension.
+
+Quickstart::
+
+    from repro import WorkloadParams, Deviation, analytical_acc, DSMSystem
+    from repro.workloads import read_disturbance_workload
+
+    params = WorkloadParams(N=8, p=0.2, a=3, sigma=0.1, S=100, P=30)
+    predicted = analytical_acc("berkeley", params, Deviation.READ)
+
+    system = DSMSystem("berkeley", N=8, S=100, P=30)
+    measured = system.run_workload(
+        read_disturbance_workload(params), num_ops=4000, warmup=500, seed=0
+    ).acc
+"""
+
+from .core import (
+    ALL_PROTOCOLS,
+    Deviation,
+    WorkloadParams,
+    acc_table,
+    analytical_acc,
+    best_protocol,
+    closed_form_acc,
+    has_closed_form,
+    ideal_acc,
+    markov_acc,
+    rank_protocols,
+)
+from .protocols import PROTOCOLS, get_protocol, protocol_names
+from .sim import DSMSystem, SimulationResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_PROTOCOLS",
+    "Deviation",
+    "WorkloadParams",
+    "acc_table",
+    "analytical_acc",
+    "best_protocol",
+    "closed_form_acc",
+    "has_closed_form",
+    "ideal_acc",
+    "markov_acc",
+    "rank_protocols",
+    "PROTOCOLS",
+    "get_protocol",
+    "protocol_names",
+    "DSMSystem",
+    "SimulationResult",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Adaptive protocol selection with self-tuning (paper Section 6 outlook):
+online parameter estimation, the min-``acc`` classifier, and an
+epoch-driven switching runtime."""
+
+from .classifier import Decision, ProtocolClassifier
+from .estimator import OnlineEstimator, WindowEstimate
+from .runtime import AdaptiveReport, AdaptiveRuntime, EpochReport
+
+__all__ = [
+    "Decision",
+    "ProtocolClassifier",
+    "OnlineEstimator",
+    "WindowEstimate",
+    "AdaptiveReport",
+    "AdaptiveRuntime",
+    "EpochReport",
+]

@@ -1,0 +1,74 @@
+"""The min-``acc`` protocol classifier (paper Section 6).
+
+Given (estimated) workload parameters, pick the coherence protocol the
+analytic model predicts to be cheapest.  A switching margin keeps the
+classifier from thrashing between near-tied protocols, and the candidate
+set can be restricted (e.g. to protocols an installation actually ships).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
+
+from ..core.acc import analytical_acc
+from ..core.comparison import ALL_PROTOCOLS, rank_protocols
+from ..core.parameters import Deviation, WorkloadParams
+
+__all__ = ["Decision", "ProtocolClassifier"]
+
+
+@dataclass
+class Decision:
+    """One classification outcome."""
+
+    protocol: str
+    predicted_acc: float
+    #: full ranking that produced the decision
+    ranking: Tuple[Tuple[str, float], ...]
+    #: True when the classifier kept the incumbent despite a cheaper rival
+    held_by_margin: bool = False
+
+
+class ProtocolClassifier:
+    """Chooses the cheapest protocol for given workload parameters.
+
+    Args:
+        candidates: protocols to consider (default: all eight).
+        switch_margin: relative improvement a challenger must offer to
+            displace the incumbent (hysteresis; 0 disables it).
+    """
+
+    def __init__(self, candidates: Iterable[str] = ALL_PROTOCOLS,
+                 switch_margin: float = 0.05):
+        self.candidates = tuple(candidates)
+        if not self.candidates:
+            raise ValueError("need at least one candidate protocol")
+        if switch_margin < 0:
+            raise ValueError("switch_margin must be non-negative")
+        self.switch_margin = switch_margin
+
+    def classify(
+        self,
+        params: WorkloadParams,
+        deviation: Deviation,
+        incumbent: Optional[str] = None,
+    ) -> Decision:
+        """Pick a protocol for the estimated workload.
+
+        With an ``incumbent`` and a positive margin, the incumbent is kept
+        unless the best challenger is at least ``switch_margin`` cheaper in
+        relative terms (protecting against estimator noise and switching
+        costs).
+        """
+        ranking = tuple(rank_protocols(params, deviation, self.candidates))
+        best, best_acc = ranking[0]
+        if incumbent is None or incumbent == best:
+            return Decision(best, best_acc, ranking)
+        if incumbent not in self.candidates:
+            return Decision(best, best_acc, ranking)
+        inc_acc = analytical_acc(incumbent, params, deviation)
+        threshold = inc_acc * (1.0 - self.switch_margin)
+        if best_acc < threshold:
+            return Decision(best, best_acc, ranking)
+        return Decision(incumbent, inc_acc, ranking, held_by_margin=True)

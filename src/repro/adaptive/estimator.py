@@ -1,0 +1,134 @@
+"""Online estimation of the workload parameters from run-time information.
+
+The paper closes with: "We feel that the model can be applied to implement
+a classifier for the development of adaptive data replication coherence
+protocols with self-tuning capability based on run-time information."
+This module provides the run-time half: a sliding-window estimator that
+watches the operation stream of one shared object and produces the paper's
+five parameters plus a deviation diagnosis.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Tuple
+
+from ..core.parameters import Deviation, WorkloadParams
+from ..protocols.base import READ, WRITE
+
+__all__ = ["WindowEstimate", "OnlineEstimator"]
+
+
+@dataclass
+class WindowEstimate:
+    """Estimated parameters plus the diagnosed deviation for one object."""
+
+    params: WorkloadParams
+    deviation: Deviation
+    #: node diagnosed as activity center (highest access share)
+    activity_center: int
+    #: operations the estimate is based on
+    window_size: int
+
+
+class OnlineEstimator:
+    """Sliding-window relative-frequency estimator (Section 4.2's "real
+    distributed computation" route).
+
+    Feed it every operation on one object with :meth:`observe`; query
+    :meth:`estimate` at any time.  The window bounds memory and lets the
+    estimator track phase changes in the computation.
+    """
+
+    def __init__(self, N: int, window: int = 500,
+                 S: float = 100.0, P: float = 30.0):
+        if window < 10:
+            raise ValueError("window too small for meaningful estimates")
+        self.N = N
+        self.window = window
+        self.S = S
+        self.P = P
+        self._ops: Deque[Tuple[int, str]] = deque()
+        self._reads: Counter = Counter()
+        self._writes: Counter = Counter()
+
+    def observe(self, node: int, kind: str) -> None:
+        """Record one operation on the watched object."""
+        if kind not in (READ, WRITE):
+            raise ValueError(f"bad kind {kind!r}")
+        self._ops.append((node, kind))
+        (self._reads if kind == READ else self._writes)[node] += 1
+        if len(self._ops) > self.window:
+            old_node, old_kind = self._ops.popleft()
+            ctr = self._reads if old_kind == READ else self._writes
+            ctr[old_node] -= 1
+            if ctr[old_node] == 0:
+                del ctr[old_node]
+
+    @property
+    def observed(self) -> int:
+        """Operations currently in the window."""
+        return len(self._ops)
+
+    def estimate(self) -> Optional[WindowEstimate]:
+        """Estimate the workload parameters from the current window.
+
+        Returns ``None`` until at least a tenth of the window is filled.
+        The node with the highest access share is the activity center;
+        other nodes' read/write shares become ``sigma``/``xi``; the
+        deviation is diagnosed from which disturbance dominates (multiple
+        activity centers when several nodes both read and write
+        substantially).
+        """
+        total = len(self._ops)
+        if total < max(10, self.window // 10):
+            return None
+        share: Dict[int, int] = Counter()
+        for node, cnt in self._reads.items():
+            share[node] += cnt
+        for node, cnt in self._writes.items():
+            share[node] += cnt
+        # The activity center is the dominant *writer* (the paper's AC both
+        # reads and writes; disturbers only read or only write).  Fall back
+        # to the access share for read-only windows.
+        if self._writes:
+            ac = max(self._writes, key=lambda n: (self._writes[n], share[n]))
+        else:
+            ac = max(share, key=lambda n: share[n])
+        p = self._writes.get(ac, 0) / total
+        others = [n for n in share if n != ac]
+        a = len(others)
+        sigma = xi = 0.0
+        if a:
+            sigma = sum(self._reads.get(n, 0) for n in others) / total / a
+            xi = sum(self._writes.get(n, 0) for n in others) / total / a
+        # Deviation diagnosis: several *comparable* writers look like
+        # multiple activity centers; a dominant writer with minor writing
+        # disturbers is the write-disturbance deviation.
+        writer_shares = [
+            cnt / total for cnt in self._writes.values() if cnt / total > 0.02
+        ]
+        homogeneous = (
+            len(writer_shares) > 1
+            and max(writer_shares) <= 3.0 * min(writer_shares)
+        )
+        if homogeneous:
+            beta = len(writer_shares)
+            total_p = sum(self._writes.values()) / total
+            deviation = Deviation.MULTIPLE_ACTIVITY_CENTERS
+            params = WorkloadParams(
+                N=self.N, p=min(total_p, 1.0), a=a, sigma=0.0, xi=0.0,
+                beta=min(beta, self.N), S=self.S, P=self.P,
+            )
+            return WindowEstimate(params, deviation, ac, total)
+        deviation = Deviation.WRITE if xi > sigma else Deviation.READ
+        # clamp simplex overshoot from windowed sampling noise.
+        if a and p + a * sigma > 1.0:
+            sigma = max(0.0, (1.0 - p) / a)
+        if a and p + a * xi > 1.0:
+            xi = max(0.0, (1.0 - p) / a)
+        params = WorkloadParams(
+            N=self.N, p=p, a=a, sigma=sigma, xi=xi, S=self.S, P=self.P
+        )
+        return WindowEstimate(params, deviation, ac, total)

@@ -1,0 +1,204 @@
+"""Self-tuning adaptive runtime: estimate -> classify -> switch (Section 6).
+
+Runs a (possibly phase-changing) computation in epochs.  During each epoch
+the system executes one fixed protocol in the simulator while the
+estimator watches the operation stream; between epochs the classifier may
+switch protocols.  A protocol switch re-seeds every replica from the
+serialization point, which we charge as ``N * (S + 1)`` communication
+units per object (one whole-copy transfer to each client) — a conservative
+model of the re-initialization traffic.
+
+The benchmark compares the adaptive runtime's total cost per operation
+against every fixed protocol across workload phase changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.parameters import Deviation, WorkloadParams
+from ..sim.system import DSMSystem
+from ..workloads.base import Workload
+from .classifier import Decision, ProtocolClassifier
+from .estimator import OnlineEstimator
+
+__all__ = ["EpochReport", "AdaptiveReport", "AdaptiveRuntime"]
+
+
+@dataclass
+class EpochReport:
+    """Measurements for one adaptive epoch."""
+
+    epoch: int
+    protocol: str
+    ops: int
+    measured_acc: float
+    switched: bool
+    switch_cost: float
+    estimate: Optional[WorkloadParams]
+
+
+@dataclass
+class AdaptiveReport:
+    """Outcome of an adaptive run."""
+
+    epochs: List[EpochReport] = field(default_factory=list)
+
+    @property
+    def total_ops(self) -> int:
+        """Operations across all epochs."""
+        return sum(e.ops for e in self.epochs)
+
+    @property
+    def total_cost(self) -> float:
+        """Message cost across epochs including switching cost."""
+        return sum(e.measured_acc * e.ops + e.switch_cost for e in self.epochs)
+
+    @property
+    def overall_acc(self) -> float:
+        """Cost per operation including switching overhead."""
+        return self.total_cost / max(self.total_ops, 1)
+
+    @property
+    def switches(self) -> int:
+        """Number of protocol switches performed."""
+        return sum(1 for e in self.epochs if e.switched)
+
+    def protocol_sequence(self) -> List[str]:
+        """The protocol used in each epoch."""
+        return [e.protocol for e in self.epochs]
+
+
+class AdaptiveRuntime:
+    """Epoch-driven self-tuning protocol selection.
+
+    Args:
+        N: number of clients.
+        M: number of shared objects.
+        S, P: cost parameters.
+        classifier: protocol chooser (defaults to all eight with a 5%
+            hysteresis margin).
+        initial_protocol: protocol of the first epoch.
+        estimator_window: sliding window of the online estimator.
+    """
+
+    def __init__(
+        self,
+        N: int,
+        M: int = 1,
+        S: float = 100.0,
+        P: float = 30.0,
+        classifier: Optional[ProtocolClassifier] = None,
+        initial_protocol: str = "write_through",
+        estimator_window: int = 500,
+    ):
+        self.N = N
+        self.M = M
+        self.S = S
+        self.P = P
+        self.classifier = classifier or ProtocolClassifier()
+        self.initial_protocol = initial_protocol
+        self.estimator_window = estimator_window
+
+    def switch_cost(self) -> float:
+        """Re-initialization traffic charged per protocol switch."""
+        return self.N * (self.S + 1.0) * self.M
+
+    def run_phases(
+        self,
+        phases: Sequence[Tuple[Workload, int]],
+        epochs_per_phase: int = 4,
+        seed: int = 0,
+        warmup_frac: float = 0.1,
+        mean_gap: float = 25.0,
+    ) -> AdaptiveReport:
+        """Run phased workloads with between-epoch re-classification.
+
+        Args:
+            phases: list of ``(workload, ops_in_phase)``.
+            epochs_per_phase: how many classify/switch opportunities each
+                phase offers.
+            seed: RNG seed.
+            warmup_frac: fraction of each epoch's operations excluded from
+                the epoch's measured ``acc`` (per-epoch transient).
+            mean_gap: simulator arrival gap.
+        """
+        report = AdaptiveReport()
+        estimator = OnlineEstimator(self.N, self.estimator_window,
+                                    self.S, self.P)
+        current = self.initial_protocol
+        rng = np.random.default_rng(seed)
+        epoch_idx = 0
+        for workload, phase_ops in phases:
+            per_epoch = max(phase_ops // epochs_per_phase, 50)
+            for _ in range(epochs_per_phase):
+                switched = False
+                switch_cost = 0.0
+                est = estimator.estimate()
+                decision: Optional[Decision] = None
+                if est is not None:
+                    decision = self.classifier.classify(
+                        est.params, est.deviation, incumbent=current
+                    )
+                    if decision.protocol != current:
+                        current = decision.protocol
+                        switched = True
+                        switch_cost = self.switch_cost()
+                system = DSMSystem(current, N=self.N, M=self.M,
+                                   S=self.S, P=self.P)
+                warm = max(1, int(per_epoch * warmup_frac))
+                result = system.run_workload(
+                    workload, num_ops=per_epoch, warmup=warm,
+                    seed=int(rng.integers(0, 2**31 - 1)),
+                    mean_gap=mean_gap,
+                )
+                # feed the estimator with the epoch's operation mix.
+                for rec in result.metrics.records():
+                    estimator.observe(rec.node, rec.kind)
+                report.epochs.append(
+                    EpochReport(
+                        epoch=epoch_idx,
+                        protocol=current,
+                        ops=per_epoch,
+                        measured_acc=result.acc,
+                        switched=switched,
+                        switch_cost=switch_cost,
+                        estimate=None if est is None else est.params,
+                    )
+                )
+                epoch_idx += 1
+        return report
+
+    def run_fixed(
+        self,
+        protocol: str,
+        phases: Sequence[Tuple[Workload, int]],
+        epochs_per_phase: int = 4,
+        seed: int = 0,
+        warmup_frac: float = 0.1,
+        mean_gap: float = 25.0,
+    ) -> AdaptiveReport:
+        """Baseline: the same phased run with one fixed protocol."""
+        report = AdaptiveReport()
+        rng = np.random.default_rng(seed)
+        epoch_idx = 0
+        for workload, phase_ops in phases:
+            per_epoch = max(phase_ops // epochs_per_phase, 50)
+            for _ in range(epochs_per_phase):
+                system = DSMSystem(protocol, N=self.N, M=self.M,
+                                   S=self.S, P=self.P)
+                warm = max(1, int(per_epoch * warmup_frac))
+                result = system.run_workload(
+                    workload, num_ops=per_epoch, warmup=warm,
+                    seed=int(rng.integers(0, 2**31 - 1)),
+                    mean_gap=mean_gap,
+                )
+                report.epochs.append(
+                    EpochReport(epoch_idx, protocol, per_epoch, result.acc,
+                                False, 0.0, None)
+                )
+                epoch_idx += 1
+        return report

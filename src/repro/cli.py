@@ -1,0 +1,185 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Five commands cover the library's day-to-day uses:
+
+* ``acc`` — evaluate the analytic steady-state cost for one protocol;
+* ``rank`` — rank all protocols for a workload (the classifier's view);
+* ``simulate`` — run the message-passing simulator and report measured
+  ``acc`` (optionally against the analytic prediction);
+* ``place`` — the home-vs-client activity-center placement saving;
+* ``validate`` — one analytical-vs-simulation comparison cell (Table 7
+  style).
+
+Examples::
+
+    python -m repro acc berkeley --N 8 --p 0.2 --a 3 --sigma 0.1
+    python -m repro rank --N 50 --p 0.1 --a 10 --sigma 0.05 --S 5000
+    python -m repro simulate dragon --N 8 --p 0.2 --ops 4000
+    python -m repro validate write_once --N 3 --p 0.4 --a 2 --sigma 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.acc import analytical_acc
+from .core.comparison import ALL_PROTOCOLS, rank_protocols
+from .core.parameters import Deviation, WorkloadParams
+from .core.placement import placement_advantage
+from .protocols.registry import EXTENSION_PROTOCOLS, PROTOCOLS
+from .sim.system import DSMSystem
+from .validation.compare import compare_cell
+from .workloads.synthetic import SyntheticWorkload
+
+__all__ = ["main", "build_parser"]
+
+_DEVIATIONS = {
+    "read": Deviation.READ,
+    "write": Deviation.WRITE,
+    "mac": Deviation.MULTIPLE_ACTIVITY_CENTERS,
+}
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--N", type=int, required=True,
+                        help="number of clients")
+    parser.add_argument("--p", type=float, required=True,
+                        help="activity-center write probability")
+    parser.add_argument("--a", type=int, default=0,
+                        help="number of disturbing clients")
+    parser.add_argument("--sigma", type=float, default=0.0,
+                        help="per-client read-disturbance probability")
+    parser.add_argument("--xi", type=float, default=0.0,
+                        help="per-client write-disturbance probability")
+    parser.add_argument("--beta", type=int, default=1,
+                        help="number of activity centers (mac deviation)")
+    parser.add_argument("--S", type=float, default=100.0,
+                        help="whole-copy transfer cost parameter")
+    parser.add_argument("--P", type=float, default=30.0,
+                        help="write-parameter transfer cost parameter")
+    parser.add_argument("--deviation", choices=sorted(_DEVIATIONS),
+                        default="read", help="workload deviation")
+
+
+def _params(args: argparse.Namespace) -> WorkloadParams:
+    return WorkloadParams(N=args.N, p=args.p, a=args.a, sigma=args.sigma,
+                          xi=args.xi, beta=args.beta, S=args.S, P=args.P)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Analytic performance model of data-replication DSM "
+                    "(Srbljic & Budin, HPDC 1993)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    known = ", ".join(list(PROTOCOLS) + list(EXTENSION_PROTOCOLS))
+
+    p_acc = sub.add_parser("acc", help="analytic steady-state cost")
+    p_acc.add_argument("protocol", help=f"one of: {known}")
+    _add_workload_args(p_acc)
+    p_acc.add_argument("--method", choices=["auto", "closed_form", "markov"],
+                       default="auto")
+
+    p_rank = sub.add_parser("rank", help="rank all protocols")
+    _add_workload_args(p_rank)
+
+    p_sim = sub.add_parser("simulate", help="run the simulator")
+    p_sim.add_argument("protocol", help=f"one of: {known}")
+    _add_workload_args(p_sim)
+    p_sim.add_argument("--ops", type=int, default=4000,
+                       help="operations to run (including warm-up)")
+    p_sim.add_argument("--warmup", type=int, default=None,
+                       help="warm-up operations (default: ops // 4)")
+    p_sim.add_argument("--M", type=int, default=1,
+                       help="number of shared objects")
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--capacity", type=int, default=None,
+                       help="finite replica pool per client (Section 6)")
+
+    p_place = sub.add_parser(
+        "place",
+        help="home-vs-client activity-center placement saving",
+    )
+    p_place.add_argument("protocol", help=f"one of: {known}")
+    _add_workload_args(p_place)
+
+    p_val = sub.add_parser("validate",
+                           help="analytical vs simulated acc (Table 7 cell)")
+    p_val.add_argument("protocol", help=f"one of: {known}")
+    _add_workload_args(p_val)
+    p_val.add_argument("--ops", type=int, default=4000)
+    p_val.add_argument("--M", type=int, default=20)
+    p_val.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    deviation = _DEVIATIONS[args.deviation]
+    try:
+        params = _params(args)
+        if getattr(args, "protocol", None) is not None:
+            # resolve early for a uniform "unknown protocol" error.
+            from .protocols.registry import get_protocol
+            get_protocol(args.protocol)
+        if args.command == "acc":
+            value = analytical_acc(args.protocol, params, deviation,
+                                   method=args.method)
+            print(f"acc({args.protocol}, {deviation.value}) = {value:.4f}")
+        elif args.command == "rank":
+            print(f"{'protocol':20s} {'acc':>12}")
+            for name, acc in rank_protocols(params, deviation,
+                                            ALL_PROTOCOLS):
+                print(f"{name:20s} {acc:12.4f}")
+        elif args.command == "simulate":
+            warmup = args.warmup if args.warmup is not None else args.ops // 4
+            system = DSMSystem(args.protocol, N=params.N, M=args.M,
+                               S=params.S, P=params.P,
+                               capacity=args.capacity)
+            workload = SyntheticWorkload(params, deviation, M=args.M)
+            result = system.run_workload(workload, num_ops=args.ops,
+                                         warmup=warmup, seed=args.seed)
+            system.check_coherence()
+            predicted = analytical_acc(args.protocol, params, deviation)
+            lat = result.metrics.latency_stats(skip=warmup)
+            print(f"simulated acc   = {result.acc:.4f}")
+            print(f"analytic acc    = {predicted:.4f} (no pool)")
+            print(f"messages        = {result.messages}")
+            print(f"latency mean/p95 = {lat['mean']:.2f} / {lat['p95']:.2f}")
+            if args.capacity is not None:
+                print(f"data-op cost    = {system.data_cost_rate(warmup):.4f}")
+                evictions = sum(
+                    node.pool.evictions
+                    for node in system.nodes.values() if node.pool
+                )
+                print(f"pool evictions  = {evictions}")
+        elif args.command == "place":
+            client, home, saving = placement_advantage(
+                args.protocol, params, deviation
+            )
+            print(f"client placement acc = {client:.4f}")
+            print(f"home placement acc   = {home:.4f}")
+            print(f"saving               = {saving:.4f}"
+                  + ("  (placement-indifferent)" if abs(saving) < 1e-9
+                     else ""))
+        elif args.command == "validate":
+            cell = compare_cell(args.protocol, params, deviation, M=args.M,
+                                total_ops=args.ops,
+                                warmup=args.ops // 4, seed=args.seed)
+            print(f"analytic  = {cell.acc_analytic:.4f}")
+            print(f"simulated = {cell.acc_sim:.4f}")
+            print(f"discrepancy = {cell.discrepancy_pct:.2f}%")
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,97 @@
+"""Multi-object aggregation of the per-object analysis (paper Section 2).
+
+"The global address space is decomposed into M disjoint shared data
+blocks ... Further on, we concentrate our analysis on only one data
+block."  The paper can do that because its objects are independent and
+identically parameterized, so the per-object ``acc`` *is* the system
+``acc``.  This module handles the general case: objects with different
+access weights, workload parameters, or even different deviations (e.g. a
+hot shared object next to per-node private objects, or rotated activity
+centers).
+
+Because protocol state is per object and operations on different objects
+never interact (each object has its own queues and protocol processes —
+verified by the simulator tests), the system-wide steady-state cost is
+the access-weighted mean of the per-object costs:
+
+``acc_system = sum_j w_j * acc_j``  with  ``sum_j w_j = 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .acc import analytical_acc
+from .parameters import Deviation, WorkloadParams
+
+__all__ = ["ObjectSpec", "aggregate_acc", "rotated_roles_acc"]
+
+
+@dataclass(frozen=True)
+class ObjectSpec:
+    """One shared object's share of the computation.
+
+    Args:
+        weight: fraction of all operations addressing this object.
+        params: the object's workload parameters.
+        deviation: the object's deviation (objects may differ).
+    """
+
+    weight: float
+    params: WorkloadParams
+    deviation: Deviation = Deviation.READ
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError("object weight must be non-negative")
+
+
+def aggregate_acc(protocol: str, objects: Sequence[ObjectSpec],
+                  normalize: bool = False) -> float:
+    """System-wide ``acc`` over heterogeneous objects.
+
+    Args:
+        protocol: registry name.
+        objects: per-object specifications; weights must sum to 1 unless
+            ``normalize`` is set.
+        normalize: rescale the weights to sum to 1.
+
+    Raises:
+        ValueError: on an empty list or a non-simplex weight vector.
+    """
+    if not objects:
+        raise ValueError("need at least one object")
+    total = sum(o.weight for o in objects)
+    if normalize:
+        if total <= 0:
+            raise ValueError("weights must have positive mass")
+        scale = 1.0 / total
+    else:
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"object weights sum to {total}, expected 1")
+        scale = 1.0
+    return sum(
+        o.weight * scale * analytical_acc(protocol, o.params, o.deviation)
+        for o in objects
+    )
+
+
+def rotated_roles_acc(protocol: str, params: WorkloadParams, M: int,
+                      deviation: Deviation = Deviation.READ) -> float:
+    """``acc`` for the rotated-roles multi-object workload.
+
+    :class:`~repro.workloads.synthetic.SyntheticWorkload` with
+    ``rotate_roles=True`` gives object ``j`` the same parameter structure
+    with roles shifted around the client ring; by symmetry every object's
+    ``acc`` equals the single-object value, so the aggregate is identical —
+    this helper exists to make that argument executable and to pair with
+    the simulator's rotated workloads in tests.
+    """
+    if M < 1:
+        raise ValueError("M must be at least 1")
+    per_object = analytical_acc(protocol, params, deviation)
+    specs = [ObjectSpec(1.0 / M, params, deviation) for _ in range(M)]
+    aggregated = aggregate_acc(protocol, specs)
+    assert abs(aggregated - per_object) < 1e-9
+    return aggregated

@@ -1,0 +1,126 @@
+"""Parameter sensitivity of the steady-state cost (the paper's "fine
+tuning of the computation behavior" motivation, Section 1).
+
+The introduction argues that performance models must be detailed enough
+"to accomplish eventual fine tuning of the computation behavior".  The
+practical tool for that is sensitivity: how much does ``acc`` move per
+unit change of each model parameter, and which parameter is the most
+effective tuning knob?
+
+:func:`sensitivities` returns central-difference partial derivatives of
+``acc`` with respect to every continuous parameter (``p``, ``sigma``/
+``xi``, ``S``, ``P``), clamped to the feasible simplex;
+:func:`elasticities` normalizes them to relative (percent-per-percent)
+form so knobs with different units compare; :func:`tuning_table` ranks
+the knobs for a workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .acc import analytical_acc
+from .parameters import Deviation, WorkloadParams
+
+__all__ = ["Sensitivity", "sensitivities", "elasticities", "tuning_table"]
+
+#: the continuous parameters of Table 5 (``N``, ``a``, ``beta`` are sizes)
+_CONTINUOUS = ("p", "sigma", "xi", "S", "P")
+
+
+@dataclass(frozen=True)
+class Sensitivity:
+    """One parameter's local effect on ``acc``."""
+
+    parameter: str
+    value: float
+    derivative: float
+    #: relative sensitivity d(ln acc)/d(ln param); NaN when undefined
+    elasticity: float
+
+
+def _feasible_step(params: WorkloadParams, field: str, h: float
+                   ) -> Tuple[float, float]:
+    """A central-difference interval kept inside the feasible region."""
+    value = getattr(params, field)
+    lo, hi = value - h, value + h
+    if field in ("p", "sigma", "xi"):
+        lo = max(lo, 0.0)
+        # respect the simplex p + a * disturb <= 1
+        if field == "p":
+            cap = 1.0 - params.a * max(params.sigma, params.xi)
+        else:
+            cap = (1.0 - params.p) / params.a if params.a else value
+        hi = min(hi, cap, 1.0)
+    else:
+        lo = max(lo, 0.0)
+    if hi <= lo:
+        hi = lo + 1e-12
+    return lo, hi
+
+
+def sensitivities(
+    protocol: str,
+    params: WorkloadParams,
+    deviation: Deviation = Deviation.READ,
+    rel_step: float = 1e-4,
+) -> Dict[str, Sensitivity]:
+    """Central-difference partials of ``acc`` for every continuous knob.
+
+    Args:
+        protocol: registry name.
+        params: the operating point.
+        deviation: workload deviation.
+        rel_step: step size relative to each parameter's scale.
+    """
+    base = analytical_acc(protocol, params, deviation)
+    out: Dict[str, Sensitivity] = {}
+    for field in _CONTINUOUS:
+        value = getattr(params, field)
+        scale = max(abs(value), 1e-3)
+        lo, hi = _feasible_step(params, field, rel_step * scale)
+        f_lo = analytical_acc(protocol, params.with_(**{field: lo}),
+                              deviation)
+        f_hi = analytical_acc(protocol, params.with_(**{field: hi}),
+                              deviation)
+        derivative = (f_hi - f_lo) / (hi - lo)
+        if base > 0 and value > 0:
+            elasticity = derivative * value / base
+        else:
+            elasticity = float("nan")
+        out[field] = Sensitivity(field, value, derivative, elasticity)
+    return out
+
+
+def elasticities(
+    protocol: str,
+    params: WorkloadParams,
+    deviation: Deviation = Deviation.READ,
+) -> Dict[str, float]:
+    """Just the elasticities: percent change of ``acc`` per percent change
+    of each parameter."""
+    return {
+        name: s.elasticity
+        for name, s in sensitivities(protocol, params, deviation).items()
+    }
+
+
+def tuning_table(
+    protocol: str,
+    params: WorkloadParams,
+    deviation: Deviation = Deviation.READ,
+) -> List[Sensitivity]:
+    """Knobs ranked by decreasing |elasticity| (NaN entries last).
+
+    The top entry is the most effective fine-tuning target at this
+    operating point — e.g. for Write-Through under read disturbance with
+    large ``S`` the answer is usually "reduce the write share ``p`` or the
+    copy size ``S``", while for Dragon it is always ``p`` and ``P``.
+    """
+    import math
+
+    table = list(sensitivities(protocol, params, deviation).values())
+    table.sort(key=lambda s: (-abs(s.elasticity)
+                              if not math.isnan(s.elasticity) else 1.0))
+    return table

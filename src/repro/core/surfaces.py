@@ -1,0 +1,131 @@
+"""Characteristic surfaces of ``acc`` over the workload plane (Figures 5-6).
+
+The paper visualizes each protocol's steady-state cost as a surface over
+``(p, sigma)`` for read disturbance (Figure 5) and ``(p, xi)`` for write
+disturbance (Figure 6), with ``N = 50``, ``a = 10``, ``P = 30`` and
+``S = 5000`` (``S = 100`` for the Write-Through-V panel).  Infeasible grid
+points (``p + a * disturb > 1``) are masked with NaN.
+
+:func:`acc_surface` evaluates one protocol on a grid (vectorized through the
+closed forms where they exist, exact Markov solves otherwise);
+:func:`figure_surfaces` bundles the panel groupings of the two figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .acc import analytical_acc
+from .parameters import Deviation, WorkloadParams
+
+__all__ = ["Surface", "acc_surface", "figure_surfaces", "FIGURE_PANELS"]
+
+
+@dataclass
+class Surface:
+    """An ``acc`` surface on a ``(p, disturb)`` grid.
+
+    ``acc[i, j]`` corresponds to ``p = p_values[i]``,
+    ``disturb = disturb_values[j]``; infeasible points are NaN.
+    """
+
+    protocol: str
+    deviation: Deviation
+    params: WorkloadParams
+    p_values: np.ndarray
+    disturb_values: np.ndarray
+    acc: np.ndarray
+
+    def max_feasible(self) -> float:
+        """Largest ``acc`` over the feasible region."""
+        return float(np.nanmax(self.acc))
+
+    def at(self, p: float, disturb: float) -> float:
+        """``acc`` at the grid point nearest to ``(p, disturb)``."""
+        i = int(np.abs(self.p_values - p).argmin())
+        j = int(np.abs(self.disturb_values - disturb).argmin())
+        return float(self.acc[i, j])
+
+
+def acc_surface(
+    protocol: str,
+    base: WorkloadParams,
+    deviation: Deviation = Deviation.READ,
+    p_values: Optional[Sequence[float]] = None,
+    disturb_values: Optional[Sequence[float]] = None,
+    method: str = "auto",
+) -> Surface:
+    """Evaluate one protocol's ``acc`` over the workload plane.
+
+    Args:
+        protocol: registry name.
+        base: parameters carrying ``N``, ``a``, ``S``, ``P``.
+        deviation: READ (Figure 5) or WRITE (Figure 6).
+        p_values: grid for the write probability (default 41 points on
+            ``[0, 1]``).
+        disturb_values: grid for ``sigma``/``xi`` (default 41 points on
+            ``[0, 1/a]``, the feasible band at ``p = 0``).
+        method: forwarded to :func:`repro.core.acc.analytical_acc`.
+    """
+    if deviation not in (Deviation.READ, Deviation.WRITE):
+        raise ValueError("surfaces are defined for the disturbance deviations")
+    p_vals = np.asarray(
+        p_values if p_values is not None else np.linspace(0.0, 1.0, 41),
+        dtype=float,
+    )
+    if disturb_values is None:
+        hi = 1.0 / base.a if base.a else 0.0
+        disturb_values = np.linspace(0.0, hi, 41)
+    d_vals = np.asarray(disturb_values, dtype=float)
+    acc = np.full((p_vals.size, d_vals.size), np.nan)
+    for i, p in enumerate(p_vals):
+        for j, d in enumerate(d_vals):
+            if p + base.a * d > 1.0 + 1e-12:
+                continue
+            if deviation is Deviation.READ:
+                w = base.with_(p=float(p), sigma=float(d), xi=0.0)
+            else:
+                w = base.with_(p=float(p), xi=float(d), sigma=0.0)
+            acc[i, j] = analytical_acc(protocol, w, deviation, method)
+    return Surface(protocol, deviation, base, p_vals, d_vals, acc)
+
+
+#: Figure 5/6 panel groupings (paper Section 5.1): panel key ->
+#: (protocols, S value).
+FIGURE_PANELS: Dict[str, Tuple[Tuple[str, ...], float]] = {
+    "a": (("write_once", "synapse", "illinois", "berkeley"), 5000.0),
+    "b": (("write_through_v",), 100.0),
+    "c": (("dragon", "firefly"), 5000.0),
+    "d": (("dragon", "berkeley"), 5000.0),
+}
+
+
+def figure_surfaces(
+    deviation: Deviation,
+    N: int = 50,
+    a: int = 10,
+    P: float = 30.0,
+    p_points: int = 41,
+    disturb_points: int = 41,
+    panels: Optional[Iterable[str]] = None,
+) -> Dict[str, List[Surface]]:
+    """Regenerate the surfaces of Figure 5 (READ) / Figure 6 (WRITE).
+
+    Returns ``{panel: [Surface, ...]}`` using the paper's panel grouping
+    and parameterization (``N = 50``, ``a = 10``, ``P = 30``; ``S = 5000``
+    except the Write-Through-V panel's ``S = 100``).
+    """
+    out: Dict[str, List[Surface]] = {}
+    p_vals = np.linspace(0.0, 1.0, p_points)
+    d_vals = np.linspace(0.0, 1.0 / a, disturb_points)
+    for key in panels if panels is not None else FIGURE_PANELS:
+        protos, S = FIGURE_PANELS[key]
+        base = WorkloadParams(N=N, p=0.0, a=a, S=S, P=P)
+        out[key] = [
+            acc_surface(proto, base, deviation, p_vals, d_vals)
+            for proto in protos
+        ]
+    return out

@@ -1,0 +1,189 @@
+"""Automatic trace-set discovery (paper Section 4.1, reference [8]).
+
+"It can be shown that for a given coherence protocol the set of all traces
+TR is finite [8] and that every operation execution results in exactly one
+trace from the set TR.  The set of traces has to be determined by a
+thorough analysis of the applied coherence protocol."
+
+This module performs that thorough analysis mechanically: it enumerates
+the reachable reduced state space of a protocol's kernel under a workload
+shape, evaluates every (state, actor, operation) cost at several
+``(S, P, N)`` base points, and fits each cost to the symbolic basis
+
+``cost = u + s·S + p·(P) + n·N + np·(N·P)``
+
+with small integer coefficients (every protocol cost in this system lives
+in that lattice — e.g. Write-Through's ``S + 2`` is ``(u=2, s=1)``,
+Dragon's ``N (P + 1)`` is ``(n=1, np=1)``).  Identical fits collapse into
+one *trace class*, yielding the protocol's finite trace set with symbolic
+costs — Table-4.1-style summaries for all protocols, not just
+Write-Through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .chains import GroupSpec, deviation_groups
+from .kernels import Env, get_kernel
+from .markov import enumerate_chain
+from .parameters import Deviation, WorkloadParams
+
+__all__ = ["TraceClass", "discover_traces", "format_trace_table"]
+
+#: (S, P, N) base points; chosen pairwise coprime so the basis
+#: [1, S, P, N, N*P] is well conditioned.
+_BASE_POINTS = (
+    (2.0, 3.0, 5),
+    (7.0, 11.0, 13),
+    (17.0, 19.0, 23),
+    (29.0, 31.0, 37),
+    (41.0, 43.0, 47),
+)
+
+
+@dataclass(frozen=True)
+class TraceClass:
+    """One member of the protocol's finite trace set TR.
+
+    The symbolic cost is ``units + s_coef*S + p_coef*P + n_coef*N +
+    np_coef*N*P`` with integer coefficients.
+    """
+
+    kind: str
+    units: int
+    s_coef: int
+    p_coef: int
+    n_coef: int
+    np_coef: int
+
+    def cost(self, S: float, P: float, N: int) -> float:
+        """Evaluate the symbolic cost."""
+        return (self.units + self.s_coef * S + self.p_coef * P
+                + self.n_coef * N + self.np_coef * N * P)
+
+    def describe(self) -> str:
+        """Human-readable cost expression, e.g. ``'2S + N + 5'``."""
+        parts: List[str] = []
+        for coef, sym in ((self.np_coef, "NP"), (self.s_coef, "S"),
+                          (self.p_coef, "P"), (self.n_coef, "N")):
+            if coef == 1:
+                parts.append(sym)
+            elif coef:
+                parts.append(f"{coef}{sym}")
+        if self.units or not parts:
+            parts.append(str(self.units))
+        return " + ".join(parts)
+
+
+def _fit_symbolic(costs: Sequence[float]) -> Optional[Tuple[int, ...]]:
+    """Fit costs at the base points to the integer basis; None if no fit."""
+    A = np.array(
+        [[1.0, S, P, float(N), float(N) * P] for S, P, N in _BASE_POINTS]
+    )
+    x, residuals, _rank, _sv = np.linalg.lstsq(A, np.asarray(costs),
+                                               rcond=None)
+    rounded = np.rint(x)
+    if np.abs(A @ rounded - np.asarray(costs)).max() > 1e-6:
+        return None
+    return tuple(int(v) for v in rounded)
+
+
+def discover_traces(
+    protocol: str,
+    deviation: Deviation = Deviation.READ,
+    a: int = 2,
+    beta: int = 2,
+    include_ejects: bool = False,
+    max_states: int = 50_000,
+) -> FrozenSet[TraceClass]:
+    """Enumerate the protocol's finite trace set under a workload shape.
+
+    Args:
+        protocol: registry name (paper protocols and extensions).
+        deviation: which actor structure to explore (READ/WRITE/MAC).
+        a: number of disturbing clients to model.
+        beta: number of activity centers for the MAC deviation.
+        include_ejects: also explore eject operations (Section 6).
+
+    Returns:
+        the set of trace classes — every ``(operation kind, symbolic
+        cost)`` reachable from the initial state.  Probabilities play no
+        role here (any positive rate reaches the same closure), so nominal
+        rates are used internally.
+    """
+    kernel = get_kernel(protocol)
+    # nominal rates only shape which (actor, kind) pairs are possible.
+    params = WorkloadParams(N=5, p=0.2, a=a, sigma=0.1 if a else 0.0,
+                            xi=0.1 if a else 0.0, beta=beta,
+                            S=100.0, P=30.0)
+    groups = deviation_groups(params, deviation)
+    kinds_per_group: List[List[str]] = []
+    for g in groups:
+        kinds = []
+        if g.read_rate > 0:
+            kinds.append("read")
+        if g.write_rate > 0:
+            kinds.append("write")
+        if include_ejects:
+            kinds.append("eject")
+        kinds_per_group.append(kinds)
+
+    envs = [Env(S=S, P=P, N=N) for S, P, N in _BASE_POINTS]
+    member_states = kernel.member_states
+    initial = kernel.initial_state(tuple(g.size for g in groups))
+
+    def transitions(state):
+        out = []
+        for g, kinds in enumerate(kinds_per_group):
+            counts = state[0][g]
+            for si, s in enumerate(member_states):
+                if not counts[si]:
+                    continue
+                for kind in kinds:
+                    _cost, nxt = kernel.op(state, g, s, kind, envs[0])
+                    out.append((1.0, 0.0, nxt))
+        return out
+
+    # normalize probabilities for the enumerator's row check.
+    def normalized(state):
+        raw = transitions(state)
+        w = 1.0 / len(raw)
+        return [(w, c, t) for _p, c, t in raw]
+
+    states, _index = enumerate_chain(initial, normalized,
+                                     max_states=max_states)
+
+    classes: set = set()
+    for state in states:
+        for g, kinds in enumerate(kinds_per_group):
+            counts = state[0][g]
+            for si, s in enumerate(member_states):
+                if not counts[si]:
+                    continue
+                for kind in kinds:
+                    costs = [kernel.op(state, g, s, kind, env)[0]
+                             for env in envs]
+                    fit = _fit_symbolic(costs)
+                    if fit is None:
+                        raise RuntimeError(
+                            f"{protocol}: cost {costs} for {kind} in "
+                            f"state {state} is outside the symbolic basis"
+                        )
+                    classes.add(TraceClass(kind, *fit))
+    return frozenset(classes)
+
+
+def format_trace_table(protocol: str,
+                       traces: FrozenSet[TraceClass]) -> str:
+    """Render a trace set as a Section 4.1-style table."""
+    lines = [f"trace set TR for {protocol} "
+             f"({len(traces)} classes):",
+             f"{'kind':>7}  cost"]
+    ordered = sorted(traces, key=lambda t: (t.kind, t.cost(100.0, 30.0, 5)))
+    for tr in ordered:
+        lines.append(f"{tr.kind:>7}  {tr.describe()}")
+    return "\n".join(lines)

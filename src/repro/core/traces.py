@@ -1,0 +1,260 @@
+"""Traces of actions and their communication costs (paper Section 4.1).
+
+Every shared-memory operation issued by an application process resolves to
+exactly one *trace*: a finite sequence of atomic actions executed by the
+protocol processes, possibly spanning several nodes.  Each action that sends
+an inter-node message has one of four communication costs:
+
+* ``0`` — the action executes inside a node;
+* ``1`` — the message carries only the message token
+  (``parameter_presence = '0'``);
+* ``S + 1`` — the message carries the token plus the user-information part of
+  a copy (``parameter_presence = 'ui'``);
+* ``P + 1`` — the message carries the token plus write-operation parameters
+  (``parameter_presence = 'w'``).
+
+The *trace communication cost* ``cc_h`` is the sum of its actions' costs.
+For a given protocol the set of traces ``TR`` is finite, and the steady-state
+average communication cost per operation is ``acc = sum_h pi_h * cc_h`` with
+``sum_h pi_h = 1`` (paper eqn. (1)).
+
+This module provides symbolic cost terms so a trace's cost can be written
+once (e.g. ``CostExpr(units=2, ui=1)`` for ``S + 2``) and evaluated for any
+``(S, P, N)``; the concrete trace sets live in each protocol module and in
+:mod:`repro.core.chains`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "CostExpr",
+    "Trace",
+    "TraceSet",
+    "WRITE_THROUGH_TRACES",
+]
+
+
+@dataclass(frozen=True)
+class CostExpr:
+    """A symbolic communication cost ``units + ui*(S+1) + w*(P+1) + n_coeff*N``.
+
+    ``units`` counts token-only messages, ``ui`` counts whole-copy messages,
+    ``w`` counts parameter-carrying messages, and ``n_coeff`` counts
+    broadcast fan-outs whose width is the number of clients ``N`` (e.g. the
+    sequencer's ``N`` invalidations in trace ``tr6``).  ``n_offset`` adds a
+    constant to the fan-out width (e.g. ``N - 1`` invalidations is
+    ``n_coeff=1, n_offset=-1``).  ``n_w_coeff`` counts parameter-carrying
+    broadcasts of width ``N`` (Dragon/Firefly updates cost ``N * (P + 1)``).
+    """
+
+    units: float = 0.0
+    ui: int = 0
+    w: int = 0
+    n_coeff: float = 0.0
+    n_offset: float = 0.0
+    n_w_coeff: float = 0.0
+
+    def evaluate(self, S: float, P: float, N: int) -> float:
+        """Evaluate the cost for concrete ``S``, ``P`` and ``N``."""
+        return (
+            self.units
+            + self.ui * (S + 1.0)
+            + self.w * (P + 1.0)
+            + self.n_coeff * N
+            + self.n_offset
+            + self.n_w_coeff * N * (P + 1.0)
+        )
+
+    def __add__(self, other: "CostExpr") -> "CostExpr":
+        return CostExpr(
+            units=self.units + other.units,
+            ui=self.ui + other.ui,
+            w=self.w + other.w,
+            n_coeff=self.n_coeff + other.n_coeff,
+            n_offset=self.n_offset + other.n_offset,
+            n_w_coeff=self.n_w_coeff + other.n_w_coeff,
+        )
+
+    def describe(self) -> str:
+        """Human-readable form such as ``'(P+1) + (N-1)'`` for ``P + N``."""
+        parts: List[str] = []
+        if self.ui:
+            parts.append(f"{self.ui}*(S+1)" if self.ui != 1 else "(S+1)")
+        if self.w:
+            parts.append(f"{self.w}*(P+1)" if self.w != 1 else "(P+1)")
+        if self.n_w_coeff:
+            c = "" if self.n_w_coeff == 1 else f"{self.n_w_coeff:g}*"
+            parts.append(f"{c}N*(P+1)")
+        if self.n_coeff:
+            width = "N" if self.n_offset == 0 else f"(N{self.n_offset:+g})"
+            c = "" if self.n_coeff == 1 else f"{self.n_coeff:g}*"
+            parts.append(f"{c}{width}")
+        elif self.n_offset:
+            parts.append(f"{self.n_offset:+g}")
+        if self.units or not parts:
+            parts.append(f"{self.units:g}")
+        return " + ".join(parts)
+
+
+#: Cost of a local (intra-node) action.
+LOCAL = CostExpr()
+#: Cost of one token-only inter-node message.
+TOKEN = CostExpr(units=1.0)
+#: Cost of one token + user-information message.
+UI_MESSAGE = CostExpr(ui=1)
+#: Cost of one token + write-parameters message.
+PARAMS_MESSAGE = CostExpr(w=1)
+
+
+@dataclass(frozen=True)
+class Trace:
+    """One element of a protocol's finite trace set ``TR``.
+
+    Args:
+        name: the paper's label (``tr1`` ... ``tr6`` for Write-Through) or a
+            descriptive label for reconstructed protocols.
+        description: what triggers the trace and what it does.
+        cost: symbolic communication cost.
+        initiator: ``"client"`` or ``"sequencer"``.
+        op: ``"read"`` or ``"write"``.
+    """
+
+    name: str
+    description: str
+    cost: CostExpr
+    initiator: str
+    op: str
+
+    def cc(self, S: float, P: float, N: int) -> float:
+        """The trace communication cost ``cc_h`` for concrete parameters."""
+        return self.cost.evaluate(S, P, N)
+
+
+class TraceSet:
+    """A protocol's finite set of traces with probability bookkeeping.
+
+    Supports evaluating the paper's eqn. (1),
+    ``acc = sum_h pi_h * cc_h``, given a probability assignment.
+    """
+
+    def __init__(self, protocol: str, traces: Iterable[Trace]):
+        self.protocol = protocol
+        self._traces: Dict[str, Trace] = {}
+        for tr in traces:
+            if tr.name in self._traces:
+                raise ValueError(f"duplicate trace name {tr.name!r}")
+            self._traces[tr.name] = tr
+
+    def __iter__(self):
+        return iter(self._traces.values())
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._traces
+
+    def __getitem__(self, name: str) -> Trace:
+        return self._traces[name]
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Trace names in insertion order."""
+        return tuple(self._traces)
+
+    def average_cost(
+        self,
+        probabilities: Mapping[str, float],
+        S: float,
+        P: float,
+        N: int,
+        *,
+        check_simplex: bool = True,
+        tol: float = 1e-9,
+    ) -> float:
+        """Evaluate ``acc = sum_h pi_h * cc_h`` (paper eqn. (1)).
+
+        Args:
+            probabilities: map from trace name to steady-state probability
+                ``pi_h``; missing traces count as probability 0.
+            S, P, N: cost/system parameters.
+            check_simplex: verify that the probabilities sum to 1.
+            tol: simplex tolerance.
+
+        Raises:
+            KeyError: if ``probabilities`` references an unknown trace.
+            ValueError: if the probabilities do not form a simplex.
+        """
+        total_p = 0.0
+        acc = 0.0
+        for name, pi in probabilities.items():
+            if name not in self._traces:
+                raise KeyError(
+                    f"unknown trace {name!r} for protocol {self.protocol!r}"
+                )
+            if pi < -tol:
+                raise ValueError(f"negative probability for {name!r}: {pi}")
+            total_p += pi
+            acc += pi * self._traces[name].cc(S, P, N)
+        if check_simplex and abs(total_p - 1.0) > tol:
+            raise ValueError(
+                f"trace probabilities sum to {total_p!r}, expected 1"
+            )
+        return acc
+
+
+#: The six traces of the distributed Write-Through protocol (Section 4.1,
+#: Figures 2-4).  ``cc1 = 0``, ``cc2 = S + 2``, ``cc3 = cc4 = P + N``,
+#: ``cc5 = 0``, ``cc6 = N``.
+WRITE_THROUGH_TRACES = TraceSet(
+    "write_through",
+    [
+        Trace(
+            "tr1",
+            "client read of a VALID copy; executes locally",
+            LOCAL,
+            "client",
+            "read",
+        ),
+        Trace(
+            "tr2",
+            "client read of an INVALID copy; R-PER to the sequencer, "
+            "R-GNT + user information back (Figure 2)",
+            CostExpr(units=1.0, ui=1),  # 1 + (S+1) = S + 2
+            "client",
+            "read",
+        ),
+        Trace(
+            "tr3",
+            "client write, copy VALID; W-PER + parameters to the sequencer, "
+            "W-INV to the other N-1 clients (Figure 3)",
+            CostExpr(w=1, n_coeff=1.0, n_offset=-1.0),  # (P+1) + (N-1) = P + N
+            "client",
+            "write",
+        ),
+        Trace(
+            "tr4",
+            "client write, copy INVALID; same messages as tr3 (Figure 3)",
+            CostExpr(w=1, n_coeff=1.0, n_offset=-1.0),
+            "client",
+            "write",
+        ),
+        Trace(
+            "tr5",
+            "sequencer read; the sequencer's copy is always VALID",
+            LOCAL,
+            "sequencer",
+            "read",
+        ),
+        Trace(
+            "tr6",
+            "sequencer write; W-INV to all N clients (Figure 4)",
+            CostExpr(n_coeff=1.0),
+            "sequencer",
+            "write",
+        ),
+    ],
+)

@@ -1,0 +1,57 @@
+"""Formal model of data-replication coherence protocols (paper Section 3).
+
+Exposes the message-token five-tuple, the seven primitive output routines,
+the generic Mealy machine with output, and the literal Write-Through
+transition tables (Tables 1-3).
+"""
+
+from .mealy import MachineInstance, MealyMachine, TransitionRule, UndefinedTransition
+from .message import (
+    Message,
+    MessageToken,
+    MsgType,
+    ParamPresence,
+    QueueTag,
+    token_cost,
+)
+from .routines import (
+    Change,
+    Destination,
+    Disable,
+    Enable,
+    ExceptNodes,
+    Pop,
+    Push,
+    RecordingContext,
+    Return,
+    Routine,
+    RoutineContext,
+    Seq,
+    ToNode,
+)
+
+__all__ = [
+    "MachineInstance",
+    "MealyMachine",
+    "TransitionRule",
+    "UndefinedTransition",
+    "Message",
+    "MessageToken",
+    "MsgType",
+    "ParamPresence",
+    "QueueTag",
+    "token_cost",
+    "Change",
+    "Destination",
+    "Disable",
+    "Enable",
+    "ExceptNodes",
+    "Pop",
+    "Push",
+    "RecordingContext",
+    "Return",
+    "Routine",
+    "RoutineContext",
+    "Seq",
+    "ToNode",
+]

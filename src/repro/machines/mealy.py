@@ -1,0 +1,154 @@
+"""Mealy machines with output, as used to specify coherence protocols (Section 3).
+
+The paper models every protocol process as a finite automaton with output,
+``MM = (Q, Sigma, Omega, delta, lambda, q0)``:
+
+* ``Q`` — the states of a shared-object copy (e.g. ``{VALID, INVALID}`` for
+  the Write-Through client, ``{VALID}`` for its sequencer);
+* ``Sigma`` — the input alphabet of message tokens; transitions are keyed by
+  message *type* (and, where the paper's tables distinguish them, by whether
+  the initiator is the local node);
+* ``Omega`` — the output alphabet of output routines
+  (:class:`repro.machines.routines.Routine`);
+* ``delta : Q x Sigma -> Q`` — the transition function;
+* ``lambda : Q x Sigma -> Omega`` — the output function;
+* ``q0`` — the starting state (INVALID for clients, VALID for the
+  Write-Through sequencer).
+
+Inputs not present in the table are *errors* in the paper's terminology
+("errors are not analyzed by the given protocol"); :meth:`MealyMachine.step`
+raises :class:`UndefinedTransition` for them so tests catch specification
+gaps immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Optional, Tuple
+
+from .message import MessageToken, MsgType
+from .routines import Routine, RoutineContext
+
+__all__ = [
+    "UndefinedTransition",
+    "TransitionRule",
+    "MealyMachine",
+    "MachineInstance",
+]
+
+State = Hashable
+
+
+class UndefinedTransition(KeyError):
+    """Raised when ``delta`` is undefined for a ``(state, input)`` pair.
+
+    The paper marks these table cells as *error*; a correct execution of the
+    protocol never produces them.
+    """
+
+
+@dataclass(frozen=True)
+class TransitionRule:
+    """One cell of a Mealy transition table: next state plus output routine."""
+
+    next_state: State
+    output: Optional[Routine] = None
+    #: human-readable note (mirrors the paper's table annotations)
+    note: str = ""
+
+
+class MealyMachine:
+    """An immutable Mealy-machine specification.
+
+    Transition keys are ``(state, msg_type, local)`` where ``local`` tells
+    whether the consumed token's ``operation_initiator`` is the machine's own
+    node — the paper's client tables treat a locally initiated request
+    differently from a remote message of the same type.  A rule registered
+    with ``local=None`` applies to both.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        states: Iterable[State],
+        start_state: State,
+        table: Mapping[Tuple[State, MsgType, Optional[bool]], TransitionRule],
+    ):
+        self.name = name
+        self.states: FrozenSet[State] = frozenset(states)
+        if start_state not in self.states:
+            raise ValueError(f"start state {start_state!r} not in Q")
+        self.start_state = start_state
+        self._table: Dict[Tuple[State, MsgType, Optional[bool]], TransitionRule] = dict(table)
+        for (state, _mt, _loc), rule in self._table.items():
+            if state not in self.states:
+                raise ValueError(f"table references unknown state {state!r}")
+            if rule.next_state not in self.states:
+                raise ValueError(
+                    f"table transitions to unknown state {rule.next_state!r}"
+                )
+
+    @property
+    def input_alphabet(self) -> FrozenSet[MsgType]:
+        """The message types appearing in the transition table (``Sigma``)."""
+        return frozenset(mt for (_s, mt, _loc) in self._table)
+
+    def rule(self, state: State, msg_type: MsgType, local: bool) -> TransitionRule:
+        """Look up ``(delta, lambda)`` for an input, preferring the exact
+        ``local`` match and falling back to the ``local=None`` wildcard.
+
+        Raises:
+            UndefinedTransition: if the cell is an *error* cell.
+        """
+        for loc in (local, None):
+            try:
+                return self._table[(state, msg_type, loc)]
+            except KeyError:
+                continue
+        raise UndefinedTransition(
+            f"{self.name}: no transition from {state!r} on {msg_type.value} "
+            f"(local={local})"
+        )
+
+    def defined_inputs(self, state: State) -> FrozenSet[Tuple[MsgType, Optional[bool]]]:
+        """All inputs with a defined transition out of ``state``."""
+        return frozenset(
+            (mt, loc) for (s, mt, loc) in self._table if s == state
+        )
+
+    def instantiate(self) -> "MachineInstance":
+        """Create a runnable instance starting in ``q0``."""
+        return MachineInstance(self)
+
+
+class MachineInstance:
+    """A Mealy machine in execution: current state plus step semantics."""
+
+    def __init__(self, machine: MealyMachine):
+        self.machine = machine
+        self.state = machine.start_state
+
+    def step(self, token: MessageToken, ctx: RoutineContext, *, self_node: int) -> TransitionRule:
+        """Consume one token: apply ``delta`` and execute ``lambda``'s routine.
+
+        Args:
+            token: the input message token.
+            ctx: the routine execution environment.
+            self_node: this machine's node index (determines ``local``).
+
+        Returns:
+            The applied rule (useful for tracing).
+
+        Raises:
+            UndefinedTransition: for error cells.
+        """
+        local = token.operation_initiator == self_node
+        rule = self.machine.rule(self.state, token.type, local)
+        self.state = rule.next_state
+        if rule.output is not None:
+            rule.output.execute(ctx)
+        return rule
+
+    def reset(self) -> None:
+        """Return to the starting state ``q0``."""
+        self.state = self.machine.start_state

@@ -1,0 +1,254 @@
+"""The seven primitive output-routine functions of the formal model (Section 3).
+
+The paper describes every Mealy-machine output routine as a concatenation of
+simple functions:
+
+* ``pop(variable)`` — pop the additional parameters that accompanied the
+  message token into a named variable (``user_information(j)``,
+  ``parameters_r(j)`` or ``parameters_w(j)``);
+* ``push(destination, message_token, additional_parameters)`` — send a token
+  (plus optional parameters) to the given destination's queue;
+* ``except(address_list)`` — a *destination* form: send to every node except
+  those listed;
+* ``change(parameters_w(j), user_information(j))`` — apply buffered write
+  parameters to the local user information;
+* ``return(parameters_r(j), user_information(j))`` — return data to the
+  local application process;
+* ``disable`` / ``enable`` — gate the client's local queue while a
+  distributed operation awaits the sequencer's response.
+
+The routines here are small command objects: executing one against a
+:class:`RoutineContext` performs the side effect.  The simulator binds a
+context to real node state and channels; the spec-level tests bind a
+recording context to assert exact message sequences (Figures 2-4).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+from .message import Message, MessageToken, MsgType, ParamPresence, QueueTag
+
+__all__ = [
+    "Destination",
+    "ToNode",
+    "ExceptNodes",
+    "RoutineContext",
+    "Routine",
+    "Pop",
+    "Push",
+    "Change",
+    "Return",
+    "Disable",
+    "Enable",
+    "Seq",
+    "RecordingContext",
+]
+
+
+@dataclass(frozen=True)
+class ToNode:
+    """Destination: a single node index (``push(k, ...)``)."""
+
+    node: int
+
+
+@dataclass(frozen=True)
+class ExceptNodes:
+    """Destination: every node except the listed ones (``except(...)``).
+
+    The paper's ``push(except(N+1), ...)`` and ``push(except(k, N+1), ...)``
+    broadcast forms; indices may be symbolic resolvers (callables over the
+    context) so one table entry covers every initiator.
+    """
+
+    excluded: Tuple[Union[int, str], ...]
+
+
+Destination = Union[ToNode, ExceptNodes]
+
+
+class RoutineContext(abc.ABC):
+    """The environment a routine executes in.
+
+    Concrete contexts supply node identity, the current message, variable
+    storage (``user_information``, ``parameters_r/w``), and the message
+    fabric.  ``resolve(name)`` maps the symbolic indices used by transition
+    tables (``"initiator"``, ``"self"``, ``"sequencer"``) to node numbers.
+    """
+
+    @abc.abstractmethod
+    def resolve(self, name: Union[int, str]) -> int:
+        """Resolve a symbolic node reference to a node index."""
+
+    @abc.abstractmethod
+    def pop_variable(self, variable: str) -> None:
+        """Pop the current message's additional parameters into ``variable``."""
+
+    @abc.abstractmethod
+    def send(
+        self,
+        destination: Destination,
+        msg_type: MsgType,
+        presence: ParamPresence,
+        *,
+        initiator: Union[int, str] = "initiator",
+        queue: QueueTag = QueueTag.DISTRIBUTED,
+    ) -> None:
+        """Send a token (with the named parameter presence) to ``destination``."""
+
+    @abc.abstractmethod
+    def change(self) -> None:
+        """Apply ``parameters_w(j)`` to the local ``user_information(j)``."""
+
+    @abc.abstractmethod
+    def return_data(self) -> None:
+        """Return data selected by ``parameters_r(j)`` to the application."""
+
+    @abc.abstractmethod
+    def disable_local_queue(self) -> None:
+        """Suspend servicing of the local queue (awaiting a response)."""
+
+    @abc.abstractmethod
+    def enable_local_queue(self) -> None:
+        """Resume servicing of the local queue."""
+
+
+class Routine(abc.ABC):
+    """A primitive output routine (command object)."""
+
+    @abc.abstractmethod
+    def execute(self, ctx: RoutineContext) -> None:
+        """Perform the routine's effect against ``ctx``."""
+
+
+@dataclass(frozen=True)
+class Pop(Routine):
+    """``pop(variable)`` — buffer the message's additional parameters."""
+
+    variable: str
+
+    def execute(self, ctx: RoutineContext) -> None:
+        ctx.pop_variable(self.variable)
+
+
+@dataclass(frozen=True)
+class Push(Routine):
+    """``push(destination, token, parameters)`` — emit a message."""
+
+    destination: Destination
+    msg_type: MsgType
+    presence: ParamPresence = ParamPresence.NONE
+    initiator: Union[int, str] = "initiator"
+    queue: QueueTag = QueueTag.DISTRIBUTED
+
+    def execute(self, ctx: RoutineContext) -> None:
+        ctx.send(
+            self.destination,
+            self.msg_type,
+            self.presence,
+            initiator=self.initiator,
+            queue=self.queue,
+        )
+
+
+@dataclass(frozen=True)
+class Change(Routine):
+    """``change(parameters_w(j), user_information(j))``."""
+
+    def execute(self, ctx: RoutineContext) -> None:
+        ctx.change()
+
+
+@dataclass(frozen=True)
+class Return(Routine):
+    """``return(parameters_r(j), user_information(j))``."""
+
+    def execute(self, ctx: RoutineContext) -> None:
+        ctx.return_data()
+
+
+@dataclass(frozen=True)
+class Disable(Routine):
+    """Disable the local queue (first action of a blocking distributed op)."""
+
+    def execute(self, ctx: RoutineContext) -> None:
+        ctx.disable_local_queue()
+
+
+@dataclass(frozen=True)
+class Enable(Routine):
+    """Enable the local queue (response message arrived)."""
+
+    def execute(self, ctx: RoutineContext) -> None:
+        ctx.enable_local_queue()
+
+
+@dataclass(frozen=True)
+class Seq(Routine):
+    """Concatenation of routines, executed left to right."""
+
+    routines: Tuple[Routine, ...]
+
+    def __init__(self, *routines: Routine):
+        object.__setattr__(self, "routines", tuple(routines))
+
+    def execute(self, ctx: RoutineContext) -> None:
+        for r in self.routines:
+            r.execute(ctx)
+
+
+class RecordingContext(RoutineContext):
+    """A context that records effects instead of performing them.
+
+    Used by the formal-model unit tests to assert that a transition emits
+    exactly the message sequence of Figures 2-4 / Tables 1-4.
+    """
+
+    def __init__(self, self_node: int, sequencer: int, initiator: int, all_nodes: Sequence[int]):
+        self.self_node = self_node
+        self.sequencer = sequencer
+        self.initiator = initiator
+        self.all_nodes = list(all_nodes)
+        #: chronological effect log: tuples like ("send", dst, type, presence)
+        self.log: List[Tuple] = []
+
+    def resolve(self, name: Union[int, str]) -> int:
+        if isinstance(name, int):
+            return name
+        return {
+            "self": self.self_node,
+            "sequencer": self.sequencer,
+            "initiator": self.initiator,
+        }[name]
+
+    def pop_variable(self, variable: str) -> None:
+        self.log.append(("pop", variable))
+
+    def send(self, destination, msg_type, presence, *, initiator="initiator",
+             queue=QueueTag.DISTRIBUTED) -> None:
+        if isinstance(destination, ToNode):
+            targets = [self.resolve(destination.node)]
+        else:
+            excluded = {self.resolve(x) for x in destination.excluded}
+            targets = [n for n in self.all_nodes if n not in excluded]
+        for dst in targets:
+            self.log.append(("send", dst, msg_type, presence))
+
+    def change(self) -> None:
+        self.log.append(("change",))
+
+    def return_data(self) -> None:
+        self.log.append(("return",))
+
+    def disable_local_queue(self) -> None:
+        self.log.append(("disable",))
+
+    def enable_local_queue(self) -> None:
+        self.log.append(("enable",))
+
+    def sends(self) -> List[Tuple]:
+        """Only the send effects, in order."""
+        return [e for e in self.log if e[0] == "send"]

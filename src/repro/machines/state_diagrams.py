@@ -1,0 +1,237 @@
+"""Appendix A state-transition diagrams as structured, testable data.
+
+The paper's appendix gives, for every protocol, the state-transition
+diagram of a client's copy and of the sequencer's copy ("only the
+operations that change the states of the copies are presented").  This
+module transcribes those diagrams — as reconstructed in DESIGN.md — into
+:class:`StateDiagram` objects: states plus edges labeled with the
+triggering operation.
+
+Edge labels:
+
+========= ==================================================================
+``r``     read by this copy's node
+``w``     write by this copy's node
+``or``    read by another node (as it affects this copy: recall/downgrade)
+``ow``    write by another node (invalidation / ownership transfer)
+``ej``    eject by this copy's node (Section 6 extension)
+========= ==================================================================
+
+The test suite *executes* every edge against the operational protocols:
+for each ``(state, label, next_state)`` it builds a simulator, drives the
+copy into ``state``, applies the trigger and asserts the copy lands in
+``next_state`` — the appendix figures become executable specifications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+__all__ = ["Edge", "StateDiagram", "CLIENT_DIAGRAMS", "SEQUENCER_STATES"]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One labeled transition of a copy's state diagram."""
+
+    src: str
+    label: str
+    dst: str
+
+
+@dataclass(frozen=True)
+class StateDiagram:
+    """A copy's state-transition diagram (one appendix figure)."""
+
+    protocol: str
+    role: str
+    states: Tuple[str, ...]
+    start: str
+    edges: Tuple[Edge, ...]
+
+    def successors(self, state: str) -> Dict[str, str]:
+        """Map trigger label to next state for one state."""
+        return {e.label: e.dst for e in self.edges if e.src == state}
+
+    def reachable(self) -> FrozenSet[str]:
+        """States reachable from the start state."""
+        seen = {self.start}
+        frontier = [self.start]
+        while frontier:
+            s = frontier.pop()
+            for e in self.edges:
+                if e.src == s and e.dst not in seen:
+                    seen.add(e.dst)
+                    frontier.append(e.dst)
+        return frozenset(seen)
+
+
+def _d(protocol: str, states: List[str], start: str,
+       edges: List[Tuple[str, str, str]]) -> StateDiagram:
+    return StateDiagram(
+        protocol, "client", tuple(states), start,
+        tuple(Edge(s, l, t) for s, l, t in edges),
+    )
+
+
+#: Client-copy diagrams (appendix Figures 1, 7, 9-12), including the
+#: self-loops the paper omits ("only the operations that change the
+#: states ... are presented") so every (state, trigger) pair is covered.
+CLIENT_DIAGRAMS: Dict[str, StateDiagram] = {
+    # Figure 1: Write-Through
+    "write_through": _d(
+        "write_through", ["INVALID", "VALID"], "INVALID",
+        [
+            ("INVALID", "r", "VALID"),
+            ("INVALID", "w", "INVALID"),   # write-through, no allocate
+            ("INVALID", "ow", "INVALID"),
+            ("INVALID", "ej", "INVALID"),
+            ("VALID", "r", "VALID"),
+            ("VALID", "w", "INVALID"),     # the distributed-WT signature
+            ("VALID", "ow", "INVALID"),
+            ("VALID", "ej", "INVALID"),
+        ],
+    ),
+    # Figure 9: Write-Through-V
+    "write_through_v": _d(
+        "write_through_v", ["INVALID", "VALID"], "INVALID",
+        [
+            ("INVALID", "r", "VALID"),
+            ("INVALID", "w", "VALID"),     # the writer keeps its copy
+            ("INVALID", "ow", "INVALID"),
+            ("INVALID", "ej", "INVALID"),
+            ("VALID", "r", "VALID"),
+            ("VALID", "w", "VALID"),
+            ("VALID", "ow", "INVALID"),
+            ("VALID", "ej", "INVALID"),
+        ],
+    ),
+    # Figure 10: Write-Once
+    "write_once": _d(
+        "write_once", ["INVALID", "VALID", "RESERVED", "DIRTY"], "INVALID",
+        [
+            ("INVALID", "r", "VALID"),
+            ("INVALID", "w", "DIRTY"),     # read-with-intent-to-modify
+            ("INVALID", "ow", "INVALID"),
+            ("VALID", "r", "VALID"),
+            ("VALID", "w", "RESERVED"),    # first write: written through
+            ("VALID", "ow", "INVALID"),
+            ("VALID", "ej", "INVALID"),
+            ("RESERVED", "r", "RESERVED"),
+            ("RESERVED", "w", "DIRTY"),    # second write: local
+            ("RESERVED", "or", "VALID"),   # another node read: downgrade
+            ("RESERVED", "ow", "INVALID"),
+            ("RESERVED", "ej", "INVALID"),
+            ("DIRTY", "r", "DIRTY"),
+            ("DIRTY", "w", "DIRTY"),
+            ("DIRTY", "or", "VALID"),      # recall: supply, stay valid
+            ("DIRTY", "ow", "INVALID"),
+            ("DIRTY", "ej", "INVALID"),    # write back, then drop
+        ],
+    ),
+    # Figure 7: Synapse
+    "synapse": _d(
+        "synapse", ["INVALID", "VALID", "DIRTY"], "INVALID",
+        [
+            ("INVALID", "r", "VALID"),
+            ("INVALID", "w", "DIRTY"),
+            ("INVALID", "ow", "INVALID"),
+            ("VALID", "r", "VALID"),
+            ("VALID", "w", "DIRTY"),       # hit treated as miss, with data
+            ("VALID", "ow", "INVALID"),
+            ("VALID", "ej", "INVALID"),
+            ("DIRTY", "r", "DIRTY"),
+            ("DIRTY", "w", "DIRTY"),
+            ("DIRTY", "or", "INVALID"),    # recall: self-invalidate
+            ("DIRTY", "ow", "INVALID"),
+            ("DIRTY", "ej", "INVALID"),
+        ],
+    ),
+    # Illinois: same shape as Synapse except the recall keeps the supplier
+    "illinois": _d(
+        "illinois", ["INVALID", "VALID", "DIRTY"], "INVALID",
+        [
+            ("INVALID", "r", "VALID"),
+            ("INVALID", "w", "DIRTY"),
+            ("INVALID", "ow", "INVALID"),
+            ("VALID", "r", "VALID"),
+            ("VALID", "w", "DIRTY"),       # data-less upgrade
+            ("VALID", "ow", "INVALID"),
+            ("VALID", "ej", "INVALID"),
+            ("DIRTY", "r", "DIRTY"),
+            ("DIRTY", "w", "DIRTY"),
+            ("DIRTY", "or", "VALID"),      # the Illinois difference
+            ("DIRTY", "ow", "INVALID"),
+            ("DIRTY", "ej", "INVALID"),
+        ],
+    ),
+    # Figure 12: Berkeley (owner states included: the role migrates)
+    "berkeley": _d(
+        "berkeley", ["INVALID", "VALID", "DIRTY", "SHARED-DIRTY"], "INVALID",
+        [
+            ("INVALID", "r", "VALID"),
+            ("INVALID", "w", "DIRTY"),     # ownership transfer with data
+            ("INVALID", "ow", "INVALID"),
+            ("VALID", "r", "VALID"),
+            ("VALID", "w", "DIRTY"),       # ownership transfer, no data
+            ("VALID", "ow", "INVALID"),
+            ("VALID", "ej", "INVALID"),
+            ("DIRTY", "r", "DIRTY"),
+            ("DIRTY", "w", "DIRTY"),
+            ("DIRTY", "or", "SHARED-DIRTY"),
+            ("DIRTY", "ow", "INVALID"),    # ownership taken away
+            ("DIRTY", "ej", "DIRTY"),      # pinned: the backing store
+            ("SHARED-DIRTY", "r", "SHARED-DIRTY"),
+            ("SHARED-DIRTY", "w", "DIRTY"),
+            ("SHARED-DIRTY", "or", "SHARED-DIRTY"),
+            ("SHARED-DIRTY", "ow", "INVALID"),
+            ("SHARED-DIRTY", "ej", "SHARED-DIRTY"),  # pinned
+        ],
+    ),
+    # Figure 11: Dragon (single client state; INVALID only via ejects)
+    "dragon": _d(
+        "dragon", ["SHARED-CLEAN", "SHARED-DIRTY", "INVALID"],
+        "SHARED-CLEAN",
+        [
+            ("SHARED-CLEAN", "r", "SHARED-CLEAN"),
+            ("SHARED-CLEAN", "w", "SHARED-DIRTY"),
+            ("SHARED-CLEAN", "ow", "SHARED-CLEAN"),  # update applies
+            ("SHARED-CLEAN", "ej", "INVALID"),
+            ("SHARED-DIRTY", "r", "SHARED-DIRTY"),
+            ("SHARED-DIRTY", "w", "SHARED-DIRTY"),
+            ("SHARED-DIRTY", "ow", "SHARED-CLEAN"),  # role moved on
+            ("SHARED-DIRTY", "ej", "SHARED-DIRTY"),  # pinned
+            ("INVALID", "r", "SHARED-CLEAN"),
+            ("INVALID", "w", "SHARED-DIRTY"),
+            ("INVALID", "ow", "INVALID"),
+            ("INVALID", "ej", "INVALID"),
+        ],
+    ),
+    # Firefly (single client state; INVALID only via ejects)
+    "firefly": _d(
+        "firefly", ["SHARED", "INVALID"], "SHARED",
+        [
+            ("SHARED", "r", "SHARED"),
+            ("SHARED", "w", "SHARED"),
+            ("SHARED", "ow", "SHARED"),
+            ("SHARED", "ej", "INVALID"),
+            ("INVALID", "r", "SHARED"),
+            ("INVALID", "w", "SHARED"),
+            ("INVALID", "ow", "INVALID"),
+            ("INVALID", "ej", "INVALID"),
+        ],
+    ),
+}
+
+#: The sequencer copy's state set per protocol (appendix Figures 8 etc.).
+SEQUENCER_STATES: Dict[str, Tuple[str, ...]] = {
+    "write_through": ("VALID",),
+    "write_through_v": ("VALID",),
+    "write_once": ("VALID", "INVALID"),
+    "synapse": ("VALID", "INVALID"),
+    "illinois": ("VALID", "INVALID"),
+    "berkeley": ("DIRTY", "SHARED-DIRTY"),
+    "dragon": ("SHARED-DIRTY",),
+    "firefly": ("VALID",),
+}

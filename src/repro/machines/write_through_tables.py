@@ -1,0 +1,162 @@
+"""The literal Write-Through Mealy transition tables (paper Tables 1-3).
+
+This module transcribes the paper's formal specification of the distributed
+Write-Through protocol:
+
+* **Table 1** — the client machine for a copy of the *j*-th shared object at
+  client *i*: states ``{INVALID, VALID}`` with ``q0 = INVALID``;
+* **Table 2** — the output routines, expressed with the seven primitive
+  functions of :mod:`repro.machines.routines`;
+* **Table 3** — the sequencer machine: the single state ``VALID``.
+
+The operational protocol used by the simulator
+(:mod:`repro.protocols.write_through`) is implemented independently; the test
+suite checks that both produce identical message sequences for every trace of
+Figures 2-4, which is the reproduction of Tables 1-4 and Figure 1.
+"""
+
+from __future__ import annotations
+
+from .mealy import MealyMachine, TransitionRule
+from .message import MsgType, ParamPresence
+from .routines import (
+    Change,
+    Disable,
+    Enable,
+    ExceptNodes,
+    Pop,
+    Push,
+    Return,
+    Seq,
+    ToNode,
+)
+
+__all__ = [
+    "INVALID",
+    "VALID",
+    "client_machine",
+    "sequencer_machine",
+]
+
+#: Copy state: the replica content may be stale; reads must fetch.
+INVALID = "INVALID"
+#: Copy state: the replica content is current; reads execute locally.
+VALID = "VALID"
+
+
+def client_machine() -> MealyMachine:
+    """Build the Write-Through client machine of Table 1.
+
+    Transitions (``local`` marks tokens whose initiator is this node):
+
+    ========  ========  =====  ==========  ==========================================
+    state     input     local  next state  output routine
+    ========  ========  =====  ==========  ==========================================
+    VALID     R-REQ     yes    VALID       ``pop(parameters_r); return``      (tr1)
+    INVALID   R-REQ     yes    INVALID     ``pop(parameters_r); disable;``
+                                           ``push(sequencer, R-PER)``         (tr2 start)
+    VALID     W-REQ     yes    INVALID     ``pop(parameters_w);``
+                                           ``push(sequencer, W-PER, w)``      (tr3)
+    INVALID   W-REQ     yes    INVALID     same as above                      (tr4)
+    INVALID   R-GNT     yes    VALID       ``pop(user_information); return;``
+                                           ``enable``                         (tr2 end)
+    VALID     W-INV     no     INVALID     (none)
+    INVALID   W-INV     no     INVALID     (none)
+    ========  ========  =====  ==========  ==========================================
+
+    The write transition ends in ``INVALID`` — the distributed Write-Through
+    client forwards the write parameters to the sequencer without updating
+    its own copy, which is why in the paper's steady-state analysis a read
+    following a write produces trace ``tr2`` (see Section 4.3).
+    """
+    table = {
+        (VALID, MsgType.R_REQ, True): TransitionRule(
+            VALID,
+            Seq(Pop("parameters_r"), Return()),
+            note="tr1: local read hit",
+        ),
+        (INVALID, MsgType.R_REQ, True): TransitionRule(
+            INVALID,
+            Seq(
+                Pop("parameters_r"),
+                Disable(),
+                Push(ToNode("sequencer"), MsgType.R_PER),
+            ),
+            note="tr2: read miss, ask the sequencer",
+        ),
+        (VALID, MsgType.W_REQ, True): TransitionRule(
+            INVALID,
+            Seq(
+                Pop("parameters_w"),
+                Push(ToNode("sequencer"), MsgType.W_PER, ParamPresence.WRITE),
+            ),
+            note="tr3: write-through, give up the local copy",
+        ),
+        (INVALID, MsgType.W_REQ, True): TransitionRule(
+            INVALID,
+            Seq(
+                Pop("parameters_w"),
+                Push(ToNode("sequencer"), MsgType.W_PER, ParamPresence.WRITE),
+            ),
+            note="tr4: write-through from INVALID",
+        ),
+        (INVALID, MsgType.R_GNT, True): TransitionRule(
+            VALID,
+            Seq(Pop("user_information"), Return(), Enable()),
+            note="tr2: grant received, local queue re-enabled",
+        ),
+        (VALID, MsgType.W_INV, None): TransitionRule(
+            INVALID, None, note="remote write invalidates the copy"
+        ),
+        (INVALID, MsgType.W_INV, None): TransitionRule(
+            INVALID, None, note="invalidation of an already invalid copy"
+        ),
+    }
+    return MealyMachine("write_through.client", [VALID, INVALID], INVALID, table)
+
+
+def sequencer_machine() -> MealyMachine:
+    """Build the Write-Through sequencer machine of Table 3.
+
+    The sequencer's copy has the single state ``VALID``.  Output routines
+    (Table 2, numbered as in the paper):
+
+    * **101** (own read, tr5): ``pop(parameters_r); return``;
+    * **102** (own write, tr6): ``pop(parameters_w); change;
+      push(except(N+1), W-INV)`` — invalidate all ``N`` clients;
+    * **103** (client read permission): ``push(k, R-GNT, ui)``;
+    * **104** (client write permission): ``pop(parameters_w); change;
+      push(except(k, N+1), W-INV)`` — invalidate the ``N - 1`` clients other
+      than the writer (the writer already invalidated itself).
+    """
+    table = {
+        (VALID, MsgType.R_REQ, True): TransitionRule(
+            VALID,
+            Seq(Pop("parameters_r"), Return()),
+            note="routine 101 / trace tr5",
+        ),
+        (VALID, MsgType.W_REQ, True): TransitionRule(
+            VALID,
+            Seq(
+                Pop("parameters_w"),
+                Change(),
+                Push(ExceptNodes(("self",)), MsgType.W_INV),
+            ),
+            note="routine 102 / trace tr6",
+        ),
+        (VALID, MsgType.R_PER, False): TransitionRule(
+            VALID,
+            Push(ToNode("initiator"), MsgType.R_GNT, ParamPresence.USER_INFO),
+            note="routine 103 / trace tr2 response",
+        ),
+        (VALID, MsgType.W_PER, False): TransitionRule(
+            VALID,
+            Seq(
+                Pop("parameters_w"),
+                Change(),
+                Push(ExceptNodes(("initiator", "self")), MsgType.W_INV),
+            ),
+            note="routine 104 / traces tr3 and tr4 response",
+        ),
+    }
+    return MealyMachine("write_through.sequencer", [VALID], VALID, table)

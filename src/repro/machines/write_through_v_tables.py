@@ -1,0 +1,100 @@
+"""Write-Through-V client Mealy table, in the style of paper Tables 1-2.
+
+The paper presents the formal Mealy specification only for Write-Through
+and states that it "serves as a modeling paradigm for other coherence
+protocols".  This module applies the paradigm to the second distributed
+Write-Through variant: the client machine of the two-phase-write protocol
+(DESIGN.md), expressed with the same seven primitive routines.
+
+Transition table (``local`` marks tokens initiated by this node):
+
+========  ========  =====  ==========  =====================================
+state     input     local  next state  output routine
+========  ========  =====  ==========  =====================================
+VALID     R-REQ     yes    VALID       ``pop(parameters_r); return``
+INVALID   R-REQ     yes    INVALID     ``pop(parameters_r); disable;``
+                                       ``push(sequencer, R-PER)``
+INVALID   R-GNT     yes    VALID       ``pop(user_information); return;``
+                                       ``enable``
+VALID     W-REQ     yes    VALID       ``pop(parameters_w); disable;``
+                                       ``push(sequencer, W-PER)``
+INVALID   W-REQ     yes    INVALID     same as above
+VALID     W-GNT     yes    VALID       ``change; push(sequencer, UPD, w);``
+                                       ``enable``
+INVALID   W-GNT     yes    VALID       ``pop(user_information); change;``
+                                       ``push(sequencer, UPD, w); enable``
+any       W-INV     no     INVALID     (none)
+========  ========  =====  ==========  =====================================
+
+The WTV *sequencer* is intentionally not given a pure Mealy table: its
+``W-GNT`` output depends on the validity directory (a protocol-process
+variable in the paper's terminology), so it is specified operationally in
+:mod:`repro.protocols.write_through_v` and covered by the signature tests.
+"""
+
+from __future__ import annotations
+
+from .mealy import MealyMachine, TransitionRule
+from .message import MsgType, ParamPresence
+from .routines import Change, Disable, Enable, Pop, Push, Return, Seq, ToNode
+
+__all__ = ["INVALID", "VALID", "client_machine"]
+
+INVALID = "INVALID"
+VALID = "VALID"
+
+
+def client_machine() -> MealyMachine:
+    """Build the Write-Through-V client machine (see the module table)."""
+    ask_read = Seq(
+        Pop("parameters_r"),
+        Disable(),
+        Push(ToNode("sequencer"), MsgType.R_PER),
+    )
+    ask_write = Seq(
+        Pop("parameters_w"),
+        Disable(),
+        Push(ToNode("sequencer"), MsgType.W_PER),
+    )
+    finish_write = Seq(
+        Change(),
+        Push(ToNode("sequencer"), MsgType.UPD, ParamPresence.WRITE),
+        Enable(),
+    )
+    finish_write_stale = Seq(
+        Pop("user_information"),
+        Change(),
+        Push(ToNode("sequencer"), MsgType.UPD, ParamPresence.WRITE),
+        Enable(),
+    )
+    table = {
+        (VALID, MsgType.R_REQ, True): TransitionRule(
+            VALID, Seq(Pop("parameters_r"), Return()),
+            note="local read hit",
+        ),
+        (INVALID, MsgType.R_REQ, True): TransitionRule(
+            INVALID, ask_read, note="read miss: blocking fetch",
+        ),
+        (INVALID, MsgType.R_GNT, True): TransitionRule(
+            VALID, Seq(Pop("user_information"), Return(), Enable()),
+            note="grant: install, reply, re-enable",
+        ),
+        (VALID, MsgType.W_REQ, True): TransitionRule(
+            VALID, ask_write, note="two-phase write, phase 1",
+        ),
+        (INVALID, MsgType.W_REQ, True): TransitionRule(
+            INVALID, ask_write, note="two-phase write from a stale copy",
+        ),
+        (VALID, MsgType.W_GNT, True): TransitionRule(
+            VALID, finish_write,
+            note="phase 2: apply locally, ship the parameters",
+        ),
+        (INVALID, MsgType.W_GNT, True): TransitionRule(
+            VALID, finish_write_stale,
+            note="phase 2 with the grant's user information",
+        ),
+        (VALID, MsgType.W_INV, None): TransitionRule(INVALID),
+        (INVALID, MsgType.W_INV, None): TransitionRule(INVALID),
+    }
+    return MealyMachine("write_through_v.client", [VALID, INVALID],
+                        INVALID, table)

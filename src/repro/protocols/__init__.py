@@ -1,0 +1,42 @@
+"""The eight data-replication coherence protocols (paper Section 5, appendix).
+
+Each protocol module provides client/sequencer protocol-process classes and
+a :class:`~repro.protocols.base.ProtocolSpec`; :data:`PROTOCOLS` maps
+registry names to specs.
+"""
+
+from .base import (
+    ACQUIRE,
+    EJECT,
+    READ,
+    RELEASE,
+    WRITE,
+    HoldingMixin,
+    Operation,
+    ProcessContext,
+    ProtocolProcess,
+    ProtocolSpec,
+)
+from .registry import (
+    EXTENSION_PROTOCOLS,
+    PROTOCOLS,
+    get_protocol,
+    protocol_names,
+)
+
+__all__ = [
+    "ACQUIRE",
+    "EJECT",
+    "READ",
+    "RELEASE",
+    "WRITE",
+    "HoldingMixin",
+    "Operation",
+    "ProcessContext",
+    "ProtocolProcess",
+    "ProtocolSpec",
+    "EXTENSION_PROTOCOLS",
+    "PROTOCOLS",
+    "get_protocol",
+    "protocol_names",
+]

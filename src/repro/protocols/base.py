@@ -1,0 +1,249 @@
+"""Operational protocol layer shared by all eight coherence protocols.
+
+The formal Mealy layer (:mod:`repro.machines`) specifies protocols as
+transition tables; this module provides the *operational* counterpart the
+discrete-event simulator executes: per-node, per-object protocol processes
+with explicit message handlers.
+
+Design (paper Section 2):
+
+* There are ``N + 1`` nodes; node indices are ``1 .. N`` for the clients and
+  ``N + 1`` for the sequencer (the paper's convention).
+* An application process issues read/write :class:`Operation` requests to the
+  protocol process of the addressed object.
+* Protocol processes exchange :class:`~repro.machines.message.Message`
+  objects over fault-free FIFO channels.  Clients of fixed-home protocols
+  talk only to the sequencer; the migrating-owner protocols (Berkeley,
+  Dragon) address the *believed owner*, learning ownership changes from the
+  invalidation/update broadcasts that every ownership transfer already emits
+  (no additional messages; see DESIGN.md).
+* When a distributed operation requires a response, the client's local queue
+  is disabled until the response arrives (the paper's disable/enable
+  mechanism).
+
+Every concrete protocol provides a :class:`ProtocolSpec` with factories for
+the client-side and sequencer-side processes plus the protocol's metadata
+(state sets, trace set, cost table used by the analytic kernels).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..machines.message import Message, MessageToken, MsgType, ParamPresence
+
+__all__ = [
+    "READ",
+    "WRITE",
+    "EJECT",
+    "ACQUIRE",
+    "RELEASE",
+    "Operation",
+    "ProcessContext",
+    "ProtocolProcess",
+    "ProtocolSpec",
+    "HoldingMixin",
+]
+
+#: Operation kind constants.
+READ = "read"
+WRITE = "write"
+#: Section 6 extension: a node voluntarily drops its replica (memory
+#: pressure); never issued by the paper's workloads.
+EJECT = "eject"
+#: Section 6 extension: synchronization operations (lock acquire/release),
+#: handled by :mod:`repro.sim.locks`, not by the coherence protocols.
+ACQUIRE = "acquire"
+RELEASE = "release"
+
+
+@dataclass(slots=True)
+class Operation:
+    """One shared-memory operation issued by an application process.
+
+    Attributes:
+        op_id: globally unique identifier; every message a protocol sends on
+            behalf of this operation carries it, which is how the simulator
+            attributes trace communication costs.
+        node: issuing node index (``1 .. N+1``).
+        kind: ``"read"`` or ``"write"``.
+        obj: shared-object index (``1 .. M``).
+        issue_time: simulation time the application issued the request.
+        params: write parameters (the simulator uses the ``op_id`` itself as
+            the written value).
+    """
+
+    op_id: int
+    node: int
+    kind: str
+    obj: int
+    issue_time: float = 0.0
+    params: Any = None
+
+    #: simulation time the operation completed (set by the node).
+    complete_time: Optional[float] = None
+    #: value returned to the application (reads only).
+    result: Any = None
+    #: optional completion callback (drives closed-loop applications,
+    #: e.g. lock-protected critical sections in the examples).
+    callback: Optional[Any] = None
+
+
+class ProcessContext(abc.ABC):
+    """Facilities a protocol process uses to act on the world.
+
+    The simulator implements this against real channels and queues; the
+    protocol unit tests implement it against an in-memory recording fabric.
+    All sends are attributed to an operation for cost accounting.
+    """
+
+    #: this node's index
+    node_id: int
+    #: the sequencer node's index (``N + 1``)
+    sequencer_id: int
+    #: all node indices, ``1 .. N+1``
+    all_nodes: Tuple[int, ...]
+    #: the shared-object index this process controls
+    obj: int
+
+    @property
+    def client_nodes(self) -> Tuple[int, ...]:
+        """All client indices (every node except the sequencer)."""
+        return tuple(n for n in self.all_nodes if n != self.sequencer_id)
+
+    @abc.abstractmethod
+    def send(
+        self,
+        dst: int,
+        msg_type: MsgType,
+        presence: ParamPresence,
+        op_id: Optional[int],
+        payload: Any = None,
+        initiator: Optional[int] = None,
+    ) -> None:
+        """Send one message to ``dst``.
+
+        Its communication cost is charged to the operation ``op_id`` — every
+        message of a trace carries the id of the operation that initiated
+        the trace, including messages relayed by the sequencer (grants,
+        invalidations, recalls), so per-operation trace costs are exact.
+        """
+
+    def broadcast_except(
+        self,
+        excluded: Iterable[int],
+        msg_type: MsgType,
+        presence: ParamPresence,
+        op_id: Optional[int],
+        payload: Any = None,
+        initiator: Optional[int] = None,
+    ) -> int:
+        """Send to every node except ``excluded``; returns the fan-out width."""
+        excluded_set = set(excluded) | {self.node_id}
+        targets = [n for n in self.all_nodes if n not in excluded_set]
+        for dst in targets:
+            self.send(dst, msg_type, presence, op_id, payload, initiator)
+        return len(targets)
+
+    @abc.abstractmethod
+    def complete(self, op: Operation, value: Any = None) -> None:
+        """Report ``op`` finished to the application process."""
+
+    @abc.abstractmethod
+    def disable_local_queue(self) -> None:
+        """Suspend the local queue while awaiting a response (Section 2)."""
+
+    @abc.abstractmethod
+    def enable_local_queue(self) -> None:
+        """Resume the local queue."""
+
+
+class ProtocolProcess(abc.ABC):
+    """A per-node, per-object protocol process.
+
+    Concrete subclasses keep the copy state in :attr:`state` (using the
+    paper's state names) and the simulated user information in
+    :attr:`value` (the ``op_id`` of the last write applied to this copy).
+    """
+
+    def __init__(self, ctx: ProcessContext, initial_state: str, initial_value: Any = 0):
+        self.ctx = ctx
+        #: current copy state (paper state name, e.g. ``"VALID"``)
+        self.state = initial_state
+        #: simulated user-information content of this copy
+        self.value = initial_value
+
+    @abc.abstractmethod
+    def on_request(self, op: Operation) -> None:
+        """Handle a read/write request from the local application process."""
+
+    @abc.abstractmethod
+    def on_message(self, msg: Message) -> None:
+        """Handle a message arriving on the distributed queue."""
+
+
+class HoldingMixin:
+    """Buffering for serialization points that must wait for a response.
+
+    A sequencer/owner that has issued a recall (or granted a two-phase
+    write) holds every other incoming request until the response arrives.
+    Holding is pure buffering — it costs no messages — and preserves the
+    global serialization the paper's sequencer provides.  Subclasses call
+    :meth:`_hold` to buffer work and :meth:`_release_held` after the
+    response; held items are replayed through ``on_request``/``on_message``.
+    """
+
+    def _init_holding(self) -> None:
+        self._busy: bool = False
+        self._held: List[Any] = []
+
+    def _hold(self, item: Any) -> None:
+        self._held.append(item)
+
+    def _release_held(self) -> None:
+        """Replay buffered work; items that hit a new busy period re-buffer."""
+        held, self._held = self._held, []
+        for item in held:
+            if self._busy:
+                self._held.append(item)
+            elif isinstance(item, Operation):
+                self.on_request(item)  # type: ignore[attr-defined]
+            else:
+                self.on_message(item)  # type: ignore[attr-defined]
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """Metadata plus factories for one coherence protocol.
+
+    Attributes:
+        name: registry key (e.g. ``"berkeley"``).
+        display_name: paper name (e.g. ``"Berkeley"``).
+        client_states: the client copy's state set (paper appendix).
+        sequencer_states: the sequencer copy's state set.
+        invalidation_based: ``True`` for invalidate protocols, ``False`` for
+            the update protocols (Dragon, Firefly).
+        migrating_owner: whether the sequencer role migrates (Berkeley,
+            Dragon).
+        client_factory: ``(ctx) -> ProtocolProcess`` for client nodes.
+        sequencer_factory: ``(ctx) -> ProtocolProcess`` for node ``N + 1``.
+        notes: reconstruction notes (cost choreography, cf. DESIGN.md).
+    """
+
+    name: str
+    display_name: str
+    client_states: Tuple[str, ...]
+    sequencer_states: Tuple[str, ...]
+    invalidation_based: bool
+    migrating_owner: bool
+    client_factory: Any
+    sequencer_factory: Any
+    notes: str = ""
+
+    def make_process(self, ctx: ProcessContext) -> ProtocolProcess:
+        """Instantiate the right process for ``ctx.node_id``'s role."""
+        if ctx.node_id == ctx.sequencer_id:
+            return self.sequencer_factory(ctx)
+        return self.client_factory(ctx)

@@ -1,0 +1,172 @@
+"""Distributed Firefly protocol (paper appendix).
+
+"The copy at the sequencer has only one state: VALID.  The copy at the
+client has also only one state: SHARED.  The client always passes the write
+operation parameters to the sequencer.  The sequencer broadcasts the write
+operation parameters to all clients."
+
+Firefly is the fixed-sequencer update protocol: all copies are permanently
+valid and reads are free; every write funnels through node ``N + 1``:
+
+* client write: ``UPD + w`` to the sequencer (``P + 1``); the sequencer
+  applies it, broadcasts ``UPD + w`` to the other ``N - 1`` clients and
+  acknowledges the writer with an ``ACK`` token (1), which is the writer's
+  serialization point for applying its own parameters — total
+  ``N * (P + 1) + 1``, reproducing the paper's ideal-workload formula
+  ``acc = p * (N * (P + 1) + 1)``;
+* sequencer write: broadcast to all ``N`` clients — ``N * (P + 1)``.
+
+The client's local queue is disabled between the update and its ``ACK`` so
+writes from one node are applied in serialization order everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..machines.message import Message, MsgType, ParamPresence
+from .base import (
+    EJECT,
+    READ,
+    WRITE,
+    Operation,
+    ProcessContext,
+    ProtocolProcess,
+    ProtocolSpec,
+)
+
+__all__ = ["FireflyClient", "FireflySequencer", "SPEC"]
+
+SHARED = "SHARED"
+VALID = "VALID"
+#: Section 6 extension: an ejected client replica
+INVALID = "INVALID"
+
+
+class FireflyClient(ProtocolProcess):
+    """Client-side Firefly process: the single copy state SHARED."""
+
+    def __init__(self, ctx: ProcessContext):
+        super().__init__(ctx, initial_state=SHARED, initial_value=0)
+        self._pending: Optional[Operation] = None
+
+    def on_request(self, op: Operation) -> None:
+        if op.kind == EJECT:
+            self.state = INVALID
+            self.ctx.complete(op)  # silent: updates are broadcast blindly
+            return
+        if op.kind == READ:
+            if self.state == SHARED:
+                self.ctx.complete(op, self.value)
+            else:
+                # re-fetch the copy from the sequencer (S + 2).
+                self._pending = op
+                self.ctx.disable_local_queue()
+                self.ctx.send(self.ctx.sequencer_id, MsgType.R_PER,
+                              ParamPresence.NONE, op.op_id)
+            return
+        self._pending = op
+        self.ctx.disable_local_queue()
+        self.ctx.send(
+            self.ctx.sequencer_id,
+            MsgType.UPD,
+            ParamPresence.WRITE,
+            op.op_id,
+            # an ejected writer needs the whole copy back with the ACK
+            payload={"value": op.params,
+                     "needs_ui": self.state == INVALID},
+        )
+
+    def on_message(self, msg: Message) -> None:
+        mtype = msg.token.type
+        if mtype is MsgType.UPD:
+            if self.state == SHARED:
+                self.value = msg.payload["value"]
+            # ejected copies ignore partial updates.
+        elif mtype is MsgType.ACK:
+            op, self._pending = self._pending, None
+            if msg.payload and "value" in msg.payload:
+                self.value = msg.payload["value"]
+            self.value = op.params
+            self.state = SHARED
+            self.ctx.enable_local_queue()
+            self.ctx.complete(op)
+        elif mtype is MsgType.R_GNT:
+            self.value = msg.payload["value"]
+            self.state = SHARED
+            op, self._pending = self._pending, None
+            self.ctx.enable_local_queue()
+            self.ctx.complete(op, self.value)
+        else:  # pragma: no cover - specification error
+            raise ValueError(f"firefly client: unexpected {mtype}")
+
+
+class FireflySequencer(ProtocolProcess):
+    """Sequencer-side Firefly process: the single copy state VALID."""
+
+    def __init__(self, ctx: ProcessContext):
+        super().__init__(ctx, initial_state=VALID, initial_value=0)
+        self.serialized_writes = 0
+
+    def on_request(self, op: Operation) -> None:
+        if op.kind == EJECT:
+            self.ctx.complete(op)  # the sequencer's copy is pinned
+            return
+        if op.kind == READ:
+            self.ctx.complete(op, self.value)
+            return
+        self.value = op.params
+        self.serialized_writes += 1
+        self.ctx.broadcast_except(
+            [], MsgType.UPD, ParamPresence.WRITE, op.op_id,
+            payload={"value": op.params},
+        )
+        self.ctx.complete(op)
+
+    def on_message(self, msg: Message) -> None:
+        mtype = msg.token.type
+        if mtype is MsgType.R_PER:
+            # an ejected client re-fetches its copy.
+            self.ctx.send(
+                msg.src, MsgType.R_GNT, ParamPresence.USER_INFO, msg.op_id,
+                payload={"value": self.value},
+                initiator=msg.token.operation_initiator,
+            )
+            return
+        if mtype is not MsgType.UPD:  # pragma: no cover
+            raise ValueError(f"firefly sequencer: unexpected {mtype}")
+        needs_ui = bool(msg.payload.get("needs_ui"))
+        prior = self.value
+        self.value = msg.payload["value"]
+        self.serialized_writes += 1
+        self.ctx.broadcast_except(
+            [msg.src], MsgType.UPD, ParamPresence.WRITE, msg.op_id,
+            payload={"value": msg.payload["value"]},
+            initiator=msg.token.operation_initiator,
+        )
+        # the ACK carries the whole copy back when the writer had ejected
+        # (cost S + 1 instead of 1).
+        self.ctx.send(
+            msg.src, MsgType.ACK,
+            ParamPresence.USER_INFO if needs_ui else ParamPresence.NONE,
+            msg.op_id,
+            payload={"value": self.value} if needs_ui else None,
+            initiator=msg.token.operation_initiator,
+        )
+
+
+SPEC = ProtocolSpec(
+    name="firefly",
+    display_name="Firefly",
+    client_states=(SHARED,),
+    sequencer_states=(VALID,),
+    invalidation_based=False,
+    migrating_owner=False,
+    client_factory=FireflyClient,
+    sequencer_factory=FireflySequencer,
+    notes=(
+        "Reconstructed update protocol with a fixed sequencer: client "
+        "writes cost N*(P+1)+1 (parameters in, N-1 update broadcasts, ACK); "
+        "sequencer writes cost N*(P+1); reads are always local."
+    ),
+)

@@ -1,0 +1,66 @@
+"""Registry of the eight coherence protocols analyzed by the paper."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import ProtocolSpec
+from . import (
+    berkeley,
+    dragon,
+    firefly,
+    illinois,
+    synapse,
+    write_once,
+    write_through,
+    write_through_dir,
+    write_through_v,
+)
+
+__all__ = ["PROTOCOLS", "EXTENSION_PROTOCOLS", "get_protocol",
+           "protocol_names"]
+
+#: The paper's eight protocols keyed by registry name, in the paper's order.
+PROTOCOLS: Dict[str, ProtocolSpec] = {
+    spec.name: spec
+    for spec in (
+        write_through.SPEC,
+        write_through_v.SPEC,
+        write_once.SPEC,
+        synapse.SPEC,
+        illinois.SPEC,
+        berkeley.SPEC,
+        dragon.SPEC,
+        firefly.SPEC,
+    )
+}
+
+#: Protocols added by this reproduction beyond the paper's eight.
+EXTENSION_PROTOCOLS: Dict[str, ProtocolSpec] = {
+    write_through_dir.SPEC.name: write_through_dir.SPEC,
+}
+
+
+def get_protocol(name: str) -> ProtocolSpec:
+    """Look up a protocol by registry name or display name (case-insensitive).
+
+    Searches the paper's eight protocols first, then the extensions.
+
+    Raises:
+        KeyError: with the list of known protocols when the name is unknown.
+    """
+    key = name.strip().lower().replace("-", "_").replace(" ", "_")
+    for table in (PROTOCOLS, EXTENSION_PROTOCOLS):
+        if key in table:
+            return table[key]
+    for table in (PROTOCOLS, EXTENSION_PROTOCOLS):
+        for spec in table.values():
+            if spec.display_name.lower() == name.strip().lower():
+                return spec
+    known = list(PROTOCOLS) + list(EXTENSION_PROTOCOLS)
+    raise KeyError(f"unknown protocol {name!r}; known: {', '.join(known)}")
+
+
+def protocol_names() -> List[str]:
+    """Registry names in the paper's order."""
+    return list(PROTOCOLS)

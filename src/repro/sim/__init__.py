@@ -1,0 +1,25 @@
+"""Discrete-event simulator of the replicated shared-memory system
+(paper Sections 2 and 5.2): event engine, FIFO fabric, nodes with
+local/distributed queues, cost metrics, and the :class:`DSMSystem` facade."""
+
+from .channel import Network
+from .locks import LockClient, LockManager
+from .pool import ReplicaPool
+from .engine import EventScheduler
+from .metrics import Metrics, OpRecord
+from .node import ObjectPort, SimNode
+from .system import DSMSystem, SimulationResult
+
+__all__ = [
+    "Network",
+    "LockClient",
+    "LockManager",
+    "ReplicaPool",
+    "EventScheduler",
+    "Metrics",
+    "OpRecord",
+    "ObjectPort",
+    "SimNode",
+    "DSMSystem",
+    "SimulationResult",
+]

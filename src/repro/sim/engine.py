@@ -1,0 +1,89 @@
+"""Deterministic discrete-event engine for the distributed-system simulator.
+
+A classic event-list scheduler: events are ``(time, sequence, callback)``
+triples kept in a binary heap.  The monotonically increasing sequence number
+breaks time ties in schedule order, which — together with constant channel
+latency — preserves the first-in/first-out property the paper assumes for
+every communication channel and queue (Section 2).
+
+The engine is intentionally minimal and allocation-light (the simulator
+schedules millions of events in the Table 7 reproduction); profiling showed
+tuple-heap scheduling to be the fastest pure-Python representation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["EventScheduler"]
+
+
+class EventScheduler:
+    """A minimal deterministic event scheduler.
+
+    Events scheduled for the same simulation time fire in the order they
+    were scheduled.  Time never runs backwards; scheduling into the past
+    raises ``ValueError``.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        #: current simulation time
+        self.now: float = 0.0
+        #: number of events executed so far
+        self.executed: int = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at an absolute simulation time."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at {time} before current time {self.now}"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, callback))
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def step(self) -> bool:
+        """Execute the next event; returns ``False`` when the list is empty."""
+        if not self._heap:
+            return False
+        time, _seq, callback = heapq.heappop(self._heap)
+        self.now = time
+        self.executed += 1
+        callback()
+        return True
+
+    def run(
+        self,
+        max_events: Optional[int] = None,
+        until: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Run until the event list drains, ``max_events`` fire, or ``until()``.
+
+        Args:
+            max_events: hard cap on executed events (safety net against
+                protocol livelock bugs).
+            until: optional stop predicate evaluated between events.
+
+        Returns:
+            The number of events executed by this call.
+        """
+        start = self.executed
+        while self._heap:
+            if max_events is not None and self.executed - start >= max_events:
+                break
+            if until is not None and until():
+                break
+            self.step()
+        return self.executed - start

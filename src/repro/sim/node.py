@@ -1,0 +1,204 @@
+"""Simulated nodes: application interface, queues, and protocol processes.
+
+Each node hosts, per shared object, one protocol process with the paper's
+two input queues (Section 2):
+
+* a **local queue** where the application's requests wait; it is *disabled*
+  while a distributed operation awaits a response from the sequencer and
+  re-enabled by the response (the paper's disable/enable mechanism), which
+  preserves per-node operation order;
+* a **distributed queue** for messages from other protocol processes; the
+  FIFO fabric delivers them in channel order and the node consumes them
+  immediately on arrival, so the arrival interleaving at the sequencer *is*
+  the global serialization of distributed operations.
+
+Requests and responses to different shared objects are independent — each
+object has its own queues and protocol process, matching the paper's
+"protocol processes associated with the copies of that particular data
+block".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
+
+from ..machines.message import Message, MessageToken, MsgType, ParamPresence, QueueTag
+from ..protocols.base import (
+    ACQUIRE,
+    EJECT,
+    READ,
+    RELEASE,
+    WRITE,
+    Operation,
+    ProcessContext,
+    ProtocolProcess,
+    ProtocolSpec,
+)
+from .locks import LOCK_MESSAGE_TYPES, LockClient, LockManager
+from .pool import ReplicaPool
+from .channel import Network
+from .engine import EventScheduler
+from .metrics import Metrics
+
+__all__ = ["ObjectPort", "SimNode"]
+
+
+class ObjectPort(ProcessContext):
+    """The :class:`ProcessContext` a protocol process sees for one object."""
+
+    def __init__(self, node: "SimNode", obj: int):
+        self._node = node
+        self.node_id = node.node_id
+        self.sequencer_id = node.sequencer_id
+        self.all_nodes = node.all_nodes
+        self.obj = obj
+        #: the protocol process bound to this port (set by SimNode)
+        self.process: Optional[ProtocolProcess] = None
+        #: local request queue and its gate
+        self.local_queue: Deque[Operation] = deque()
+        self.local_enabled: bool = True
+
+    # -- ProcessContext ---------------------------------------------------
+
+    def send(
+        self,
+        dst: int,
+        msg_type: MsgType,
+        presence: ParamPresence,
+        op_id: Optional[int],
+        payload: Any = None,
+        initiator: Optional[int] = None,
+    ) -> None:
+        token = MessageToken(
+            type=msg_type,
+            operation_initiator=self.node_id if initiator is None else initiator,
+            object_name=self.obj,
+            queue=QueueTag.DISTRIBUTED,
+            parameter_presence=presence,
+        )
+        msg = Message(token=token, src=self.node_id, dst=dst,
+                      payload=payload, op_id=op_id)
+        self._node.network.send(msg, self._node.S, self._node.P)
+
+    def complete(self, op: Operation, value: Any = None) -> None:
+        op.complete_time = self._node.scheduler.now
+        op.result = value
+        self._node.metrics.record_complete(op.op_id, op.complete_time)
+        self._node.after_local_op(op)
+        if self._node.on_complete is not None:
+            self._node.on_complete(op)
+        if op.callback is not None:
+            op.callback(op)
+
+    def disable_local_queue(self) -> None:
+        self.local_enabled = False
+
+    def enable_local_queue(self) -> None:
+        self.local_enabled = True
+        # draining is driven by SimNode after the handler returns.
+
+    # -- queue pump --------------------------------------------------------
+
+    def enqueue_request(self, op: Operation) -> None:
+        """Application request arrives on the local queue."""
+        self.local_queue.append(op)
+        self.pump()
+
+    def pump(self) -> None:
+        """Service local requests while the queue gate is open."""
+        while self.local_enabled and self.local_queue:
+            op = self.local_queue.popleft()
+            self.process.on_request(op)
+
+    def deliver(self, msg: Message) -> None:
+        """A message arrives on the distributed queue."""
+        self.process.on_message(msg)
+        # a response may have re-enabled the local queue.
+        self.pump()
+
+
+class SimNode:
+    """One node of the ``N + 1``-node system: M ports plus plumbing."""
+
+    def __init__(
+        self,
+        node_id: int,
+        spec: ProtocolSpec,
+        num_objects: int,
+        scheduler: EventScheduler,
+        network: Network,
+        metrics: Metrics,
+        S: float,
+        P: float,
+        all_nodes: Tuple[int, ...],
+        sequencer_id: int,
+        on_complete: Optional[Callable[[Operation], None]] = None,
+        capacity: Optional[int] = None,
+        new_op: Optional[Callable[[str, int, int], Operation]] = None,
+    ):
+        self.node_id = node_id
+        self.sequencer_id = sequencer_id
+        self.all_nodes = all_nodes
+        self.scheduler = scheduler
+        self.network = network
+        self.metrics = metrics
+        self.S = S
+        self.P = P
+        self.on_complete = on_complete
+        self.new_op = new_op
+        self.ports: Dict[int, ObjectPort] = {}
+        for obj in range(1, num_objects + 1):
+            port = ObjectPort(self, obj)
+            port.process = spec.make_process(port)
+            self.ports[obj] = port
+        # synchronization subsystem (Section 6 extension)
+        self.lock_client = LockClient(self)
+        self.lock_manager = (
+            LockManager(self) if node_id == sequencer_id else None
+        )
+        # finite replica pool (Section 6 extension); the sequencer node is
+        # the objects' home and keeps every copy.
+        self.pool: Optional[ReplicaPool] = None
+        if capacity is not None and node_id != sequencer_id:
+            if new_op is None:
+                raise ValueError("a replica pool needs the new_op factory")
+            self.pool = ReplicaPool(capacity, spec.name, self._request_eject)
+        network.attach(node_id, self._on_message)
+
+    def submit(self, op: Operation) -> None:
+        """Application process issues an operation (enters the local queue)."""
+        op.issue_time = self.scheduler.now
+        self.metrics.register_op(op.op_id, op.node, op.kind, op.obj,
+                                 op.issue_time)
+        if op.kind in (ACQUIRE, RELEASE):
+            self.lock_client.on_request(op)
+            return
+        self.ports[op.obj].enqueue_request(op)
+
+    def after_local_op(self, op: Operation) -> None:
+        """Pool bookkeeping after an operation completes at this node."""
+        if self.pool is None:
+            return
+        if op.kind in (READ, WRITE):
+            self.pool.touch(op.obj)
+        self.pool.enforce(
+            {obj: port.process.state for obj, port in self.ports.items()}
+        )
+
+    def _request_eject(self, obj: int) -> None:
+        op = self.new_op(EJECT, self.node_id, obj)
+        self.submit(op)
+
+    def _on_message(self, msg: Message) -> None:
+        if msg.token.type in LOCK_MESSAGE_TYPES:
+            if msg.token.type is MsgType.LK_GNT:
+                self.lock_client.on_message(msg)
+            else:
+                self.lock_manager.on_message(msg)
+            return
+        self.ports[msg.token.object_name].deliver(msg)
+
+    def process_for(self, obj: int) -> ProtocolProcess:
+        """The protocol process controlling this node's copy of ``obj``."""
+        return self.ports[obj].process

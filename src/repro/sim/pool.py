@@ -1,0 +1,88 @@
+"""Finite replica pools: the "size of the free memory pool" (Section 6).
+
+The paper assumes every node can hold a replica of every shared object; its
+conclusion asks how a *finite* free memory pool changes the picture.  This
+module models it: each client node owns a :class:`ReplicaPool` with a
+capacity of ``C`` resident replicas across the ``M`` objects.  Whenever a
+local operation leaves more than ``C`` replicas resident, the pool evicts
+the least-recently-used unpinned replica by issuing an internal ``eject``
+operation through the normal local queue — so evictions serialize with the
+application's operations and pay the protocol's real eject costs
+(write-backs for dirty copies, directory notices, and the later re-fetch
+misses).
+
+Owner copies (Berkeley DIRTY/SHARED-DIRTY, Dragon SHARED-DIRTY) are the
+object's backing store and are pinned; the sequencer node (the home of the
+fixed-home protocols) has no pool.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set
+
+__all__ = ["PINNED_STATES", "ReplicaPool"]
+
+#: copy states that must not be evicted, per protocol
+PINNED_STATES: Dict[str, frozenset] = {
+    "berkeley": frozenset({"DIRTY", "SHARED-DIRTY"}),
+    "dragon": frozenset({"SHARED-DIRTY"}),
+}
+
+#: copy states that do not occupy a pool slot
+_NON_RESIDENT = frozenset({"INVALID"})
+
+
+class ReplicaPool:
+    """LRU replica pool for one client node.
+
+    Args:
+        capacity: maximum resident replicas (``>= 1``).
+        protocol: registry name (selects the pinned states).
+        request_eject: callback ``(obj) -> None`` that enqueues an eject
+            operation for the object on this node.
+    """
+
+    def __init__(self, capacity: int, protocol: str,
+                 request_eject: Callable[[int], None]):
+        if capacity < 1:
+            raise ValueError("pool capacity must be at least 1")
+        self.capacity = capacity
+        self.pinned_states = PINNED_STATES.get(protocol, frozenset())
+        self.request_eject = request_eject
+        #: object -> last-use timestamp (monotone counter)
+        self._last_use: Dict[int, float] = {}
+        self._clock = 0
+        #: objects with an eviction already queued
+        self._evicting: Set[int] = set()
+        #: total evictions triggered (instrumentation)
+        self.evictions = 0
+
+    def touch(self, obj: int) -> None:
+        """Record a local use of ``obj`` (LRU bookkeeping)."""
+        self._clock += 1
+        self._last_use[obj] = self._clock
+        self._evicting.discard(obj)
+
+    def enforce(self, states: Dict[int, str]) -> None:
+        """Evict LRU replicas until at most ``capacity`` are resident.
+
+        Args:
+            states: current copy state per object at this node.
+        """
+        resident = [
+            obj for obj, st in states.items() if st not in _NON_RESIDENT
+        ]
+        in_flight = sum(1 for obj in resident if obj in self._evicting)
+        excess = len(resident) - in_flight - self.capacity
+        if excess <= 0:
+            return
+        evictable = [
+            obj for obj in resident
+            if states[obj] not in self.pinned_states
+            and obj not in self._evicting
+        ]
+        evictable.sort(key=lambda o: self._last_use.get(o, 0))
+        for obj in evictable[:excess]:
+            self._evicting.add(obj)
+            self.evictions += 1
+            self.request_eject(obj)

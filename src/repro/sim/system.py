@@ -1,0 +1,325 @@
+"""The distributed shared-memory system facade (paper Section 2).
+
+:class:`DSMSystem` assembles the full substrate — ``N + 1`` nodes, the
+fault-free FIFO fabric, per-object protocol processes with local/distributed
+queues, cost accounting — and runs stochastic workloads against it the way
+the paper's Ada simulator did (Section 5.2): operations arrive as a Poisson
+stream whose event mix equals the workload's trial distribution, the first
+``warmup`` completions are discarded, and ``acc`` is measured over the
+steady-state window.
+
+The class also exposes the whole-system invariants the test suite checks:
+FIFO delivery (enforced inside :class:`~repro.sim.channel.Network`),
+quiescent coherence (every locally readable copy equals the authoritative
+serialized value) and conservation of cost attribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..protocols.base import (
+    ACQUIRE,
+    EJECT,
+    READ,
+    RELEASE,
+    WRITE,
+    Operation,
+    ProtocolSpec,
+)
+from ..protocols.registry import get_protocol
+from ..workloads.base import OpTriple, Workload
+from .channel import Network
+from .engine import EventScheduler
+from .metrics import Metrics
+from .node import SimNode
+
+__all__ = ["DSMSystem", "SimulationResult"]
+
+#: per-protocol states in which a local read hits (client or owner side)
+_HIT_STATES: Dict[str, frozenset] = {
+    "write_through": frozenset({"VALID"}),
+    "write_through_dir": frozenset({"VALID"}),
+    "write_through_v": frozenset({"VALID"}),
+    "write_once": frozenset({"VALID", "RESERVED", "DIRTY"}),
+    "synapse": frozenset({"VALID", "DIRTY"}),
+    "illinois": frozenset({"VALID", "DIRTY"}),
+    "berkeley": frozenset({"VALID", "DIRTY", "SHARED-DIRTY"}),
+    "dragon": frozenset({"SHARED-CLEAN", "SHARED-DIRTY"}),
+    "firefly": frozenset({"SHARED", "VALID"}),
+}
+
+#: owner-role states for authoritative-value lookup
+_OWNER_STATES: Dict[str, frozenset] = {
+    "berkeley": frozenset({"DIRTY", "SHARED-DIRTY"}),
+    "dragon": frozenset({"SHARED-DIRTY"}),
+}
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    protocol: str
+    total_ops: int
+    warmup: int
+    measured: int
+    #: steady-state average communication cost per operation
+    acc: float
+    #: total simulated messages
+    messages: int
+    #: final simulation time
+    end_time: float
+    metrics: Metrics
+
+
+class DSMSystem:
+    """``N`` clients plus a sequencer running one coherence protocol.
+
+    Args:
+        protocol: a :class:`ProtocolSpec` or registry name.
+        N: number of clients (nodes ``1 .. N``; the sequencer is ``N + 1``).
+        M: number of shared objects.
+        S: user-information transfer cost parameter.
+        P: write-parameter transfer cost parameter.
+        latency: channel latency (time units per hop).
+    """
+
+    def __init__(
+        self,
+        protocol,
+        N: int,
+        M: int = 1,
+        S: float = 100.0,
+        P: float = 30.0,
+        latency: float = 1.0,
+        capacity: Optional[int] = None,
+    ):
+        self.spec: ProtocolSpec = (
+            protocol if isinstance(protocol, ProtocolSpec) else get_protocol(protocol)
+        )
+        if N < 1:
+            raise ValueError("need at least one client")
+        if M < 1:
+            raise ValueError("need at least one shared object")
+        self.N = N
+        self.M = M
+        self.S = float(S)
+        self.P = float(P)
+        self.scheduler = EventScheduler()
+        self.metrics = Metrics()
+        self.network = Network(
+            self.scheduler, latency=latency, on_cost=self.metrics.record_message
+        )
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be at least 1 replica")
+        self.capacity = capacity
+        self.sequencer_id = N + 1
+        self.all_nodes: Tuple[int, ...] = tuple(range(1, N + 2))
+        self._next_op_id = 0
+        self.nodes: Dict[int, SimNode] = {
+            node_id: SimNode(
+                node_id,
+                self.spec,
+                M,
+                self.scheduler,
+                self.network,
+                self.metrics,
+                self.S,
+                self.P,
+                self.all_nodes,
+                self.sequencer_id,
+                capacity=capacity,
+                new_op=self._make_internal_op,
+            )
+            for node_id in self.all_nodes
+        }
+
+    def _make_internal_op(self, kind: str, node: int, obj: int) -> Operation:
+        """Factory for system-generated operations (pool evictions)."""
+        self._next_op_id += 1
+        return Operation(op_id=self._next_op_id, node=node, kind=kind,
+                         obj=obj)
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+
+    def submit(self, node: int, kind: str, obj: int = 1,
+               params: Optional[int] = None, callback=None) -> Operation:
+        """Submit one operation right now (manual driving, examples/tests).
+
+        ``kind`` may also be ``"eject"`` (drop the node's replica),
+        ``"acquire"`` or ``"release"`` (the per-object lock, Section 6
+        extensions).  ``callback(op)`` fires on completion, which lets
+        examples chain closed-loop sequences such as lock-protected
+        read-modify-write critical sections.
+        """
+        self._next_op_id += 1
+        op = Operation(
+            op_id=self._next_op_id,
+            node=node,
+            kind=kind,
+            obj=obj,
+            params=params if params is not None else self._next_op_id,
+            callback=callback,
+        )
+        self.nodes[node].submit(op)
+        return op
+
+    def settle(self, max_events: int = 10_000_000) -> None:
+        """Run the event list dry (all in-flight work drains)."""
+        self.scheduler.run(max_events=max_events)
+        if len(self.scheduler):  # pragma: no cover - safety net
+            raise RuntimeError("simulation did not quiesce within max_events")
+
+    def run_workload(
+        self,
+        workload: Workload,
+        num_ops: int,
+        warmup: int = 500,
+        seed: Optional[int] = None,
+        mean_gap: float = 25.0,
+        max_events: int = 50_000_000,
+    ) -> SimulationResult:
+        """Run a stochastic workload and measure steady-state ``acc``.
+
+        Operations arrive as a Poisson stream (exponential gaps with mean
+        ``mean_gap``) whose ``(node, kind, object)`` mix is the workload's
+        trial distribution; per-node order is preserved by the local
+        queues.  ``acc`` is averaged over the operations completed after
+        the first ``warmup`` (paper Section 5.2: 500 warm-up operations,
+        about 1500 measured).
+
+        Args:
+            workload: the operation source.
+            num_ops: total operations to issue (including warm-up).
+            warmup: completions to discard.
+            seed: RNG seed (arrivals and workload sampling).
+            mean_gap: mean inter-arrival gap in units of channel latency;
+                large values make concurrent races rare, matching the
+                analytic model's atomic-trial assumption.
+            max_events: event-count safety net.
+        """
+        if workload.M > self.M:
+            raise ValueError(
+                f"workload uses {workload.M} objects, system has {self.M}"
+            )
+        if warmup >= num_ops:
+            raise ValueError("warmup must be smaller than num_ops")
+        rng = np.random.default_rng(seed)
+        ops = workload.sample(rng, num_ops)
+        gaps = rng.exponential(mean_gap, size=num_ops)
+        t = 0.0
+        for (node, kind, obj), gap in zip(ops, gaps):
+            t += gap
+            self._next_op_id += 1
+            op = Operation(
+                op_id=self._next_op_id,
+                node=node,
+                kind=kind,
+                obj=obj,
+                params=self._next_op_id,
+            )
+            self.scheduler.schedule_at(
+                t, (lambda o=op: self.nodes[o.node].submit(o))
+            )
+        self.scheduler.run(max_events=max_events)
+        if self.metrics.completed_count < num_ops:  # pragma: no cover
+            raise RuntimeError(
+                f"only {self.metrics.completed_count}/{num_ops} operations "
+                "completed — protocol deadlock?"
+            )
+        acc = self.metrics.average_cost(skip=warmup)
+        return SimulationResult(
+            protocol=self.spec.name,
+            total_ops=num_ops,
+            warmup=warmup,
+            measured=num_ops - warmup,
+            acc=acc,
+            messages=self.network.messages_sent,
+            end_time=self.scheduler.now,
+            metrics=self.metrics,
+        )
+
+    # ------------------------------------------------------------------
+    # inspection / invariants
+    # ------------------------------------------------------------------
+
+    def copy_state(self, node: int, obj: int = 1) -> str:
+        """The copy state of ``obj`` at ``node``."""
+        return self.nodes[node].process_for(obj).state
+
+    def copy_value(self, node: int, obj: int = 1):
+        """The simulated user-information content of a copy."""
+        return self.nodes[node].process_for(obj).value
+
+    def authoritative_value(self, obj: int = 1):
+        """The value the protocol's serialization point holds for ``obj``.
+
+        For the fixed-home protocols this is the sequencer's copy (recalled
+        from the dirty owner if the sequencer is INVALID); for the
+        migrating-owner protocols it is the owner's copy.
+        """
+        name = self.spec.name
+        if name in _OWNER_STATES:
+            owners = [
+                n for n in self.all_nodes
+                if self.copy_state(n, obj) in _OWNER_STATES[name]
+            ]
+            if len(owners) != 1:
+                raise AssertionError(
+                    f"{name}: expected exactly one owner for object {obj}, "
+                    f"found {owners} (system not quiescent?)"
+                )
+            return self.copy_value(owners[0], obj)
+        seq = self.nodes[self.sequencer_id].process_for(obj)
+        if seq.state == "VALID":
+            return seq.value
+        owner = getattr(seq, "owner", None)
+        if owner is None:
+            raise AssertionError(
+                f"{name}: sequencer INVALID without an owner for {obj}"
+            )
+        return self.copy_value(owner, obj)
+
+    def check_coherence(self) -> None:
+        """Assert quiescent coherence for every object.
+
+        Every copy whose state serves local reads must equal the
+        authoritative value.  Call only after :meth:`settle` (or a
+        completed :meth:`run_workload`) — in-flight updates legitimately
+        make copies differ transiently.
+        """
+        hit_states = _HIT_STATES[self.spec.name]
+        for obj in range(1, self.M + 1):
+            truth = self.authoritative_value(obj)
+            for node in self.all_nodes:
+                proc = self.nodes[node].process_for(obj)
+                if proc.state in hit_states and proc.value != truth:
+                    raise AssertionError(
+                        f"{self.spec.name}: node {node} object {obj} state "
+                        f"{proc.state} holds {proc.value!r}, expected {truth!r}"
+                    )
+
+    def data_cost_rate(self, skip: int = 0) -> float:
+        """Total communication cost per *data* operation.
+
+        With a finite replica pool the system issues internal eject
+        operations; this measure charges their traffic (write-backs,
+        directory notices) and the induced re-fetch misses to the
+        application's read/write operations: total cost of every completed
+        operation after ``skip``, divided by the number of reads+writes.
+        """
+        recs = self.metrics.records(skip)
+        data_ops = sum(1 for r in recs if r.kind in (READ, WRITE))
+        if not data_ops:
+            raise ValueError("no data operations in the window")
+        return sum(r.cost for r in recs) / data_ops
+
+    def total_attributed_cost(self) -> float:
+        """Sum of per-operation costs (must equal total message cost)."""
+        return sum(r.cost for r in self.metrics.records())

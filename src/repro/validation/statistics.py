@@ -1,0 +1,77 @@
+"""Statistical helpers for the validation harness.
+
+The paper quotes a single max-discrepancy figure; a production-quality
+reproduction should also quantify the sampling noise of the simulation, so
+these helpers provide standard errors and confidence intervals for the
+measured ``acc`` (per-operation costs are i.i.d. draws in the steady state,
+so the plain CLT interval applies) and a replication driver that runs a
+cell across seeds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["MeanCI", "mean_confidence_interval", "replicate"]
+
+#: two-sided z quantiles for common confidence levels
+_Z = {0.90: 1.6448536269514722, 0.95: 1.959963984540054,
+      0.99: 2.5758293035489004}
+
+
+@dataclass
+class MeanCI:
+    """A sample mean with its confidence interval."""
+
+    mean: float
+    half_width: float
+    level: float
+    n: int
+
+    @property
+    def lo(self) -> float:
+        """Lower confidence bound."""
+        return self.mean - self.half_width
+
+    @property
+    def hi(self) -> float:
+        """Upper confidence bound."""
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.lo <= value <= self.hi
+
+
+def mean_confidence_interval(samples: Sequence[float],
+                             level: float = 0.95) -> MeanCI:
+    """CLT confidence interval for the mean of i.i.d. samples.
+
+    Args:
+        samples: the observations (e.g. per-operation costs).
+        level: one of 0.90, 0.95, 0.99.
+    """
+    if level not in _Z:
+        raise ValueError(f"supported levels: {sorted(_Z)}")
+    x = np.asarray(list(samples), dtype=float)
+    if x.size < 2:
+        raise ValueError("need at least two samples")
+    se = float(x.std(ddof=1)) / math.sqrt(x.size)
+    return MeanCI(float(x.mean()), _Z[level] * se, level, int(x.size))
+
+
+def replicate(run: Callable[[int], float], seeds: Sequence[int],
+              level: float = 0.95) -> MeanCI:
+    """Run a seeded experiment across replications and pool the results.
+
+    Args:
+        run: maps a seed to one measured ``acc``.
+        seeds: replication seeds.
+        level: confidence level for the pooled mean.
+    """
+    values = [run(int(s)) for s in seeds]
+    return mean_confidence_interval(values, level)

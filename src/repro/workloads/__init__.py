@@ -1,0 +1,42 @@
+"""Workload generators (paper Section 4.2): ideal, the three deviations,
+and trace replay over ``M`` shared objects."""
+
+from .apps import hot_cold, migratory, phased_spmd, producer_consumer
+from .base import EventTable, OpTriple, TableWorkload, Workload
+from .synthetic import (
+    SyntheticWorkload,
+    ideal_workload,
+    make_event_table,
+    multiple_activity_centers_workload,
+    read_disturbance_workload,
+    write_disturbance_workload,
+)
+from .trace_replay import (
+    TraceRecorder,
+    TraceReplayWorkload,
+    estimate_params,
+    load_trace,
+    save_trace,
+)
+
+__all__ = [
+    "hot_cold",
+    "migratory",
+    "phased_spmd",
+    "producer_consumer",
+    "EventTable",
+    "OpTriple",
+    "TableWorkload",
+    "Workload",
+    "SyntheticWorkload",
+    "ideal_workload",
+    "make_event_table",
+    "multiple_activity_centers_workload",
+    "read_disturbance_workload",
+    "write_disturbance_workload",
+    "TraceRecorder",
+    "TraceReplayWorkload",
+    "estimate_params",
+    "load_trace",
+    "save_trace",
+]

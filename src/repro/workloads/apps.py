@@ -1,0 +1,135 @@
+"""Application-pattern workload generators ("real workloads", Section 5.2).
+
+The paper's simulator "allows the simulation with real or synthetic
+workloads".  These generators produce deterministic operation traces with
+the sharing patterns of classic parallel-programming kernels, giving the
+"real workload" path concrete content:
+
+* :func:`producer_consumer` — one producer refreshes objects, consumers
+  poll them (the motivating pattern for update protocols);
+* :func:`migratory` — objects move around a ring of workers, each doing a
+  read-modify-write burst (the motivating pattern for ownership
+  migration — Berkeley's home turf);
+* :func:`phased_spmd` — bulk-synchronous phases: everyone reads shared
+  state, then a coordinator writes the next phase's state;
+* :func:`hot_cold` — a skewed mix: one hot object shared by everybody plus
+  per-node private (cold) objects, a common DSM stress profile.
+
+Each returns a :class:`~repro.workloads.trace_replay.TraceReplayWorkload`,
+so the traces replay identically across protocols (apples-to-apples
+comparisons) and feed :func:`~repro.workloads.trace_replay.estimate_params`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..protocols.base import READ, WRITE
+from .base import OpTriple
+from .trace_replay import TraceReplayWorkload
+
+__all__ = ["producer_consumer", "migratory", "phased_spmd", "hot_cold"]
+
+
+def producer_consumer(
+    N: int,
+    iterations: int = 100,
+    M: int = 1,
+    consume_prob: float = 0.7,
+    producer: int = 1,
+    seed: int = 0,
+) -> TraceReplayWorkload:
+    """One producer writes; the other clients poll.
+
+    Per iteration the producer writes each of the ``M`` objects once and
+    every other client reads each object with probability
+    ``consume_prob``.
+    """
+    if N < 2:
+        raise ValueError("need a producer and at least one consumer")
+    rng = np.random.default_rng(seed)
+    ops: List[OpTriple] = []
+    consumers = [n for n in range(1, N + 1) if n != producer]
+    for _ in range(iterations):
+        for obj in range(1, M + 1):
+            ops.append((producer, WRITE, obj))
+            for c in consumers:
+                if rng.random() < consume_prob:
+                    ops.append((c, READ, obj))
+    return TraceReplayWorkload(ops)
+
+
+def migratory(
+    N: int,
+    rounds: int = 50,
+    M: int = 1,
+    burst: int = 3,
+) -> TraceReplayWorkload:
+    """Objects migrate around the client ring.
+
+    Each client in turn performs ``burst`` read-modify-write pairs on each
+    object, then the next client takes over — sequential sharing with full
+    ownership migration.
+    """
+    if burst < 1:
+        raise ValueError("burst must be positive")
+    ops: List[OpTriple] = []
+    for r in range(rounds):
+        node = (r % N) + 1
+        for obj in range(1, M + 1):
+            for _ in range(burst):
+                ops.append((node, READ, obj))
+                ops.append((node, WRITE, obj))
+    return TraceReplayWorkload(ops)
+
+
+def phased_spmd(
+    N: int,
+    phases: int = 40,
+    M: int = 1,
+    coordinator: int = 1,
+    reads_per_phase: int = 2,
+) -> TraceReplayWorkload:
+    """Bulk-synchronous phases: read shared state, coordinator advances it.
+
+    Per phase every client reads each object ``reads_per_phase`` times
+    (its compute step consuming the phase's inputs), then the coordinator
+    writes each object once (publishing the next phase).
+    """
+    ops: List[OpTriple] = []
+    for _ in range(phases):
+        for obj in range(1, M + 1):
+            for node in range(1, N + 1):
+                for _ in range(reads_per_phase):
+                    ops.append((node, READ, obj))
+            ops.append((coordinator, WRITE, obj))
+    return TraceReplayWorkload(ops)
+
+
+def hot_cold(
+    N: int,
+    iterations: int = 60,
+    hot_write_prob: float = 0.3,
+    cold_ops_per_iter: int = 2,
+    seed: int = 0,
+) -> TraceReplayWorkload:
+    """A shared hot object plus per-node private cold objects.
+
+    Object 1 is hot: every client touches it each iteration (write with
+    probability ``hot_write_prob``).  Objects ``2 .. N+1`` are private:
+    object ``n + 1`` is only ever touched by client ``n`` (the ideal
+    workload component).
+    """
+    rng = np.random.default_rng(seed)
+    ops: List[OpTriple] = []
+    for _ in range(iterations):
+        for node in range(1, N + 1):
+            kind = WRITE if rng.random() < hot_write_prob else READ
+            ops.append((node, kind, 1))
+            private = node + 1
+            for _ in range(cold_ops_per_iter):
+                kind = WRITE if rng.random() < 0.5 else READ
+                ops.append((node, kind, private))
+    return TraceReplayWorkload(ops)

@@ -1,0 +1,169 @@
+"""Synthetic workloads for the paper's three deviations (Section 4.2).
+
+Role layout (configurable; defaults match the paper's evaluation setup):
+
+* the activity center is client 1;
+* the ``a`` disturbing clients are clients ``2 .. a + 1``;
+* the ``beta`` activity centers are clients ``1 .. beta``;
+* the sequencer (node ``N + 1``) never issues operations — in the paper's
+  deviations all actors are clients.
+
+With ``rotate_roles=True`` object ``j`` uses roles shifted by ``j`` around
+the client ring, giving every client a share of activity-center work while
+keeping each object's statistics identical — useful for multi-object
+examples, disabled for the paper reproductions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.parameters import Deviation, WorkloadParams
+from ..protocols.base import READ, WRITE
+from .base import EventTable, TableWorkload, Workload
+
+__all__ = [
+    "SyntheticWorkload",
+    "make_event_table",
+    "ideal_workload",
+    "read_disturbance_workload",
+    "write_disturbance_workload",
+    "multiple_activity_centers_workload",
+]
+
+
+def make_event_table(
+    params: WorkloadParams,
+    deviation: Deviation,
+    activity_center: int = 1,
+    disturbers: Optional[Sequence[int]] = None,
+    centers: Optional[Sequence[int]] = None,
+) -> EventTable:
+    """Build the per-object event distribution for a deviation.
+
+    Args:
+        params: workload parameters (must be feasible for ``deviation``).
+        deviation: which sample space to build.
+        activity_center: node index of the activity center (client).
+        disturbers: node indices of the ``a`` disturbing clients (defaults
+            to ``2 .. a + 1``).
+        centers: node indices of the ``beta`` activity centers (defaults to
+            ``1 .. beta``).
+    """
+    if deviation is Deviation.MULTIPLE_ACTIVITY_CENTERS:
+        centers = list(centers) if centers is not None else list(
+            range(1, params.beta + 1)
+        )
+        if len(centers) != params.beta:
+            raise ValueError(
+                f"expected beta={params.beta} centers, got {len(centers)}"
+            )
+        nodes, kinds, probs = [], [], []
+        for c in centers:
+            nodes += [c, c]
+            kinds += [READ, WRITE]
+            probs += [params.per_center_read_prob, params.per_center_write_prob]
+        return EventTable(tuple(nodes), tuple(kinds), tuple(probs))
+
+    disturbers = list(disturbers) if disturbers is not None else list(
+        range(2, params.a + 2)
+    )
+    if len(disturbers) != params.a:
+        raise ValueError(
+            f"expected a={params.a} disturbers, got {len(disturbers)}"
+        )
+    if activity_center in disturbers:
+        raise ValueError("the activity center cannot also be a disturber")
+    if deviation is Deviation.READ:
+        ar = params.read_prob_activity_center_rd
+        disturb_kind, disturb_p = READ, params.sigma
+    else:
+        ar = params.read_prob_activity_center_wd
+        disturb_kind, disturb_p = WRITE, params.xi
+    nodes = [activity_center, activity_center] + disturbers
+    kinds = [READ, WRITE] + [disturb_kind] * len(disturbers)
+    probs = [ar, params.p] + [disturb_p] * len(disturbers)
+    return EventTable(tuple(nodes), tuple(kinds), tuple(probs))
+
+
+class SyntheticWorkload(TableWorkload):
+    """The paper's five-parameter synthetic workload over ``M`` objects."""
+
+    def __init__(
+        self,
+        params: WorkloadParams,
+        deviation: Deviation,
+        M: int = 1,
+        rotate_roles: bool = False,
+    ):
+        self.params = params
+        self.deviation = deviation
+        self.rotate_roles = rotate_roles
+        if not rotate_roles:
+            table = make_event_table(params, deviation)
+            super().__init__([table] * M)
+            return
+        tables: List[EventTable] = []
+        for j in range(M):
+            def shift(node: int) -> int:
+                return (node - 1 + j) % params.N + 1
+            if deviation is Deviation.MULTIPLE_ACTIVITY_CENTERS:
+                centers = [shift(c) for c in range(1, params.beta + 1)]
+                tables.append(
+                    make_event_table(params, deviation, centers=centers)
+                )
+            else:
+                ac = shift(1)
+                dist = [shift(d) for d in range(2, params.a + 2)]
+                tables.append(
+                    make_event_table(
+                        params, deviation, activity_center=ac, disturbers=dist
+                    )
+                )
+        super().__init__(tables)
+
+    def describe(self) -> str:
+        p = self.params
+        extra = {
+            Deviation.READ: f"a={p.a}, sigma={p.sigma}",
+            Deviation.WRITE: f"a={p.a}, xi={p.xi}",
+            Deviation.MULTIPLE_ACTIVITY_CENTERS: f"beta={p.beta}",
+        }[self.deviation]
+        return (
+            f"{self.deviation.value} (N={p.N}, p={p.p}, {extra}, "
+            f"M={self.M}{', rotated' if self.rotate_roles else ''})"
+        )
+
+
+def ideal_workload(params: WorkloadParams, M: int = 1) -> SyntheticWorkload:
+    """The ideal workload: only the activity center touches each object.
+
+    Equivalent to read disturbance with ``sigma = 0``.
+    """
+    return SyntheticWorkload(
+        params.with_(sigma=0.0, xi=0.0), Deviation.READ, M=M
+    )
+
+
+def read_disturbance_workload(params: WorkloadParams, M: int = 1,
+                              rotate_roles: bool = False) -> SyntheticWorkload:
+    """Read-disturbance deviation: ``a`` clients also read the object."""
+    return SyntheticWorkload(params, Deviation.READ, M=M,
+                             rotate_roles=rotate_roles)
+
+
+def write_disturbance_workload(params: WorkloadParams, M: int = 1,
+                               rotate_roles: bool = False) -> SyntheticWorkload:
+    """Write-disturbance deviation: ``a`` clients also write the object."""
+    return SyntheticWorkload(params, Deviation.WRITE, M=M,
+                             rotate_roles=rotate_roles)
+
+
+def multiple_activity_centers_workload(params: WorkloadParams, M: int = 1,
+                                       rotate_roles: bool = False
+                                       ) -> SyntheticWorkload:
+    """Multiple-activity-centers deviation: ``beta`` symmetric centers."""
+    return SyntheticWorkload(params, Deviation.MULTIPLE_ACTIVITY_CENTERS,
+                             M=M, rotate_roles=rotate_roles)

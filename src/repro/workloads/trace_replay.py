@@ -1,0 +1,156 @@
+"""Trace-replay workloads: "real" distributed computations.
+
+The paper's Ada simulator "allows the simulation with real or synthetic
+workloads" (Section 5.2).  Real traces are replayed here from recorded
+``(node, kind, obj)`` sequences; :class:`TraceRecorder` captures such a
+sequence from any workload (or from an application built on the simulator),
+and the JSONL helpers persist traces for later replay.
+
+Replay also supports estimating the paper's five workload parameters from a
+trace (``estimate_params``), closing the loop the paper suggests: "the
+parameters ... may be obtained by estimating the relative frequencies of
+events in some real distributed computation".
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.parameters import Deviation, WorkloadParams
+from ..protocols.base import READ, WRITE
+from .base import OpTriple, Workload
+
+__all__ = [
+    "TraceReplayWorkload",
+    "TraceRecorder",
+    "save_trace",
+    "load_trace",
+    "estimate_params",
+]
+
+
+class TraceReplayWorkload(Workload):
+    """Replays a fixed operation sequence (cyclically if oversampled)."""
+
+    def __init__(self, ops: Sequence[OpTriple]):
+        if not ops:
+            raise ValueError("empty trace")
+        self.ops: List[OpTriple] = [
+            (int(n), str(k), int(o)) for n, k, o in ops
+        ]
+        for n, k, o in self.ops:
+            if k not in (READ, WRITE):
+                raise ValueError(f"bad op kind {k!r}")
+        self.M = max(o for _n, _k, o in self.ops)
+        self._cursor = 0
+
+    def sample(self, rng: np.random.Generator, n: int) -> List[OpTriple]:
+        out: List[OpTriple] = []
+        for _ in range(n):
+            out.append(self.ops[self._cursor % len(self.ops)])
+            self._cursor += 1
+        return out
+
+    def rewind(self) -> None:
+        """Restart replay from the beginning of the trace."""
+        self._cursor = 0
+
+    def describe(self) -> str:
+        return f"trace replay ({len(self.ops)} ops, M={self.M})"
+
+
+class TraceRecorder:
+    """Records the operations another workload emits (pass-through)."""
+
+    def __init__(self, inner: Workload):
+        self.inner = inner
+        self.M = inner.M
+        self.recorded: List[OpTriple] = []
+
+    def sample(self, rng: np.random.Generator, n: int) -> List[OpTriple]:
+        ops = self.inner.sample(rng, n)
+        self.recorded.extend(ops)
+        return ops
+
+    def describe(self) -> str:
+        return f"recorder({self.inner.describe()})"
+
+    def to_workload(self) -> TraceReplayWorkload:
+        """Freeze the recorded operations into a replayable workload."""
+        return TraceReplayWorkload(self.recorded)
+
+
+def save_trace(path: Union[str, Path], ops: Iterable[OpTriple]) -> None:
+    """Persist a trace as JSON lines: ``{"node": n, "kind": k, "obj": o}``."""
+    with Path(path).open("w") as fh:
+        for n, k, o in ops:
+            fh.write(json.dumps({"node": n, "kind": k, "obj": o}) + "\n")
+
+
+def load_trace(path: Union[str, Path]) -> TraceReplayWorkload:
+    """Load a JSONL trace saved by :func:`save_trace`."""
+    ops: List[OpTriple] = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            d = json.loads(line)
+            ops.append((d["node"], d["kind"], d["obj"]))
+    return TraceReplayWorkload(ops)
+
+
+def estimate_params(
+    ops: Sequence[OpTriple],
+    N: int,
+    obj: Optional[int] = None,
+    S: float = 100.0,
+    P: float = 30.0,
+) -> WorkloadParams:
+    """Estimate the paper's workload parameters from an operation trace.
+
+    The node with the largest access count for the object is taken as the
+    activity center; every other accessing client is a disturber.  ``p`` is
+    the activity center's write share of all operations, ``sigma``/``xi``
+    the mean per-disturber read/write share.  (Section 4.2: the parameters
+    "may be obtained by estimating the relative frequencies of events in
+    some real distributed computation".)
+
+    Args:
+        ops: the trace.
+        N: number of clients in the system.
+        obj: restrict to one object (default: the most accessed one).
+    """
+    if not ops:
+        raise ValueError("empty trace")
+    if obj is None:
+        counts = {}
+        for _n, _k, o in ops:
+            counts[o] = counts.get(o, 0) + 1
+        obj = max(counts, key=counts.get)
+    sub = [(n, k) for n, k, o in ops if o == obj]
+    if not sub:
+        raise ValueError(f"object {obj} never accessed")
+    total = len(sub)
+    per_node = {}
+    for n, k in sub:
+        reads, writes = per_node.get(n, (0, 0))
+        per_node[n] = (reads + (k == READ), writes + (k == WRITE))
+    ac = max(per_node, key=lambda n: sum(per_node[n]))
+    p = per_node[ac][1] / total
+    others = {n: rw for n, rw in per_node.items() if n != ac}
+    a = len(others)
+    sigma = xi = 0.0
+    if a:
+        sigma = sum(r for r, _w in others.values()) / total / a
+        xi = sum(w for _r, w in others.values()) / total / a
+    # clamp tiny sampling overshoots of the probability simplex.
+    if p + a * sigma > 1.0:
+        sigma = max(0.0, (1.0 - p) / a) if a else 0.0
+    if p + a * xi > 1.0:
+        xi = max(0.0, (1.0 - p) / a) if a else 0.0
+    return WorkloadParams(N=N, p=p, a=a, sigma=sigma, xi=xi, S=S, P=P)

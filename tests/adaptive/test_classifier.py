@@ -1,0 +1,65 @@
+"""Unit tests for the min-acc protocol classifier (Section 6)."""
+
+import pytest
+
+from repro.adaptive import ProtocolClassifier
+from repro.core.parameters import Deviation, WorkloadParams
+
+
+class TestClassification:
+    def test_picks_global_minimum(self):
+        """Read-disturbed single-writer workloads belong to Berkeley
+        (Section 5.1)."""
+        params = WorkloadParams(N=10, p=0.3, a=4, sigma=0.1, S=100, P=40)
+        decision = ProtocolClassifier().classify(params, Deviation.READ)
+        assert decision.protocol == "berkeley"
+        ranked = [name for name, _acc in decision.ranking]
+        assert ranked[0] == "berkeley"
+
+    def test_update_protocols_win_read_heavy_sharing(self):
+        """Cheap parameters + expensive copies + shared reads favour the
+        update protocols (Dragon's region in Figure 5d)."""
+        params = WorkloadParams(N=10, p=0.02, a=4, sigma=0.2, S=5000, P=1)
+        decision = ProtocolClassifier().classify(params, Deviation.READ)
+        assert decision.protocol in ("dragon", "firefly")
+
+    def test_candidate_restriction(self):
+        params = WorkloadParams(N=10, p=0.3, a=4, sigma=0.1, S=100, P=40)
+        clf = ProtocolClassifier(candidates=["write_through",
+                                             "write_through_v"])
+        decision = clf.classify(params, Deviation.READ)
+        assert decision.protocol in ("write_through", "write_through_v")
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            ProtocolClassifier(candidates=[])
+
+
+class TestHysteresis:
+    def test_incumbent_held_within_margin(self):
+        """A challenger under the margin must not displace the incumbent."""
+        params = WorkloadParams(N=10, p=0.3, a=4, sigma=0.1, S=100, P=40)
+        clf = ProtocolClassifier(switch_margin=0.99)
+        decision = clf.classify(params, Deviation.READ,
+                                incumbent="illinois")
+        assert decision.protocol == "illinois"
+        assert decision.held_by_margin
+
+    def test_incumbent_displaced_beyond_margin(self):
+        params = WorkloadParams(N=10, p=0.3, a=4, sigma=0.1, S=100, P=40)
+        clf = ProtocolClassifier(switch_margin=0.01)
+        decision = clf.classify(params, Deviation.READ,
+                                incumbent="write_through")
+        assert decision.protocol == "berkeley"
+        assert not decision.held_by_margin
+
+    def test_unknown_incumbent_ignored(self):
+        params = WorkloadParams(N=10, p=0.3, a=4, sigma=0.1, S=100, P=40)
+        clf = ProtocolClassifier(candidates=["berkeley", "dragon"],
+                                 switch_margin=0.5)
+        decision = clf.classify(params, Deviation.READ, incumbent="synapse")
+        assert decision.protocol in ("berkeley", "dragon")
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            ProtocolClassifier(switch_margin=-0.1)

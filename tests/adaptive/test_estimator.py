@@ -1,0 +1,77 @@
+"""Unit tests for the online workload-parameter estimator."""
+
+import numpy as np
+import pytest
+
+from repro.adaptive import OnlineEstimator
+from repro.core.parameters import Deviation, WorkloadParams
+from repro.workloads import (
+    multiple_activity_centers_workload,
+    read_disturbance_workload,
+    write_disturbance_workload,
+)
+
+
+def feed(estimator, workload, n, seed=0):
+    rng = np.random.default_rng(seed)
+    for node, kind, _obj in workload.sample(rng, n):
+        estimator.observe(node, kind)
+
+
+class TestEstimation:
+    def test_needs_minimum_observations(self):
+        est = OnlineEstimator(N=5, window=200)
+        assert est.estimate() is None
+        for _ in range(25):
+            est.observe(1, "write")
+        assert est.estimate() is not None
+
+    def test_recovers_read_disturbance(self):
+        params = WorkloadParams(N=5, p=0.3, a=2, sigma=0.1, S=100, P=30)
+        est = OnlineEstimator(N=5, window=4000)
+        feed(est, read_disturbance_workload(params), 4000)
+        result = est.estimate()
+        assert result.deviation is Deviation.READ
+        assert result.activity_center == 1
+        assert result.params.p == pytest.approx(0.3, abs=0.05)
+        assert result.params.sigma == pytest.approx(0.1, abs=0.03)
+
+    def test_recovers_write_disturbance(self):
+        params = WorkloadParams(N=5, p=0.4, a=2, xi=0.02, S=100, P=30)
+        est = OnlineEstimator(N=5, window=4000)
+        feed(est, write_disturbance_workload(params), 4000)
+        result = est.estimate()
+        assert result.params.p == pytest.approx(0.4, abs=0.05)
+
+    def test_diagnoses_multiple_centers(self):
+        params = WorkloadParams(N=6, p=0.5, beta=3, S=100, P=30)
+        est = OnlineEstimator(N=6, window=4000)
+        feed(est, multiple_activity_centers_workload(params), 4000)
+        result = est.estimate()
+        assert result.deviation is Deviation.MULTIPLE_ACTIVITY_CENTERS
+        assert result.params.beta >= 2
+
+    def test_sliding_window_tracks_phase_change(self):
+        est = OnlineEstimator(N=4, window=500)
+        # phase 1: node 1 writes heavily
+        for _ in range(500):
+            est.observe(1, "write")
+        # phase 2: node 2 becomes the only actor
+        for _ in range(500):
+            est.observe(2, "read")
+        result = est.estimate()
+        assert result.activity_center == 2
+        assert result.params.p == pytest.approx(0.0, abs=0.01)
+
+    def test_window_bounds_memory(self):
+        est = OnlineEstimator(N=3, window=100)
+        for _ in range(1000):
+            est.observe(1, "read")
+        assert est.observed == 100
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            OnlineEstimator(N=3, window=5)
+        est = OnlineEstimator(N=3)
+        with pytest.raises(ValueError):
+            est.observe(1, "scan")

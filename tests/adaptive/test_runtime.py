@@ -1,0 +1,76 @@
+"""Integration tests for the adaptive switching runtime (Section 6)."""
+
+import pytest
+
+from repro.adaptive import AdaptiveRuntime, ProtocolClassifier
+from repro.core.parameters import WorkloadParams
+from repro.workloads import (
+    read_disturbance_workload,
+    write_disturbance_workload,
+)
+
+
+def make_phases(N=4, S=200.0, P=30.0):
+    """A computation whose sharing pattern flips halfway through."""
+    read_heavy = WorkloadParams(N=N, p=0.1, a=3, sigma=0.25, S=S, P=P)
+    write_heavy = WorkloadParams(N=N, p=0.5, a=3, xi=0.15, S=S, P=P)
+    return [
+        (read_disturbance_workload(read_heavy), 1200),
+        (write_disturbance_workload(write_heavy), 1200),
+    ]
+
+
+class TestAdaptiveRuntime:
+    def test_reports_epochs_and_costs(self):
+        runtime = AdaptiveRuntime(N=4, M=1, S=200, P=30)
+        report = runtime.run_phases(make_phases(), epochs_per_phase=3,
+                                    seed=0)
+        assert len(report.epochs) == 6
+        assert report.total_ops == 2400
+        assert report.overall_acc > 0
+
+    def test_adapts_to_phase_change(self):
+        """The runtime must switch protocols across the phase flip and, in
+        the read-heavy phase, abandon the poor initial protocol for the
+        phase's analytic winner."""
+        runtime = AdaptiveRuntime(N=4, M=1, S=200, P=30,
+                                  initial_protocol="write_through")
+        report = runtime.run_phases(make_phases(), epochs_per_phase=4,
+                                    seed=1)
+        seq = report.protocol_sequence()
+        assert report.switches >= 1
+        assert len(set(seq)) >= 2
+        # read-heavy phase (epochs 1-3, after the first estimate): the
+        # update protocols dominate at p=0.1, sigma=0.25, S=200, P=30
+        assert seq[2] in ("dragon", "firefly", "berkeley")
+
+    def test_adaptive_not_much_worse_than_best_fixed(self):
+        """Across phases the adaptive runtime should be competitive with
+        the best fixed protocol (and beat bad fixed choices)."""
+        runtime = AdaptiveRuntime(N=4, M=1, S=200, P=30)
+        phases = make_phases()
+        adaptive = runtime.run_phases(phases, epochs_per_phase=3, seed=2)
+        fixed = {
+            name: runtime.run_fixed(name, phases, epochs_per_phase=3,
+                                    seed=2).overall_acc
+            for name in ("write_through", "berkeley", "dragon")
+        }
+        best_fixed = min(fixed.values())
+        worst_fixed = max(fixed.values())
+        assert adaptive.overall_acc < worst_fixed
+        assert adaptive.overall_acc < best_fixed * 1.5
+
+    def test_switch_cost_charged(self):
+        runtime = AdaptiveRuntime(N=4, M=1, S=200, P=30,
+                                  initial_protocol="write_through")
+        report = runtime.run_phases(make_phases(), epochs_per_phase=3,
+                                    seed=3)
+        switched = [e for e in report.epochs if e.switched]
+        assert all(e.switch_cost == runtime.switch_cost() for e in switched)
+
+    def test_fixed_baseline_never_switches(self):
+        runtime = AdaptiveRuntime(N=4, M=1, S=200, P=30)
+        report = runtime.run_fixed("berkeley", make_phases(),
+                                   epochs_per_phase=2, seed=0)
+        assert report.switches == 0
+        assert set(report.protocol_sequence()) == {"berkeley"}

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import Deviation, WorkloadParams
+
+#: the eight protocols in the paper's order
+ALL_PROTOCOLS = [
+    "write_through",
+    "write_through_v",
+    "write_once",
+    "synapse",
+    "illinois",
+    "berkeley",
+    "dragon",
+    "firefly",
+]
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_params():
+    """The paper's Table 7 system size with a mid-range workload point."""
+    return WorkloadParams(N=3, p=0.3, a=2, sigma=0.2, xi=0.15, beta=2,
+                          S=100.0, P=30.0)
+
+
+@pytest.fixture
+def figure_params():
+    """The paper's Figure 5/6 parameterization."""
+    return WorkloadParams(N=50, p=0.2, a=10, sigma=0.05, xi=0.04, beta=5,
+                          S=5000.0, P=30.0)
+
+
+@pytest.fixture(params=ALL_PROTOCOLS)
+def protocol_name(request):
+    """Parameterized over every protocol."""
+    return request.param
+
+
+@pytest.fixture(params=list(Deviation))
+def deviation(request):
+    """Parameterized over the three deviations."""
+    return request.param
+
+
+def random_feasible_params(rng, n_max=40, a_max=8, s_max=2000.0, p_cost_max=80.0):
+    """Draw a random feasible parameter bundle (helper for property tests)."""
+    N = int(rng.integers(2, n_max))
+    a = int(rng.integers(0, min(N, a_max) + 1))
+    beta = int(rng.integers(1, N + 1))
+    p = float(rng.uniform(0.0, 1.0))
+    cap = (1.0 - p) / a if a else 0.0
+    sigma = float(rng.uniform(0.0, cap)) if a else 0.0
+    xi = float(rng.uniform(0.0, cap)) if a else 0.0
+    return WorkloadParams(
+        N=N, p=p, a=a, sigma=sigma, xi=xi, beta=beta,
+        S=float(rng.uniform(0.0, s_max)), P=float(rng.uniform(0.0, p_cost_max)),
+    )

@@ -1,0 +1,60 @@
+"""Unit tests for the unified analytic dispatch."""
+
+import pytest
+
+from repro.core.acc import acc_table, analytical_acc
+from repro.core.parameters import Deviation, WorkloadParams
+
+PARAMS = WorkloadParams(N=5, p=0.3, a=2, sigma=0.1, S=100, P=30)
+
+
+class TestDispatch:
+    def test_auto_equals_closed_form_when_available(self):
+        auto = analytical_acc("write_through", PARAMS, Deviation.READ)
+        closed = analytical_acc("write_through", PARAMS, Deviation.READ,
+                                method="closed_form")
+        assert auto == closed
+
+    def test_auto_falls_back_to_markov(self):
+        # write_once has no closed form: auto must agree with markov
+        auto = analytical_acc("write_once", PARAMS, Deviation.READ)
+        markov = analytical_acc("write_once", PARAMS, Deviation.READ,
+                                method="markov")
+        assert auto == pytest.approx(markov, rel=1e-12)
+
+    def test_forced_closed_form_raises_when_missing(self):
+        with pytest.raises(KeyError):
+            analytical_acc("write_once", PARAMS, Deviation.READ,
+                           method="closed_form")
+
+    def test_methods_agree(self):
+        for proto in ("write_through", "berkeley", "dragon"):
+            cf = analytical_acc(proto, PARAMS, Deviation.READ,
+                                method="closed_form")
+            mk = analytical_acc(proto, PARAMS, Deviation.READ,
+                                method="markov")
+            assert cf == pytest.approx(mk, rel=1e-9)
+
+    def test_markov_caching_returns_same_value(self):
+        a = analytical_acc("synapse", PARAMS, Deviation.READ,
+                           method="markov")
+        b = analytical_acc("synapse", PARAMS, Deviation.READ,
+                           method="markov")
+        assert a == b
+
+    def test_unknown_protocol(self):
+        with pytest.raises(KeyError):
+            analytical_acc("mesi", PARAMS, Deviation.READ)
+
+
+class TestAccTable:
+    def test_table_covers_requested_protocols(self):
+        table = acc_table(["berkeley", "dragon"], PARAMS, Deviation.READ)
+        assert set(table) == {"berkeley", "dragon"}
+        assert all(v >= 0 for v in table.values())
+
+    def test_table_values_match_single_calls(self):
+        table = acc_table(["write_through"], PARAMS, Deviation.WRITE)
+        assert table["write_through"] == analytical_acc(
+            "write_through", PARAMS, Deviation.WRITE
+        )

@@ -1,0 +1,122 @@
+"""Tests for multi-object aggregation against the simulator."""
+
+import pytest
+
+from repro.core.aggregate import ObjectSpec, aggregate_acc, rotated_roles_acc
+from repro.core.parameters import Deviation, WorkloadParams
+from repro.sim import DSMSystem
+from repro.workloads import SyntheticWorkload
+from repro.workloads.base import EventTable, TableWorkload
+
+
+class TestAggregateAcc:
+    def test_weights_must_form_simplex(self):
+        w = WorkloadParams(N=4, p=0.2, a=1, sigma=0.1)
+        with pytest.raises(ValueError):
+            aggregate_acc("write_through", [ObjectSpec(0.4, w)])
+
+    def test_normalize_rescales(self):
+        w = WorkloadParams(N=4, p=0.2, a=1, sigma=0.1)
+        a1 = aggregate_acc("write_through",
+                           [ObjectSpec(2.0, w), ObjectSpec(2.0, w)],
+                           normalize=True)
+        a2 = aggregate_acc("write_through",
+                           [ObjectSpec(0.5, w), ObjectSpec(0.5, w)])
+        assert a1 == pytest.approx(a2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_acc("write_through", [])
+
+    def test_negative_weight_rejected(self):
+        w = WorkloadParams(N=4, p=0.2)
+        with pytest.raises(ValueError):
+            ObjectSpec(-0.1, w)
+
+    def test_identical_objects_equal_single_object(self):
+        w = WorkloadParams(N=4, p=0.3, a=2, sigma=0.1, S=100, P=30)
+        from repro.core.acc import analytical_acc
+        single = analytical_acc("berkeley", w, Deviation.READ)
+        multi = aggregate_acc(
+            "berkeley", [ObjectSpec(0.25, w)] * 4
+        )
+        assert multi == pytest.approx(single)
+
+    def test_mixed_deviations(self):
+        hot = WorkloadParams(N=4, p=0.2, a=3, sigma=0.1, S=100, P=30)
+        churn = WorkloadParams(N=4, p=0.3, a=3, xi=0.1, S=100, P=30)
+        acc = aggregate_acc("write_through", [
+            ObjectSpec(0.7, hot, Deviation.READ),
+            ObjectSpec(0.3, churn, Deviation.WRITE),
+        ])
+        from repro.core.acc import analytical_acc
+        expected = (0.7 * analytical_acc("write_through", hot,
+                                         Deviation.READ)
+                    + 0.3 * analytical_acc("write_through", churn,
+                                           Deviation.WRITE))
+        assert acc == pytest.approx(expected)
+
+    def test_rotated_roles_equals_single_object(self):
+        w = WorkloadParams(N=5, p=0.25, a=2, sigma=0.1, S=100, P=30)
+        assert rotated_roles_acc("synapse", w, M=5) == pytest.approx(
+            __import__("repro.core.acc", fromlist=["analytical_acc"])
+            .analytical_acc("synapse", w, Deviation.READ)
+        )
+
+
+class TestAggregateVsSimulation:
+    def test_hot_cold_mixture_matches_simulation(self):
+        """A 2-object system: one shared hot object + one ideal private
+        object; the weighted analytic mixture predicts the simulated acc."""
+        N, S, P = 4, 100.0, 30.0
+        hot = WorkloadParams(N=N, p=0.3, a=3, sigma=0.15, S=S, P=P)
+        cold = WorkloadParams(N=N, p=0.5, a=0, S=S, P=P)
+        hot_w, cold_w = 0.6, 0.4
+
+        predicted = aggregate_acc("write_through", [
+            ObjectSpec(hot_w, hot), ObjectSpec(cold_w, cold),
+        ])
+
+        # build the exact two-object workload: object selection weights
+        # fold into the per-event probabilities of a single table pair.
+        hot_table = EventTable(
+            (1, 1, 2, 3, 4),
+            ("read", "write", "read", "read", "read"),
+            (hot.read_prob_activity_center_rd, hot.p,
+             hot.sigma, hot.sigma, hot.sigma),
+        )
+        cold_table = EventTable(
+            (2, 2), ("read", "write"), (1 - cold.p, cold.p),
+        )
+
+        class TwoObject(TableWorkload):
+            def __init__(self):
+                super().__init__([hot_table, cold_table])
+
+            def sample(self, rng, n):
+                out = []
+                for _ in range(n):
+                    if rng.random() < hot_w:
+                        t, obj = hot_table, 1
+                    else:
+                        t, obj = cold_table, 2
+                    i = int(t.sample(rng, 1)[0])
+                    out.append((t.nodes[i], t.kinds[i], obj))
+                return out
+
+        system = DSMSystem("write_through", N=N, M=2, S=S, P=P)
+        result = system.run_workload(TwoObject(), num_ops=8000, warmup=1500,
+                                     seed=3, mean_gap=25.0)
+        system.check_coherence()
+        assert result.acc == pytest.approx(predicted, rel=0.08)
+
+    def test_rotated_simulation_matches_analysis(self):
+        params = WorkloadParams(N=4, p=0.3, a=2, sigma=0.1, S=100, P=30)
+        predicted = rotated_roles_acc("berkeley", params, M=4)
+        wl = SyntheticWorkload(params, Deviation.READ, M=4,
+                               rotate_roles=True)
+        system = DSMSystem("berkeley", N=4, M=4, S=100, P=30)
+        result = system.run_workload(wl, num_ops=8000, warmup=1500, seed=4,
+                                     mean_gap=25.0)
+        system.check_coherence()
+        assert result.acc == pytest.approx(predicted, rel=0.08)

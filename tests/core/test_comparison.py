@@ -1,0 +1,65 @@
+"""Unit tests for protocol ranking and minimum-acc region maps."""
+
+import numpy as np
+import pytest
+
+from repro.core.comparison import (
+    ALL_PROTOCOLS,
+    best_protocol,
+    min_acc_region_map,
+    rank_protocols,
+)
+from repro.core.parameters import Deviation, WorkloadParams
+
+PARAMS = WorkloadParams(N=10, p=0.3, a=4, sigma=0.1, S=100, P=40)
+
+
+class TestRanking:
+    def test_sorted_ascending(self):
+        ranking = rank_protocols(PARAMS, Deviation.READ)
+        accs = [acc for _n, acc in ranking]
+        assert accs == sorted(accs)
+        assert len(ranking) == len(ALL_PROTOCOLS)
+
+    def test_best_protocol_is_head_of_ranking(self):
+        name, acc = best_protocol(PARAMS, Deviation.READ)
+        assert (name, acc) == rank_protocols(PARAMS, Deviation.READ)[0]
+
+    def test_restricted_candidates(self):
+        ranking = rank_protocols(PARAMS, Deviation.READ,
+                                 protocols=["dragon", "firefly"])
+        assert {n for n, _a in ranking} == {"dragon", "firefly"}
+        # Dragon's write is one token cheaper than Firefly's
+        assert ranking[0][0] == "dragon"
+
+
+class TestRegionMap:
+    def test_winner_indices_and_shares(self):
+        base = WorkloadParams(N=10, p=0.0, a=4, S=100, P=40)
+        region = min_acc_region_map(
+            base, Deviation.READ, protocols=("berkeley", "dragon"),
+            p_values=np.linspace(0, 1, 9),
+            disturb_values=np.linspace(0, 0.25, 9),
+        )
+        share = region.share()
+        assert set(share) == {"berkeley", "dragon"}
+        assert share["berkeley"] + share["dragon"] == pytest.approx(1.0)
+        # NP = 400 > S+2: Berkeley wins everywhere feasible with sigma > 0
+        assert share["berkeley"] > 0.5
+
+    def test_infeasible_cells_marked(self):
+        base = WorkloadParams(N=10, p=0.0, a=4, S=100, P=40)
+        region = min_acc_region_map(
+            base, Deviation.READ, protocols=("berkeley", "dragon"),
+            p_values=[1.0], disturb_values=[0.25],
+        )
+        assert region.winner[0, 0] == -1
+        assert region.winner_at(1.0, 0.25) is None
+
+    def test_winner_at_nearest_grid_point(self):
+        base = WorkloadParams(N=10, p=0.0, a=4, S=100, P=40)
+        region = min_acc_region_map(
+            base, Deviation.READ, protocols=("berkeley", "write_through"),
+            p_values=[0.3], disturb_values=[0.05],
+        )
+        assert region.winner_at(0.31, 0.049) == "berkeley"

@@ -1,0 +1,74 @@
+"""Unit tests for the crossover-line analysis (Section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.crossover import (
+    compare_boundary,
+    empirical_boundary,
+    empirical_crossover_p,
+    paper_line_dragon_vs_berkeley,
+    paper_line_synapse_vs_wtv,
+    paper_line_wtv_vs_wt,
+)
+from repro.core.parameters import WorkloadParams
+
+
+class TestPaperLines:
+    def test_wtv_vs_wt_intercept_and_slope(self):
+        # p = S/(S+2) - a sigma S/(S+2)
+        assert paper_line_wtv_vs_wt(np.array(0.0), 10, 100.0) == \
+            pytest.approx(100.0 / 102.0)
+        assert paper_line_wtv_vs_wt(np.array(0.1), 1, 100.0) == \
+            pytest.approx((1 - 0.1) * 100.0 / 102.0)
+
+    def test_synapse_vs_wtv_through_origin(self):
+        assert paper_line_synapse_vs_wtv(np.array(0.0), 10, 100, 30, 50) \
+            == 0.0
+        v = paper_line_synapse_vs_wtv(np.array(0.01), 10, 100, 30, 50)
+        assert v == pytest.approx(0.1 * 120 / 82)
+
+    def test_dragon_vs_berkeley_sign_flips_with_NP(self):
+        small_np = paper_line_dragon_vs_berkeley(np.array(0.1), 5000, 30, 50)
+        large_np = paper_line_dragon_vs_berkeley(np.array(0.1), 100, 30, 50)
+        assert small_np > 0    # crossover exists
+        assert large_np < 0    # Berkeley dominates
+
+
+class TestEmpiricalCrossover:
+    BASE = WorkloadParams(N=10, p=0.0, a=2, S=100.0, P=30.0)
+
+    def test_finds_known_root(self):
+        # WTV-vs-WT at sigma=0.05: the root is (1 - 0.1) * 100/102
+        c = empirical_crossover_p("write_through_v", "write_through",
+                                  0.05, self.BASE)
+        assert c == pytest.approx((1 - 0.1) * 100.0 / 102.0, abs=1e-6)
+
+    def test_returns_none_when_dominated(self):
+        # Illinois <= Synapse everywhere: no sign change
+        c = empirical_crossover_p("illinois", "synapse", 0.05, self.BASE)
+        assert c is None
+
+    def test_boundary_sweep(self):
+        pts = empirical_boundary("write_through_v", "write_through",
+                                 self.BASE, [0.02, 0.05])
+        assert len(pts) == 2
+        assert all(p is not None for _s, p in pts)
+
+    def test_infeasible_sigma_gives_none(self):
+        c = empirical_crossover_p("dragon", "berkeley", 0.51, self.BASE)
+        assert c is None  # p_max = 1 - 2*0.51 < 0
+
+
+class TestCompareBoundary:
+    def test_unknown_pair_rejected(self):
+        with pytest.raises(KeyError):
+            compare_boundary("foo_vs_bar",
+                             WorkloadParams(N=5, p=0.0, a=1), [0.1])
+
+    def test_max_abs_deviation_nan_when_nothing_defined(self):
+        base = WorkloadParams(N=50, p=0.0, a=1, S=100.0, P=30.0)
+        cmp = compare_boundary("dragon_vs_berkeley", base, [0.2])
+        # Berkeley dominates at NP > S+2: no empirical crossings
+        assert all(e is None for e in cmp.empirical_p)
+        assert np.isnan(cmp.max_abs_deviation())

@@ -1,0 +1,99 @@
+"""Tests for the heterogeneous-disturbance generalization of Section 4.2."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.chains import markov_acc
+from repro.core.heterogeneous import (
+    acc_write_through_rd_hetero,
+    heterogeneous_markov_acc,
+    validate_rates,
+)
+from repro.core.parameters import Deviation, WorkloadParams
+
+S, P, N = 100.0, 30.0, 8
+
+
+class TestValidation:
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            validate_rates(0.1, [0.1, -0.2], "sigma")
+
+    def test_rejects_simplex_violation(self):
+        with pytest.raises(ValueError):
+            validate_rates(0.8, [0.15, 0.15], "sigma")
+
+    def test_rejects_too_many_disturbers(self):
+        with pytest.raises(ValueError):
+            heterogeneous_markov_acc("write_through", N=3, p=0.1, S=S, P=P,
+                                     read_rates=[0.1, 0.1, 0.1])
+
+
+class TestHomogeneousReduction:
+    """Equal rates must reproduce the paper's homogeneous model exactly."""
+
+    @pytest.mark.parametrize("protocol", [
+        "write_through", "write_through_v", "synapse", "illinois",
+        "berkeley", "write_once", "dragon", "firefly",
+    ])
+    def test_matches_homogeneous_markov(self, protocol):
+        p, sigma, a = 0.3, 0.08, 3
+        w = WorkloadParams(N=N, p=p, a=a, sigma=sigma, S=S, P=P)
+        homogeneous = markov_acc(protocol, w, Deviation.READ)
+        hetero = heterogeneous_markov_acc(
+            protocol, N=N, p=p, S=S, P=P, read_rates=[sigma] * a
+        )
+        assert hetero == pytest.approx(homogeneous, rel=1e-10)
+
+    def test_write_disturbance_reduction(self):
+        p, xi, a = 0.3, 0.1, 2
+        w = WorkloadParams(N=N, p=p, a=a, xi=xi, S=S, P=P)
+        homogeneous = markov_acc("write_through", w, Deviation.WRITE)
+        hetero = heterogeneous_markov_acc(
+            "write_through", N=N, p=p, S=S, P=P, write_rates=[xi] * a
+        )
+        assert hetero == pytest.approx(homogeneous, rel=1e-10)
+
+
+class TestClosedForm:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        p=st.floats(0.01, 0.8),
+        f1=st.floats(0.0, 1.0),
+        f2=st.floats(0.0, 1.0),
+        f3=st.floats(0.0, 1.0),
+    )
+    def test_property_wt_closed_form_equals_markov(self, p, f1, f2, f3):
+        budget = (1.0 - p) / 3.0
+        sigmas = [budget * f1, budget * f2, budget * f3]
+        c = acc_write_through_rd_hetero(p, sigmas, S, P, N)
+        m = heterogeneous_markov_acc("write_through", N=N, p=p, S=S, P=P,
+                                     read_rates=sigmas)
+        assert c == pytest.approx(m, rel=1e-8, abs=1e-8)
+
+    def test_reduces_to_eqn3(self):
+        from repro.core.closed_forms import acc_write_through_rd
+        p, sigma, a = 0.25, 0.06, 4
+        hetero = acc_write_through_rd_hetero(p, [sigma] * a, S, P, N)
+        homo = acc_write_through_rd(p, sigma, a, S, P, N)
+        assert hetero == pytest.approx(float(homo), rel=1e-12)
+
+
+class TestSkew:
+    def test_skewed_readers_cost_differs_from_homogeneous(self):
+        """Same total disturbance, different split: a hot reader misses
+        less often per read than many cold readers, so cost drops."""
+        p, total = 0.3, 0.15
+        even = heterogeneous_markov_acc(
+            "write_through", N=N, p=p, S=S, P=P,
+            read_rates=[total / 3] * 3)
+        skewed = heterogeneous_markov_acc(
+            "write_through", N=N, p=p, S=S, P=P,
+            read_rates=[total - 0.02, 0.01, 0.01])
+        assert skewed < even
+
+    def test_mixed_reader_writer_disturbers(self):
+        acc = heterogeneous_markov_acc(
+            "berkeley", N=N, p=0.2, S=S, P=P,
+            read_rates=[0.1, 0.0], write_rates=[0.0, 0.05])
+        assert acc > 0

@@ -1,0 +1,124 @@
+"""Property-based invariants of the analytic kernels (hypothesis).
+
+Random operation walks through every kernel must preserve the structural
+invariants the protocols guarantee: member conservation, single ownership,
+home/owner consistency, cost bounds, and agreement between repeated
+evaluation (purity).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.kernels import Env, KERNELS, StateView, get_kernel
+
+ALL = list(KERNELS) + ["write_through_dir"]
+ENV = Env(S=100.0, P=30.0, N=6)
+GROUP_SIZES = (1, 3)
+
+#: states that mark the (unique) client-side owner of the object
+OWNER_STATES = {
+    "write_once": {"D"},
+    "synapse": {"D"},
+    "illinois": {"D"},
+    "berkeley": {"D", "SD"},
+    "dragon": {"SD"},
+}
+
+
+def walk_strategy():
+    """A random walk: each step picks an actor group and an op kind."""
+    step = st.tuples(
+        st.integers(0, len(GROUP_SIZES) - 1),
+        st.sampled_from(["read", "write", "eject"]),
+    )
+    return st.lists(step, min_size=1, max_size=40)
+
+
+def apply_walk(kernel, walk):
+    """Execute a walk; returns visited (cost, state) pairs."""
+    state = kernel.initial_state(GROUP_SIZES)
+    visited = []
+    for g, kind in walk:
+        counts = state[0][g]
+        # act through the first populated member state (deterministic)
+        member = next(
+            s for s, c in zip(kernel.member_states, counts) if c > 0
+        )
+        cost, state = kernel.op(state, g, member, kind, ENV)
+        visited.append((cost, state))
+    return visited
+
+
+@pytest.mark.parametrize("protocol", ALL)
+@settings(max_examples=30, deadline=None)
+@given(walk=walk_strategy())
+def test_property_kernel_invariants(protocol, walk):
+    kernel = get_kernel(protocol)
+    visited = apply_walk(kernel, walk)
+    max_cost = 2 * ENV.S + ENV.N + 5  # the most expensive trace anywhere
+    dragon_bound = ENV.N * (ENV.P + 1) + ENV.S + 2
+    for cost, state in visited:
+        groups, home = state
+        # (1) members are conserved per group
+        for g, counts in enumerate(groups):
+            assert sum(counts) == GROUP_SIZES[g]
+            assert all(c >= 0 for c in counts)
+        # (2) costs are bounded by the protocol's worst trace
+        assert 0.0 <= cost <= max(max_cost, dragon_bound) + 1e-9
+        # (3) at most one client-side owner copy
+        own = OWNER_STATES.get(protocol)
+        if own:
+            view = StateView(state, kernel.member_states)
+            owners = sum(view.count(s) for s in own)
+            assert owners <= 1
+        # (4) home/owner consistency
+        if protocol in ("synapse", "illinois", "write_once"):
+            view = StateView(state, kernel.member_states)
+            dirty = view.count("D")
+            if home == "I":
+                assert dirty == 1  # sequencer invalid <=> a dirty owner
+            else:
+                assert dirty == 0
+        if protocol in ("berkeley", "dragon"):
+            view = StateView(state, kernel.member_states)
+            client_owner = sum(
+                view.count(s) for s in OWNER_STATES[protocol]
+            )
+            home_owner = (home in ("D", "SD") if protocol == "berkeley"
+                          else bool(home))
+            if home_owner:  # the initial owner still owns: no client owner
+                assert client_owner == 0
+            elif protocol == "berkeley":
+                assert client_owner == 1
+
+
+@pytest.mark.parametrize("protocol", ALL)
+@settings(max_examples=15, deadline=None)
+@given(walk=walk_strategy())
+def test_property_kernel_is_pure(protocol, walk):
+    """Replaying the same walk yields identical costs and states."""
+    kernel = get_kernel(protocol)
+    assert apply_walk(kernel, walk) == apply_walk(kernel, walk)
+
+
+@pytest.mark.parametrize("protocol", ALL)
+@settings(max_examples=15, deadline=None)
+@given(walk=walk_strategy())
+def test_property_reads_after_read_are_free(protocol, walk):
+    """Two consecutive reads by the same actor: the second is free."""
+    kernel = get_kernel(protocol)
+    state = kernel.initial_state(GROUP_SIZES)
+    for g, kind in walk:
+        counts = state[0][g]
+        member = next(
+            s for s, c in zip(kernel.member_states, counts) if c > 0
+        )
+        _cost, state = kernel.op(state, g, member, kind, ENV)
+    # after any history: read twice from group 0
+    counts = state[0][0]
+    member = next(s for s, c in zip(kernel.member_states, counts) if c > 0)
+    _c1, state = kernel.op(state, 0, member, "read", ENV)
+    counts = state[0][0]
+    member = next(s for s, c in zip(kernel.member_states, counts) if c > 0)
+    c2, _ = kernel.op(state, 0, member, "read", ENV)
+    assert c2 == 0.0

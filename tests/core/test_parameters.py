@@ -1,0 +1,132 @@
+"""Unit tests for the workload-parameter model (paper Section 4.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.parameters import (
+    Deviation,
+    WorkloadParams,
+    feasible_sigma_max,
+    feasible_xi_max,
+    parameter_grid,
+)
+
+
+class TestValidation:
+    def test_basic_construction(self):
+        w = WorkloadParams(N=3, p=0.3, a=2, sigma=0.2, S=100, P=30)
+        assert w.N == 3 and w.a == 2
+
+    def test_rejects_bad_N(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(N=0, p=0.1)
+
+    def test_rejects_a_above_N(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(N=2, p=0.1, a=3)
+
+    def test_rejects_beta_zero(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(N=3, p=0.1, beta=0)
+
+    def test_rejects_beta_above_N(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(N=3, p=0.1, beta=4)
+
+    def test_rejects_probability_out_of_range(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(N=3, p=1.2)
+        with pytest.raises(ValueError):
+            WorkloadParams(N=3, p=-0.1)
+
+    def test_rejects_infeasible_read_simplex(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(N=3, p=0.8, a=2, sigma=0.2)
+
+    def test_rejects_infeasible_write_simplex(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(N=3, p=0.8, a=2, xi=0.2)
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(N=3, p=0.1, S=-1.0)
+
+    def test_boundary_simplex_allowed(self):
+        w = WorkloadParams(N=3, p=0.5, a=2, sigma=0.25)
+        assert w.read_prob_activity_center_rd == pytest.approx(0.0)
+
+
+class TestDerivedProbabilities:
+    def test_read_prob_rd(self):
+        w = WorkloadParams(N=5, p=0.3, a=2, sigma=0.1)
+        assert w.read_prob_activity_center_rd == pytest.approx(0.5)
+
+    def test_read_prob_wd(self):
+        w = WorkloadParams(N=5, p=0.3, a=2, xi=0.2)
+        assert w.read_prob_activity_center_wd == pytest.approx(0.3)
+
+    def test_per_center_probs_sum_to_one(self):
+        w = WorkloadParams(N=6, p=0.4, beta=3)
+        total = w.beta * (w.per_center_read_prob + w.per_center_write_prob)
+        assert total == pytest.approx(1.0)
+
+    def test_event_probabilities_simplex(self):
+        w = WorkloadParams(N=5, p=0.3, a=2, sigma=0.1, xi=0.2, beta=2)
+        for dev in Deviation:
+            probs = w.event_probabilities(dev)
+            if dev is Deviation.READ:
+                total = probs["Ar"] + probs["Aw"] + w.a * probs["Or"]
+            elif dev is Deviation.WRITE:
+                total = probs["Ar"] + probs["Aw"] + w.a * probs["Ow"]
+            else:
+                total = w.beta * (probs["Ar_k"] + probs["Aw_k"])
+            assert total == pytest.approx(1.0)
+
+    def test_cost_classes(self):
+        w = WorkloadParams(N=3, p=0.1, S=100, P=30)
+        assert w.token_cost == 1.0
+        assert w.ui_message_cost == 101.0
+        assert w.params_message_cost == 31.0
+
+
+class TestHelpers:
+    def test_with_replaces_and_validates(self):
+        w = WorkloadParams(N=3, p=0.1, a=2, sigma=0.1)
+        w2 = w.with_(p=0.5)
+        assert w2.p == 0.5 and w.p == 0.1
+        with pytest.raises(ValueError):
+            w.with_(p=0.9)  # 0.9 + 2*0.1 > 1
+
+    def test_feasible_sigma_max(self):
+        assert feasible_sigma_max(0.5, 2) == pytest.approx(0.25)
+        assert feasible_sigma_max(0.5, 0) == 0.0
+        assert feasible_xi_max(1.0, 3) == 0.0
+
+    def test_parameter_grid_skips_infeasible(self):
+        base = WorkloadParams(N=3, p=0.0, a=2, S=100, P=30)
+        pts = list(parameter_grid(base, [0.0, 0.5, 1.0], [0.0, 0.3],
+                                  Deviation.READ))
+        combos = {(p, d) for p, d, _ in pts}
+        assert (1.0, 0.3) not in combos
+        assert (0.5, 0.3) not in combos  # 0.5 + 2*0.3 > 1
+        assert (0.0, 0.3) in combos
+
+    def test_parameter_grid_mac_ignores_disturb(self):
+        base = WorkloadParams(N=4, p=0.0, beta=2)
+        pts = list(parameter_grid(base, [0.1, 0.9], [0.5],
+                                  Deviation.MULTIPLE_ACTIVITY_CENTERS))
+        assert len(pts) == 2
+        assert all(d == 0.0 for _p, d, _w in pts)
+
+    @given(p=st.floats(0.0, 1.0), frac=st.floats(0.0, 1.0))
+    def test_property_feasible_sigma_is_feasible(self, p, frac):
+        a = 3
+        sigma = feasible_sigma_max(p, a) * frac
+        w = WorkloadParams(N=5, p=p, a=a, sigma=sigma)
+        assert w.p + w.a * w.sigma <= 1.0 + 1e-9
+
+    def test_deviation_short_names(self):
+        assert Deviation.READ.short_name == "RD"
+        assert Deviation.WRITE.short_name == "WD"
+        assert Deviation.MULTIPLE_ACTIVITY_CENTERS.short_name == "MAC"

@@ -1,0 +1,89 @@
+"""Tests for home-center placement (the tr5/tr6 calculus, generalized)."""
+
+import pytest
+
+from repro.core.parameters import Deviation, WorkloadParams
+from repro.core.placement import home_center_acc, placement_advantage
+from repro.sim import DSMSystem
+from repro.workloads.base import EventTable, TableWorkload
+
+PARAMS = WorkloadParams(N=5, p=0.3, a=2, sigma=0.1, xi=0.08, S=100, P=30)
+
+
+class TestHomeCenterAnalytic:
+    def test_write_through_tr5_tr6(self):
+        """With the center at home: reads free (tr5), writes cost N (tr6)
+        plus the disturbers' misses."""
+        acc = home_center_acc("write_through", PARAMS, Deviation.READ)
+        p, sig, a = PARAMS.p, PARAMS.sigma, PARAMS.a
+        expected = (p * PARAMS.N
+                    + a * sig * p / (p + sig) * (PARAMS.S + 2))
+        assert acc == pytest.approx(expected, rel=1e-10)
+
+    def test_home_placement_never_worse(self):
+        for proto in ("write_through", "write_through_v", "synapse",
+                      "illinois", "write_once", "berkeley", "dragon",
+                      "firefly", "write_through_dir"):
+            client, home, saving = placement_advantage(proto, PARAMS,
+                                                       Deviation.READ)
+            assert saving >= -1e-9, proto
+            assert home >= 0.0
+
+    def test_write_through_saving_formula(self):
+        client, home, saving = placement_advantage("write_through", PARAMS,
+                                                   Deviation.READ)
+        p, sig, a = PARAMS.p, PARAMS.sigma, PARAMS.a
+        r = 1 - p - a * sig
+        expected = p * PARAMS.P + p * r / (1 - a * sig) * (PARAMS.S + 2)
+        assert saving == pytest.approx(expected, rel=1e-9)
+
+    def test_berkeley_placement_indifferent(self):
+        """Berkeley migrates ownership to the writer anyway, so in steady
+        state the placement does not matter."""
+        client, home, saving = placement_advantage("berkeley", PARAMS,
+                                                   Deviation.READ)
+        assert saving == pytest.approx(0.0, abs=1e-9)
+
+    def test_dragon_home_saves_the_relay_nothing(self):
+        """Dragon writers broadcast directly: cost N(P+1) either way."""
+        _c, home, saving = placement_advantage("dragon", PARAMS,
+                                               Deviation.READ)
+        assert home == pytest.approx(PARAMS.p * PARAMS.N * (PARAMS.P + 1))
+        assert saving == pytest.approx(0.0, abs=1e-9)
+
+    def test_firefly_home_saves_one_token_per_write(self):
+        _c, _h, saving = placement_advantage("firefly", PARAMS,
+                                             Deviation.READ)
+        assert saving == pytest.approx(PARAMS.p)
+
+    def test_mac_rejected(self):
+        with pytest.raises(ValueError):
+            home_center_acc("write_through", PARAMS,
+                            Deviation.MULTIPLE_ACTIVITY_CENTERS)
+
+
+class TestHomeCenterSimulation:
+    def _workload(self):
+        """The read-disturbance mix with the center at node N+1."""
+        p, sig, a = PARAMS.p, PARAMS.sigma, PARAMS.a
+        r = 1 - p - a * sig
+        seq = PARAMS.N + 1
+        nodes = (seq, seq) + tuple(range(2, a + 2))
+        kinds = ("read", "write") + ("read",) * a
+        probs = (r, p) + (sig,) * a
+        return TableWorkload([EventTable(nodes, kinds, probs)])
+
+    @pytest.mark.parametrize("protocol", [
+        "write_through", "synapse", "berkeley", "firefly",
+    ])
+    def test_simulation_matches_home_analysis(self, protocol):
+        predicted = home_center_acc(protocol, PARAMS, Deviation.READ)
+        system = DSMSystem(protocol, N=PARAMS.N, M=1, S=PARAMS.S,
+                           P=PARAMS.P)
+        result = system.run_workload(self._workload(), num_ops=6000,
+                                     warmup=1000, seed=13, mean_gap=30.0)
+        system.check_coherence()
+        if predicted == 0.0:
+            assert result.acc < 0.5
+        else:
+            assert result.acc == pytest.approx(predicted, rel=0.08)

@@ -1,0 +1,78 @@
+"""Tests for the sensitivity/elasticity analysis."""
+
+import math
+
+import pytest
+
+from repro.core.parameters import Deviation, WorkloadParams
+from repro.core.sensitivity import elasticities, sensitivities, tuning_table
+
+PARAMS = WorkloadParams(N=10, p=0.3, a=4, sigma=0.05, S=500, P=30)
+
+
+class TestDerivatives:
+    def test_dragon_exact_derivatives(self):
+        """Dragon's acc = p N (P+1) has known partials."""
+        s = sensitivities("dragon", PARAMS, Deviation.READ)
+        assert s["p"].derivative == pytest.approx(
+            PARAMS.N * (PARAMS.P + 1), rel=1e-4
+        )
+        assert s["P"].derivative == pytest.approx(
+            PARAMS.p * PARAMS.N, rel=1e-4
+        )
+        assert s["S"].derivative == pytest.approx(0.0, abs=1e-6)
+        assert s["sigma"].derivative == pytest.approx(0.0, abs=1e-6)
+
+    def test_write_through_S_derivative(self):
+        """d acc / dS equals the miss mass (coefficient of S + 2)."""
+        s = sensitivities("write_through", PARAMS, Deviation.READ)
+        p, sig, a = PARAMS.p, PARAMS.sigma, PARAMS.a
+        r = 1 - p - a * sig
+        miss_mass = p * r / (1 - a * sig) + a * sig * p / (p + sig)
+        assert s["S"].derivative == pytest.approx(miss_mass, rel=1e-3)
+
+    def test_feasibility_respected_at_boundary(self):
+        """Differentiating at the simplex edge must not raise."""
+        edge = WorkloadParams(N=10, p=0.8, a=4, sigma=0.05, S=500, P=30)
+        s = sensitivities("write_through", edge, Deviation.READ)
+        assert math.isfinite(s["p"].derivative)
+
+    def test_xi_matters_only_under_write_disturbance(self):
+        w = PARAMS.with_(sigma=0.0, xi=0.05)
+        rd = sensitivities("write_through", w, Deviation.WRITE)
+        assert abs(rd["xi"].derivative) > 0
+        assert rd["sigma"].derivative == pytest.approx(0.0, abs=1e-6)
+
+
+class TestElasticities:
+    def test_dragon_unit_elasticities(self):
+        """acc = p N (P+1): elasticity of p is exactly 1; of P it is
+        P/(P+1)."""
+        e = elasticities("dragon", PARAMS, Deviation.READ)
+        assert e["p"] == pytest.approx(1.0, rel=1e-4)
+        assert e["P"] == pytest.approx(PARAMS.P / (PARAMS.P + 1), rel=1e-3)
+
+    def test_berkeley_S_elasticity_below_one(self):
+        """Only the disturber-miss term carries S: elasticity < 1."""
+        e = elasticities("berkeley", PARAMS, Deviation.READ)
+        assert 0.0 < e["S"] < 1.0
+
+
+class TestTuningTable:
+    def test_ranked_by_magnitude(self):
+        table = tuning_table("write_through", PARAMS, Deviation.READ)
+        mags = [abs(s.elasticity) for s in table
+                if not math.isnan(s.elasticity)]
+        assert mags == sorted(mags, reverse=True)
+
+    def test_dragon_top_knob_is_p(self):
+        table = tuning_table("dragon", PARAMS, Deviation.READ)
+        assert table[0].parameter == "p"
+
+    def test_large_S_protocols_sensitive_to_S(self):
+        """With S = 5000, Write-Through's cost is dominated by copy
+        transfers, so S ranks above P."""
+        big = PARAMS.with_(S=5000.0)
+        table = tuning_table("write_through", big, Deviation.READ)
+        rank = {s.parameter: i for i, s in enumerate(table)}
+        assert rank["S"] < rank["P"]

@@ -1,0 +1,79 @@
+"""Unit tests for the characteristic-surface computation (Figures 5-6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import Deviation, WorkloadParams
+from repro.core.surfaces import FIGURE_PANELS, acc_surface, figure_surfaces
+
+BASE = WorkloadParams(N=10, p=0.0, a=4, S=100.0, P=30.0)
+
+
+class TestAccSurface:
+    def test_shape_and_feasibility_mask(self):
+        surf = acc_surface("write_through", BASE, Deviation.READ,
+                           p_values=np.linspace(0, 1, 5),
+                           disturb_values=np.linspace(0, 0.25, 5))
+        assert surf.acc.shape == (5, 5)
+        # p=1, sigma=0.25 is infeasible (1 + 4*0.25 > 1)
+        assert np.isnan(surf.acc[-1, -1])
+        assert not np.isnan(surf.acc[0, 0])
+
+    def test_values_match_analytical_acc(self):
+        from repro.core.acc import analytical_acc
+        surf = acc_surface("berkeley", BASE, Deviation.READ,
+                           p_values=[0.2], disturb_values=[0.05])
+        w = BASE.with_(p=0.2, sigma=0.05)
+        assert surf.acc[0, 0] == pytest.approx(
+            analytical_acc("berkeley", w, Deviation.READ)
+        )
+
+    def test_default_disturb_grid_spans_feasible_band(self):
+        surf = acc_surface("dragon", BASE, Deviation.READ)
+        assert surf.disturb_values[0] == 0.0
+        assert surf.disturb_values[-1] == pytest.approx(1.0 / BASE.a)
+
+    def test_write_deviation_uses_xi(self):
+        surf = acc_surface("write_through", BASE, Deviation.WRITE,
+                           p_values=[0.1], disturb_values=[0.1])
+        w = BASE.with_(p=0.1, xi=0.1)
+        from repro.core.acc import analytical_acc
+        assert surf.acc[0, 0] == pytest.approx(
+            analytical_acc("write_through", w, Deviation.WRITE)
+        )
+
+    def test_mac_deviation_rejected(self):
+        with pytest.raises(ValueError):
+            acc_surface("dragon", BASE,
+                        Deviation.MULTIPLE_ACTIVITY_CENTERS)
+
+    def test_helpers(self):
+        surf = acc_surface("dragon", BASE, Deviation.READ,
+                           p_values=np.linspace(0, 0.5, 3),
+                           disturb_values=[0.0, 0.1])
+        assert surf.max_feasible() == pytest.approx(
+            0.5 * BASE.N * (BASE.P + 1)
+        )
+        assert surf.at(0.25, 0.0) == pytest.approx(
+            0.25 * BASE.N * (BASE.P + 1)
+        )
+
+
+class TestFigurePanels:
+    def test_panel_layout_matches_paper(self):
+        assert set(FIGURE_PANELS) == {"a", "b", "c", "d"}
+        protos_a, s_a = FIGURE_PANELS["a"]
+        assert set(protos_a) == {"write_once", "synapse", "illinois",
+                                 "berkeley"}
+        assert s_a == 5000.0
+        _protos_b, s_b = FIGURE_PANELS["b"]
+        assert s_b == 100.0  # the Write-Through-V panel's special S
+
+    def test_figure_surfaces_selected_panels(self):
+        panels = figure_surfaces(Deviation.READ, p_points=3,
+                                 disturb_points=3, panels=["b"])
+        assert list(panels) == ["b"]
+        (surf,) = panels["b"]
+        assert surf.protocol == "write_through_v"
+        assert surf.params.S == 100.0
+        assert surf.params.N == 50 and surf.params.a == 10

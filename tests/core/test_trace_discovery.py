@@ -1,0 +1,107 @@
+"""Tests for automatic trace-set discovery (Section 4.1's finite TR)."""
+
+import pytest
+
+from repro.core.parameters import Deviation
+from repro.core.trace_discovery import (
+    TraceClass,
+    discover_traces,
+    format_trace_table,
+)
+
+
+def cost_set(traces, kind):
+    """Symbolic cost strings for one operation kind."""
+    return {t.describe() for t in traces if t.kind == kind}
+
+
+class TestWriteThrough:
+    def test_reproduces_paper_trace_set(self):
+        """Section 4.1: six traces with costs {0, S+2, P+N} on the client
+        side (tr5/tr6 are sequencer traces, outside the client workload)."""
+        traces = discover_traces("write_through", Deviation.READ)
+        assert cost_set(traces, "read") == {"0", "S + 2"}
+        assert cost_set(traces, "write") == {"P + N"}
+
+    def test_write_disturbance_same_costs(self):
+        traces = discover_traces("write_through", Deviation.WRITE)
+        assert cost_set(traces, "write") == {"P + N"}
+
+
+class TestReconstructedProtocols:
+    def test_write_through_v(self):
+        traces = discover_traces("write_through_v", Deviation.READ)
+        assert cost_set(traces, "write") == {"P + N + 2", "S + P + N + 2"}
+        assert cost_set(traces, "read") == {"0", "S + 2"}
+
+    def test_synapse(self):
+        traces = discover_traces("synapse", Deviation.READ)
+        assert cost_set(traces, "read") == {"0", "S + 2", "2S + 6"}
+        assert cost_set(traces, "write") == {"0", "S + N + 1"}
+
+    def test_synapse_write_disturbance_adds_recall_write(self):
+        traces = discover_traces("synapse", Deviation.WRITE)
+        assert "2S + N + 5" in cost_set(traces, "write")
+
+    def test_illinois(self):
+        traces = discover_traces("illinois", Deviation.READ)
+        assert cost_set(traces, "read") == {"0", "S + 2", "2S + 4"}
+        assert cost_set(traces, "write") == {"0", "N + 1", "S + N + 1"}
+
+    def test_write_once(self):
+        traces = discover_traces("write_once", Deviation.READ)
+        assert cost_set(traces, "write") == {"0", "2", "P + N", "S + N + 1"}
+        assert cost_set(traces, "read") == {"0", "S + 2", "S + 3", "2S + 4"}
+
+    def test_berkeley(self):
+        traces = discover_traces("berkeley", Deviation.READ)
+        assert cost_set(traces, "write") == {"0", "N", "N + 1", "S + N + 1"}
+        assert cost_set(traces, "read") == {"0", "S + 2"}
+
+    def test_dragon_firefly_update_costs(self):
+        d = discover_traces("dragon", Deviation.READ)
+        assert cost_set(d, "write") == {"NP + N"}  # N (P + 1)
+        f = discover_traces("firefly", Deviation.READ)
+        assert cost_set(f, "write") == {"NP + N + 1"}
+
+    def test_directory_write_through_state_dependent(self):
+        """The copyset multicast yields one write class per copyset size."""
+        traces = discover_traces("write_through_dir", Deviation.READ, a=2)
+        writes = cost_set(traces, "write")
+        assert writes == {"P + 1", "P + 2", "P + 3"}  # 0..2 valid others
+
+
+class TestEjectTraces:
+    def test_eject_costs_discovered(self):
+        traces = discover_traces("synapse", Deviation.READ,
+                                 include_ejects=True)
+        assert cost_set(traces, "eject") == {"0", "S + 1"}
+
+    def test_eject_directory_notice(self):
+        traces = discover_traces("write_through_v", Deviation.READ,
+                                 include_ejects=True)
+        assert cost_set(traces, "eject") == {"0", "1"}
+
+
+class TestMechanics:
+    def test_finite_and_small(self):
+        for proto in ("write_through", "synapse", "berkeley", "dragon"):
+            traces = discover_traces(proto, Deviation.READ)
+            assert 1 <= len(traces) <= 12
+
+    def test_symbolic_costs_evaluate_correctly(self):
+        traces = discover_traces("synapse", Deviation.READ)
+        by_desc = {t.describe(): t for t in traces}
+        assert by_desc["2S + 6"].cost(100, 30, 5) == 206
+        assert by_desc["S + N + 1"].cost(100, 30, 5) == 106
+
+    def test_format_table(self):
+        traces = discover_traces("write_through", Deviation.READ)
+        text = format_trace_table("write_through", traces)
+        assert "trace set TR" in text and "S + 2" in text
+
+    def test_mac_deviation_supported(self):
+        traces = discover_traces("berkeley",
+                                 Deviation.MULTIPLE_ACTIVITY_CENTERS,
+                                 beta=3)
+        assert cost_set(traces, "write") >= {"0", "N"}

@@ -1,0 +1,107 @@
+"""Unit tests for the trace/cost calculus (paper Section 4.1)."""
+
+import pytest
+
+from repro.core.traces import (
+    CostExpr,
+    Trace,
+    TraceSet,
+    WRITE_THROUGH_TRACES,
+)
+
+
+class TestCostExpr:
+    def test_token_cost(self):
+        assert CostExpr(units=1).evaluate(100, 30, 5) == 1.0
+
+    def test_ui_cost(self):
+        assert CostExpr(ui=1).evaluate(100, 30, 5) == 101.0
+
+    def test_params_cost(self):
+        assert CostExpr(w=1).evaluate(100, 30, 5) == 31.0
+
+    def test_broadcast_cost(self):
+        # (N - 1) invalidations
+        e = CostExpr(n_coeff=1, n_offset=-1)
+        assert e.evaluate(100, 30, 5) == 4.0
+
+    def test_update_broadcast_cost(self):
+        # N * (P + 1), the Dragon write
+        e = CostExpr(n_w_coeff=1)
+        assert e.evaluate(100, 30, 5) == 5 * 31.0
+
+    def test_addition(self):
+        total = CostExpr(units=1) + CostExpr(ui=1)
+        assert total.evaluate(100, 30, 5) == 102.0
+
+    def test_describe_mentions_terms(self):
+        e = CostExpr(w=1, n_coeff=1, n_offset=-1)
+        text = e.describe()
+        assert "(P+1)" in text and "N" in text
+
+    def test_describe_zero(self):
+        assert CostExpr().describe() == "0"
+
+
+class TestWriteThroughTraces:
+    """The paper's six Write-Through traces and their exact costs."""
+
+    S, P, N = 100.0, 30.0, 5
+
+    def cc(self, name):
+        return WRITE_THROUGH_TRACES[name].cc(self.S, self.P, self.N)
+
+    def test_six_traces(self):
+        assert len(WRITE_THROUGH_TRACES) == 6
+        assert WRITE_THROUGH_TRACES.names == (
+            "tr1", "tr2", "tr3", "tr4", "tr5", "tr6"
+        )
+
+    def test_tr1_local(self):
+        assert self.cc("tr1") == 0.0
+
+    def test_tr2_read_miss(self):
+        assert self.cc("tr2") == self.S + 2  # paper: cc2 = S + 2
+
+    def test_tr3_tr4_writes(self):
+        assert self.cc("tr3") == self.P + self.N  # paper: cc3 = P + N
+        assert self.cc("tr4") == self.P + self.N  # paper: cc4 = cc3
+
+    def test_tr5_sequencer_read(self):
+        assert self.cc("tr5") == 0.0
+
+    def test_tr6_sequencer_write(self):
+        assert self.cc("tr6") == self.N  # paper: cc6 = N
+
+
+class TestTraceSet:
+    def test_duplicate_names_rejected(self):
+        t = Trace("x", "", CostExpr(), "client", "read")
+        with pytest.raises(ValueError):
+            TraceSet("p", [t, t])
+
+    def test_average_cost_eqn1(self):
+        # acc = sum pi_h cc_h with the paper's Write-Through costs
+        probs = {"tr1": 0.4, "tr2": 0.3, "tr3": 0.2, "tr4": 0.1}
+        acc = WRITE_THROUGH_TRACES.average_cost(probs, 100, 30, 5)
+        assert acc == pytest.approx(0.3 * 102 + 0.3 * 35)
+
+    def test_average_cost_rejects_bad_simplex(self):
+        with pytest.raises(ValueError):
+            WRITE_THROUGH_TRACES.average_cost({"tr1": 0.5}, 100, 30, 5)
+
+    def test_average_cost_rejects_unknown_trace(self):
+        with pytest.raises(KeyError):
+            WRITE_THROUGH_TRACES.average_cost({"nope": 1.0}, 100, 30, 5)
+
+    def test_average_cost_rejects_negative(self):
+        with pytest.raises(ValueError):
+            WRITE_THROUGH_TRACES.average_cost(
+                {"tr1": 1.5, "tr2": -0.5}, 100, 30, 5
+            )
+
+    def test_contains_and_iteration(self):
+        assert "tr2" in WRITE_THROUGH_TRACES
+        assert "tr9" not in WRITE_THROUGH_TRACES
+        kinds = {t.op for t in WRITE_THROUGH_TRACES}
+        assert kinds == {"read", "write"}

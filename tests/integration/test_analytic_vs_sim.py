@@ -1,0 +1,69 @@
+"""Integration: the analytic model predicts the simulator (Section 5.2).
+
+For every protocol and every deviation, the exact Markov evaluation must
+match the measured steady-state ``acc`` of the message-passing simulator
+within a small stochastic tolerance.  The paper reports discrepancies below
+±8% for 2000-operation runs; with the same budget we check a conservative
+band, and a tighter band for one large run.
+"""
+
+import pytest
+
+from repro.core.acc import analytical_acc
+from repro.core.parameters import Deviation, WorkloadParams
+from repro.sim import DSMSystem
+from repro.workloads import SyntheticWorkload
+from tests.conftest import ALL_PROTOCOLS
+
+PARAMS = WorkloadParams(N=3, p=0.3, a=2, sigma=0.2, xi=0.15, beta=2,
+                        S=100.0, P=30.0)
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+@pytest.mark.parametrize("deviation", list(Deviation),
+                         ids=[d.short_name for d in Deviation])
+def test_markov_predicts_simulation(protocol, deviation):
+    predicted = analytical_acc(protocol, PARAMS, deviation, method="markov")
+    workload = SyntheticWorkload(PARAMS, deviation, M=5)
+    system = DSMSystem(protocol, N=PARAMS.N, M=5, S=PARAMS.S, P=PARAMS.P)
+    result = system.run_workload(workload, num_ops=5000, warmup=1000,
+                                 seed=2024, mean_gap=30.0)
+    system.check_coherence()
+    assert predicted > 0
+    rel = abs(result.acc - predicted) / predicted
+    assert rel < 0.08, (
+        f"{protocol}/{deviation.short_name}: predicted {predicted:.2f}, "
+        f"simulated {result.acc:.2f} ({100 * rel:.1f}% off)"
+    )
+
+
+def test_large_run_tightens_agreement():
+    """Sampling error shrinks with the run length (the model is exact)."""
+    params = WorkloadParams(N=4, p=0.25, a=3, sigma=0.15, S=100, P=30)
+    predicted = analytical_acc("berkeley", params, Deviation.READ)
+    workload = SyntheticWorkload(params, Deviation.READ, M=1)
+    system = DSMSystem("berkeley", N=4, M=1, S=100, P=30)
+    result = system.run_workload(workload, num_ops=20_000, warmup=2000,
+                                 seed=99, mean_gap=30.0)
+    assert result.acc == pytest.approx(predicted, rel=0.04)
+
+
+def test_trace_mix_matches_markov_probabilities():
+    """Beyond the mean: the simulated Write-Through trace *frequencies*
+    match the paper's steady-state trace probabilities (Section 4.3)."""
+    from repro.core.closed_forms import write_through_trace_probabilities
+
+    params = WorkloadParams(N=3, p=0.3, a=2, sigma=0.2, S=100, P=30)
+    pi = write_through_trace_probabilities(params, Deviation.READ)
+    workload = SyntheticWorkload(params, Deviation.READ, M=1)
+    system = DSMSystem("write_through", N=3, M=1, S=100, P=30)
+    system.run_workload(workload, num_ops=12_000, warmup=2000, seed=5,
+                        mean_gap=30.0)
+    hist = system.metrics.trace_histogram(skip=2000)
+    total = sum(hist.values())
+    tr2 = (("R-PER", "0"), ("R-GNT", "ui"))
+    tr34 = (("W-PER", "w"), ("W-INV", "0"), ("W-INV", "0"))
+    assert hist[tr2] / total == pytest.approx(pi["tr2"], abs=0.03)
+    assert hist[tr34] / total == pytest.approx(pi["tr3"] + pi["tr4"],
+                                               abs=0.03)
+    assert hist[()] / total == pytest.approx(pi["tr1"], abs=0.03)

@@ -1,0 +1,88 @@
+"""Unit tests for the generic Mealy machine (paper Section 3)."""
+
+import pytest
+
+from repro.machines.mealy import (
+    MealyMachine,
+    TransitionRule,
+    UndefinedTransition,
+)
+from repro.machines.message import MessageToken, MsgType, ParamPresence, QueueTag
+from repro.machines.routines import RecordingContext, Return
+
+
+def token(mtype, initiator=1, obj=1):
+    return MessageToken(mtype, initiator, obj, QueueTag.DISTRIBUTED,
+                        ParamPresence.NONE)
+
+
+def simple_machine():
+    table = {
+        ("A", MsgType.R_REQ, True): TransitionRule("B", Return()),
+        ("B", MsgType.W_INV, None): TransitionRule("A"),
+    }
+    return MealyMachine("test", ["A", "B"], "A", table)
+
+
+class TestConstruction:
+    def test_start_state_must_exist(self):
+        with pytest.raises(ValueError):
+            MealyMachine("m", ["A"], "Z", {})
+
+    def test_table_states_validated(self):
+        with pytest.raises(ValueError):
+            MealyMachine("m", ["A"], "A", {
+                ("Z", MsgType.R_REQ, None): TransitionRule("A"),
+            })
+
+    def test_next_states_validated(self):
+        with pytest.raises(ValueError):
+            MealyMachine("m", ["A"], "A", {
+                ("A", MsgType.R_REQ, None): TransitionRule("Z"),
+            })
+
+    def test_input_alphabet(self):
+        m = simple_machine()
+        assert m.input_alphabet == {MsgType.R_REQ, MsgType.W_INV}
+
+    def test_defined_inputs(self):
+        m = simple_machine()
+        assert m.defined_inputs("A") == {(MsgType.R_REQ, True)}
+
+
+class TestExecution:
+    def test_step_transitions_and_outputs(self):
+        m = simple_machine().instantiate()
+        ctx = RecordingContext(1, 4, 1, [1, 2, 3, 4])
+        rule = m.step(token(MsgType.R_REQ, initiator=1), ctx, self_node=1)
+        assert m.state == "B"
+        assert ("return",) in ctx.log
+        assert rule.next_state == "B"
+
+    def test_wildcard_local_fallback(self):
+        m = simple_machine().instantiate()
+        ctx = RecordingContext(1, 4, 2, [1, 2, 3, 4])
+        m.state = "B"
+        m.step(token(MsgType.W_INV, initiator=2), ctx, self_node=1)
+        assert m.state == "A"
+
+    def test_error_cells_raise(self):
+        """The paper's 'error' cells: undefined (state, input) pairs."""
+        m = simple_machine().instantiate()
+        ctx = RecordingContext(1, 4, 1, [1, 2, 3, 4])
+        with pytest.raises(UndefinedTransition):
+            m.step(token(MsgType.W_PER, initiator=1), ctx, self_node=1)
+
+    def test_local_distinction(self):
+        """A remote R-REQ must not match the local-only rule."""
+        m = simple_machine().instantiate()
+        ctx = RecordingContext(1, 4, 2, [1, 2, 3, 4])
+        with pytest.raises(UndefinedTransition):
+            m.step(token(MsgType.R_REQ, initiator=2), ctx, self_node=1)
+
+    def test_reset(self):
+        m = simple_machine().instantiate()
+        ctx = RecordingContext(1, 4, 1, [1, 2, 3, 4])
+        m.step(token(MsgType.R_REQ), ctx, self_node=1)
+        m.reset()
+        assert m.state == "A"

@@ -1,0 +1,65 @@
+"""Unit tests for message tokens and cost classes (paper Sections 3, 4.1)."""
+
+import pytest
+
+from repro.machines.message import (
+    Message,
+    MessageToken,
+    MsgType,
+    ParamPresence,
+    QueueTag,
+    token_cost,
+)
+
+
+def make_token(mtype=MsgType.R_PER, presence=ParamPresence.NONE,
+               initiator=1, obj=1, queue=QueueTag.DISTRIBUTED):
+    return MessageToken(mtype, initiator, obj, queue, presence)
+
+
+class TestTokenCost:
+    """Section 4.1's four action communication costs."""
+
+    def test_bare_token(self):
+        assert token_cost(ParamPresence.NONE, 100, 30) == 1.0
+
+    def test_read_params_token(self):
+        assert token_cost(ParamPresence.READ, 100, 30) == 1.0
+
+    def test_user_information(self):
+        assert token_cost(ParamPresence.USER_INFO, 100, 30) == 101.0
+
+    def test_write_parameters(self):
+        assert token_cost(ParamPresence.WRITE, 100, 30) == 31.0
+
+
+class TestMessage:
+    def test_inter_node_cost(self):
+        msg = Message(make_token(presence=ParamPresence.USER_INFO),
+                      src=4, dst=1)
+        assert msg.cost(100, 30) == 101.0
+
+    def test_intra_node_cost_zero(self):
+        msg = Message(make_token(), src=2, dst=2)
+        assert msg.cost(100, 30) == 0.0
+
+    def test_token_is_frozen(self):
+        token = make_token()
+        with pytest.raises(AttributeError):
+            token.type = MsgType.W_PER
+
+    def test_describe_matches_paper_layout(self):
+        token = MessageToken(MsgType.R_GNT, 3, 7, QueueTag.DISTRIBUTED,
+                             ParamPresence.USER_INFO)
+        assert token.describe() == "(R-GNT, 3, 7, d, ui)"
+
+
+class TestAlphabet:
+    def test_write_through_six_types_present(self):
+        """The six Write-Through message types of Section 3."""
+        for name in ("R_REQ", "W_REQ", "R_PER", "W_PER", "R_GNT", "W_INV"):
+            assert hasattr(MsgType, name)
+
+    def test_values_unique(self):
+        values = [m.value for m in MsgType]
+        assert len(values) == len(set(values))

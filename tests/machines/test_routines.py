@@ -1,0 +1,76 @@
+"""Unit tests for the seven primitive output routines (paper Section 3)."""
+
+import pytest
+
+from repro.machines.message import MsgType, ParamPresence
+from repro.machines.routines import (
+    Change,
+    Disable,
+    Enable,
+    ExceptNodes,
+    Pop,
+    Push,
+    RecordingContext,
+    Return,
+    Seq,
+    ToNode,
+)
+
+
+@pytest.fixture
+def ctx():
+    # client 2 of a 4-node system (sequencer = 4), operation started at 2
+    return RecordingContext(self_node=2, sequencer=4, initiator=2,
+                            all_nodes=[1, 2, 3, 4])
+
+
+class TestPrimitives:
+    def test_pop(self, ctx):
+        Pop("parameters_w").execute(ctx)
+        assert ctx.log == [("pop", "parameters_w")]
+
+    def test_change(self, ctx):
+        Change().execute(ctx)
+        assert ctx.log == [("change",)]
+
+    def test_return(self, ctx):
+        Return().execute(ctx)
+        assert ctx.log == [("return",)]
+
+    def test_disable_enable(self, ctx):
+        Disable().execute(ctx)
+        Enable().execute(ctx)
+        assert ctx.log == [("disable",), ("enable",)]
+
+    def test_push_to_symbolic_sequencer(self, ctx):
+        Push(ToNode("sequencer"), MsgType.R_PER).execute(ctx)
+        assert ctx.sends() == [("send", 4, MsgType.R_PER, ParamPresence.NONE)]
+
+    def test_push_except_resolves_symbols(self, ctx):
+        """push(except(k, N+1), ...) — the paper's routine 104 fan-out."""
+        Push(ExceptNodes(("initiator", "sequencer")), MsgType.W_INV).execute(ctx)
+        targets = [e[1] for e in ctx.sends()]
+        assert targets == [1, 3]  # everyone but initiator (2) and sequencer (4)
+
+    def test_push_except_self(self, ctx):
+        Push(ExceptNodes(("self",)), MsgType.W_INV).execute(ctx)
+        targets = [e[1] for e in ctx.sends()]
+        assert targets == [1, 3, 4]
+
+    def test_seq_concatenation_order(self, ctx):
+        Seq(Pop("parameters_r"), Return(), Enable()).execute(ctx)
+        assert [e[0] for e in ctx.log] == ["pop", "return", "enable"]
+
+    def test_push_carries_presence(self, ctx):
+        Push(ToNode(1), MsgType.R_GNT, ParamPresence.USER_INFO).execute(ctx)
+        assert ctx.sends()[0][3] is ParamPresence.USER_INFO
+
+
+class TestResolution:
+    def test_resolve_integers_pass_through(self, ctx):
+        assert ctx.resolve(3) == 3
+
+    def test_resolve_symbols(self, ctx):
+        assert ctx.resolve("self") == 2
+        assert ctx.resolve("sequencer") == 4
+        assert ctx.resolve("initiator") == 2

@@ -1,0 +1,161 @@
+"""The literal Write-Through Mealy tables (paper Tables 1-3, Figures 1-4).
+
+These tests execute the formal transition tables on the scenarios of the
+paper's figures and assert the exact message sequences, and then check that
+the *operational* Write-Through implementation used by the simulator emits
+the same wire traffic (formal model == implementation).
+"""
+
+import pytest
+
+from repro.machines.mealy import UndefinedTransition
+from repro.machines.message import MessageToken, MsgType, ParamPresence, QueueTag
+from repro.machines.routines import RecordingContext
+from repro.machines.write_through_tables import (
+    INVALID,
+    VALID,
+    client_machine,
+    sequencer_machine,
+)
+
+N = 3
+SEQ = N + 1
+NODES = [1, 2, 3, 4]
+
+
+def tok(mtype, initiator, presence=ParamPresence.NONE,
+        queue=QueueTag.DISTRIBUTED):
+    return MessageToken(mtype, initiator, 1, queue, presence)
+
+
+def client(node):
+    m = client_machine().instantiate()
+    ctx = RecordingContext(node, SEQ, node, NODES)
+    return m, ctx
+
+
+def sequencer(initiator):
+    m = sequencer_machine().instantiate()
+    ctx = RecordingContext(SEQ, SEQ, initiator, NODES)
+    return m, ctx
+
+
+class TestClientTable:
+    """Table 1: the client machine, states {INVALID, VALID}, q0 = INVALID."""
+
+    def test_starting_state_invalid(self):
+        m, _ = client(1)
+        assert m.state == INVALID  # Figure 1
+
+    def test_tr1_read_hit_local_only(self):
+        m, ctx = client(1)
+        m.state = VALID
+        m.step(tok(MsgType.R_REQ, 1, ParamPresence.READ, QueueTag.LOCAL),
+               ctx, self_node=1)
+        assert m.state == VALID
+        assert ctx.sends() == []  # cc1 = 0
+        assert ("return",) in ctx.log
+
+    def test_tr2_read_miss_asks_sequencer_and_disables(self):
+        m, ctx = client(1)
+        m.step(tok(MsgType.R_REQ, 1, ParamPresence.READ, QueueTag.LOCAL),
+               ctx, self_node=1)
+        assert m.state == INVALID  # still waiting
+        assert ctx.sends() == [
+            ("send", SEQ, MsgType.R_PER, ParamPresence.NONE)
+        ]
+        assert ("disable",) in ctx.log
+
+    def test_tr2_grant_validates_and_enables(self):
+        m, ctx = client(1)
+        m.step(tok(MsgType.R_GNT, 1, ParamPresence.USER_INFO), ctx,
+               self_node=1)
+        assert m.state == VALID
+        assert ("enable",) in ctx.log and ("return",) in ctx.log
+
+    @pytest.mark.parametrize("start", [VALID, INVALID])
+    def test_tr3_tr4_write_forwards_params_and_self_invalidates(self, start):
+        m, ctx = client(1)
+        m.state = start
+        m.step(tok(MsgType.W_REQ, 1, ParamPresence.WRITE, QueueTag.LOCAL),
+               ctx, self_node=1)
+        assert m.state == INVALID  # the paper's distributed WT signature
+        assert ctx.sends() == [
+            ("send", SEQ, MsgType.W_PER, ParamPresence.WRITE)
+        ]
+
+    def test_remote_invalidation(self):
+        m, ctx = client(1)
+        m.state = VALID
+        m.step(tok(MsgType.W_INV, 2), ctx, self_node=1)
+        assert m.state == INVALID
+        assert ctx.sends() == []
+
+    def test_error_cell(self):
+        m, ctx = client(1)
+        with pytest.raises(UndefinedTransition):
+            m.step(tok(MsgType.W_PER, 2), ctx, self_node=1)
+
+
+class TestSequencerTable:
+    """Table 3: the sequencer machine, single state VALID."""
+
+    def test_starting_state_valid(self):
+        m, _ = sequencer(SEQ)
+        assert m.state == VALID
+
+    def test_routine_101_tr5_local_read(self):
+        m, ctx = sequencer(SEQ)
+        m.step(tok(MsgType.R_REQ, SEQ, ParamPresence.READ), ctx,
+               self_node=SEQ)
+        assert ctx.sends() == []  # cc5 = 0
+        assert ("return",) in ctx.log
+
+    def test_routine_102_tr6_own_write_invalidates_all_N(self):
+        m, ctx = sequencer(SEQ)
+        m.step(tok(MsgType.W_REQ, SEQ, ParamPresence.WRITE), ctx,
+               self_node=SEQ)
+        targets = [e[1] for e in ctx.sends()]
+        assert targets == [1, 2, 3]  # cc6 = N token messages
+        assert all(e[2] is MsgType.W_INV for e in ctx.sends())
+
+    def test_routine_103_read_grant_with_ui(self):
+        m, ctx = sequencer(2)
+        m.step(tok(MsgType.R_PER, 2), ctx, self_node=SEQ)
+        assert ctx.sends() == [
+            ("send", 2, MsgType.R_GNT, ParamPresence.USER_INFO)
+        ]  # 1 + (S+1) completes cc2 = S + 2
+
+    def test_routine_104_write_invalidates_N_minus_1(self):
+        m, ctx = sequencer(2)
+        m.step(tok(MsgType.W_PER, 2, ParamPresence.WRITE), ctx, self_node=SEQ)
+        targets = [e[1] for e in ctx.sends()]
+        assert targets == [1, 3]  # all clients except the writer
+        assert ("change",) in ctx.log  # the write is applied
+
+
+class TestFormalEqualsOperational:
+    """The Mealy tables and the simulator protocol emit identical traffic."""
+
+    def _operational_signature(self, scenario):
+        from repro.sim import DSMSystem
+        system = DSMSystem("write_through", N=N, M=1, S=100, P=30)
+        ops = [system.submit(node, kind) for node, kind in scenario]
+        system.settle()
+        return [
+            tuple(system.metrics.op(o.op_id).signature) for o in ops
+        ]
+
+    def test_trace_signatures_match_figures(self):
+        # client 1: read miss (tr2), write (tr3), read miss again (tr2),
+        # sequencer write (tr6)
+        sigs = self._operational_signature(
+            [(1, "read"), (1, "write"), (1, "read"), (SEQ, "write")]
+        )
+        tr2 = (("R-PER", "0"), ("R-GNT", "ui"))
+        tr3 = (("W-PER", "w"),) + (("W-INV", "0"),) * (N - 1)
+        tr6 = (("W-INV", "0"),) * N
+        assert sigs[0] == tr2
+        assert sigs[1] == tr3
+        assert sigs[2] == tr2  # the writer lost its copy: reads miss again
+        assert sigs[3] == tr6

@@ -1,0 +1,128 @@
+"""Berkeley protocol tests (appendix Figure 12 + DESIGN.md)."""
+
+import pytest
+
+from repro.sim import DSMSystem
+
+from .util import assert_equivalent, run_scripted
+
+S, P, N = 100.0, 30.0, 3
+SEQ = N + 1
+
+
+class TestOwnershipMigration:
+    def test_first_write_takes_ownership(self):
+        system, costs = run_scripted("berkeley", N, [(1, "write")])
+        assert costs == [S + N + 1]
+        assert system.copy_state(1) == "DIRTY"
+        assert system.copy_state(SEQ) == "INVALID"
+
+    def test_owner_writes_free(self):
+        """Section 5.1: 'in the steady-state, an activity center becomes
+        the sequencer' — its writes stop costing anything."""
+        _, costs = run_scripted("berkeley", N,
+                                [(1, "write"), (1, "write"), (1, "write")])
+        assert costs == [S + N + 1, 0.0, 0.0]
+
+    def test_owner_reads_free(self):
+        _, costs = run_scripted("berkeley", N, [(1, "write"), (1, "read")])
+        assert costs[1] == 0.0
+
+    def test_read_miss_downgrades_owner(self):
+        system, costs = run_scripted("berkeley", N,
+                                     [(1, "write"), (2, "read")])
+        assert costs[1] == S + 2
+        assert system.copy_state(1) == "SHARED-DIRTY"
+        assert system.copy_state(2) == "VALID"
+
+    def test_shared_dirty_write_costs_N(self):
+        _, costs = run_scripted(
+            "berkeley", N, [(1, "write"), (2, "read"), (1, "write")]
+        )
+        assert costs[2] == float(N)
+
+    def test_valid_writer_transfer_without_data(self):
+        _, costs = run_scripted(
+            "berkeley", N, [(1, "write"), (2, "read"), (2, "write")]
+        )
+        assert costs[2] == N + 1  # client 2 held a VALID copy
+
+    def test_invalid_writer_transfer_with_data(self):
+        _, costs = run_scripted("berkeley", N, [(1, "write"), (2, "write")])
+        assert costs[1] == S + N + 1
+        # ownership moved: the old owner is invalid now
+        system, _ = run_scripted("berkeley", N, [(1, "write"), (2, "write")])
+        assert system.copy_state(1) == "INVALID"
+        assert system.copy_state(2) == "DIRTY"
+
+    def test_initial_owner_is_node_n_plus_1(self):
+        system = DSMSystem("berkeley", N=N, M=1, S=S, P=P)
+        assert system.copy_state(SEQ) == "DIRTY"
+        r = system.submit(2, "read")
+        system.settle()
+        assert system.metrics.op(r.op_id).cost == S + 2
+        assert system.copy_state(SEQ) == "SHARED-DIRTY"
+
+
+class TestForwarding:
+    def test_request_to_stale_owner_is_forwarded(self):
+        """Concurrent racing requests reach a former owner and are
+        forwarded (cost 1 per hop) — the simulation-only concurrency
+        effect DESIGN.md documents."""
+        system = DSMSystem("berkeley", N=N, M=1, S=S, P=P)
+        system.submit(1, "write", params=1)
+        system.submit(2, "write", params=2)  # races to the old owner
+        system.settle()
+        system.check_coherence()
+        # both writes completed; the last serialized one wins
+        assert system.authoritative_value() in (1, 2)
+
+    def test_chained_transfers_keep_coherence(self):
+        """Concurrent writes may serialize in any order, but the system
+        must stay coherent and converge to one of them."""
+        system = DSMSystem("berkeley", N=N, M=1, S=S, P=P)
+        for node, value in [(1, 10), (2, 20), (3, 30), (1, 40)]:
+            system.submit(node, "write", params=value)
+        system.settle()
+        system.check_coherence()
+        assert system.authoritative_value() in (10, 20, 30, 40)
+
+    def test_sequential_transfers_apply_in_order(self):
+        """Settled (sequential) writes serialize in submission order."""
+        system = DSMSystem("berkeley", N=N, M=1, S=S, P=P)
+        for node, value in [(1, 10), (2, 20), (3, 30), (1, 40)]:
+            system.submit(node, "write", params=value)
+            system.settle()
+        system.check_coherence()
+        assert system.authoritative_value() == 40
+
+
+class TestCoherence:
+    def test_reader_gets_owner_value(self):
+        system = DSMSystem("berkeley", N=N, M=1, S=S, P=P)
+        system.submit(1, "write", params=99)
+        system.settle()
+        r = system.submit(3, "read")
+        system.settle()
+        assert r.result == 99
+
+    def test_exactly_one_owner_at_quiescence(self, rng):
+        for _ in range(5):
+            system = DSMSystem("berkeley", N=N, M=1, S=S, P=P)
+            for _ in range(20):
+                node = int(rng.integers(1, N + 2))
+                kind = "read" if rng.random() < 0.5 else "write"
+                system.submit(node, kind)
+            system.settle()
+            system.check_coherence()  # asserts single ownership internally
+
+
+class TestKernelEquivalence:
+    def test_random_scripts(self, rng):
+        for _ in range(8):
+            ops = [
+                (int(rng.integers(1, N + 1)),
+                 "read" if rng.random() < 0.55 else "write")
+                for _ in range(30)
+            ]
+            assert_equivalent("berkeley", N, ops)

@@ -1,0 +1,79 @@
+"""Dragon protocol tests (appendix Figure 11 + DESIGN.md)."""
+
+import pytest
+
+from repro.sim import DSMSystem
+
+from .util import assert_equivalent, run_scripted
+
+S, P, N = 100.0, 30.0, 3
+SEQ = N + 1
+
+
+class TestUpdateSemantics:
+    def test_reads_always_free(self):
+        _, costs = run_scripted("dragon", N,
+                                [(1, "read"), (2, "read"), (SEQ, "read")])
+        assert costs == [0.0, 0.0, 0.0]
+
+    def test_every_write_costs_N_times_P_plus_1(self):
+        _, costs = run_scripted(
+            "dragon", N, [(1, "write"), (1, "write"), (2, "write")]
+        )
+        assert costs == [N * (P + 1)] * 3
+
+    def test_ownership_migrates_to_writer(self):
+        system, _ = run_scripted("dragon", N, [(1, "write")])
+        assert system.copy_state(1) == "SHARED-DIRTY"
+        assert system.copy_state(SEQ) == "SHARED-CLEAN"
+
+    def test_all_copies_updated(self):
+        system = DSMSystem("dragon", N=N, M=1, S=S, P=P)
+        system.submit(2, "write", params=55)
+        system.settle()
+        for node in range(1, N + 2):
+            assert system.copy_value(node) == 55
+        system.check_coherence()
+
+    def test_reads_after_write_see_value_everywhere(self):
+        system = DSMSystem("dragon", N=N, M=1, S=S, P=P)
+        system.submit(1, "write", params=5)
+        system.settle()
+        for node in range(1, N + 2):
+            r = system.submit(node, "read")
+            system.settle()
+            assert r.result == 5
+            assert system.metrics.op(r.op_id).cost == 0.0
+
+    def test_sequencer_node_write_same_cost(self):
+        _, costs = run_scripted("dragon", N, [(SEQ, "write")])
+        assert costs == [N * (P + 1)]
+
+
+class TestConcurrency:
+    def test_racing_writers_converge(self):
+        system = DSMSystem("dragon", N=N, M=1, S=S, P=P)
+        system.submit(1, "write", params=1)
+        system.submit(2, "write", params=2)
+        system.submit(3, "write", params=3)
+        system.settle()
+        system.check_coherence()  # single owner, all copies equal
+
+    def test_forwarding_chain_terminates(self, rng):
+        for _ in range(5):
+            system = DSMSystem("dragon", N=N, M=1, S=S, P=P)
+            for _ in range(15):
+                system.submit(int(rng.integers(1, N + 2)), "write")
+            system.settle()
+            system.check_coherence()
+
+
+class TestKernelEquivalence:
+    def test_random_scripts(self, rng):
+        for _ in range(6):
+            ops = [
+                (int(rng.integers(1, N + 1)),
+                 "read" if rng.random() < 0.5 else "write")
+                for _ in range(25)
+            ]
+            assert_equivalent("dragon", N, ops)

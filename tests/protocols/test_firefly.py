@@ -1,0 +1,88 @@
+"""Firefly protocol tests (appendix + DESIGN.md)."""
+
+import pytest
+
+from repro.sim import DSMSystem
+
+from .util import assert_equivalent, run_scripted
+
+S, P, N = 100.0, 30.0, 3
+SEQ = N + 1
+
+
+class TestUpdateSemantics:
+    def test_reads_always_free(self):
+        _, costs = run_scripted("firefly", N,
+                                [(1, "read"), (SEQ, "read")])
+        assert costs == [0.0, 0.0]
+
+    def test_client_write_cost(self):
+        """The paper's ideal-workload anchor: acc_F = p (N(P+1) + 1)."""
+        _, costs = run_scripted("firefly", N, [(1, "write")])
+        assert costs == [N * (P + 1) + 1]
+
+    def test_sequencer_write_cost(self):
+        _, costs = run_scripted("firefly", N, [(SEQ, "write")])
+        assert costs == [N * (P + 1)]
+
+    def test_all_copies_updated(self):
+        system = DSMSystem("firefly", N=N, M=1, S=S, P=P)
+        system.submit(3, "write", params=123)
+        system.settle()
+        for node in range(1, N + 2):
+            assert system.copy_value(node) == 123
+        system.check_coherence()
+
+    def test_fixed_sequencer_never_migrates(self):
+        system, _ = run_scripted("firefly", N,
+                                 [(1, "write"), (2, "write"), (3, "write")])
+        assert system.copy_state(SEQ) == "VALID"
+        for c in range(1, N + 1):
+            assert system.copy_state(c) == "SHARED"
+
+
+class TestSerialization:
+    def test_writer_blocks_until_ack(self):
+        """The writer's local queue is disabled until the sequencer's ACK,
+        so its own operations apply in serialization order."""
+        system = DSMSystem("firefly", N=N, M=1, S=S, P=P)
+        system.submit(1, "write", params=1)
+        r = system.submit(1, "read")  # queued behind the blocked write
+        system.settle()
+        assert r.result == 1  # read-your-write
+
+    def test_concurrent_writers_converge(self):
+        system = DSMSystem("firefly", N=N, M=1, S=S, P=P)
+        system.submit(1, "write", params=10)
+        system.submit(2, "write", params=20)
+        system.settle()
+        system.check_coherence()
+        assert system.copy_value(SEQ) in (10, 20)
+
+
+class TestKernelEquivalence:
+    def test_random_scripts(self, rng):
+        for _ in range(6):
+            ops = [
+                (int(rng.integers(1, N + 1)),
+                 "read" if rng.random() < 0.5 else "write")
+                for _ in range(25)
+            ]
+            assert_equivalent("firefly", N, ops)
+
+
+class TestRegistryIntegration:
+    def test_all_protocols_registered(self):
+        from repro.protocols import PROTOCOLS, get_protocol
+        assert len(PROTOCOLS) == 8
+        assert get_protocol("Write-Through-V").name == "write_through_v"
+        assert get_protocol("BERKELEY").name == "berkeley"
+        with pytest.raises(KeyError):
+            get_protocol("mesi")
+
+    def test_spec_metadata(self):
+        from repro.protocols import PROTOCOLS
+        update = {n for n, s in PROTOCOLS.items() if not s.invalidation_based}
+        assert update == {"dragon", "firefly"}
+        migrating = {n for n, s in PROTOCOLS.items() if s.migrating_owner}
+        assert migrating == {"berkeley", "dragon"}

@@ -1,0 +1,92 @@
+"""Illinois protocol tests (appendix + DESIGN.md)."""
+
+import pytest
+
+from repro.sim import DSMSystem
+
+from .util import assert_equivalent, run_scripted
+
+S, P, N = 100.0, 30.0, 3
+SEQ = N + 1
+
+
+class TestCosts:
+    def test_upgrade_write_is_data_less(self):
+        """The Illinois improvement over Synapse: a write hit upgrades
+        without a data transfer."""
+        _, costs = run_scripted("illinois", N, [(1, "read"), (1, "write")])
+        assert costs == [S + 2, N + 1]
+
+    def test_write_miss_carries_data(self):
+        _, costs = run_scripted("illinois", N, [(1, "write")])
+        assert costs == [S + N + 1]
+
+    def test_remote_dirty_read_direct_no_retry(self):
+        _, costs = run_scripted("illinois", N, [(1, "write"), (2, "read")])
+        assert costs[1] == 2 * S + 4  # two tokens cheaper than Synapse
+
+    def test_supplier_stays_valid(self):
+        """Paper: 'the sequencer updates all the time the address of the
+        client which has the only valid copy' — the supplier keeps it."""
+        system, _ = run_scripted("illinois", N, [(1, "write"), (2, "read")])
+        assert system.copy_state(1) == "VALID"
+
+    def test_owner_rereads_free_after_losing_dirty(self):
+        _, costs = run_scripted(
+            "illinois", N, [(1, "write"), (2, "read"), (1, "read")]
+        )
+        assert costs[2] == 0.0  # the Synapse/Illinois difference
+
+    def test_remote_dirty_write(self):
+        _, costs = run_scripted("illinois", N, [(1, "write"), (2, "write")])
+        assert costs[1] == 2 * S + N + 3
+
+    def test_sequencer_ops(self):
+        _, costs = run_scripted("illinois", N,
+                                [(SEQ, "read"), (SEQ, "write")])
+        assert costs == [0.0, float(N)]
+
+
+class TestDominance:
+    def test_illinois_never_worse_than_synapse_per_script(self, rng):
+        """Section 5.1: 'Illinois incurs acc lower than the Synapse scheme'
+        — op for op in identical scripts, Illinois never pays more."""
+        for _ in range(5):
+            ops = [
+                (int(rng.integers(1, N + 1)),
+                 "read" if rng.random() < 0.6 else "write")
+                for _ in range(40)
+            ]
+            _, c_syn = run_scripted("synapse", N, ops)
+            _, c_ill = run_scripted("illinois", N, ops)
+            assert sum(c_ill) <= sum(c_syn) + 1e-9
+
+
+class TestCoherence:
+    def test_value_propagation(self):
+        system = DSMSystem("illinois", N=N, M=1, S=S, P=P)
+        system.submit(2, "write", params=11)
+        system.settle()
+        r = system.submit(1, "read")
+        system.settle()
+        assert r.result == 11
+        system.check_coherence()
+
+    def test_concurrent_mixed_ops(self):
+        system = DSMSystem("illinois", N=N, M=1, S=S, P=P)
+        system.submit(1, "write", params=1)
+        system.submit(2, "read")
+        system.submit(3, "write", params=3)
+        system.settle()
+        system.check_coherence()
+
+
+class TestKernelEquivalence:
+    def test_random_scripts(self, rng):
+        for _ in range(8):
+            ops = [
+                (int(rng.integers(1, N + 1)),
+                 "read" if rng.random() < 0.55 else "write")
+                for _ in range(30)
+            ]
+            assert_equivalent("illinois", N, ops)

@@ -1,0 +1,93 @@
+"""Synapse protocol tests (appendix Figures 7-8 + DESIGN.md)."""
+
+import pytest
+
+from repro.sim import DSMSystem
+
+from .util import assert_equivalent, run_scripted
+
+S, P, N = 100.0, 30.0, 3
+SEQ = N + 1
+
+
+class TestCosts:
+    def test_write_always_transfers_data(self):
+        """Synapse treats write hits as misses: S+N+1 even from VALID."""
+        _, costs = run_scripted("synapse", N, [(1, "read"), (1, "write")])
+        assert costs == [S + 2, S + N + 1]
+
+    def test_dirty_writes_free(self):
+        _, costs = run_scripted("synapse", N, [(1, "write"), (1, "write")])
+        assert costs == [S + N + 1, 0.0]
+
+    def test_remote_dirty_read_pays_retry(self):
+        _, costs = run_scripted("synapse", N, [(1, "write"), (2, "read")])
+        assert costs[1] == 2 * S + 6
+
+    def test_supplier_self_invalidates(self):
+        """The Synapse signature: the recalled owner ends INVALID."""
+        system, _ = run_scripted("synapse", N, [(1, "write"), (2, "read")])
+        assert system.copy_state(1) == "INVALID"
+        assert system.copy_state(SEQ) == "VALID"
+
+    def test_owner_rereads_after_losing_dirty(self):
+        _, costs = run_scripted(
+            "synapse", N, [(1, "write"), (2, "read"), (1, "read")]
+        )
+        assert costs[2] == S + 2  # unlike Illinois, the owner must re-fetch
+
+    def test_remote_dirty_write(self):
+        _, costs = run_scripted("synapse", N, [(1, "write"), (2, "write")])
+        assert costs[1] == 2 * S + N + 5
+
+    def test_sequencer_ops(self):
+        _, costs = run_scripted("synapse", N,
+                                [(SEQ, "read"), (SEQ, "write")])
+        assert costs == [0.0, float(N)]
+
+    def test_sequencer_read_recalls_dirty_owner(self):
+        _, costs = run_scripted("synapse", N, [(1, "write"), (SEQ, "read")])
+        assert costs[1] == S + 2  # RCL + WB
+
+    def test_sequencer_write_recalls_then_invalidates(self):
+        _, costs = run_scripted("synapse", N, [(1, "write"), (SEQ, "write")])
+        assert costs[1] == S + 2 + N
+
+
+class TestCoherence:
+    def test_dirty_value_recalled(self):
+        system = DSMSystem("synapse", N=N, M=1, S=S, P=P)
+        system.submit(1, "write", params=77)
+        system.settle()
+        r = system.submit(3, "read")
+        system.settle()
+        assert r.result == 77
+        system.check_coherence()
+
+    def test_concurrent_writes_serialize(self):
+        system = DSMSystem("synapse", N=N, M=1, S=S, P=P)
+        system.submit(1, "write", params=1)
+        system.submit(2, "write", params=2)
+        system.submit(3, "write", params=3)
+        system.settle()
+        system.check_coherence()
+        assert system.authoritative_value() in (1, 2, 3)
+
+    def test_concurrent_read_write_race(self):
+        system = DSMSystem("synapse", N=N, M=1, S=S, P=P)
+        system.submit(1, "write", params=4)
+        system.submit(2, "read")
+        system.submit(3, "read")
+        system.settle()
+        system.check_coherence()
+
+
+class TestKernelEquivalence:
+    def test_random_scripts(self, rng):
+        for _ in range(8):
+            ops = [
+                (int(rng.integers(1, N + 1)),
+                 "read" if rng.random() < 0.55 else "write")
+                for _ in range(30)
+            ]
+            assert_equivalent("synapse", N, ops)

@@ -1,0 +1,91 @@
+"""Write-Through protocol tests (paper Sections 2-4: traces tr1-tr6)."""
+
+import pytest
+
+from repro.sim import DSMSystem
+
+from .util import assert_equivalent, run_scripted
+
+S, P, N = 100.0, 30.0, 3
+SEQ = N + 1
+
+
+class TestTraces:
+    """Each of the paper's six traces with its exact cost."""
+
+    def test_tr2_then_tr1(self):
+        system, costs = run_scripted("write_through", N,
+                                     [(1, "read"), (1, "read")])
+        assert costs == [S + 2, 0.0]  # miss then hit
+
+    def test_tr3_write_from_valid(self):
+        _, costs = run_scripted("write_through", N,
+                                [(1, "read"), (1, "write")])
+        assert costs[1] == P + N
+
+    def test_tr4_write_from_invalid(self):
+        _, costs = run_scripted("write_through", N, [(1, "write")])
+        assert costs == [P + N]
+
+    def test_read_after_own_write_misses(self):
+        """The distributed WT signature: the writer drops its copy."""
+        _, costs = run_scripted("write_through", N,
+                                [(1, "write"), (1, "read")])
+        assert costs == [P + N, S + 2]
+
+    def test_tr5_sequencer_read_free(self):
+        _, costs = run_scripted("write_through", N, [(SEQ, "read")])
+        assert costs == [0.0]
+
+    def test_tr6_sequencer_write_costs_N(self):
+        _, costs = run_scripted("write_through", N, [(SEQ, "write")])
+        assert costs == [float(N)]
+
+    def test_write_invalidates_other_clients(self):
+        system, costs = run_scripted(
+            "write_through", N,
+            [(2, "read"), (3, "read"), (1, "write"), (2, "read")]
+        )
+        assert costs[3] == S + 2  # client 2 was invalidated
+        assert system.copy_state(3) == "INVALID"
+
+
+class TestCoherence:
+    def test_read_returns_latest_serialized_write(self):
+        system = DSMSystem("write_through", N=N, M=1, S=S, P=P)
+        w1 = system.submit(1, "write", params=111)
+        system.settle()
+        r = system.submit(2, "read")
+        system.settle()
+        assert r.result == 111
+        w2 = system.submit(3, "write", params=333)
+        system.settle()
+        r2 = system.submit(1, "read")
+        system.settle()
+        assert r2.result == 333
+        system.check_coherence()
+
+    def test_sequencer_value_tracks_writes(self):
+        system = DSMSystem("write_through", N=N, M=1, S=S, P=P)
+        system.submit(1, "write", params=7)
+        system.settle()
+        assert system.copy_value(SEQ) == 7
+
+
+class TestKernelEquivalence:
+    """Simulator and analytic kernel charge identical costs, op by op."""
+
+    def test_deterministic_scenarios(self):
+        assert_equivalent("write_through", N, [
+            (1, "read"), (1, "write"), (1, "read"), (2, "read"),
+            (1, "write"), (2, "read"), (2, "read"), (1, "read"),
+        ])
+
+    def test_random_scripts(self, rng):
+        for _ in range(8):
+            ops = [
+                (int(rng.integers(1, N + 1)),
+                 "read" if rng.random() < 0.6 else "write")
+                for _ in range(30)
+            ]
+            assert_equivalent("write_through", N, ops)

@@ -1,0 +1,104 @@
+"""Directory Write-Through extension tests (copyset multicast)."""
+
+import pytest
+
+from repro.core.parameters import Deviation, WorkloadParams
+from repro.sim import DSMSystem
+
+from .util import assert_equivalent, run_scripted
+
+S, P, N = 100.0, 30.0, 5
+SEQ = N + 1
+
+
+class TestCopysetCosts:
+    def test_write_with_empty_copyset_costs_P_plus_1(self):
+        _, costs = run_scripted("write_through_dir", N, [(1, "write")])
+        assert costs == [P + 1]  # nobody held a copy
+
+    def test_write_invalidates_only_holders(self):
+        _, costs = run_scripted(
+            "write_through_dir", N,
+            [(2, "read"), (3, "read"), (1, "write")]
+        )
+        assert costs[2] == P + 1 + 2  # two holders, multicast of 2
+
+    def test_writer_not_invalidated_twice(self):
+        _, costs = run_scripted(
+            "write_through_dir", N,
+            [(1, "read"), (2, "read"), (1, "write")]
+        )
+        assert costs[2] == P + 1 + 1  # only client 2 is multicast
+
+    def test_never_costs_more_than_broadcast_wt(self, rng):
+        for _ in range(5):
+            ops = [
+                (int(rng.integers(1, N + 1)),
+                 "read" if rng.random() < 0.6 else "write")
+                for _ in range(40)
+            ]
+            _, dir_costs = run_scripted("write_through_dir", N, ops)
+            _, wt_costs = run_scripted("write_through", N, ops)
+            assert sum(dir_costs) <= sum(wt_costs) + 1e-9
+            # and reads cost exactly the same
+            for (node, kind), dc, wc in zip(ops, dir_costs, wt_costs):
+                if kind == "read":
+                    assert dc == wc
+
+    def test_sequencer_write_multicasts(self):
+        _, costs = run_scripted(
+            "write_through_dir", N, [(1, "read"), (SEQ, "write")]
+        )
+        assert costs[1] == 1.0  # one holder
+
+
+class TestCoherence:
+    def test_directory_is_exact(self, rng):
+        system = DSMSystem("write_through_dir", N=N, M=1, S=S, P=P)
+        for _ in range(40):
+            node = int(rng.integers(1, N + 2))
+            kind = "read" if rng.random() < 0.6 else "write"
+            system.submit(node, kind)
+            system.settle()
+        seq = system.nodes[SEQ].process_for(1)
+        actual = {
+            n for n in range(1, N + 1)
+            if system.copy_state(n) == "VALID"
+        }
+        assert seq.copyset == actual
+        system.check_coherence()
+
+    def test_concurrent_load_coherent(self):
+        from repro.workloads import read_disturbance_workload
+        params = WorkloadParams(N=N, p=0.3, a=3, sigma=0.1, S=S, P=P)
+        system = DSMSystem("write_through_dir", N=N, M=2, S=S, P=P)
+        system.run_workload(read_disturbance_workload(params, M=2),
+                            num_ops=600, warmup=100, seed=4, mean_gap=2.0)
+        system.check_coherence()
+
+
+class TestAnalytics:
+    def test_kernel_equivalence(self, rng):
+        for _ in range(6):
+            ops = [
+                (int(rng.integers(1, N + 1)),
+                 "read" if rng.random() < 0.6 else "write")
+                for _ in range(30)
+            ]
+            assert_equivalent("write_through_dir", N, ops)
+
+    def test_markov_dominates_broadcast_wt(self):
+        from repro.core.chains import markov_acc
+        w = WorkloadParams(N=20, p=0.3, a=3, sigma=0.1, S=100, P=30)
+        dir_acc = markov_acc("write_through_dir", w, Deviation.READ)
+        wt_acc = markov_acc("write_through", w, Deviation.READ)
+        assert dir_acc < wt_acc
+        # the gap is roughly the idle clients' share of the broadcast
+        assert wt_acc - dir_acc > 0.5 * w.p * (w.N - w.a - 3)
+
+    def test_registry_exposes_extension(self):
+        from repro.protocols import PROTOCOLS, get_protocol
+        from repro.protocols.registry import EXTENSION_PROTOCOLS
+        assert "write_through_dir" not in PROTOCOLS  # paper set untouched
+        assert "write_through_dir" in EXTENSION_PROTOCOLS
+        assert get_protocol("write_through_dir").migrating_owner is False

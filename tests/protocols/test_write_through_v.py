@@ -1,0 +1,92 @@
+"""Write-Through-V protocol tests (appendix Figure 9 + DESIGN.md)."""
+
+import pytest
+
+from repro.sim import DSMSystem
+
+from .util import assert_equivalent, run_scripted
+
+S, P, N = 100.0, 30.0, 3
+SEQ = N + 1
+
+
+class TestCosts:
+    def test_write_from_valid_costs_two_more_than_wt(self):
+        _, costs = run_scripted("write_through_v", N,
+                                [(1, "read"), (1, "write")])
+        assert costs == [S + 2, P + N + 2]
+
+    def test_write_from_invalid_carries_ui(self):
+        _, costs = run_scripted("write_through_v", N, [(1, "write")])
+        assert costs == [P + S + N + 2]
+
+    def test_writer_keeps_valid_copy(self):
+        """The appendix's defining property: the client's write updates the
+        sequencer's copy and its own."""
+        system, costs = run_scripted("write_through_v", N,
+                                     [(1, "write"), (1, "read")])
+        assert costs[1] == 0.0  # read hit after own write
+        assert system.copy_state(1) == "VALID"
+
+    def test_other_clients_invalidated(self):
+        _, costs = run_scripted("write_through_v", N,
+                                [(2, "read"), (1, "write"), (2, "read")])
+        assert costs[2] == S + 2
+
+    def test_sequencer_write(self):
+        _, costs = run_scripted("write_through_v", N, [(SEQ, "write")])
+        assert costs == [float(N)]
+
+    def test_sequencer_read_free(self):
+        _, costs = run_scripted("write_through_v", N, [(SEQ, "read")])
+        assert costs == [0.0]
+
+
+class TestCoherence:
+    def test_writer_and_sequencer_agree(self):
+        system = DSMSystem("write_through_v", N=N, M=1, S=S, P=P)
+        system.submit(1, "write", params=42)
+        system.settle()
+        assert system.copy_value(1) == 42
+        assert system.copy_value(SEQ) == 42
+        system.check_coherence()
+
+    def test_write_from_invalid_then_read_hits(self):
+        system = DSMSystem("write_through_v", N=N, M=1, S=S, P=P)
+        system.submit(2, "write", params=9)
+        system.settle()
+        r = system.submit(2, "read")
+        system.settle()
+        assert r.result == 9
+        assert system.metrics.op(r.op_id).cost == 0.0
+
+
+class TestSerialization:
+    def test_concurrent_writes_hold_and_serialize(self):
+        """Two clients write at the same instant; the sequencer holds one
+        behind the other's two-phase window; both complete coherently."""
+        system = DSMSystem("write_through_v", N=N, M=1, S=S, P=P)
+        system.submit(1, "write", params=100)
+        system.submit(2, "write", params=200)  # same time, no settle
+        system.settle()
+        system.check_coherence()
+        winner = system.copy_value(SEQ)
+        assert winner in (100, 200)
+
+    def test_sequencer_own_write_held_during_grant_window(self):
+        system = DSMSystem("write_through_v", N=N, M=1, S=S, P=P)
+        system.submit(1, "write", params=1)
+        system.submit(SEQ, "write", params=2)
+        system.settle()
+        system.check_coherence()
+
+
+class TestKernelEquivalence:
+    def test_random_scripts(self, rng):
+        for _ in range(8):
+            ops = [
+                (int(rng.integers(1, N + 1)),
+                 "read" if rng.random() < 0.6 else "write")
+                for _ in range(30)
+            ]
+            assert_equivalent("write_through_v", N, ops)

@@ -1,0 +1,104 @@
+"""Unit tests for the fault-free FIFO fabric (paper Section 2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machines.message import (
+    Message,
+    MessageToken,
+    MsgType,
+    ParamPresence,
+    QueueTag,
+)
+from repro.sim.channel import Network
+from repro.sim.engine import EventScheduler
+
+
+def msg(src, dst, presence=ParamPresence.NONE, payload=None):
+    token = MessageToken(MsgType.R_PER, src, 1, QueueTag.DISTRIBUTED,
+                         presence)
+    return Message(token, src, dst, payload=payload, op_id=1)
+
+
+def make_network(latency=1.0, on_cost=None):
+    sched = EventScheduler()
+    net = Network(sched, latency=latency, on_cost=on_cost)
+    return sched, net
+
+
+class TestDelivery:
+    def test_every_message_delivered(self):
+        sched, net = make_network()
+        got = []
+        net.attach(2, got.append)
+        for _ in range(5):
+            net.send(msg(1, 2), 100, 30)
+        sched.run()
+        assert len(got) == 5
+
+    def test_fifo_per_channel(self):
+        sched, net = make_network()
+        got = []
+        net.attach(2, lambda m: got.append(m.payload))
+        for i in range(20):
+            net.send(msg(1, 2, payload=i), 100, 30)
+        sched.run()
+        assert got == list(range(20))
+
+    @settings(max_examples=20, deadline=None)
+    @given(order=st.permutations(list(range(8))))
+    def test_property_fifo_under_interleaving(self, order):
+        """Messages from several senders interleave, but each channel
+        stays FIFO."""
+        sched, net = make_network()
+        got = []
+        net.attach(9, lambda m: got.append((m.src, m.payload)))
+        seq = {s: 0 for s in order}
+        for s in order:
+            net.send(msg(s, 9, payload=seq[s]), 100, 30)
+            seq[s] += 1
+        sched.run()
+        per_src = {}
+        for src, payload in got:
+            per_src.setdefault(src, []).append(payload)
+        for payloads in per_src.values():
+            assert payloads == sorted(payloads)
+
+    def test_latency(self):
+        sched, net = make_network(latency=3.0)
+        times = []
+        net.attach(2, lambda m: times.append(sched.now))
+        net.send(msg(1, 2), 100, 30)
+        sched.run()
+        assert times == [3.0]
+
+    def test_zero_latency_rejected(self):
+        sched = EventScheduler()
+        with pytest.raises(ValueError):
+            Network(sched, latency=0.0)
+
+
+class TestCostAccounting:
+    def test_costs_by_presence(self):
+        charged = []
+        sched, net = make_network(on_cost=lambda m, c: charged.append(c))
+        net.attach(2, lambda m: None)
+        net.send(msg(1, 2, ParamPresence.NONE), 100, 30)
+        net.send(msg(1, 2, ParamPresence.USER_INFO), 100, 30)
+        net.send(msg(1, 2, ParamPresence.WRITE), 100, 30)
+        assert charged == [1.0, 101.0, 31.0]
+
+    def test_self_send_free(self):
+        charged = []
+        sched, net = make_network(on_cost=lambda m, c: charged.append(c))
+        net.attach(1, lambda m: None)
+        cost = net.send(msg(1, 1), 100, 30)
+        assert cost == 0.0
+        assert charged == []  # intra-node actions are not charged
+
+    def test_message_counter(self):
+        sched, net = make_network()
+        net.attach(2, lambda m: None)
+        for _ in range(7):
+            net.send(msg(1, 2), 100, 30)
+        assert net.messages_sent == 7

@@ -1,0 +1,85 @@
+"""System-wide coherence properties under stochastic concurrent load.
+
+These are the simulator's safety tests: for every protocol, random
+workloads with real concurrency (tight arrival gaps force racing requests,
+forwarding chains, holds and retries) must quiesce with every readable
+copy equal to the authoritative value, exactly one owner for the
+migrating-owner protocols, and all message costs attributed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import WorkloadParams
+from repro.sim import DSMSystem
+from repro.workloads import (
+    multiple_activity_centers_workload,
+    read_disturbance_workload,
+    write_disturbance_workload,
+)
+from tests.conftest import ALL_PROTOCOLS
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+class TestQuiescentCoherence:
+    def test_read_disturbance_loose(self, protocol):
+        params = WorkloadParams(N=4, p=0.3, a=3, sigma=0.15, S=50, P=10)
+        wl = read_disturbance_workload(params, M=3)
+        system = DSMSystem(protocol, N=4, M=3, S=50, P=10)
+        system.run_workload(wl, num_ops=800, warmup=100, seed=11,
+                            mean_gap=30.0)
+        system.check_coherence()
+
+    def test_write_disturbance_tight_gaps(self, protocol):
+        """mean_gap comparable to the round-trip time: heavy racing."""
+        params = WorkloadParams(N=4, p=0.3, a=3, xi=0.2, S=50, P=10)
+        wl = write_disturbance_workload(params, M=2)
+        system = DSMSystem(protocol, N=4, M=2, S=50, P=10)
+        res = system.run_workload(wl, num_ops=800, warmup=100, seed=7,
+                                  mean_gap=2.0)
+        system.check_coherence()
+        assert res.metrics.unattributed_cost == 0.0
+
+    def test_multiple_activity_centers_very_tight(self, protocol):
+        params = WorkloadParams(N=5, p=0.5, beta=4, S=50, P=10)
+        wl = multiple_activity_centers_workload(params, M=2)
+        system = DSMSystem(protocol, N=5, M=2, S=50, P=10)
+        system.run_workload(wl, num_ops=600, warmup=100, seed=3,
+                            mean_gap=1.0)
+        system.check_coherence()
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+def test_per_node_reads_monotone_under_sequential_ops(protocol, rng):
+    """With settled (atomic) operations, each node's reads observe writes
+    in serialization order: the value a node reads never regresses to an
+    older write than one it previously read."""
+    system = DSMSystem(protocol, N=3, M=1, S=50, P=10)
+    serialized = []  # values in global write order (sequential => known)
+    last_seen = {n: -1 for n in range(1, 5)}
+    order_of = {}
+    for step in range(80):
+        node = int(rng.integers(1, 5))
+        if rng.random() < 0.4:
+            op = system.submit(node, "write", params=step)
+            system.settle()
+            order_of[step] = len(serialized)
+            serialized.append(step)
+        else:
+            op = system.submit(node, "read")
+            system.settle()
+            if op.result in order_of:
+                pos = order_of[op.result]
+                assert pos >= last_seen[node], (
+                    f"{protocol}: node {node} read regressed"
+                )
+                last_seen[node] = pos
+
+
+def test_fifo_violation_impossible_under_load():
+    """The fabric's internal FIFO assertion holds across a heavy run."""
+    params = WorkloadParams(N=6, p=0.4, a=5, sigma=0.1, S=20, P=5)
+    wl = read_disturbance_workload(params, M=4)
+    system = DSMSystem("synapse", N=6, M=4, S=20, P=5)
+    system.run_workload(wl, num_ops=1500, warmup=100, seed=5, mean_gap=1.5)
+    system.check_coherence()

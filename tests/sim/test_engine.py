@@ -1,0 +1,82 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.engine import EventScheduler
+
+
+class TestScheduling:
+    def test_time_order(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(5.0, lambda: fired.append("b"))
+        sched.schedule(1.0, lambda: fired.append("a"))
+        sched.schedule(9.0, lambda: fired.append("c"))
+        sched.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_schedule_order(self):
+        """Critical for FIFO channels: equal-time events keep send order."""
+        sched = EventScheduler()
+        fired = []
+        for i in range(50):
+            sched.schedule(1.0, lambda i=i: fired.append(i))
+        sched.run()
+        assert fired == list(range(50))
+
+    def test_now_advances(self):
+        sched = EventScheduler()
+        times = []
+        sched.schedule(2.0, lambda: times.append(sched.now))
+        sched.schedule(7.0, lambda: times.append(sched.now))
+        sched.run()
+        assert times == [2.0, 7.0]
+
+    def test_schedule_during_execution(self):
+        sched = EventScheduler()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sched.schedule(1.0, lambda: fired.append("second"))
+
+        sched.schedule(1.0, first)
+        sched.run()
+        assert fired == ["first", "second"]
+        assert sched.now == 2.0
+
+    def test_negative_delay_rejected(self):
+        sched = EventScheduler()
+        with pytest.raises(ValueError):
+            sched.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sched = EventScheduler()
+        sched.schedule(5.0, lambda: None)
+        sched.run()
+        with pytest.raises(ValueError):
+            sched.schedule_at(1.0, lambda: None)
+
+
+class TestRunControl:
+    def test_max_events(self):
+        sched = EventScheduler()
+
+        def rearm():
+            sched.schedule(1.0, rearm)
+
+        sched.schedule(1.0, rearm)
+        executed = sched.run(max_events=10)
+        assert executed == 10
+        assert len(sched) == 1
+
+    def test_until_predicate(self):
+        sched = EventScheduler()
+        count = []
+        for i in range(20):
+            sched.schedule(float(i + 1), lambda: count.append(1))
+        sched.run(until=lambda: len(count) >= 5)
+        assert len(count) == 5
+
+    def test_step_on_empty(self):
+        assert EventScheduler().step() is False

@@ -1,0 +1,126 @@
+"""Synchronization-operation tests (locks; paper Section 6 extension)."""
+
+import pytest
+
+from repro.sim import DSMSystem
+
+S, P, N = 100.0, 30.0, 3
+SEQ = N + 1
+
+
+class TestLockBasics:
+    def test_uncontended_acquire_costs_two(self):
+        system = DSMSystem("write_through", N=N, M=1, S=S, P=P)
+        acq = system.submit(1, "acquire")
+        system.settle()
+        assert system.metrics.op(acq.op_id).cost == 2.0  # LK-REQ + LK-GNT
+        rel = system.submit(1, "release")
+        system.settle()
+        assert system.metrics.op(rel.op_id).cost == 1.0  # UNLK
+
+    def test_manager_local_ops_free(self):
+        system = DSMSystem("write_through", N=N, M=1, S=S, P=P)
+        acq = system.submit(SEQ, "acquire")
+        system.settle()
+        assert system.metrics.op(acq.op_id).cost == 0.0
+        rel = system.submit(SEQ, "release")
+        system.settle()
+        assert system.metrics.op(rel.op_id).cost == 0.0
+
+    def test_contended_acquire_waits_for_release(self):
+        system = DSMSystem("write_through", N=N, M=1, S=S, P=P)
+        a1 = system.submit(1, "acquire")
+        system.settle()
+        a2 = system.submit(2, "acquire")  # blocks
+        system.settle()
+        assert a1.complete_time is not None
+        assert a2.complete_time is None  # still waiting
+        system.submit(1, "release")
+        system.settle()
+        assert a2.complete_time is not None
+
+    def test_fifo_grant_order(self):
+        system = DSMSystem("write_through", N=N, M=1, S=S, P=P)
+        system.submit(1, "acquire")
+        system.settle()
+        a2 = system.submit(2, "acquire")
+        system.settle()
+        a3 = system.submit(3, "acquire")
+        system.settle()
+        system.submit(1, "release")
+        system.settle()
+        assert a2.complete_time is not None and a3.complete_time is None
+        system.submit(2, "release")
+        system.settle()
+        assert a3.complete_time is not None
+
+    def test_per_object_locks_independent(self):
+        system = DSMSystem("write_through", N=N, M=2, S=S, P=P)
+        system.submit(1, "acquire", obj=1)
+        a = system.submit(2, "acquire", obj=2)
+        system.settle()
+        assert a.complete_time is not None  # different lock
+
+    def test_foreign_release_rejected(self):
+        system = DSMSystem("write_through", N=N, M=1, S=S, P=P)
+        system.submit(1, "acquire")
+        system.settle()
+        system.submit(2, "release")
+        with pytest.raises(RuntimeError):
+            system.settle()
+
+
+class TestCriticalSections:
+    def test_locked_read_modify_write_loses_no_updates(self):
+        """The flagship use: counter increments under the lock.
+
+        Each client runs acquire -> read -> write(v+1) -> release as a
+        callback chain; despite interleaving, every increment lands.
+        """
+        system = DSMSystem("write_through", N=N, M=1, S=S, P=P)
+        system.submit(SEQ, "write", params=0)  # counter := 0
+        system.settle()
+
+        increments_per_client = 5
+
+        def start_increment(node, remaining):
+            def on_acquired(_op):
+                system.submit(node, "read", callback=on_read)
+
+            def on_read(read_op):
+                system.submit(node, "write", params=read_op.result + 1,
+                              callback=on_written)
+
+            def on_written(_op):
+                system.submit(node, "release", callback=on_released)
+
+            def on_released(_op):
+                if remaining > 1:
+                    start_increment(node, remaining - 1)
+
+            system.submit(node, "acquire", callback=on_acquired)
+
+        for node in range(1, N + 1):
+            start_increment(node, increments_per_client)
+        system.settle()
+        final = system.submit(SEQ, "read")
+        system.settle()
+        assert final.result == N * increments_per_client
+        system.check_coherence()
+
+    def test_unlocked_read_modify_write_can_lose_updates(self):
+        """Without the lock, concurrent read-modify-write interleaves and
+        increments are lost — demonstrating what the lock buys."""
+        system = DSMSystem("write_through", N=N, M=1, S=S, P=P)
+        system.submit(SEQ, "write", params=0)
+        system.settle()
+        pending = []
+        for node in range(1, N + 1):
+            def on_read(read_op, node=node):
+                system.submit(node, "write", params=read_op.result + 1)
+            pending.append(system.submit(node, "read", callback=on_read))
+        system.settle()
+        final = system.submit(SEQ, "read")
+        system.settle()
+        # all three clients read 0 concurrently and wrote 1.
+        assert final.result < N

@@ -1,0 +1,73 @@
+"""Reproduction of Figures 2-4: the exact messages of each Write-Through
+trace as they appear on the simulated network."""
+
+import pytest
+
+from repro.sim import DSMSystem
+
+S, P, N = 100.0, 30.0, 3
+SEQ = N + 1
+
+
+def signature(system, op):
+    return tuple(system.metrics.op(op.op_id).signature)
+
+
+class TestFigure2:
+    """Trace tr2: R-PER to the sequencer, R-GNT + ui back; cc2 = S + 2."""
+
+    def test_messages_and_cost(self):
+        system = DSMSystem("write_through", N=N, M=1, S=S, P=P)
+        op = system.submit(1, "read")
+        system.settle()
+        assert signature(system, op) == (("R-PER", "0"), ("R-GNT", "ui"))
+        assert system.metrics.op(op.op_id).cost == S + 2
+
+
+class TestFigure3:
+    """Traces tr3/tr4: W-PER + w, then W-INV to N - 1 clients; cc = P + N."""
+
+    @pytest.mark.parametrize("prepare", [[], [(1, "read")]],
+                             ids=["from_invalid_tr4", "from_valid_tr3"])
+    def test_messages_and_cost(self, prepare):
+        system = DSMSystem("write_through", N=N, M=1, S=S, P=P)
+        for node, kind in prepare:
+            system.submit(node, kind)
+            system.settle()
+        op = system.submit(1, "write")
+        system.settle()
+        expected = (("W-PER", "w"),) + (("W-INV", "0"),) * (N - 1)
+        assert signature(system, op) == expected
+        assert system.metrics.op(op.op_id).cost == P + N
+
+
+class TestFigure4:
+    """Trace tr6: the sequencer's write sends W-INV to all N clients."""
+
+    def test_messages_and_cost(self):
+        system = DSMSystem("write_through", N=N, M=1, S=S, P=P)
+        op = system.submit(SEQ, "write")
+        system.settle()
+        assert signature(system, op) == (("W-INV", "0"),) * N
+        assert system.metrics.op(op.op_id).cost == N
+
+
+class TestTraceSetClosure:
+    """Sequential Write-Through execution produces only the paper's six
+    trace signatures — the set TR is finite and closed (Section 4.1)."""
+
+    def test_only_known_signatures_appear(self, rng):
+        known = {
+            (),                                           # tr1 / tr5
+            (("R-PER", "0"), ("R-GNT", "ui")),            # tr2
+            (("W-PER", "w"),) + (("W-INV", "0"),) * (N - 1),  # tr3/tr4
+            (("W-INV", "0"),) * N,                        # tr6
+        }
+        system = DSMSystem("write_through", N=N, M=1, S=S, P=P)
+        for _ in range(60):
+            node = int(rng.integers(1, N + 2))
+            kind = "read" if rng.random() < 0.6 else "write"
+            system.submit(node, kind)
+            system.settle()
+        seen = set(system.metrics.trace_histogram())
+        assert seen <= known

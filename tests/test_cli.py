@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+class TestAcc:
+    def test_acc_matches_library(self, capsys):
+        code, out, _ = run(capsys, "acc", "berkeley", "--N", "8",
+                           "--p", "0.2", "--a", "3", "--sigma", "0.1")
+        assert code == 0
+        from repro.core import analytical_acc, Deviation, WorkloadParams
+        expected = analytical_acc(
+            "berkeley",
+            WorkloadParams(N=8, p=0.2, a=3, sigma=0.1, S=100, P=30),
+            Deviation.READ,
+        )
+        assert f"{expected:.4f}" in out
+
+    def test_unknown_protocol_errors(self, capsys):
+        code, _out, err = run(capsys, "acc", "mesi", "--N", "4", "--p", "0.2")
+        assert code == 2
+        assert "unknown protocol" in err
+
+    def test_infeasible_params_error(self, capsys):
+        code, _out, err = run(capsys, "acc", "berkeley", "--N", "4",
+                              "--p", "0.9", "--a", "2", "--sigma", "0.2")
+        assert code == 2
+        assert "infeasible" in err
+
+    def test_markov_method_flag(self, capsys):
+        code, out, _ = run(capsys, "acc", "write_once", "--N", "5",
+                           "--p", "0.3", "--method", "markov")
+        assert code == 0 and "acc(" in out
+
+    def test_extension_protocol_available(self, capsys):
+        code, out, _ = run(capsys, "acc", "write_through_dir", "--N", "5",
+                           "--p", "0.3", "--a", "2", "--sigma", "0.1")
+        assert code == 0
+
+
+class TestRank:
+    def test_rank_lists_all_eight(self, capsys):
+        code, out, _ = run(capsys, "rank", "--N", "10", "--p", "0.3",
+                           "--a", "4", "--sigma", "0.1")
+        assert code == 0
+        for name in ("write_through", "berkeley", "dragon", "firefly"):
+            assert name in out
+
+    def test_rank_sorted_ascending(self, capsys):
+        code, out, _ = run(capsys, "rank", "--N", "10", "--p", "0.3",
+                           "--a", "4", "--sigma", "0.1")
+        values = [float(line.split()[-1]) for line in
+                  out.strip().splitlines()[1:]]
+        assert values == sorted(values)
+
+
+class TestSimulate:
+    def test_simulate_reports_acc_and_latency(self, capsys):
+        code, out, _ = run(capsys, "simulate", "write_through", "--N", "3",
+                           "--p", "0.3", "--a", "2", "--sigma", "0.1",
+                           "--ops", "800", "--seed", "1")
+        assert code == 0
+        assert "simulated acc" in out and "latency" in out
+
+    def test_simulate_with_pool(self, capsys):
+        code, out, _ = run(capsys, "simulate", "write_through", "--N", "3",
+                           "--p", "0.3", "--a", "2", "--sigma", "0.1",
+                           "--ops", "600", "--M", "5", "--capacity", "2")
+        assert code == 0
+        assert "pool evictions" in out
+
+
+class TestValidate:
+    def test_validate_cell(self, capsys):
+        code, out, _ = run(capsys, "validate", "write_through_v", "--N", "3",
+                           "--p", "0.4", "--a", "2", "--sigma", "0.1",
+                           "--ops", "1500", "--M", "5")
+        assert code == 0
+        assert "discrepancy" in out
+        pct = float(out.split("discrepancy =")[1].split("%")[0])
+        assert abs(pct) < 20.0
+
+
+class TestPlace:
+    def test_place_reports_saving(self, capsys):
+        code, out, _ = run(capsys, "place", "write_through", "--N", "5",
+                           "--p", "0.3", "--a", "2", "--sigma", "0.1")
+        assert code == 0
+        assert "saving" in out
+        saving = float(out.split("saving")[1].split("=")[1].split()[0])
+        assert saving > 0
+
+    def test_place_berkeley_indifferent(self, capsys):
+        code, out, _ = run(capsys, "place", "berkeley", "--N", "5",
+                           "--p", "0.3", "--a", "2", "--sigma", "0.1")
+        assert code == 0
+        assert "placement-indifferent" in out

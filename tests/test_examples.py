@@ -1,0 +1,45 @@
+"""Smoke tests: the runnable examples actually run.
+
+Each example is executed in-process (runpy) with output captured; the
+slower studies are exercised by their benchmark counterparts instead.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    argv = sys.argv
+    sys.argv = [name]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "predicted acc" in out
+    assert "berkeley" in out
+
+
+def test_critical_sections(capsys):
+    out = run_example("critical_sections.py", capsys)
+    assert "updates lost" in out
+    assert "counter =  40" in out  # the locked run is exact
+
+
+def test_tuning_guide(capsys):
+    out = run_example("tuning_guide.py", capsys)
+    assert "Step 4" in out and "measured" in out
+
+
+def test_trace_driven_analysis(capsys):
+    out = run_example("trace_driven_analysis.py", capsys)
+    assert "Recommendation" in out and "confirmed by replay" in out

@@ -1,0 +1,64 @@
+"""Tests for the full validation-report generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import Deviation, WorkloadParams
+from repro.validation.report import (
+    ValidationRow,
+    full_validation,
+    render_markdown,
+)
+from repro.validation.statistics import MeanCI
+
+
+class TestValidationRow:
+    def test_discrepancy(self):
+        row = ValidationRow("x", Deviation.READ, 100.0,
+                            MeanCI(95.0, 2.0, 0.95, 3))
+        assert row.discrepancy_pct == pytest.approx(5.0)
+
+    def test_zero_analytic(self):
+        row = ValidationRow("x", Deviation.READ, 0.0,
+                            MeanCI(0.0, 0.0, 0.95, 3))
+        assert row.discrepancy_pct == 0.0
+
+    def test_consistency_window(self):
+        row = ValidationRow("x", Deviation.READ, 100.0,
+                            MeanCI(99.0, 2.0, 0.95, 3))
+        assert row.consistent
+        row_bad = ValidationRow("x", Deviation.READ, 100.0,
+                                MeanCI(50.0, 1.0, 0.95, 3))
+        assert not row_bad.consistent
+
+
+class TestFullValidation:
+    @pytest.fixture(scope="class")
+    def report(self):
+        params = WorkloadParams(N=3, p=0.3, a=2, sigma=0.15, xi=0.1,
+                                beta=2, S=100, P=30)
+        return full_validation(
+            params,
+            protocols=["write_through", "berkeley", "dragon"],
+            M=2, total_ops=2500, warmup=500, replications=3, seed=1,
+        )
+
+    def test_matrix_shape(self, report):
+        assert len(report.rows) == 9  # 3 protocols x 3 deviations
+
+    def test_within_paper_band(self, report):
+        assert report.max_abs_discrepancy_pct < 8.0
+
+    def test_rows_consistent(self, report):
+        inconsistent = [
+            (r.protocol, r.deviation.short_name)
+            for r in report.rows if not r.consistent
+        ]
+        # allow at most one marginal CI miss across the matrix
+        assert len(inconsistent) <= 1, inconsistent
+
+    def test_markdown_rendering(self, report):
+        text = render_markdown(report)
+        assert "| protocol |" in text
+        assert "berkeley" in text
+        assert "Max |discrepancy|" in text

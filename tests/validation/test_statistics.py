@@ -1,0 +1,50 @@
+"""Unit tests for the validation statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.validation import MeanCI, mean_confidence_interval, replicate
+
+
+class TestConfidenceInterval:
+    def test_known_values(self):
+        ci = mean_confidence_interval([1.0, 2.0, 3.0, 4.0], level=0.95)
+        assert ci.mean == pytest.approx(2.5)
+        assert ci.n == 4
+        assert ci.lo < 2.5 < ci.hi
+
+    def test_coverage_property(self, rng):
+        """~95% of intervals should contain the true mean."""
+        true_mean = 10.0
+        hits = 0
+        trials = 200
+        for _ in range(trials):
+            x = rng.normal(true_mean, 2.0, size=60)
+            if mean_confidence_interval(x).contains(true_mean):
+                hits += 1
+        assert hits / trials > 0.88
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0])
+
+    def test_unsupported_level(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0, 2.0], level=0.5)
+
+    def test_width_shrinks_with_n(self, rng):
+        small = mean_confidence_interval(rng.normal(0, 1, 50))
+        large = mean_confidence_interval(rng.normal(0, 1, 5000))
+        assert large.half_width < small.half_width
+
+
+class TestReplicate:
+    def test_pools_across_seeds(self):
+        ci = replicate(lambda seed: float(seed % 3), seeds=range(30))
+        assert ci.n == 30
+        assert ci.mean == pytest.approx(1.0, abs=0.2)
+
+    def test_deterministic_run_zero_width(self):
+        ci = replicate(lambda seed: 5.0, seeds=range(10))
+        assert ci.mean == 5.0
+        assert ci.half_width == 0.0

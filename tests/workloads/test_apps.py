@@ -1,0 +1,90 @@
+"""Tests for the application-pattern workload generators."""
+
+import pytest
+
+from repro.core.parameters import Deviation
+from repro.sim import DSMSystem
+from repro.workloads import estimate_params
+from repro.workloads.apps import hot_cold, migratory, phased_spmd, producer_consumer
+
+
+class TestGenerators:
+    def test_producer_consumer_roles(self, rng):
+        wl = producer_consumer(N=4, iterations=10, M=2, seed=1)
+        writers = {n for n, k, _o in wl.ops if k == "write"}
+        assert writers == {1}
+        readers = {n for n, k, _o in wl.ops if k == "read"}
+        assert readers <= {2, 3, 4} and readers
+
+    def test_producer_consumer_needs_consumer(self):
+        with pytest.raises(ValueError):
+            producer_consumer(N=1)
+
+    def test_migratory_sequential_ownership(self):
+        wl = migratory(N=3, rounds=6, burst=2)
+        # the writer changes every round, cycling the ring
+        writers = []
+        for n, k, _o in wl.ops:
+            if k == "write" and (not writers or writers[-1] != n):
+                writers.append(n)
+        assert writers[:6] == [1, 2, 3, 1, 2, 3]
+
+    def test_migratory_validates_burst(self):
+        with pytest.raises(ValueError):
+            migratory(N=3, burst=0)
+
+    def test_phased_spmd_coordinator_writes(self):
+        wl = phased_spmd(N=4, phases=5, M=1)
+        assert all(n == 1 for n, k, _o in wl.ops if k == "write")
+        reads_per_phase = sum(
+            1 for n, k, _o in wl.ops[:9] if k == "read"
+        )
+        assert reads_per_phase == 8  # 4 clients x 2 reads before the write
+
+    def test_hot_cold_private_objects_stay_private(self):
+        wl = hot_cold(N=3, iterations=20, seed=2)
+        for n, _k, obj in wl.ops:
+            if obj > 1:
+                assert obj == n + 1  # cold object n+1 belongs to client n
+
+    def test_deterministic_given_seed(self):
+        a = producer_consumer(N=4, iterations=5, seed=7).ops
+        b = producer_consumer(N=4, iterations=5, seed=7).ops
+        assert a == b
+
+
+class TestPatternsMeetProtocols:
+    def test_migratory_favors_berkeley(self):
+        """Sequential read-modify-write sharing is Berkeley's home turf."""
+        results = {}
+        for proto in ("berkeley", "write_through", "firefly"):
+            wl = migratory(N=3, rounds=40, burst=4)
+            wl.rewind()
+            system = DSMSystem(proto, N=3, M=1, S=100, P=30)
+            res = system.run_workload(wl, num_ops=len(wl.ops),
+                                      warmup=len(wl.ops) // 5, seed=0)
+            results[proto] = res.acc
+        assert results["berkeley"] < results["write_through"]
+        assert results["berkeley"] < results["firefly"]
+
+    def test_producer_consumer_favors_update_protocols(self):
+        """Broadcast-update shines when everyone reads every write."""
+        results = {}
+        for proto in ("dragon", "synapse"):
+            wl = producer_consumer(N=4, iterations=60, consume_prob=1.0,
+                                   seed=3)
+            wl.rewind()
+            system = DSMSystem(proto, N=4, M=1, S=2000, P=10)
+            res = system.run_workload(wl, num_ops=len(wl.ops),
+                                      warmup=len(wl.ops) // 5, seed=0)
+            results[proto] = res.acc
+        assert results["dragon"] < results["synapse"]
+
+    def test_estimator_diagnoses_producer_consumer(self):
+        wl = producer_consumer(N=5, iterations=100, consume_prob=0.5,
+                               seed=4)
+        est = estimate_params(wl.ops, N=5)
+        # the producer is the activity center and the only writer
+        assert est.p > 0.1
+        assert est.xi == 0.0
+        assert est.a == 4

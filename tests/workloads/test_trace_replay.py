@@ -1,0 +1,88 @@
+"""Unit tests for trace recording, persistence, replay and estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import WorkloadParams
+from repro.workloads import (
+    TraceRecorder,
+    TraceReplayWorkload,
+    estimate_params,
+    load_trace,
+    read_disturbance_workload,
+    save_trace,
+)
+
+
+TRACE = [(1, "read", 1), (1, "write", 1), (2, "read", 1), (1, "read", 2)]
+
+
+class TestReplay:
+    def test_replays_in_order(self, rng):
+        wl = TraceReplayWorkload(TRACE)
+        assert wl.sample(rng, 3) == TRACE[:3]
+        assert wl.sample(rng, 1) == [TRACE[3]]
+
+    def test_wraps_cyclically(self, rng):
+        wl = TraceReplayWorkload(TRACE)
+        got = wl.sample(rng, 6)
+        assert got[4:] == TRACE[:2]
+
+    def test_rewind(self, rng):
+        wl = TraceReplayWorkload(TRACE)
+        wl.sample(rng, 2)
+        wl.rewind()
+        assert wl.sample(rng, 1) == [TRACE[0]]
+
+    def test_m_inferred(self):
+        assert TraceReplayWorkload(TRACE).M == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TraceReplayWorkload([])
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TraceReplayWorkload([(1, "scan", 1)])
+
+
+class TestRecorder:
+    def test_record_and_freeze(self, rng):
+        params = WorkloadParams(N=3, p=0.4, a=1, sigma=0.1)
+        rec = TraceRecorder(read_disturbance_workload(params, M=2))
+        first = rec.sample(rng, 50)
+        replay = rec.to_workload()
+        assert replay.sample(np.random.default_rng(0), 50) == first
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path, rng):
+        path = tmp_path / "trace.jsonl"
+        save_trace(path, TRACE)
+        wl = load_trace(path)
+        assert wl.sample(rng, len(TRACE)) == TRACE
+
+
+class TestEstimation:
+    def test_recovers_parameters(self, rng):
+        """Section 4.2: parameters from relative frequencies of a trace."""
+        params = WorkloadParams(N=5, p=0.3, a=2, sigma=0.1, S=100, P=30)
+        wl = read_disturbance_workload(params, M=1)
+        ops = wl.sample(rng, 30_000)
+        est = estimate_params(ops, N=5)
+        assert est.p == pytest.approx(0.3, abs=0.02)
+        assert est.a == 2
+        assert est.sigma == pytest.approx(0.1, abs=0.02)
+
+    def test_object_selection(self):
+        ops = [(1, "write", 1)] * 5 + [(2, "read", 2)] * 20
+        est = estimate_params(ops, N=3, obj=1)
+        assert est.p == pytest.approx(1.0)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_params([], N=3)
+
+    def test_unaccessed_object_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_params(TRACE, N=3, obj=9)
