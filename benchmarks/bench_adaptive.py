@@ -7,7 +7,6 @@ classifier + switching runtime over a phase-changing computation and
 compares its total cost per operation against every fixed protocol.
 """
 
-import pytest
 
 from repro.adaptive import AdaptiveRuntime
 from repro.core import ALL_PROTOCOLS, WorkloadParams

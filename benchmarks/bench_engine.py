@@ -6,7 +6,6 @@ pumping) and the analytic solver (chain enumeration + dense stationary
 solve) are visible in the pytest-benchmark history.
 """
 
-import pytest
 
 from repro.core import Deviation, WorkloadParams, markov_acc
 from repro.core.acc import _markov_cached

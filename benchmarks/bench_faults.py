@@ -1,0 +1,100 @@
+"""Reliability-overhead benchmark: ``acc`` under faults vs fault-free.
+
+Not a paper artifact — the paper assumes fault-free channels (Section 2) —
+but the question it could not answer: what does ``acc`` cost when the
+network drops messages and the transport must retransmit?  The sweep runs
+one protocol over drop rate × retry timeout and reports, per cell, the
+measured ``acc`` and its overhead versus the fault-free baseline of the
+same workload and seed.
+
+Expectations encoded as assertions: every cell is finite, the fault-free
+column matches the baseline's protocol share, and overhead grows with the
+drop rate (more retransmissions and more repeated ``S+1`` transfers).
+Longer retry timeouts do not change *what* is retransmitted, only *when* —
+their cost effect is second-order (fewer spurious retransmissions when
+acks race long timeouts), which the table makes visible.
+"""
+
+import math
+
+import pytest
+
+from repro.core.parameters import WorkloadParams
+from repro.sim import DSMSystem, FaultPlan, ReliabilityConfig
+from repro.workloads import read_disturbance_workload
+
+from .conftest import emit
+
+PARAMS = WorkloadParams(N=4, p=0.3, a=3, sigma=0.15, S=100.0, P=30.0)
+DROP_RATES = (0.0, 0.05, 0.1, 0.2)
+TIMEOUTS = (4.0, 8.0, 16.0)
+NUM_OPS = 2000
+WARMUP = 300
+
+
+def run_cell(protocol: str, drop: float, timeout: float) -> dict:
+    faults = FaultPlan(seed=11, drop_rate=drop) if drop > 0 else None
+    reliability = ReliabilityConfig(timeout=timeout, max_retries=20)
+    system = DSMSystem(protocol, N=PARAMS.N, M=1, S=PARAMS.S, P=PARAMS.P,
+                       faults=faults, reliability=reliability)
+    result = system.run_workload(read_disturbance_workload(PARAMS, M=1),
+                                 num_ops=NUM_OPS, warmup=WARMUP, seed=21)
+    system.check_coherence()
+    breakdown = system.metrics.average_cost_breakdown(skip=WARMUP)
+    return {
+        "acc": result.acc,
+        "protocol": breakdown["protocol"],
+        "reliability": breakdown["reliability"],
+        "retx": system.metrics.reliability.retransmissions,
+        "incomplete": result.incomplete_ops,
+    }
+
+
+def run_sweep(protocol: str):
+    baseline = DSMSystem(protocol, N=PARAMS.N, M=1, S=PARAMS.S, P=PARAMS.P)
+    base = baseline.run_workload(read_disturbance_workload(PARAMS, M=1),
+                                 num_ops=NUM_OPS, warmup=WARMUP, seed=21)
+    grid = {
+        (drop, timeout): run_cell(protocol, drop, timeout)
+        for drop in DROP_RATES
+        for timeout in TIMEOUTS
+    }
+    return base.acc, grid
+
+
+@pytest.mark.parametrize("protocol", ["write_through", "berkeley"])
+def test_acc_overhead_under_faults(protocol, benchmark, results_dir):
+    base_acc, grid = benchmark.pedantic(run_sweep, args=(protocol,),
+                                        rounds=1, iterations=1)
+    lines = [
+        f"reliability overhead vs fault-free baseline ({protocol}); "
+        f"baseline acc = {base_acc:.2f}",
+        f"{'drop':>6} {'timeout':>8} {'acc':>9} {'overhead':>9} "
+        f"{'rel.share':>9} {'retx':>6}",
+    ]
+    for (drop, timeout), cell in sorted(grid.items()):
+        lines.append(
+            f"{drop:6.2f} {timeout:8.1f} {cell['acc']:9.2f} "
+            f"{cell['acc'] - base_acc:9.2f} {cell['reliability']:9.2f} "
+            f"{cell['retx']:6d}"
+        )
+    emit(results_dir, f"faults_{protocol}.txt", "\n".join(lines))
+
+    # every cell finished healthy with a finite acc
+    for cell in grid.values():
+        assert math.isfinite(cell["acc"])
+        assert cell["incomplete"] == 0
+    # overhead grows with the drop rate at every timeout
+    for timeout in TIMEOUTS:
+        overheads = [grid[(drop, timeout)]["reliability"]
+                     for drop in DROP_RATES]
+        assert overheads == sorted(overheads), (
+            f"reliability overhead not monotone in drop rate at "
+            f"timeout={timeout}: {overheads}"
+        )
+    # the fault-free column is pure ack overhead: no retransmissions and
+    # the protocol share equals the unwrapped baseline
+    for timeout in TIMEOUTS:
+        cell = grid[(0.0, timeout)]
+        assert cell["retx"] == 0
+        assert cell["protocol"] == pytest.approx(base_acc)

@@ -14,7 +14,6 @@ figures.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import (
     Deviation,

@@ -15,7 +15,6 @@ Two views of the question:
   cross-checked against the chain.
 """
 
-import pytest
 
 from repro.core.ejection import ejecting_markov_acc
 from repro.core.parameters import Deviation, WorkloadParams

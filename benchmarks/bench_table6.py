@@ -11,7 +11,6 @@ Regenerates: one row per protocol over a representative ``(p, sigma)``
 grid with the Figure 5 parameterization (``N=50, a=10, P=30, S=5000``).
 """
 
-import numpy as np
 import pytest
 
 from repro.core import (

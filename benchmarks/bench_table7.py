@@ -12,7 +12,6 @@ grid uses ``sigma`` steps of 0.1 up to the feasibility limit
 ``p + 2 sigma <= 1`` (the paper's blank cells).
 """
 
-import numpy as np
 import pytest
 
 from repro.core.parameters import WorkloadParams

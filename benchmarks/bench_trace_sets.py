@@ -9,7 +9,6 @@ costs — the machine-derived counterpart of the paper's Section 4.1 trace
 descriptions.
 """
 
-import pytest
 
 from repro.core.parameters import Deviation
 from repro.core.trace_discovery import discover_traces, format_trace_table

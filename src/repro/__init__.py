@@ -43,7 +43,13 @@ from .core import (
     rank_protocols,
 )
 from .protocols import PROTOCOLS, get_protocol, protocol_names
-from .sim import DSMSystem, SimulationResult
+from .sim import (
+    CrashWindow,
+    DSMSystem,
+    FaultPlan,
+    ReliabilityConfig,
+    SimulationResult,
+)
 
 __version__ = "1.0.0"
 
@@ -62,7 +68,10 @@ __all__ = [
     "PROTOCOLS",
     "get_protocol",
     "protocol_names",
+    "CrashWindow",
     "DSMSystem",
+    "FaultPlan",
+    "ReliabilityConfig",
     "SimulationResult",
     "__version__",
 ]

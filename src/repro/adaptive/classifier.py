@@ -9,7 +9,7 @@ set can be restricted (e.g. to protocols an installation actually ships).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Tuple
 
 from ..core.acc import analytical_acc
 from ..core.comparison import ALL_PROTOCOLS, rank_protocols

@@ -19,7 +19,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.parameters import Deviation, WorkloadParams
+from ..core.parameters import WorkloadParams
 from ..sim.system import DSMSystem
 from ..workloads.base import Workload
 from .classifier import Decision, ProtocolClassifier

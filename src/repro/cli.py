@@ -29,6 +29,8 @@ from .core.comparison import ALL_PROTOCOLS, rank_protocols
 from .core.parameters import Deviation, WorkloadParams
 from .core.placement import placement_advantage
 from .protocols.registry import EXTENSION_PROTOCOLS, PROTOCOLS
+from .sim.faults import CrashWindow, FaultPlan
+from .sim.reliable import ReliabilityConfig
 from .sim.system import DSMSystem
 from .validation.compare import compare_cell
 from .workloads.synthetic import SyntheticWorkload
@@ -68,6 +70,28 @@ def _params(args: argparse.Namespace) -> WorkloadParams:
                           xi=args.xi, beta=args.beta, S=args.S, P=args.P)
 
 
+def _parse_crash(spec: str) -> CrashWindow:
+    """Parse a ``NODE:START[:END]`` crash-window argument."""
+    parts = spec.split(":")
+    if len(parts) not in (2, 3):
+        raise ValueError(
+            f"invalid --crash-at {spec!r}: expected NODE:START[:END]"
+        )
+    node, start = int(parts[0]), float(parts[1])
+    if len(parts) == 3:
+        return CrashWindow(node, start, float(parts[2]))
+    return CrashWindow(node, start)
+
+
+def _fault_plan(args: argparse.Namespace) -> Optional[FaultPlan]:
+    """Build the fault plan from the simulate flags (None when fault-free)."""
+    crashes = [_parse_crash(spec) for spec in args.crash_at]
+    plan = FaultPlan(seed=args.fault_seed, drop_rate=args.drop_rate,
+                     duplicate_rate=args.dup_rate, jitter=args.jitter,
+                     crashes=crashes)
+    return None if plan.is_none else plan
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -100,6 +124,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--seed", type=int, default=0)
     p_sim.add_argument("--capacity", type=int, default=None,
                        help="finite replica pool per client (Section 6)")
+    p_sim.add_argument("--drop-rate", type=float, default=0.0,
+                       help="per-transmission message loss probability")
+    p_sim.add_argument("--dup-rate", type=float, default=0.0,
+                       help="per-transmission duplication probability")
+    p_sim.add_argument("--jitter", type=float, default=0.0,
+                       help="max extra delivery delay (uniform jitter)")
+    p_sim.add_argument("--crash-at", action="append", default=[],
+                       metavar="NODE:START[:END]",
+                       help="crash a node for [START, END) sim time "
+                            "(END omitted: never recovers); repeatable")
+    p_sim.add_argument("--fault-seed", type=int, default=0,
+                       help="seed of the fault plan's RNG stream")
+    p_sim.add_argument("--retry-timeout", type=float, default=8.0,
+                       help="base ack timeout of the reliable layer")
+    p_sim.add_argument("--retry-backoff", type=float, default=2.0,
+                       help="exponential backoff multiplier per retry")
+    p_sim.add_argument("--max-retries", type=int, default=10,
+                       help="retry budget before a send is abandoned")
 
     p_place = sub.add_parser(
         "place",
@@ -139,19 +181,51 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"{name:20s} {acc:12.4f}")
         elif args.command == "simulate":
             warmup = args.warmup if args.warmup is not None else args.ops // 4
+            faults = _fault_plan(args)
+            reliability = (
+                ReliabilityConfig(timeout=args.retry_timeout,
+                                  backoff=args.retry_backoff,
+                                  max_retries=args.max_retries)
+                if faults is not None else None
+            )
             system = DSMSystem(args.protocol, N=params.N, M=args.M,
                                S=params.S, P=params.P,
-                               capacity=args.capacity)
+                               capacity=args.capacity,
+                               faults=faults, reliability=reliability)
             workload = SyntheticWorkload(params, deviation, M=args.M)
             result = system.run_workload(workload, num_ops=args.ops,
                                          warmup=warmup, seed=args.seed)
-            system.check_coherence()
+            stats = system.metrics.reliability
+            if stats.delivery_failures == 0:
+                # a degraded run legitimately leaves copies incoherent
+                # (an abandoned message may have been an invalidation).
+                system.check_coherence()
             predicted = analytical_acc(args.protocol, params, deviation)
-            lat = result.metrics.latency_stats(skip=warmup)
             print(f"simulated acc   = {result.acc:.4f}")
-            print(f"analytic acc    = {predicted:.4f} (no pool)")
+            print(f"analytic acc    = {predicted:.4f} (no pool, fault-free)")
             print(f"messages        = {result.messages}")
-            print(f"latency mean/p95 = {lat['mean']:.2f} / {lat['p95']:.2f}")
+            if result.measured > 0:
+                lat = result.metrics.latency_stats(skip=warmup)
+                print(f"latency mean/p95 = {lat['mean']:.2f} / "
+                      f"{lat['p95']:.2f}")
+            if faults is not None:
+                print(f"faults          = {faults.describe()}")
+                if result.measured > 0:
+                    breakdown = system.metrics.average_cost_breakdown(
+                        skip=warmup)
+                    print(f"acc breakdown   = "
+                          f"{breakdown['protocol']:.4f} protocol"
+                          f" + {breakdown['reliability']:.4f} reliability")
+                print(f"retransmissions = {stats.retransmissions}")
+                print(f"acks            = {stats.acks}")
+                print(f"drops           = {stats.drops}")
+                print(f"dups suppressed = {stats.duplicates_suppressed}")
+                if stats.crashes:
+                    print(f"crashes/recoveries = {stats.crashes}/"
+                          f"{stats.recoveries}")
+                if stats.delivery_failures:
+                    print(f"delivery failures  = {stats.delivery_failures} "
+                          f"({result.incomplete_ops} ops incomplete)")
             if args.capacity is not None:
                 print(f"data-op cost    = {system.data_cost_rate(warmup):.4f}")
                 evictions = sum(

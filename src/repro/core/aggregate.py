@@ -20,7 +20,7 @@ the access-weighted mean of the per-object costs:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Sequence
 
 from .acc import analytical_acc
 from .parameters import Deviation, WorkloadParams

@@ -20,7 +20,7 @@ mutually exclusive and exhaustive sample space.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Hashable, List, Sequence, Tuple
+from typing import Callable, Hashable, List, Tuple
 
 from .kernels import Env, ProtocolKernel, get_kernel
 from .markov import solve_chain

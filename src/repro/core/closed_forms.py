@@ -22,7 +22,7 @@ our reconstruction; use :func:`repro.core.chains.markov_acc` for them.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple, Union
+from typing import Callable, Dict, Tuple, Union
 
 import numpy as np
 

@@ -18,14 +18,12 @@ with ``A = sum_k sigma_k`` and ``r = 1 - p - A``.
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, List, Sequence, Tuple
+from typing import Hashable, Sequence
 
-import numpy as np
 
 from .chains import GroupSpec
 from .kernels import Env, get_kernel
 from .markov import solve_chain
-from .parameters import WorkloadParams
 
 __all__ = [
     "heterogeneous_markov_acc",

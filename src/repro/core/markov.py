@@ -20,7 +20,7 @@ The protocol-specific transition generators live in
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, Hashable, List, Sequence, Tuple
 
 import numpy as np
 

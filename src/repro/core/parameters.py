@@ -34,11 +34,10 @@ form a simplex:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from enum import Enum
 from typing import Iterator, Sequence, Tuple
 
-import numpy as np
 
 __all__ = [
     "Deviation",

@@ -18,7 +18,7 @@ the knobs for a workload.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from .acc import analytical_acc
 from .parameters import Deviation, WorkloadParams

@@ -23,11 +23,11 @@ Write-Through.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .chains import GroupSpec, deviation_groups
+from .chains import deviation_groups
 from .kernels import Env, get_kernel
 from .markov import enumerate_chain
 from .parameters import Deviation, WorkloadParams

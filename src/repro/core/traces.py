@@ -26,8 +26,8 @@ once (e.g. ``CostExpr(units=2, ui=1)`` for ``S + 2``) and evaluated for any
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Tuple
 
 __all__ = [
     "CostExpr",

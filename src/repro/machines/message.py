@@ -26,7 +26,7 @@ for ``'w'`` and ``S + 1`` for ``'ui'``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Optional
 

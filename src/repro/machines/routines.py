@@ -26,10 +26,10 @@ recording context to assert exact message sequences (Figures 2-4).
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, Union
 
-from .message import Message, MessageToken, MsgType, ParamPresence, QueueTag
+from .message import MsgType, ParamPresence, QueueTag
 
 __all__ = [
     "Destination",

@@ -29,10 +29,10 @@ the client-side and sequencer-side processes plus the protocol's metadata
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Tuple
 
-from ..machines.message import Message, MessageToken, MsgType, ParamPresence
+from ..machines.message import Message, MsgType, ParamPresence
 
 __all__ = [
     "READ",

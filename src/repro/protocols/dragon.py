@@ -31,7 +31,6 @@ from ..machines.message import Message, MsgType, ParamPresence
 from .base import (
     EJECT,
     READ,
-    WRITE,
     Operation,
     ProcessContext,
     ProtocolProcess,

@@ -28,7 +28,6 @@ from ..machines.message import Message, MsgType, ParamPresence
 from .base import (
     EJECT,
     READ,
-    WRITE,
     Operation,
     ProcessContext,
     ProtocolProcess,
@@ -136,7 +135,6 @@ class FireflySequencer(ProtocolProcess):
         if mtype is not MsgType.UPD:  # pragma: no cover
             raise ValueError(f"firefly sequencer: unexpected {mtype}")
         needs_ui = bool(msg.payload.get("needs_ui"))
-        prior = self.value
         self.value = msg.payload["value"]
         self.serialized_writes += 1
         self.ctx.broadcast_except(

@@ -27,7 +27,6 @@ from ..machines.message import Message, MsgType, ParamPresence
 from .base import (
     EJECT,
     READ,
-    WRITE,
     HoldingMixin,
     Operation,
     ProcessContext,

@@ -28,7 +28,6 @@ from ..machines.message import Message, MsgType, ParamPresence
 from .base import (
     EJECT,
     READ,
-    WRITE,
     HoldingMixin,
     Operation,
     ProcessContext,

@@ -40,7 +40,6 @@ from ..machines.message import Message, MsgType, ParamPresence
 from .base import (
     EJECT,
     READ,
-    WRITE,
     HoldingMixin,
     Operation,
     ProcessContext,

@@ -17,13 +17,12 @@ eight) and is used by the broadcast-vs-directory ablation benchmark.
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import Set
 
 from ..machines.message import Message, MsgType, ParamPresence
 from .base import (
     EJECT,
     READ,
-    WRITE,
     Operation,
     ProcessContext,
     ProtocolProcess,

@@ -37,7 +37,6 @@ from ..machines.message import Message, MsgType, ParamPresence
 from .base import (
     EJECT,
     READ,
-    WRITE,
     Operation,
     ProcessContext,
     ProtocolProcess,

@@ -1,13 +1,18 @@
 """Discrete-event simulator of the replicated shared-memory system
 (paper Sections 2 and 5.2): event engine, FIFO fabric, nodes with
-local/distributed queues, cost metrics, and the :class:`DSMSystem` facade."""
+local/distributed queues, cost metrics, and the :class:`DSMSystem` facade —
+plus the robustness extensions: seeded fault injection
+(:mod:`repro.sim.faults`) and the reliable exactly-once FIFO delivery layer
+(:mod:`repro.sim.reliable`)."""
 
 from .channel import Network
+from .engine import EventScheduler, TimerHandle
+from .faults import CrashWindow, FaultPlan
 from .locks import LockClient, LockManager
-from .pool import ReplicaPool
-from .engine import EventScheduler
-from .metrics import Metrics, OpRecord
+from .metrics import Metrics, OpRecord, ReliabilityStats
 from .node import ObjectPort, SimNode
+from .pool import ReplicaPool
+from .reliable import Frame, ReliabilityConfig, ReliableNetwork
 from .system import DSMSystem, SimulationResult
 
 __all__ = [
@@ -16,8 +21,15 @@ __all__ = [
     "LockManager",
     "ReplicaPool",
     "EventScheduler",
+    "TimerHandle",
+    "CrashWindow",
+    "FaultPlan",
+    "Frame",
+    "ReliabilityConfig",
+    "ReliableNetwork",
     "Metrics",
     "OpRecord",
+    "ReliabilityStats",
     "ObjectPort",
     "SimNode",
     "DSMSystem",

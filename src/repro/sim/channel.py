@@ -1,4 +1,4 @@
-"""Fault-free FIFO message fabric (paper Section 2).
+"""FIFO message fabric (paper Section 2), optionally made faulty.
 
 The paper assumes "fault free communication between nodes and the
 implementation of the message passing mechanism through channels that
@@ -9,6 +9,13 @@ delivered and not corrupted."
 a constant per-message latency.  Constant latency plus the scheduler's
 schedule-order tie-breaking yields exact FIFO delivery per channel; a
 per-channel sequence check enforces (and tests assert) the invariant.
+
+With a :class:`~repro.sim.faults.FaultPlan` attached the fabric becomes the
+*physical* layer of the fault model (docs/faults.md): transmissions may be
+dropped, duplicated, or delayed by jitter, and nothing is sent by or
+delivered to a crashed node.  Jitter can reorder deliveries, so the strict
+FIFO invariant is waived in fault mode — the reliable-delivery layer
+(:mod:`repro.sim.reliable`) restores exactly-once FIFO order above it.
 
 Message costs (Section 4.1) are charged at send time through the attached
 :class:`~repro.sim.metrics.Metrics` sink: 1 for a bare token, ``S + 1`` with
@@ -21,16 +28,28 @@ from typing import Callable, Dict, Optional, Tuple
 
 from ..machines.message import Message
 from .engine import EventScheduler
+from .faults import FaultPlan
 
 __all__ = ["Network"]
 
 
 class Network:
-    """Full-mesh fault-free FIFO fabric over an event scheduler.
+    """Full-mesh FIFO fabric over an event scheduler.
 
     The star usage restriction (clients talk only to the sequencer/owner) is
     a property of the protocols, not of the fabric; modelling a full mesh
     lets the migrating-owner protocols (Berkeley, Dragon) address any node.
+
+    Args:
+        scheduler: the discrete-event engine.
+        latency: constant per-hop delay (must be positive).
+        on_cost: cost sink, called as ``on_cost(msg, cost)`` for every
+            charged (inter-node) send.
+        faults: optional fault plan; ``None`` or :meth:`FaultPlan.none`
+            keeps the paper-faithful fault-free fabric.
+        on_fault: optional observer, called with ``"drop"``,
+            ``"duplicate"``, ``"down_src"`` or ``"down_dst"`` for every
+            injected fault event.
     """
 
     def __init__(
@@ -38,46 +57,111 @@ class Network:
         scheduler: EventScheduler,
         latency: float = 1.0,
         on_cost: Optional[Callable[[Message, float], None]] = None,
+        faults: Optional[FaultPlan] = None,
+        on_fault: Optional[Callable[[str], None]] = None,
     ):
         if latency <= 0:
             raise ValueError("latency must be positive for causal delivery")
         self.scheduler = scheduler
         self.latency = latency
         self.on_cost = on_cost
+        # a no-fault plan is normalized away: the fault-free path below is
+        # then byte-for-byte the paper's fabric (pay-for-what-you-use).
+        self.faults = faults if faults is not None and not faults.is_none else None
+        self.on_fault = on_fault
         self._deliver_to: Dict[int, Callable[[Message], None]] = {}
-        # FIFO bookkeeping: last sent / last delivered sequence per channel.
+        # FIFO bookkeeping: per-channel send / delivery counters.  True
+        # per-channel counters (not a shared global) make the invariant
+        # check — and the reliable layer's duplicate suppression, which
+        # reuses the same numbering idea — meaningful per channel.
         self._sent_seq: Dict[Tuple[int, int], int] = {}
         self._delivered_seq: Dict[Tuple[int, int], int] = {}
-        self._next_seq = 0
         #: total messages sent (all cost classes)
         self.messages_sent = 0
+        #: transmissions lost to the fault plan (drops + dead receivers)
+        self.dropped = 0
+        #: extra deliveries injected by the fault plan
+        self.duplicated = 0
+        #: sends swallowed because the source node was down
+        self.suppressed = 0
 
     def attach(self, node_id: int, handler: Callable[[Message], None]) -> None:
         """Register the delivery handler for a node."""
         self._deliver_to[node_id] = handler
 
+    def _fault_event(self, kind: str) -> None:
+        if self.on_fault is not None:
+            self.on_fault(kind)
+
     def send(self, msg: Message, S: float, P: float) -> float:
-        """Send ``msg``; charge its cost; schedule FIFO delivery.
+        """Send ``msg``; charge its cost; schedule delivery.
 
         Returns the communication cost charged (0 for self-sends, which the
-        paper counts as intra-node actions).
+        paper counts as intra-node actions, and 0 for sends suppressed
+        because the source node is crashed).
+
+        Raises:
+            RuntimeError: if ``msg.dst`` was never attached to the fabric.
         """
+        if msg.dst not in self._deliver_to:
+            raise RuntimeError(
+                f"cannot send {type(msg).__name__} from node {msg.src}: "
+                f"destination node {msg.dst} is not attached to the network"
+            )
+        faulty = self.faults is not None and msg.src != msg.dst
+        if faulty and self.faults.is_down(msg.src, self.scheduler.now):
+            # the source's interface is dead: nothing leaves the node and
+            # nothing is charged (the message was never emitted).
+            self.suppressed += 1
+            self._fault_event("down_src")
+            return 0.0
         cost = msg.cost(S, P)
         if self.on_cost is not None and cost > 0.0:
             self.on_cost(msg, cost)
         self.messages_sent += 1
         channel = (msg.src, msg.dst)
-        self._next_seq += 1
-        seq = self._next_seq
+        seq = self._sent_seq.get(channel, 0) + 1
         self._sent_seq[channel] = seq
 
-        def deliver() -> None:
-            # FIFO invariant: per channel, delivery follows send order.
+        if not faulty:
+
+            def deliver() -> None:
+                # FIFO invariant: per channel, delivery follows send order.
+                last = self._delivered_seq.get(channel, 0)
+                if seq < last:  # pragma: no cover - would indicate an engine bug
+                    raise RuntimeError(f"FIFO violation on channel {channel}")
+                self._delivered_seq[channel] = seq
+                self._deliver_to[msg.dst](msg)
+
+            self.scheduler.schedule(self.latency, deliver)
+            return cost
+
+        # ---- fault path: drops, duplicates, jitter, dead receivers ----
+        plan = self.faults
+
+        def deliver_faulty() -> None:
+            if plan.is_down(msg.dst, self.scheduler.now):
+                # the receiver is crashed: the transmission is lost.
+                self.dropped += 1
+                self._fault_event("down_dst")
+                return
+            # jitter reorders deliveries, so no strict FIFO check here;
+            # track the high-water mark for observability only.
             last = self._delivered_seq.get(channel, 0)
-            if seq < last:  # pragma: no cover - would indicate an engine bug
-                raise RuntimeError(f"FIFO violation on channel {channel}")
-            self._delivered_seq[channel] = seq
+            if seq > last:
+                self._delivered_seq[channel] = seq
             self._deliver_to[msg.dst](msg)
 
-        self.scheduler.schedule(self.latency, deliver)
+        if plan.should_drop(msg.src, msg.dst):
+            self.dropped += 1
+            self._fault_event("drop")
+        else:
+            delay = self.latency + plan.jitter_for(msg.src, msg.dst)
+            self.scheduler.schedule(delay, deliver_faulty)
+        if plan.should_duplicate(msg.src, msg.dst):
+            self.duplicated += 1
+            self._fault_event("duplicate")
+            delay = self.latency + plan.jitter_for(msg.src, msg.dst)
+            self.scheduler.schedule(delay, deliver_faulty)
         return cost
+

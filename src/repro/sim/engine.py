@@ -1,14 +1,18 @@
 """Deterministic discrete-event engine for the distributed-system simulator.
 
-A classic event-list scheduler: events are ``(time, sequence, callback)``
+A classic event-list scheduler: events are ``(time, sequence, handle)``
 triples kept in a binary heap.  The monotonically increasing sequence number
 breaks time ties in schedule order, which — together with constant channel
 latency — preserves the first-in/first-out property the paper assumes for
 every communication channel and queue (Section 2).
 
-The engine is intentionally minimal and allocation-light (the simulator
-schedules millions of events in the Table 7 reproduction); profiling showed
-tuple-heap scheduling to be the fastest pure-Python representation.
+Scheduling returns a :class:`TimerHandle`; the reliable-delivery layer
+(:mod:`repro.sim.reliable`) cancels retransmission timers through it when an
+acknowledgement arrives.  Cancellation is lazy: the heap entry stays in
+place and is discarded, uncounted, when it reaches the front — cancelling is
+O(1) and the hot scheduling path stays allocation-light (the simulator
+schedules millions of events in the Table 7 reproduction; the handle is a
+single slotted object per event).
 """
 
 from __future__ import annotations
@@ -16,7 +20,39 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Optional, Tuple
 
-__all__ = ["EventScheduler"]
+__all__ = ["EventScheduler", "TimerHandle"]
+
+
+class TimerHandle:
+    """Handle to one scheduled event; supports O(1) cancellation.
+
+    A handle is *active* until its event fires or it is cancelled,
+    whichever comes first.  Cancelling an inactive handle is a no-op.
+    """
+
+    __slots__ = ("_callback", "_scheduler")
+
+    def __init__(self, scheduler: "EventScheduler",
+                 callback: Callable[[], None]) -> None:
+        self._scheduler = scheduler
+        self._callback = callback
+
+    def cancel(self) -> bool:
+        """Cancel the event if it has not fired yet.
+
+        Returns ``True`` if this call cancelled a still-pending event,
+        ``False`` if the event already fired or was already cancelled.
+        """
+        if self._callback is None:
+            return False
+        self._callback = None
+        self._scheduler._cancelled += 1
+        return True
+
+    @property
+    def active(self) -> bool:
+        """Whether the event is still pending (not fired, not cancelled)."""
+        return self._callback is not None
 
 
 class EventScheduler:
@@ -28,41 +64,58 @@ class EventScheduler:
     """
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._heap: List[Tuple[float, int, TimerHandle]] = []
         self._seq = 0
+        self._cancelled = 0  # cancelled entries still parked in the heap
         #: current simulation time
         self.now: float = 0.0
         #: number of events executed so far
         self.executed: int = 0
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+    def schedule(self, delay: float, callback: Callable[[], None]
+                 ) -> TimerHandle:
         """Schedule ``callback`` to run ``delay`` time units from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
+        return self._push(self.now + delay, callback)
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+    def schedule_at(self, time: float, callback: Callable[[], None]
+                    ) -> TimerHandle:
         """Schedule ``callback`` at an absolute simulation time."""
         if time < self.now:
             raise ValueError(
                 f"cannot schedule at {time} before current time {self.now}"
             )
+        return self._push(time, callback)
+
+    def _push(self, time: float, callback: Callable[[], None]) -> TimerHandle:
         self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, callback))
+        handle = TimerHandle(self, callback)
+        heapq.heappush(self._heap, (time, self._seq, handle))
+        return handle
 
     def __len__(self) -> int:
-        return len(self._heap)
+        """Number of live (non-cancelled) pending events."""
+        return len(self._heap) - self._cancelled
 
     def step(self) -> bool:
-        """Execute the next event; returns ``False`` when the list is empty."""
-        if not self._heap:
-            return False
-        time, _seq, callback = heapq.heappop(self._heap)
-        self.now = time
-        self.executed += 1
-        callback()
-        return True
+        """Execute the next live event; ``False`` when none remain.
+
+        Cancelled entries reaching the front of the heap are discarded
+        without advancing time or counting as executed.
+        """
+        while self._heap:
+            time, _seq, handle = heapq.heappop(self._heap)
+            callback = handle._callback
+            if callback is None:  # cancelled: discard silently
+                self._cancelled -= 1
+                continue
+            handle._callback = None  # fired: the handle goes inactive
+            self.now = time
+            self.executed += 1
+            callback()
+            return True
+        return False
 
     def run(
         self,
@@ -80,7 +133,7 @@ class EventScheduler:
             The number of events executed by this call.
         """
         start = self.executed
-        while self._heap:
+        while len(self):
             if max_events is not None and self.executed - start >= max_events:
                 break
             if until is not None and until():

@@ -1,0 +1,192 @@
+"""Deterministic fault injection for the simulator's message fabric.
+
+The paper assumes "fault free communication between nodes" (Section 2); a
+:class:`FaultPlan` deliberately breaks that assumption so the reliability
+overhead of the coherence protocols becomes measurable (docs/faults.md).
+A plan injects, reproducibly from a single seed:
+
+* **message drops** — each inter-node transmission is lost with probability
+  ``drop_rate``;
+* **duplicates** — each transmission is delivered a second time with
+  probability ``duplicate_rate``;
+* **latency jitter** — each delivery is delayed by an extra
+  ``U(0, jitter)`` on top of the channel latency (which reorders
+  messages across a channel);
+* **timed node crashes** — during a :class:`CrashWindow` the node's network
+  interface is silent: nothing it sends leaves the node and nothing
+  addressed to it is delivered.  Crashing the sequencer is allowed (and is
+  the interesting case).  The model is fail-recover with durable state:
+  protocol state survives the outage, only communication is lost.
+
+Determinism: every drop/duplicate/jitter decision consumes the plan's own
+``random.Random(seed)`` stream in simulation order, so two runs with the
+same workload seed and the same plan seed make identical decisions.  A plan
+is therefore single-use — build a fresh one per run (``replay()`` returns an
+identically-configured fresh plan).
+
+``FaultPlan.none()`` is the explicit no-fault plan; the system treats it
+exactly like "no plan at all", so fault-free runs stay bit-identical to the
+paper-faithful fabric (pay-for-what-you-use).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["CrashWindow", "FaultPlan"]
+
+
+@dataclass(frozen=True, slots=True)
+class CrashWindow:
+    """One node-outage interval ``[start, end)`` in simulation time."""
+
+    node: int
+    start: float
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"crash start must be >= 0, got {self.start}")
+        if self.end <= self.start:
+            raise ValueError(
+                f"crash window must end after it starts "
+                f"({self.start} .. {self.end})"
+            )
+
+    def covers(self, time: float) -> bool:
+        """Whether the node is down at ``time``."""
+        return self.start <= time < self.end
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of communication faults.
+
+    Args:
+        seed: seed for the plan's private RNG stream.
+        drop_rate: per-transmission loss probability, in ``[0, 1]``.
+        duplicate_rate: per-transmission duplication probability, ``[0, 1]``.
+        jitter: maximum extra delivery delay (uniform on ``[0, jitter]``).
+        crashes: node-outage windows (:class:`CrashWindow` instances or
+            ``(node, start[, end])`` tuples).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        drop_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        jitter: float = 0.0,
+        crashes: Sequence = (),
+    ) -> None:
+        if not 0.0 <= drop_rate <= 1.0:
+            raise ValueError(f"drop_rate must be in [0, 1], got {drop_rate}")
+        if not 0.0 <= duplicate_rate <= 1.0:
+            raise ValueError(
+                f"duplicate_rate must be in [0, 1], got {duplicate_rate}"
+            )
+        if jitter < 0.0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
+        self.seed = seed
+        self.drop_rate = drop_rate
+        self.duplicate_rate = duplicate_rate
+        self.jitter = jitter
+        self.crashes: Tuple[CrashWindow, ...] = tuple(
+            w if isinstance(w, CrashWindow) else CrashWindow(*w)
+            for w in crashes
+        )
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The explicit no-fault plan (identical to running without one)."""
+        return cls()
+
+    def replay(self) -> "FaultPlan":
+        """A fresh plan with the same configuration and a rewound RNG."""
+        return FaultPlan(
+            seed=self.seed,
+            drop_rate=self.drop_rate,
+            duplicate_rate=self.duplicate_rate,
+            jitter=self.jitter,
+            crashes=self.crashes,
+        )
+
+    @property
+    def is_none(self) -> bool:
+        """Whether this plan injects no faults at all."""
+        return (
+            self.drop_rate == 0.0
+            and self.duplicate_rate == 0.0
+            and self.jitter == 0.0
+            and not self.crashes
+        )
+
+    # ------------------------------------------------------------------
+    # per-transmission decisions (consume the RNG stream in call order)
+    # ------------------------------------------------------------------
+
+    def should_drop(self, src: int, dst: int) -> bool:
+        """Decide whether this transmission on ``src -> dst`` is lost."""
+        if self.drop_rate == 0.0:
+            return False
+        return self._rng.random() < self.drop_rate
+
+    def should_duplicate(self, src: int, dst: int) -> bool:
+        """Decide whether this transmission is delivered twice."""
+        if self.duplicate_rate == 0.0:
+            return False
+        return self._rng.random() < self.duplicate_rate
+
+    def jitter_for(self, src: int, dst: int) -> float:
+        """Extra delivery delay for one delivery on ``src -> dst``."""
+        if self.jitter == 0.0:
+            return 0.0
+        return self._rng.uniform(0.0, self.jitter)
+
+    # ------------------------------------------------------------------
+    # crash schedule
+    # ------------------------------------------------------------------
+
+    def is_down(self, node: int, time: float) -> bool:
+        """Whether ``node``'s network interface is dead at ``time``."""
+        for window in self.crashes:
+            if window.node == node and window.covers(time):
+                return True
+        return False
+
+    def crash_edges(self) -> List[Tuple[float, int, str]]:
+        """Sorted ``(time, node, "crash"|"recover")`` bookkeeping events.
+
+        Recovery edges at ``inf`` (a node that never comes back) are
+        omitted.
+        """
+        edges: List[Tuple[float, int, str]] = []
+        for w in self.crashes:
+            edges.append((w.start, w.node, "crash"))
+            if math.isfinite(w.end):
+                edges.append((w.end, w.node, "recover"))
+        edges.sort()
+        return edges
+
+    def describe(self) -> str:
+        """One-line human-readable summary (used by the CLI)."""
+        if self.is_none:
+            return "no faults"
+        parts = [f"seed={self.seed}"]
+        if self.drop_rate:
+            parts.append(f"drop={self.drop_rate:g}")
+        if self.duplicate_rate:
+            parts.append(f"dup={self.duplicate_rate:g}")
+        if self.jitter:
+            parts.append(f"jitter<={self.jitter:g}")
+        for w in self.crashes:
+            end = "∞" if math.isinf(w.end) else f"{w.end:g}"
+            parts.append(f"crash(node {w.node}: {w.start:g}..{end})")
+        return ", ".join(parts)

@@ -22,7 +22,7 @@ zero cost.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Dict, Optional, Tuple
+from typing import Deque, Dict, Optional, Tuple
 
 from ..machines.message import Message, MessageToken, MsgType, ParamPresence, QueueTag
 from ..protocols.base import ACQUIRE, Operation, RELEASE

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..machines.message import Message
 
-__all__ = ["OpRecord", "Metrics"]
+__all__ = ["OpRecord", "ReliabilityStats", "Metrics"]
 
 
 @dataclass(slots=True)
@@ -40,11 +40,49 @@ class OpRecord:
     cost: float = 0.0
     #: ordered (msg_type, presence) trace signature
     signature: List[Tuple[str, str]] = field(default_factory=list)
+    #: portion of ``cost`` charged by the reliability layer (retransmissions
+    #: and acknowledgements); 0 on the fault-free fabric
+    reliability_cost: float = 0.0
 
     @property
     def completed(self) -> bool:
         """Whether the operation has finished."""
         return self.complete_time is not None
+
+
+@dataclass(slots=True)
+class ReliabilityStats:
+    """Counters for the fault plan and the reliable-delivery layer.
+
+    All zero on the paper-faithful fault-free fabric.  ``cost`` is the total
+    communication cost the reliability layer added on top of the protocol's
+    own messages; dividing it over the measurement window gives the
+    reliability share of ``acc`` (see :meth:`Metrics.average_cost_breakdown`).
+    """
+
+    #: retransmissions triggered by acknowledgement timeouts
+    retransmissions: int = 0
+    #: acknowledgement frames sent by receivers
+    acks: int = 0
+    #: received frames discarded as duplicates (injected or retransmitted)
+    duplicates_suppressed: int = 0
+    #: frames parked in a reorder buffer until the FIFO gap closed
+    out_of_order_held: int = 0
+    #: physical transmissions lost (random drops + deliveries to dead nodes)
+    drops: int = 0
+    #: extra physical deliveries injected by the fault plan
+    duplicates_injected: int = 0
+    #: sends swallowed because the source node was crashed
+    sends_suppressed: int = 0
+    #: node crash / recovery edges observed during the run
+    crashes: int = 0
+    recoveries: int = 0
+    #: sends abandoned after the retry budget ran out (graceful degradation)
+    delivery_failures: int = 0
+    #: operation ids whose traffic hit a delivery failure
+    failed_op_ids: List[int] = field(default_factory=list)
+    #: total communication cost charged by the reliability layer
+    cost: float = 0.0
 
 
 class Metrics:
@@ -55,6 +93,9 @@ class Metrics:
         self._completed: List[int] = []  # op ids in completion order
         #: total cost of unattributed messages (op_id None); should stay 0
         self.unattributed_cost: float = 0.0
+        #: fault-injection / reliable-delivery counters (all zero without
+        #: a fault plan)
+        self.reliability = ReliabilityStats()
 
     # ------------------------------------------------------------------
     # recording
@@ -75,6 +116,24 @@ class Metrics:
         rec.signature.append(
             (msg.token.type.value, msg.token.parameter_presence.value)
         )
+
+    def record_reliability_cost(self, op_id: Optional[int], cost: float) -> None:
+        """Charge a reliability-layer message (retransmission or ack).
+
+        The cost is attributed to the operation whose traffic needed it —
+        it inflates the operation's ``cost`` (and hence ``acc``) but is
+        tracked separately so the overhead of reliable delivery can be
+        broken out — and is *not* appended to the trace signature, so
+        trace-set comparisons against the paper stay meaningful under
+        faults.
+        """
+        self.reliability.cost += cost
+        if op_id is None or op_id not in self._ops:
+            self.unattributed_cost += cost
+            return
+        rec = self._ops[op_id]
+        rec.cost += cost
+        rec.reliability_cost += cost
 
     def record_complete(self, op_id: int, time: float) -> None:
         """Mark an operation complete (in global completion order)."""
@@ -109,6 +168,27 @@ class Metrics:
         if not recs:
             raise ValueError("no completed operations in the window")
         return sum(r.cost for r in recs) / len(recs)
+
+    def average_cost_breakdown(self, skip: int = 0, take: Optional[int] = None
+                               ) -> Dict[str, float]:
+        """Split steady-state ``acc`` into protocol and reliability shares.
+
+        Returns ``{"acc", "protocol", "reliability"}`` where ``acc`` is the
+        usual total (``protocol + reliability``), ``protocol`` is the cost
+        the coherence traces would incur on a fault-free fabric, and
+        ``reliability`` is the per-operation overhead of retransmissions
+        and acknowledgements.
+        """
+        recs = self.records(skip, take)
+        if not recs:
+            raise ValueError("no completed operations in the window")
+        total = sum(r.cost for r in recs) / len(recs)
+        overhead = sum(r.reliability_cost for r in recs) / len(recs)
+        return {
+            "acc": total,
+            "protocol": total - overhead,
+            "reliability": overhead,
+        }
 
     def average_cost_by(self, skip: int = 0, take: Optional[int] = None
                         ) -> Dict[Tuple[int, str], Tuple[float, int]]:

@@ -18,7 +18,7 @@ fixed-home protocols) has no pool.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Set
+from typing import Callable, Dict, Set
 
 __all__ = ["PINNED_STATES", "ReplicaPool"]
 

@@ -1,0 +1,306 @@
+"""Reliable exactly-once FIFO delivery over a faulty fabric.
+
+:class:`ReliableNetwork` presents the same interface as
+:class:`~repro.sim.channel.Network` (``attach`` / ``send`` /
+``messages_sent``) but guarantees, for any drop rate below 1 within the
+retry budget, that every protocol message is delivered **exactly once, in
+per-channel FIFO order** — which is the contract the paper's protocol
+processes assume (Section 2).  The mechanism is the classic positive-ack
+transport:
+
+* every inter-node protocol message is wrapped in a :class:`Frame` carrying
+  a dense per-channel sequence number;
+* the receiver acknowledges every data frame (acks are bare tokens, cost 1),
+  suppresses duplicates, and parks out-of-order frames in a reorder buffer
+  until the FIFO gap closes;
+* the sender retransmits on an acknowledgement timeout with exponential
+  backoff, up to a configurable retry budget; the retry timer is a
+  cancellable :class:`~repro.sim.engine.TimerHandle`, cancelled when the
+  ack arrives.
+
+When the retry budget runs out the send is abandoned — the run **degrades
+gracefully instead of hanging**: the failure is counted in
+``Metrics.reliability.delivery_failures`` (with the operation id), the
+channel past the hole stays wedged (FIFO cannot be preserved across a lost
+message), and :meth:`DSMSystem.run_workload` reports the affected
+operations as incomplete rather than deadlocking.
+
+Cost accounting: the *first* transmission of a protocol message is charged
+exactly as on the fault-free fabric (same cost class, same trace-signature
+entry).  Retransmissions and acks are charged through
+:meth:`Metrics.record_reliability_cost` — they inflate ``acc`` but are
+tracked separately, so the reliability overhead can be broken out
+(``Metrics.average_cost_breakdown``) and trace signatures stay comparable
+to the paper's trace sets.  Intra-node sends bypass the transport entirely
+(the paper counts them as free intra-node actions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..machines.message import Message
+from .channel import Network
+from .engine import EventScheduler, TimerHandle
+from .faults import FaultPlan
+from .metrics import Metrics
+
+__all__ = ["ReliabilityConfig", "Frame", "ReliableNetwork"]
+
+
+@dataclass(frozen=True, slots=True)
+class ReliabilityConfig:
+    """Tuning knobs of the reliable-delivery layer.
+
+    Args:
+        timeout: base acknowledgement timeout (simulation time units; the
+            default is four round trips at unit latency).
+        backoff: exponential backoff multiplier applied per retry.
+        max_retries: retry budget per frame; when exhausted the send is
+            abandoned and surfaced in metrics (graceful degradation).
+    """
+
+    timeout: float = 8.0
+    backoff: float = 2.0
+    max_retries: int = 10
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class Frame:
+    """Transport envelope carried by the physical fabric.
+
+    ``kind`` is ``"data"`` (wraps a protocol :class:`Message`), ``"ack"``
+    (bare acknowledgement token) or ``"loop"`` (intra-node bypass).  The
+    ``cost``/``src``/``dst`` surface lets a frame travel through
+    :class:`~repro.sim.channel.Network` like any message.
+    """
+
+    kind: str
+    src: int
+    dst: int
+    seq: int
+    msg: Optional[Message] = None
+    op_id: Optional[int] = None
+
+    def cost(self, S: float, P: float) -> float:
+        """Inter-node communication cost of this frame."""
+        if self.src == self.dst:
+            return 0.0
+        if self.kind == "ack":
+            return 1.0  # a bare token (no parameters ride along)
+        return self.msg.cost(S, P)
+
+
+class _PendingSend:
+    """Sender-side state for one unacknowledged data frame."""
+
+    __slots__ = ("frame", "S", "P", "attempts", "timer")
+
+    def __init__(self, frame: Frame, S: float, P: float):
+        self.frame = frame
+        self.S = S
+        self.P = P
+        self.attempts = 0
+        self.timer: Optional[TimerHandle] = None
+
+
+class ReliableNetwork:
+    """Exactly-once FIFO delivery over a (possibly faulty) :class:`Network`.
+
+    Drop-in replacement for :class:`Network` from the protocol layer's
+    point of view.  ``messages_sent`` counts *physical* frames (first
+    attempts, retransmissions and acks), which is what a real wire would
+    carry.
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        latency: float = 1.0,
+        metrics: Optional[Metrics] = None,
+        faults: Optional[FaultPlan] = None,
+        config: Optional[ReliabilityConfig] = None,
+    ):
+        self.scheduler = scheduler
+        self.latency = latency
+        self.metrics = metrics
+        self.config = config if config is not None else ReliabilityConfig()
+        self.physical = Network(
+            scheduler,
+            latency=latency,
+            on_cost=None,  # this layer does its own cost attribution
+            faults=faults,
+            on_fault=self._on_physical_fault,
+        )
+        self._handlers: Dict[int, Callable[[Message], None]] = {}
+        # sender side: dense per-channel sequence numbers + in-flight frames
+        self._send_seq: Dict[Tuple[int, int], int] = {}
+        self._pending: Dict[Tuple[Tuple[int, int], int], _PendingSend] = {}
+        # receiver side: next expected sequence + reorder buffer per channel
+        self._expected: Dict[Tuple[int, int], int] = {}
+        self._reorder: Dict[Tuple[int, int], Dict[int, Message]] = {}
+
+    # ------------------------------------------------------------------
+    # Network interface
+    # ------------------------------------------------------------------
+
+    @property
+    def messages_sent(self) -> int:
+        """Total physical frames sent (data + retransmissions + acks)."""
+        return self.physical.messages_sent
+
+    @property
+    def faults(self) -> Optional[FaultPlan]:
+        """The active fault plan (``None`` on a fault-free fabric)."""
+        return self.physical.faults
+
+    def attach(self, node_id: int, handler: Callable[[Message], None]) -> None:
+        """Register the delivery handler for a node."""
+        self._handlers[node_id] = handler
+        self.physical.attach(node_id, self._on_frame)
+
+    def send(self, msg: Message, S: float, P: float) -> float:
+        """Send ``msg`` reliably; returns the first-attempt cost charged."""
+        if msg.src == msg.dst:
+            # intra-node: free and trivially reliable; bypass the transport.
+            frame = Frame("loop", msg.src, msg.dst, 0, msg=msg,
+                          op_id=msg.op_id)
+            return self.physical.send(frame, S, P)
+        channel = (msg.src, msg.dst)
+        seq = self._send_seq.get(channel, 0) + 1
+        self._send_seq[channel] = seq
+        frame = Frame("data", msg.src, msg.dst, seq, msg=msg, op_id=msg.op_id)
+        pending = _PendingSend(frame, S, P)
+        self._pending[(channel, seq)] = pending
+        cost = frame.cost(S, P)
+        if self.metrics is not None:
+            # first attempt: charged exactly like the fault-free fabric
+            # (cost class + trace-signature entry).
+            self.metrics.record_message(msg, cost)
+        self._transmit(pending, charge=False)
+        self._arm_timer(pending)
+        return cost
+
+    # ------------------------------------------------------------------
+    # sender side
+    # ------------------------------------------------------------------
+
+    def _transmit(self, pending: _PendingSend, charge: bool) -> None:
+        frame = pending.frame
+        plan = self.physical.faults
+        if plan is not None and plan.is_down(frame.src, self.scheduler.now):
+            # the interface is dead: nothing leaves and nothing is charged;
+            # the retry timer keeps running and tries again after recovery.
+            self.physical.suppressed += 1
+            self._on_physical_fault("down_src")
+            return
+        if charge and self.metrics is not None:
+            self.metrics.record_reliability_cost(
+                frame.op_id, frame.cost(pending.S, pending.P)
+            )
+        self.physical.send(frame, pending.S, pending.P)
+
+    def _arm_timer(self, pending: _PendingSend) -> None:
+        delay = self.config.timeout * (self.config.backoff ** pending.attempts)
+        key = ((pending.frame.src, pending.frame.dst), pending.frame.seq)
+        pending.timer = self.scheduler.schedule(
+            delay, lambda: self._on_timeout(key)
+        )
+
+    def _on_timeout(self, key: Tuple[Tuple[int, int], int]) -> None:
+        pending = self._pending.get(key)
+        if pending is None:  # pragma: no cover - acked timers are cancelled
+            return
+        if pending.attempts >= self.config.max_retries:
+            # retry budget exhausted: abandon the send and surface it.
+            del self._pending[key]
+            if self.metrics is not None:
+                stats = self.metrics.reliability
+                stats.delivery_failures += 1
+                if pending.frame.op_id is not None:
+                    stats.failed_op_ids.append(pending.frame.op_id)
+            return
+        pending.attempts += 1
+        if self.metrics is not None:
+            self.metrics.reliability.retransmissions += 1
+        self._transmit(pending, charge=True)
+        self._arm_timer(pending)
+
+    # ------------------------------------------------------------------
+    # receiver side
+    # ------------------------------------------------------------------
+
+    def _on_frame(self, frame: Frame) -> None:
+        if frame.kind == "loop":
+            self._handlers[frame.dst](frame.msg)
+            return
+        if frame.kind == "ack":
+            # the acked data channel is the reverse of the ack's path.
+            key = ((frame.dst, frame.src), frame.seq)
+            pending = self._pending.pop(key, None)
+            if pending is not None and pending.timer is not None:
+                pending.timer.cancel()
+            return
+        channel = (frame.src, frame.dst)
+        # always ack, even duplicates: the previous ack may have been lost.
+        self._send_ack(frame)
+        expected = self._expected.get(channel, 1)
+        buffer = self._reorder.get(channel)
+        if frame.seq < expected or (buffer and frame.seq in buffer):
+            if self.metrics is not None:
+                self.metrics.reliability.duplicates_suppressed += 1
+            return
+        if frame.seq > expected:
+            if self.metrics is not None:
+                self.metrics.reliability.out_of_order_held += 1
+            self._reorder.setdefault(channel, {})[frame.seq] = frame.msg
+            return
+        # in order: deliver, then drain the reorder buffer behind it.
+        self._deliver(frame.dst, frame.msg)
+        expected += 1
+        while buffer and expected in buffer:
+            self._deliver(frame.dst, buffer.pop(expected))
+            expected += 1
+        self._expected[channel] = expected
+
+    def _deliver(self, dst: int, msg: Message) -> None:
+        self._handlers[dst](msg)
+
+    def _send_ack(self, data: Frame) -> None:
+        ack = Frame("ack", data.dst, data.src, data.seq, op_id=data.op_id)
+        if self.metrics is not None:
+            self.metrics.reliability.acks += 1
+            self.metrics.record_reliability_cost(ack.op_id, 1.0)
+        # ack cost is presence-independent (a bare token), so S/P are moot.
+        self.physical.send(ack, 0.0, 0.0)
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+
+    def _on_physical_fault(self, kind: str) -> None:
+        if self.metrics is None:
+            return
+        stats = self.metrics.reliability
+        if kind == "drop" or kind == "down_dst":
+            stats.drops += 1
+        elif kind == "duplicate":
+            stats.duplicates_injected += 1
+        elif kind == "down_src":
+            stats.sends_suppressed += 1
+
+    @property
+    def in_flight(self) -> int:
+        """Unacknowledged data frames currently awaiting an ack or retry."""
+        return len(self._pending)

@@ -17,25 +17,24 @@ serialized value) and conservation of cost attribution.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..protocols.base import (
-    ACQUIRE,
-    EJECT,
     READ,
-    RELEASE,
     WRITE,
     Operation,
     ProtocolSpec,
 )
 from ..protocols.registry import get_protocol
-from ..workloads.base import OpTriple, Workload
+from ..workloads.base import Workload
 from .channel import Network
 from .engine import EventScheduler
+from .faults import FaultPlan
 from .metrics import Metrics
 from .node import SimNode
+from .reliable import ReliabilityConfig, ReliableNetwork
 
 __all__ = ["DSMSystem", "SimulationResult"]
 
@@ -74,6 +73,9 @@ class SimulationResult:
     #: final simulation time
     end_time: float
     metrics: Metrics
+    #: operations that never completed because a message's retry budget
+    #: ran out (graceful degradation under faults); 0 on a healthy run
+    incomplete_ops: int = 0
 
 
 class DSMSystem:
@@ -86,6 +88,14 @@ class DSMSystem:
         S: user-information transfer cost parameter.
         P: write-parameter transfer cost parameter.
         latency: channel latency (time units per hop).
+        faults: optional :class:`FaultPlan`; ``None`` (or
+            ``FaultPlan.none()``) keeps the paper-faithful fault-free
+            fabric, bit-identical to a system built without the argument.
+            A real plan implies the reliable-delivery layer.
+        reliability: optional :class:`ReliabilityConfig`; defaults are used
+            when a fault plan is given without one.  Passing a config with
+            no fault plan runs the reliable layer over a fault-free fabric
+            (pure acknowledgement overhead).
     """
 
     def __init__(
@@ -97,6 +107,8 @@ class DSMSystem:
         P: float = 30.0,
         latency: float = 1.0,
         capacity: Optional[int] = None,
+        faults: Optional[FaultPlan] = None,
+        reliability: Optional[ReliabilityConfig] = None,
     ):
         self.spec: ProtocolSpec = (
             protocol if isinstance(protocol, ProtocolSpec) else get_protocol(protocol)
@@ -111,9 +123,29 @@ class DSMSystem:
         self.P = float(P)
         self.scheduler = EventScheduler()
         self.metrics = Metrics()
-        self.network = Network(
-            self.scheduler, latency=latency, on_cost=self.metrics.record_message
+        # a no-fault plan is treated exactly like no plan (pay-for-what-
+        # you-use: fault-free runs use the paper's fabric unchanged).
+        self.faults = (
+            faults if faults is not None and not faults.is_none else None
         )
+        if self.faults is not None and reliability is None:
+            reliability = ReliabilityConfig()
+        self.reliability = reliability
+        if reliability is not None:
+            self.network = ReliableNetwork(
+                self.scheduler,
+                latency=latency,
+                metrics=self.metrics,
+                faults=self.faults,
+                config=reliability,
+            )
+        else:
+            self.network = Network(
+                self.scheduler, latency=latency,
+                on_cost=self.metrics.record_message,
+            )
+        if self.faults is not None:
+            self._schedule_crash_markers()
         if capacity is not None and capacity < 1:
             raise ValueError("capacity must be at least 1 replica")
         self.capacity = capacity
@@ -143,6 +175,26 @@ class DSMSystem:
         self._next_op_id += 1
         return Operation(op_id=self._next_op_id, node=node, kind=kind,
                          obj=obj)
+
+    def _schedule_crash_markers(self) -> None:
+        """Count crash/recovery edges in metrics as simulation time passes.
+
+        The marker events only touch counters — they cannot perturb the
+        simulation itself (relative scheduling order of all other events
+        is preserved).
+        """
+        stats = self.metrics.reliability
+
+        def bump(edge_kind: str) -> None:
+            if edge_kind == "crash":
+                stats.crashes += 1
+            else:
+                stats.recoveries += 1
+
+        for time, _node, edge_kind in self.faults.crash_edges():
+            self.scheduler.schedule_at(
+                time, (lambda k=edge_kind: bump(k))
+            )
 
     # ------------------------------------------------------------------
     # driving
@@ -228,21 +280,32 @@ class DSMSystem:
                 t, (lambda o=op: self.nodes[o.node].submit(o))
             )
         self.scheduler.run(max_events=max_events)
-        if self.metrics.completed_count < num_ops:  # pragma: no cover
-            raise RuntimeError(
+        incomplete = max(0, num_ops - self.metrics.completed_count)
+        if incomplete > 0 and self.metrics.reliability.delivery_failures == 0:
+            # no message was abandoned, so this is a genuine protocol
+            # hang, not fault-induced degradation.
+            raise RuntimeError(  # pragma: no cover
                 f"only {self.metrics.completed_count}/{num_ops} operations "
                 "completed — protocol deadlock?"
             )
-        acc = self.metrics.average_cost(skip=warmup)
+        # under graceful degradation (a retry budget ran out, wedging the
+        # affected channel) the loss is reported instead of hanging; with
+        # no completions left in the window, acc degrades to NaN.
+        if self.metrics.completed_count > warmup:
+            acc = self.metrics.average_cost(skip=warmup)
+        else:
+            acc = float("nan")
+        measured = max(0, min(num_ops, self.metrics.completed_count) - warmup)
         return SimulationResult(
             protocol=self.spec.name,
             total_ops=num_ops,
             warmup=warmup,
-            measured=num_ops - warmup,
+            measured=measured,
             acc=acc,
             messages=self.network.messages_sent,
             end_time=self.scheduler.now,
             metrics=self.metrics,
+            incomplete_ops=incomplete,
         )
 
     # ------------------------------------------------------------------

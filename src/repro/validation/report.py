@@ -10,7 +10,7 @@ result into a report suitable for EXPERIMENTS-style records.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 

@@ -13,11 +13,10 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from ..protocols.base import READ, WRITE
 
 __all__ = ["OpTriple", "Workload", "EventTable"]
 

@@ -18,11 +18,10 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-import numpy as np
 
 from ..core.parameters import Deviation, WorkloadParams
 from ..protocols.base import READ, WRITE
-from .base import EventTable, TableWorkload, Workload
+from .base import EventTable, TableWorkload
 
 __all__ = [
     "SyntheticWorkload",

@@ -20,7 +20,7 @@ from typing import Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
-from ..core.parameters import Deviation, WorkloadParams
+from ..core.parameters import WorkloadParams
 from ..protocols.base import READ, WRITE
 from .base import OpTriple, Workload
 

@@ -1,8 +1,7 @@
 """Integration tests for the adaptive switching runtime (Section 6)."""
 
-import pytest
 
-from repro.adaptive import AdaptiveRuntime, ProtocolClassifier
+from repro.adaptive import AdaptiveRuntime
 from repro.core.parameters import WorkloadParams
 from repro.workloads import (
     read_disturbance_workload,

@@ -1,6 +1,5 @@
 """Unit tests for the chain builders and the exact Markov evaluation."""
 
-import numpy as np
 import pytest
 
 from repro.core.chains import build_chain, deviation_groups, markov_acc

@@ -6,7 +6,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.markov import (
     enumerate_chain,
-    expected_cost,
     solve_chain,
     stationary_distribution,
 )

@@ -1,6 +1,5 @@
 """Unit tests for the workload-parameter model (paper Section 4.2)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 

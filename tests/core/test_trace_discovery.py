@@ -1,10 +1,8 @@
 """Tests for automatic trace-set discovery (Section 4.1's finite TR)."""
 
-import pytest
 
 from repro.core.parameters import Deviation
 from repro.core.trace_discovery import (
-    TraceClass,
     discover_traces,
     format_trace_table,
 )

@@ -16,7 +16,6 @@ from repro.core import (
     empirical_crossover_p,
     ideal_acc,
     paper_line_wtv_vs_wt,
-    rank_protocols,
 )
 
 FIG = dict(N=50, a=10, P=30.0)

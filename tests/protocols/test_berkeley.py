@@ -1,6 +1,5 @@
 """Berkeley protocol tests (appendix Figure 12 + DESIGN.md)."""
 
-import pytest
 
 from repro.sim import DSMSystem
 

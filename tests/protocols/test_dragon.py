@@ -1,6 +1,5 @@
 """Dragon protocol tests (appendix Figure 11 + DESIGN.md)."""
 
-import pytest
 
 from repro.sim import DSMSystem
 

@@ -1,6 +1,5 @@
 """Illinois protocol tests (appendix + DESIGN.md)."""
 
-import pytest
 
 from repro.sim import DSMSystem
 

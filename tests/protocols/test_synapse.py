@@ -1,6 +1,5 @@
 """Synapse protocol tests (appendix Figures 7-8 + DESIGN.md)."""
 
-import pytest
 
 from repro.sim import DSMSystem
 

@@ -1,6 +1,5 @@
 """Write-Once protocol tests (appendix Figure 10 + DESIGN.md)."""
 
-import pytest
 
 from repro.sim import DSMSystem
 

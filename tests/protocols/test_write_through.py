@@ -1,6 +1,5 @@
 """Write-Through protocol tests (paper Sections 2-4: traces tr1-tr6)."""
 
-import pytest
 
 from repro.sim import DSMSystem
 
@@ -53,12 +52,12 @@ class TestTraces:
 class TestCoherence:
     def test_read_returns_latest_serialized_write(self):
         system = DSMSystem("write_through", N=N, M=1, S=S, P=P)
-        w1 = system.submit(1, "write", params=111)
+        system.submit(1, "write", params=111)
         system.settle()
         r = system.submit(2, "read")
         system.settle()
         assert r.result == 111
-        w2 = system.submit(3, "write", params=333)
+        system.submit(3, "write", params=333)
         system.settle()
         r2 = system.submit(1, "read")
         system.settle()

@@ -1,6 +1,5 @@
 """Directory Write-Through extension tests (copyset multicast)."""
 
-import pytest
 
 from repro.core.parameters import Deviation, WorkloadParams
 from repro.sim import DSMSystem

@@ -1,6 +1,5 @@
 """Write-Through-V protocol tests (appendix Figure 9 + DESIGN.md)."""
 
-import pytest
 
 from repro.sim import DSMSystem
 

@@ -78,6 +78,127 @@ class TestDelivery:
             Network(sched, latency=0.0)
 
 
+class TestSendErrors:
+    def test_unattached_destination_raises_clear_error_at_send_time(self):
+        """Regression: used to surface as a bare KeyError at delivery time."""
+        sched, net = make_network()
+        net.attach(1, lambda m: None)
+        with pytest.raises(RuntimeError, match="node 7 is not attached"):
+            net.send(msg(1, 7), 100, 30)
+        # nothing was charged or scheduled for the failed send
+        assert net.messages_sent == 0
+        assert len(sched) == 0
+
+
+class TestPerChannelSequencing:
+    def test_counters_are_dense_per_channel(self):
+        """Regression: a single global counter made per-channel sequence
+        numbers sparse; they must count 1, 2, 3, ... per channel."""
+        sched, net = make_network()
+        for node in (2, 3):
+            net.attach(node, lambda m: None)
+        net.attach(1, lambda m: None)
+        for _ in range(3):
+            net.send(msg(1, 2), 100, 30)
+        for _ in range(2):
+            net.send(msg(1, 3), 100, 30)
+        net.send(msg(2, 3), 100, 30)
+        assert net._sent_seq == {(1, 2): 3, (1, 3): 2, (2, 3): 1}
+        sched.run()
+        assert net._delivered_seq == {(1, 2): 3, (1, 3): 2, (2, 3): 1}
+
+
+class TestFaultyFabric:
+    def test_no_fault_plan_is_normalized_away(self):
+        from repro.sim.faults import FaultPlan
+        sched = EventScheduler()
+        net = Network(sched, faults=FaultPlan.none())
+        assert net.faults is None
+
+    def test_drops_lose_messages_but_charge_cost(self):
+        from repro.sim.faults import FaultPlan
+        sched = EventScheduler()
+        charged = []
+        net = Network(sched, on_cost=lambda m, c: charged.append(c),
+                      faults=FaultPlan(seed=0, drop_rate=1.0))
+        got = []
+        net.attach(2, got.append)
+        for _ in range(5):
+            net.send(msg(1, 2), 100, 30)
+        sched.run()
+        assert got == []
+        assert net.dropped == 5
+        assert len(charged) == 5  # the sender paid for every attempt
+
+    def test_duplicates_deliver_twice(self):
+        from repro.sim.faults import FaultPlan
+        sched = EventScheduler()
+        net = Network(sched, faults=FaultPlan(seed=0, duplicate_rate=1.0))
+        got = []
+        net.attach(2, lambda m: got.append(m.payload))
+        net.send(msg(1, 2, payload="x"), 100, 30)
+        sched.run()
+        assert got == ["x", "x"]
+        assert net.duplicated == 1
+
+    def test_jitter_delays_within_bound(self):
+        from repro.sim.faults import FaultPlan
+        sched = EventScheduler()
+        net = Network(sched, latency=1.0,
+                      faults=FaultPlan(seed=3, jitter=2.0))
+        times = []
+        net.attach(2, lambda m: times.append(sched.now))
+        for _ in range(20):
+            net.send(msg(1, 2), 100, 30)
+        sched.run()
+        assert all(1.0 <= t <= 3.0 for t in times)
+        assert any(t > 1.0 for t in times)
+
+    def test_crashed_source_sends_nothing_and_pays_nothing(self):
+        from repro.sim.faults import CrashWindow, FaultPlan
+        sched = EventScheduler()
+        charged = []
+        net = Network(sched, on_cost=lambda m, c: charged.append(c),
+                      faults=FaultPlan(crashes=[CrashWindow(1, 0.0, 10.0)]))
+        got = []
+        net.attach(2, got.append)
+        assert net.send(msg(1, 2), 100, 30) == 0.0
+        sched.run()
+        assert got == [] and charged == []
+        assert net.suppressed == 1
+
+    def test_crashed_destination_loses_delivery(self):
+        from repro.sim.faults import CrashWindow, FaultPlan
+        sched = EventScheduler()
+        net = Network(sched,
+                      faults=FaultPlan(crashes=[CrashWindow(2, 0.0, 10.0)]))
+        got = []
+        net.attach(2, got.append)
+        net.send(msg(1, 2), 100, 30)
+        sched.run()
+        assert got == [] and net.dropped == 1
+
+    def test_self_sends_bypass_faults(self):
+        from repro.sim.faults import FaultPlan
+        sched = EventScheduler()
+        net = Network(sched, faults=FaultPlan(seed=0, drop_rate=1.0))
+        got = []
+        net.attach(1, got.append)
+        net.send(msg(1, 1), 100, 30)
+        sched.run()
+        assert len(got) == 1
+
+    def test_on_fault_observer(self):
+        from repro.sim.faults import FaultPlan
+        sched = EventScheduler()
+        events = []
+        net = Network(sched, faults=FaultPlan(seed=0, drop_rate=1.0),
+                      on_fault=events.append)
+        net.attach(2, lambda m: None)
+        net.send(msg(1, 2), 100, 30)
+        assert events == ["drop"]
+
+
 class TestCostAccounting:
     def test_costs_by_presence(self):
         charged = []

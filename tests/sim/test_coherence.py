@@ -7,7 +7,6 @@ copy equal to the authoritative value, exactly one owner for the
 migrating-owner protocols, and all message costs attributed.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.parameters import WorkloadParams

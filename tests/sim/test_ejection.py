@@ -40,7 +40,7 @@ class TestEjectCosts:
     def test_dirty_copies_write_back(self):
         for proto in ("synapse", "illinois", "write_once"):
             system = DSMSystem(proto, N=N, M=1, S=S, P=P)
-            w = system.submit(1, "write", params=777)
+            system.submit(1, "write", params=777)
             system.settle()
             ej = system.submit(1, "eject")
             system.settle()

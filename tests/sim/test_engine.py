@@ -58,6 +58,73 @@ class TestScheduling:
             sched.schedule_at(1.0, lambda: None)
 
 
+class TestTimerCancellation:
+    def test_cancelled_timer_does_not_fire(self):
+        sched = EventScheduler()
+        fired = []
+        handle = sched.schedule(1.0, lambda: fired.append("x"))
+        assert handle.active
+        assert handle.cancel() is True
+        assert not handle.active
+        sched.run()
+        assert fired == []
+        assert sched.executed == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        sched = EventScheduler()
+        handle = sched.schedule(1.0, lambda: None)
+        sched.run()
+        assert not handle.active
+        assert handle.cancel() is False
+
+    def test_double_cancel_returns_false(self):
+        sched = EventScheduler()
+        handle = sched.schedule(1.0, lambda: None)
+        assert handle.cancel() is True
+        assert handle.cancel() is False
+
+    def test_len_excludes_cancelled(self):
+        sched = EventScheduler()
+        handles = [sched.schedule(float(i + 1), lambda: None)
+                   for i in range(5)]
+        assert len(sched) == 5
+        handles[0].cancel()
+        handles[3].cancel()
+        assert len(sched) == 3
+        sched.run()
+        assert len(sched) == 0
+        assert sched.executed == 3
+
+    def test_cancelled_events_do_not_count_toward_max_events(self):
+        sched = EventScheduler()
+        fired = []
+        for i in range(10):
+            handle = sched.schedule(float(i + 1),
+                                    lambda i=i: fired.append(i))
+            if i % 2 == 0:
+                handle.cancel()
+        executed = sched.run(max_events=3)
+        assert executed == 3
+        assert fired == [1, 3, 5]
+
+    def test_cancel_between_events(self):
+        """An event can cancel a later, already-scheduled event."""
+        sched = EventScheduler()
+        fired = []
+        later = sched.schedule(5.0, lambda: fired.append("later"))
+        sched.schedule(1.0, lambda: later.cancel())
+        sched.run()
+        assert fired == []
+
+    def test_schedule_at_returns_cancellable_handle(self):
+        sched = EventScheduler()
+        fired = []
+        handle = sched.schedule_at(4.0, lambda: fired.append("x"))
+        handle.cancel()
+        sched.run()
+        assert fired == [] and sched.now == 0.0
+
+
 class TestRunControl:
     def test_max_events(self):
         sched = EventScheduler()
@@ -80,3 +147,57 @@ class TestRunControl:
 
     def test_step_on_empty(self):
         assert EventScheduler().step() is False
+
+    def test_step_on_only_cancelled(self):
+        sched = EventScheduler()
+        sched.schedule(1.0, lambda: None).cancel()
+        assert sched.step() is False
+        assert sched.now == 0.0
+
+    def test_max_events_zero_runs_nothing(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(1.0, lambda: fired.append(1))
+        assert sched.run(max_events=0) == 0
+        assert fired == []
+
+    def test_until_checked_between_events(self):
+        """The predicate stops the run as soon as it turns true, even with
+        later events already queued at the same time."""
+        sched = EventScheduler()
+        fired = []
+        for i in range(10):
+            sched.schedule(1.0, lambda i=i: fired.append(i))
+        sched.run(until=lambda: len(fired) >= 3)
+        assert fired == [0, 1, 2]
+        assert len(sched) == 7
+
+    def test_until_true_before_any_event(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(1.0, lambda: fired.append(1))
+        assert sched.run(until=lambda: True) == 0
+        assert fired == []
+
+    def test_schedule_at_in_the_past_raises_midrun(self):
+        """schedule_at during execution must reject times behind now."""
+        sched = EventScheduler()
+        errors = []
+
+        def tries_past():
+            try:
+                sched.schedule_at(1.0, lambda: None)
+            except ValueError as exc:
+                errors.append(str(exc))
+
+        sched.schedule(3.0, tries_past)
+        sched.run()
+        assert len(errors) == 1 and "before current time" in errors[0]
+
+    def test_schedule_at_now_is_allowed(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(2.0, lambda: sched.schedule_at(
+            2.0, lambda: fired.append(sched.now)))
+        sched.run()
+        assert fired == [2.0]

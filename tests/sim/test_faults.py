@@ -1,0 +1,118 @@
+"""Unit tests for the deterministic fault-injection plans."""
+
+import math
+
+import pytest
+
+from repro.sim.faults import CrashWindow, FaultPlan
+
+
+class TestCrashWindow:
+    def test_covers_half_open_interval(self):
+        w = CrashWindow(3, 10.0, 20.0)
+        assert not w.covers(9.99)
+        assert w.covers(10.0)
+        assert w.covers(19.99)
+        assert not w.covers(20.0)
+
+    def test_open_ended_window(self):
+        w = CrashWindow(3, 5.0)
+        assert w.end == math.inf
+        assert w.covers(1e12)
+
+    def test_invalid_windows_rejected(self):
+        with pytest.raises(ValueError):
+            CrashWindow(1, -1.0, 5.0)
+        with pytest.raises(ValueError):
+            CrashWindow(1, 5.0, 5.0)
+
+
+class TestFaultPlanConfig:
+    def test_none_plan_is_none(self):
+        assert FaultPlan.none().is_none
+        assert FaultPlan().is_none
+
+    def test_any_fault_makes_plan_not_none(self):
+        assert not FaultPlan(drop_rate=0.1).is_none
+        assert not FaultPlan(duplicate_rate=0.1).is_none
+        assert not FaultPlan(jitter=1.0).is_none
+        assert not FaultPlan(crashes=[(1, 0.0, 5.0)]).is_none
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(duplicate_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(jitter=-1.0)
+
+    def test_crash_tuples_coerced(self):
+        plan = FaultPlan(crashes=[(2, 1.0, 3.0), (5, 10.0)])
+        assert plan.crashes[0] == CrashWindow(2, 1.0, 3.0)
+        assert plan.crashes[1].end == math.inf
+
+    def test_describe(self):
+        assert FaultPlan.none().describe() == "no faults"
+        text = FaultPlan(seed=7, drop_rate=0.2,
+                         crashes=[(5, 100.0, 200.0)]).describe()
+        assert "seed=7" in text and "drop=0.2" in text and "node 5" in text
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        def decisions(plan):
+            out = []
+            for _ in range(200):
+                out.append((plan.should_drop(1, 2),
+                            plan.should_duplicate(1, 2),
+                            plan.jitter_for(1, 2)))
+            return out
+
+        kwargs = dict(seed=42, drop_rate=0.3, duplicate_rate=0.1, jitter=2.0)
+        assert decisions(FaultPlan(**kwargs)) == decisions(FaultPlan(**kwargs))
+
+    def test_different_seeds_differ(self):
+        plan1 = FaultPlan(seed=1, drop_rate=0.5)
+        plan2 = FaultPlan(seed=2, drop_rate=0.5)
+        a = [plan1.should_drop(1, 2) for _ in range(64)]
+        b = [plan2.should_drop(1, 2) for _ in range(64)]
+        assert a != b
+
+    def test_replay_rewinds_the_stream(self):
+        plan = FaultPlan(seed=9, drop_rate=0.4, jitter=1.0)
+        first = [(plan.should_drop(1, 2), plan.jitter_for(1, 2))
+                 for _ in range(50)]
+        fresh = plan.replay()
+        again = [(fresh.should_drop(1, 2), fresh.jitter_for(1, 2))
+                 for _ in range(50)]
+        assert first == again
+
+    def test_zero_rates_never_consume_rng(self):
+        """Guard for bit-identical fault-free runs: a no-op query must not
+        advance the RNG stream."""
+        plan = FaultPlan(seed=5, drop_rate=0.5)
+        for _ in range(10):
+            assert not plan.should_duplicate(1, 2)  # rate 0: no draw
+            assert plan.jitter_for(1, 2) == 0.0     # jitter 0: no draw
+        # stream position identical to a fresh plan's
+        assert plan.should_drop(1, 2) == plan.replay().should_drop(1, 2)
+
+
+class TestCrashSchedule:
+    def test_is_down(self):
+        plan = FaultPlan(crashes=[(2, 10.0, 20.0), (5, 15.0)])
+        assert not plan.is_down(2, 5.0)
+        assert plan.is_down(2, 12.0)
+        assert not plan.is_down(2, 25.0)
+        assert plan.is_down(5, 1e9)
+        assert not plan.is_down(3, 12.0)
+
+    def test_crash_edges_sorted_and_finite(self):
+        plan = FaultPlan(crashes=[(2, 30.0, 40.0), (5, 10.0), (1, 20.0, 25.0)])
+        assert plan.crash_edges() == [
+            (10.0, 5, "crash"),
+            (20.0, 1, "crash"),
+            (25.0, 1, "recover"),
+            (30.0, 2, "crash"),
+            (40.0, 2, "recover"),
+        ]

@@ -1,6 +1,5 @@
 """Unit tests for node queues: the local-queue disable/enable mechanism."""
 
-import pytest
 
 from repro.sim import DSMSystem
 

@@ -1,0 +1,241 @@
+"""Unit and property tests for the reliable exactly-once FIFO layer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machines.message import (
+    Message,
+    MessageToken,
+    MsgType,
+    ParamPresence,
+    QueueTag,
+)
+from repro.sim.engine import EventScheduler
+from repro.sim.faults import CrashWindow, FaultPlan
+from repro.sim.metrics import Metrics
+from repro.sim.reliable import Frame, ReliabilityConfig, ReliableNetwork
+
+
+def msg(src, dst, payload=None, op_id=1, presence=ParamPresence.NONE):
+    token = MessageToken(MsgType.R_PER, src, 1, QueueTag.DISTRIBUTED,
+                         presence)
+    return Message(token, src, dst, payload=payload, op_id=op_id)
+
+
+def make(faults=None, config=None, nodes=(1, 2, 3), metrics=None):
+    sched = EventScheduler()
+    net = ReliableNetwork(sched, latency=1.0, metrics=metrics,
+                          faults=faults, config=config)
+    inboxes = {n: [] for n in nodes}
+    for n in nodes:
+        net.attach(n, inboxes[n].append)
+    return sched, net, inboxes
+
+
+class TestConfig:
+    def test_defaults_sane(self):
+        cfg = ReliabilityConfig()
+        assert cfg.timeout > 0 and cfg.backoff >= 1 and cfg.max_retries >= 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReliabilityConfig(timeout=0.0)
+        with pytest.raises(ValueError):
+            ReliabilityConfig(backoff=0.5)
+        with pytest.raises(ValueError):
+            ReliabilityConfig(max_retries=-1)
+
+
+class TestFrameCost:
+    def test_data_frame_cost_mirrors_message(self):
+        m = msg(1, 2, presence=ParamPresence.USER_INFO)
+        frame = Frame("data", 1, 2, 1, msg=m, op_id=1)
+        assert frame.cost(100, 30) == 101.0
+
+    def test_ack_is_a_bare_token(self):
+        assert Frame("ack", 2, 1, 1).cost(100, 30) == 1.0
+
+    def test_intra_node_free(self):
+        m = msg(1, 1)
+        assert Frame("loop", 1, 1, 0, msg=m).cost(100, 30) == 0.0
+
+
+class TestFaultFreeTransport:
+    def test_delivers_in_fifo_order(self):
+        sched, net, inboxes = make()
+        for i in range(10):
+            net.send(msg(1, 2, payload=i), 100, 30)
+        sched.run()
+        assert [m.payload for m in inboxes[2]] == list(range(10))
+
+    def test_acks_flow_and_timers_cancel(self):
+        metrics = Metrics()
+        metrics.register_op(1, 1, "read", 1, 0.0)
+        sched, net, inboxes = make(metrics=metrics)
+        net.send(msg(1, 2), 100, 30)
+        sched.run()
+        assert metrics.reliability.acks == 1
+        assert metrics.reliability.retransmissions == 0
+        assert net.in_flight == 0
+        assert len(sched) == 0  # nothing armed once the ack lands
+
+    def test_self_send_bypasses_transport(self):
+        metrics = Metrics()
+        sched, net, inboxes = make(metrics=metrics)
+        net.send(msg(1, 1, payload="home"), 100, 30)
+        sched.run()
+        assert [m.payload for m in inboxes[1]] == ["home"]
+        assert metrics.reliability.acks == 0
+
+    def test_unattached_destination_raises(self):
+        sched, net, _ = make()
+        with pytest.raises(RuntimeError, match="not attached"):
+            net.send(msg(1, 9), 100, 30)
+
+
+class TestRetryAndSuppression:
+    def test_drop_triggers_retransmission(self):
+        metrics = Metrics()
+        metrics.register_op(1, "n", "read", 1, 0.0)
+        # drop exactly the first transmission: seed chosen by rate=1 on a
+        # single-use plan is too blunt, so drop everything and watch the
+        # budget instead below; here use 50% and assert eventual delivery.
+        plan = FaultPlan(seed=2, drop_rate=0.5)
+        sched, net, inboxes = make(
+            faults=plan, metrics=metrics,
+            config=ReliabilityConfig(timeout=4.0, max_retries=50),
+        )
+        for i in range(20):
+            net.send(msg(1, 2, payload=i), 100, 30)
+        sched.run()
+        assert [m.payload for m in inboxes[2]] == list(range(20))
+        assert metrics.reliability.retransmissions > 0
+        assert metrics.reliability.delivery_failures == 0
+
+    def test_injected_duplicates_suppressed(self):
+        metrics = Metrics()
+        plan = FaultPlan(seed=0, duplicate_rate=1.0)
+        sched, net, inboxes = make(faults=plan, metrics=metrics)
+        for i in range(5):
+            net.send(msg(1, 2, payload=i), 100, 30)
+        sched.run()
+        assert [m.payload for m in inboxes[2]] == list(range(5))
+        assert metrics.reliability.duplicates_suppressed >= 5
+
+    def test_retry_budget_exhaustion_degrades_gracefully(self):
+        metrics = Metrics()
+        metrics.register_op(77, 1, "read", 1, 0.0)
+        plan = FaultPlan(seed=0, drop_rate=1.0)
+        sched, net, inboxes = make(
+            faults=plan, metrics=metrics,
+            config=ReliabilityConfig(timeout=2.0, max_retries=3),
+        )
+        net.send(msg(1, 2, op_id=77), 100, 30)
+        executed = sched.run(max_events=10_000)
+        # the run drains instead of hanging, and the loss is surfaced
+        assert len(sched) == 0
+        assert executed < 10_000
+        assert inboxes[2] == []
+        assert metrics.reliability.delivery_failures == 1
+        assert metrics.reliability.failed_op_ids == [77]
+        assert metrics.reliability.retransmissions == 3
+        assert net.in_flight == 0
+
+    def test_backoff_spaces_retries_exponentially(self):
+        plan = FaultPlan(seed=0, drop_rate=1.0)
+        sched, net, _ = make(
+            faults=plan, metrics=Metrics(),
+            config=ReliabilityConfig(timeout=2.0, backoff=2.0,
+                                     max_retries=3),
+        )
+        net.send(msg(1, 2), 100, 30)
+        sched.run()
+        # timer fires at 2, 2+4, 2+4+8, give-up at 2+4+8+16 = 30
+        assert sched.now == 30.0
+
+    def test_wedged_channel_holds_later_messages(self):
+        """After a delivery failure the FIFO hole never closes: later
+        messages on that channel park in the reorder buffer (documented
+        degradation semantics)."""
+        metrics = Metrics()
+        # drop the first 4 transmissions deterministically via budget 0
+        plan = FaultPlan(seed=0, drop_rate=1.0)
+        sched, net, inboxes = make(
+            faults=plan, metrics=metrics,
+            config=ReliabilityConfig(timeout=2.0, max_retries=0),
+        )
+        net.send(msg(1, 2, payload="lost"), 100, 30)
+        sched.run()
+        assert metrics.reliability.delivery_failures == 1
+        # heal the network; the next message still cannot be delivered
+        # because seq 1 never arrived.
+        net.physical.faults = None
+        net.send(msg(1, 2, payload="stuck"), 100, 30)
+        sched.run(max_events=10_000)
+        assert inboxes[2] == []
+        assert metrics.reliability.out_of_order_held == 1
+
+
+class TestCrashRecovery:
+    def test_messages_get_through_after_recovery(self):
+        metrics = Metrics()
+        plan = FaultPlan(crashes=[CrashWindow(2, 0.0, 20.0)])
+        sched, net, inboxes = make(
+            faults=plan, metrics=metrics,
+            config=ReliabilityConfig(timeout=4.0, max_retries=10),
+        )
+        net.send(msg(1, 2, payload="hello"), 100, 30)
+        sched.run()
+        assert [m.payload for m in inboxes[2]] == ["hello"]
+        assert metrics.reliability.retransmissions > 0
+        assert sched.now >= 20.0  # delivered only after recovery
+
+    def test_crashed_sender_retries_after_recovery(self):
+        metrics = Metrics()
+        plan = FaultPlan(crashes=[CrashWindow(1, 0.5, 10.0)])
+        sched, net, inboxes = make(
+            faults=plan, metrics=metrics,
+            config=ReliabilityConfig(timeout=4.0, max_retries=10),
+        )
+        net.send(msg(1, 2, payload="pre-crash"), 100, 30)  # leaves at t=0
+        sched.run(until=lambda: sched.now >= 0.4)
+        net.send(msg(1, 2, payload="during"), 100, 30)  # swallowed: down
+        sched.run()
+        assert [m.payload for m in inboxes[2]] == ["pre-crash", "during"]
+        assert metrics.reliability.sends_suppressed >= 1
+
+
+class TestExactlyOnceFifoProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        drop=st.sampled_from([0.0, 0.1, 0.3, 0.5]),
+        dup=st.sampled_from([0.0, 0.2, 0.5]),
+        jitter=st.sampled_from([0.0, 0.5, 3.0]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_exactly_once_in_order(self, drop, dup, jitter, seed):
+        """The invariant of the PR: with any drop rate < 1 and duplication
+        enabled, every protocol message is delivered exactly once, in
+        per-channel FIFO order."""
+        metrics = Metrics()
+        plan = FaultPlan(seed=seed, drop_rate=drop, duplicate_rate=dup,
+                         jitter=jitter)
+        sched, net, inboxes = make(
+            faults=plan, metrics=metrics, nodes=(1, 2, 3),
+            config=ReliabilityConfig(timeout=8.0, max_retries=64),
+        )
+        sent = {(1, 3): 12, (2, 3): 9, (3, 1): 5}
+        for (src, dst), count in sent.items():
+            for i in range(count):
+                net.send(msg(src, dst, payload=(src, i)), 100, 30)
+        sched.run(max_events=200_000)
+        assert metrics.reliability.delivery_failures == 0
+        per_channel = {}
+        for node, inbox in inboxes.items():
+            for m in inbox:
+                per_channel.setdefault((m.src, node), []).append(
+                    m.payload[1])
+        for channel, count in sent.items():
+            assert per_channel.get(channel, []) == list(range(count)), (
+                f"channel {channel} broke exactly-once FIFO"
+            )

@@ -1,6 +1,5 @@
 """Tests for the command-line interface."""
 
-import pytest
 
 from repro.cli import main
 
@@ -76,6 +75,56 @@ class TestSimulate:
                            "--ops", "600", "--M", "5", "--capacity", "2")
         assert code == 0
         assert "pool evictions" in out
+
+
+class TestSimulateFaults:
+    def test_drop_rate_reports_reliability_block(self, capsys):
+        code, out, _ = run(capsys, "simulate", "write_through", "--N", "3",
+                           "--p", "0.3", "--a", "2", "--sigma", "0.1",
+                           "--ops", "800", "--seed", "1",
+                           "--drop-rate", "0.2", "--fault-seed", "7")
+        assert code == 0
+        assert "acc breakdown" in out
+        assert "retransmissions" in out
+        assert "drop=0.2" in out
+
+    def test_fault_free_run_prints_no_reliability_block(self, capsys):
+        code, out, _ = run(capsys, "simulate", "write_through", "--N", "3",
+                           "--p", "0.3", "--a", "2", "--sigma", "0.1",
+                           "--ops", "800", "--seed", "1")
+        assert code == 0
+        assert "retransmissions" not in out
+
+    def test_crash_at_sequencer(self, capsys):
+        code, out, _ = run(capsys, "simulate", "write_through", "--N", "3",
+                           "--p", "0.3", "--a", "2", "--sigma", "0.1",
+                           "--ops", "800", "--seed", "1",
+                           "--crash-at", "4:2000:4000")
+        assert code == 0
+        assert "crashes/recoveries = 1/1" in out
+
+    def test_bad_crash_spec_errors(self, capsys):
+        code, _out, err = run(capsys, "simulate", "write_through", "--N", "3",
+                              "--p", "0.3", "--a", "2", "--sigma", "0.1",
+                              "--crash-at", "nonsense")
+        assert code == 2
+        assert "crash" in err.lower()
+
+    def test_bad_drop_rate_errors(self, capsys):
+        code, _out, err = run(capsys, "simulate", "write_through", "--N", "3",
+                              "--p", "0.3", "--a", "2", "--sigma", "0.1",
+                              "--drop-rate", "1.5")
+        assert code == 2
+        assert "drop_rate" in err
+
+    def test_determinism_across_invocations(self, capsys):
+        argv = ("simulate", "berkeley", "--N", "3", "--p", "0.3",
+                "--a", "2", "--sigma", "0.1", "--ops", "800", "--seed", "1",
+                "--drop-rate", "0.1", "--fault-seed", "3")
+        code1, out1, _ = run(capsys, *argv)
+        code2, out2, _ = run(capsys, *argv)
+        assert code1 == code2 == 0
+        assert out1 == out2
 
 
 class TestValidate:

@@ -1,7 +1,6 @@
 """Unit tests for the analytical-vs-simulation harness (Table 7 machinery)."""
 
 import numpy as np
-import pytest
 
 from repro.core.parameters import Deviation, WorkloadParams
 from repro.validation import compare_cell, comparison_table

@@ -1,6 +1,5 @@
 """Tests for the full validation-report generator."""
 
-import numpy as np
 import pytest
 
 from repro.core.parameters import Deviation, WorkloadParams

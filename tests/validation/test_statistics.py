@@ -1,9 +1,8 @@
 """Unit tests for the validation statistics helpers."""
 
-import numpy as np
 import pytest
 
-from repro.validation import MeanCI, mean_confidence_interval, replicate
+from repro.validation import mean_confidence_interval, replicate
 
 
 class TestConfidenceInterval:

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.parameters import Deviation
 from repro.sim import DSMSystem
 from repro.workloads import estimate_params
 from repro.workloads.apps import hot_cold, migratory, phased_spmd, producer_consumer

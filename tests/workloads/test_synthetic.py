@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.parameters import Deviation, WorkloadParams
 from repro.workloads import (
-    SyntheticWorkload,
     ideal_workload,
     make_event_table,
     multiple_activity_centers_workload,
