@@ -7,6 +7,11 @@ one protocol over drop rate × retry timeout and reports, per cell, the
 measured ``acc`` and its overhead versus the fault-free baseline of the
 same workload and seed.
 
+The grid runs through the sweep engine (:mod:`repro.exp`) as pure ``sim``
+cells: each cell carries its :class:`FaultPlan`/:class:`ReliabilityConfig`
+inside its :class:`RunConfig`, so the whole study — baseline included —
+is one declarative :class:`SweepSpec` fanned over a worker pool.
+
 Expectations encoded as assertions: every cell is finite, the fault-free
 column matches the baseline's protocol share, and overhead grows with the
 drop rate (more retransmissions and more repeated ``S+1`` transfers).
@@ -16,55 +21,66 @@ acks race long timeouts), which the table makes visible.
 """
 
 import math
+import os
 
 import pytest
 
 from repro.core.parameters import WorkloadParams
-from repro.sim import DSMSystem, FaultPlan, ReliabilityConfig
-from repro.workloads import read_disturbance_workload
+from repro.sim import FaultPlan, ReliabilityConfig, RunConfig
+from repro.exp import SweepCell, SweepSpec, run_sweep
 
 from .conftest import emit
 
 PARAMS = WorkloadParams(N=4, p=0.3, a=3, sigma=0.15, S=100.0, P=30.0)
 DROP_RATES = (0.0, 0.05, 0.1, 0.2)
 TIMEOUTS = (4.0, 8.0, 16.0)
-NUM_OPS = 2000
-WARMUP = 300
+BASE_CONFIG = RunConfig(ops=2000, warmup=300, seed=21)
+WORKERS = int(os.environ.get("REPRO_SWEEP_WORKERS", "2"))
 
 
-def run_cell(protocol: str, drop: float, timeout: float) -> dict:
-    faults = FaultPlan(seed=11, drop_rate=drop) if drop > 0 else None
-    reliability = ReliabilityConfig(timeout=timeout, max_retries=20)
-    system = DSMSystem(protocol, N=PARAMS.N, M=1, S=PARAMS.S, P=PARAMS.P,
-                       faults=faults, reliability=reliability)
-    result = system.run_workload(read_disturbance_workload(PARAMS, M=1),
-                                 num_ops=NUM_OPS, warmup=WARMUP, seed=21)
-    system.check_coherence()
-    breakdown = system.metrics.average_cost_breakdown(skip=WARMUP)
-    return {
-        "acc": result.acc,
-        "protocol": breakdown["protocol"],
-        "reliability": breakdown["reliability"],
-        "retx": system.metrics.reliability.retransmissions,
-        "incomplete": result.incomplete_ops,
-    }
+def grid_cell(protocol: str, drop: float, timeout: float) -> SweepCell:
+    """One fault-grid cell: same workload and seed, wrapped transport."""
+    return SweepCell(
+        protocol=protocol,
+        params=PARAMS,
+        kind="sim",
+        M=1,
+        config=BASE_CONFIG.with_(
+            faults=FaultPlan(seed=11, drop_rate=drop) if drop > 0 else None,
+            reliability=ReliabilityConfig(timeout=timeout, max_retries=20),
+        ),
+    )
 
 
-def run_sweep(protocol: str):
-    baseline = DSMSystem(protocol, N=PARAMS.N, M=1, S=PARAMS.S, P=PARAMS.P)
-    base = baseline.run_workload(read_disturbance_workload(PARAMS, M=1),
-                                 num_ops=NUM_OPS, warmup=WARMUP, seed=21)
-    grid = {
-        (drop, timeout): run_cell(protocol, drop, timeout)
+def build_spec(protocol: str) -> SweepSpec:
+    """The baseline (bare transport) followed by the drop × timeout grid."""
+    cells = [SweepCell(protocol=protocol, params=PARAMS, kind="sim", M=1,
+                       config=BASE_CONFIG)]
+    cells.extend(
+        grid_cell(protocol, drop, timeout)
         for drop in DROP_RATES
         for timeout in TIMEOUTS
-    }
-    return base.acc, grid
+    )
+    return SweepSpec.explicit(cells)
+
+
+def run_study(protocol: str):
+    result = run_sweep(build_spec(protocol), workers=WORKERS)
+    assert result.failed == 0, [r for r in result.rows
+                                if r["status"] == "failed"]
+    base_row, *grid_rows = result.rows
+    grid = {}
+    for row, (drop, timeout) in zip(
+        grid_rows,
+        [(d, t) for d in DROP_RATES for t in TIMEOUTS],
+    ):
+        grid[(drop, timeout)] = row
+    return base_row["acc_sim"], grid
 
 
 @pytest.mark.parametrize("protocol", ["write_through", "berkeley"])
 def test_acc_overhead_under_faults(protocol, benchmark, results_dir):
-    base_acc, grid = benchmark.pedantic(run_sweep, args=(protocol,),
+    base_acc, grid = benchmark.pedantic(run_study, args=(protocol,),
                                         rounds=1, iterations=1)
     lines = [
         f"reliability overhead vs fault-free baseline ({protocol}); "
@@ -74,19 +90,21 @@ def test_acc_overhead_under_faults(protocol, benchmark, results_dir):
     ]
     for (drop, timeout), cell in sorted(grid.items()):
         lines.append(
-            f"{drop:6.2f} {timeout:8.1f} {cell['acc']:9.2f} "
-            f"{cell['acc'] - base_acc:9.2f} {cell['reliability']:9.2f} "
-            f"{cell['retx']:6d}"
+            f"{drop:6.2f} {timeout:8.1f} {cell['acc_sim']:9.2f} "
+            f"{cell['acc_sim'] - base_acc:9.2f} "
+            f"{cell['acc_reliability_share']:9.2f} "
+            f"{cell['retransmissions']:6d}"
         )
     emit(results_dir, f"faults_{protocol}.txt", "\n".join(lines))
 
     # every cell finished healthy with a finite acc
     for cell in grid.values():
-        assert math.isfinite(cell["acc"])
-        assert cell["incomplete"] == 0
+        assert math.isfinite(cell["acc_sim"])
+        assert cell["incomplete_ops"] == 0
+        assert cell["coherent"]
     # overhead grows with the drop rate at every timeout
     for timeout in TIMEOUTS:
-        overheads = [grid[(drop, timeout)]["reliability"]
+        overheads = [grid[(drop, timeout)]["acc_reliability_share"]
                      for drop in DROP_RATES]
         assert overheads == sorted(overheads), (
             f"reliability overhead not monotone in drop rate at "
@@ -96,5 +114,5 @@ def test_acc_overhead_under_faults(protocol, benchmark, results_dir):
     # the protocol share equals the unwrapped baseline
     for timeout in TIMEOUTS:
         cell = grid[(0.0, timeout)]
-        assert cell["retx"] == 0
-        assert cell["protocol"] == pytest.approx(base_acc)
+        assert cell["retransmissions"] == 0
+        assert cell["acc_protocol_share"] == pytest.approx(base_acc)

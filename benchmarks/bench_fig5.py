@@ -7,30 +7,70 @@ Panels (paper parameterization N=50, a=10, P=30):
 * (c) Dragon, Firefly at S=5000;
 * (d) Dragon vs Berkeley minimum-acc region split at S=5000.
 
-The benchmark regenerates every surface over a (p, sigma) grid, prints
-characteristic slices (the series a plot would show), renders panel (d)'s
-winner map, and asserts the shape properties the paper reads off the
-figures.
+The surface panels run through the sweep engine (:mod:`repro.exp`): each
+panel expands to a cartesian grid of pure ``analytic`` cells fanned out
+over a worker pool, and the rows are reassembled into
+:class:`~repro.core.surfaces.Surface` objects (infeasible grid points stay
+NaN, the paper's blank region).  The benchmark prints characteristic
+slices (the series a plot would show), renders panel (d)'s winner map, and
+asserts the shape properties the paper reads off the figures.
 """
+
+import os
 
 import numpy as np
 
 from repro.core import (
+    FIGURE_PANELS,
     Deviation,
+    Surface,
     WorkloadParams,
-    figure_surfaces,
     min_acc_region_map,
 )
+from repro.exp import SweepSpec, run_sweep
 
 from .conftest import emit
 
 DEV = Deviation.READ
 P_POINTS = 13
 D_POINTS = 13
+WORKERS = int(os.environ.get("REPRO_SWEEP_WORKERS", "2"))
 
 
-def run_panels():
-    return figure_surfaces(DEV, p_points=P_POINTS, disturb_points=D_POINTS)
+def surfaces_from_sweep(p_points: int = P_POINTS,
+                        d_points: int = D_POINTS) -> dict:
+    """Regenerate the Figure 5 panels as analytic sweeps.
+
+    Returns ``{panel: [Surface, ...]}`` exactly like
+    :func:`repro.core.figure_surfaces`, but evaluated cell-by-cell through
+    the engine (the cartesian expansion skips infeasible points, so the
+    reconstruction starts from an all-NaN grid).
+    """
+    p_vals = np.linspace(0.0, 1.0, p_points)
+    d_vals = np.linspace(0.0, 0.1, d_points)
+    p_index = {float(p): i for i, p in enumerate(p_vals)}
+    d_index = {float(d): j for j, d in enumerate(d_vals)}
+    panels = {}
+    for key, (protos, S) in FIGURE_PANELS.items():
+        base = WorkloadParams(N=50, p=0.0, a=10, S=S, P=30.0)
+        spec = SweepSpec.cartesian(
+            protos, base, [float(p) for p in p_vals],
+            [float(d) for d in d_vals], deviation=DEV, kind="analytic",
+        )
+        result = run_sweep(spec, workers=WORKERS)
+        assert result.failed == 0
+        grids = {proto: np.full((p_vals.size, d_vals.size), np.nan)
+                 for proto in protos}
+        for row in result.rows:
+            value = row["acc_analytic"]
+            grids[row["protocol"]][
+                p_index[row["p"]], d_index[row["disturb"]]
+            ] = np.nan if value is None else value
+        panels[key] = [
+            Surface(proto, DEV, base, p_vals, d_vals, grids[proto])
+            for proto in protos
+        ]
+    return panels
 
 
 def format_surfaces(panels):
@@ -55,7 +95,7 @@ def format_surfaces(panels):
 
 
 def test_figure5_surfaces(benchmark, results_dir):
-    panels = benchmark.pedantic(run_panels, rounds=1, iterations=1)
+    panels = benchmark.pedantic(surfaces_from_sweep, rounds=1, iterations=1)
     emit(results_dir, "figure5_surfaces.txt", format_surfaces(panels))
 
     # shape assertions the paper reads off Figure 5:
@@ -64,6 +104,10 @@ def test_figure5_surfaces(benchmark, results_dir):
             feasible = ~np.isnan(surf.acc)
             # p = 0 edge is free for every protocol
             assert np.allclose(surf.acc[0, :][feasible[0, :]], 0.0)
+            # the infeasible wedge p + 10 sigma > 1 stays blank
+            pp, dd = np.meshgrid(surf.p_values, surf.disturb_values,
+                                 indexing="ij")
+            assert np.all(np.isnan(surf.acc[pp + 10 * dd > 1.0 + 1e-9]))
     # panel (a): Berkeley below Synapse/Illinois/Write-Once pointwise
     by_name = {s.protocol: s for s in panels["a"]}
     b = by_name["berkeley"].acc

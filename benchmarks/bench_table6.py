@@ -3,13 +3,20 @@
 The paper's Table 6 tabulates the closed-form average communication cost
 per operation for all eight protocols under the read-disturbance deviation.
 The table is unreadable in the available scan, so this benchmark
-regenerates it from our reconstruction: the derived closed forms where they
-exist, and the exact Markov evaluation for every protocol (the two agree to
-machine precision wherever both exist — asserted here).
+regenerates it from our reconstruction: the exact Markov evaluation for
+every protocol, cross-checked against the derived closed forms where they
+exist (the two agree to machine precision — asserted here).
+
+The grid runs through the sweep engine (:mod:`repro.exp`) as pure
+``analytic`` cells: one sweep per evaluation method, fanned out over a
+worker pool, with the Markov sweep's JSONL rows persisted as the table's
+machine-readable artifact.
 
 Regenerates: one row per protocol over a representative ``(p, sigma)``
 grid with the Figure 5 parameterization (``N=50, a=10, P=30, S=5000``).
 """
+
+import os
 
 import pytest
 
@@ -17,32 +24,55 @@ from repro.core import (
     ALL_PROTOCOLS,
     Deviation,
     WorkloadParams,
-    analytical_acc,
     has_closed_form,
 )
+from repro.exp import SweepCell, SweepSpec, run_sweep
+from repro.exp.runner import row_line
 
 from .conftest import emit
 
 GRID = [(0.1, 0.02), (0.3, 0.02), (0.6, 0.02), (0.1, 0.06), (0.3, 0.06)]
 BASE = WorkloadParams(N=50, p=0.0, a=10, S=5000.0, P=30.0)
+WORKERS = int(os.environ.get("REPRO_SWEEP_WORKERS", "2"))
+
+
+def build_spec(method: str, protocols) -> SweepSpec:
+    """The Table 6 grid as analytic sweep cells for one method."""
+    return SweepSpec.explicit(
+        SweepCell(
+            protocol=proto,
+            params=BASE.with_(p=p, sigma=sigma),
+            deviation=Deviation.READ,
+            kind="analytic",
+            method=method,
+        )
+        for proto in protocols
+        for p, sigma in GRID
+    )
 
 
 def build_table():
     """Compute the Table 6 values (Markov, cross-checked vs closed forms)."""
-    rows = []
-    for proto in ALL_PROTOCOLS:
-        cells = []
-        for p, sigma in GRID:
-            w = BASE.with_(p=p, sigma=sigma)
-            acc_markov = analytical_acc(proto, w, Deviation.READ,
-                                        method="markov")
-            if has_closed_form(proto, Deviation.READ):
-                acc_closed = analytical_acc(proto, w, Deviation.READ,
-                                            method="closed_form")
-                assert acc_closed == pytest.approx(acc_markov, rel=1e-9)
-            cells.append(acc_markov)
-        rows.append((proto, cells))
-    return rows
+    markov = run_sweep(build_spec("markov", ALL_PROTOCOLS), workers=WORKERS)
+    assert markov.failed == 0
+    closed_protos = [p for p in ALL_PROTOCOLS
+                     if has_closed_form(p, Deviation.READ)]
+    closed = run_sweep(build_spec("closed_form", closed_protos),
+                       workers=WORKERS)
+    assert closed.failed == 0
+
+    def by_cell(result):
+        return {(r["protocol"], r["p"], r["disturb"]): r["acc_analytic"]
+                for r in result.rows}
+
+    acc_markov, acc_closed = by_cell(markov), by_cell(closed)
+    for key, value in acc_closed.items():
+        assert value == pytest.approx(acc_markov[key], rel=1e-9), key
+    rows = [
+        (proto, [acc_markov[(proto, p, sigma)] for p, sigma in GRID])
+        for proto in ALL_PROTOCOLS
+    ]
+    return rows, markov
 
 
 def format_table(rows):
@@ -64,9 +94,12 @@ def format_table(rows):
 
 
 def test_table6_read_disturbance(benchmark, results_dir):
-    rows = benchmark(build_table)
+    rows, markov = benchmark(build_table)
     text = format_table(rows)
     emit(results_dir, "table6.txt", text)
+    (results_dir / "table6.jsonl").write_text(
+        "\n".join(row_line(r) for r in markov.rows) + "\n"
+    )
     by_name = dict(rows)
     # sanity anchors from Section 5.1 on every regenerated grid point
     for i, (p, sigma) in enumerate(GRID):

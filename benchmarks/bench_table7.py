@@ -6,38 +6,86 @@ The paper validates its analysis against the multitasking Ada simulator:
 operations are dropped and about 1500 steady-state operations measured; the
 reported maximum discrepancy is below ±8%.
 
-This benchmark reruns the experiment on our discrete-event simulator over
-the feasible ``(p, sigma)`` grid and asserts the same accuracy band.  The
-grid uses ``sigma`` steps of 0.1 up to the feasibility limit
-``p + 2 sigma <= 1`` (the paper's blank cells).
+This benchmark reruns the experiment through the sweep engine
+(:mod:`repro.exp`): the feasible ``(p, sigma)`` grid becomes an explicit
+:class:`SweepSpec` (explicit so each cell keeps the harness's historical
+``1000 * i + j`` seed rule), the cells fan out over a worker pool, and the
+JSONL rows are persisted next to the formatted table.  The grid uses
+``sigma`` steps of 0.1 up to the feasibility limit ``p + 2 sigma <= 1``
+(the paper's blank cells).
 """
+
+import os
 
 import pytest
 
-from repro.core.parameters import WorkloadParams
-from repro.validation import comparison_table
+from repro.core.parameters import Deviation, WorkloadParams
+from repro.sim.config import RunConfig
+from repro.exp import SweepCell, SweepSpec, run_sweep
+from repro.exp.runner import row_line
+from repro.validation import CellResult, ComparisonTable, comparison_table
 
 from .conftest import emit
 
 BASE = WorkloadParams(N=3, p=0.0, a=2, S=100.0, P=30.0)
 P_VALUES = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
 SIGMA_VALUES = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5]
+#: worker processes for the benchmark sweeps (override via env)
+WORKERS = int(os.environ.get("REPRO_SWEEP_WORKERS", "2"))
 
 
-def run_panel(protocol: str):
-    # 2x the paper's per-cell operation budget (4000 vs ~2000) to keep the
-    # per-cell sampling noise comfortably inside the +-8% band.
-    return comparison_table(
-        protocol, BASE, P_VALUES, SIGMA_VALUES,
-        M=20, total_ops=4000, warmup=1000, seed=0, mean_gap=25.0,
-    )
+def build_spec(protocol: str) -> SweepSpec:
+    """The Table 7 panel as an explicit sweep (historical per-cell seeds).
+
+    2x the paper's per-cell operation budget (4000 vs ~2000) to keep the
+    per-cell sampling noise comfortably inside the +-8% band.
+    """
+    cells = []
+    for i, p in enumerate(P_VALUES):
+        for j, sigma in enumerate(SIGMA_VALUES):
+            if p + BASE.a * sigma > 1.0 + 1e-12:
+                continue
+            cells.append(SweepCell(
+                protocol=protocol,
+                params=BASE.with_(p=float(p), sigma=float(sigma), xi=0.0),
+                kind="compare",
+                M=20,
+                config=RunConfig(ops=4000, warmup=1000,
+                                 seed=1000 * i + j, mean_gap=25.0),
+            ))
+    return SweepSpec.explicit(cells)
+
+
+def run_panel(protocol: str) -> ComparisonTable:
+    result = run_sweep(build_spec(protocol), workers=WORKERS)
+    assert result.failed == 0, [r for r in result.rows
+                                if r["status"] == "failed"]
+    cells = [
+        CellResult(row["p"], row["disturb"], row["acc_analytic"],
+                   row["acc_sim"])
+        for row in result.rows
+    ]
+    return ComparisonTable(protocol, Deviation.READ, cells), result
+
+
+def test_table7_panel_parallel_matches_serial(results_dir):
+    """The engine's determinism contract on a real panel: byte-identical
+    rows whatever the worker count."""
+    spec = build_spec("write_once")
+    serial = run_sweep(spec, workers=1)
+    parallel = run_sweep(spec, workers=WORKERS)
+    assert sorted(row_line(r) for r in serial.rows) == \
+        sorted(row_line(r) for r in parallel.rows)
 
 
 @pytest.mark.parametrize("protocol", ["write_once", "write_through_v"])
 def test_table7_panel(protocol, benchmark, results_dir):
-    table = benchmark.pedantic(run_panel, args=(protocol,), rounds=1,
-                               iterations=1)
+    (table, result) = benchmark.pedantic(run_panel, args=(protocol,),
+                                         rounds=1, iterations=1)
     emit(results_dir, f"table7_{protocol}.txt", table.format())
+    (results_dir / f"table7_{protocol}.jsonl").write_text(
+        "\n".join(row_line(r) for r in result.rows) + "\n"
+    )
     # the paper's headline: discrepancy below +-8%
     assert table.max_abs_discrepancy_pct < 8.0, table.format()
     # the grid shape: infeasible cells skipped
@@ -53,9 +101,11 @@ def test_table7_discrepancy_shrinks_with_ops(results_dir):
     """Longer measurement windows tighten the agreement — evidence that
     the residual discrepancy is sampling noise, not model error."""
     short = comparison_table("write_through_v", BASE, [0.4], [0.2],
-                             M=20, total_ops=1000, warmup=250, seed=123)
+                             M=20, config=RunConfig(ops=1000, warmup=250,
+                                                    seed=123))
     long = comparison_table("write_through_v", BASE, [0.4], [0.2],
-                            M=20, total_ops=16000, warmup=1000, seed=123)
+                            M=20, config=RunConfig(ops=16000, warmup=1000,
+                                                   seed=123))
     assert long.max_abs_discrepancy_pct < 4.0
     emit(results_dir, "table7_convergence.txt",
          f"1k ops:  {short.max_abs_discrepancy_pct:.2f}%\n"

@@ -14,7 +14,7 @@ Run:  python examples/memory_pressure.py
 
 from repro.core import Deviation, WorkloadParams
 from repro.core.ejection import ejecting_markov_acc
-from repro.sim import DSMSystem
+from repro.sim import DSMSystem, RunConfig
 from repro.workloads import read_disturbance_workload
 
 PARAMS = WorkloadParams(N=4, p=0.25, a=3, sigma=0.1, S=200.0, P=30.0)
@@ -31,8 +31,8 @@ def capacity_curve() -> None:
             system = DSMSystem(proto, N=PARAMS.N, M=M, S=PARAMS.S,
                                P=PARAMS.P, capacity=capacity)
             workload = read_disturbance_workload(PARAMS, M=M)
-            system.run_workload(workload, num_ops=3000, warmup=600,
-                                seed=11, mean_gap=10.0)
+            system.run_workload(workload, RunConfig(
+                ops=3000, warmup=600, seed=11, mean_gap=10.0))
             system.check_coherence()
             row += f"{system.data_cost_rate(600):16.2f}"
         print(row)

@@ -27,6 +27,7 @@ from repro.core import (
     analytical_acc,
     figure_surfaces,
 )
+from repro.sim import RunConfig
 from repro.validation import comparison_table
 
 
@@ -71,7 +72,7 @@ def write_table7(outdir: Path, fast: bool) -> None:
             proto, base,
             p_values=[0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
             disturb_values=[0.0, 0.1, 0.2, 0.3, 0.4, 0.5],
-            M=20, total_ops=ops, warmup=ops // 4, seed=0,
+            M=20, config=RunConfig(ops=ops, warmup=ops // 4, seed=0),
         )
         name = f"table7_{proto}.txt"
         (outdir / name).write_text(table.format())

@@ -12,7 +12,9 @@ The library's core loop in ~40 lines:
 Run:  python examples/quickstart.py
 """
 
-from repro import Deviation, DSMSystem, WorkloadParams, analytical_acc
+from repro import (
+    Deviation, DSMSystem, RunConfig, WorkloadParams, analytical_acc,
+)
 from repro.workloads import read_disturbance_workload
 
 
@@ -33,8 +35,9 @@ def main() -> None:
 
         system = DSMSystem(protocol, N=params.N, M=4, S=params.S, P=params.P)
         workload = read_disturbance_workload(params, M=4)
-        result = system.run_workload(workload, num_ops=6000, warmup=1000,
-                                     seed=7)
+        result = system.run_workload(workload,
+                                     RunConfig(ops=6000, warmup=1000,
+                                               seed=7))
         system.check_coherence()  # every valid replica equals the truth
 
         diff = 100.0 * (result.acc - predicted) / predicted

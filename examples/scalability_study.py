@@ -16,7 +16,9 @@ It also cross-checks three of the analytic points against the simulator.
 Run:  python examples/scalability_study.py
 """
 
-from repro import Deviation, DSMSystem, WorkloadParams, analytical_acc
+from repro import (
+    Deviation, DSMSystem, RunConfig, WorkloadParams, analytical_acc,
+)
 from repro.workloads import read_disturbance_workload
 
 PROTOCOLS = ("write_through", "write_through_dir", "berkeley", "dragon")
@@ -50,7 +52,7 @@ def spot_check() -> None:
         system = DSMSystem(proto, N=20, M=2, S=SHARING["S"], P=SHARING["P"])
         result = system.run_workload(
             read_disturbance_workload(params, M=2),
-            num_ops=4000, warmup=800, seed=5,
+            RunConfig(ops=4000, warmup=800, seed=5),
         )
         system.check_coherence()
         print(f"  {proto:20s} predicted {predicted:9.2f}  "

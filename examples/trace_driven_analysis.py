@@ -23,7 +23,9 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import Deviation, DSMSystem, WorkloadParams, rank_protocols
+from repro import (
+    Deviation, DSMSystem, RunConfig, WorkloadParams, rank_protocols,
+)
 from repro.protocols import PROTOCOLS
 from repro.workloads import estimate_params, load_trace, save_trace
 
@@ -79,8 +81,10 @@ def main() -> None:
     for proto in (recommended, rejected):
         system = DSMSystem(proto, N=N, M=1, S=S_COST, P=P_COST)
         workload.rewind()
-        result = system.run_workload(workload, num_ops=len(trace),
-                                     warmup=len(trace) // 10, seed=0)
+        result = system.run_workload(
+            workload,
+            RunConfig(ops=len(trace), warmup=len(trace) // 10, seed=0),
+        )
         system.check_coherence()
         print(f"   {PROTOCOLS[proto].display_name:18s} measured acc = "
               f"{result.acc:9.2f}")

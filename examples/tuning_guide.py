@@ -15,7 +15,9 @@ loop on one concrete workload:
 Run:  python examples/tuning_guide.py
 """
 
-from repro import Deviation, DSMSystem, WorkloadParams, rank_protocols
+from repro import (
+    Deviation, DSMSystem, RunConfig, WorkloadParams, rank_protocols,
+)
 from repro.core import analytical_acc, placement_advantage, tuning_table
 from repro.workloads import read_disturbance_workload
 
@@ -70,7 +72,7 @@ def step4_verify(protocol: str) -> None:
     system = DSMSystem(protocol, N=PARAMS.N, M=2, S=PARAMS.S, P=PARAMS.P)
     result = system.run_workload(
         read_disturbance_workload(PARAMS, M=2),
-        num_ops=6000, warmup=1000, seed=17,
+        RunConfig(ops=6000, warmup=1000, seed=17),
     )
     system.check_coherence()
     print(f"   predicted {predicted:.2f}, measured {result.acc:.2f} "

@@ -13,11 +13,14 @@ The package provides:
 * :mod:`repro.sim` — the message-passing distributed-system simulator;
 * :mod:`repro.workloads` — synthetic and trace-replay workload generators;
 * :mod:`repro.validation` — analytical-vs-simulation comparison (Table 7);
+* :mod:`repro.exp` — the parallel sweep engine with result caching;
 * :mod:`repro.adaptive` — the self-tuning protocol-selection extension.
 
 Quickstart::
 
-    from repro import WorkloadParams, Deviation, analytical_acc, DSMSystem
+    from repro import (
+        Deviation, DSMSystem, RunConfig, WorkloadParams, analytical_acc,
+    )
     from repro.workloads import read_disturbance_workload
 
     params = WorkloadParams(N=8, p=0.2, a=3, sigma=0.1, S=100, P=30)
@@ -25,9 +28,16 @@ Quickstart::
 
     system = DSMSystem("berkeley", N=8, S=100, P=30)
     measured = system.run_workload(
-        read_disturbance_workload(params), num_ops=4000, warmup=500, seed=0
+        read_disturbance_workload(params),
+        RunConfig(ops=4000, warmup=500, seed=0),
     ).acc
+
+Grid-shaped experiments go through the sweep engine::
+
+    from repro.exp import SweepSpec, run_sweep
 """
+
+__version__ = "1.1.0"
 
 from .core import (
     ALL_PROTOCOLS,
@@ -48,10 +58,20 @@ from .sim import (
     DSMSystem,
     FaultPlan,
     ReliabilityConfig,
+    RunConfig,
     SimulationResult,
 )
+from .validation import compare_cell, comparison_table
 
-__version__ = "1.0.0"
+# imported last: repro.exp.cache reads ``repro.__version__`` for its cache
+# keys, so the version (and the names above) must already be bound.
+from .exp import (  # noqa: E402
+    ResultCache,
+    SweepCell,
+    SweepRunner,
+    SweepSpec,
+    run_sweep,
+)
 
 __all__ = [
     "ALL_PROTOCOLS",
@@ -72,6 +92,14 @@ __all__ = [
     "DSMSystem",
     "FaultPlan",
     "ReliabilityConfig",
+    "RunConfig",
     "SimulationResult",
+    "compare_cell",
+    "comparison_table",
+    "ResultCache",
+    "SweepCell",
+    "SweepRunner",
+    "SweepSpec",
+    "run_sweep",
     "__version__",
 ]

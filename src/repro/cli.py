@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the library's day-to-day uses:
+Six commands cover the library's day-to-day uses:
 
 * ``acc`` — evaluate the analytic steady-state cost for one protocol;
 * ``rank`` — rank all protocols for a workload (the classifier's view);
@@ -8,7 +8,16 @@ Five commands cover the library's day-to-day uses:
   ``acc`` (optionally against the analytic prediction);
 * ``place`` — the home-vs-client activity-center placement saving;
 * ``validate`` — one analytical-vs-simulation comparison cell (Table 7
-  style).
+  style);
+* ``sweep`` — evaluate a whole parameter grid through the parallel sweep
+  engine (:mod:`repro.exp`) with result caching and JSONL output.
+
+All commands share the same flag vocabulary through parent parsers: the
+workload group (``--N --p --a --sigma ...``), the run group
+(``--ops --warmup --seed --mean-gap``), the fault group (``--drop-rate
+--dup-rate --jitter --crash-at --fault-seed``) and the reliability group
+(``--retry-timeout --retry-backoff --max-retries``) spell identically
+wherever they appear.
 
 Examples::
 
@@ -16,6 +25,9 @@ Examples::
     python -m repro rank --N 50 --p 0.1 --a 10 --sigma 0.05 --S 5000
     python -m repro simulate dragon --N 8 --p 0.2 --ops 4000
     python -m repro validate write_once --N 3 --p 0.4 --a 2 --sigma 0.1
+    python -m repro sweep --protocols write_once,write_through_v \\
+        --N 3 --a 2 --p-values 0,0.2,0.4 --disturb-values 0,0.1,0.2 \\
+        --ops 2000 --workers 4 --out table7.jsonl
 """
 
 from __future__ import annotations
@@ -28,7 +40,9 @@ from .core.acc import analytical_acc
 from .core.comparison import ALL_PROTOCOLS, rank_protocols
 from .core.parameters import Deviation, WorkloadParams
 from .core.placement import placement_advantage
+from .exp import SweepSpec, SweepRunner
 from .protocols.registry import EXTENSION_PROTOCOLS, PROTOCOLS
+from .sim.config import RunConfig
 from .sim.faults import CrashWindow, FaultPlan
 from .sim.reliable import ReliabilityConfig
 from .sim.system import DSMSystem
@@ -44,26 +58,93 @@ _DEVIATIONS = {
 }
 
 
-def _add_workload_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--N", type=int, required=True,
-                        help="number of clients")
-    parser.add_argument("--p", type=float, required=True,
-                        help="activity-center write probability")
-    parser.add_argument("--a", type=int, default=0,
-                        help="number of disturbing clients")
-    parser.add_argument("--sigma", type=float, default=0.0,
-                        help="per-client read-disturbance probability")
-    parser.add_argument("--xi", type=float, default=0.0,
-                        help="per-client write-disturbance probability")
-    parser.add_argument("--beta", type=int, default=1,
-                        help="number of activity centers (mac deviation)")
-    parser.add_argument("--S", type=float, default=100.0,
-                        help="whole-copy transfer cost parameter")
-    parser.add_argument("--P", type=float, default=30.0,
-                        help="write-parameter transfer cost parameter")
-    parser.add_argument("--deviation", choices=sorted(_DEVIATIONS),
-                        default="read", help="workload deviation")
+# ----------------------------------------------------------------------
+# shared parent parsers (one flag vocabulary for every subcommand)
+# ----------------------------------------------------------------------
 
+def _system_parent() -> argparse.ArgumentParser:
+    """``--N --a --beta --S --P --deviation``: the system/cost parameters."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("workload parameters")
+    group.add_argument("--N", type=int, required=True,
+                       help="number of clients")
+    group.add_argument("--a", type=int, default=0,
+                       help="number of disturbing clients")
+    group.add_argument("--beta", type=int, default=1,
+                       help="number of activity centers (mac deviation)")
+    group.add_argument("--S", type=float, default=100.0,
+                       help="whole-copy transfer cost parameter")
+    group.add_argument("--P", type=float, default=30.0,
+                       help="write-parameter transfer cost parameter")
+    group.add_argument("--deviation", choices=sorted(_DEVIATIONS),
+                       default="read", help="workload deviation")
+    return parent
+
+
+def _point_parent() -> argparse.ArgumentParser:
+    """``--p --sigma --xi``: one workload-plane point."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("workload point")
+    group.add_argument("--p", type=float, required=True,
+                       help="activity-center write probability")
+    group.add_argument("--sigma", type=float, default=0.0,
+                       help="per-client read-disturbance probability")
+    group.add_argument("--xi", type=float, default=0.0,
+                       help="per-client write-disturbance probability")
+    return parent
+
+
+def _run_parent() -> argparse.ArgumentParser:
+    """``--ops --warmup --seed --mean-gap``: the run configuration."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("run configuration")
+    group.add_argument("--ops", type=int, default=4000,
+                       help="operations to run (including warm-up)")
+    group.add_argument("--warmup", type=int, default=None,
+                       help="warm-up operations (default: ops // 4)")
+    group.add_argument("--seed", type=int, default=0,
+                       help="workload/arrival RNG seed "
+                            "(sweep: the base seed cells derive from)")
+    group.add_argument("--mean-gap", type=float, default=25.0,
+                       help="mean Poisson inter-arrival gap")
+    return parent
+
+
+def _fault_parent() -> argparse.ArgumentParser:
+    """``--drop-rate --dup-rate --jitter --crash-at --fault-seed``."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("fault injection")
+    group.add_argument("--drop-rate", type=float, default=0.0,
+                       help="per-transmission message loss probability")
+    group.add_argument("--dup-rate", type=float, default=0.0,
+                       help="per-transmission duplication probability")
+    group.add_argument("--jitter", type=float, default=0.0,
+                       help="max extra delivery delay (uniform jitter)")
+    group.add_argument("--crash-at", action="append", default=[],
+                       metavar="NODE:START[:END]",
+                       help="crash a node for [START, END) sim time "
+                            "(END omitted: never recovers); repeatable")
+    group.add_argument("--fault-seed", type=int, default=0,
+                       help="seed of the fault plan's RNG stream")
+    return parent
+
+
+def _reliability_parent() -> argparse.ArgumentParser:
+    """``--retry-timeout --retry-backoff --max-retries``."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("reliable delivery")
+    group.add_argument("--retry-timeout", type=float, default=8.0,
+                       help="base ack timeout of the reliable layer")
+    group.add_argument("--retry-backoff", type=float, default=2.0,
+                       help="exponential backoff multiplier per retry")
+    group.add_argument("--max-retries", type=int, default=10,
+                       help="retry budget before a send is abandoned")
+    return parent
+
+
+# ----------------------------------------------------------------------
+# argument -> model translation
+# ----------------------------------------------------------------------
 
 def _params(args: argparse.Namespace) -> WorkloadParams:
     return WorkloadParams(N=args.N, p=args.p, a=args.a, sigma=args.sigma,
@@ -84,13 +165,41 @@ def _parse_crash(spec: str) -> CrashWindow:
 
 
 def _fault_plan(args: argparse.Namespace) -> Optional[FaultPlan]:
-    """Build the fault plan from the simulate flags (None when fault-free)."""
+    """Build the fault plan from the fault flags (None when fault-free)."""
     crashes = [_parse_crash(spec) for spec in args.crash_at]
     plan = FaultPlan(seed=args.fault_seed, drop_rate=args.drop_rate,
                      duplicate_rate=args.dup_rate, jitter=args.jitter,
                      crashes=crashes)
     return None if plan.is_none else plan
 
+
+def _run_config(args: argparse.Namespace) -> RunConfig:
+    """The unified :class:`RunConfig` shared by simulate/validate/sweep."""
+    faults = _fault_plan(args)
+    reliability = (
+        ReliabilityConfig(timeout=args.retry_timeout,
+                          backoff=args.retry_backoff,
+                          max_retries=args.max_retries)
+        if faults is not None else None
+    )
+    return RunConfig(ops=args.ops, warmup=args.warmup, seed=args.seed,
+                     mean_gap=args.mean_gap, faults=faults,
+                     reliability=reliability)
+
+
+def _csv_floats(text: str) -> List[float]:
+    return [float(part) for part in text.split(",") if part.strip() != ""]
+
+
+def _csv_protocols(text: str) -> List[str]:
+    if text.strip() == "all":
+        return list(PROTOCOLS)
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+# ----------------------------------------------------------------------
+# parser assembly
+# ----------------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for tests and docs)."""
@@ -102,62 +211,179 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     known = ", ".join(list(PROTOCOLS) + list(EXTENSION_PROTOCOLS))
+    system, point = _system_parent(), _point_parent()
+    run, fault, rel = _run_parent(), _fault_parent(), _reliability_parent()
 
-    p_acc = sub.add_parser("acc", help="analytic steady-state cost")
+    p_acc = sub.add_parser("acc", help="analytic steady-state cost",
+                           parents=[system, point])
     p_acc.add_argument("protocol", help=f"one of: {known}")
-    _add_workload_args(p_acc)
     p_acc.add_argument("--method", choices=["auto", "closed_form", "markov"],
                        default="auto")
 
-    p_rank = sub.add_parser("rank", help="rank all protocols")
-    _add_workload_args(p_rank)
+    sub.add_parser("rank", help="rank all protocols",
+                   parents=[system, point])
 
-    p_sim = sub.add_parser("simulate", help="run the simulator")
+    p_sim = sub.add_parser("simulate", help="run the simulator",
+                           parents=[system, point, run, fault, rel])
     p_sim.add_argument("protocol", help=f"one of: {known}")
-    _add_workload_args(p_sim)
-    p_sim.add_argument("--ops", type=int, default=4000,
-                       help="operations to run (including warm-up)")
-    p_sim.add_argument("--warmup", type=int, default=None,
-                       help="warm-up operations (default: ops // 4)")
     p_sim.add_argument("--M", type=int, default=1,
                        help="number of shared objects")
-    p_sim.add_argument("--seed", type=int, default=0)
     p_sim.add_argument("--capacity", type=int, default=None,
                        help="finite replica pool per client (Section 6)")
-    p_sim.add_argument("--drop-rate", type=float, default=0.0,
-                       help="per-transmission message loss probability")
-    p_sim.add_argument("--dup-rate", type=float, default=0.0,
-                       help="per-transmission duplication probability")
-    p_sim.add_argument("--jitter", type=float, default=0.0,
-                       help="max extra delivery delay (uniform jitter)")
-    p_sim.add_argument("--crash-at", action="append", default=[],
-                       metavar="NODE:START[:END]",
-                       help="crash a node for [START, END) sim time "
-                            "(END omitted: never recovers); repeatable")
-    p_sim.add_argument("--fault-seed", type=int, default=0,
-                       help="seed of the fault plan's RNG stream")
-    p_sim.add_argument("--retry-timeout", type=float, default=8.0,
-                       help="base ack timeout of the reliable layer")
-    p_sim.add_argument("--retry-backoff", type=float, default=2.0,
-                       help="exponential backoff multiplier per retry")
-    p_sim.add_argument("--max-retries", type=int, default=10,
-                       help="retry budget before a send is abandoned")
 
     p_place = sub.add_parser(
         "place",
         help="home-vs-client activity-center placement saving",
+        parents=[system, point],
     )
     p_place.add_argument("protocol", help=f"one of: {known}")
-    _add_workload_args(p_place)
 
     p_val = sub.add_parser("validate",
-                           help="analytical vs simulated acc (Table 7 cell)")
+                           help="analytical vs simulated acc (Table 7 cell)",
+                           parents=[system, point, run, fault, rel])
     p_val.add_argument("protocol", help=f"one of: {known}")
-    _add_workload_args(p_val)
-    p_val.add_argument("--ops", type=int, default=4000)
-    p_val.add_argument("--M", type=int, default=20)
-    p_val.add_argument("--seed", type=int, default=0)
+    p_val.add_argument("--M", type=int, default=20,
+                       help="number of shared objects")
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="evaluate a parameter grid through the sweep engine",
+        parents=[system, run, fault, rel],
+    )
+    p_sweep.add_argument("--protocols", type=_csv_protocols,
+                         default=list(PROTOCOLS), metavar="NAME[,NAME...]",
+                         help=f"comma-separated protocols or 'all' "
+                              f"(default: all; known: {known})")
+    p_sweep.add_argument("--p-values", type=_csv_floats, required=True,
+                         metavar="F[,F...]",
+                         help="grid of activity-center write probabilities")
+    p_sweep.add_argument("--disturb-values", type=_csv_floats,
+                         default=[0.0], metavar="F[,F...]",
+                         help="grid of sigma/xi disturbance probabilities")
+    p_sweep.add_argument("--kind", choices=["analytic", "sim", "compare"],
+                         default="compare",
+                         help="what each cell evaluates")
+    p_sweep.add_argument("--method",
+                         choices=["auto", "closed_form", "markov"],
+                         default="auto", help="analytic evaluation method")
+    p_sweep.add_argument("--M", type=int, default=20,
+                         help="number of shared objects")
+    p_sweep.add_argument("--workers", type=int, default=1,
+                         help="worker processes (1 = in-process)")
+    p_sweep.add_argument("--out", default="sweep.jsonl",
+                         help="JSONL output path (streamed as cells finish)")
+    p_sweep.add_argument("--cache-dir", default=".repro-sweep-cache",
+                         help="result-cache directory")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="disable the result cache")
+    p_sweep.add_argument("--quiet", action="store_true",
+                         help="suppress per-cell progress output")
     return parser
+
+
+# ----------------------------------------------------------------------
+# subcommand bodies
+# ----------------------------------------------------------------------
+
+def _cmd_simulate(args: argparse.Namespace, deviation: Deviation,
+                  params: WorkloadParams) -> None:
+    config = _run_config(args)
+    system = DSMSystem(args.protocol, N=params.N, M=args.M,
+                       S=params.S, P=params.P,
+                       capacity=args.capacity,
+                       faults=config.faults, reliability=config.reliability)
+    workload = SyntheticWorkload(params, deviation, M=args.M)
+    result = system.run_workload(workload, config)
+    warmup = config.resolved_warmup
+    stats = system.metrics.reliability
+    if stats.delivery_failures == 0:
+        # a degraded run legitimately leaves copies incoherent
+        # (an abandoned message may have been an invalidation).
+        system.check_coherence()
+    predicted = analytical_acc(args.protocol, params, deviation)
+    print(f"simulated acc   = {result.acc:.4f}")
+    print(f"analytic acc    = {predicted:.4f} (no pool, fault-free)")
+    print(f"messages        = {result.messages}")
+    if result.measured > 0:
+        lat = result.metrics.latency_stats(skip=warmup)
+        print(f"latency mean/p95 = {lat['mean']:.2f} / "
+              f"{lat['p95']:.2f}")
+    if config.faults is not None:
+        print(f"faults          = {config.faults.describe()}")
+        if result.measured > 0:
+            breakdown = system.metrics.average_cost_breakdown(skip=warmup)
+            print(f"acc breakdown   = "
+                  f"{breakdown['protocol']:.4f} protocol"
+                  f" + {breakdown['reliability']:.4f} reliability")
+        print(f"retransmissions = {stats.retransmissions}")
+        print(f"acks            = {stats.acks}")
+        print(f"drops           = {stats.drops}")
+        print(f"dups suppressed = {stats.duplicates_suppressed}")
+        if stats.crashes:
+            print(f"crashes/recoveries = {stats.crashes}/"
+                  f"{stats.recoveries}")
+        if stats.delivery_failures:
+            print(f"delivery failures  = {stats.delivery_failures} "
+                  f"({result.incomplete_ops} ops incomplete)")
+    if args.capacity is not None:
+        print(f"data-op cost    = {system.data_cost_rate(warmup):.4f}")
+        evictions = sum(
+            node.pool.evictions
+            for node in system.nodes.values() if node.pool
+        )
+        print(f"pool evictions  = {evictions}")
+
+
+def _cmd_sweep(args: argparse.Namespace, deviation: Deviation) -> int:
+    base = WorkloadParams(N=args.N, p=0.0, a=args.a, beta=args.beta,
+                          S=args.S, P=args.P)
+    config = _run_config(args)
+    spec = SweepSpec.cartesian(
+        protocols=args.protocols,
+        base=base,
+        p_values=args.p_values,
+        disturb_values=args.disturb_values,
+        deviation=deviation,
+        kind=args.kind,
+        M=args.M,
+        method=args.method,
+        config=config.with_(seed=None),  # cells derive their own seeds
+        seed=args.seed,
+    )
+    if not len(spec):
+        print("error: the grid has no feasible cells", file=sys.stderr)
+        return 2
+
+    def progress(done: int, total: int, row: dict) -> None:
+        tag = row["status"]
+        detail = ""
+        if tag == "ok" and row.get("discrepancy_pct") is not None:
+            detail = f" disc={row['discrepancy_pct']:+.2f}%"
+        elif tag == "failed":
+            detail = f" ({row['error']})"
+        print(f"[{done}/{total}] {row['protocol']} p={row['p']:g} "
+              f"disturb={row['disturb']:g} {tag}{detail}",
+              file=sys.stderr)
+
+    runner = SweepRunner(
+        spec,
+        workers=args.workers,
+        cache=None if args.no_cache else args.cache_dir,
+        out_path=args.out,
+        progress=None if args.quiet else progress,
+    )
+    result = runner.run()
+    print(f"cells     = {result.total} "
+          f"({result.computed} computed, {result.cached} cached, "
+          f"{result.failed} failed)")
+    if result.cache_stats is not None:
+        print(f"cache     = {result.cache_stats.hits} hits / "
+              f"{result.cache_stats.lookups} lookups "
+              f"({100 * result.cache_stats.hit_rate:.0f}%)")
+    if args.kind == "compare":
+        print(f"max |disc| = {result.max_abs_discrepancy_pct():.2f}%")
+    print(f"results   -> {result.out_path}")
+    return 1 if result.failed else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -165,11 +391,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     deviation = _DEVIATIONS[args.deviation]
     try:
-        params = _params(args)
         if getattr(args, "protocol", None) is not None:
             # resolve early for a uniform "unknown protocol" error.
             from .protocols.registry import get_protocol
             get_protocol(args.protocol)
+        if args.command == "sweep":
+            for name in args.protocols:
+                from .protocols.registry import get_protocol
+                get_protocol(name)
+            return _cmd_sweep(args, deviation)
+        params = _params(args)
         if args.command == "acc":
             value = analytical_acc(args.protocol, params, deviation,
                                    method=args.method)
@@ -180,59 +411,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                                             ALL_PROTOCOLS):
                 print(f"{name:20s} {acc:12.4f}")
         elif args.command == "simulate":
-            warmup = args.warmup if args.warmup is not None else args.ops // 4
-            faults = _fault_plan(args)
-            reliability = (
-                ReliabilityConfig(timeout=args.retry_timeout,
-                                  backoff=args.retry_backoff,
-                                  max_retries=args.max_retries)
-                if faults is not None else None
-            )
-            system = DSMSystem(args.protocol, N=params.N, M=args.M,
-                               S=params.S, P=params.P,
-                               capacity=args.capacity,
-                               faults=faults, reliability=reliability)
-            workload = SyntheticWorkload(params, deviation, M=args.M)
-            result = system.run_workload(workload, num_ops=args.ops,
-                                         warmup=warmup, seed=args.seed)
-            stats = system.metrics.reliability
-            if stats.delivery_failures == 0:
-                # a degraded run legitimately leaves copies incoherent
-                # (an abandoned message may have been an invalidation).
-                system.check_coherence()
-            predicted = analytical_acc(args.protocol, params, deviation)
-            print(f"simulated acc   = {result.acc:.4f}")
-            print(f"analytic acc    = {predicted:.4f} (no pool, fault-free)")
-            print(f"messages        = {result.messages}")
-            if result.measured > 0:
-                lat = result.metrics.latency_stats(skip=warmup)
-                print(f"latency mean/p95 = {lat['mean']:.2f} / "
-                      f"{lat['p95']:.2f}")
-            if faults is not None:
-                print(f"faults          = {faults.describe()}")
-                if result.measured > 0:
-                    breakdown = system.metrics.average_cost_breakdown(
-                        skip=warmup)
-                    print(f"acc breakdown   = "
-                          f"{breakdown['protocol']:.4f} protocol"
-                          f" + {breakdown['reliability']:.4f} reliability")
-                print(f"retransmissions = {stats.retransmissions}")
-                print(f"acks            = {stats.acks}")
-                print(f"drops           = {stats.drops}")
-                print(f"dups suppressed = {stats.duplicates_suppressed}")
-                if stats.crashes:
-                    print(f"crashes/recoveries = {stats.crashes}/"
-                          f"{stats.recoveries}")
-                if stats.delivery_failures:
-                    print(f"delivery failures  = {stats.delivery_failures} "
-                          f"({result.incomplete_ops} ops incomplete)")
-            if args.capacity is not None:
-                print(f"data-op cost    = {system.data_cost_rate(warmup):.4f}")
-                evictions = sum(
-                    node.pool.evictions
-                    for node in system.nodes.values() if node.pool
-                )
-                print(f"pool evictions  = {evictions}")
+            _cmd_simulate(args, deviation, params)
         elif args.command == "place":
             client, home, saving = placement_advantage(
                 args.protocol, params, deviation
@@ -243,9 +422,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                   + ("  (placement-indifferent)" if abs(saving) < 1e-9
                      else ""))
         elif args.command == "validate":
+            config = _run_config(args)
             cell = compare_cell(args.protocol, params, deviation, M=args.M,
-                                total_ops=args.ops,
-                                warmup=args.ops // 4, seed=args.seed)
+                                config=config)
             print(f"analytic  = {cell.acc_analytic:.4f}")
             print(f"simulated = {cell.acc_sim:.4f}")
             print(f"discrepancy = {cell.discrepancy_pct:.2f}%")

@@ -194,6 +194,28 @@ class WorkloadParams:
         """Return a copy with the given fields replaced (validates again)."""
         return replace(self, **changes)
 
+    def to_dict(self) -> dict:
+        """A plain-JSON dict (sweep-engine cache keys, worker payloads).
+
+        Values are canonicalized (``S=100`` and ``S=100.0`` serialize
+        identically) so the dict is safe to hash for cache keys.
+        """
+        return {
+            "N": int(self.N), "p": float(self.p), "a": int(self.a),
+            "sigma": float(self.sigma), "xi": float(self.xi),
+            "beta": int(self.beta), "S": float(self.S), "P": float(self.P),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadParams":
+        """Rebuild a bundle from :meth:`to_dict` output (validates again)."""
+        return cls(
+            N=int(data["N"]), p=float(data["p"]), a=int(data.get("a", 0)),
+            sigma=float(data.get("sigma", 0.0)),
+            xi=float(data.get("xi", 0.0)), beta=int(data.get("beta", 1)),
+            S=float(data.get("S", 100.0)), P=float(data.get("P", 30.0)),
+        )
+
     def event_probabilities(self, deviation: Deviation) -> dict:
         """Map event labels to probabilities for ``deviation``.
 

@@ -1,0 +1,137 @@
+"""Content-addressed on-disk cache for sweep-cell results.
+
+A cell's cache key is the SHA-256 of the canonical JSON of
+
+* the cell's :meth:`~repro.exp.spec.SweepCell.key_dict` (only the fields
+  that can change the outcome),
+* the package version (results are invalidated wholesale on release —
+  simulator or model changes must not serve stale rows), and
+* a cache schema version (bumped when the row format changes).
+
+Any change to a cell's configuration — an extra operation, a different
+seed, a new fault plan — therefore lands on a different key, which is the
+whole invalidation story: re-running a sweep only computes cells whose
+keys have never been seen.
+
+Entries are one JSON file each, sharded by key prefix
+(``<root>/ab/abcdef....json``), written atomically (temp file + rename)
+so a crashed run never leaves a half-written entry.  A corrupt or
+unreadable entry is treated as a miss and silently recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from .spec import SweepCell, _canonical
+
+__all__ = ["CACHE_SCHEMA", "CacheStats", "ResultCache"]
+
+#: bump when the row format written by the runner changes incompatibly
+CACHE_SCHEMA = 1
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one runner invocation."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0 when none)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class ResultCache:
+    """A directory of content-addressed sweep-cell results.
+
+    Args:
+        root: cache directory; created lazily on first store.
+    """
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    # ------------------------------------------------------------------
+    # keys
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def key_for(cell: SweepCell) -> str:
+        """The content hash identifying ``cell``'s result."""
+        from .. import __version__
+
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "version": __version__,
+            "cell": cell.key_dict(),
+        }
+        return hashlib.sha256(_canonical(payload).encode("ascii")).hexdigest()
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives on disk."""
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # lookup / store
+    # ------------------------------------------------------------------
+
+    def get(self, cell: SweepCell) -> Optional[dict]:
+        """The cached row for ``cell``, or ``None`` on a miss.
+
+        Unseeded cells (``config.seed is None``) are never served from
+        cache — their results are not reproducible, so caching them
+        would freeze one arbitrary sample forever.
+        """
+        if cell.simulates and cell.config.seed is None:
+            self.stats.misses += 1
+            return None
+        path = self.path_for(self.key_for(cell))
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                row = json.load(fh)
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        if not isinstance(row, dict):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return row
+
+    def put(self, cell: SweepCell, row: dict) -> None:
+        """Store ``row`` for ``cell`` (atomic; unseeded sim cells skipped)."""
+        if cell.simulates and cell.config.seed is None:
+            return
+        path = self.path_for(self.key_for(cell))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(row, fh, sort_keys=True)
+        os.replace(tmp, path)
+        self.stats.stores += 1
+
+
+def as_cache(
+    cache: Union[ResultCache, str, Path, None]
+) -> Optional[ResultCache]:
+    """Coerce a cache argument (instance, path or ``None``)."""
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(Path(cache))

@@ -1,0 +1,363 @@
+"""The parallel sweep engine.
+
+:func:`run_cell` evaluates one :class:`~repro.exp.spec.SweepCell` into a
+plain-JSON *row*; :class:`SweepRunner` fans the cells of a
+:class:`~repro.exp.spec.SweepSpec` out over a ``multiprocessing`` worker
+pool, consults the :class:`~repro.exp.cache.ResultCache` first, streams
+finished rows to a JSONL file and reports progress.
+
+Design rules that make the engine trustworthy:
+
+* **Rows are pure functions of their cell.**  No wall-clock time, worker
+  id or host state enters a row, and every cell carries its own derived
+  seed — so ``workers=8`` produces byte-identical rows to ``workers=1``
+  (modulo completion order), and a cached row is indistinguishable from
+  a recomputed one.
+* **Workers rebuild cells from plain-JSON payloads** (fresh
+  :class:`~repro.sim.faults.FaultPlan` RNG state included), so fork vs
+  spawn start methods behave identically.
+* **A crashing worker cannot sink the sweep.**  When the pool breaks,
+  every unfinished cell is retried once in its own single-worker pool;
+  a cell that kills its pool twice is recorded as a failed row and the
+  sweep completes.  With ``workers=1`` cells run in-process (fast,
+  exactly reproducible) and a cell that raises is likewise recorded as
+  failed.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator, List, Optional, Tuple, Union
+
+from ..core.acc import analytical_acc
+from ..sim.system import DSMSystem
+from ..workloads.synthetic import SyntheticWorkload
+from .cache import CacheStats, ResultCache, as_cache
+from .spec import SweepCell, SweepSpec
+
+__all__ = ["SweepResult", "SweepRunner", "row_line", "run_cell", "run_sweep"]
+
+#: progress callback signature: (done, total, row)
+ProgressFn = Callable[[int, int, dict], None]
+
+
+def _finite(value: float) -> Optional[float]:
+    """JSON-safe float: ``None`` replaces NaN/inf (strict-JSON friendly)."""
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+def run_cell(cell: SweepCell) -> dict:
+    """Evaluate one cell into its deterministic result row.
+
+    The row contains only values derived from the cell's content (no
+    timestamps, no host identity), so it is cacheable and identical
+    however and wherever it is computed.
+    """
+    config = cell.config
+    row = {
+        "id": cell.cell_id(),
+        "kind": cell.kind,
+        "protocol": cell.protocol,
+        "deviation": cell.deviation.value,
+        "p": cell.params.p,
+        "disturb": cell.disturb,
+        "params": cell.params.to_dict(),
+        "status": "ok",
+    }
+    if cell.analyzes:
+        row["method"] = cell.method
+        row["acc_analytic"] = _finite(
+            analytical_acc(cell.protocol, cell.params, cell.deviation,
+                           cell.method)
+        )
+    if cell.simulates:
+        row.update(
+            M=cell.M,
+            ops=config.ops,
+            warmup=config.resolved_warmup,
+            seed=config.seed,
+            mean_gap=config.mean_gap,
+            faults=(None if config.faults is None
+                    else config.faults.to_dict()),
+        )
+        system = DSMSystem(
+            cell.protocol, N=cell.params.N, M=cell.M,
+            S=cell.params.S, P=cell.params.P,
+            faults=(None if config.faults is None
+                    else config.faults.replay()),
+            reliability=config.reliability,
+        )
+        workload = SyntheticWorkload(cell.params, cell.deviation, M=cell.M)
+        result = system.run_workload(workload, config)
+        stats = system.metrics.reliability
+        healthy = stats.delivery_failures == 0
+        if healthy:
+            # an abandoned message may legitimately have been an
+            # invalidation, so only healthy runs must end coherent.
+            system.check_coherence()
+        row.update(
+            acc_sim=_finite(result.acc),
+            messages=result.messages,
+            measured=result.measured,
+            incomplete_ops=result.incomplete_ops,
+            end_time=result.end_time,
+            coherent=healthy,
+        )
+        if system.reliability is not None:
+            breakdown = (
+                system.metrics.average_cost_breakdown(
+                    skip=config.resolved_warmup)
+                if result.measured > 0
+                else {"protocol": float("nan"), "reliability": float("nan")}
+            )
+            row.update(
+                acc_protocol_share=_finite(breakdown["protocol"]),
+                acc_reliability_share=_finite(breakdown["reliability"]),
+                retransmissions=stats.retransmissions,
+                acks=stats.acks,
+                drops=stats.drops,
+                duplicates_suppressed=stats.duplicates_suppressed,
+                delivery_failures=stats.delivery_failures,
+            )
+    if cell.kind == "compare":
+        acc_a = row["acc_analytic"]
+        acc_s = row["acc_sim"]
+        if acc_a is None or acc_s is None:
+            row["discrepancy_pct"] = None
+        elif abs(acc_a) < 1e-9:
+            # the paper's blank/zero cells: zero-cost steady state; any
+            # simulated residue is the bounded cold-start transient.
+            row["discrepancy_pct"] = (
+                0.0 if abs(acc_s) < 1e-9 else None
+            )
+        else:
+            row["discrepancy_pct"] = 100.0 * (acc_a - acc_s) / acc_a
+    return row
+
+
+def _failed_row(cell: SweepCell, error: str) -> dict:
+    """The row recorded for a cell that could not be evaluated."""
+    return {
+        "id": cell.cell_id(),
+        "kind": cell.kind,
+        "protocol": cell.protocol,
+        "deviation": cell.deviation.value,
+        "p": cell.params.p,
+        "disturb": cell.disturb,
+        "params": cell.params.to_dict(),
+        "status": "failed",
+        "error": error,
+    }
+
+
+def _worker(payload: dict) -> dict:
+    """Worker-process entry point: rebuild the cell, evaluate it."""
+    return run_cell(SweepCell.from_payload(payload))
+
+
+def row_line(row: dict) -> str:
+    """The canonical JSONL encoding of one row (byte-stable)."""
+    return json.dumps(row, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class SweepResult:
+    """The outcome of one :meth:`SweepRunner.run` invocation."""
+
+    #: rows in spec order (failed cells included with ``status="failed"``)
+    rows: List[dict]
+    #: cells evaluated in this invocation
+    computed: int
+    #: cells served from the result cache
+    cached: int
+    #: cells recorded as failed
+    failed: int
+    #: where the JSONL stream went (``None`` when not written)
+    out_path: Optional[Path] = None
+    #: cache counters for this invocation (``None`` when caching is off)
+    cache_stats: Optional[CacheStats] = None
+
+    @property
+    def total(self) -> int:
+        return len(self.rows)
+
+    def ok_rows(self) -> List[dict]:
+        return [r for r in self.rows if r["status"] == "ok"]
+
+    def max_abs_discrepancy_pct(self) -> float:
+        """Largest finite ``|discrepancy|`` across compare rows (or 0)."""
+        vals = [
+            abs(r["discrepancy_pct"]) for r in self.ok_rows()
+            if r.get("discrepancy_pct") is not None
+        ]
+        return max(vals) if vals else 0.0
+
+
+class SweepRunner:
+    """Evaluate a :class:`~repro.exp.spec.SweepSpec`, possibly in parallel.
+
+    Args:
+        spec: the cells to evaluate.
+        workers: worker processes; ``1`` (the default) runs in-process.
+        cache: a :class:`~repro.exp.cache.ResultCache`, a cache directory
+            path, or ``None`` to disable caching.
+        out_path: JSONL file streamed as rows complete (parent directories
+            are created; an existing file is overwritten).
+        progress: optional ``callback(done, total, row)`` fired after
+            every row (cached and computed alike).
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        *,
+        workers: int = 1,
+        cache: Union[ResultCache, str, Path, None] = None,
+        out_path: Union[str, Path, None] = None,
+        progress: Optional[ProgressFn] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.spec = spec
+        self.workers = workers
+        self.cache = as_cache(cache)
+        self.out_path = None if out_path is None else Path(out_path)
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(self) -> SweepResult:
+        """Evaluate every cell; never raises for an individual cell."""
+        cells = list(self.spec)
+        total = len(cells)
+        rows: List[Optional[dict]] = [None] * total
+        cached = failed = 0
+        out_fh = None
+        if self.out_path is not None:
+            self.out_path.parent.mkdir(parents=True, exist_ok=True)
+            out_fh = open(self.out_path, "w", encoding="utf-8")
+        done = 0
+
+        def emit(index: int, row: dict) -> None:
+            nonlocal done
+            rows[index] = row
+            done += 1
+            if out_fh is not None:
+                out_fh.write(row_line(row) + "\n")
+                out_fh.flush()
+            if self.progress is not None:
+                self.progress(done, total, row)
+
+        try:
+            pending: List[Tuple[int, SweepCell]] = []
+            for index, cell in enumerate(cells):
+                hit = None if self.cache is None else self.cache.get(cell)
+                if hit is not None:
+                    cached += 1
+                    emit(index, hit)
+                else:
+                    pending.append((index, cell))
+
+            for index, row in self._execute(pending):
+                if row["status"] == "failed":
+                    failed += 1
+                elif self.cache is not None:
+                    self.cache.put(cells[index], row)
+                emit(index, row)
+        finally:
+            if out_fh is not None:
+                out_fh.close()
+
+        return SweepResult(
+            rows=[r for r in rows if r is not None],
+            computed=total - cached,
+            cached=cached,
+            failed=failed,
+            out_path=self.out_path,
+            cache_stats=None if self.cache is None else self.cache.stats,
+        )
+
+    def _execute(
+        self, pending: List[Tuple[int, SweepCell]]
+    ) -> Iterator[Tuple[int, dict]]:
+        """Yield ``(index, row)`` for every pending cell as it finishes."""
+        if not pending:
+            return
+        if self.workers == 1:
+            for index, cell in pending:
+                try:
+                    # same payload round-trip as the worker path, so a
+                    # serial run is bit-identical to a parallel one even
+                    # if a cell was built with non-canonical types
+                    # (e.g. S=100 instead of S=100.0).
+                    yield index, _worker(cell.to_payload())
+                except Exception as exc:
+                    yield index, _failed_row(cell, f"{type(exc).__name__}: "
+                                                   f"{exc}")
+            return
+        yield from self._execute_parallel(pending)
+
+    def _execute_parallel(
+        self, pending: List[Tuple[int, SweepCell]]
+    ) -> Iterator[Tuple[int, dict]]:
+        retry: List[Tuple[int, SweepCell]] = []
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = {
+                pool.submit(_worker, cell.to_payload()): (index, cell)
+                for index, cell in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(
+                    remaining, return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    index, cell = futures[future]
+                    try:
+                        yield index, future.result()
+                    except BrokenProcessPool:
+                        # the pool died under this future — whether this
+                        # cell crashed the worker or was collateral
+                        # damage is indistinguishable, so retry each one
+                        # in isolation below.
+                        retry.append((index, cell))
+                    except Exception as exc:
+                        yield index, _failed_row(
+                            cell, f"{type(exc).__name__}: {exc}"
+                        )
+        # Second chance: one fresh single-worker pool per cell, so a
+        # deterministic crasher only sinks itself.
+        for index, cell in retry:
+            try:
+                with ProcessPoolExecutor(max_workers=1) as pool:
+                    yield index, pool.submit(
+                        _worker, cell.to_payload()
+                    ).result()
+            except BrokenProcessPool:
+                yield index, _failed_row(cell, "worker process crashed")
+            except Exception as exc:
+                yield index, _failed_row(cell,
+                                         f"{type(exc).__name__}: {exc}")
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    workers: int = 1,
+    cache: Union[ResultCache, str, Path, None] = None,
+    out_path: Union[str, Path, None] = None,
+    progress: Optional[ProgressFn] = None,
+) -> SweepResult:
+    """Convenience wrapper: build a :class:`SweepRunner` and run it."""
+    return SweepRunner(
+        spec, workers=workers, cache=cache, out_path=out_path,
+        progress=progress,
+    ).run()

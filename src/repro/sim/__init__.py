@@ -6,6 +6,7 @@ plus the robustness extensions: seeded fault injection
 (:mod:`repro.sim.reliable`)."""
 
 from .channel import Network
+from .config import RunConfig
 from .engine import EventScheduler, TimerHandle
 from .faults import CrashWindow, FaultPlan
 from .locks import LockClient, LockManager
@@ -17,6 +18,7 @@ from .system import DSMSystem, SimulationResult
 
 __all__ = [
     "Network",
+    "RunConfig",
     "LockClient",
     "LockManager",
     "ReplicaPool",

@@ -1,0 +1,129 @@
+"""The unified run configuration shared by every entry point.
+
+Historically the repo grew three inconsistent dialects for saying "run a
+workload": ``DSMSystem.run_workload(num_ops=..., warmup=..., seed=...)``,
+``validation.compare_cell(total_ops=..., warmup=..., seed=...)`` and
+per-script argument plumbing in the benchmarks and the CLI.
+:class:`RunConfig` collapses them into one keyword-only value object that
+every consumer — :meth:`repro.sim.system.DSMSystem.run_workload`,
+:func:`repro.validation.compare.compare_cell`, ``python -m repro`` and the
+sweep engine (:mod:`repro.exp`) — accepts verbatim.
+
+A :class:`RunConfig` is immutable, hashable-by-content through
+:meth:`to_dict` (the sweep engine's result cache keys on it), and fully
+round-trippable through :meth:`from_dict` so worker processes can rebuild
+it from a plain-JSON payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional
+
+from .faults import FaultPlan
+from .reliable import ReliabilityConfig
+
+__all__ = ["RunConfig"]
+
+
+@dataclass(frozen=True, kw_only=True)
+class RunConfig:
+    """Everything that parameterizes one workload run (keyword-only).
+
+    Args:
+        ops: total operations to issue, including warm-up.
+        warmup: completions to discard before measuring; ``None`` means
+            ``ops // 4`` (the CLI's historical default).
+        seed: RNG seed for arrivals and workload sampling; ``None`` runs
+            unseeded (non-reproducible).
+        mean_gap: mean Poisson inter-arrival gap in units of channel
+            latency.
+        max_events: event-count safety net for the scheduler.
+        faults: optional :class:`FaultPlan`; ``None`` keeps the
+            paper-faithful fault-free fabric.
+        reliability: optional :class:`ReliabilityConfig`; defaults are
+            applied when ``faults`` is given without one.
+    """
+
+    ops: int = 4000
+    warmup: Optional[int] = None
+    seed: Optional[int] = 0
+    mean_gap: float = 25.0
+    max_events: int = 50_000_000
+    faults: Optional[FaultPlan] = None
+    reliability: Optional[ReliabilityConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.ops < 1:
+            raise ValueError(f"ops must be >= 1, got {self.ops}")
+        if self.warmup is not None and not (0 <= self.warmup < self.ops):
+            raise ValueError(
+                f"warmup must satisfy 0 <= warmup < ops, got "
+                f"warmup={self.warmup}, ops={self.ops}"
+            )
+        if self.mean_gap <= 0:
+            raise ValueError(f"mean_gap must be positive, got {self.mean_gap}")
+        if self.max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        # a no-fault plan is the same as no plan (pay-for-what-you-use)
+        if self.faults is not None and self.faults.is_none:
+            object.__setattr__(self, "faults", None)
+
+    @property
+    def resolved_warmup(self) -> int:
+        """The effective warm-up count (``ops // 4`` when unset)."""
+        return self.warmup if self.warmup is not None else self.ops // 4
+
+    @property
+    def resolved_reliability(self) -> Optional[ReliabilityConfig]:
+        """The effective reliability config (defaults under a fault plan)."""
+        if self.reliability is not None:
+            return self.reliability
+        return ReliabilityConfig() if self.faults is not None else None
+
+    def with_(self, **changes: Any) -> "RunConfig":
+        """Return a copy with the given fields replaced (validates again)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # canonical serialization (cache keys, worker payloads)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-JSON dict that identifies this configuration.
+
+        The dict is *canonical*: two configs that would drive bit-identical
+        runs serialize identically (the ``warmup=None`` shorthand is
+        resolved, a no-fault plan collapses to ``None``), so it is safe to
+        hash for the sweep engine's result cache.
+        """
+        return {
+            "ops": int(self.ops),
+            "warmup": int(self.resolved_warmup),
+            "seed": None if self.seed is None else int(self.seed),
+            "mean_gap": float(self.mean_gap),
+            "max_events": int(self.max_events),
+            "faults": None if self.faults is None else self.faults.to_dict(),
+            "reliability": (
+                None if self.reliability is None
+                else self.reliability.to_dict()
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        faults = data.get("faults")
+        reliability = data.get("reliability")
+        return cls(
+            ops=int(data["ops"]),
+            warmup=data.get("warmup"),
+            seed=data.get("seed", 0),
+            mean_gap=float(data.get("mean_gap", 25.0)),
+            max_events=int(data.get("max_events", 50_000_000)),
+            faults=None if faults is None else FaultPlan.from_dict(faults),
+            reliability=(
+                None if reliability is None
+                else ReliabilityConfig.from_dict(reliability)
+            ),
+        )

@@ -129,6 +129,66 @@ class FaultPlan:
         )
 
     # ------------------------------------------------------------------
+    # configuration identity and serialization
+    # ------------------------------------------------------------------
+
+    def config_key(self) -> tuple:
+        """The plan's configuration (RNG state excluded).
+
+        Two plans with the same key make identical fault decisions when
+        driven from a fresh state; this is the identity used by
+        :meth:`__eq__` and by the sweep engine's result cache.
+        """
+        return (
+            self.seed,
+            self.drop_rate,
+            self.duplicate_rate,
+            self.jitter,
+            tuple((w.node, w.start, w.end) for w in self.crashes),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return self.config_key() == other.config_key()
+
+    def __hash__(self) -> int:
+        return hash(self.config_key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({self.describe()})"
+
+    def to_dict(self) -> dict:
+        """A plain-JSON dict of the configuration (``inf`` ends → None)."""
+        return {
+            "seed": int(self.seed),
+            "drop_rate": float(self.drop_rate),
+            "duplicate_rate": float(self.duplicate_rate),
+            "jitter": float(self.jitter),
+            "crashes": [
+                [int(w.node), float(w.start),
+                 None if math.isinf(w.end) else float(w.end)]
+                for w in self.crashes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Rebuild a fresh (rewound) plan from :meth:`to_dict` output."""
+        crashes = [
+            CrashWindow(int(node), float(start),
+                        math.inf if end is None else float(end))
+            for node, start, end in data.get("crashes", ())
+        ]
+        return cls(
+            seed=int(data.get("seed", 0)),
+            drop_rate=float(data.get("drop_rate", 0.0)),
+            duplicate_rate=float(data.get("duplicate_rate", 0.0)),
+            jitter=float(data.get("jitter", 0.0)),
+            crashes=crashes,
+        )
+
+    # ------------------------------------------------------------------
     # per-transmission decisions (consume the RNG stream in call order)
     # ------------------------------------------------------------------
 

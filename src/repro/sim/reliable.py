@@ -75,6 +75,23 @@ class ReliabilityConfig:
                 f"max_retries must be >= 0, got {self.max_retries}"
             )
 
+    def to_dict(self) -> dict:
+        """A plain-JSON dict (sweep-engine cache keys, worker payloads)."""
+        return {
+            "timeout": float(self.timeout),
+            "backoff": float(self.backoff),
+            "max_retries": int(self.max_retries),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReliabilityConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        return cls(
+            timeout=float(data.get("timeout", 8.0)),
+            backoff=float(data.get("backoff", 2.0)),
+            max_retries=int(data.get("max_retries", 10)),
+        )
+
 
 @dataclass(frozen=True, slots=True)
 class Frame:

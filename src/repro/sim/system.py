@@ -16,8 +16,9 @@ serialized value) and conservation of cost attribution.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -30,6 +31,7 @@ from ..protocols.base import (
 from ..protocols.registry import get_protocol
 from ..workloads.base import Workload
 from .channel import Network
+from .config import RunConfig
 from .engine import EventScheduler
 from .faults import FaultPlan
 from .metrics import Metrics
@@ -37,6 +39,46 @@ from .node import SimNode
 from .reliable import ReliabilityConfig, ReliableNetwork
 
 __all__ = ["DSMSystem", "SimulationResult"]
+
+#: sentinel distinguishing "argument omitted" from an explicit ``None``
+_UNSET = object()
+
+
+def _legacy_run_config(
+    where: str,
+    num_ops,
+    warmup,
+    seed,
+    mean_gap,
+    max_events,
+    *,
+    default_warmup: int = 500,
+    default_seed: Optional[int] = None,
+    stacklevel: int = 3,
+) -> RunConfig:
+    """Build a :class:`RunConfig` from a deprecated call form.
+
+    Emits one :class:`DeprecationWarning` naming the caller's surface and
+    preserves the historical defaults of that surface (``warmup=500``,
+    ``seed=None`` for :meth:`DSMSystem.run_workload`).
+    """
+    warnings.warn(
+        f"passing per-run arguments (num_ops/total_ops, warmup, seed, "
+        f"mean_gap, max_events) to {where} is deprecated; pass a "
+        "repro.RunConfig instead "
+        "(e.g. config=RunConfig(ops=4000, warmup=500, seed=0))",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    if num_ops is None:
+        raise TypeError(f"{where}: num_ops is required in the legacy form")
+    return RunConfig(
+        ops=num_ops,
+        warmup=default_warmup if warmup is _UNSET else warmup,
+        seed=default_seed if seed is _UNSET else seed,
+        mean_gap=25.0 if mean_gap is _UNSET else mean_gap,
+        max_events=50_000_000 if max_events is _UNSET else max_events,
+    )
 
 #: per-protocol states in which a local read hits (client or owner side)
 _HIT_STATES: Dict[str, frozenset] = {
@@ -196,6 +238,30 @@ class DSMSystem:
                 time, (lambda k=edge_kind: bump(k))
             )
 
+    def _check_run_config_fabric(self, config: RunConfig) -> None:
+        """Reject a :class:`RunConfig` whose fault/reliability settings
+        contradict the fabric this system was built with.
+
+        The network (fault injection, reliable delivery) is assembled in
+        ``__init__`` and cannot be swapped per run; silently ignoring the
+        config's settings would mis-measure, so mismatches are errors.
+        ``None`` in the config means "inherit the system's fabric" and is
+        always accepted.
+        """
+        if config.faults is not None and config.faults != self.faults:
+            raise ValueError(
+                "RunConfig.faults does not match the FaultPlan this "
+                "DSMSystem was constructed with; pass faults= to "
+                "DSMSystem(...) or run the cell through repro.exp"
+            )
+        if (config.reliability is not None
+                and config.reliability != self.reliability):
+            raise ValueError(
+                "RunConfig.reliability does not match the "
+                "ReliabilityConfig this DSMSystem was constructed with; "
+                "pass reliability= to DSMSystem(...) or use repro.exp"
+            )
+
     # ------------------------------------------------------------------
     # driving
     # ------------------------------------------------------------------
@@ -231,40 +297,68 @@ class DSMSystem:
     def run_workload(
         self,
         workload: Workload,
-        num_ops: int,
-        warmup: int = 500,
-        seed: Optional[int] = None,
-        mean_gap: float = 25.0,
-        max_events: int = 50_000_000,
+        config: Union[RunConfig, int, None] = None,
+        warmup=_UNSET,
+        seed=_UNSET,
+        mean_gap=_UNSET,
+        max_events=_UNSET,
+        *,
+        num_ops: Optional[int] = None,
     ) -> SimulationResult:
         """Run a stochastic workload and measure steady-state ``acc``.
 
         Operations arrive as a Poisson stream (exponential gaps with mean
-        ``mean_gap``) whose ``(node, kind, object)`` mix is the workload's
-        trial distribution; per-node order is preserved by the local
-        queues.  ``acc`` is averaged over the operations completed after
-        the first ``warmup`` (paper Section 5.2: 500 warm-up operations,
-        about 1500 measured).
+        ``config.mean_gap``) whose ``(node, kind, object)`` mix is the
+        workload's trial distribution; per-node order is preserved by the
+        local queues.  ``acc`` is averaged over the operations completed
+        after the first ``config.warmup`` (paper Section 5.2: 500 warm-up
+        operations, about 1500 measured).
 
         Args:
             workload: the operation source.
-            num_ops: total operations to issue (including warm-up).
-            warmup: completions to discard.
-            seed: RNG seed (arrivals and workload sampling).
-            mean_gap: mean inter-arrival gap in units of channel latency;
-                large values make concurrent races rare, matching the
-                analytic model's atomic-trial assumption.
-            max_events: event-count safety net.
+            config: a :class:`~repro.sim.config.RunConfig` carrying
+                ops/warmup/seed/mean_gap/max_events.  Fault and
+                reliability settings in the config must match the ones
+                this system was constructed with (the network fabric is
+                fixed at construction); pass them to :class:`DSMSystem`
+                or use :mod:`repro.exp`, which builds the system from the
+                config for you.
+
+        The legacy call forms ``run_workload(w, 4000, 500, seed=1)`` and
+        ``run_workload(w, num_ops=4000, warmup=500)`` keep working for one
+        release but emit a :class:`DeprecationWarning`.
         """
+        if isinstance(config, RunConfig):
+            if (num_ops is not None
+                    or any(v is not _UNSET
+                           for v in (warmup, seed, mean_gap, max_events))):
+                raise TypeError(
+                    "pass either a RunConfig or the legacy "
+                    "num_ops/warmup/seed arguments, not both"
+                )
+            self._check_run_config_fabric(config)
+        else:
+            if isinstance(config, int):
+                if num_ops is not None:
+                    raise TypeError("num_ops given twice")
+                num_ops = config
+            elif config is not None:
+                raise TypeError(
+                    f"config must be a RunConfig, got {type(config).__name__}"
+                )
+            config = _legacy_run_config(
+                "DSMSystem.run_workload", num_ops, warmup, seed, mean_gap,
+                max_events,
+            )
+        num_ops = config.ops
+        warmup = config.resolved_warmup
         if workload.M > self.M:
             raise ValueError(
                 f"workload uses {workload.M} objects, system has {self.M}"
             )
-        if warmup >= num_ops:
-            raise ValueError("warmup must be smaller than num_ops")
-        rng = np.random.default_rng(seed)
+        rng = np.random.default_rng(config.seed)
         ops = workload.sample(rng, num_ops)
-        gaps = rng.exponential(mean_gap, size=num_ops)
+        gaps = rng.exponential(config.mean_gap, size=num_ops)
         t = 0.0
         for (node, kind, obj), gap in zip(ops, gaps):
             t += gap
@@ -279,7 +373,7 @@ class DSMSystem:
             self.scheduler.schedule_at(
                 t, (lambda o=op: self.nodes[o.node].submit(o))
             )
-        self.scheduler.run(max_events=max_events)
+        self.scheduler.run(max_events=config.max_events)
         incomplete = max(0, num_ops - self.metrics.completed_count)
         if incomplete > 0 and self.metrics.reliability.delivery_failures == 0:
             # no message was abandoned, so this is a genuine protocol

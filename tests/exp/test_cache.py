@@ -1,0 +1,102 @@
+"""Result-cache behaviour: hits, misses, invalidation, robustness."""
+
+import json
+
+import repro
+from repro.core.parameters import WorkloadParams
+from repro.exp import ResultCache, SweepCell
+from repro.exp.cache import as_cache
+from repro.sim import RunConfig
+
+BASE = WorkloadParams(N=3, p=0.3, a=2, sigma=0.1, S=100.0, P=30.0)
+
+
+def _cell(**overrides):
+    fields = dict(protocol="write_once", params=BASE, kind="sim",
+                  config=RunConfig(ops=400, seed=1))
+    fields.update(overrides)
+    return SweepCell(**fields)
+
+
+ROW = {"id": "abc", "status": "ok", "acc_sim": 1.5}
+
+
+class TestLookup:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = _cell()
+        assert cache.get(cell) is None
+        cache.put(cell, ROW)
+        assert cache.get(cell) == ROW
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+
+    def test_config_change_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_cell(), ROW)
+        assert cache.get(_cell(config=RunConfig(ops=401, seed=1))) is None
+        assert cache.get(_cell(config=RunConfig(ops=400, seed=2))) is None
+        assert cache.get(_cell(M=7)) is None
+        assert cache.get(_cell()) == ROW
+
+    def test_version_change_invalidates(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        cache.put(_cell(), ROW)
+        monkeypatch.setattr(repro, "__version__", "0.0.0-test")
+        assert cache.get(_cell()) is None
+
+    def test_unseeded_sim_cell_never_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = _cell(config=RunConfig(ops=400, seed=None))
+        cache.put(cell, ROW)
+        assert cache.get(cell) is None
+        assert cache.stats.stores == 0
+
+    def test_unseeded_analytic_cell_cached(self, tmp_path):
+        # analytic cells are deterministic regardless of seed
+        cache = ResultCache(tmp_path)
+        cell = _cell(kind="analytic",
+                     config=RunConfig(ops=400, seed=None))
+        cache.put(cell, ROW)
+        assert cache.get(cell) == ROW
+
+
+class TestRobustness:
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = _cell()
+        cache.put(cell, ROW)
+        cache.path_for(cache.key_for(cell)).write_text("{not json")
+        assert cache.get(cell) is None
+
+    def test_non_dict_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = _cell()
+        cache.put(cell, ROW)
+        cache.path_for(cache.key_for(cell)).write_text(json.dumps([1, 2]))
+        assert cache.get(cell) is None
+
+    def test_entries_are_sharded_json_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = _cell()
+        cache.put(cell, ROW)
+        key = cache.key_for(cell)
+        path = cache.path_for(key)
+        assert path.parent.name == key[:2]
+        assert json.loads(path.read_text()) == ROW
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_cell(), ROW)
+        leftovers = [p for p in tmp_path.rglob("*") if ".tmp" in p.name]
+        assert leftovers == []
+
+
+class TestCoercion:
+    def test_as_cache(self, tmp_path):
+        assert as_cache(None) is None
+        cache = ResultCache(tmp_path)
+        assert as_cache(cache) is cache
+        assert as_cache(str(tmp_path)).root == tmp_path
+        assert as_cache(tmp_path).root == tmp_path

@@ -1,0 +1,140 @@
+"""RunConfig semantics and the deprecation shims on the old call forms."""
+
+import pytest
+
+from repro.core.parameters import WorkloadParams
+from repro.sim import DSMSystem, FaultPlan, ReliabilityConfig, RunConfig
+from repro.validation import compare_cell
+from repro.workloads import read_disturbance_workload
+
+PARAMS = WorkloadParams(N=3, p=0.3, a=2, sigma=0.1, S=100.0, P=30.0)
+
+
+def _workload():
+    return read_disturbance_workload(PARAMS, M=1)
+
+
+class TestValidation:
+    def test_defaults(self):
+        config = RunConfig()
+        assert config.ops == 4000
+        assert config.resolved_warmup == 1000
+        assert config.seed == 0
+        assert config.resolved_reliability is None
+
+    @pytest.mark.parametrize("kwargs", [
+        {"ops": 0},
+        {"ops": 100, "warmup": 100},
+        {"warmup": -1},
+        {"mean_gap": 0.0},
+        {"max_events": 0},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            RunConfig(**kwargs)
+
+    def test_positional_args_rejected(self):
+        with pytest.raises(TypeError):
+            RunConfig(4000)
+
+    def test_no_fault_plan_collapses_to_none(self):
+        assert RunConfig(faults=FaultPlan(seed=3)).faults is None
+        plan = FaultPlan(seed=3, drop_rate=0.1)
+        assert RunConfig(faults=plan).faults is plan
+
+    def test_fault_plan_implies_default_reliability(self):
+        config = RunConfig(faults=FaultPlan(seed=1, drop_rate=0.1))
+        assert config.reliability is None
+        assert config.resolved_reliability == ReliabilityConfig()
+
+    def test_with_revalidates(self):
+        config = RunConfig(ops=1000, warmup=200)
+        assert config.with_(ops=2000).warmup == 200
+        with pytest.raises(ValueError):
+            config.with_(ops=100)
+
+    def test_round_trip(self):
+        config = RunConfig(
+            ops=1234, warmup=56, seed=7, mean_gap=8.5,
+            faults=FaultPlan(seed=2, drop_rate=0.05),
+            reliability=ReliabilityConfig(timeout=4.0),
+        )
+        again = RunConfig.from_dict(config.to_dict())
+        assert again.to_dict() == config.to_dict()
+
+    def test_to_dict_resolves_warmup(self):
+        assert RunConfig(ops=800).to_dict()["warmup"] == 200
+
+
+class TestRunWorkloadShim:
+    def test_config_object_no_warning(self, recwarn):
+        system = DSMSystem("write_through", N=3, S=100, P=30)
+        system.run_workload(_workload(), RunConfig(ops=400, seed=1))
+        deprecations = [w for w in recwarn.list
+                        if issubclass(w.category, DeprecationWarning)]
+        assert not deprecations
+
+    def test_legacy_kwargs_warn(self):
+        system = DSMSystem("write_through", N=3, S=100, P=30)
+        with pytest.warns(DeprecationWarning, match="RunConfig"):
+            system.run_workload(_workload(), num_ops=400, warmup=100, seed=1)
+
+    def test_legacy_positional_num_ops_warns(self):
+        system = DSMSystem("write_through", N=3, S=100, P=30)
+        with pytest.warns(DeprecationWarning, match="RunConfig"):
+            # historical defaults apply (warmup=500), so ops must exceed it
+            system.run_workload(_workload(), 800)
+
+    def test_legacy_matches_config(self):
+        old = DSMSystem("berkeley", N=3, S=100, P=30)
+        with pytest.warns(DeprecationWarning):
+            legacy = old.run_workload(_workload(), num_ops=600, warmup=150,
+                                      seed=5)
+        new = DSMSystem("berkeley", N=3, S=100, P=30)
+        modern = new.run_workload(
+            _workload(), RunConfig(ops=600, warmup=150, seed=5)
+        )
+        assert legacy.acc == modern.acc
+        assert legacy.messages == modern.messages
+
+    def test_config_plus_legacy_kwarg_rejected(self):
+        system = DSMSystem("write_through", N=3, S=100, P=30)
+        with pytest.raises(TypeError, match="both"):
+            system.run_workload(_workload(), RunConfig(ops=400), seed=1)
+
+    def test_fabric_mismatch_rejected(self):
+        system = DSMSystem("write_through", N=3, S=100, P=30)
+        config = RunConfig(ops=400, faults=FaultPlan(seed=1, drop_rate=0.2))
+        with pytest.raises(ValueError, match="fault"):
+            system.run_workload(_workload(), config)
+
+    def test_matching_fabric_accepted(self):
+        plan = FaultPlan(seed=1, drop_rate=0.1)
+        system = DSMSystem("write_through", N=3, S=100, P=30,
+                           faults=plan.replay())
+        config = RunConfig(ops=400, seed=2,
+                           faults=FaultPlan(seed=1, drop_rate=0.1))
+        result = system.run_workload(_workload(), config)
+        assert result.measured > 0
+
+
+class TestCompareCellShim:
+    def test_config_object_no_warning(self, recwarn):
+        compare_cell("write_through", PARAMS, M=1,
+                     config=RunConfig(ops=400, warmup=100, seed=0))
+        deprecations = [w for w in recwarn.list
+                        if issubclass(w.category, DeprecationWarning)]
+        assert not deprecations
+
+    def test_legacy_kwargs_warn_and_match(self):
+        with pytest.warns(DeprecationWarning, match="RunConfig"):
+            legacy = compare_cell("write_through", PARAMS, M=1,
+                                  total_ops=400, warmup=100, seed=3)
+        modern = compare_cell("write_through", PARAMS, M=1,
+                              config=RunConfig(ops=400, warmup=100, seed=3))
+        assert legacy.acc_sim == modern.acc_sim
+        assert legacy.acc_analytic == modern.acc_analytic
+
+    def test_legacy_positional_total_ops_warns(self):
+        with pytest.warns(DeprecationWarning, match="RunConfig"):
+            compare_cell("write_through", PARAMS, M=1, config=400, warmup=100)

@@ -1,7 +1,8 @@
 """Tests for the command-line interface."""
 
+import json
 
-from repro.cli import main
+from repro.cli import build_parser, main
 
 
 def run(capsys, *argv):
@@ -152,3 +153,123 @@ class TestPlace:
                            "--p", "0.3", "--a", "2", "--sigma", "0.1")
         assert code == 0
         assert "placement-indifferent" in out
+
+
+class TestSweep:
+    def sweep(self, capsys, tmp_path, *extra):
+        return run(
+            capsys, "sweep", "--protocols", "write_once,write_through_v",
+            "--N", "3", "--a", "2", "--p-values", "0.2,0.4",
+            "--disturb-values", "0.0,0.1", "--ops", "300",
+            "--out", str(tmp_path / "rows.jsonl"),
+            "--cache-dir", str(tmp_path / "cache"), *extra,
+        )
+
+    def test_sweep_writes_jsonl(self, capsys, tmp_path):
+        code, out, err = self.sweep(capsys, tmp_path)
+        assert code == 0
+        assert "cells     = 8 (8 computed, 0 cached" in out
+        assert "max |disc|" in out
+        rows = [json.loads(line) for line in
+                (tmp_path / "rows.jsonl").read_text().splitlines()]
+        assert len(rows) == 8
+        assert all(r["status"] == "ok" for r in rows)
+        # progress went to stderr, one line per cell
+        assert err.count("[") == 8
+
+    def test_second_invocation_cache_served(self, capsys, tmp_path):
+        self.sweep(capsys, tmp_path)
+        code, out, _ = self.sweep(capsys, tmp_path)
+        assert code == 0
+        assert "(0 computed, 8 cached" in out
+        assert "(100%)" in out
+
+    def test_no_cache_flag(self, capsys, tmp_path):
+        self.sweep(capsys, tmp_path)
+        code, out, _ = self.sweep(capsys, tmp_path, "--no-cache")
+        assert code == 0
+        assert "(8 computed, 0 cached" in out
+
+    def test_quiet_suppresses_progress(self, capsys, tmp_path):
+        _, _, err = self.sweep(capsys, tmp_path, "--quiet")
+        assert err == ""
+
+    def test_workers_match_serial(self, capsys, tmp_path):
+        self.sweep(capsys, tmp_path, "--no-cache")
+        serial = (tmp_path / "rows.jsonl").read_text()
+        self.sweep(capsys, tmp_path, "--no-cache", "--workers", "2")
+        parallel = (tmp_path / "rows.jsonl").read_text()
+        assert sorted(serial.splitlines()) == sorted(parallel.splitlines())
+
+    def test_analytic_kind(self, capsys, tmp_path):
+        code, _, _ = self.sweep(capsys, tmp_path, "--kind", "analytic")
+        assert code == 0
+        rows = [json.loads(line) for line in
+                (tmp_path / "rows.jsonl").read_text().splitlines()]
+        assert all("acc_analytic" in r and "acc_sim" not in r for r in rows)
+
+    def test_unknown_protocol_errors(self, capsys, tmp_path):
+        code, _, err = run(capsys, "sweep", "--protocols", "mesi",
+                           "--N", "3", "--p-values", "0.2")
+        assert code == 2
+        assert "unknown protocol" in err
+
+    def test_empty_grid_errors(self, capsys, tmp_path):
+        code, _, err = run(
+            capsys, "sweep", "--protocols", "write_once", "--N", "3",
+            "--a", "2", "--p-values", "0.9", "--disturb-values", "0.4",
+        )
+        assert code == 2
+        assert "no feasible cells" in err
+
+
+class TestFlagParity:
+    """simulate/validate/sweep accept the identical shared flag groups."""
+
+    RUN_FLAGS = ["--ops", "600", "--warmup", "150", "--seed", "3",
+                 "--mean-gap", "20.0"]
+    FAULT_FLAGS = ["--drop-rate", "0.05", "--dup-rate", "0.01",
+                   "--jitter", "0.5", "--fault-seed", "9"]
+    REL_FLAGS = ["--retry-timeout", "6.0", "--retry-backoff", "1.5",
+                 "--max-retries", "8"]
+
+    def parse(self, *argv):
+        return build_parser().parse_args(list(argv))
+
+    def test_shared_flags_parse_everywhere(self):
+        shared = self.RUN_FLAGS + self.FAULT_FLAGS + self.REL_FLAGS
+        for argv in (
+            ["simulate", "write_once", "--N", "3", "--p", "0.2", *shared],
+            ["validate", "write_once", "--N", "3", "--p", "0.2", *shared],
+            ["sweep", "--N", "3", "--p-values", "0.2", *shared],
+        ):
+            args = self.parse(*argv)
+            assert args.ops == 600
+            assert args.warmup == 150
+            assert args.seed == 3
+            assert args.mean_gap == 20.0
+            assert args.drop_rate == 0.05
+            assert args.dup_rate == 0.01
+            assert args.jitter == 0.5
+            assert args.fault_seed == 9
+            assert args.retry_timeout == 6.0
+            assert args.retry_backoff == 1.5
+            assert args.max_retries == 8
+
+    def test_run_defaults_identical(self):
+        parsed = [
+            self.parse("simulate", "write_once", "--N", "3", "--p", "0.2"),
+            self.parse("validate", "write_once", "--N", "3", "--p", "0.2"),
+            self.parse("sweep", "--N", "3", "--p-values", "0.2"),
+        ]
+        for args in parsed:
+            assert (args.ops, args.warmup, args.seed, args.mean_gap) == \
+                (4000, None, 0, 25.0)
+
+    def test_faulty_validate_accepts_fault_flags(self, capsys):
+        code, out, _ = run(capsys, "validate", "write_through", "--N", "3",
+                           "--p", "0.3", "--a", "2", "--sigma", "0.1",
+                           "--ops", "800", "--M", "5",
+                           "--drop-rate", "0.05", "--fault-seed", "7")
+        assert code == 0
+        assert "discrepancy" in out
