@@ -9,7 +9,7 @@ solve) are visible in the pytest-benchmark history.
 
 from repro.core import Deviation, WorkloadParams, markov_acc
 from repro.core.acc import _markov_cached
-from repro.sim import DSMSystem
+from repro.sim import DSMSystem, RunConfig
 from repro.workloads import read_disturbance_workload
 
 PARAMS = WorkloadParams(N=8, p=0.3, a=6, sigma=0.1, S=100.0, P=30.0)
@@ -22,8 +22,9 @@ def test_simulator_throughput(benchmark):
     def run():
         system = DSMSystem("berkeley", N=PARAMS.N, M=4, S=PARAMS.S,
                            P=PARAMS.P)
-        return system.run_workload(workload, num_ops=3000, warmup=500,
-                                   seed=1, mean_gap=10.0)
+        return system.run_workload(
+            workload, RunConfig(ops=3000, warmup=500, seed=1,
+                                mean_gap=10.0))
 
     result = benchmark(run)
     assert result.measured == 2500

@@ -12,7 +12,7 @@ reads keep their read latency flat regardless of load.
 import pytest
 
 from repro.core.parameters import WorkloadParams
-from repro.sim import DSMSystem
+from repro.sim import DSMSystem, RunConfig
 from repro.workloads import read_disturbance_workload
 
 from .conftest import emit
@@ -26,8 +26,9 @@ def run_load_sweep(protocol: str):
         system = DSMSystem(protocol, N=PARAMS.N, M=1, S=PARAMS.S,
                            P=PARAMS.P)
         workload = read_disturbance_workload(PARAMS, M=1)
-        system.run_workload(workload, num_ops=4000, warmup=500, seed=21,
-                            mean_gap=mean_gap)
+        system.run_workload(
+            workload, RunConfig(ops=4000, warmup=500, seed=21,
+                                mean_gap=mean_gap))
         system.check_coherence()
         stats = system.metrics.latency_stats(skip=500)
         rows.append((mean_gap, stats))

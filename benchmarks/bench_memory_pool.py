@@ -18,7 +18,7 @@ Two views of the question:
 
 from repro.core.ejection import ejecting_markov_acc
 from repro.core.parameters import Deviation, WorkloadParams
-from repro.sim import DSMSystem
+from repro.sim import DSMSystem, RunConfig
 from repro.workloads import read_disturbance_workload
 
 from .conftest import emit
@@ -33,8 +33,9 @@ def run_capacity_sweep():
         system = DSMSystem("write_through", N=PARAMS.N, M=M, S=PARAMS.S,
                            P=PARAMS.P, capacity=capacity)
         workload = read_disturbance_workload(PARAMS, M=M)
-        system.run_workload(workload, num_ops=4000, warmup=800, seed=3,
-                            mean_gap=10.0)
+        system.run_workload(
+            workload, RunConfig(ops=4000, warmup=800, seed=3,
+                                mean_gap=10.0))
         system.check_coherence()
         evictions = sum(n.pool.evictions for n in system.nodes.values()
                         if n.pool)

@@ -37,7 +37,7 @@ Grid-shaped experiments go through the sweep engine::
     from repro.exp import SweepSpec, run_sweep
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from .core import (
     ALL_PROTOCOLS,
@@ -54,6 +54,8 @@ from .core import (
 )
 from .protocols import PROTOCOLS, get_protocol, protocol_names
 from .sim import (
+    ConsistencyMonitor,
+    ConsistencyViolation,
     CrashWindow,
     DSMSystem,
     FaultPlan,
@@ -88,6 +90,8 @@ __all__ = [
     "PROTOCOLS",
     "get_protocol",
     "protocol_names",
+    "ConsistencyMonitor",
+    "ConsistencyViolation",
     "CrashWindow",
     "DSMSystem",
     "FaultPlan",

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.parameters import WorkloadParams
+from ..sim.config import RunConfig
 from ..sim.system import DSMSystem
 from ..workloads.base import Workload
 from .classifier import Decision, ProtocolClassifier
@@ -151,9 +152,10 @@ class AdaptiveRuntime:
                                    S=self.S, P=self.P)
                 warm = max(1, int(per_epoch * warmup_frac))
                 result = system.run_workload(
-                    workload, num_ops=per_epoch, warmup=warm,
-                    seed=int(rng.integers(0, 2**31 - 1)),
-                    mean_gap=mean_gap,
+                    workload,
+                    RunConfig(ops=per_epoch, warmup=warm,
+                              seed=int(rng.integers(0, 2**31 - 1)),
+                              mean_gap=mean_gap),
                 )
                 # feed the estimator with the epoch's operation mix.
                 for rec in result.metrics.records():
@@ -192,9 +194,10 @@ class AdaptiveRuntime:
                                    S=self.S, P=self.P)
                 warm = max(1, int(per_epoch * warmup_frac))
                 result = system.run_workload(
-                    workload, num_ops=per_epoch, warmup=warm,
-                    seed=int(rng.integers(0, 2**31 - 1)),
-                    mean_gap=mean_gap,
+                    workload,
+                    RunConfig(ops=per_epoch, warmup=warm,
+                              seed=int(rng.integers(0, 2**31 - 1)),
+                              mean_gap=mean_gap),
                 )
                 report.epochs.append(
                     EpochReport(epoch_idx, protocol, per_epoch, result.acc,

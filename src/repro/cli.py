@@ -15,9 +15,9 @@ Six commands cover the library's day-to-day uses:
 All commands share the same flag vocabulary through parent parsers: the
 workload group (``--N --p --a --sigma ...``), the run group
 (``--ops --warmup --seed --mean-gap``), the fault group (``--drop-rate
---dup-rate --jitter --crash-at --fault-seed``) and the reliability group
-(``--retry-timeout --retry-backoff --max-retries``) spell identically
-wherever they appear.
+--dup-rate --jitter --crash-at --crash-semantics --failover --monitor
+--fault-seed``) and the reliability group (``--retry-timeout
+--retry-backoff --max-retries``) spell identically wherever they appear.
 
 Examples::
 
@@ -124,6 +124,20 @@ def _fault_parent() -> argparse.ArgumentParser:
                        metavar="NODE:START[:END]",
                        help="crash a node for [START, END) sim time "
                             "(END omitted: never recovers); repeatable")
+    group.add_argument("--crash-semantics", choices=["durable", "amnesia"],
+                       default="durable",
+                       help="what --crash-at windows destroy: 'durable' "
+                            "keeps protocol state across the outage, "
+                            "'amnesia' wipes it (the node resynchronizes "
+                            "through the recovery subsystem at rejoin)")
+    group.add_argument("--failover", action="store_true",
+                       help="elect a standby sequencer when the current "
+                            "one crashes (deterministic lowest-id "
+                            "election, new epoch, no failback)")
+    group.add_argument("--monitor", action="store_true",
+                       help="attach the runtime consistency monitor and "
+                            "report convergence/sequential-consistency "
+                            "violations at quiescence")
     group.add_argument("--fault-seed", type=int, default=0,
                        help="seed of the fault plan's RNG stream")
     return parent
@@ -151,7 +165,7 @@ def _params(args: argparse.Namespace) -> WorkloadParams:
                           xi=args.xi, beta=args.beta, S=args.S, P=args.P)
 
 
-def _parse_crash(spec: str) -> CrashWindow:
+def _parse_crash(spec: str, semantics: str = "durable") -> CrashWindow:
     """Parse a ``NODE:START[:END]`` crash-window argument."""
     parts = spec.split(":")
     if len(parts) not in (2, 3):
@@ -160,17 +174,23 @@ def _parse_crash(spec: str) -> CrashWindow:
         )
     node, start = int(parts[0]), float(parts[1])
     if len(parts) == 3:
-        return CrashWindow(node, start, float(parts[2]))
-    return CrashWindow(node, start)
+        return CrashWindow(node, start, float(parts[2]),
+                           semantics=semantics)
+    return CrashWindow(node, start, semantics=semantics)
 
 
 def _fault_plan(args: argparse.Namespace) -> Optional[FaultPlan]:
     """Build the fault plan from the fault flags (None when fault-free)."""
-    crashes = [_parse_crash(spec) for spec in args.crash_at]
+    crashes = [_parse_crash(spec, args.crash_semantics)
+               for spec in args.crash_at]
     plan = FaultPlan(seed=args.fault_seed, drop_rate=args.drop_rate,
                      duplicate_rate=args.dup_rate, jitter=args.jitter,
                      crashes=crashes)
-    return None if plan.is_none else plan
+    if plan.is_none:
+        return None
+    # fail loudly on a typo'd node index before any system is built
+    plan.validate_nodes(args.N + 1)
+    return plan
 
 
 def _run_config(args: argparse.Namespace) -> RunConfig:
@@ -184,7 +204,8 @@ def _run_config(args: argparse.Namespace) -> RunConfig:
     )
     return RunConfig(ops=args.ops, warmup=args.warmup, seed=args.seed,
                      mean_gap=args.mean_gap, faults=faults,
-                     reliability=reliability)
+                     reliability=reliability,
+                     failover=args.failover, monitor=args.monitor)
 
 
 def _csv_floats(text: str) -> List[float]:
@@ -286,12 +307,13 @@ def build_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 
 def _cmd_simulate(args: argparse.Namespace, deviation: Deviation,
-                  params: WorkloadParams) -> None:
+                  params: WorkloadParams) -> int:
     config = _run_config(args)
     system = DSMSystem(args.protocol, N=params.N, M=args.M,
                        S=params.S, P=params.P,
                        capacity=args.capacity,
-                       faults=config.faults, reliability=config.reliability)
+                       faults=config.faults, reliability=config.reliability,
+                       failover=config.failover, monitor=config.monitor)
     workload = SyntheticWorkload(params, deviation, M=args.M)
     result = system.run_workload(workload, config)
     warmup = config.resolved_warmup
@@ -312,9 +334,11 @@ def _cmd_simulate(args: argparse.Namespace, deviation: Deviation,
         print(f"faults          = {config.faults.describe()}")
         if result.measured > 0:
             breakdown = system.metrics.average_cost_breakdown(skip=warmup)
-            print(f"acc breakdown   = "
-                  f"{breakdown['protocol']:.4f} protocol"
-                  f" + {breakdown['reliability']:.4f} reliability")
+            parts = (f"{breakdown['protocol']:.4f} protocol"
+                     f" + {breakdown['reliability']:.4f} reliability")
+            if system.recovery is not None:
+                parts += f" (+ {breakdown['recovery']:.4f} recovery)"
+            print(f"acc breakdown   = {parts}")
         print(f"retransmissions = {stats.retransmissions}")
         print(f"acks            = {stats.acks}")
         print(f"drops           = {stats.drops}")
@@ -325,6 +349,15 @@ def _cmd_simulate(args: argparse.Namespace, deviation: Deviation,
         if stats.delivery_failures:
             print(f"delivery failures  = {stats.delivery_failures} "
                   f"({result.incomplete_ops} ops incomplete)")
+        if system.recovery is not None:
+            rec = system.metrics.recovery
+            print(f"epoch resets    = {rec.epoch_resets}"
+                  + (f" ({rec.failovers} failovers)" if rec.failovers
+                     else ""))
+            print(f"ops lost/redriven = {rec.ops_lost}/{rec.ops_redriven}")
+            print(f"resync cost     = {rec.resync_cost:.1f} "
+                  f"({rec.resync_objects} objects)")
+            print(f"quarantine time = {rec.quarantine_time:.1f}")
     if args.capacity is not None:
         print(f"data-op cost    = {system.data_cost_rate(warmup):.4f}")
         evictions = sum(
@@ -332,6 +365,16 @@ def _cmd_simulate(args: argparse.Namespace, deviation: Deviation,
             for node in system.nodes.values() if node.pool
         )
         print(f"pool evictions  = {evictions}")
+    if system.monitor is not None:
+        if result.violations:
+            print(f"consistency VIOLATIONS = {len(result.violations)}")
+            for v in result.violations:
+                print(f"  [{v.kind}] obj {v.obj}: {v.detail}")
+            return 1
+        suffix = (f" ({system.monitor.inconclusive} inconclusive)"
+                  if system.monitor.inconclusive else "")
+        print(f"consistency     = ok{suffix}")
+    return 0
 
 
 def _cmd_sweep(args: argparse.Namespace, deviation: Deviation) -> int:
@@ -383,6 +426,11 @@ def _cmd_sweep(args: argparse.Namespace, deviation: Deviation) -> int:
     if args.kind == "compare":
         print(f"max |disc| = {result.max_abs_discrepancy_pct():.2f}%")
     print(f"results   -> {result.out_path}")
+    violations = sum(row.get("violations", 0) for row in result.rows
+                     if row.get("status") == "ok")
+    if violations:
+        print(f"consistency VIOLATIONS = {violations}", file=sys.stderr)
+        return 1
     return 1 if result.failed else 0
 
 
@@ -411,7 +459,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                                             ALL_PROTOCOLS):
                 print(f"{name:20s} {acc:12.4f}")
         elif args.command == "simulate":
-            _cmd_simulate(args, deviation, params)
+            return _cmd_simulate(args, deviation, params)
         elif args.command == "place":
             client, home, saving = placement_advantage(
                 args.protocol, params, deviation

@@ -92,6 +92,8 @@ def run_cell(cell: SweepCell) -> dict:
             faults=(None if config.faults is None
                     else config.faults.replay()),
             reliability=config.reliability,
+            failover=config.failover,
+            monitor=config.monitor,
         )
         workload = SyntheticWorkload(cell.params, cell.deviation, M=cell.M)
         result = system.run_workload(workload, config)
@@ -110,11 +112,12 @@ def run_cell(cell: SweepCell) -> dict:
             coherent=healthy,
         )
         if system.reliability is not None:
+            nan = float("nan")
             breakdown = (
                 system.metrics.average_cost_breakdown(
                     skip=config.resolved_warmup)
                 if result.measured > 0
-                else {"protocol": float("nan"), "reliability": float("nan")}
+                else {"protocol": nan, "reliability": nan, "recovery": nan}
             )
             row.update(
                 acc_protocol_share=_finite(breakdown["protocol"]),
@@ -124,6 +127,26 @@ def run_cell(cell: SweepCell) -> dict:
                 drops=stats.drops,
                 duplicates_suppressed=stats.duplicates_suppressed,
                 delivery_failures=stats.delivery_failures,
+            )
+            if system.recovery is not None:
+                rec = system.metrics.recovery
+                row.update(
+                    acc_recovery_share=_finite(breakdown["recovery"]),
+                    failovers=rec.failovers,
+                    epoch_resets=rec.epoch_resets,
+                    ops_lost=rec.ops_lost,
+                    ops_redriven=rec.ops_redriven,
+                    resync_objects=rec.resync_objects,
+                    resync_cost=_finite(rec.resync_cost),
+                    quarantine_time=_finite(rec.quarantine_time),
+                )
+        if config.monitor:
+            row.update(
+                violations=len(result.violations),
+                violation_kinds=sorted(
+                    {v.kind for v in result.violations}
+                ),
+                sc_inconclusive=system.monitor.inconclusive,
             )
     if cell.kind == "compare":
         acc_a = row["acc_analytic"]

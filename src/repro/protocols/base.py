@@ -151,6 +151,16 @@ class ProcessContext(abc.ABC):
     def complete(self, op: Operation, value: Any = None) -> None:
         """Report ``op`` finished to the application process."""
 
+    def value_installed(self, process: "ProtocolProcess", value: Any) -> None:
+        """Hook: ``process`` installed ``value`` into its copy.
+
+        Fired on every assignment to :attr:`ProtocolProcess.value`.  The
+        default is a no-op; the simulator's port overrides it to feed the
+        recovery subsystem's ordered write log and the consistency
+        monitor's version vectors (:mod:`repro.sim.recovery`,
+        :mod:`repro.sim.monitor`).
+        """
+
     @abc.abstractmethod
     def disable_local_queue(self) -> None:
         """Suspend the local queue while awaiting a response (Section 2)."""
@@ -168,12 +178,29 @@ class ProtocolProcess(abc.ABC):
     :attr:`value` (the ``op_id`` of the last write applied to this copy).
     """
 
+    #: Crash-recovery hook: when set on a *client* process class, a
+    #: recovering node may install its fetched snapshot in this state at
+    #: rejoin (warm rejoin).  Sound only for protocols whose writes reach
+    #: every node unconditionally (no directory/holder set the rejoined
+    #: copy would need to re-register with); ``None`` rejoins cold.
+    WARM_REJOIN_STATE: Optional[str] = None
+
     def __init__(self, ctx: ProcessContext, initial_state: str, initial_value: Any = 0):
         self.ctx = ctx
         #: current copy state (paper state name, e.g. ``"VALID"``)
         self.state = initial_state
         #: simulated user-information content of this copy
         self.value = initial_value
+
+    @property
+    def value(self) -> Any:
+        """Simulated user-information content of this copy."""
+        return self._value
+
+    @value.setter
+    def value(self, new_value: Any) -> None:
+        self._value = new_value
+        self.ctx.value_installed(self, new_value)
 
     @abc.abstractmethod
     def on_request(self, op: Operation) -> None:

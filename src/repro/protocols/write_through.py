@@ -47,6 +47,11 @@ VALID = "VALID"
 class WriteThroughClient(ProtocolProcess):
     """Client-side Write-Through protocol process (Table 1)."""
 
+    #: warm rejoin is sound: every serialized write invalidates all other
+    #: clients unconditionally (no directory to re-register with), so a
+    #: snapshot installed VALID can never go stale silently.
+    WARM_REJOIN_STATE = VALID
+
     def __init__(self, ctx: ProcessContext):
         super().__init__(ctx, initial_state=INVALID)
         self._pending_read: Optional[Operation] = None

@@ -40,6 +40,11 @@ VALID = "VALID"
 class DirectoryWriteThroughClient(WriteThroughClient):
     """Write-Through client that announces ejects (copyset exactness)."""
 
+    #: Warm rejoin is unsound here: the sequencer multicasts invalidations
+    #: to its copyset only, and a warm-installed replica is not in the
+    #: copyset, so it would never be invalidated.  Rejoin cold instead.
+    WARM_REJOIN_STATE = None
+
     def on_request(self, op: Operation) -> None:
         if op.kind == EJECT:
             if self.state == VALID:

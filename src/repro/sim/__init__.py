@@ -2,17 +2,21 @@
 (paper Sections 2 and 5.2): event engine, FIFO fabric, nodes with
 local/distributed queues, cost metrics, and the :class:`DSMSystem` facade —
 plus the robustness extensions: seeded fault injection
-(:mod:`repro.sim.faults`) and the reliable exactly-once FIFO delivery layer
-(:mod:`repro.sim.reliable`)."""
+(:mod:`repro.sim.faults`), the reliable exactly-once FIFO delivery layer
+(:mod:`repro.sim.reliable`), crash recovery with replica resynchronization
+and sequencer failover (:mod:`repro.sim.recovery`), and the runtime
+consistency monitor (:mod:`repro.sim.monitor`)."""
 
 from .channel import Network
 from .config import RunConfig
 from .engine import EventScheduler, TimerHandle
-from .faults import CrashWindow, FaultPlan
+from .faults import CRASH_SEMANTICS, CrashWindow, FaultPlan
 from .locks import LockClient, LockManager
-from .metrics import Metrics, OpRecord, ReliabilityStats
-from .node import ObjectPort, SimNode
+from .metrics import Metrics, OpRecord, RecoveryStats, ReliabilityStats
+from .monitor import ConsistencyMonitor, ConsistencyViolation
+from .node import ClusterView, ObjectPort, SimNode
 from .pool import ReplicaPool
+from .recovery import RecoveryManager, WriteLog
 from .reliable import Frame, ReliabilityConfig, ReliableNetwork
 from .system import DSMSystem, SimulationResult
 
@@ -24,6 +28,7 @@ __all__ = [
     "ReplicaPool",
     "EventScheduler",
     "TimerHandle",
+    "CRASH_SEMANTICS",
     "CrashWindow",
     "FaultPlan",
     "Frame",
@@ -31,9 +36,15 @@ __all__ = [
     "ReliableNetwork",
     "Metrics",
     "OpRecord",
+    "RecoveryStats",
     "ReliabilityStats",
+    "ClusterView",
+    "ConsistencyMonitor",
+    "ConsistencyViolation",
     "ObjectPort",
     "SimNode",
+    "RecoveryManager",
+    "WriteLog",
     "DSMSystem",
     "SimulationResult",
 ]

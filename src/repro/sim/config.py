@@ -43,6 +43,11 @@ class RunConfig:
             paper-faithful fault-free fabric.
         reliability: optional :class:`ReliabilityConfig`; defaults are
             applied when ``faults`` is given without one.
+        failover: enable sequencer failover (deterministic standby
+            election when the current sequencer crashes); only meaningful
+            together with a fault plan containing crash windows.
+        monitor: attach the runtime consistency monitor and report
+            violations on the run result.
     """
 
     ops: int = 4000
@@ -52,6 +57,8 @@ class RunConfig:
     max_events: int = 50_000_000
     faults: Optional[FaultPlan] = None
     reliability: Optional[ReliabilityConfig] = None
+    failover: bool = False
+    monitor: bool = False
 
     def __post_init__(self) -> None:
         if self.ops < 1:
@@ -108,6 +115,8 @@ class RunConfig:
                 None if self.reliability is None
                 else self.reliability.to_dict()
             ),
+            "failover": bool(self.failover),
+            "monitor": bool(self.monitor),
         }
 
     @classmethod
@@ -126,4 +135,6 @@ class RunConfig:
                 None if reliability is None
                 else ReliabilityConfig.from_dict(reliability)
             ),
+            failover=bool(data.get("failover", False)),
+            monitor=bool(data.get("monitor", False)),
         )

@@ -15,8 +15,13 @@ A plan injects, reproducibly from a single seed:
 * **timed node crashes** — during a :class:`CrashWindow` the node's network
   interface is silent: nothing it sends leaves the node and nothing
   addressed to it is delivered.  Crashing the sequencer is allowed (and is
-  the interesting case).  The model is fail-recover with durable state:
-  protocol state survives the outage, only communication is lost.
+  the interesting case).  Each window carries a *crash semantics* knob:
+
+  - ``"durable"`` (the default) is fail-recover with durable state:
+    protocol state survives the outage, only communication is lost;
+  - ``"amnesia"`` loses the node's volatile replica state on crash — the
+    node rejoins empty and must resynchronize through the recovery
+    subsystem (:mod:`repro.sim.recovery`) before re-entering the protocol.
 
 Determinism: every drop/duplicate/jitter decision consumes the plan's own
 ``random.Random(seed)`` stream in simulation order, so two runs with the
@@ -36,16 +41,27 @@ import random
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-__all__ = ["CrashWindow", "FaultPlan"]
+__all__ = ["CRASH_SEMANTICS", "CrashWindow", "FaultPlan"]
+
+
+#: legal values of :attr:`CrashWindow.semantics`
+CRASH_SEMANTICS = ("durable", "amnesia")
 
 
 @dataclass(frozen=True, slots=True)
 class CrashWindow:
-    """One node-outage interval ``[start, end)`` in simulation time."""
+    """One node-outage interval ``[start, end)`` in simulation time.
+
+    ``semantics`` selects what the crash destroys: ``"durable"`` keeps the
+    node's protocol state across the outage (only communication is lost);
+    ``"amnesia"`` wipes the volatile replica state, so the node must be
+    resynchronized by the recovery subsystem when it rejoins.
+    """
 
     node: int
     start: float
     end: float = math.inf
+    semantics: str = "durable"
 
     def __post_init__(self) -> None:
         if self.start < 0:
@@ -54,6 +70,11 @@ class CrashWindow:
             raise ValueError(
                 f"crash window must end after it starts "
                 f"({self.start} .. {self.end})"
+            )
+        if self.semantics not in CRASH_SEMANTICS:
+            raise ValueError(
+                f"crash semantics must be one of {CRASH_SEMANTICS}, "
+                f"got {self.semantics!r}"
             )
 
     def covers(self, time: float) -> bool:
@@ -70,7 +91,8 @@ class FaultPlan:
         duplicate_rate: per-transmission duplication probability, ``[0, 1]``.
         jitter: maximum extra delivery delay (uniform on ``[0, jitter]``).
         crashes: node-outage windows (:class:`CrashWindow` instances or
-            ``(node, start[, end])`` tuples).
+            ``(node, start[, end[, semantics]])`` tuples).  Windows on the
+            same node must not overlap (a config-time :class:`ValueError`).
     """
 
     def __init__(
@@ -97,7 +119,43 @@ class FaultPlan:
             w if isinstance(w, CrashWindow) else CrashWindow(*w)
             for w in crashes
         )
+        self._check_window_overlap()
         self._rng = random.Random(seed)
+
+    def _check_window_overlap(self) -> None:
+        """Reject overlapping windows on the same node at config time.
+
+        Two simultaneous outages of one node have no sensible meaning (is
+        the second crash edge a crash or a no-op?) and would mis-drive the
+        recovery subsystem's crash/rejoin events.  Adjacent windows
+        (``prev.end == next.start``) are allowed; windows on *different*
+        nodes may overlap freely.
+        """
+        last_end: dict = {}
+        for w in sorted(self.crashes, key=lambda w: (w.node, w.start)):
+            prev = last_end.get(w.node)
+            if prev is not None and w.start < prev:
+                raise ValueError(
+                    f"overlapping crash windows for node {w.node}: a window "
+                    f"starting at {w.start:g} begins before the previous one "
+                    f"ends at {prev:g}"
+                )
+            last_end[w.node] = w.end
+
+    def validate_nodes(self, num_nodes: int) -> None:
+        """Reject crash windows naming nodes outside ``1 .. num_nodes``.
+
+        Called with ``N + 1`` by :class:`~repro.sim.system.DSMSystem` (and
+        by the CLI) so a typo'd node index fails loudly at configuration
+        time instead of silently never firing.
+        """
+        for w in self.crashes:
+            if not 1 <= w.node <= num_nodes:
+                raise ValueError(
+                    f"crash window names node {w.node}, but the system has "
+                    f"nodes 1 .. {num_nodes} (clients 1 .. {num_nodes - 1}, "
+                    f"sequencer {num_nodes})"
+                )
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -128,6 +186,11 @@ class FaultPlan:
             and not self.crashes
         )
 
+    @property
+    def has_amnesia(self) -> bool:
+        """Whether any crash window loses node state (needs recovery)."""
+        return any(w.semantics == "amnesia" for w in self.crashes)
+
     # ------------------------------------------------------------------
     # configuration identity and serialization
     # ------------------------------------------------------------------
@@ -144,7 +207,8 @@ class FaultPlan:
             self.drop_rate,
             self.duplicate_rate,
             self.jitter,
-            tuple((w.node, w.start, w.end) for w in self.crashes),
+            tuple((w.node, w.start, w.end, w.semantics)
+                  for w in self.crashes),
         )
 
     def __eq__(self, other: object) -> bool:
@@ -166,19 +230,28 @@ class FaultPlan:
             "duplicate_rate": float(self.duplicate_rate),
             "jitter": float(self.jitter),
             "crashes": [
+                # durable windows keep the historical 3-element shape so
+                # serialized durable-only plans stay canonical.
                 [int(w.node), float(w.start),
                  None if math.isinf(w.end) else float(w.end)]
+                + ([] if w.semantics == "durable" else [w.semantics])
                 for w in self.crashes
             ],
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultPlan":
-        """Rebuild a fresh (rewound) plan from :meth:`to_dict` output."""
+        """Rebuild a fresh (rewound) plan from :meth:`to_dict` output.
+
+        Accepts both the historical 3-element crash entries
+        (``[node, start, end]``, durable) and the 4-element form carrying
+        an explicit semantics tag.
+        """
         crashes = [
-            CrashWindow(int(node), float(start),
-                        math.inf if end is None else float(end))
-            for node, start, end in data.get("crashes", ())
+            CrashWindow(int(entry[0]), float(entry[1]),
+                        math.inf if entry[2] is None else float(entry[2]),
+                        str(entry[3]) if len(entry) > 3 else "durable")
+            for entry in data.get("crashes", ())
         ]
         return cls(
             seed=int(data.get("seed", 0)),
@@ -248,5 +321,6 @@ class FaultPlan:
             parts.append(f"jitter<={self.jitter:g}")
         for w in self.crashes:
             end = "∞" if math.isinf(w.end) else f"{w.end:g}"
-            parts.append(f"crash(node {w.node}: {w.start:g}..{end})")
+            tag = "" if w.semantics == "durable" else f", {w.semantics}"
+            parts.append(f"crash(node {w.node}: {w.start:g}..{end}{tag})")
         return ", ".join(parts)

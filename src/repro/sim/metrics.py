@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..machines.message import Message
 
-__all__ = ["OpRecord", "ReliabilityStats", "Metrics"]
+__all__ = ["OpRecord", "RecoveryStats", "ReliabilityStats", "Metrics"]
 
 
 @dataclass(slots=True)
@@ -85,6 +85,40 @@ class ReliabilityStats:
     cost: float = 0.0
 
 
+@dataclass(slots=True)
+class RecoveryStats:
+    """Counters for the crash-recovery subsystem (:mod:`repro.sim.recovery`).
+
+    All zero without amnesia crash windows or sequencer failover.  ``cost``
+    is the total communication cost the recovery protocol charged (epoch
+    announcements, standby elections, snapshot/catch-up transfers); it is
+    system-level traffic not attributable to any single operation, so
+    :meth:`Metrics.average_cost_breakdown` amortizes it over the
+    measurement window as a separate ``recovery`` share.
+    """
+
+    #: global epoch resets (view changes) driven by crashes and rejoins
+    epoch_resets: int = 0
+    #: sequencer failovers (standby elections)
+    failovers: int = 0
+    #: operations lost to amnesia crashes (issued, never completed)
+    ops_lost: int = 0
+    #: in-flight operations re-driven after an epoch reset
+    ops_redriven: int = 0
+    #: unacknowledged transport frames voided by epoch resets
+    frames_voided: int = 0
+    #: received frames dropped for carrying a stale epoch
+    stale_frames_dropped: int = 0
+    #: replicas resynchronized at node rejoin (snapshot or catch-up)
+    resync_objects: int = 0
+    #: communication cost of resynchronization transfers alone
+    resync_cost: float = 0.0
+    #: total simulated time rejoining nodes spent quarantined
+    quarantine_time: float = 0.0
+    #: total communication cost charged by the recovery subsystem
+    cost: float = 0.0
+
+
 class Metrics:
     """Accumulates operation records and computes steady-state ``acc``."""
 
@@ -96,6 +130,8 @@ class Metrics:
         #: fault-injection / reliable-delivery counters (all zero without
         #: a fault plan)
         self.reliability = ReliabilityStats()
+        #: crash-recovery counters (all zero without amnesia/failover)
+        self.recovery = RecoveryStats()
 
     # ------------------------------------------------------------------
     # recording
@@ -135,6 +171,16 @@ class Metrics:
         rec.cost += cost
         rec.reliability_cost += cost
 
+    def record_recovery_cost(self, cost: float) -> None:
+        """Charge recovery-subsystem traffic (elections, snapshots).
+
+        Recovery traffic serves the system as a whole, not one operation,
+        so it is never attributed to an :class:`OpRecord`; it is tracked
+        in :attr:`RecoveryStats.cost` and amortized over the measurement
+        window by :meth:`average_cost_breakdown`.
+        """
+        self.recovery.cost += cost
+
     def record_complete(self, op_id: int, time: float) -> None:
         """Mark an operation complete (in global completion order)."""
         rec = self._ops[op_id]
@@ -171,13 +217,18 @@ class Metrics:
 
     def average_cost_breakdown(self, skip: int = 0, take: Optional[int] = None
                                ) -> Dict[str, float]:
-        """Split steady-state ``acc`` into protocol and reliability shares.
+        """Split steady-state ``acc`` into protocol/reliability/recovery.
 
-        Returns ``{"acc", "protocol", "reliability"}`` where ``acc`` is the
-        usual total (``protocol + reliability``), ``protocol`` is the cost
-        the coherence traces would incur on a fault-free fabric, and
-        ``reliability`` is the per-operation overhead of retransmissions
-        and acknowledgements.
+        Returns ``{"acc", "protocol", "reliability", "recovery"}`` where
+        ``acc`` is the usual per-operation total (``protocol +
+        reliability``), ``protocol`` is the cost the coherence traces
+        would incur on a fault-free fabric, ``reliability`` is the
+        per-operation overhead of retransmissions and acknowledgements,
+        and ``recovery`` is the crash-recovery subsystem's system-level
+        traffic (elections, epoch announcements, resynchronization
+        transfers) amortized over the same window — it rides on top of
+        ``acc`` rather than inside it because it is not attributable to
+        individual operations.
         """
         recs = self.records(skip, take)
         if not recs:
@@ -188,6 +239,7 @@ class Metrics:
             "acc": total,
             "protocol": total - overhead,
             "reliability": overhead,
+            "recovery": self.recovery.cost / len(recs),
         }
 
     def average_cost_by(self, skip: int = 0, take: Optional[int] = None

@@ -41,7 +41,26 @@ from .channel import Network
 from .engine import EventScheduler
 from .metrics import Metrics
 
-__all__ = ["ObjectPort", "SimNode"]
+__all__ = ["ClusterView", "ObjectPort", "SimNode"]
+
+
+class ClusterView:
+    """Mutable cluster-wide role state shared by every node of one system.
+
+    On the paper-faithful fabric the sequencer is node ``N + 1`` forever and
+    this object never changes.  Under sequencer failover the recovery
+    subsystem reassigns :attr:`sequencer_id` (and bumps :attr:`epoch`), and
+    because every node and port reads the role through this shared view,
+    the whole system switches to the new sequencer atomically.
+    """
+
+    __slots__ = ("sequencer_id", "epoch")
+
+    def __init__(self, sequencer_id: int):
+        #: the node currently acting as the sequencer
+        self.sequencer_id = sequencer_id
+        #: current view-change epoch (mirrors the transport's epoch)
+        self.epoch = 0
 
 
 class ObjectPort(ProcessContext):
@@ -50,7 +69,6 @@ class ObjectPort(ProcessContext):
     def __init__(self, node: "SimNode", obj: int):
         self._node = node
         self.node_id = node.node_id
-        self.sequencer_id = node.sequencer_id
         self.all_nodes = node.all_nodes
         self.obj = obj
         #: the protocol process bound to this port (set by SimNode)
@@ -58,6 +76,14 @@ class ObjectPort(ProcessContext):
         #: local request queue and its gate
         self.local_queue: Deque[Operation] = deque()
         self.local_enabled: bool = True
+        #: dispatched-but-incomplete operations (op_id -> Operation); the
+        #: recovery subsystem re-drives these after an epoch reset
+        self.inflight: Dict[int, Operation] = {}
+
+    @property
+    def sequencer_id(self) -> int:  # type: ignore[override]
+        """The current sequencer (dynamic under failover)."""
+        return self._node.sequencer_id
 
     # -- ProcessContext ---------------------------------------------------
 
@@ -84,12 +110,24 @@ class ObjectPort(ProcessContext):
     def complete(self, op: Operation, value: Any = None) -> None:
         op.complete_time = self._node.scheduler.now
         op.result = value
+        self.inflight.pop(op.op_id, None)
         self._node.metrics.record_complete(op.op_id, op.complete_time)
+        if self._node.observer is not None:
+            self._node.observer.on_complete(op)
         self._node.after_local_op(op)
         if self._node.on_complete is not None:
             self._node.on_complete(op)
         if op.callback is not None:
             op.callback(op)
+
+    def value_installed(self, process: ProtocolProcess, value: Any) -> None:
+        # constructor-time installs fire before the process is bound to the
+        # port (self.process is still None or the old process), which
+        # filters them out: only live protocol installs are observed.
+        if process is self.process and self._node.observer is not None:
+            self._node.observer.on_install(
+                self.node_id, self.obj, value, self._node.scheduler.now
+            )
 
     def disable_local_queue(self) -> None:
         self.local_enabled = False
@@ -109,6 +147,7 @@ class ObjectPort(ProcessContext):
         """Service local requests while the queue gate is open."""
         while self.local_enabled and self.local_queue:
             op = self.local_queue.popleft()
+            self.inflight[op.op_id] = op
             self.process.on_request(op)
 
     def deliver(self, msg: Message) -> None:
@@ -132,13 +171,18 @@ class SimNode:
         S: float,
         P: float,
         all_nodes: Tuple[int, ...],
-        sequencer_id: int,
+        sequencer_id: "int | ClusterView",
         on_complete: Optional[Callable[[Operation], None]] = None,
         capacity: Optional[int] = None,
         new_op: Optional[Callable[[str, int, int], Operation]] = None,
     ):
         self.node_id = node_id
-        self.sequencer_id = sequencer_id
+        #: shared cluster role view; an ``int`` is wrapped for callers that
+        #: build nodes directly (the role is then fixed, as in the paper)
+        self.cluster = (
+            sequencer_id if isinstance(sequencer_id, ClusterView)
+            else ClusterView(sequencer_id)
+        )
         self.all_nodes = all_nodes
         self.scheduler = scheduler
         self.network = network
@@ -147,30 +191,47 @@ class SimNode:
         self.P = P
         self.on_complete = on_complete
         self.new_op = new_op
+        #: run-history observer (write log / consistency monitor); attached
+        #: by DSMSystem only when monitoring or recovery is on
+        self.observer = None
+        #: recovery manager hook (amnesia crashes, failover); set by DSMSystem
+        self.recovery = None
         self.ports: Dict[int, ObjectPort] = {}
         for obj in range(1, num_objects + 1):
             port = ObjectPort(self, obj)
             port.process = spec.make_process(port)
             self.ports[obj] = port
-        # synchronization subsystem (Section 6 extension)
+        # synchronization subsystem (Section 6 extension); the lock manager
+        # is pinned to the initial sequencer (locks do not fail over).
         self.lock_client = LockClient(self)
         self.lock_manager = (
-            LockManager(self) if node_id == sequencer_id else None
+            LockManager(self) if node_id == self.sequencer_id else None
         )
         # finite replica pool (Section 6 extension); the sequencer node is
         # the objects' home and keeps every copy.
         self.pool: Optional[ReplicaPool] = None
-        if capacity is not None and node_id != sequencer_id:
+        if capacity is not None and node_id != self.sequencer_id:
             if new_op is None:
                 raise ValueError("a replica pool needs the new_op factory")
             self.pool = ReplicaPool(capacity, spec.name, self._request_eject)
         network.attach(node_id, self._on_message)
+
+    @property
+    def sequencer_id(self) -> int:
+        """The current sequencer node (dynamic under failover)."""
+        return self.cluster.sequencer_id
 
     def submit(self, op: Operation) -> None:
         """Application process issues an operation (enters the local queue)."""
         op.issue_time = self.scheduler.now
         self.metrics.register_op(op.op_id, op.node, op.kind, op.obj,
                                  op.issue_time)
+        if self.recovery is not None and self.recovery.submission_lost(op):
+            # the node is amnesia-crashed: the application process is dead
+            # with it, so the operation is lost (counted, never completed).
+            return
+        if self.observer is not None:
+            self.observer.on_submit(op)
         if op.kind in (ACQUIRE, RELEASE):
             self.lock_client.on_request(op)
             return

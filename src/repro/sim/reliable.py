@@ -38,7 +38,7 @@ to the paper's trace sets.  Intra-node sends bypass the transport entirely
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..machines.message import Message
 from .channel import Network
@@ -100,7 +100,10 @@ class Frame:
     ``kind`` is ``"data"`` (wraps a protocol :class:`Message`), ``"ack"``
     (bare acknowledgement token) or ``"loop"`` (intra-node bypass).  The
     ``cost``/``src``/``dst`` surface lets a frame travel through
-    :class:`~repro.sim.channel.Network` like any message.
+    :class:`~repro.sim.channel.Network` like any message.  ``epoch`` is
+    the sender's view-change epoch (:meth:`ReliableNetwork.advance_epoch`);
+    receivers drop frames from earlier epochs so traffic voided by a crash
+    recovery cannot be delivered into the new view.
     """
 
     kind: str
@@ -109,6 +112,7 @@ class Frame:
     seq: int
     msg: Optional[Message] = None
     op_id: Optional[int] = None
+    epoch: int = 0
 
     def cost(self, S: float, P: float) -> float:
         """Inter-node communication cost of this frame."""
@@ -161,6 +165,9 @@ class ReliableNetwork:
             on_fault=self._on_physical_fault,
         )
         self._handlers: Dict[int, Callable[[Message], None]] = {}
+        #: current view-change epoch; frames stamped with an older epoch
+        #: are dropped on receipt (see :meth:`advance_epoch`)
+        self.epoch = 0
         # sender side: dense per-channel sequence numbers + in-flight frames
         self._send_seq: Dict[Tuple[int, int], int] = {}
         self._pending: Dict[Tuple[Tuple[int, int], int], _PendingSend] = {}
@@ -197,7 +204,8 @@ class ReliableNetwork:
         channel = (msg.src, msg.dst)
         seq = self._send_seq.get(channel, 0) + 1
         self._send_seq[channel] = seq
-        frame = Frame("data", msg.src, msg.dst, seq, msg=msg, op_id=msg.op_id)
+        frame = Frame("data", msg.src, msg.dst, seq, msg=msg, op_id=msg.op_id,
+                      epoch=self.epoch)
         pending = _PendingSend(frame, S, P)
         self._pending[(channel, seq)] = pending
         cost = frame.cost(S, P)
@@ -262,6 +270,11 @@ class ReliableNetwork:
         if frame.kind == "loop":
             self._handlers[frame.dst](frame.msg)
             return
+        if frame.epoch < self.epoch:
+            # voided traffic from a previous view: never deliver or ack it.
+            if self.metrics is not None:
+                self.metrics.recovery.stale_frames_dropped += 1
+            return
         if frame.kind == "ack":
             # the acked data channel is the reverse of the ack's path.
             key = ((frame.dst, frame.src), frame.seq)
@@ -295,7 +308,8 @@ class ReliableNetwork:
         self._handlers[dst](msg)
 
     def _send_ack(self, data: Frame) -> None:
-        ack = Frame("ack", data.dst, data.src, data.seq, op_id=data.op_id)
+        ack = Frame("ack", data.dst, data.src, data.seq, op_id=data.op_id,
+                    epoch=self.epoch)
         if self.metrics is not None:
             self.metrics.reliability.acks += 1
             self.metrics.record_reliability_cost(ack.op_id, 1.0)
@@ -321,3 +335,37 @@ class ReliableNetwork:
     def in_flight(self) -> int:
         """Unacknowledged data frames currently awaiting an ack or retry."""
         return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # view changes (crash recovery)
+    # ------------------------------------------------------------------
+
+    def advance_epoch(self) -> List[Frame]:
+        """Start a new view: void all in-flight transport state.
+
+        Bumps :attr:`epoch` (so frames already on the wire — including
+        jitter-delayed, duplicated or retransmitted copies — are dropped on
+        receipt), cancels every pending retry timer and clears the
+        sequence-number, pending and reorder state of *all* channels.  The
+        recovery subsystem re-drives in-flight operations from scratch in
+        the new view, so exactly-once delivery is preserved end to end even
+        though the transport forgets its history.
+
+        Returns the voided unacknowledged data frames; the caller inspects
+        them for completed fire-and-forget writes whose payload must be
+        absorbed into the recovery write log (they were already reported
+        complete to the application, so they cannot be re-driven).
+        """
+        self.epoch += 1
+        voided: List[Frame] = []
+        for pending in self._pending.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+            voided.append(pending.frame)
+        if self.metrics is not None:
+            self.metrics.recovery.frames_voided += len(voided)
+        self._pending.clear()
+        self._send_seq.clear()
+        self._expected.clear()
+        self._reorder.clear()
+        return voided

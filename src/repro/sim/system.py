@@ -16,9 +16,8 @@ serialized value) and conservation of cost attribution.
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -35,50 +34,12 @@ from .config import RunConfig
 from .engine import EventScheduler
 from .faults import FaultPlan
 from .metrics import Metrics
-from .node import SimNode
+from .monitor import ConsistencyMonitor, ConsistencyViolation
+from .node import ClusterView, SimNode
+from .recovery import RecoveryManager, WriteLog
 from .reliable import ReliabilityConfig, ReliableNetwork
 
 __all__ = ["DSMSystem", "SimulationResult"]
-
-#: sentinel distinguishing "argument omitted" from an explicit ``None``
-_UNSET = object()
-
-
-def _legacy_run_config(
-    where: str,
-    num_ops,
-    warmup,
-    seed,
-    mean_gap,
-    max_events,
-    *,
-    default_warmup: int = 500,
-    default_seed: Optional[int] = None,
-    stacklevel: int = 3,
-) -> RunConfig:
-    """Build a :class:`RunConfig` from a deprecated call form.
-
-    Emits one :class:`DeprecationWarning` naming the caller's surface and
-    preserves the historical defaults of that surface (``warmup=500``,
-    ``seed=None`` for :meth:`DSMSystem.run_workload`).
-    """
-    warnings.warn(
-        f"passing per-run arguments (num_ops/total_ops, warmup, seed, "
-        f"mean_gap, max_events) to {where} is deprecated; pass a "
-        "repro.RunConfig instead "
-        "(e.g. config=RunConfig(ops=4000, warmup=500, seed=0))",
-        DeprecationWarning,
-        stacklevel=stacklevel,
-    )
-    if num_ops is None:
-        raise TypeError(f"{where}: num_ops is required in the legacy form")
-    return RunConfig(
-        ops=num_ops,
-        warmup=default_warmup if warmup is _UNSET else warmup,
-        seed=default_seed if seed is _UNSET else seed,
-        mean_gap=25.0 if mean_gap is _UNSET else mean_gap,
-        max_events=50_000_000 if max_events is _UNSET else max_events,
-    )
 
 #: per-protocol states in which a local read hits (client or owner side)
 _HIT_STATES: Dict[str, frozenset] = {
@@ -116,8 +77,43 @@ class SimulationResult:
     end_time: float
     metrics: Metrics
     #: operations that never completed because a message's retry budget
-    #: ran out (graceful degradation under faults); 0 on a healthy run
+    #: ran out or an amnesia crash killed their node (graceful
+    #: degradation under faults); 0 on a healthy run
     incomplete_ops: int = 0
+    #: consistency-monitor findings (populated only when the system was
+    #: built with ``monitor=True`` and the run had no delivery failures;
+    #: empty on a clean run)
+    violations: Tuple[ConsistencyViolation, ...] = field(default=())
+
+
+class _Observer:
+    """Fans node-level run events out to the write log and the monitor.
+
+    Attached to the nodes only when recovery or monitoring is active
+    (pay-for-what-you-use: otherwise the hooks stay ``None`` and the hot
+    paths skip them entirely).
+    """
+
+    __slots__ = ("write_log", "monitor")
+
+    def __init__(self, write_log: Optional[WriteLog],
+                 monitor: Optional[ConsistencyMonitor]):
+        self.write_log = write_log
+        self.monitor = monitor
+
+    def on_submit(self, op: Operation) -> None:
+        if self.monitor is not None:
+            self.monitor.on_submit(op)
+
+    def on_complete(self, op: Operation) -> None:
+        if self.monitor is not None:
+            self.monitor.on_complete(op)
+
+    def on_install(self, node: int, obj: int, value, time: float) -> None:
+        if self.write_log is not None:
+            self.write_log.on_install(node, obj, value, time)
+        if self.monitor is not None:
+            self.monitor.on_install(node, obj, value, time)
 
 
 class DSMSystem:
@@ -138,6 +134,16 @@ class DSMSystem:
             when a fault plan is given without one.  Passing a config with
             no fault plan runs the reliable layer over a fault-free fabric
             (pure acknowledgement overhead).
+        failover: enable sequencer failover — when the current sequencer
+            crashes, a deterministic standby election promotes the live
+            node with the lowest index under a new epoch (the failed
+            sequencer rejoins as a client; no failback).  Requires a
+            fault plan to have any effect.
+        monitor: attach the runtime consistency monitor
+            (:mod:`repro.sim.monitor`); :meth:`run_workload` then checks
+            replica convergence and per-object sequential consistency at
+            quiescence and reports findings on
+            :attr:`SimulationResult.violations`.
     """
 
     def __init__(
@@ -151,6 +157,8 @@ class DSMSystem:
         capacity: Optional[int] = None,
         faults: Optional[FaultPlan] = None,
         reliability: Optional[ReliabilityConfig] = None,
+        failover: bool = False,
+        monitor: bool = False,
     ):
         self.spec: ProtocolSpec = (
             protocol if isinstance(protocol, ProtocolSpec) else get_protocol(protocol)
@@ -187,11 +195,15 @@ class DSMSystem:
                 on_cost=self.metrics.record_message,
             )
         if self.faults is not None:
+            self.faults.validate_nodes(N + 1)
             self._schedule_crash_markers()
         if capacity is not None and capacity < 1:
             raise ValueError("capacity must be at least 1 replica")
         self.capacity = capacity
-        self.sequencer_id = N + 1
+        self.latency = float(latency)
+        self.failover = bool(failover)
+        #: shared, mutable sequencer-role view (reassigned by failover)
+        self.cluster = ClusterView(N + 1)
         self.all_nodes: Tuple[int, ...] = tuple(range(1, N + 2))
         self._next_op_id = 0
         self.nodes: Dict[int, SimNode] = {
@@ -205,12 +217,48 @@ class DSMSystem:
                 self.S,
                 self.P,
                 self.all_nodes,
-                self.sequencer_id,
+                self.cluster,
                 capacity=capacity,
                 new_op=self._make_internal_op,
             )
             for node_id in self.all_nodes
         }
+        # crash recovery and consistency monitoring (both opt-in; without
+        # them the hooks stay None and runs are bit-identical to a system
+        # built before these subsystems existed).
+        self.monitor: Optional[ConsistencyMonitor] = (
+            ConsistencyMonitor() if monitor else None
+        )
+        self.write_log: Optional[WriteLog] = None
+        self.recovery: Optional[RecoveryManager] = None
+        if self.faults is not None and (self.failover
+                                        or self.faults.has_amnesia):
+            self.write_log = WriteLog()
+            self.recovery = RecoveryManager(
+                nodes=self.nodes,
+                cluster=self.cluster,
+                scheduler=self.scheduler,
+                network=self.network,
+                metrics=self.metrics,
+                spec=self.spec,
+                plan=self.faults,
+                log=self.write_log,
+                hit_states=_HIT_STATES[self.spec.name],
+                S=self.S,
+                P=self.P,
+                latency=self.latency,
+                failover=self.failover,
+            )
+        if self.monitor is not None or self.write_log is not None:
+            observer = _Observer(self.write_log, self.monitor)
+            for node in self.nodes.values():
+                node.observer = observer
+                node.recovery = self.recovery
+
+    @property
+    def sequencer_id(self) -> int:
+        """The node currently acting as sequencer (dynamic under failover)."""
+        return self.cluster.sequencer_id
 
     def _make_internal_op(self, kind: str, node: int, obj: int) -> Operation:
         """Factory for system-generated operations (pool evictions)."""
@@ -261,6 +309,19 @@ class DSMSystem:
                 "ReliabilityConfig this DSMSystem was constructed with; "
                 "pass reliability= to DSMSystem(...) or use repro.exp"
             )
+        if config.failover != self.failover:
+            raise ValueError(
+                "RunConfig.failover does not match this DSMSystem "
+                "(failover is wired at construction); pass failover= to "
+                "DSMSystem(...) or run the cell through repro.exp"
+            )
+        if config.monitor != (self.monitor is not None):
+            raise ValueError(
+                "RunConfig.monitor does not match this DSMSystem "
+                "(the monitor is attached at construction); pass "
+                "monitor= to DSMSystem(...) or run the cell through "
+                "repro.exp"
+            )
 
     # ------------------------------------------------------------------
     # driving
@@ -297,13 +358,7 @@ class DSMSystem:
     def run_workload(
         self,
         workload: Workload,
-        config: Union[RunConfig, int, None] = None,
-        warmup=_UNSET,
-        seed=_UNSET,
-        mean_gap=_UNSET,
-        max_events=_UNSET,
-        *,
-        num_ops: Optional[int] = None,
+        config: Optional[RunConfig] = None,
     ) -> SimulationResult:
         """Run a stochastic workload and measure steady-state ``acc``.
 
@@ -317,39 +372,25 @@ class DSMSystem:
         Args:
             workload: the operation source.
             config: a :class:`~repro.sim.config.RunConfig` carrying
-                ops/warmup/seed/mean_gap/max_events.  Fault and
-                reliability settings in the config must match the ones
-                this system was constructed with (the network fabric is
+                ops/warmup/seed/mean_gap/max_events.  Fault, reliability,
+                failover and monitor settings in the config must match
+                the ones this system was constructed with (the fabric is
                 fixed at construction); pass them to :class:`DSMSystem`
                 or use :mod:`repro.exp`, which builds the system from the
                 config for you.
 
-        The legacy call forms ``run_workload(w, 4000, 500, seed=1)`` and
-        ``run_workload(w, num_ops=4000, warmup=500)`` keep working for one
-        release but emit a :class:`DeprecationWarning`.
+        The pre-1.2 positional forms (``run_workload(w, 4000, 500)``,
+        ``run_workload(w, num_ops=4000)``) were removed; they now raise
+        :class:`TypeError`.
         """
-        if isinstance(config, RunConfig):
-            if (num_ops is not None
-                    or any(v is not _UNSET
-                           for v in (warmup, seed, mean_gap, max_events))):
-                raise TypeError(
-                    "pass either a RunConfig or the legacy "
-                    "num_ops/warmup/seed arguments, not both"
-                )
-            self._check_run_config_fabric(config)
-        else:
-            if isinstance(config, int):
-                if num_ops is not None:
-                    raise TypeError("num_ops given twice")
-                num_ops = config
-            elif config is not None:
-                raise TypeError(
-                    f"config must be a RunConfig, got {type(config).__name__}"
-                )
-            config = _legacy_run_config(
-                "DSMSystem.run_workload", num_ops, warmup, seed, mean_gap,
-                max_events,
+        if not isinstance(config, RunConfig):
+            raise TypeError(
+                "run_workload takes a RunConfig, got "
+                f"{type(config).__name__}; the pre-1.2 "
+                "num_ops/warmup/seed arguments were removed — pass "
+                "config=RunConfig(ops=4000, warmup=500, seed=0)"
             )
+        self._check_run_config_fabric(config)
         num_ops = config.ops
         warmup = config.resolved_warmup
         if workload.M > self.M:
@@ -375,21 +416,31 @@ class DSMSystem:
             )
         self.scheduler.run(max_events=config.max_events)
         incomplete = max(0, num_ops - self.metrics.completed_count)
-        if incomplete > 0 and self.metrics.reliability.delivery_failures == 0:
-            # no message was abandoned, so this is a genuine protocol
-            # hang, not fault-induced degradation.
+        lost = self.metrics.recovery.ops_lost
+        if (incomplete > lost
+                and self.metrics.reliability.delivery_failures == 0):
+            # nothing was abandoned and no node died with its operations,
+            # so this is a genuine protocol hang, not fault degradation.
             raise RuntimeError(  # pragma: no cover
                 f"only {self.metrics.completed_count}/{num_ops} operations "
                 "completed — protocol deadlock?"
             )
         # under graceful degradation (a retry budget ran out, wedging the
-        # affected channel) the loss is reported instead of hanging; with
-        # no completions left in the window, acc degrades to NaN.
+        # affected channel, or an amnesia crash killed submissions) the
+        # loss is reported instead of hanging; with no completions left
+        # in the window, acc degrades to NaN.
         if self.metrics.completed_count > warmup:
             acc = self.metrics.average_cost(skip=warmup)
         else:
             acc = float("nan")
         measured = max(0, min(num_ops, self.metrics.completed_count) - warmup)
+        violations: Tuple[ConsistencyViolation, ...] = ()
+        if (self.monitor is not None
+                and self.metrics.reliability.delivery_failures == 0):
+            # with a wedged channel the protocols legitimately cannot keep
+            # replicas consistent; the monitor only judges runs the
+            # reliability layer carried through.
+            violations = tuple(self.consistency_report())
         return SimulationResult(
             protocol=self.spec.name,
             total_ops=num_ops,
@@ -400,6 +451,7 @@ class DSMSystem:
             end_time=self.scheduler.now,
             metrics=self.metrics,
             incomplete_ops=incomplete,
+            violations=violations,
         )
 
     # ------------------------------------------------------------------
@@ -443,24 +495,74 @@ class DSMSystem:
             )
         return self.copy_value(owner, obj)
 
+    def _down_nodes(self) -> set:
+        """Nodes whose crash window covers the current simulation time."""
+        if self.faults is None:
+            return set()
+        now = self.scheduler.now
+        return {n for n in self.all_nodes if self.faults.is_down(n, now)}
+
     def check_coherence(self) -> None:
         """Assert quiescent coherence for every object.
 
         Every copy whose state serves local reads must equal the
         authoritative value.  Call only after :meth:`settle` (or a
         completed :meth:`run_workload`) — in-flight updates legitimately
-        make copies differ transiently.
+        make copies differ transiently.  Nodes still inside a crash
+        window are skipped: a dead replica cannot serve reads, and its
+        pending invalidations are legitimately undelivered.
         """
         hit_states = _HIT_STATES[self.spec.name]
+        down = self._down_nodes()
         for obj in range(1, self.M + 1):
             truth = self.authoritative_value(obj)
             for node in self.all_nodes:
+                if node in down:
+                    continue
                 proc = self.nodes[node].process_for(obj)
                 if proc.state in hit_states and proc.value != truth:
                     raise AssertionError(
                         f"{self.spec.name}: node {node} object {obj} state "
                         f"{proc.state} holds {proc.value!r}, expected {truth!r}"
                     )
+
+    def consistency_report(self) -> List[ConsistencyViolation]:
+        """Run the consistency monitor's quiescence checks.
+
+        Returns all findings (empty on a clean run); never raises on a
+        violation — degraded runs produce structured reports.  Requires
+        the system to have been built with ``monitor=True`` and to be
+        quiescent (:meth:`settle` or a finished :meth:`run_workload`).
+        """
+        if self.monitor is None:
+            raise ValueError(
+                "consistency monitoring is off; build "
+                "DSMSystem(..., monitor=True)"
+            )
+        hit_states = _HIT_STATES[self.spec.name]
+        down = self._down_nodes()
+        violations: List[ConsistencyViolation] = []
+        authoritative: Dict[int, object] = {}
+        replicas: Dict[int, List[Tuple[int, str, object, bool]]] = {}
+        for obj in range(1, self.M + 1):
+            try:
+                truth = self.authoritative_value(obj)
+            except AssertionError as exc:
+                violations.append(ConsistencyViolation(
+                    kind="divergence",
+                    obj=obj,
+                    detail=f"no authoritative value: {exc}",
+                ))
+                continue
+            authoritative[obj] = truth
+            replicas[obj] = [
+                (node, proc.state, proc.value, proc.state in hit_states)
+                for node in self.all_nodes
+                if node not in down
+                for proc in (self.nodes[node].process_for(obj),)
+            ]
+        violations.extend(self.monitor.check(authoritative, replicas))
+        return violations
 
     def data_cost_rate(self, skip: int = 0) -> float:
         """Total communication cost per *data* operation.

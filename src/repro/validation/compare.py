@@ -15,60 +15,35 @@ which appear blank in the paper).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Union
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..core.acc import analytical_acc
 from ..core.parameters import Deviation, WorkloadParams
 from ..sim.config import RunConfig
-from ..sim.system import _UNSET, DSMSystem, _legacy_run_config
+from ..sim.system import DSMSystem
 from ..workloads.synthetic import SyntheticWorkload
 
 __all__ = ["CellResult", "ComparisonTable", "compare_cell", "comparison_table"]
 
-#: historical defaults of this module's legacy call form
-_LEGACY_DEFAULTS = dict(default_warmup=500, default_seed=0)
 
+def _resolve_config(where: str, config: Optional[RunConfig]) -> RunConfig:
+    """Default to the paper's Table 7 budget; reject non-RunConfig values.
 
-def _resolve_config(
-    where: str,
-    config: Union[RunConfig, int, None],
-    total_ops,
-    warmup,
-    seed,
-    mean_gap,
-) -> RunConfig:
-    """Turn (config | legacy kwargs) into one :class:`RunConfig`.
-
-    ``config`` may be an ``int`` — the old ``total_ops`` arrived in that
-    positional slot — which is treated as the legacy form.
+    The pre-1.2 ``total_ops=/warmup=/seed=`` keywords (and the bare int
+    in the config slot) were removed; they now raise :class:`TypeError`.
     """
-    legacy_given = (total_ops is not _UNSET or warmup is not _UNSET
-                    or seed is not _UNSET or mean_gap is not _UNSET)
-    if isinstance(config, RunConfig):
-        if legacy_given:
-            raise TypeError(
-                f"{where}: pass either a RunConfig or the legacy "
-                "total_ops/warmup/seed arguments, not both"
-            )
-        return config
-    if isinstance(config, int):
-        if total_ops is not _UNSET:
-            raise TypeError(f"{where}: total_ops given twice")
-        total_ops = config
-    elif config is not None:
-        raise TypeError(
-            f"{where}: config must be a RunConfig, "
-            f"got {type(config).__name__}"
-        )
-    if not legacy_given and not isinstance(config, int):
-        # plain defaults: no deprecated argument was used
+    if config is None:
         return RunConfig(ops=2000, warmup=500, seed=0)
-    return _legacy_run_config(
-        where, 2000 if total_ops is _UNSET else total_ops, warmup, seed,
-        mean_gap, _UNSET, stacklevel=4, **_LEGACY_DEFAULTS,
-    )
+    if not isinstance(config, RunConfig):
+        raise TypeError(
+            f"{where}: config must be a RunConfig, got "
+            f"{type(config).__name__}; the pre-1.2 total_ops/warmup/seed "
+            "arguments were removed — pass "
+            "config=RunConfig(ops=2000, warmup=500, seed=0)"
+        )
+    return config
 
 
 @dataclass
@@ -100,12 +75,7 @@ def compare_cell(
     params: WorkloadParams,
     deviation: Deviation = Deviation.READ,
     M: int = 20,
-    config: Union[RunConfig, int, None] = None,
-    warmup=_UNSET,
-    seed=_UNSET,
-    mean_gap=_UNSET,
-    *,
-    total_ops=_UNSET,
+    config: Optional[RunConfig] = None,
 ) -> CellResult:
     """Analytical vs simulated ``acc`` for one parameter point.
 
@@ -114,23 +84,22 @@ def compare_cell(
         params: the workload parameters of the cell.
         deviation: workload deviation.
         M: number of shared objects in the simulated system.
-        config: a :class:`~repro.sim.config.RunConfig`; its fault and
-            reliability settings (if any) are applied to the simulated
-            system, so the validation harness can also compare degraded
-            runs against the fault-free model.  Defaults to the paper's
-            Table 7 budget (``ops=2000, warmup=500, seed=0``).
-
-    The legacy ``total_ops=/warmup=/seed=/mean_gap=`` keywords keep
-    working for one release but emit a :class:`DeprecationWarning`.
+        config: a :class:`~repro.sim.config.RunConfig`; its fault,
+            reliability, failover and monitor settings (if any) are
+            applied to the simulated system, so the validation harness
+            can also compare degraded runs against the fault-free model.
+            Defaults to the paper's Table 7 budget (``ops=2000,
+            warmup=500, seed=0``).
     """
-    config = _resolve_config("compare_cell", config, total_ops, warmup,
-                             seed, mean_gap)
+    config = _resolve_config("compare_cell", config)
     acc_a = analytical_acc(protocol, params, deviation)
     workload = SyntheticWorkload(params, deviation, M=M)
     system = DSMSystem(
         protocol, N=params.N, M=M, S=params.S, P=params.P,
         faults=None if config.faults is None else config.faults.replay(),
         reliability=config.reliability,
+        failover=config.failover,
+        monitor=config.monitor,
     )
     result = system.run_workload(workload, config)
     disturb = params.sigma if deviation is Deviation.READ else params.xi
@@ -177,12 +146,7 @@ def comparison_table(
     disturb_values: Sequence[float],
     deviation: Deviation = Deviation.READ,
     M: int = 20,
-    config: Union[RunConfig, int, None] = None,
-    warmup=_UNSET,
-    seed=_UNSET,
-    mean_gap=_UNSET,
-    *,
-    total_ops=_UNSET,
+    config: Optional[RunConfig] = None,
 ) -> ComparisonTable:
     """Reproduce one protocol panel of Table 7 over a parameter grid.
 
@@ -190,11 +154,9 @@ def comparison_table(
     columns are included (both model and simulation yield ``acc = 0``).
     Each cell uses an independent fresh system and a seed derived from the
     cell coordinates (``config.seed + 1000 * i + j``) for
-    reproducibility.  The legacy ``total_ops=/warmup=/seed=`` keywords
-    keep working for one release but emit a :class:`DeprecationWarning`.
+    reproducibility.
     """
-    config = _resolve_config("comparison_table", config, total_ops, warmup,
-                             seed, mean_gap)
+    config = _resolve_config("comparison_table", config)
     cells: List[CellResult] = []
     for i, p in enumerate(p_values):
         for j, d in enumerate(disturb_values):

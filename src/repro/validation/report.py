@@ -17,6 +17,7 @@ import numpy as np
 from ..core.acc import analytical_acc
 from ..core.comparison import ALL_PROTOCOLS
 from ..core.parameters import Deviation, WorkloadParams
+from ..sim.config import RunConfig
 from ..sim.system import DSMSystem
 from ..workloads.synthetic import SyntheticWorkload
 from .statistics import MeanCI, mean_confidence_interval
@@ -95,8 +96,9 @@ def full_validation(
                 system = DSMSystem(protocol, N=params.N, M=M,
                                    S=params.S, P=params.P)
                 result = system.run_workload(
-                    workload, num_ops=total_ops, warmup=warmup,
-                    seed=seed + 7919 * r, mean_gap=mean_gap,
+                    workload,
+                    RunConfig(ops=total_ops, warmup=warmup,
+                              seed=seed + 7919 * r, mean_gap=mean_gap),
                 )
                 samples.append(result.acc)
             if len(samples) >= 2:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.aggregate import ObjectSpec, aggregate_acc, rotated_roles_acc
 from repro.core.parameters import Deviation, WorkloadParams
-from repro.sim import DSMSystem
+from repro.sim import DSMSystem, RunConfig
 from repro.workloads import SyntheticWorkload
 from repro.workloads.base import EventTable, TableWorkload
 
@@ -105,8 +105,9 @@ class TestAggregateVsSimulation:
                 return out
 
         system = DSMSystem("write_through", N=N, M=2, S=S, P=P)
-        result = system.run_workload(TwoObject(), num_ops=8000, warmup=1500,
-                                     seed=3, mean_gap=25.0)
+        result = system.run_workload(
+            TwoObject(), RunConfig(ops=8000, warmup=1500, seed=3,
+                                   mean_gap=25.0))
         system.check_coherence()
         assert result.acc == pytest.approx(predicted, rel=0.08)
 
@@ -116,7 +117,7 @@ class TestAggregateVsSimulation:
         wl = SyntheticWorkload(params, Deviation.READ, M=4,
                                rotate_roles=True)
         system = DSMSystem("berkeley", N=4, M=4, S=100, P=30)
-        result = system.run_workload(wl, num_ops=8000, warmup=1500, seed=4,
-                                     mean_gap=25.0)
+        result = system.run_workload(
+            wl, RunConfig(ops=8000, warmup=1500, seed=4, mean_gap=25.0))
         system.check_coherence()
         assert result.acc == pytest.approx(predicted, rel=0.08)

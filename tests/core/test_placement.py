@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.parameters import Deviation, WorkloadParams
 from repro.core.placement import home_center_acc, placement_advantage
-from repro.sim import DSMSystem
+from repro.sim import DSMSystem, RunConfig
 from repro.workloads.base import EventTable, TableWorkload
 
 PARAMS = WorkloadParams(N=5, p=0.3, a=2, sigma=0.1, xi=0.08, S=100, P=30)
@@ -80,8 +80,9 @@ class TestHomeCenterSimulation:
         predicted = home_center_acc(protocol, PARAMS, Deviation.READ)
         system = DSMSystem(protocol, N=PARAMS.N, M=1, S=PARAMS.S,
                            P=PARAMS.P)
-        result = system.run_workload(self._workload(), num_ops=6000,
-                                     warmup=1000, seed=13, mean_gap=30.0)
+        result = system.run_workload(
+            self._workload(),
+            RunConfig(ops=6000, warmup=1000, seed=13, mean_gap=30.0))
         system.check_coherence()
         if predicted == 0.0:
             assert result.acc < 0.5

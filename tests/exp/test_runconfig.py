@@ -1,9 +1,15 @@
-"""RunConfig semantics and the deprecation shims on the old call forms."""
+"""RunConfig semantics; the pre-1.2 call forms must raise TypeError."""
 
 import pytest
 
 from repro.core.parameters import WorkloadParams
-from repro.sim import DSMSystem, FaultPlan, ReliabilityConfig, RunConfig
+from repro.sim import (
+    CrashWindow,
+    DSMSystem,
+    FaultPlan,
+    ReliabilityConfig,
+    RunConfig,
+)
 from repro.validation import compare_cell
 from repro.workloads import read_disturbance_workload
 
@@ -56,57 +62,62 @@ class TestValidation:
     def test_round_trip(self):
         config = RunConfig(
             ops=1234, warmup=56, seed=7, mean_gap=8.5,
-            faults=FaultPlan(seed=2, drop_rate=0.05),
+            faults=FaultPlan(seed=2, drop_rate=0.05,
+                             crashes=(CrashWindow(1, 10.0, 20.0,
+                                                  semantics="amnesia"),)),
             reliability=ReliabilityConfig(timeout=4.0),
+            failover=True, monitor=True,
         )
         again = RunConfig.from_dict(config.to_dict())
         assert again.to_dict() == config.to_dict()
+        assert again.failover and again.monitor
+        assert again.faults.crashes[0].semantics == "amnesia"
+
+    def test_failover_monitor_default_off(self):
+        config = RunConfig()
+        assert config.failover is False and config.monitor is False
+        assert config.to_dict()["failover"] is False
+        assert config.to_dict()["monitor"] is False
 
     def test_to_dict_resolves_warmup(self):
         assert RunConfig(ops=800).to_dict()["warmup"] == 200
 
 
-class TestRunWorkloadShim:
-    def test_config_object_no_warning(self, recwarn):
-        system = DSMSystem("write_through", N=3, S=100, P=30)
-        system.run_workload(_workload(), RunConfig(ops=400, seed=1))
-        deprecations = [w for w in recwarn.list
-                        if issubclass(w.category, DeprecationWarning)]
-        assert not deprecations
+class TestRemovedRunWorkloadForms:
+    """The v1.0 keyword/positional forms were removed in 1.2."""
 
-    def test_legacy_kwargs_warn(self):
+    def test_config_object_accepted(self):
         system = DSMSystem("write_through", N=3, S=100, P=30)
-        with pytest.warns(DeprecationWarning, match="RunConfig"):
+        result = system.run_workload(_workload(), RunConfig(ops=400, seed=1))
+        assert result.measured > 0
+
+    def test_legacy_kwargs_raise(self):
+        system = DSMSystem("write_through", N=3, S=100, P=30)
+        with pytest.raises(TypeError):
             system.run_workload(_workload(), num_ops=400, warmup=100, seed=1)
 
-    def test_legacy_positional_num_ops_warns(self):
+    def test_legacy_positional_num_ops_raises(self):
         system = DSMSystem("write_through", N=3, S=100, P=30)
-        with pytest.warns(DeprecationWarning, match="RunConfig"):
-            # historical defaults apply (warmup=500), so ops must exceed it
+        with pytest.raises(TypeError, match="RunConfig"):
             system.run_workload(_workload(), 800)
-
-    def test_legacy_matches_config(self):
-        old = DSMSystem("berkeley", N=3, S=100, P=30)
-        with pytest.warns(DeprecationWarning):
-            legacy = old.run_workload(_workload(), num_ops=600, warmup=150,
-                                      seed=5)
-        new = DSMSystem("berkeley", N=3, S=100, P=30)
-        modern = new.run_workload(
-            _workload(), RunConfig(ops=600, warmup=150, seed=5)
-        )
-        assert legacy.acc == modern.acc
-        assert legacy.messages == modern.messages
-
-    def test_config_plus_legacy_kwarg_rejected(self):
-        system = DSMSystem("write_through", N=3, S=100, P=30)
-        with pytest.raises(TypeError, match="both"):
-            system.run_workload(_workload(), RunConfig(ops=400), seed=1)
 
     def test_fabric_mismatch_rejected(self):
         system = DSMSystem("write_through", N=3, S=100, P=30)
         config = RunConfig(ops=400, faults=FaultPlan(seed=1, drop_rate=0.2))
         with pytest.raises(ValueError, match="fault"):
             system.run_workload(_workload(), config)
+
+    def test_failover_mismatch_rejected(self):
+        system = DSMSystem("write_through", N=3, S=100, P=30)
+        with pytest.raises(ValueError, match="failover"):
+            system.run_workload(_workload(), RunConfig(ops=400,
+                                                       failover=True))
+
+    def test_monitor_mismatch_rejected(self):
+        system = DSMSystem("write_through", N=3, S=100, P=30)
+        with pytest.raises(ValueError, match="monitor"):
+            system.run_workload(_workload(), RunConfig(ops=400,
+                                                       monitor=True))
 
     def test_matching_fabric_accepted(self):
         plan = FaultPlan(seed=1, drop_rate=0.1)
@@ -118,23 +129,17 @@ class TestRunWorkloadShim:
         assert result.measured > 0
 
 
-class TestCompareCellShim:
-    def test_config_object_no_warning(self, recwarn):
-        compare_cell("write_through", PARAMS, M=1,
-                     config=RunConfig(ops=400, warmup=100, seed=0))
-        deprecations = [w for w in recwarn.list
-                        if issubclass(w.category, DeprecationWarning)]
-        assert not deprecations
+class TestRemovedCompareCellForms:
+    def test_config_object_accepted(self):
+        cell = compare_cell("write_through", PARAMS, M=1,
+                            config=RunConfig(ops=400, warmup=100, seed=0))
+        assert cell.acc_sim >= 0
 
-    def test_legacy_kwargs_warn_and_match(self):
-        with pytest.warns(DeprecationWarning, match="RunConfig"):
-            legacy = compare_cell("write_through", PARAMS, M=1,
-                                  total_ops=400, warmup=100, seed=3)
-        modern = compare_cell("write_through", PARAMS, M=1,
-                              config=RunConfig(ops=400, warmup=100, seed=3))
-        assert legacy.acc_sim == modern.acc_sim
-        assert legacy.acc_analytic == modern.acc_analytic
+    def test_legacy_kwargs_raise(self):
+        with pytest.raises(TypeError):
+            compare_cell("write_through", PARAMS, M=1,
+                         total_ops=400, warmup=100, seed=3)
 
-    def test_legacy_positional_total_ops_warns(self):
-        with pytest.warns(DeprecationWarning, match="RunConfig"):
-            compare_cell("write_through", PARAMS, M=1, config=400, warmup=100)
+    def test_legacy_positional_total_ops_raises(self):
+        with pytest.raises(TypeError, match="RunConfig"):
+            compare_cell("write_through", PARAMS, M=1, config=400)

@@ -11,7 +11,7 @@ import pytest
 
 from repro.core.acc import analytical_acc
 from repro.core.parameters import Deviation, WorkloadParams
-from repro.sim import DSMSystem
+from repro.sim import DSMSystem, RunConfig
 from repro.workloads import SyntheticWorkload
 from tests.conftest import ALL_PROTOCOLS
 
@@ -26,8 +26,8 @@ def test_markov_predicts_simulation(protocol, deviation):
     predicted = analytical_acc(protocol, PARAMS, deviation, method="markov")
     workload = SyntheticWorkload(PARAMS, deviation, M=5)
     system = DSMSystem(protocol, N=PARAMS.N, M=5, S=PARAMS.S, P=PARAMS.P)
-    result = system.run_workload(workload, num_ops=5000, warmup=1000,
-                                 seed=2024, mean_gap=30.0)
+    result = system.run_workload(
+        workload, RunConfig(ops=5000, warmup=1000, seed=2024, mean_gap=30.0))
     system.check_coherence()
     assert predicted > 0
     rel = abs(result.acc - predicted) / predicted
@@ -43,8 +43,8 @@ def test_large_run_tightens_agreement():
     predicted = analytical_acc("berkeley", params, Deviation.READ)
     workload = SyntheticWorkload(params, Deviation.READ, M=1)
     system = DSMSystem("berkeley", N=4, M=1, S=100, P=30)
-    result = system.run_workload(workload, num_ops=20_000, warmup=2000,
-                                 seed=99, mean_gap=30.0)
+    result = system.run_workload(
+        workload, RunConfig(ops=20_000, warmup=2000, seed=99, mean_gap=30.0))
     assert result.acc == pytest.approx(predicted, rel=0.04)
 
 
@@ -57,8 +57,8 @@ def test_trace_mix_matches_markov_probabilities():
     pi = write_through_trace_probabilities(params, Deviation.READ)
     workload = SyntheticWorkload(params, Deviation.READ, M=1)
     system = DSMSystem("write_through", N=3, M=1, S=100, P=30)
-    system.run_workload(workload, num_ops=12_000, warmup=2000, seed=5,
-                        mean_gap=30.0)
+    system.run_workload(
+        workload, RunConfig(ops=12_000, warmup=2000, seed=5, mean_gap=30.0))
     hist = system.metrics.trace_histogram(skip=2000)
     total = sum(hist.values())
     tr2 = (("R-PER", "0"), ("R-GNT", "ui"))

@@ -2,7 +2,7 @@
 
 
 from repro.core.parameters import Deviation, WorkloadParams
-from repro.sim import DSMSystem
+from repro.sim import DSMSystem, RunConfig
 
 from .util import assert_equivalent, run_scripted
 
@@ -71,8 +71,9 @@ class TestCoherence:
         from repro.workloads import read_disturbance_workload
         params = WorkloadParams(N=N, p=0.3, a=3, sigma=0.1, S=S, P=P)
         system = DSMSystem("write_through_dir", N=N, M=2, S=S, P=P)
-        system.run_workload(read_disturbance_workload(params, M=2),
-                            num_ops=600, warmup=100, seed=4, mean_gap=2.0)
+        system.run_workload(
+            read_disturbance_workload(params, M=2),
+            RunConfig(ops=600, warmup=100, seed=4, mean_gap=2.0))
         system.check_coherence()
 
 

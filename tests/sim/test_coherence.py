@@ -10,7 +10,7 @@ migrating-owner protocols, and all message costs attributed.
 import pytest
 
 from repro.core.parameters import WorkloadParams
-from repro.sim import DSMSystem
+from repro.sim import DSMSystem, RunConfig
 from repro.workloads import (
     multiple_activity_centers_workload,
     read_disturbance_workload,
@@ -25,8 +25,8 @@ class TestQuiescentCoherence:
         params = WorkloadParams(N=4, p=0.3, a=3, sigma=0.15, S=50, P=10)
         wl = read_disturbance_workload(params, M=3)
         system = DSMSystem(protocol, N=4, M=3, S=50, P=10)
-        system.run_workload(wl, num_ops=800, warmup=100, seed=11,
-                            mean_gap=30.0)
+        system.run_workload(
+            wl, RunConfig(ops=800, warmup=100, seed=11, mean_gap=30.0))
         system.check_coherence()
 
     def test_write_disturbance_tight_gaps(self, protocol):
@@ -34,8 +34,8 @@ class TestQuiescentCoherence:
         params = WorkloadParams(N=4, p=0.3, a=3, xi=0.2, S=50, P=10)
         wl = write_disturbance_workload(params, M=2)
         system = DSMSystem(protocol, N=4, M=2, S=50, P=10)
-        res = system.run_workload(wl, num_ops=800, warmup=100, seed=7,
-                                  mean_gap=2.0)
+        res = system.run_workload(
+            wl, RunConfig(ops=800, warmup=100, seed=7, mean_gap=2.0))
         system.check_coherence()
         assert res.metrics.unattributed_cost == 0.0
 
@@ -43,8 +43,8 @@ class TestQuiescentCoherence:
         params = WorkloadParams(N=5, p=0.5, beta=4, S=50, P=10)
         wl = multiple_activity_centers_workload(params, M=2)
         system = DSMSystem(protocol, N=5, M=2, S=50, P=10)
-        system.run_workload(wl, num_ops=600, warmup=100, seed=3,
-                            mean_gap=1.0)
+        system.run_workload(
+            wl, RunConfig(ops=600, warmup=100, seed=3, mean_gap=1.0))
         system.check_coherence()
 
 
@@ -80,5 +80,6 @@ def test_fifo_violation_impossible_under_load():
     params = WorkloadParams(N=6, p=0.4, a=5, sigma=0.1, S=20, P=5)
     wl = read_disturbance_workload(params, M=4)
     system = DSMSystem("synapse", N=6, M=4, S=20, P=5)
-    system.run_workload(wl, num_ops=1500, warmup=100, seed=5, mean_gap=1.5)
+    system.run_workload(
+        wl, RunConfig(ops=1500, warmup=100, seed=5, mean_gap=1.5))
     system.check_coherence()

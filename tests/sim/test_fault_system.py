@@ -24,6 +24,7 @@ from repro.sim import (
     Network,
     ReliabilityConfig,
     ReliableNetwork,
+    RunConfig,
 )
 from repro.workloads import read_disturbance_workload
 
@@ -43,8 +44,9 @@ def run(protocol, faults=None, reliability=None, num_ops=1200, warmup=200,
         seed=3, **kwargs):
     system = DSMSystem(protocol, N=PARAMS.N, S=PARAMS.S, P=PARAMS.P,
                        faults=faults, reliability=reliability, **kwargs)
-    result = system.run_workload(workload(), num_ops=num_ops, warmup=warmup,
-                                 seed=seed)
+    config = RunConfig(ops=num_ops, warmup=warmup, seed=seed,
+                       faults=faults, reliability=reliability)
+    result = system.run_workload(workload(), config)
     return system, result
 
 

@@ -116,3 +116,76 @@ class TestCrashSchedule:
             (30.0, 2, "crash"),
             (40.0, 2, "recover"),
         ]
+
+
+class TestCrashSemanticsAndValidation:
+    def test_semantics_default_durable(self):
+        assert CrashWindow(1, 10.0).semantics == "durable"
+
+    def test_bad_semantics_rejected(self):
+        with pytest.raises(ValueError, match="semantics"):
+            CrashWindow(1, 10.0, 20.0, semantics="flaky")
+
+    def test_has_amnesia(self):
+        durable = FaultPlan(crashes=[(1, 10.0, 20.0)])
+        assert not durable.has_amnesia
+        mixed = FaultPlan(crashes=[
+            (1, 10.0, 20.0), (2, 5.0, 15.0, "amnesia"),
+        ])
+        assert mixed.has_amnesia
+
+    def test_overlapping_windows_same_node_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            FaultPlan(crashes=[(1, 10.0, 30.0), (1, 20.0, 40.0)])
+
+    def test_open_ended_window_overlap_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            FaultPlan(crashes=[(1, 10.0), (1, 50.0, 60.0)])
+
+    def test_adjacent_windows_same_node_allowed(self):
+        plan = FaultPlan(crashes=[(1, 10.0, 20.0), (1, 20.0, 30.0)])
+        assert plan.crash_edges() == [
+            (10.0, 1, "crash"),
+            (20.0, 1, "crash"),
+            (20.0, 1, "recover"),
+            (30.0, 1, "recover"),
+        ]
+
+    def test_overlapping_windows_different_nodes_allowed(self):
+        plan = FaultPlan(crashes=[(2, 5.0, 25.0), (1, 10.0, 20.0)])
+        assert plan.crash_edges() == [
+            (5.0, 2, "crash"),
+            (10.0, 1, "crash"),
+            (20.0, 1, "recover"),
+            (25.0, 2, "recover"),
+        ]
+
+    def test_validate_nodes(self):
+        plan = FaultPlan(crashes=[(4, 10.0, 20.0)])
+        plan.validate_nodes(4)  # sequencer of an N=3 system: fine
+        with pytest.raises(ValueError, match="node 4"):
+            plan.validate_nodes(3)
+        with pytest.raises(ValueError, match="node 0"):
+            FaultPlan(crashes=[(0, 10.0, 20.0)]).validate_nodes(4)
+
+    def test_semantics_round_trips(self):
+        plan = FaultPlan(crashes=[
+            (1, 10.0, 20.0), (2, 5.0, 15.0, "amnesia"), (3, 30.0),
+        ])
+        again = FaultPlan.from_dict(plan.to_dict())
+        assert again == plan
+        assert [w.semantics for w in again.crashes] == \
+            ["durable", "amnesia", "durable"]
+
+    def test_durable_serialization_shape_unchanged(self):
+        """Serialized durable-only plans keep the historical 3-element
+        crash entries (cache-key stability across versions)."""
+        plan = FaultPlan(crashes=[(1, 10.0, 20.0)])
+        assert plan.to_dict()["crashes"] == [[1, 10.0, 20.0]]
+
+    def test_semantics_in_config_key_and_describe(self):
+        durable = FaultPlan(crashes=[(1, 10.0, 20.0)])
+        amnesia = FaultPlan(crashes=[(1, 10.0, 20.0, "amnesia")])
+        assert durable != amnesia
+        assert "amnesia" in amnesia.describe()
+        assert "amnesia" not in durable.describe()

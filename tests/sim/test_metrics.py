@@ -116,3 +116,60 @@ class TestWindows:
         hist = m.trace_histogram()
         assert hist[()] == 2  # two purely local traces
         assert hist[(("W-PER", "w"),)] == 1
+
+
+class TestLatencyStatsEdges:
+    def _metrics(self, latencies):
+        m = Metrics()
+        for i, lat in enumerate(latencies, start=1):
+            m.register_op(i, 1, "read", 1, float(i))
+            m.record_complete(i, float(i) + lat)
+        return m
+
+    def test_empty_metrics_raise(self):
+        with pytest.raises(ValueError, match="no completed"):
+            Metrics().latency_stats()
+
+    def test_single_record_collapses_all_stats(self):
+        stats = self._metrics([7.0]).latency_stats()
+        assert stats == {
+            "mean": 7.0, "p50": 7.0, "p95": 7.0, "p99": 7.0, "max": 7.0,
+        }
+
+    def test_skip_drops_leading_completions(self):
+        stats = self._metrics([1.0, 2.0, 3.0]).latency_stats(skip=1)
+        assert stats["mean"] == 2.5
+        assert stats["max"] == 3.0
+
+    def test_take_bounds_the_window(self):
+        stats = self._metrics([1.0, 2.0, 3.0]).latency_stats(skip=1, take=1)
+        assert stats == {
+            "mean": 2.0, "p50": 2.0, "p95": 2.0, "p99": 2.0, "max": 2.0,
+        }
+
+    def test_skip_past_end_raises(self):
+        m = self._metrics([1.0, 2.0])
+        with pytest.raises(ValueError, match="no completed"):
+            m.latency_stats(skip=2)
+
+    def test_incomplete_ops_excluded(self):
+        m = self._metrics([4.0])
+        m.register_op(99, 1, "read", 1, 0.0)  # never completes
+        assert m.latency_stats()["mean"] == 4.0
+
+
+class TestRecoveryShare:
+    def test_recovery_cost_is_separate_breakdown_share(self):
+        m = Metrics()
+        for i in (1, 2):
+            m.register_op(i, 1, "read", 1, 0.0)
+            m.record_message(msg(i), 10.0)
+            m.record_complete(i, 1.0)
+        m.record_recovery_cost(6.0)
+        breakdown = m.average_cost_breakdown()
+        assert breakdown["protocol"] == 10.0
+        assert breakdown["recovery"] == 3.0
+        # "acc" keeps its PR-2 meaning: protocol + reliability only.
+        assert breakdown["acc"] == breakdown["protocol"] + \
+            breakdown["reliability"]
+        assert m.recovery.cost == 6.0

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.parameters import WorkloadParams
-from repro.sim import DSMSystem
+from repro.sim import DSMSystem, RunConfig
 from repro.sim.pool import ReplicaPool
 from repro.workloads import read_disturbance_workload
 
@@ -93,8 +93,8 @@ class TestPooledSystem:
         params = WorkloadParams(N=3, p=0.3, a=2, sigma=0.15, S=50, P=10)
         wl = read_disturbance_workload(params, M=5)
         system = DSMSystem(protocol, N=3, M=5, S=50, P=10, capacity=2)
-        system.run_workload(wl, num_ops=600, warmup=100, seed=9,
-                            mean_gap=10.0)
+        system.run_workload(
+            wl, RunConfig(ops=600, warmup=100, seed=9, mean_gap=10.0))
         system.check_coherence()
         from repro.sim.pool import PINNED_STATES
         pinned = PINNED_STATES.get(protocol, frozenset())

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.parameters import WorkloadParams
-from repro.sim import DSMSystem
+from repro.sim import DSMSystem, RunConfig
 from repro.workloads import read_disturbance_workload
 
 
@@ -33,9 +33,9 @@ class TestRunWorkload:
         params = WorkloadParams(N=3, p=0.3, a=2, sigma=0.2, S=100, P=30)
         wl = read_disturbance_workload(params, M=2)
         system = DSMSystem(protocol, N=3, M=2, S=100, P=30)
-        defaults = dict(num_ops=600, warmup=100, seed=1)
+        defaults = dict(ops=600, warmup=100, seed=1)
         defaults.update(kw)
-        return system, system.run_workload(wl, **defaults)
+        return system, system.run_workload(wl, RunConfig(**defaults))
 
     def test_all_ops_complete(self):
         system, res = self._run()
@@ -54,14 +54,14 @@ class TestRunWorkload:
 
     def test_warmup_must_be_smaller(self):
         with pytest.raises(ValueError):
-            self._run(num_ops=100, warmup=100)
+            self._run(ops=100, warmup=100)
 
     def test_workload_object_count_checked(self):
         params = WorkloadParams(N=3, p=0.3, a=2, sigma=0.2)
         wl = read_disturbance_workload(params, M=5)
         system = DSMSystem("write_through", N=3, M=2)
         with pytest.raises(ValueError):
-            system.run_workload(wl, num_ops=100, warmup=10)
+            system.run_workload(wl, RunConfig(ops=100, warmup=10))
 
     def test_cost_conservation(self):
         """Every charged message cost lands on exactly one operation."""

@@ -1,0 +1,45 @@
+"""Repo hygiene: no compiled/binary artifacts may be checked in."""
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def tracked_files():
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "-z"], cwd=REPO, check=True,
+            capture_output=True, text=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        pytest.skip("not a git checkout")
+    return [f for f in out.split("\0") if f]
+
+
+def test_no_bytecode_or_cache_dirs_tracked():
+    offenders = [
+        f for f in tracked_files()
+        if f.endswith((".pyc", ".pyo", ".pyd")) or "__pycache__" in f
+    ]
+    assert offenders == []
+
+
+def test_no_binary_files_tracked():
+    """Every tracked file is text (the repo ships no binary artifacts)."""
+    offenders = []
+    for name in tracked_files():
+        path = REPO / name
+        if not path.is_file():  # deleted in the working tree
+            continue
+        if b"\0" in path.read_bytes()[:8192]:
+            offenders.append(name)
+    assert offenders == []
+
+
+def test_gitignore_covers_bytecode():
+    patterns = (REPO / ".gitignore").read_text().splitlines()
+    assert "__pycache__/" in patterns
+    assert "*.py[cod]" in patterns

@@ -3,6 +3,7 @@
 import numpy as np
 
 from repro.core.parameters import Deviation, WorkloadParams
+from repro.sim import RunConfig
 from repro.validation import compare_cell, comparison_table
 
 
@@ -10,7 +11,7 @@ class TestCompareCell:
     def test_cell_fields(self):
         params = WorkloadParams(N=3, p=0.4, a=2, sigma=0.1, S=100, P=30)
         cell = compare_cell("write_through", params, M=5,
-                            total_ops=1200, warmup=200, seed=0)
+                            config=RunConfig(ops=1200, warmup=200, seed=0))
         assert cell.p == 0.4 and cell.disturb == 0.1
         assert cell.acc_analytic > 0 and cell.acc_sim > 0
         assert np.isfinite(cell.discrepancy_pct)
@@ -18,15 +19,15 @@ class TestCompareCell:
     def test_zero_point_has_zero_discrepancy(self):
         params = WorkloadParams(N=3, p=0.0, a=2, sigma=0.1, S=100, P=30)
         cell = compare_cell("berkeley", params, M=2,
-                            total_ops=400, warmup=100, seed=0)
+                            config=RunConfig(ops=400, warmup=100, seed=0))
         assert cell.acc_analytic == 0.0
         assert cell.acc_sim == 0.0
         assert cell.discrepancy_pct == 0.0
 
     def test_write_disturbance_cell(self):
         params = WorkloadParams(N=3, p=0.3, a=2, xi=0.1, S=100, P=30)
-        cell = compare_cell("write_through", params, Deviation.WRITE,
-                            M=2, total_ops=1200, warmup=200, seed=1)
+        cell = compare_cell("write_through", params, Deviation.WRITE, M=2,
+                            config=RunConfig(ops=1200, warmup=200, seed=1))
         assert abs(cell.discrepancy_pct) < 15.0
 
 
@@ -35,7 +36,8 @@ class TestComparisonTable:
         base = WorkloadParams(N=3, p=0.0, a=2, S=100, P=30)
         table = comparison_table(
             "write_through", base, p_values=[0.0, 0.6],
-            disturb_values=[0.0, 0.3], total_ops=300, warmup=50, M=2,
+            disturb_values=[0.0, 0.3], M=2,
+            config=RunConfig(ops=300, warmup=50),
         )
         combos = {(c.p, c.disturb) for c in table.cells}
         assert (0.6, 0.3) not in combos  # 0.6 + 2*0.3 > 1
@@ -46,14 +48,14 @@ class TestComparisonTable:
         base = WorkloadParams(N=3, p=0.0, a=2, S=100, P=30)
         table = comparison_table(
             "write_through_v", base, p_values=[0.2, 0.4],
-            disturb_values=[0.1, 0.2], total_ops=2500, warmup=500,
-            M=20, seed=0,
+            disturb_values=[0.1, 0.2], M=20,
+            config=RunConfig(ops=2500, warmup=500, seed=0),
         )
         assert table.max_abs_discrepancy_pct < 8.0
 
     def test_format_renders(self):
         base = WorkloadParams(N=3, p=0.0, a=2, S=100, P=30)
-        table = comparison_table("write_once", base, [0.3], [0.1],
-                                 total_ops=300, warmup=50, M=2)
+        table = comparison_table("write_once", base, [0.3], [0.1], M=2,
+                                 config=RunConfig(ops=300, warmup=50))
         text = table.format()
         assert "write_once" in text and "disc %" in text

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import DSMSystem
+from repro.sim import DSMSystem, RunConfig
 from repro.workloads import estimate_params
 from repro.workloads.apps import hot_cold, migratory, phased_spmd, producer_consumer
 
@@ -60,8 +60,9 @@ class TestPatternsMeetProtocols:
             wl = migratory(N=3, rounds=40, burst=4)
             wl.rewind()
             system = DSMSystem(proto, N=3, M=1, S=100, P=30)
-            res = system.run_workload(wl, num_ops=len(wl.ops),
-                                      warmup=len(wl.ops) // 5, seed=0)
+            res = system.run_workload(
+                wl, RunConfig(ops=len(wl.ops),
+                              warmup=len(wl.ops) // 5, seed=0))
             results[proto] = res.acc
         assert results["berkeley"] < results["write_through"]
         assert results["berkeley"] < results["firefly"]
@@ -74,8 +75,9 @@ class TestPatternsMeetProtocols:
                                    seed=3)
             wl.rewind()
             system = DSMSystem(proto, N=4, M=1, S=2000, P=10)
-            res = system.run_workload(wl, num_ops=len(wl.ops),
-                                      warmup=len(wl.ops) // 5, seed=0)
+            res = system.run_workload(
+                wl, RunConfig(ops=len(wl.ops),
+                              warmup=len(wl.ops) // 5, seed=0))
             results[proto] = res.acc
         assert results["dragon"] < results["synapse"]
 
