@@ -1,0 +1,129 @@
+"""Partition benchmark: ``acc`` overhead vs partition duration x detector
+timeout.
+
+Not a paper artifact — the paper's fabric never partitions — but the
+question the partition subsystem (:mod:`repro.sim.partition`) exists to
+answer: what does tolerating a severed client<->sequencer link cost, and
+how does the failure detector's probe cadence trade detection latency
+against heartbeat traffic?  The study cuts client 2 off from the
+sequencer for an increasing duration, under a fast and a slow detector,
+with the consistency monitor attached throughout.
+
+Expectations encoded as assertions: every cell completes with zero
+consistency violations, detector cost appears exactly when a partition
+plan is present and grows as the probe interval shrinks, and every
+healed cut drives the victim through at least one quarantine + rejoin.
+"""
+
+import math
+import os
+
+from repro.core.parameters import WorkloadParams
+from repro.exp import SweepCell, SweepSpec, run_sweep
+from repro.sim import PartitionPlan, RunConfig
+from repro.sim.partition import cut
+
+from .conftest import emit
+
+PARAMS = WorkloadParams(N=4, p=0.3, a=3, sigma=0.15, S=100.0, P=30.0)
+SEQUENCER = PARAMS.N + 1
+PROTOCOLS = ("write_through", "berkeley", "dragon")
+WORKERS = int(os.environ.get("REPRO_SWEEP_WORKERS", "2"))
+
+CUT_START = 2000.0
+#: partition durations (0 = no partition baseline)
+DURATIONS = (0.0, 1500.0, 4000.0)
+#: detector probe intervals; suspicion fires after 3 missed beats, so
+#: these give detection timeouts of ~60 and ~180 time units.
+INTERVALS = (20.0, 60.0)
+
+
+def build_spec() -> SweepSpec:
+    cells = []
+    for protocol in PROTOCOLS:
+        for duration in DURATIONS:
+            for interval in INTERVALS:
+                if duration > 0:
+                    plan = PartitionPlan(
+                        seed=11,
+                        links=cut(2, SEQUENCER, CUT_START,
+                                  CUT_START + duration),
+                        heartbeat_interval=interval,
+                        suspect_after=3,
+                    )
+                else:
+                    plan = None
+                cells.append(SweepCell(
+                    protocol=protocol, params=PARAMS, kind="sim", M=2,
+                    config=RunConfig(ops=2000, warmup=300, seed=21,
+                                     partitions=plan, monitor=True),
+                ))
+    return SweepSpec.explicit(cells)
+
+
+def run_study(out_path=None):
+    result = run_sweep(build_spec(), workers=WORKERS, out_path=out_path)
+    assert result.failed == 0, [r for r in result.rows
+                                if r["status"] == "failed"]
+    table = {}
+    it = iter(result.rows)
+    for protocol in PROTOCOLS:
+        for duration in DURATIONS:
+            for interval in INTERVALS:
+                table[(protocol, duration, interval)] = next(it)
+    return table
+
+
+def test_acc_vs_partition_duration(benchmark, results_dir):
+    out_path = results_dir / "partitions_acc.jsonl"
+    table = benchmark.pedantic(run_study, args=(out_path,),
+                               rounds=1, iterations=1)
+    columns = [(d, i) for d in DURATIONS for i in INTERVALS]
+    lines = [
+        "acc under a client<->sequencer cut "
+        "(duration x heartbeat interval; monitor on)",
+        f"{'protocol':16} " + " ".join(
+            f"{f'{d:g}/{i:g}':>12}" for d, i in columns
+        ),
+    ]
+    for protocol in PROTOCOLS:
+        lines.append(
+            f"{protocol:16} " + " ".join(
+                f"{table[(protocol, d, i)]['acc_sim']:12.2f}"
+                for d, i in columns
+            )
+        )
+    lines.append("")
+    lines.append("detector share per operation (same grid)")
+    for protocol in PROTOCOLS:
+        lines.append(
+            f"{protocol:16} " + " ".join(
+                f"{table[(protocol, d, i)].get('acc_detector_share', 0.0):12.3f}"
+                for d, i in columns
+            )
+        )
+    emit(results_dir, "partitions_acc_vs_duration.txt", "\n".join(lines))
+
+    for (protocol, duration, interval), cell in table.items():
+        assert math.isfinite(cell["acc_sim"]), (protocol, duration, interval)
+        assert cell["violations"] == 0, (protocol, duration, interval, cell)
+        if duration == 0:
+            assert "acc_detector_share" not in cell
+            assert "heartbeats" not in cell
+        else:
+            assert cell["acc_detector_share"] > 0.0, (protocol, duration)
+            assert cell["heartbeats"] > 0
+            # every healed cut is detected and healed: >= 1 quarantine
+            # and >= 1 rejoin, with the quarantine interval accounted
+            assert cell["suspicions"] >= 1, (protocol, duration, interval)
+            assert cell["partition_rejoins"] >= 1
+            assert cell["partition_time"] > 0.0
+    # a faster detector probes more, so its traffic share is larger
+    for protocol in PROTOCOLS:
+        for duration in DURATIONS[1:]:
+            fast = table[(protocol, duration, INTERVALS[0])]
+            slow = table[(protocol, duration, INTERVALS[1])]
+            assert fast["acc_detector_share"] > slow["acc_detector_share"], (
+                protocol, duration
+            )
+            assert fast["heartbeats"] > slow["heartbeats"]

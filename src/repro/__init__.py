@@ -37,7 +37,7 @@ Grid-shaped experiments go through the sweep engine::
     from repro.exp import SweepSpec, run_sweep
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from .core import (
     ALL_PROTOCOLS,
@@ -57,8 +57,11 @@ from .sim import (
     ConsistencyMonitor,
     ConsistencyViolation,
     CrashWindow,
+    DeliveryViolation,
     DSMSystem,
     FaultPlan,
+    LinkFault,
+    PartitionPlan,
     ReliabilityConfig,
     RunConfig,
     SimulationResult,
@@ -93,8 +96,11 @@ __all__ = [
     "ConsistencyMonitor",
     "ConsistencyViolation",
     "CrashWindow",
+    "DeliveryViolation",
     "DSMSystem",
     "FaultPlan",
+    "LinkFault",
+    "PartitionPlan",
     "ReliabilityConfig",
     "RunConfig",
     "SimulationResult",

@@ -1,0 +1,61 @@
+"""repro.chaos — deterministic chaos fuzzing with schedule shrinking.
+
+The robustness subsystems (fault injection, reliable delivery, crash
+recovery, partitions, the failure detector) each carry their own tests,
+but their *interactions* are where consistency bugs hide.  This package
+searches that interaction space mechanically:
+
+* :mod:`repro.chaos.generate` — one ``(base_seed, fuzz_seed, protocol)``
+  triple deterministically maps to one random fault + partition schedule;
+* :mod:`repro.chaos.runner` — runs every schedule through the sweep
+  engine with the consistency monitor on and classifies the rows;
+* :mod:`repro.chaos.shrink` — reduces each violating schedule to a
+  minimal reproducing cell, serialized as a self-contained repro JSON.
+
+Everything is a pure function of the seeds: the same campaign produces
+byte-identical findings on any machine, any worker count, any day —
+which is what makes a CI fuzz job's artifact trustworthy.
+
+Quickstart::
+
+    from repro.chaos import ChaosOptions, run_chaos
+
+    report = run_chaos(ChaosOptions(seeds=25))
+    assert report.ok, report.summary()
+"""
+
+from .generate import (
+    ALL_CHAOS_PROTOCOLS,
+    ChaosOptions,
+    chaos_cells,
+    generate_cell,
+)
+from .runner import (
+    VIOLATION_KINDS,
+    ChaosFinding,
+    ChaosReport,
+    load_repro,
+    replay_repro,
+    run_chaos,
+    violates,
+    write_repros,
+)
+from .shrink import ShrinkResult, fault_window_count, shrink
+
+__all__ = [
+    "ALL_CHAOS_PROTOCOLS",
+    "ChaosOptions",
+    "chaos_cells",
+    "generate_cell",
+    "VIOLATION_KINDS",
+    "ChaosFinding",
+    "ChaosReport",
+    "load_repro",
+    "replay_repro",
+    "run_chaos",
+    "violates",
+    "write_repros",
+    "ShrinkResult",
+    "fault_window_count",
+    "shrink",
+]

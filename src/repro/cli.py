@@ -44,6 +44,7 @@ from .exp import SweepSpec, SweepRunner
 from .protocols.registry import EXTENSION_PROTOCOLS, PROTOCOLS
 from .sim.config import RunConfig
 from .sim.faults import CrashWindow, FaultPlan
+from .sim.partition import PARTITION_POLICIES, LinkFault, PartitionPlan, cut
 from .sim.reliable import ReliabilityConfig
 from .sim.system import DSMSystem
 from .validation.compare import compare_cell
@@ -143,6 +144,40 @@ def _fault_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _partition_parent() -> argparse.ArgumentParser:
+    """``--cut --cut-one-way --heartbeat-interval ...``: link faults."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("network partitions")
+    group.add_argument("--cut", action="append", default=[],
+                       metavar="A:B:START[:END]",
+                       help="cut both directions of the A<->B link for "
+                            "[START, END) sim time (END omitted: never "
+                            "heals); repeatable")
+    group.add_argument("--cut-one-way", action="append", default=[],
+                       metavar="SRC:DST:START[:END]",
+                       help="cut only the SRC->DST direction "
+                            "(asymmetric partition); repeatable")
+    group.add_argument("--heartbeat-interval", type=float, default=40.0,
+                       help="failure-detector probe period (sim time)")
+    group.add_argument("--suspect-after", type=int, default=3,
+                       help="missed heartbeats before a node is "
+                            "suspected and quarantined")
+    group.add_argument("--partition-policy", choices=PARTITION_POLICIES,
+                       default="stall",
+                       help="degraded mode of a quarantined client: "
+                            "'stall' holds its operations, "
+                            "'serve_local_reads' answers queue-head "
+                            "reads from the stale replica (staleness is "
+                            "accounted, and such reads are exempt from "
+                            "the monitor's SC check)")
+    group.add_argument("--no-detector", action="store_true",
+                       help="disable the heartbeat failure detector "
+                            "(partitioned traffic just retries)")
+    group.add_argument("--partition-seed", type=int, default=0,
+                       help="seed of the partition plan's RNG stream")
+    return parent
+
+
 def _reliability_parent() -> argparse.ArgumentParser:
     """``--retry-timeout --retry-backoff --max-retries``."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -193,18 +228,56 @@ def _fault_plan(args: argparse.Namespace) -> Optional[FaultPlan]:
     return plan
 
 
+def _parse_link(spec: str, flag: str) -> tuple:
+    """Parse an ``A:B:START[:END]`` link-cut argument."""
+    parts = spec.split(":")
+    if len(parts) not in (3, 4):
+        raise ValueError(
+            f"invalid {flag} {spec!r}: expected A:B:START[:END]"
+        )
+    a, b, start = int(parts[0]), int(parts[1]), float(parts[2])
+    end = float(parts[3]) if len(parts) == 4 else None
+    return a, b, start, end
+
+
+def _partition_plan(args: argparse.Namespace) -> Optional[PartitionPlan]:
+    """Build the partition plan from the partition flags (or None)."""
+    links: List[LinkFault] = []
+    for spec in getattr(args, "cut", []):
+        a, b, start, end = _parse_link(spec, "--cut")
+        links.extend(cut(a, b, start, end)
+                     if end is not None else cut(a, b, start))
+    for spec in getattr(args, "cut_one_way", []):
+        a, b, start, end = _parse_link(spec, "--cut-one-way")
+        links.append(LinkFault(a, b, start, end)
+                     if end is not None else LinkFault(a, b, start))
+    if not links:
+        return None
+    plan = PartitionPlan(
+        seed=args.partition_seed,
+        links=links,
+        heartbeat_interval=args.heartbeat_interval,
+        suspect_after=args.suspect_after,
+        policy=args.partition_policy,
+        detect=not args.no_detector,
+    )
+    plan.validate_nodes(args.N + 1)
+    return plan
+
+
 def _run_config(args: argparse.Namespace) -> RunConfig:
     """The unified :class:`RunConfig` shared by simulate/validate/sweep."""
     faults = _fault_plan(args)
+    partitions = _partition_plan(args)
     reliability = (
         ReliabilityConfig(timeout=args.retry_timeout,
                           backoff=args.retry_backoff,
                           max_retries=args.max_retries)
-        if faults is not None else None
+        if faults is not None or partitions is not None else None
     )
     return RunConfig(ops=args.ops, warmup=args.warmup, seed=args.seed,
                      mean_gap=args.mean_gap, faults=faults,
-                     reliability=reliability,
+                     partitions=partitions, reliability=reliability,
                      failover=args.failover, monitor=args.monitor)
 
 
@@ -234,6 +307,7 @@ def build_parser() -> argparse.ArgumentParser:
     known = ", ".join(list(PROTOCOLS) + list(EXTENSION_PROTOCOLS))
     system, point = _system_parent(), _point_parent()
     run, fault, rel = _run_parent(), _fault_parent(), _reliability_parent()
+    part = _partition_parent()
 
     p_acc = sub.add_parser("acc", help="analytic steady-state cost",
                            parents=[system, point])
@@ -245,7 +319,7 @@ def build_parser() -> argparse.ArgumentParser:
                    parents=[system, point])
 
     p_sim = sub.add_parser("simulate", help="run the simulator",
-                           parents=[system, point, run, fault, rel])
+                           parents=[system, point, run, fault, part, rel])
     p_sim.add_argument("protocol", help=f"one of: {known}")
     p_sim.add_argument("--M", type=int, default=1,
                        help="number of shared objects")
@@ -261,7 +335,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_val = sub.add_parser("validate",
                            help="analytical vs simulated acc (Table 7 cell)",
-                           parents=[system, point, run, fault, rel])
+                           parents=[system, point, run, fault, part, rel])
     p_val.add_argument("protocol", help=f"one of: {known}")
     p_val.add_argument("--M", type=int, default=20,
                        help="number of shared objects")
@@ -269,7 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep = sub.add_parser(
         "sweep",
         help="evaluate a parameter grid through the sweep engine",
-        parents=[system, run, fault, rel],
+        parents=[system, run, fault, part, rel],
     )
     p_sweep.add_argument("--protocols", type=_csv_protocols,
                          default=list(PROTOCOLS), metavar="NAME[,NAME...]",
@@ -299,6 +373,46 @@ def build_parser() -> argparse.ArgumentParser:
                          help="disable the result cache")
     p_sweep.add_argument("--quiet", action="store_true",
                          help="suppress per-cell progress output")
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="deterministic chaos fuzzing with schedule shrinking",
+        description="Fuzz random fault+partition schedules across "
+                    "protocols with the consistency monitor on; every "
+                    "violating schedule is shrunk to a minimal "
+                    "reproducing cell and written as a repro JSON.",
+    )
+    p_chaos.add_argument("--seeds", type=int, default=25,
+                         help="fuzz seeds per protocol")
+    p_chaos.add_argument("--base-seed", type=int, default=0,
+                         help="campaign base seed (same base seed -> "
+                              "byte-identical findings)")
+    p_chaos.add_argument("--protocols", type=_csv_protocols,
+                         default=[], metavar="NAME[,NAME...]",
+                         help="comma-separated protocols or 'all' "
+                              "(default: every protocol incl. extensions; "
+                              f"known: {known})")
+    p_chaos.add_argument("--N", type=int, default=4,
+                         help="clients per fuzzed system")
+    p_chaos.add_argument("--M", type=int, default=2,
+                         help="shared objects per fuzzed system")
+    p_chaos.add_argument("--ops", type=int, default=300,
+                         help="operations per fuzzed run")
+    p_chaos.add_argument("--mean-gap", type=float, default=25.0,
+                         help="mean Poisson inter-arrival gap")
+    p_chaos.add_argument("--shrink-budget", type=int, default=64,
+                         help="max simulator runs per finding's shrink")
+    p_chaos.add_argument("--workers", type=int, default=1,
+                         help="worker processes for the fuzzing sweep")
+    p_chaos.add_argument("--out", default=None,
+                         help="optional JSONL path for every fuzzed row")
+    p_chaos.add_argument("--repro-dir", default="chaos-repros",
+                         help="directory for shrunk repro JSON files")
+    p_chaos.add_argument("--replay", metavar="REPRO_JSON", default=None,
+                         help="re-run a repro file's shrunk schedule "
+                              "instead of fuzzing")
+    p_chaos.add_argument("--quiet", action="store_true",
+                         help="suppress per-cell progress output")
     return parser
 
 
@@ -312,7 +426,8 @@ def _cmd_simulate(args: argparse.Namespace, deviation: Deviation,
     system = DSMSystem(args.protocol, N=params.N, M=args.M,
                        S=params.S, P=params.P,
                        capacity=args.capacity,
-                       faults=config.faults, reliability=config.reliability,
+                       faults=config.faults, partitions=config.partitions,
+                       reliability=config.reliability,
                        failover=config.failover, monitor=config.monitor)
     workload = SyntheticWorkload(params, deviation, M=args.M)
     result = system.run_workload(workload, config)
@@ -330,14 +445,19 @@ def _cmd_simulate(args: argparse.Namespace, deviation: Deviation,
         lat = result.metrics.latency_stats(skip=warmup)
         print(f"latency mean/p95 = {lat['mean']:.2f} / "
               f"{lat['p95']:.2f}")
-    if config.faults is not None:
-        print(f"faults          = {config.faults.describe()}")
+    if config.faults is not None or config.partitions is not None:
+        if config.faults is not None:
+            print(f"faults          = {config.faults.describe()}")
+        if config.partitions is not None:
+            print(f"partitions      = {config.partitions.describe()}")
         if result.measured > 0:
             breakdown = system.metrics.average_cost_breakdown(skip=warmup)
             parts = (f"{breakdown['protocol']:.4f} protocol"
                      f" + {breakdown['reliability']:.4f} reliability")
             if system.recovery is not None:
                 parts += f" (+ {breakdown['recovery']:.4f} recovery)"
+            if config.partitions is not None and config.partitions.detect:
+                parts += f" (+ {breakdown['detector']:.4f} detector)"
             print(f"acc breakdown   = {parts}")
         print(f"retransmissions = {stats.retransmissions}")
         print(f"acks            = {stats.acks}")
@@ -349,6 +469,21 @@ def _cmd_simulate(args: argparse.Namespace, deviation: Deviation,
         if stats.delivery_failures:
             print(f"delivery failures  = {stats.delivery_failures} "
                   f"({result.incomplete_ops} ops incomplete)")
+            for v in result.violations:
+                if v.kind == "delivery":
+                    print(f"  [delivery] {v.detail}")
+        if config.partitions is not None:
+            part = system.metrics.partition
+            print(f"heartbeats      = {part.heartbeats} "
+                  f"({part.suspicions} suspicions, "
+                  f"{part.rejoins} rejoins)")
+            print(f"partition time  = {part.partition_time:.1f}")
+            if part.stale_reads_served:
+                print(f"stale reads served = {part.stale_reads_served}")
+            if part.sends_absorbed:
+                print(f"sends absorbed  = {part.sends_absorbed}")
+            if part.ops_stalled:
+                print(f"ops stalled     = {part.ops_stalled}")
         if system.recovery is not None:
             rec = system.metrics.recovery
             print(f"epoch resets    = {rec.epoch_resets}"
@@ -366,9 +501,11 @@ def _cmd_simulate(args: argparse.Namespace, deviation: Deviation,
         )
         print(f"pool evictions  = {evictions}")
     if system.monitor is not None:
-        if result.violations:
-            print(f"consistency VIOLATIONS = {len(result.violations)}")
-            for v in result.violations:
+        consistency = [v for v in result.violations
+                       if v.kind != "delivery"]
+        if consistency:
+            print(f"consistency VIOLATIONS = {len(consistency)}")
+            for v in consistency:
                 print(f"  [{v.kind}] obj {v.obj}: {v.detail}")
             return 1
         suffix = (f" ({system.monitor.inconclusive} inconclusive)"
@@ -434,11 +571,75 @@ def _cmd_sweep(args: argparse.Namespace, deviation: Deviation) -> int:
     return 1 if result.failed else 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .chaos import (ChaosOptions, load_repro, replay_repro, run_chaos,
+                        violates, write_repros)
+
+    if args.replay is not None:
+        cell = load_repro(args.replay)
+        print(f"replaying {args.replay}: {cell.protocol}")
+        if cell.config is not None:
+            if cell.config.faults is not None:
+                print(f"  faults:     {cell.config.faults.describe()}")
+            if cell.config.partitions is not None:
+                print(f"  partitions: "
+                      f"{cell.config.partitions.describe()}")
+        row = replay_repro(args.replay)
+        if violates(row):
+            kinds = ", ".join(row.get("violation_kinds", ())) or \
+                row.get("error", "failed")
+            print(f"reproduced: {kinds}")
+            return 1
+        print("did NOT reproduce (row is clean)")
+        return 0
+
+    options = ChaosOptions(
+        base_seed=args.base_seed,
+        seeds=args.seeds,
+        protocols=tuple(args.protocols),
+        N=args.N,
+        M=args.M,
+        ops=args.ops,
+        mean_gap=args.mean_gap,
+        shrink_budget=args.shrink_budget,
+        workers=args.workers,
+    )
+
+    def progress(done: int, total: int, row: dict) -> None:
+        flag = " VIOLATION" if violates(row) else ""
+        print(f"[{done}/{total}] {row['protocol']} "
+              f"seed={row['seed']}{flag}", file=sys.stderr)
+
+    def shrink_progress(finding) -> None:
+        print(f"shrinking {finding.protocol} "
+              f"fuzz_seed={finding.fuzz_seed}: "
+              f"{finding.fault_windows} window(s) left after "
+              f"{finding.shrink_runs} run(s)", file=sys.stderr)
+
+    report = run_chaos(
+        options,
+        out_path=args.out,
+        progress=None if args.quiet else progress,
+        shrink_progress=None if args.quiet else shrink_progress,
+    )
+    print(report.summary())
+    if report.ok:
+        return 0
+    paths = write_repros(report, args.repro_dir)
+    for finding, path in zip(report.findings, paths):
+        print()
+        print(finding.describe())
+        print(f"  repro:      {path}")
+    return 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    deviation = _DEVIATIONS[args.deviation]
+    deviation = _DEVIATIONS[getattr(args, "deviation", "read")]
     try:
+        if args.command == "chaos":
+            return _cmd_chaos(args)
         if getattr(args, "protocol", None) is not None:
             # resolve early for a uniform "unknown protocol" error.
             from .protocols.registry import get_protocol

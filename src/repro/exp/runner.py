@@ -86,11 +86,15 @@ def run_cell(cell: SweepCell) -> dict:
             faults=(None if config.faults is None
                     else config.faults.to_dict()),
         )
+        if config.partitions is not None:
+            row["partitions"] = config.partitions.to_dict()
         system = DSMSystem(
             cell.protocol, N=cell.params.N, M=cell.M,
             S=cell.params.S, P=cell.params.P,
             faults=(None if config.faults is None
                     else config.faults.replay()),
+            partitions=(None if config.partitions is None
+                        else config.partitions.replay()),
             reliability=config.reliability,
             failover=config.failover,
             monitor=config.monitor,
@@ -117,7 +121,8 @@ def run_cell(cell: SweepCell) -> dict:
                 system.metrics.average_cost_breakdown(
                     skip=config.resolved_warmup)
                 if result.measured > 0
-                else {"protocol": nan, "reliability": nan, "recovery": nan}
+                else {"protocol": nan, "reliability": nan, "recovery": nan,
+                      "detector": nan}
             )
             row.update(
                 acc_protocol_share=_finite(breakdown["protocol"]),
@@ -139,6 +144,18 @@ def run_cell(cell: SweepCell) -> dict:
                     resync_objects=rec.resync_objects,
                     resync_cost=_finite(rec.resync_cost),
                     quarantine_time=_finite(rec.quarantine_time),
+                )
+            if system.partitions is not None:
+                part = system.metrics.partition
+                row.update(
+                    acc_detector_share=_finite(breakdown["detector"]),
+                    heartbeats=part.heartbeats,
+                    suspicions=part.suspicions,
+                    partition_rejoins=part.rejoins,
+                    stale_reads_served=part.stale_reads_served,
+                    sends_absorbed=part.sends_absorbed,
+                    ops_stalled=part.ops_stalled,
+                    partition_time=_finite(part.partition_time),
                 )
         if config.monitor:
             row.update(

@@ -12,12 +12,29 @@ from .config import RunConfig
 from .engine import EventScheduler, TimerHandle
 from .faults import CRASH_SEMANTICS, CrashWindow, FaultPlan
 from .locks import LockClient, LockManager
-from .metrics import Metrics, OpRecord, RecoveryStats, ReliabilityStats
+from .metrics import (
+    Metrics,
+    OpRecord,
+    PartitionStats,
+    RecoveryStats,
+    ReliabilityStats,
+)
 from .monitor import ConsistencyMonitor, ConsistencyViolation
 from .node import ClusterView, ObjectPort, SimNode
+from .partition import (
+    PARTITION_POLICIES,
+    FailureDetector,
+    LinkFault,
+    PartitionPlan,
+)
 from .pool import ReplicaPool
 from .recovery import RecoveryManager, WriteLog
-from .reliable import Frame, ReliabilityConfig, ReliableNetwork
+from .reliable import (
+    DeliveryViolation,
+    Frame,
+    ReliabilityConfig,
+    ReliableNetwork,
+)
 from .system import DSMSystem, SimulationResult
 
 __all__ = [
@@ -31,11 +48,17 @@ __all__ = [
     "CRASH_SEMANTICS",
     "CrashWindow",
     "FaultPlan",
+    "DeliveryViolation",
     "Frame",
     "ReliabilityConfig",
     "ReliableNetwork",
+    "PARTITION_POLICIES",
+    "FailureDetector",
+    "LinkFault",
+    "PartitionPlan",
     "Metrics",
     "OpRecord",
+    "PartitionStats",
     "RecoveryStats",
     "ReliabilityStats",
     "ClusterView",

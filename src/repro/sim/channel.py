@@ -29,6 +29,7 @@ from typing import Callable, Dict, Optional, Tuple
 from ..machines.message import Message
 from .engine import EventScheduler
 from .faults import FaultPlan
+from .partition import PartitionPlan
 
 __all__ = ["Network"]
 
@@ -47,6 +48,10 @@ class Network:
             charged (inter-node) send.
         faults: optional fault plan; ``None`` or :meth:`FaultPlan.none`
             keeps the paper-faithful fault-free fabric.
+        partitions: optional link-fault plan
+            (:class:`~repro.sim.partition.PartitionPlan`); per-link
+            drop/duplicate/jitter decisions are layered over the global
+            plan's (a transmission is lost if *either* says so).
         on_fault: optional observer, called with ``"drop"``,
             ``"duplicate"``, ``"down_src"`` or ``"down_dst"`` for every
             injected fault event.
@@ -58,6 +63,7 @@ class Network:
         latency: float = 1.0,
         on_cost: Optional[Callable[[Message, float], None]] = None,
         faults: Optional[FaultPlan] = None,
+        partitions: Optional[PartitionPlan] = None,
         on_fault: Optional[Callable[[str], None]] = None,
     ):
         if latency <= 0:
@@ -68,6 +74,9 @@ class Network:
         # a no-fault plan is normalized away: the fault-free path below is
         # then byte-for-byte the paper's fabric (pay-for-what-you-use).
         self.faults = faults if faults is not None and not faults.is_none else None
+        self.partitions = (partitions
+                           if partitions is not None and not partitions.is_none
+                           else None)
         self.on_fault = on_fault
         self._deliver_to: Dict[int, Callable[[Message], None]] = {}
         # FIFO bookkeeping: per-channel send / delivery counters.  True
@@ -108,8 +117,10 @@ class Network:
                 f"cannot send {type(msg).__name__} from node {msg.src}: "
                 f"destination node {msg.dst} is not attached to the network"
             )
-        faulty = self.faults is not None and msg.src != msg.dst
-        if faulty and self.faults.is_down(msg.src, self.scheduler.now):
+        faulty = ((self.faults is not None or self.partitions is not None)
+                  and msg.src != msg.dst)
+        if (faulty and self.faults is not None
+                and self.faults.is_down(msg.src, self.scheduler.now)):
             # the source's interface is dead: nothing leaves the node and
             # nothing is charged (the message was never emitted).
             self.suppressed += 1
@@ -138,9 +149,11 @@ class Network:
 
         # ---- fault path: drops, duplicates, jitter, dead receivers ----
         plan = self.faults
+        parts = self.partitions
+        now = self.scheduler.now
 
         def deliver_faulty() -> None:
-            if plan.is_down(msg.dst, self.scheduler.now):
+            if plan is not None and plan.is_down(msg.dst, self.scheduler.now):
                 # the receiver is crashed: the transmission is lost.
                 self.dropped += 1
                 self._fault_event("down_dst")
@@ -152,16 +165,31 @@ class Network:
                 self._delivered_seq[channel] = seq
             self._deliver_to[msg.dst](msg)
 
-        if plan.should_drop(msg.src, msg.dst):
+        def jittered_delay() -> float:
+            delay = self.latency
+            if plan is not None:
+                delay += plan.jitter_for(msg.src, msg.dst)
+            if parts is not None:
+                delay += parts.jitter_for(msg.src, msg.dst, now)
+            return delay
+
+        # the global plan rolls first; a loss there short-circuits the
+        # link roll (both streams are private, so this stays deterministic)
+        dropped = ((plan is not None and plan.should_drop(msg.src, msg.dst))
+                   or (parts is not None
+                       and parts.should_drop(msg.src, msg.dst, now)))
+        if dropped:
             self.dropped += 1
             self._fault_event("drop")
         else:
-            delay = self.latency + plan.jitter_for(msg.src, msg.dst)
-            self.scheduler.schedule(delay, deliver_faulty)
-        if plan.should_duplicate(msg.src, msg.dst):
+            self.scheduler.schedule(jittered_delay(), deliver_faulty)
+        duplicated = ((plan is not None
+                       and plan.should_duplicate(msg.src, msg.dst))
+                      or (parts is not None
+                          and parts.should_duplicate(msg.src, msg.dst, now)))
+        if duplicated:
             self.duplicated += 1
             self._fault_event("duplicate")
-            delay = self.latency + plan.jitter_for(msg.src, msg.dst)
-            self.scheduler.schedule(delay, deliver_faulty)
+            self.scheduler.schedule(jittered_delay(), deliver_faulty)
         return cost
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Dict, Optional
 
 from .faults import FaultPlan
+from .partition import PartitionPlan
 from .reliable import ReliabilityConfig
 
 __all__ = ["RunConfig"]
@@ -41,8 +42,12 @@ class RunConfig:
         max_events: event-count safety net for the scheduler.
         faults: optional :class:`FaultPlan`; ``None`` keeps the
             paper-faithful fault-free fabric.
+        partitions: optional :class:`PartitionPlan` of link-level faults
+            (timed, possibly asymmetric cuts and per-link overrides) plus
+            the failure-detector knobs; layered over ``faults``.
         reliability: optional :class:`ReliabilityConfig`; defaults are
-            applied when ``faults`` is given without one.
+            applied when ``faults`` or ``partitions`` is given without
+            one.
         failover: enable sequencer failover (deterministic standby
             election when the current sequencer crashes); only meaningful
             together with a fault plan containing crash windows.
@@ -56,6 +61,7 @@ class RunConfig:
     mean_gap: float = 25.0
     max_events: int = 50_000_000
     faults: Optional[FaultPlan] = None
+    partitions: Optional[PartitionPlan] = None
     reliability: Optional[ReliabilityConfig] = None
     failover: bool = False
     monitor: bool = False
@@ -75,6 +81,8 @@ class RunConfig:
         # a no-fault plan is the same as no plan (pay-for-what-you-use)
         if self.faults is not None and self.faults.is_none:
             object.__setattr__(self, "faults", None)
+        if self.partitions is not None and self.partitions.is_none:
+            object.__setattr__(self, "partitions", None)
 
     @property
     def resolved_warmup(self) -> int:
@@ -86,7 +94,9 @@ class RunConfig:
         """The effective reliability config (defaults under a fault plan)."""
         if self.reliability is not None:
             return self.reliability
-        return ReliabilityConfig() if self.faults is not None else None
+        if self.faults is not None or self.partitions is not None:
+            return ReliabilityConfig()
+        return None
 
     def with_(self, **changes: Any) -> "RunConfig":
         """Return a copy with the given fields replaced (validates again)."""
@@ -111,6 +121,10 @@ class RunConfig:
             "mean_gap": float(self.mean_gap),
             "max_events": int(self.max_events),
             "faults": None if self.faults is None else self.faults.to_dict(),
+            "partitions": (
+                None if self.partitions is None
+                else self.partitions.to_dict()
+            ),
             "reliability": (
                 None if self.reliability is None
                 else self.reliability.to_dict()
@@ -123,6 +137,7 @@ class RunConfig:
     def from_dict(cls, data: Dict[str, Any]) -> "RunConfig":
         """Rebuild a config from :meth:`to_dict` output."""
         faults = data.get("faults")
+        partitions = data.get("partitions")
         reliability = data.get("reliability")
         return cls(
             ops=int(data["ops"]),
@@ -131,6 +146,10 @@ class RunConfig:
             mean_gap=float(data.get("mean_gap", 25.0)),
             max_events=int(data.get("max_events", 50_000_000)),
             faults=None if faults is None else FaultPlan.from_dict(faults),
+            partitions=(
+                None if partitions is None
+                else PartitionPlan.from_dict(partitions)
+            ),
             reliability=(
                 None if reliability is None
                 else ReliabilityConfig.from_dict(reliability)

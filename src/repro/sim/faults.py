@@ -319,8 +319,14 @@ class FaultPlan:
             parts.append(f"dup={self.duplicate_rate:g}")
         if self.jitter:
             parts.append(f"jitter<={self.jitter:g}")
+        # group windows sharing (start, end, semantics) into node lists so
+        # dumps of wide schedules (chaos repros) stay human-readable.
+        groups: dict = {}
         for w in self.crashes:
-            end = "∞" if math.isinf(w.end) else f"{w.end:g}"
-            tag = "" if w.semantics == "durable" else f", {w.semantics}"
-            parts.append(f"crash(node {w.node}: {w.start:g}..{end}{tag})")
+            groups.setdefault((w.start, w.end, w.semantics), []).append(w.node)
+        for (start, end_t, semantics), nodes in groups.items():
+            end = "∞" if math.isinf(end_t) else f"{end_t:g}"
+            label = (f"node {nodes[0]}" if len(nodes) == 1
+                     else "nodes " + ",".join(str(n) for n in sorted(nodes)))
+            parts.append(f"crash({label}: {start:g}..{end}, {semantics})")
         return ", ".join(parts)

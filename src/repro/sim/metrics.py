@@ -23,7 +23,8 @@ from typing import Dict, List, Optional, Tuple
 
 from ..machines.message import Message
 
-__all__ = ["OpRecord", "RecoveryStats", "ReliabilityStats", "Metrics"]
+__all__ = ["OpRecord", "PartitionStats", "RecoveryStats", "ReliabilityStats",
+           "Metrics"]
 
 
 @dataclass(slots=True)
@@ -119,6 +120,36 @@ class RecoveryStats:
     cost: float = 0.0
 
 
+@dataclass(slots=True)
+class PartitionStats:
+    """Counters for link partitions and the heartbeat failure detector.
+
+    All zero without a :class:`~repro.sim.partition.PartitionPlan`.
+    ``cost`` is the total communication cost of detector traffic (probes
+    and replies); like recovery traffic it serves the system as a whole,
+    so :meth:`Metrics.average_cost_breakdown` amortizes it over the
+    measurement window as a separate ``detector`` share.
+    """
+
+    #: heartbeat probes sent by the sequencer-side failure detector
+    heartbeats: int = 0
+    #: nodes declared suspect (``suspect_after`` consecutive missed beats)
+    suspicions: int = 0
+    #: partition-quarantined nodes driven through a resync rejoin
+    rejoins: int = 0
+    #: reads served from a stale local replica under ``serve_local_reads``
+    stale_reads_served: int = 0
+    #: sends to quarantined destinations absorbed instead of retried
+    sends_absorbed: int = 0
+    #: local operations still gated at quarantined nodes at run end
+    ops_stalled: int = 0
+    #: total simulated time nodes spent partition-quarantined (healed
+    #: partitions only; a node still quarantined at run end is not counted)
+    partition_time: float = 0.0
+    #: total communication cost of detector probes and replies
+    cost: float = 0.0
+
+
 class Metrics:
     """Accumulates operation records and computes steady-state ``acc``."""
 
@@ -132,6 +163,9 @@ class Metrics:
         self.reliability = ReliabilityStats()
         #: crash-recovery counters (all zero without amnesia/failover)
         self.recovery = RecoveryStats()
+        #: partition / failure-detector counters (all zero without a
+        #: partition plan)
+        self.partition = PartitionStats()
 
     # ------------------------------------------------------------------
     # recording
@@ -181,6 +215,16 @@ class Metrics:
         """
         self.recovery.cost += cost
 
+    def record_detector_cost(self, cost: float) -> None:
+        """Charge failure-detector traffic (heartbeat probes and replies).
+
+        Like recovery traffic, detector traffic serves the system as a
+        whole rather than one operation; it is tracked in
+        :attr:`PartitionStats.cost` and amortized over the measurement
+        window by :meth:`average_cost_breakdown`.
+        """
+        self.partition.cost += cost
+
     def record_complete(self, op_id: int, time: float) -> None:
         """Mark an operation complete (in global completion order)."""
         rec = self._ops[op_id]
@@ -217,17 +261,19 @@ class Metrics:
 
     def average_cost_breakdown(self, skip: int = 0, take: Optional[int] = None
                                ) -> Dict[str, float]:
-        """Split steady-state ``acc`` into protocol/reliability/recovery.
+        """Split steady-state ``acc`` into its cost shares.
 
-        Returns ``{"acc", "protocol", "reliability", "recovery"}`` where
-        ``acc`` is the usual per-operation total (``protocol +
-        reliability``), ``protocol`` is the cost the coherence traces
-        would incur on a fault-free fabric, ``reliability`` is the
-        per-operation overhead of retransmissions and acknowledgements,
-        and ``recovery`` is the crash-recovery subsystem's system-level
-        traffic (elections, epoch announcements, resynchronization
-        transfers) amortized over the same window — it rides on top of
-        ``acc`` rather than inside it because it is not attributable to
+        Returns ``{"acc", "protocol", "reliability", "recovery",
+        "detector"}`` where ``acc`` is the usual per-operation total
+        (``protocol + reliability``), ``protocol`` is the cost the
+        coherence traces would incur on a fault-free fabric,
+        ``reliability`` is the per-operation overhead of retransmissions
+        and acknowledgements, and ``recovery`` / ``detector`` are the
+        crash-recovery subsystem's and the failure detector's
+        system-level traffic (elections, epoch announcements,
+        resynchronization transfers; heartbeat probes and replies)
+        amortized over the same window — they ride on top of ``acc``
+        rather than inside it because they are not attributable to
         individual operations.
         """
         recs = self.records(skip, take)
@@ -240,6 +286,7 @@ class Metrics:
             "protocol": total - overhead,
             "reliability": overhead,
             "recovery": self.recovery.cost / len(recs),
+            "detector": self.partition.cost / len(recs),
         }
 
     def average_cost_by(self, skip: int = 0, take: Optional[int] = None

@@ -91,6 +91,11 @@ class ConsistencyMonitor:
         self._completed_ids: Set[int] = set()
         # version vectors: (node, obj) -> install count
         self._installs: Dict[Tuple[int, int], int] = {}
+        #: reads served from a stale replica under partition degraded mode
+        self.stale_reads = 0
+        # op ids of those reads: flagged before completion, so
+        # on_complete can keep them out of the SC witness history
+        self._degraded: Set[int] = set()
 
     # ------------------------------------------------------------------
     # observer hooks
@@ -106,10 +111,22 @@ class ConsistencyMonitor:
         if op.kind not in (READ, WRITE):
             return
         self._completed_ids.add(op.op_id)
+        if op.op_id in self._degraded:
+            # a stale read served under partition degraded mode: the
+            # policy *advertises* weaker-than-SC semantics for it, so it
+            # is counted (``stale_reads``) but excluded from the witness
+            # search — including it would report the staleness the user
+            # opted into as a sequential-consistency violation.
+            return
         value = op.result if op.kind == READ else op.params
         self._history.setdefault(op.obj, {}).setdefault(
             op.node, []
         ).append((op.kind, value))
+
+    def on_degraded_read(self, op: Operation) -> None:
+        """Flag ``op`` as a stale read about to be served degraded."""
+        self.stale_reads += 1
+        self._degraded.add(op.op_id)
 
     def on_install(self, node: int, obj: int, value: object,
                    time: float) -> None:

@@ -54,13 +54,16 @@ class ClusterView:
     the whole system switches to the new sequencer atomically.
     """
 
-    __slots__ = ("sequencer_id", "epoch")
+    __slots__ = ("sequencer_id", "epoch", "quarantined")
 
     def __init__(self, sequencer_id: int):
         #: the node currently acting as the sequencer
         self.sequencer_id = sequencer_id
         #: current view-change epoch (mirrors the transport's epoch)
         self.epoch = 0
+        #: node ids currently evicted from the view (amnesia rejoin or
+        #: partition quarantine); the transport absorbs sends to them
+        self.quarantined: set[int] = set()
 
 
 class ObjectPort(ProcessContext):
@@ -76,6 +79,10 @@ class ObjectPort(ProcessContext):
         #: local request queue and its gate
         self.local_queue: Deque[Operation] = deque()
         self.local_enabled: bool = True
+        #: partition degraded mode (``serve_local_reads`` policy): while
+        #: the gate is closed by a partition quarantine, queue-head reads
+        #: may be answered from the stale local replica
+        self.degraded_reads: bool = False
         #: dispatched-but-incomplete operations (op_id -> Operation); the
         #: recovery subsystem re-drives these after an epoch reset
         self.inflight: Dict[int, Operation] = {}
@@ -149,6 +156,28 @@ class ObjectPort(ProcessContext):
             op = self.local_queue.popleft()
             self.inflight[op.op_id] = op
             self.process.on_request(op)
+        if not self.local_enabled and self.degraded_reads:
+            self._pump_degraded()
+
+    def _pump_degraded(self) -> None:
+        """Serve queue-head reads from the stale local replica.
+
+        Only reads, only while the local copy is readable, and only up to
+        the first non-read — program order is preserved; the write (and
+        everything behind it) stalls until the partition heals.  Served
+        reads are counted as stale and flagged to the observer *before*
+        completion, so the consistency monitor can exclude them from the
+        sequential-consistency witness (degraded mode is visibly weaker).
+        """
+        node = self._node
+        while (self.local_queue and self.local_queue[0].kind == READ
+               and node.recovery is not None
+               and self.process.state in node.recovery.hit_states):
+            op = self.local_queue.popleft()
+            node.metrics.partition.stale_reads_served += 1
+            if node.observer is not None:
+                node.observer.on_degraded_read(op)
+            self.complete(op, self.process.value)
 
     def deliver(self, msg: Message) -> None:
         """A message arrives on the distributed queue."""

@@ -1,0 +1,517 @@
+"""Link-level network partitions and the heartbeat failure detector.
+
+The fault model of :mod:`repro.sim.faults` knows *global* loss rates and
+whole-node crashes; it cannot express the most interesting degraded
+regimes of a replication-based DSM — a severed or asymmetric **link**.
+A :class:`PartitionPlan` layers timed per-link faults over the global
+:class:`~repro.sim.faults.FaultPlan`:
+
+* a :class:`LinkFault` applies to one *directed* channel ``src -> dst``
+  during ``[start, end)``.  ``drop_rate=1`` (the default) severs the
+  link; lower rates model a degraded link, and per-link
+  ``duplicate_rate``/``jitter`` override the plan's quiet defaults.
+  Symmetric cuts are two mirrored link faults (:func:`cut`);
+* a message is lost if *either* the global plan or an active link fault
+  says so; effective rates on a link are the maximum over its active
+  faults.  A full cut (``rate >= 1``) consumes no randomness, so cut
+  schedules are deterministic independent of traffic.
+
+A severed link alone would leave the reliable layer retrying forever
+(or until its budget dies).  The plan therefore also configures a
+**heartbeat failure detector** (:class:`FailureDetector`) that runs on
+the sequencer: every ``heartbeat_interval`` it probes each client (one
+bare token per probe, one per reply — priced into ``acc`` like any
+other token via the ``detector`` breakdown share), and after
+``suspect_after`` consecutive missed beats the client is **quarantined**
+through the recovery subsystem — evicted from the cluster view, its
+traffic absorbed instead of retried, its local operations stalled (or,
+under ``policy="serve_local_reads"``, its queue-head reads served from
+the stale local replica with monitor-visible staleness accounting).
+When heartbeats flow again the detector drives the node through the
+standard resync rejoin.
+
+Determinism mirrors :class:`~repro.sim.faults.FaultPlan`: per-link
+probabilistic decisions consume the plan's private ``random.Random``
+stream in simulation order, the detector rolls probe losses on its own
+derived stream (never perturbing the fabric's), and ``replay()``
+returns a fresh rewound plan.  A plan with no link faults is normalized
+away entirely (pay-for-what-you-use).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from .engine import EventScheduler
+from .faults import FaultPlan
+from .metrics import Metrics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .node import ClusterView
+    from .recovery import RecoveryManager
+
+__all__ = [
+    "PARTITION_POLICIES",
+    "LinkFault",
+    "PartitionPlan",
+    "FailureDetector",
+    "cut",
+    "isolate",
+]
+
+#: legal values of :attr:`PartitionPlan.policy` — what a quarantined
+#: client does with its local operations while partitioned
+PARTITION_POLICIES = ("stall", "serve_local_reads")
+
+
+@dataclass(frozen=True, slots=True)
+class LinkFault:
+    """One directed link fault on channel ``src -> dst`` over ``[start, end)``.
+
+    The default ``drop_rate=1`` severs the link (every transmission
+    lost); rates below 1 model a degraded link.  ``duplicate_rate`` and
+    ``jitter`` are per-link overrides layered over the global fault
+    plan's values (the effective rate is the maximum of the two).
+    """
+
+    src: int
+    dst: int
+    start: float = 0.0
+    end: float = math.inf
+    drop_rate: float = 1.0
+    duplicate_rate: float = 0.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(
+                f"a link fault needs two distinct nodes, got {self.src}"
+            )
+        if self.start < 0:
+            raise ValueError(f"link fault start must be >= 0, got {self.start}")
+        if self.end <= self.start:
+            raise ValueError(
+                f"link fault must end after it starts "
+                f"({self.start} .. {self.end})"
+            )
+        if not 0.0 <= self.drop_rate <= 1.0:
+            raise ValueError(
+                f"drop_rate must be in [0, 1], got {self.drop_rate}"
+            )
+        if not 0.0 <= self.duplicate_rate <= 1.0:
+            raise ValueError(
+                f"duplicate_rate must be in [0, 1], got {self.duplicate_rate}"
+            )
+        if self.jitter < 0.0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+
+    def covers(self, time: float) -> bool:
+        """Whether this fault is active at ``time``."""
+        return self.start <= time < self.end
+
+    @property
+    def is_cut(self) -> bool:
+        """Whether the link is fully severed while active."""
+        return self.drop_rate >= 1.0
+
+
+def cut(a: int, b: int, start: float = 0.0,
+        end: float = math.inf) -> List[LinkFault]:
+    """A symmetric cut between ``a`` and ``b`` (both directions severed)."""
+    return [LinkFault(a, b, start, end), LinkFault(b, a, start, end)]
+
+
+def isolate(node: int, peers: Sequence[int], start: float = 0.0,
+            end: float = math.inf) -> List[LinkFault]:
+    """Sever every link between ``node`` and each of ``peers``."""
+    links: List[LinkFault] = []
+    for peer in peers:
+        links.extend(cut(node, peer, start, end))
+    return links
+
+
+class PartitionPlan:
+    """A seeded, deterministic schedule of link faults plus detector knobs.
+
+    Args:
+        seed: seed of the plan's private RNG stream (probabilistic
+            per-link decisions) and of the detector's derived stream.
+        links: :class:`LinkFault` instances or
+            ``(src, dst[, start[, end]])`` tuples.
+        heartbeat_interval: time between detector probe rounds.
+        suspect_after: consecutive missed beats before quarantine.
+        policy: degraded-mode policy for quarantined clients — one of
+            :data:`PARTITION_POLICIES`.
+        detect: run the failure detector at all; ``False`` leaves the
+            link faults active with no quarantine (the retry-forever
+            baseline the detector exists to fix).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        links: Sequence = (),
+        heartbeat_interval: float = 40.0,
+        suspect_after: int = 3,
+        policy: str = "stall",
+        detect: bool = True,
+    ) -> None:
+        if heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be positive, got "
+                f"{heartbeat_interval}"
+            )
+        if suspect_after < 1:
+            raise ValueError(
+                f"suspect_after must be >= 1, got {suspect_after}"
+            )
+        if policy not in PARTITION_POLICIES:
+            raise ValueError(
+                f"policy must be one of {PARTITION_POLICIES}, got {policy!r}"
+            )
+        self.seed = seed
+        self.links: Tuple[LinkFault, ...] = tuple(
+            f if isinstance(f, LinkFault) else LinkFault(*f) for f in links
+        )
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.suspect_after = int(suspect_after)
+        self.policy = policy
+        self.detect = bool(detect)
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def none(cls) -> "PartitionPlan":
+        """The explicit no-partition plan (identical to running without)."""
+        return cls()
+
+    def replay(self) -> "PartitionPlan":
+        """A fresh plan with the same configuration and a rewound RNG."""
+        return PartitionPlan(
+            seed=self.seed,
+            links=self.links,
+            heartbeat_interval=self.heartbeat_interval,
+            suspect_after=self.suspect_after,
+            policy=self.policy,
+            detect=self.detect,
+        )
+
+    @property
+    def is_none(self) -> bool:
+        """Whether the plan injects no link faults at all.
+
+        Detector knobs alone do not make a plan — the detector rides
+        along with link faults (pay-for-what-you-use).
+        """
+        return not self.links
+
+    def validate_nodes(self, num_nodes: int) -> None:
+        """Reject link faults naming nodes outside ``1 .. num_nodes``."""
+        for f in self.links:
+            for node in (f.src, f.dst):
+                if not 1 <= node <= num_nodes:
+                    raise ValueError(
+                        f"link fault names node {node}, but the system has "
+                        f"nodes 1 .. {num_nodes} (clients 1 .. "
+                        f"{num_nodes - 1}, sequencer {num_nodes})"
+                    )
+
+    # ------------------------------------------------------------------
+    # configuration identity and serialization
+    # ------------------------------------------------------------------
+
+    def config_key(self) -> tuple:
+        """The plan's configuration (RNG state excluded)."""
+        return (
+            self.seed,
+            self.heartbeat_interval,
+            self.suspect_after,
+            self.policy,
+            self.detect,
+            tuple(
+                (f.src, f.dst, f.start, f.end, f.drop_rate,
+                 f.duplicate_rate, f.jitter)
+                for f in self.links
+            ),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PartitionPlan):
+            return NotImplemented
+        return self.config_key() == other.config_key()
+
+    def __hash__(self) -> int:
+        return hash(self.config_key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PartitionPlan({self.describe()})"
+
+    def to_dict(self) -> dict:
+        """A plain-JSON dict of the configuration (``inf`` ends → None)."""
+        return {
+            "seed": int(self.seed),
+            "heartbeat_interval": float(self.heartbeat_interval),
+            "suspect_after": int(self.suspect_after),
+            "policy": self.policy,
+            "detect": bool(self.detect),
+            "links": [
+                [int(f.src), int(f.dst), float(f.start),
+                 None if math.isinf(f.end) else float(f.end),
+                 float(f.drop_rate), float(f.duplicate_rate),
+                 float(f.jitter)]
+                for f in self.links
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PartitionPlan":
+        """Rebuild a fresh (rewound) plan from :meth:`to_dict` output."""
+        links = [
+            LinkFault(
+                int(entry[0]), int(entry[1]), float(entry[2]),
+                math.inf if entry[3] is None else float(entry[3]),
+                float(entry[4]), float(entry[5]), float(entry[6]),
+            )
+            for entry in data.get("links", ())
+        ]
+        return cls(
+            seed=int(data.get("seed", 0)),
+            links=links,
+            heartbeat_interval=float(data.get("heartbeat_interval", 40.0)),
+            suspect_after=int(data.get("suspect_after", 3)),
+            policy=str(data.get("policy", "stall")),
+            detect=bool(data.get("detect", True)),
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary (CLI output, chaos repros)."""
+        if self.is_none:
+            return "no partitions"
+        parts = [f"seed={self.seed}"]
+        if self.detect:
+            parts.append(
+                f"detector(interval={self.heartbeat_interval:g}, "
+                f"suspect_after={self.suspect_after}, policy={self.policy})"
+            )
+        else:
+            parts.append("detector=off")
+        consumed = [False] * len(self.links)
+        for i, f in enumerate(self.links):
+            if consumed[i]:
+                continue
+            mirror = None
+            for j in range(i + 1, len(self.links)):
+                g = self.links[j]
+                if (not consumed[j] and g.src == f.dst and g.dst == f.src
+                        and g.start == f.start and g.end == f.end
+                        and g.drop_rate == f.drop_rate
+                        and g.duplicate_rate == f.duplicate_rate
+                        and g.jitter == f.jitter):
+                    mirror = j
+                    break
+            arrow = f"{f.src}->{f.dst}"
+            if mirror is not None:
+                consumed[mirror] = True
+                arrow = f"{f.src}<->{f.dst}"
+            end = "∞" if math.isinf(f.end) else f"{f.end:g}"
+            window = f"{f.start:g}..{end}"
+            if f.is_cut and not f.duplicate_rate and not f.jitter:
+                parts.append(f"cut({arrow}: {window})")
+            else:
+                extras = [f"drop={f.drop_rate:g}"]
+                if f.duplicate_rate:
+                    extras.append(f"dup={f.duplicate_rate:g}")
+                if f.jitter:
+                    extras.append(f"jitter<={f.jitter:g}")
+                parts.append(f"link({arrow}: {window}, {', '.join(extras)})")
+        return ", ".join(parts)
+
+    # ------------------------------------------------------------------
+    # per-transmission decisions (consume the RNG stream in call order)
+    # ------------------------------------------------------------------
+
+    def _active(self, src: int, dst: int, time: float) -> List[LinkFault]:
+        return [
+            f for f in self.links
+            if f.src == src and f.dst == dst and f.covers(time)
+        ]
+
+    def drop_probability(self, src: int, dst: int, time: float) -> float:
+        """The effective link loss rate at ``time`` (no RNG consumed)."""
+        active = self._active(src, dst, time)
+        return max((f.drop_rate for f in active), default=0.0)
+
+    def is_cut(self, src: int, dst: int, time: float) -> bool:
+        """Whether the directed link is fully severed at ``time``."""
+        return self.drop_probability(src, dst, time) >= 1.0
+
+    def should_drop(self, src: int, dst: int, time: float) -> bool:
+        """Decide whether this transmission is lost to a link fault.
+
+        A full cut is deterministic (consumes no randomness), so cut
+        schedules stay identical whatever traffic crosses other links.
+        """
+        rate = self.drop_probability(src, dst, time)
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        return self._rng.random() < rate
+
+    def should_duplicate(self, src: int, dst: int, time: float) -> bool:
+        """Decide whether this transmission is delivered twice."""
+        active = self._active(src, dst, time)
+        rate = max((f.duplicate_rate for f in active), default=0.0)
+        if rate <= 0.0:
+            return False
+        return self._rng.random() < rate
+
+    def jitter_for(self, src: int, dst: int, time: float) -> float:
+        """Extra delivery delay from link faults for one delivery."""
+        active = self._active(src, dst, time)
+        jitter = max((f.jitter for f in active), default=0.0)
+        if jitter <= 0.0:
+            return 0.0
+        return self._rng.uniform(0.0, jitter)
+
+    # ------------------------------------------------------------------
+    # schedule bookkeeping
+    # ------------------------------------------------------------------
+
+    def edges(self) -> List[float]:
+        """Sorted finite start/end times of every link fault."""
+        times: List[float] = []
+        for f in self.links:
+            times.append(f.start)
+            if math.isfinite(f.end):
+                times.append(f.end)
+        times.sort()
+        return times
+
+
+class FailureDetector:
+    """Sequencer-side heartbeat prober feeding the recovery subsystem.
+
+    Every ``heartbeat_interval`` the current sequencer probes each other
+    node: one bare token out, one back when the probe is delivered and
+    the node is alive.  Probe and reply losses are rolled against the
+    *combined* loss probability of the global fault plan and the active
+    link faults, on the detector's own derived RNG stream — the fabric's
+    streams are never perturbed, so attaching the detector changes no
+    fault decisions.  After :attr:`PartitionPlan.suspect_after`
+    consecutive misses the node is quarantined
+    (:meth:`RecoveryManager.quarantine_partitioned`); once probes flow
+    again it is rejoined (:meth:`RecoveryManager.rejoin_partitioned`).
+
+    Probing is horizon-bounded so the event list drains: rounds stop a
+    few intervals after the last scheduled fault/partition edge unless a
+    quarantined node is still reachable-and-rejoining.
+    """
+
+    def __init__(
+        self,
+        plan: PartitionPlan,
+        cluster: "ClusterView",
+        scheduler: EventScheduler,
+        metrics: Metrics,
+        recovery: "RecoveryManager",
+        faults: Optional[FaultPlan],
+        all_nodes: Tuple[int, ...],
+    ) -> None:
+        self.plan = plan
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.metrics = metrics
+        self.recovery = recovery
+        self.faults = faults
+        self.all_nodes = all_nodes
+        # derived stream: deterministic, independent of the fabric's
+        self._rng = random.Random(plan.seed ^ 0x9E3779B97F4A7C15)
+        self._missed: Dict[int, int] = {}
+        times = plan.edges()
+        if faults is not None:
+            times = times + [t for t, _n, _k in faults.crash_edges()]
+        slack = (plan.suspect_after + 3) * plan.heartbeat_interval
+        self._horizon = (max(times) + slack) if times else 0.0
+
+    def start(self) -> None:
+        """Schedule the first probe round (call once, at construction)."""
+        if self._horizon > 0.0:
+            self.scheduler.schedule(self.plan.heartbeat_interval, self._tick)
+
+    # ------------------------------------------------------------------
+    # probe rounds
+    # ------------------------------------------------------------------
+
+    def _lost(self, src: int, dst: int, now: float) -> bool:
+        """Roll one heartbeat transmission against the combined loss rate."""
+        p = 0.0
+        if self.faults is not None:
+            if self.faults.is_down(dst, now):
+                return True
+            p = self.faults.drop_rate
+        q = self.plan.drop_probability(src, dst, now)
+        combined = 1.0 - (1.0 - p) * (1.0 - q)
+        if combined >= 1.0:
+            return True
+        if combined <= 0.0:
+            return False
+        return self._rng.random() < combined
+
+    def _healable(self, node: int, now: float) -> bool:
+        """Whether a probe round trip to ``node`` could ever succeed now."""
+        if self.faults is not None and self.faults.is_down(node, now):
+            return False
+        seq = self.cluster.sequencer_id
+        return (self.plan.drop_probability(seq, node, now) < 1.0
+                and self.plan.drop_probability(node, seq, now) < 1.0)
+
+    def _tick(self) -> None:
+        now = self.scheduler.now
+        seq = self.cluster.sequencer_id
+        sequencer_up = (self.faults is None
+                        or not self.faults.is_down(seq, now))
+        if sequencer_up:
+            self._probe_round(now, seq)
+        # keep probing until the schedule's horizon, then only while a
+        # quarantined node could still be driven through a rejoin.
+        rejoining = any(
+            self.recovery.is_partition_quarantined(n)
+            and self._healable(n, now)
+            for n in self.all_nodes
+        )
+        if now + self.plan.heartbeat_interval <= self._horizon or rejoining:
+            self.scheduler.schedule(self.plan.heartbeat_interval, self._tick)
+
+    def _probe_round(self, now: float, seq: int) -> None:
+        stats = self.metrics.partition
+        for node in self.all_nodes:
+            if node == seq:
+                continue
+            stats.heartbeats += 1
+            self.metrics.record_detector_cost(1.0)  # probe: a bare token
+            reachable = False
+            node_up = (self.faults is None
+                       or not self.faults.is_down(node, now))
+            if not self._lost(seq, node, now) and node_up:
+                # the probe arrived; the node replies (another bare token)
+                self.metrics.record_detector_cost(1.0)
+                reachable = not self._lost(node, seq, now)
+            if reachable:
+                self._missed[node] = 0
+                if self.recovery.is_partition_quarantined(node):
+                    self.recovery.rejoin_partitioned(node)
+            else:
+                self._missed[node] = self._missed.get(node, 0) + 1
+                if (self._missed[node] >= self.plan.suspect_after
+                        and not self.recovery.is_quarantined(node)):
+                    stats.suspicions += 1
+                    self.recovery.quarantine_partitioned(
+                        node, self.plan.policy
+                    )

@@ -165,6 +165,16 @@ class RecoveryManager:
         self.failover = failover
         #: nodes currently quarantined (rejoining, local queues closed)
         self._quarantined: Set[int] = set()
+        #: the subset quarantined by the failure detector (partitioned);
+        #: their replicas are kept stale for degraded serving and the
+        #: detector — not a crash edge — drives their rejoin
+        self._partitioned: Set[int] = set()
+        #: per-object write-log versions snapshotted at partition
+        #: quarantine, so rejoin catch-up is priced on writes actually
+        #: missed rather than the whole history
+        self._partition_base: Dict[int, Dict[int, int]] = {}
+        #: quarantine start times (partition_time accounting)
+        self._partition_started: Dict[int, float] = {}
         #: ex-sequencers awaiting rejoin as clients (no failback)
         self._demoted: Set[int] = set()
         for w in plan.crashes:
@@ -241,6 +251,94 @@ class RecoveryManager:
         self.metrics.recovery.ops_lost += lost
 
     # ------------------------------------------------------------------
+    # partition quarantine (driven by the failure detector)
+    # ------------------------------------------------------------------
+
+    def is_quarantined(self, node_id: int) -> bool:
+        """Whether ``node_id`` is quarantined (any cause)."""
+        return node_id in self._quarantined
+
+    def is_partition_quarantined(self, node_id: int) -> bool:
+        """Whether ``node_id`` is quarantined by the failure detector."""
+        return node_id in self._partitioned
+
+    def stalled_ops(self) -> int:
+        """Local operations gated at currently quarantined nodes.
+
+        These are stalled, not lost: the node's application issued them
+        but the partition (or an unfinished rejoin) keeps them queued.
+        ``run_workload`` counts them as legal incompleteness.
+        """
+        total = 0
+        for node_id in self._quarantined:
+            for port in self.nodes[node_id].ports.values():
+                total += len(port.local_queue) + len(port.inflight)
+        return total
+
+    def quarantine_partitioned(self, node_id: int, policy: str) -> None:
+        """Evict an unreachable node from the view (detector suspicion).
+
+        The node's dispatched operations are moved back to its queue head
+        in program order — stalled, not killed (the node is alive, just
+        unreachable) — its local gate closes, the transport starts
+        absorbing traffic addressed to it, and an epoch reset
+        re-canonicalizes ownership among the reachable nodes so nothing
+        ever awaits the evicted node.  Its replicas are deliberately
+        *not* rebuilt: under ``policy="serve_local_reads"`` queue-head
+        reads are answered from the stale copies, with monitor-visible
+        staleness accounting.
+        """
+        if node_id in self._quarantined:
+            return
+        node = self.nodes[node_id]
+        self._quarantined.add(node_id)
+        self._partitioned.add(node_id)
+        self.cluster.quarantined.add(node_id)
+        self._partition_started[node_id] = self.scheduler.now
+        self._partition_base[node_id] = {
+            obj: self.log.version(obj) for obj in node.ports
+        }
+        degraded = policy == "serve_local_reads"
+        for port in node.ports.values():
+            inflight = list(port.inflight.values())
+            port.inflight.clear()
+            for op in reversed(inflight):
+                port.local_queue.appendleft(op)
+            port.local_enabled = False
+            port.degraded_reads = degraded
+        self._epoch_reset()
+        if degraded:
+            for port in node.ports.values():
+                port.pump()
+
+    def rejoin_partitioned(self, node_id: int) -> None:
+        """Drive a healed partition-quarantined node through resync rejoin.
+
+        Called by the failure detector when probes reach the node again.
+        The stale replicas are discarded and the node walks the standard
+        quarantine-rejoin path (:meth:`_finish_rejoin`), with catch-up
+        priced on the writes serialized since its quarantine snapshot.
+        """
+        if node_id not in self._partitioned:
+            return
+        self._partitioned.discard(node_id)
+        node = self.nodes[node_id]
+        stats = self.metrics.partition
+        stats.rejoins += 1
+        started = self._partition_started.pop(node_id, None)
+        if started is not None:
+            stats.partition_time += self.scheduler.now - started
+        for port in node.ports.values():
+            port.degraded_reads = False
+            port.local_enabled = False
+            port.process = self.spec.make_process(port)
+        delay = 2.0 * self.latency  # probe the log, fetch the catch-up
+        self.metrics.recovery.quarantine_time += delay
+        self.scheduler.schedule(
+            delay, (lambda: self._finish_rejoin(node))
+        )
+
+    # ------------------------------------------------------------------
     # rejoin
     # ------------------------------------------------------------------
 
@@ -251,14 +349,32 @@ class RecoveryManager:
             return  # durable rejoin: state survived, retries catch it up
         self._demoted.discard(node_id)
         node = self.nodes[node_id]
+        if node_id in self._partitioned:
+            # the node came back from the crash cold (amnesia wiped its
+            # replicas) but is still partition-quarantined: rebuild its
+            # ports fresh, drop the catch-up baseline (it now needs a
+            # full resync) and leave the rejoin to the failure detector.
+            self._partition_base.pop(node_id, None)
+            for port in node.ports.values():
+                port.degraded_reads = False  # the stale copy is gone
+                port.local_enabled = False
+                port.process = self.spec.make_process(port)
+            return
         # quarantine: the node is back on the network but must not serve
         # local operations until resynchronized.  Its ports are rebuilt
         # immediately for the node's *current* role, so straggler frames
         # retried during the outage meet role-correct fresh processes.
+        # Copies whose fresh state serves reads (the sequencer's always
+        # does) get the authoritative value right away: straggler frames
+        # arriving before the rejoin completes must never be answered
+        # from the wiped initial value.
         self._quarantined.add(node_id)
-        for port in node.ports.values():
+        for obj, port in node.ports.items():
             port.local_enabled = False
-            port.process = self.spec.make_process(port)
+            process = self.spec.make_process(port)
+            port.process = process
+            if process.state in self.hit_states:
+                process.value = self.log.current(obj)
         delay = 2.0 * self.latency  # probe the log, fetch the snapshot
         self.metrics.recovery.quarantine_time += delay
         self.scheduler.schedule(
@@ -268,6 +384,7 @@ class RecoveryManager:
     def _finish_rejoin(self, node: "SimNode") -> None:
         self._price_resync(node)
         self._quarantined.discard(node.node_id)
+        self.cluster.quarantined.discard(node.node_id)
         warm_state = self._warm_state()
         is_client = node.node_id != self.cluster.sequencer_id
         self._epoch_reset(pump=False)
@@ -293,6 +410,7 @@ class RecoveryManager:
         the whole history, since amnesia wiped the replica) and a whole
         copy (``S + 1``).
         """
+        base = self._partition_base.pop(node.node_id, None)
         if node.node_id == self.cluster.sequencer_id:
             return
         warm_state = self._warm_state()
@@ -304,6 +422,10 @@ class RecoveryManager:
                     or port.process.state in self.hit_states)
             if warm:
                 missed = self.log.version(obj)
+                if base is not None:
+                    # partition rejoin: state survived, so catch-up only
+                    # covers writes serialized since the quarantine.
+                    missed = max(0, missed - base.get(obj, 0))
                 cost += min(missed * (self.P + 1.0), self.S + 1.0)
                 stats.resync_objects += 1
         stats.resync_cost += cost
@@ -329,6 +451,12 @@ class RecoveryManager:
         for frame in self.network.advance_epoch():
             self._absorb_voided(frame)
         for node in self.nodes.values():
+            # partition-quarantined nodes keep their (stale) replicas for
+            # degraded serving; their gate is closed and their dispatched
+            # ops were already re-queued at quarantine, so skipping the
+            # rebuild loses nothing.
+            if node.node_id in self._partitioned:
+                continue
             self._rebuild_node(node)
         # epoch announcement: one bare token to every other node.
         metrics.record_recovery_cost(float(len(self.nodes) - 1))

@@ -38,15 +38,17 @@ to the paper's trace sets.  Intra-node sends bypass the transport entirely
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..machines.message import Message
 from .channel import Network
 from .engine import EventScheduler, TimerHandle
 from .faults import FaultPlan
 from .metrics import Metrics
+from .partition import PartitionPlan
 
-__all__ = ["ReliabilityConfig", "Frame", "ReliableNetwork"]
+__all__ = ["ReliabilityConfig", "DeliveryViolation", "Frame",
+           "ReliableNetwork"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -90,6 +92,39 @@ class ReliabilityConfig:
             timeout=float(data.get("timeout", 8.0)),
             backoff=float(data.get("backoff", 2.0)),
             max_retries=int(data.get("max_retries", 10)),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class DeliveryViolation:
+    """A send abandoned after its retry budget ran out.
+
+    Structured sibling of
+    :class:`~repro.sim.monitor.ConsistencyViolation` (same
+    ``kind``/``obj``/``detail`` reporting surface) collected on
+    :attr:`ReliableNetwork.violations` and surfaced on
+    ``SimulationResult.violations`` — retry-budget exhaustion is a
+    reliability-contract violation worth a structured record, not just a
+    counter: the channel past the hole is wedged and quiescent coherence
+    is no longer guaranteed.
+    """
+
+    src: int
+    dst: int
+    seq: int
+    op_id: Optional[int]
+    obj: Optional[int]
+    attempts: int
+    time: float
+    kind: str = "delivery"
+
+    @property
+    def detail(self) -> str:
+        """Human-readable one-liner (CLI output)."""
+        op = f"op {self.op_id}" if self.op_id is not None else "unattributed"
+        return (
+            f"channel {self.src}->{self.dst} seq {self.seq} ({op}) "
+            f"abandoned after {self.attempts} retries at t={self.time:g}"
         )
 
 
@@ -151,6 +186,7 @@ class ReliableNetwork:
         latency: float = 1.0,
         metrics: Optional[Metrics] = None,
         faults: Optional[FaultPlan] = None,
+        partitions: Optional[PartitionPlan] = None,
         config: Optional[ReliabilityConfig] = None,
     ):
         self.scheduler = scheduler
@@ -162,9 +198,15 @@ class ReliableNetwork:
             latency=latency,
             on_cost=None,  # this layer does its own cost attribution
             faults=faults,
+            partitions=partitions,
             on_fault=self._on_physical_fault,
         )
         self._handlers: Dict[int, Callable[[Message], None]] = {}
+        #: structured retry-budget exhaustions (graceful degradation)
+        self.violations: List[DeliveryViolation] = []
+        #: live view of quarantined node ids (shared with the cluster view);
+        #: sends addressed to them are absorbed instead of retried forever
+        self.quarantined: Optional[Set[int]] = None
         #: current view-change epoch; frames stamped with an older epoch
         #: are dropped on receipt (see :meth:`advance_epoch`)
         self.epoch = 0
@@ -189,6 +231,11 @@ class ReliableNetwork:
         """The active fault plan (``None`` on a fault-free fabric)."""
         return self.physical.faults
 
+    @property
+    def partitions(self) -> Optional[PartitionPlan]:
+        """The active link-fault plan (``None`` without partitions)."""
+        return self.physical.partitions
+
     def attach(self, node_id: int, handler: Callable[[Message], None]) -> None:
         """Register the delivery handler for a node."""
         self._handlers[node_id] = handler
@@ -201,6 +248,13 @@ class ReliableNetwork:
             frame = Frame("loop", msg.src, msg.dst, 0, msg=msg,
                           op_id=msg.op_id)
             return self.physical.send(frame, S, P)
+        if self.quarantined and msg.dst in self.quarantined:
+            # the destination is quarantined out of the cluster view:
+            # absorbing the send (no cost, no retries) is the whole point
+            # of quarantine — the rejoin resync replays what it missed.
+            if self.metrics is not None:
+                self.metrics.partition.sends_absorbed += 1
+            return 0.0
         channel = (msg.src, msg.dst)
         seq = self._send_seq.get(channel, 0) + 1
         self._send_seq[channel] = seq
@@ -250,11 +304,31 @@ class ReliableNetwork:
         if pending.attempts >= self.config.max_retries:
             # retry budget exhausted: abandon the send and surface it.
             del self._pending[key]
+            frame = pending.frame
+            plan = self.physical.faults
+            handled = (
+                # abandonment toward a crashed or quarantined node is the
+                # *intended* degradation — the recovery subsystem resyncs
+                # the node at rejoin — so only exhaustion toward a live,
+                # in-view destination is a reliability-contract violation.
+                (plan is not None
+                 and plan.is_down(frame.dst, self.scheduler.now))
+                or (self.quarantined is not None
+                    and frame.dst in self.quarantined)
+            )
+            if not handled:
+                obj = (frame.msg.token.object_name
+                       if frame.msg is not None else None)
+                self.violations.append(DeliveryViolation(
+                    src=frame.src, dst=frame.dst, seq=frame.seq,
+                    op_id=frame.op_id, obj=obj, attempts=pending.attempts,
+                    time=self.scheduler.now,
+                ))
             if self.metrics is not None:
                 stats = self.metrics.reliability
                 stats.delivery_failures += 1
-                if pending.frame.op_id is not None:
-                    stats.failed_op_ids.append(pending.frame.op_id)
+                if frame.op_id is not None:
+                    stats.failed_op_ids.append(frame.op_id)
             return
         pending.attempts += 1
         if self.metrics is not None:
@@ -351,17 +425,37 @@ class ReliableNetwork:
         the new view, so exactly-once delivery is preserved end to end even
         though the transport forgets its history.
 
-        Returns the voided unacknowledged data frames; the caller inspects
-        them for completed fire-and-forget writes whose payload must be
-        absorbed into the recovery write log (they were already reported
-        complete to the application, so they cannot be re-driven).
+        Returns the voided undelivered data frames — the sender-side
+        unacknowledged ones *and* the frames already received, acked and
+        parked in a receiver's reorder buffer behind a FIFO gap (those
+        were never handed to a protocol process either, and clearing them
+        silently would lose a completed fire-and-forget write that was
+        acked but not yet delivered).  The caller inspects them for
+        completed writes whose payload must be absorbed into the recovery
+        write log (they were already reported complete to the
+        application, so they cannot be re-driven).  Frames are returned
+        per channel in sequence order, channels sorted — so absorption
+        order respects per-channel FIFO and is deterministic.
         """
         self.epoch += 1
-        voided: List[Frame] = []
+        by_channel: Dict[Tuple[int, int], Dict[int, Frame]] = {}
         for pending in self._pending.values():
             if pending.timer is not None:
                 pending.timer.cancel()
-            voided.append(pending.frame)
+            frame = pending.frame
+            by_channel.setdefault((frame.src, frame.dst), {})[
+                frame.seq] = frame
+        for (src, dst), buffer in self._reorder.items():
+            for seq, msg in buffer.items():
+                by_channel.setdefault((src, dst), {})[seq] = Frame(
+                    "data", src, dst, seq, msg=msg, op_id=msg.op_id,
+                    epoch=self.epoch - 1,
+                )
+        voided = [
+            frame
+            for channel in sorted(by_channel)
+            for _, frame in sorted(by_channel[channel].items())
+        ]
         if self.metrics is not None:
             self.metrics.recovery.frames_voided += len(voided)
         self._pending.clear()

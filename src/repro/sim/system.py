@@ -36,6 +36,7 @@ from .faults import FaultPlan
 from .metrics import Metrics
 from .monitor import ConsistencyMonitor, ConsistencyViolation
 from .node import ClusterView, SimNode
+from .partition import FailureDetector, PartitionPlan
 from .recovery import RecoveryManager, WriteLog
 from .reliable import ReliabilityConfig, ReliableNetwork
 
@@ -77,13 +78,16 @@ class SimulationResult:
     end_time: float
     metrics: Metrics
     #: operations that never completed because a message's retry budget
-    #: ran out or an amnesia crash killed their node (graceful
-    #: degradation under faults); 0 on a healthy run
+    #: ran out, an amnesia crash killed their node, or a partition
+    #: quarantine stalled them (graceful degradation under faults); 0 on
+    #: a healthy run
     incomplete_ops: int = 0
-    #: consistency-monitor findings (populated only when the system was
-    #: built with ``monitor=True`` and the run had no delivery failures;
-    #: empty on a clean run)
-    violations: Tuple[ConsistencyViolation, ...] = field(default=())
+    #: structured findings: every retry-budget exhaustion as a
+    #: :class:`~repro.sim.reliable.DeliveryViolation`, plus — when the
+    #: system was built with ``monitor=True`` and the run had no delivery
+    #: failures — the consistency monitor's
+    #: :class:`ConsistencyViolation` records; empty on a clean run
+    violations: Tuple = field(default=())
 
 
 class _Observer:
@@ -115,6 +119,10 @@ class _Observer:
         if self.monitor is not None:
             self.monitor.on_install(node, obj, value, time)
 
+    def on_degraded_read(self, op: Operation) -> None:
+        if self.monitor is not None:
+            self.monitor.on_degraded_read(op)
+
 
 class DSMSystem:
     """``N`` clients plus a sequencer running one coherence protocol.
@@ -130,6 +138,12 @@ class DSMSystem:
             ``FaultPlan.none()``) keeps the paper-faithful fault-free
             fabric, bit-identical to a system built without the argument.
             A real plan implies the reliable-delivery layer.
+        partitions: optional :class:`PartitionPlan` of link-level faults
+            layered over ``faults``, plus the sequencer-side heartbeat
+            failure detector that quarantines unreachable clients through
+            the recovery subsystem and rejoins them when the partition
+            heals.  A real plan implies the reliable-delivery layer and
+            the recovery subsystem.
         reliability: optional :class:`ReliabilityConfig`; defaults are used
             when a fault plan is given without one.  Passing a config with
             no fault plan runs the reliable layer over a fault-free fabric
@@ -156,6 +170,7 @@ class DSMSystem:
         latency: float = 1.0,
         capacity: Optional[int] = None,
         faults: Optional[FaultPlan] = None,
+        partitions: Optional[PartitionPlan] = None,
         reliability: Optional[ReliabilityConfig] = None,
         failover: bool = False,
         monitor: bool = False,
@@ -178,7 +193,12 @@ class DSMSystem:
         self.faults = (
             faults if faults is not None and not faults.is_none else None
         )
-        if self.faults is not None and reliability is None:
+        self.partitions = (
+            partitions
+            if partitions is not None and not partitions.is_none else None
+        )
+        if ((self.faults is not None or self.partitions is not None)
+                and reliability is None):
             reliability = ReliabilityConfig()
         self.reliability = reliability
         if reliability is not None:
@@ -187,6 +207,7 @@ class DSMSystem:
                 latency=latency,
                 metrics=self.metrics,
                 faults=self.faults,
+                partitions=self.partitions,
                 config=reliability,
             )
         else:
@@ -197,6 +218,8 @@ class DSMSystem:
         if self.faults is not None:
             self.faults.validate_nodes(N + 1)
             self._schedule_crash_markers()
+        if self.partitions is not None:
+            self.partitions.validate_nodes(N + 1)
         if capacity is not None and capacity < 1:
             raise ValueError("capacity must be at least 1 replica")
         self.capacity = capacity
@@ -231,8 +254,9 @@ class DSMSystem:
         )
         self.write_log: Optional[WriteLog] = None
         self.recovery: Optional[RecoveryManager] = None
-        if self.faults is not None and (self.failover
-                                        or self.faults.has_amnesia):
+        if (self.partitions is not None
+                or (self.faults is not None
+                    and (self.failover or self.faults.has_amnesia))):
             self.write_log = WriteLog()
             self.recovery = RecoveryManager(
                 nodes=self.nodes,
@@ -241,7 +265,8 @@ class DSMSystem:
                 network=self.network,
                 metrics=self.metrics,
                 spec=self.spec,
-                plan=self.faults,
+                plan=(self.faults if self.faults is not None
+                      else FaultPlan.none()),
                 log=self.write_log,
                 hit_states=_HIT_STATES[self.spec.name],
                 S=self.S,
@@ -249,6 +274,23 @@ class DSMSystem:
                 latency=self.latency,
                 failover=self.failover,
             )
+        #: sequencer-side heartbeat failure detector (partition plans only)
+        self.detector: Optional[FailureDetector] = None
+        if self.partitions is not None:
+            # the transport absorbs traffic to quarantined nodes instead
+            # of retrying into a severed link forever.
+            self.network.quarantined = self.cluster.quarantined
+            if self.partitions.detect:
+                self.detector = FailureDetector(
+                    plan=self.partitions,
+                    cluster=self.cluster,
+                    scheduler=self.scheduler,
+                    metrics=self.metrics,
+                    recovery=self.recovery,
+                    faults=self.faults,
+                    all_nodes=self.all_nodes,
+                )
+                self.detector.start()
         if self.monitor is not None or self.write_log is not None:
             observer = _Observer(self.write_log, self.monitor)
             for node in self.nodes.values():
@@ -300,6 +342,13 @@ class DSMSystem:
             raise ValueError(
                 "RunConfig.faults does not match the FaultPlan this "
                 "DSMSystem was constructed with; pass faults= to "
+                "DSMSystem(...) or run the cell through repro.exp"
+            )
+        if (config.partitions is not None
+                and config.partitions != self.partitions):
+            raise ValueError(
+                "RunConfig.partitions does not match the PartitionPlan "
+                "this DSMSystem was constructed with; pass partitions= to "
                 "DSMSystem(...) or run the cell through repro.exp"
             )
         if (config.reliability is not None
@@ -417,10 +466,14 @@ class DSMSystem:
         self.scheduler.run(max_events=config.max_events)
         incomplete = max(0, num_ops - self.metrics.completed_count)
         lost = self.metrics.recovery.ops_lost
-        if (incomplete > lost
+        stalled = (self.recovery.stalled_ops()
+                   if self.recovery is not None else 0)
+        self.metrics.partition.ops_stalled = stalled
+        if (incomplete > lost + stalled
                 and self.metrics.reliability.delivery_failures == 0):
-            # nothing was abandoned and no node died with its operations,
-            # so this is a genuine protocol hang, not fault degradation.
+            # nothing was abandoned, no node died with its operations and
+            # nothing is stalled behind a partition quarantine, so this
+            # is a genuine protocol hang, not fault degradation.
             raise RuntimeError(  # pragma: no cover
                 f"only {self.metrics.completed_count}/{num_ops} operations "
                 "completed — protocol deadlock?"
@@ -434,13 +487,17 @@ class DSMSystem:
         else:
             acc = float("nan")
         measured = max(0, min(num_ops, self.metrics.completed_count) - warmup)
-        violations: Tuple[ConsistencyViolation, ...] = ()
+        # retry-budget exhaustions are always surfaced as structured
+        # DeliveryViolation records (satellite of the degradation story:
+        # a wedged channel is a reliability-contract violation, not just
+        # a counter).
+        violations: Tuple = tuple(getattr(self.network, "violations", ()))
         if (self.monitor is not None
                 and self.metrics.reliability.delivery_failures == 0):
             # with a wedged channel the protocols legitimately cannot keep
             # replicas consistent; the monitor only judges runs the
             # reliability layer carried through.
-            violations = tuple(self.consistency_report())
+            violations += tuple(self.consistency_report())
         return SimulationResult(
             protocol=self.spec.name,
             total_ops=num_ops,
@@ -475,9 +532,15 @@ class DSMSystem:
         """
         name = self.spec.name
         if name in _OWNER_STATES:
+            # a partition-quarantined node keeps its (stale) replica for
+            # degraded serving, so it may still look like an owner; the
+            # epoch reset at quarantine re-canonicalized ownership among
+            # the reachable nodes, and only those count.
+            quarantined = self.cluster.quarantined
             owners = [
                 n for n in self.all_nodes
-                if self.copy_state(n, obj) in _OWNER_STATES[name]
+                if n not in quarantined
+                and self.copy_state(n, obj) in _OWNER_STATES[name]
             ]
             if len(owners) != 1:
                 raise AssertionError(
@@ -502,6 +565,15 @@ class DSMSystem:
         now = self.scheduler.now
         return {n for n in self.all_nodes if self.faults.is_down(n, now)}
 
+    def _excluded_nodes(self) -> set:
+        """Nodes whose replicas the quiescence checks must skip.
+
+        Down nodes cannot serve reads; partition-quarantined nodes hold
+        deliberately stale replicas (their staleness is the quarantine's
+        *accounted* degradation, not a coherence bug).
+        """
+        return self._down_nodes() | self.cluster.quarantined
+
     def check_coherence(self) -> None:
         """Assert quiescent coherence for every object.
 
@@ -513,11 +585,11 @@ class DSMSystem:
         pending invalidations are legitimately undelivered.
         """
         hit_states = _HIT_STATES[self.spec.name]
-        down = self._down_nodes()
+        excluded = self._excluded_nodes()
         for obj in range(1, self.M + 1):
             truth = self.authoritative_value(obj)
             for node in self.all_nodes:
-                if node in down:
+                if node in excluded:
                     continue
                 proc = self.nodes[node].process_for(obj)
                 if proc.state in hit_states and proc.value != truth:
@@ -540,7 +612,7 @@ class DSMSystem:
                 "DSMSystem(..., monitor=True)"
             )
         hit_states = _HIT_STATES[self.spec.name]
-        down = self._down_nodes()
+        excluded = self._excluded_nodes()
         violations: List[ConsistencyViolation] = []
         authoritative: Dict[int, object] = {}
         replicas: Dict[int, List[Tuple[int, str, object, bool]]] = {}
@@ -558,7 +630,7 @@ class DSMSystem:
             replicas[obj] = [
                 (node, proc.state, proc.value, proc.state in hit_states)
                 for node in self.all_nodes
-                if node not in down
+                if node not in excluded
                 for proc in (self.nodes[node].process_for(obj),)
             ]
         violations.extend(self.monitor.check(authoritative, replicas))

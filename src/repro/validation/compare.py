@@ -97,6 +97,8 @@ def compare_cell(
     system = DSMSystem(
         protocol, N=params.N, M=M, S=params.S, P=params.P,
         faults=None if config.faults is None else config.faults.replay(),
+        partitions=(None if config.partitions is None
+                    else config.partitions.replay()),
         reliability=config.reliability,
         failover=config.failover,
         monitor=config.monitor,

@@ -205,6 +205,62 @@ class TestCrashRecovery:
         assert metrics.reliability.sends_suppressed >= 1
 
 
+class TestDeliveryViolations:
+    def test_exhaustion_toward_live_destination_is_a_violation(self):
+        metrics = Metrics()
+        metrics.register_op(5, 1, "write", 3, 0.0)
+        plan = FaultPlan(seed=0, drop_rate=1.0)
+        sched, net, _ = make(
+            faults=plan, metrics=metrics,
+            config=ReliabilityConfig(timeout=2.0, max_retries=3),
+        )
+        net.send(msg(1, 2, op_id=5), 100, 30)
+        sched.run()
+        assert len(net.violations) == 1
+        v = net.violations[0]
+        assert v.kind == "delivery"
+        assert (v.src, v.dst, v.seq) == (1, 2, 1)
+        assert v.op_id == 5
+        assert v.attempts == 3
+        assert "abandoned after 3 retries" in v.detail
+
+    def test_exhaustion_toward_crashed_destination_is_handled(self):
+        """Abandonment toward a down node is the intended degradation
+        (recovery resyncs it at rejoin), not a contract violation."""
+        metrics = Metrics()
+        plan = FaultPlan(crashes=[CrashWindow(2, 0.0, 10_000.0)])
+        sched, net, _ = make(
+            faults=plan, metrics=metrics,
+            config=ReliabilityConfig(timeout=2.0, max_retries=2),
+        )
+        net.send(msg(1, 2), 100, 30)
+        sched.run()
+        assert metrics.reliability.delivery_failures == 1
+        assert net.violations == []
+
+    def test_violations_surface_on_simulation_result(self):
+        from repro.core.parameters import WorkloadParams
+        from repro.sim import DSMSystem, RunConfig
+        from repro.workloads import read_disturbance_workload
+
+        params = WorkloadParams(N=3, p=0.3, a=2, sigma=0.1,
+                                S=100.0, P=30.0)
+        plan = FaultPlan(seed=1, drop_rate=1.0)
+        config = RunConfig(
+            ops=50, warmup=10, seed=3, faults=plan,
+            reliability=ReliabilityConfig(timeout=4.0, max_retries=2),
+        )
+        system = DSMSystem("write_through", N=params.N, S=params.S,
+                           P=params.P, faults=config.faults,
+                           reliability=config.reliability)
+        result = system.run_workload(
+            read_disturbance_workload(params, M=1), config)
+        delivery = [v for v in result.violations if v.kind == "delivery"]
+        assert delivery
+        assert len(delivery) == len(system.network.violations)
+        assert all(v.attempts == 2 for v in delivery)
+
+
 class TestExactlyOnceFifoProperty:
     @settings(max_examples=25, deadline=None)
     @given(

@@ -128,6 +128,125 @@ class TestSimulateFaults:
         assert out1 == out2
 
 
+class TestSimulatePartitions:
+    ARGV = ("simulate", "write_through", "--N", "4", "--p", "0.3",
+            "--a", "3", "--sigma", "0.15", "--ops", "800", "--seed", "1")
+
+    def test_cut_reports_partition_block(self, capsys):
+        code, out, _ = run(capsys, *self.ARGV,
+                           "--cut", "2:5:500:900", "--monitor")
+        assert code == 0
+        assert "partitions      = " in out
+        assert "cut(2<->5: 500..900)" in out
+        assert "heartbeats" in out
+        assert "detector" in out  # priced share in the breakdown
+        assert "consistency     = ok" in out
+
+    def test_one_way_cut_parses(self, capsys):
+        code, out, _ = run(capsys, *self.ARGV,
+                           "--cut-one-way", "2:5:500:900")
+        assert code == 0
+        assert "cut(2->5: 500..900)" in out
+
+    def test_serve_local_reads_reports_stale_reads(self, capsys):
+        code, out, _ = run(capsys, *self.ARGV[:-1], "3",
+                           "--ops", "2000",
+                           "--cut", "2:5:3000:9000",
+                           "--partition-policy", "serve_local_reads")
+        assert code == 0
+        assert "policy=serve_local_reads" in out
+        assert "stale reads served" in out
+
+    def test_no_detector_flag(self, capsys):
+        code, out, _ = run(capsys, *self.ARGV,
+                           "--cut", "2:5:500:900", "--no-detector")
+        assert code == 0
+        assert "detector=off" in out
+        assert "heartbeats      = 0" in out
+
+    def test_bad_cut_spec_errors(self, capsys):
+        code, _out, err = run(capsys, *self.ARGV, "--cut", "nonsense")
+        assert code == 2
+        assert "--cut" in err
+
+    def test_unknown_node_errors(self, capsys):
+        code, _out, err = run(capsys, *self.ARGV, "--cut", "2:9:500")
+        assert code == 2
+        assert "node 9" in err
+
+    def test_crash_semantics_in_fault_describe(self, capsys):
+        code, out, _ = run(capsys, *self.ARGV,
+                           "--crash-at", "2:300:500",
+                           "--crash-at", "3:300:500",
+                           "--crash-semantics", "amnesia")
+        assert code == 0
+        assert "crash(nodes 2,3: 300..500, amnesia)" in out
+
+
+class TestChaosCommand:
+    def test_clean_campaign_exits_zero(self, capsys):
+        code, out, _ = run(capsys, "chaos", "--seeds", "2",
+                           "--protocols", "write_through,illinois",
+                           "--quiet")
+        assert code == 0
+        assert "4 cells" in out
+        assert "no violations" in out
+
+    def test_findings_written_and_replayable(self, capsys, tmp_path,
+                                             monkeypatch):
+        from repro.sim.recovery import RecoveryManager
+
+        def sabotage(self, node):
+            self._quarantined.discard(node.node_id)
+            self.cluster.quarantined.discard(node.node_id)
+            for port in node.ports.values():
+                port.process.state = "VALID"
+                port.process.value = -1
+                port.local_enabled = True
+            self._pump_all()
+
+        monkeypatch.setattr(RecoveryManager, "_finish_rejoin", sabotage)
+        repro_dir = tmp_path / "repros"
+        code, out, _ = run(capsys, "chaos", "--seeds", "8",
+                           "--protocols", "write_through",
+                           "--repro-dir", str(repro_dir), "--quiet")
+        assert code == 1
+        assert "finding" in out
+        paths = sorted(repro_dir.glob("chaos-*.json"))
+        assert paths
+        # still sabotaged: the repro reproduces and --replay says so
+        code, out, _ = run(capsys, "chaos", "--replay", str(paths[0]))
+        assert code == 1
+        assert "reproduced" in out
+
+    def test_replay_clean_repro_reports_no_repro(self, capsys, tmp_path,
+                                                 monkeypatch):
+        from repro.sim.recovery import RecoveryManager
+
+        original = RecoveryManager._finish_rejoin
+
+        def sabotage(self, node):
+            self._quarantined.discard(node.node_id)
+            self.cluster.quarantined.discard(node.node_id)
+            for port in node.ports.values():
+                port.process.state = "VALID"
+                port.process.value = -1
+                port.local_enabled = True
+            self._pump_all()
+
+        monkeypatch.setattr(RecoveryManager, "_finish_rejoin", sabotage)
+        repro_dir = tmp_path / "repros"
+        run(capsys, "chaos", "--seeds", "8",
+            "--protocols", "write_through",
+            "--repro-dir", str(repro_dir), "--quiet")
+        path = sorted(repro_dir.glob("chaos-*.json"))[0]
+        # bug fixed: the archived schedule no longer violates
+        monkeypatch.setattr(RecoveryManager, "_finish_rejoin", original)
+        code, out, _ = run(capsys, "chaos", "--replay", str(path))
+        assert code == 0
+        assert "did NOT reproduce" in out
+
+
 class TestValidate:
     def test_validate_cell(self, capsys):
         code, out, _ = run(capsys, "validate", "write_through_v", "--N", "3",
@@ -232,12 +351,17 @@ class TestFlagParity:
                    "--jitter", "0.5", "--fault-seed", "9"]
     REL_FLAGS = ["--retry-timeout", "6.0", "--retry-backoff", "1.5",
                  "--max-retries", "8"]
+    PART_FLAGS = ["--cut", "1:4:100:200", "--cut-one-way", "2:4:50",
+                  "--heartbeat-interval", "30.0", "--suspect-after", "2",
+                  "--partition-policy", "serve_local_reads",
+                  "--partition-seed", "5"]
 
     def parse(self, *argv):
         return build_parser().parse_args(list(argv))
 
     def test_shared_flags_parse_everywhere(self):
-        shared = self.RUN_FLAGS + self.FAULT_FLAGS + self.REL_FLAGS
+        shared = (self.RUN_FLAGS + self.FAULT_FLAGS + self.REL_FLAGS
+                  + self.PART_FLAGS)
         for argv in (
             ["simulate", "write_once", "--N", "3", "--p", "0.2", *shared],
             ["validate", "write_once", "--N", "3", "--p", "0.2", *shared],
@@ -255,6 +379,12 @@ class TestFlagParity:
             assert args.retry_timeout == 6.0
             assert args.retry_backoff == 1.5
             assert args.max_retries == 8
+            assert args.cut == ["1:4:100:200"]
+            assert args.cut_one_way == ["2:4:50"]
+            assert args.heartbeat_interval == 30.0
+            assert args.suspect_after == 2
+            assert args.partition_policy == "serve_local_reads"
+            assert args.partition_seed == 5
 
     def test_run_defaults_identical(self):
         parsed = [
