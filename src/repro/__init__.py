@@ -14,6 +14,8 @@ The package provides:
 * :mod:`repro.workloads` — synthetic and trace-replay workload generators;
 * :mod:`repro.validation` — analytical-vs-simulation comparison (Table 7);
 * :mod:`repro.exp` — the parallel sweep engine with result caching;
+* :mod:`repro.obs` — observability: structured tracing, a metrics
+  registry, wall-clock profiling and Chrome-trace export;
 * :mod:`repro.adaptive` — the self-tuning protocol-selection extension.
 
 Quickstart::
@@ -37,7 +39,7 @@ Grid-shaped experiments go through the sweep engine::
     from repro.exp import SweepSpec, run_sweep
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from .core import (
     ALL_PROTOCOLS,
@@ -51,6 +53,13 @@ from .core import (
     ideal_acc,
     markov_acc,
     rank_protocols,
+)
+from .obs import (
+    MetricsRegistry,
+    Profiler,
+    TraceConfig,
+    Tracer,
+    write_chrome_trace,
 )
 from .protocols import PROTOCOLS, get_protocol, protocol_names
 from .sim import (
@@ -90,6 +99,11 @@ __all__ = [
     "ideal_acc",
     "markov_acc",
     "rank_protocols",
+    "MetricsRegistry",
+    "Profiler",
+    "TraceConfig",
+    "Tracer",
+    "write_chrome_trace",
     "PROTOCOLS",
     "get_protocol",
     "protocol_names",

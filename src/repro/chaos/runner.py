@@ -34,6 +34,9 @@ from typing import Callable, List, Optional, Tuple, Union
 
 from ..exp.runner import ProgressFn, run_cell, run_sweep
 from ..exp.spec import SweepCell, SweepSpec
+from ..obs.export import write_chrome_trace
+from ..obs.registry import MetricsRegistry
+from ..obs.trace import TraceConfig
 from .generate import ChaosOptions, chaos_cells
 from .shrink import ShrinkResult, fault_window_count, shrink
 
@@ -163,9 +166,40 @@ def load_repro(path: Union[str, Path]) -> SweepCell:
     return SweepCell.from_payload(data["cell"])
 
 
-def replay_repro(path: Union[str, Path]) -> dict:
-    """Re-run a repro file's shrunk cell; returns the fresh row."""
-    return run_cell(load_repro(path))
+def replay_repro(
+    path: Union[str, Path],
+    *,
+    trace_out: Union[str, Path, None] = None,
+    trace_sample: int = 1,
+) -> dict:
+    """Re-run a repro file's shrunk cell; returns the fresh row.
+
+    Args:
+        trace_out: when given, the replay runs with structured tracing
+            enabled and exports a Perfetto-loadable Chrome trace to this
+            path.  The trace is written even when the replay crashes —
+            a crashing repro is exactly when you want the trace — and is
+            byte-identical across replays of the same file.
+        trace_sample: record every k-th operation span (``TraceConfig
+            .sample_every``) for the exported trace.
+    """
+    cell = load_repro(path)
+    if trace_out is None:
+        return run_cell(cell)
+    cell = cell.with_(
+        config=cell.config.with_(
+            tracing=TraceConfig(sample_every=trace_sample)
+        ),
+    )
+    captured: List = []
+    try:
+        return run_cell(cell, on_system=captured.append)
+    finally:
+        if captured and captured[0].tracer is not None:
+            write_chrome_trace(
+                captured[0].tracer, trace_out,
+                label="chaos replay %s" % Path(path).name,
+            )
 
 
 def run_chaos(
@@ -174,6 +208,7 @@ def run_chaos(
     out_path: Union[str, Path, None] = None,
     progress: Optional[ProgressFn] = None,
     shrink_progress: Optional[Callable[[ChaosFinding], None]] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> ChaosReport:
     """Run one fuzzing campaign and shrink every finding.
 
@@ -181,11 +216,16 @@ def run_chaos(
     the report — including every shrunk schedule — is bit-identical
     regardless of worker count, because rows are pure functions of their
     cells and shrinking always runs in-process in coordinate order.
+
+    When ``registry`` is given, the campaign publishes ``chaos.cells``,
+    ``chaos.findings`` and ``chaos.shrink_runs`` counters on top of the
+    underlying sweep's ``sweep.*`` metrics.
     """
     coords = chaos_cells(options)
     spec = SweepSpec.explicit(cell for _, _, cell in coords)
     result = run_sweep(spec, workers=options.workers, cache=None,
-                       out_path=out_path, progress=progress)
+                       out_path=out_path, progress=progress,
+                       registry=registry)
     findings: List[ChaosFinding] = []
     for (protocol, fuzz_seed, cell), row in zip(coords, result.rows):
         if not violates(row):
@@ -204,6 +244,14 @@ def run_chaos(
         findings.append(finding)
         if shrink_progress is not None:
             shrink_progress(finding)
+    if registry is not None:
+        registry.counter("chaos.cells",
+                         "schedules fuzzed").inc(len(coords))
+        registry.counter("chaos.findings",
+                         "violating schedules").inc(len(findings))
+        registry.counter(
+            "chaos.shrink_runs", "simulator runs spent shrinking"
+        ).inc(sum(f.shrink_runs for f in findings))
     return ChaosReport(
         options=options,
         coordinates=tuple((p, s) for p, s, _ in coords),

@@ -1,16 +1,21 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the library's day-to-day uses:
+Eight commands cover the library's day-to-day uses:
 
 * ``acc`` — evaluate the analytic steady-state cost for one protocol;
 * ``rank`` — rank all protocols for a workload (the classifier's view);
 * ``simulate`` — run the message-passing simulator and report measured
-  ``acc`` (optionally against the analytic prediction);
+  ``acc`` (optionally against the analytic prediction); ``--trace-out``
+  additionally exports a Perfetto-loadable Chrome trace of the run;
 * ``place`` — the home-vs-client activity-center placement saving;
 * ``validate`` — one analytical-vs-simulation comparison cell (Table 7
   style);
 * ``sweep`` — evaluate a whole parameter grid through the parallel sweep
-  engine (:mod:`repro.exp`) with result caching and JSONL output.
+  engine (:mod:`repro.exp`) with result caching and JSONL output;
+* ``trace`` — run one simulation with structured tracing on and export
+  the Chrome trace (and optionally the JSONL event stream);
+* ``profile`` — run one simulation under the wall-clock profiler and
+  print the hot-path table.
 
 All commands share the same flag vocabulary through parent parsers: the
 workload group (``--N --p --a --sigma ...``), the run group
@@ -41,6 +46,9 @@ from .core.comparison import ALL_PROTOCOLS, rank_protocols
 from .core.parameters import Deviation, WorkloadParams
 from .core.placement import placement_advantage
 from .exp import SweepSpec, SweepRunner
+from .obs.export import write_chrome_trace, write_events_jsonl
+from .obs.profile import Profiler
+from .obs.trace import TraceConfig
 from .protocols.registry import EXTENSION_PROTOCOLS, PROTOCOLS
 from .sim.config import RunConfig
 from .sim.faults import CrashWindow, FaultPlan
@@ -57,6 +65,16 @@ _DEVIATIONS = {
     "write": Deviation.WRITE,
     "mac": Deviation.MULTIPLE_ACTIVITY_CENTERS,
 }
+
+
+def _version() -> str:
+    """The installed package version (source-tree fallback)."""
+    try:
+        from importlib.metadata import version
+        return version("repro")
+    except Exception:
+        from . import __version__
+        return __version__
 
 
 # ----------------------------------------------------------------------
@@ -178,6 +196,22 @@ def _partition_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _trace_parent() -> argparse.ArgumentParser:
+    """``--trace-out --trace-jsonl --trace-sample``: trace export."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("tracing")
+    group.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="export a Perfetto-loadable Chrome trace of "
+                            "the run to PATH (enables tracing)")
+    group.add_argument("--trace-jsonl", default=None, metavar="PATH",
+                       help="export the trace as a JSONL event stream "
+                            "to PATH (enables tracing)")
+    group.add_argument("--trace-sample", type=int, default=1, metavar="K",
+                       help="record every K-th operation span "
+                            "(default: 1, every span)")
+    return parent
+
+
 def _reliability_parent() -> argparse.ArgumentParser:
     """``--retry-timeout --retry-backoff --max-retries``."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -265,6 +299,15 @@ def _partition_plan(args: argparse.Namespace) -> Optional[PartitionPlan]:
     return plan
 
 
+def _trace_config(args: argparse.Namespace) -> Optional[TraceConfig]:
+    """The tracing config implied by the trace flags (or None)."""
+    wants_trace = (getattr(args, "trace_out", None) is not None
+                   or getattr(args, "trace_jsonl", None) is not None)
+    if not wants_trace:
+        return None
+    return TraceConfig(sample_every=getattr(args, "trace_sample", 1))
+
+
 def _run_config(args: argparse.Namespace) -> RunConfig:
     """The unified :class:`RunConfig` shared by simulate/validate/sweep."""
     faults = _fault_plan(args)
@@ -278,7 +321,8 @@ def _run_config(args: argparse.Namespace) -> RunConfig:
     return RunConfig(ops=args.ops, warmup=args.warmup, seed=args.seed,
                      mean_gap=args.mean_gap, faults=faults,
                      partitions=partitions, reliability=reliability,
-                     failover=args.failover, monitor=args.monitor)
+                     failover=args.failover, monitor=args.monitor,
+                     tracing=_trace_config(args))
 
 
 def _csv_floats(text: str) -> List[float]:
@@ -302,12 +346,14 @@ def build_parser() -> argparse.ArgumentParser:
         description="Analytic performance model of data-replication DSM "
                     "(Srbljic & Budin, HPDC 1993)",
     )
+    parser.add_argument("--version", action="version",
+                        version="%(prog)s " + _version())
     sub = parser.add_subparsers(dest="command", required=True)
 
     known = ", ".join(list(PROTOCOLS) + list(EXTENSION_PROTOCOLS))
     system, point = _system_parent(), _point_parent()
     run, fault, rel = _run_parent(), _fault_parent(), _reliability_parent()
-    part = _partition_parent()
+    part, trace = _partition_parent(), _trace_parent()
 
     p_acc = sub.add_parser("acc", help="analytic steady-state cost",
                            parents=[system, point])
@@ -319,12 +365,40 @@ def build_parser() -> argparse.ArgumentParser:
                    parents=[system, point])
 
     p_sim = sub.add_parser("simulate", help="run the simulator",
-                           parents=[system, point, run, fault, part, rel])
+                           parents=[system, point, run, fault, part, rel,
+                                    trace])
     p_sim.add_argument("protocol", help=f"one of: {known}")
     p_sim.add_argument("--M", type=int, default=1,
                        help="number of shared objects")
     p_sim.add_argument("--capacity", type=int, default=None,
                        help="finite replica pool per client (Section 6)")
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one simulation with structured tracing and export it",
+        parents=[system, point, run, fault, part, rel],
+    )
+    p_trace.add_argument("protocol", help=f"one of: {known}")
+    p_trace.add_argument("--M", type=int, default=1,
+                         help="number of shared objects")
+    p_trace.add_argument("--out", default="trace.json",
+                         help="Chrome trace output path (load in Perfetto "
+                              "or chrome://tracing)")
+    p_trace.add_argument("--jsonl", default=None,
+                         help="optional JSONL event-stream output path")
+    p_trace.add_argument("--sample", type=int, default=1, metavar="K",
+                         help="record every K-th operation span")
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="run one simulation under the wall-clock profiler",
+        parents=[system, point, run, fault, part, rel],
+    )
+    p_prof.add_argument("protocol", help=f"one of: {known}")
+    p_prof.add_argument("--M", type=int, default=1,
+                        help="number of shared objects")
+    p_prof.add_argument("--top", type=int, default=10,
+                        help="hot paths to show (by total time)")
 
     p_place = sub.add_parser(
         "place",
@@ -411,6 +485,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--replay", metavar="REPRO_JSON", default=None,
                          help="re-run a repro file's shrunk schedule "
                               "instead of fuzzing")
+    p_chaos.add_argument("--trace-out", metavar="PATH", default=None,
+                         help="with --replay: export a Chrome trace of "
+                              "the replayed schedule to PATH")
+    p_chaos.add_argument("--trace-sample", type=int, default=1,
+                         metavar="K",
+                         help="with --replay --trace-out: record every "
+                              "K-th operation span")
     p_chaos.add_argument("--quiet", action="store_true",
                          help="suppress per-cell progress output")
     return parser
@@ -420,6 +501,26 @@ def build_parser() -> argparse.ArgumentParser:
 # subcommand bodies
 # ----------------------------------------------------------------------
 
+def _export_trace(tracer, chrome_path, jsonl_path, label: str) -> None:
+    """Write the requested trace exports and report where they went."""
+    if tracer is None:
+        return
+    summary = tracer.summary()
+    events = summary["span_events"] + summary["system_events"]
+    print(f"trace           = {summary['spans']} spans / "
+          f"{summary['ops_seen']} ops, {events} events "
+          f"(sample_every={summary['sample_every']}, "
+          f"{summary['dropped_events']} dropped), "
+          f"span cost {summary['total_cost']:.1f}")
+    if chrome_path is not None:
+        write_chrome_trace(tracer, chrome_path, label=label)
+        print(f"chrome trace   -> {chrome_path} "
+              f"(load in Perfetto or chrome://tracing)")
+    if jsonl_path is not None:
+        write_events_jsonl(tracer, jsonl_path)
+        print(f"trace jsonl    -> {jsonl_path}")
+
+
 def _cmd_simulate(args: argparse.Namespace, deviation: Deviation,
                   params: WorkloadParams) -> int:
     config = _run_config(args)
@@ -428,7 +529,8 @@ def _cmd_simulate(args: argparse.Namespace, deviation: Deviation,
                        capacity=args.capacity,
                        faults=config.faults, partitions=config.partitions,
                        reliability=config.reliability,
-                       failover=config.failover, monitor=config.monitor)
+                       failover=config.failover, monitor=config.monitor,
+                       tracing=config.tracing)
     workload = SyntheticWorkload(params, deviation, M=args.M)
     result = system.run_workload(workload, config)
     warmup = config.resolved_warmup
@@ -500,6 +602,8 @@ def _cmd_simulate(args: argparse.Namespace, deviation: Deviation,
             for node in system.nodes.values() if node.pool
         )
         print(f"pool evictions  = {evictions}")
+    _export_trace(system.tracer, args.trace_out, args.trace_jsonl,
+                  label=f"simulate {args.protocol}")
     if system.monitor is not None:
         consistency = [v for v in result.violations
                        if v.kind != "delivery"]
@@ -511,6 +615,45 @@ def _cmd_simulate(args: argparse.Namespace, deviation: Deviation,
         suffix = (f" ({system.monitor.inconclusive} inconclusive)"
                   if system.monitor.inconclusive else "")
         print(f"consistency     = ok{suffix}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace, deviation: Deviation,
+               params: WorkloadParams) -> int:
+    config = _run_config(args).with_(
+        tracing=TraceConfig(sample_every=args.sample)
+    )
+    system = DSMSystem(args.protocol, N=params.N, M=args.M,
+                       S=params.S, P=params.P,
+                       faults=config.faults, partitions=config.partitions,
+                       reliability=config.reliability,
+                       failover=config.failover, monitor=config.monitor,
+                       tracing=config.tracing)
+    workload = SyntheticWorkload(params, deviation, M=args.M)
+    result = system.run_workload(workload, config)
+    print(f"simulated acc   = {result.acc:.4f}")
+    print(f"messages        = {result.messages}")
+    _export_trace(system.tracer, args.out, args.jsonl,
+                  label=f"trace {args.protocol}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace, deviation: Deviation,
+                 params: WorkloadParams) -> int:
+    config = _run_config(args)
+    profiler = Profiler()
+    system = DSMSystem(args.protocol, N=params.N, M=args.M,
+                       S=params.S, P=params.P,
+                       faults=config.faults, partitions=config.partitions,
+                       reliability=config.reliability,
+                       failover=config.failover, monitor=config.monitor,
+                       tracing=config.tracing, profiler=profiler)
+    workload = SyntheticWorkload(params, deviation, M=args.M)
+    result = system.run_workload(workload, config)
+    print(f"simulated acc   = {result.acc:.4f}")
+    print(f"events executed = {system.scheduler.executed}")
+    print()
+    print(profiler.format_table(top=args.top))
     return 0
 
 
@@ -584,7 +727,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             if cell.config.partitions is not None:
                 print(f"  partitions: "
                       f"{cell.config.partitions.describe()}")
-        row = replay_repro(args.replay)
+        row = replay_repro(args.replay, trace_out=args.trace_out,
+                           trace_sample=args.trace_sample)
+        if args.trace_out is not None:
+            print(f"chrome trace -> {args.trace_out} "
+                  f"(load in Perfetto or chrome://tracing)")
         if violates(row):
             kinds = ", ".join(row.get("violation_kinds", ())) or \
                 row.get("error", "failed")
@@ -661,6 +808,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"{name:20s} {acc:12.4f}")
         elif args.command == "simulate":
             return _cmd_simulate(args, deviation, params)
+        elif args.command == "trace":
+            return _cmd_trace(args, deviation, params)
+        elif args.command == "profile":
+            return _cmd_profile(args, deviation, params)
         elif args.command == "place":
             client, home, saving = placement_advantage(
                 args.protocol, params, deviation

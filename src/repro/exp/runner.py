@@ -12,7 +12,10 @@ Design rules that make the engine trustworthy:
   id or host state enters a row, and every cell carries its own derived
   seed — so ``workers=8`` produces byte-identical rows to ``workers=1``
   (modulo completion order), and a cached row is indistinguishable from
-  a recomputed one.
+  a recomputed one.  Wall-clock timings ride back from workers under the
+  private ``"_wall_clock_s"`` key, which the runner strips into
+  :attr:`SweepResult.timings` before a row is cached, written or shown —
+  the deterministic ``events_executed`` column is the in-row cost proxy.
 * **Workers rebuild cells from plain-JSON payloads** (fresh
   :class:`~repro.sim.faults.FaultPlan` RNG state included), so fork vs
   spawn start methods behave identically.
@@ -30,11 +33,13 @@ import json
 import math
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterator, List, Optional, Tuple, Union
+from time import perf_counter
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from ..core.acc import analytical_acc
+from ..obs.registry import MetricsRegistry
 from ..sim.system import DSMSystem
 from ..workloads.synthetic import SyntheticWorkload
 from .cache import CacheStats, ResultCache, as_cache
@@ -52,12 +57,19 @@ def _finite(value: float) -> Optional[float]:
     return value if math.isfinite(value) else None
 
 
-def run_cell(cell: SweepCell) -> dict:
+def run_cell(cell: SweepCell, on_system: Optional[Callable] = None) -> dict:
     """Evaluate one cell into its deterministic result row.
 
     The row contains only values derived from the cell's content (no
     timestamps, no host identity), so it is cacheable and identical
     however and wherever it is computed.
+
+    Args:
+        on_system: optional in-process hook called with the
+            :class:`DSMSystem` after the simulation ran (even when the
+            run raised) — the chaos replayer uses it to export the
+            tracer of a repro run.  Never crosses a process boundary,
+            so worker-pool execution ignores it.
     """
     config = cell.config
     row = {
@@ -98,9 +110,14 @@ def run_cell(cell: SweepCell) -> dict:
             reliability=config.reliability,
             failover=config.failover,
             monitor=config.monitor,
+            tracing=config.tracing,
         )
         workload = SyntheticWorkload(cell.params, cell.deviation, M=cell.M)
-        result = system.run_workload(workload, config)
+        try:
+            result = system.run_workload(workload, config)
+        finally:
+            if on_system is not None:
+                on_system(system)
         stats = system.metrics.reliability
         healthy = stats.delivery_failures == 0
         if healthy:
@@ -113,6 +130,7 @@ def run_cell(cell: SweepCell) -> dict:
             measured=result.measured,
             incomplete_ops=result.incomplete_ops,
             end_time=result.end_time,
+            events_executed=system.scheduler.executed,
             coherent=healthy,
         )
         if system.reliability is not None:
@@ -197,8 +215,15 @@ def _failed_row(cell: SweepCell, error: str) -> dict:
 
 
 def _worker(payload: dict) -> dict:
-    """Worker-process entry point: rebuild the cell, evaluate it."""
-    return run_cell(SweepCell.from_payload(payload))
+    """Worker-process entry point: rebuild the cell, evaluate it.
+
+    The elapsed wall-clock rides back under ``"_wall_clock_s"``; the
+    runner strips it out of the row before anything durable sees it.
+    """
+    start = perf_counter()
+    row = run_cell(SweepCell.from_payload(payload))
+    row["_wall_clock_s"] = perf_counter() - start
+    return row
 
 
 def row_line(row: dict) -> str:
@@ -222,6 +247,9 @@ class SweepResult:
     out_path: Optional[Path] = None
     #: cache counters for this invocation (``None`` when caching is off)
     cache_stats: Optional[CacheStats] = None
+    #: wall-clock seconds per cell id, for cells computed this invocation
+    #: (cached cells cost no simulation time and are absent)
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total(self) -> int:
@@ -251,6 +279,12 @@ class SweepRunner:
             are created; an existing file is overwritten).
         progress: optional ``callback(done, total, row)`` fired after
             every row (cached and computed alike).
+        registry: optional :class:`~repro.obs.MetricsRegistry` the run
+            publishes into — ``sweep.cells`` / ``sweep.computed`` /
+            ``sweep.cached`` / ``sweep.failed`` counters, a
+            ``sweep.events_executed`` counter and a
+            ``sweep.cell_wall_clock_s`` histogram of per-cell compute
+            times.
     """
 
     def __init__(
@@ -261,6 +295,7 @@ class SweepRunner:
         cache: Union[ResultCache, str, Path, None] = None,
         out_path: Union[str, Path, None] = None,
         progress: Optional[ProgressFn] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -269,6 +304,7 @@ class SweepRunner:
         self.cache = as_cache(cache)
         self.out_path = None if out_path is None else Path(out_path)
         self.progress = progress
+        self.registry = registry
 
     # ------------------------------------------------------------------
     # execution
@@ -279,6 +315,7 @@ class SweepRunner:
         cells = list(self.spec)
         total = len(cells)
         rows: List[Optional[dict]] = [None] * total
+        timings: Dict[str, float] = {}
         cached = failed = 0
         out_fh = None
         if self.out_path is not None:
@@ -307,6 +344,12 @@ class SweepRunner:
                     pending.append((index, cell))
 
             for index, row in self._execute(pending):
+                # timing is transport metadata, not a result: strip it
+                # before the row reaches the cache, the JSONL stream or
+                # the caller.
+                wall = row.pop("_wall_clock_s", None)
+                if wall is not None:
+                    timings[row["id"]] = wall
                 if row["status"] == "failed":
                     failed += 1
                 elif self.cache is not None:
@@ -316,14 +359,37 @@ class SweepRunner:
             if out_fh is not None:
                 out_fh.close()
 
-        return SweepResult(
+        result = SweepResult(
             rows=[r for r in rows if r is not None],
             computed=total - cached,
             cached=cached,
             failed=failed,
             out_path=self.out_path,
             cache_stats=None if self.cache is None else self.cache.stats,
+            timings=timings,
         )
+        if self.registry is not None:
+            self._publish(result)
+        return result
+
+    def _publish(self, result: SweepResult) -> None:
+        """Publish this invocation's totals into ``self.registry``."""
+        reg = self.registry
+        reg.counter("sweep.cells", "cells requested").inc(result.total)
+        reg.counter("sweep.computed",
+                    "cells evaluated this run").inc(result.computed)
+        reg.counter("sweep.cached",
+                    "cells served from the result cache").inc(result.cached)
+        reg.counter("sweep.failed",
+                    "cells recorded as failed").inc(result.failed)
+        events = reg.counter("sweep.events_executed",
+                             "simulator events across ok rows")
+        for row in result.ok_rows():
+            events.inc(row.get("events_executed", 0))
+        hist = reg.histogram("sweep.cell_wall_clock_s",
+                             "per-cell compute wall-clock seconds")
+        for wall in result.timings.values():
+            hist.observe(wall)
 
     def _execute(
         self, pending: List[Tuple[int, SweepCell]]
@@ -395,9 +461,10 @@ def run_sweep(
     cache: Union[ResultCache, str, Path, None] = None,
     out_path: Union[str, Path, None] = None,
     progress: Optional[ProgressFn] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> SweepResult:
     """Convenience wrapper: build a :class:`SweepRunner` and run it."""
     return SweepRunner(
         spec, workers=workers, cache=cache, out_path=out_path,
-        progress=progress,
+        progress=progress, registry=registry,
     ).run()

@@ -141,7 +141,12 @@ class SweepCell:
             key["method"] = self.method
         if self.simulates:
             key["M"] = self.M
-            key["config"] = self.config.to_dict()
+            config = self.config.to_dict()
+            # tracing only observes a run, it can never change the row —
+            # so a traced cell shares its identity (and cache entry)
+            # with the untraced one.
+            config.pop("tracing", None)
+            key["config"] = config
         return key
 
     def cell_id(self) -> str:

@@ -1,0 +1,291 @@
+"""Trace export: Chrome trace-event JSON (Perfetto) and JSONL streams.
+
+The Chrome trace-event format is documented in the Trace Event Format
+spec; Perfetto and ``chrome://tracing`` both load it.  We map one unit
+of simulated time to one microsecond (``ts``/``dur`` are microseconds
+in the format), put each node on its own process row (``pid = node id +
+1``; ``pid 0`` is reserved for system events: crashes, epoch resets,
+detector probes, unattributable costs) and each object on its own
+thread row within the node.
+
+All serialisation is canonical -- ``sort_keys=True`` and compact
+separators -- so a deterministic tracer yields a byte-identical file:
+the property chaos repro replays rely on.
+
+:data:`CHROME_TRACE_SCHEMA` is the golden schema the exported payload
+must satisfy; :func:`validate_chrome_trace` checks a payload against it
+and returns a list of problems (empty = valid).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .trace import Tracer
+
+__all__ = [
+    "CHROME_TRACE_SCHEMA",
+    "SYSTEM_PID",
+    "chrome_trace",
+    "trace_json",
+    "write_chrome_trace",
+    "events_jsonl",
+    "write_events_jsonl",
+    "validate_chrome_trace",
+]
+
+#: pid used for events not attributable to a single node's operation.
+SYSTEM_PID = 0
+
+#: Golden schema for exported Chrome traces.  ``phases`` maps each event
+#: phase we emit to the fields it must carry (field name -> allowed
+#: types); ``top_level`` lists required top-level keys.
+CHROME_TRACE_SCHEMA: Dict[str, Any] = {
+    "top_level": {
+        "traceEvents": list,
+        "displayTimeUnit": str,
+        "otherData": dict,
+    },
+    "display_time_units": ("ms", "ns"),
+    "phases": {
+        "M": {  # metadata: process/thread naming
+            "name": (str,),
+            "pid": (int,),
+            "tid": (int,),
+            "args": (dict,),
+        },
+        "X": {  # complete event: a span with a duration
+            "name": (str,),
+            "cat": (str,),
+            "ts": (int, float),
+            "dur": (int, float),
+            "pid": (int,),
+            "tid": (int,),
+            "args": (dict,),
+        },
+        "i": {  # instant event: a child event inside a span
+            "name": (str,),
+            "cat": (str,),
+            "ts": (int, float),
+            "pid": (int,),
+            "tid": (int,),
+            "s": (str,),
+            "args": (dict,),
+        },
+    },
+    "metadata_names": ("process_name", "thread_name"),
+    "instant_scopes": ("g", "p", "t"),
+}
+
+
+def _canonical(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def _event_args(ev) -> Dict[str, Any]:
+    args: Dict[str, Any] = {"cost": ev.cost}
+    if ev.op_id is not None:
+        args["op_id"] = ev.op_id
+    if ev.src is not None:
+        args["src"] = ev.src
+    if ev.dst is not None:
+        args["dst"] = ev.dst
+    if ev.detail is not None:
+        args["detail"] = ev.detail
+    return args
+
+
+def chrome_trace(tracer: Tracer, label: Optional[str] = None) -> Dict[str, Any]:
+    """Build a Chrome trace-event payload from a tracer's contents."""
+    events: List[Dict[str, Any]] = []
+    pids = {SYSTEM_PID}
+
+    events.append(
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": SYSTEM_PID,
+            "tid": 0,
+            "args": {"name": "system"},
+        }
+    )
+
+    spans = tracer.spans
+    for span in spans:
+        pid = span.node + 1
+        if pid not in pids:
+            pids.add(pid)
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": "node %d" % span.node},
+                }
+            )
+
+    for span in spans:
+        pid = span.node + 1
+        tid = span.obj
+        end = span.end if span.end is not None else span.start
+        events.append(
+            {
+                "ph": "X",
+                "name": "%s obj%d" % (span.kind, span.obj),
+                "cat": "op",
+                "ts": span.start,
+                "dur": end - span.start,
+                "pid": pid,
+                "tid": tid,
+                "args": {
+                    "op_id": span.op_id,
+                    "cost": span.cost,
+                    "complete": span.end is not None,
+                },
+            }
+        )
+        for ev in span.events:
+            events.append(
+                {
+                    "ph": "i",
+                    "name": ev.kind,
+                    "cat": "event",
+                    "ts": ev.time,
+                    "pid": pid,
+                    "tid": tid,
+                    "s": "t",
+                    "args": _event_args(ev),
+                }
+            )
+
+    for ev in tracer.system_events:
+        events.append(
+            {
+                "ph": "i",
+                "name": ev.kind,
+                "cat": "system",
+                "ts": ev.time,
+                "pid": SYSTEM_PID,
+                "tid": 0,
+                "s": "p",
+                "args": _event_args(ev),
+            }
+        )
+
+    other: Dict[str, Any] = {
+        "generator": "repro.obs",
+        "clock": "simulated-time (1 unit = 1us)",
+        "sample_every": tracer.config.sample_every,
+        "ops_seen": tracer.ops_seen,
+        "spans": len(spans),
+        "dropped_events": tracer.dropped_events,
+        "total_cost": tracer.total_cost(),
+    }
+    if label is not None:
+        other["label"] = label
+    return {
+        "displayTimeUnit": "ms",
+        "otherData": other,
+        "traceEvents": events,
+    }
+
+
+def trace_json(tracer: Tracer, label: Optional[str] = None) -> str:
+    """Canonical (byte-deterministic) Chrome trace JSON for a tracer."""
+    return _canonical(chrome_trace(tracer, label=label))
+
+
+def write_chrome_trace(tracer: Tracer, path, label: Optional[str] = None) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(trace_json(tracer, label=label))
+
+
+def events_jsonl(tracer: Tracer) -> str:
+    """A line-delimited event stream: header, then spans with their
+    events in registration order, then system events.
+
+    Span order follows operation registration (issue order), so the
+    stream is sorted by span start time; events within a span are in
+    simulated-time order.
+    """
+    lines: List[str] = []
+    summary = dict(tracer.summary())
+    summary["type"] = "header"
+    lines.append(json.dumps(summary, sort_keys=True, separators=(",", ":")))
+    for span in tracer.spans:
+        rec = span.to_dict()
+        del rec["events"]
+        rec["type"] = "span"
+        rec["events"] = len(span.events)
+        lines.append(json.dumps(rec, sort_keys=True, separators=(",", ":")))
+        for ev in span.events:
+            erec = ev.to_dict()
+            erec["type"] = "event"
+            lines.append(json.dumps(erec, sort_keys=True, separators=(",", ":")))
+    for ev in tracer.system_events:
+        erec = ev.to_dict()
+        erec["type"] = "system"
+        lines.append(json.dumps(erec, sort_keys=True, separators=(",", ":")))
+    return "\n".join(lines) + "\n"
+
+
+def write_events_jsonl(tracer: Tracer, path) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(events_jsonl(tracer))
+
+
+def validate_chrome_trace(payload: Any) -> List[str]:
+    """Check a payload against :data:`CHROME_TRACE_SCHEMA`.
+
+    Returns a list of human-readable problems; an empty list means the
+    payload is a valid, Perfetto-loadable trace per the golden schema.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["top level must be an object, got %s" % type(payload).__name__]
+    for key, typ in CHROME_TRACE_SCHEMA["top_level"].items():
+        if key not in payload:
+            problems.append("missing top-level key %r" % key)
+        elif not isinstance(payload[key], typ):
+            problems.append(
+                "top-level key %r must be %s, got %s"
+                % (key, typ.__name__, type(payload[key]).__name__)
+            )
+    if problems:
+        return problems
+    if payload["displayTimeUnit"] not in CHROME_TRACE_SCHEMA["display_time_units"]:
+        problems.append("displayTimeUnit %r not allowed" % payload["displayTimeUnit"])
+    phases = CHROME_TRACE_SCHEMA["phases"]
+    for i, event in enumerate(payload["traceEvents"]):
+        where = "traceEvents[%d]" % i
+        if not isinstance(event, dict):
+            problems.append("%s: not an object" % where)
+            continue
+        ph = event.get("ph")
+        if ph not in phases:
+            problems.append("%s: unknown or missing phase %r" % (where, ph))
+            continue
+        for field, types in phases[ph].items():
+            if field not in event:
+                problems.append("%s: ph=%r missing field %r" % (where, ph, field))
+            elif not isinstance(event[field], types) or isinstance(event[field], bool):
+                problems.append(
+                    "%s: field %r must be %s, got %s"
+                    % (where, field, "/".join(t.__name__ for t in types),
+                       type(event[field]).__name__)
+                )
+        if problems and problems[-1].startswith(where):
+            continue
+        if ph == "M" and event["name"] not in CHROME_TRACE_SCHEMA["metadata_names"]:
+            problems.append("%s: metadata name %r not allowed" % (where, event["name"]))
+        if ph == "M" and not isinstance(event["args"].get("name"), str):
+            problems.append("%s: metadata args.name must be a string" % where)
+        if ph == "i" and event["s"] not in CHROME_TRACE_SCHEMA["instant_scopes"]:
+            problems.append("%s: instant scope %r not allowed" % (where, event["s"]))
+        if ph == "X" and event["dur"] < 0:
+            problems.append("%s: negative duration" % where)
+        if ph in ("X", "i") and event["ts"] < 0:
+            problems.append("%s: negative timestamp" % where)
+    return problems

@@ -1,0 +1,99 @@
+"""Wall-clock profiling of simulator hot paths.
+
+Unlike the tracer (which records *simulated* time and is byte
+deterministic), the profiler measures *real* time with
+``time.perf_counter`` and is inherently machine dependent.  The two are
+therefore kept strictly separate: profiler output never enters a trace
+file, a sweep row or a cache entry.
+
+Hot paths pay one attribute load and one ``is not None`` check when
+profiling is off.  When on, scopes are accumulated into per-name
+(call count, total seconds) buckets -- cheap enough to wrap the event
+loop dispatch itself.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Profiler"]
+
+
+class Profiler:
+    """Named scoped timers with per-scope call/total accumulation."""
+
+    __slots__ = ("_stats",)
+
+    def __init__(self) -> None:
+        # name -> [calls, total_seconds]
+        self._stats: Dict[str, List[float]] = {}
+
+    def add(self, name: str, elapsed: float) -> None:
+        """Record one timed interval (seconds) against ``name``."""
+        bucket = self._stats.get(name)
+        if bucket is None:
+            self._stats[name] = [1, elapsed]
+        else:
+            bucket[0] += 1
+            bucket[1] += elapsed
+
+    @contextmanager
+    def time(self, name: str):
+        """Context manager form for coarse scopes (not for hot loops)."""
+        t0 = perf_counter()
+        try:
+            yield self
+        finally:
+            self.add(name, perf_counter() - t0)
+
+    def merge(self, other: "Profiler") -> None:
+        for name, (calls, total) in other._stats.items():
+            bucket = self._stats.get(name)
+            if bucket is None:
+                self._stats[name] = [calls, total]
+            else:
+                bucket[0] += calls
+                bucket[1] += total
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-scope statistics, sorted by total time descending."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name, (calls, total) in sorted(
+            self._stats.items(), key=lambda kv: (-kv[1][1], kv[0])
+        ):
+            out[name] = {
+                "calls": int(calls),
+                "total_s": total,
+                "mean_us": (total / calls) * 1e6 if calls else 0.0,
+            }
+        return out
+
+    def total_seconds(self) -> float:
+        return sum(total for _, total in self._stats.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._stats)
+
+    def format_table(self, top: Optional[int] = None) -> str:
+        """Human-readable table of the hottest scopes."""
+        stats = self.stats()
+        rows = list(stats.items())
+        if top is not None:
+            rows = rows[:top]
+        if not rows:
+            return "(no profile samples)"
+        name_w = max(len("scope"), max(len(name) for name, _ in rows))
+        lines = [
+            "%-*s %12s %12s %12s" % (name_w, "scope", "calls", "total (s)", "mean (us)")
+        ]
+        for name, st in rows:
+            lines.append(
+                "%-*s %12d %12.6f %12.3f"
+                % (name_w, name, st["calls"], st["total_s"], st["mean_us"])
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"scopes": self.stats(), "total_s": self.total_seconds()}

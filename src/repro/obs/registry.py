@@ -1,0 +1,208 @@
+"""A small metrics registry: counters, gauges and histograms.
+
+The registry is the publication surface shared by the simulator
+(:meth:`repro.sim.system.DSMSystem.publish_metrics`), the sweep runner
+(``SweepRunner(registry=...)``) and the chaos runner
+(``run_chaos(registry=...)``).  It deliberately mirrors the shape of
+Prometheus-style client libraries without any of the wire format:
+``collect()`` returns a plain, JSON-serialisable snapshot with sorted
+keys so exported snapshots are deterministic.
+
+Histograms keep raw observations (optionally over a sliding window of
+the last ``window`` observations) and compute quantiles on demand with
+the same linear-interpolation rule as ``Metrics.latency_stats``, so
+p50/p95/p99 published here agree with the simulator's own reporting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically non-decreasing count."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase (got %r)" % (amount,))
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, in-flight frames)."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "gauge", "value": self._value}
+
+
+def _quantile(ordered: List[float], q: float) -> float:
+    """Linear-interpolation quantile over a pre-sorted list."""
+    if not ordered:
+        raise ValueError("quantile of empty histogram")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+class Histogram:
+    """Raw-observation histogram with on-demand quantiles.
+
+    ``window=None`` keeps every observation; ``window=k`` keeps only the
+    last k (a sliding window), while lifetime ``count``/``total`` keep
+    accumulating -- this is what per-share attribution over sliding
+    windows uses.
+    """
+
+    __slots__ = ("name", "help", "window", "_values", "_count", "_total")
+
+    def __init__(self, name: str, help: str = "", window: Optional[int] = None) -> None:
+        if window is not None and window < 1:
+            raise ValueError("window must be >= 1 or None")
+        self.name = name
+        self.help = help
+        self.window = window
+        self._values: Union[List[float], Deque[float]]
+        if window is None:
+            self._values = []
+        else:
+            self._values = deque(maxlen=window)
+        self._count = 0
+        self._total = 0.0
+
+    def observe(self, value: float) -> None:
+        self._values.append(float(value))
+        self._count += 1
+        self._total += value
+
+    @property
+    def count(self) -> int:
+        """Lifetime observation count (includes evicted window values)."""
+        return self._count
+
+    @property
+    def total(self) -> float:
+        """Lifetime sum (includes evicted window values)."""
+        return self._total
+
+    @property
+    def values(self) -> List[float]:
+        """Current (windowed) observations, oldest first."""
+        return list(self._values)
+
+    def quantile(self, q: float) -> float:
+        return _quantile(sorted(self._values), q)
+
+    def summary(self, quantiles: tuple = (0.5, 0.95, 0.99)) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "count": self._count,
+            "total": self._total,
+            "window": self.window,
+            "window_count": len(self._values),
+        }
+        if self._values:
+            ordered = sorted(self._values)
+            out["min"] = ordered[0]
+            out["max"] = ordered[-1]
+            out["mean"] = sum(ordered) / len(ordered)
+            for q in quantiles:
+                out["p%g" % (q * 100)] = _quantile(ordered, q)
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = self.summary()
+        out["type"] = "histogram"
+        return out
+
+
+_Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Names -> instruments, with idempotent get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, _Instrument] = {}
+
+    def _get_or_create(self, name: str, factory, kind) -> _Instrument:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = factory()
+            self._instruments[name] = inst
+            return inst
+        if not isinstance(inst, kind):
+            raise TypeError(
+                "metric %r already registered as %s, not %s"
+                % (name, type(inst).__name__, kind.__name__)
+            )
+        return inst
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, lambda: Counter(name, help), Counter)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name, help), Gauge)
+
+    def histogram(
+        self, name: str, help: str = "", window: Optional[int] = None
+    ) -> Histogram:
+        hist = self._get_or_create(name, lambda: Histogram(name, help, window), Histogram)
+        return hist  # type: ignore[return-value]
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        return self._instruments.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def collect(self) -> Dict[str, Dict[str, Any]]:
+        """Deterministic snapshot of every instrument, sorted by name."""
+        return {name: self._instruments[name].to_dict() for name in sorted(self._instruments)}

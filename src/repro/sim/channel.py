@@ -78,6 +78,12 @@ class Network:
                            if partitions is not None and not partitions.is_none
                            else None)
         self.on_fault = on_fault
+        #: optional :class:`repro.obs.Tracer`.  On a plain fabric the
+        #: deliver hook emits per-operation "deliver" events; under a
+        #: :class:`~repro.sim.reliable.ReliableNetwork` the tracer is
+        #: attached to the reliable layer instead (protocol-level
+        #: deliveries), never to the physical fabric beneath it.
+        self.tracer = None
         self._deliver_to: Dict[int, Callable[[Message], None]] = {}
         # FIFO bookkeeping: per-channel send / delivery counters.  True
         # per-channel counters (not a shared global) make the invariant
@@ -101,6 +107,8 @@ class Network:
     def _fault_event(self, kind: str) -> None:
         if self.on_fault is not None:
             self.on_fault(kind)
+        if self.tracer is not None:
+            self.tracer.system_event("fault." + kind)
 
     def send(self, msg: Message, S: float, P: float) -> float:
         """Send ``msg``; charge its cost; schedule delivery.
@@ -142,6 +150,10 @@ class Network:
                 if seq < last:  # pragma: no cover - would indicate an engine bug
                     raise RuntimeError(f"FIFO violation on channel {channel}")
                 self._delivered_seq[channel] = seq
+                tracer = self.tracer
+                if tracer is not None:
+                    tracer.op_event("deliver", msg.op_id, src=msg.src,
+                                    dst=msg.dst, detail=msg.token.type.value)
                 self._deliver_to[msg.dst](msg)
 
             self.scheduler.schedule(self.latency, deliver)
@@ -163,6 +175,14 @@ class Network:
             last = self._delivered_seq.get(channel, 0)
             if seq > last:
                 self._delivered_seq[channel] = seq
+            tracer = self.tracer
+            if tracer is not None:
+                token = getattr(msg, "token", None)
+                tracer.op_event(
+                    "deliver", msg.op_id, src=msg.src, dst=msg.dst,
+                    detail=(token.type.value if token is not None
+                            else getattr(msg, "kind", None)),
+                )
             self._deliver_to[msg.dst](msg)
 
         def jittered_delay() -> float:

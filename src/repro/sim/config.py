@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Any, Dict, Optional
 
+from ..obs.trace import TraceConfig
 from .faults import FaultPlan
 from .partition import PartitionPlan
 from .reliable import ReliabilityConfig
@@ -53,6 +54,11 @@ class RunConfig:
             together with a fault plan containing crash windows.
         monitor: attach the runtime consistency monitor and report
             violations on the run result.
+        tracing: optional :class:`~repro.obs.TraceConfig`; attaches a
+            structured tracer to the run (``SimulationResult.tracer``).
+            Tracing never changes simulation results — it only observes —
+            but it is carried in the canonical serialization so worker
+            processes rebuild it faithfully.
     """
 
     ops: int = 4000
@@ -65,6 +71,7 @@ class RunConfig:
     reliability: Optional[ReliabilityConfig] = None
     failover: bool = False
     monitor: bool = False
+    tracing: Optional[TraceConfig] = None
 
     def __post_init__(self) -> None:
         if self.ops < 1:
@@ -83,6 +90,11 @@ class RunConfig:
             object.__setattr__(self, "faults", None)
         if self.partitions is not None and self.partitions.is_none:
             object.__setattr__(self, "partitions", None)
+        if self.tracing is not None and not isinstance(self.tracing, TraceConfig):
+            raise TypeError(
+                f"tracing must be a TraceConfig or None, got "
+                f"{type(self.tracing).__name__}"
+            )
 
     @property
     def resolved_warmup(self) -> int:
@@ -131,6 +143,9 @@ class RunConfig:
             ),
             "failover": bool(self.failover),
             "monitor": bool(self.monitor),
+            "tracing": (
+                None if self.tracing is None else self.tracing.to_dict()
+            ),
         }
 
     @classmethod
@@ -139,6 +154,7 @@ class RunConfig:
         faults = data.get("faults")
         partitions = data.get("partitions")
         reliability = data.get("reliability")
+        tracing = data.get("tracing")
         return cls(
             ops=int(data["ops"]),
             warmup=data.get("warmup"),
@@ -156,4 +172,7 @@ class RunConfig:
             ),
             failover=bool(data.get("failover", False)),
             monitor=bool(data.get("monitor", False)),
+            tracing=(
+                None if tracing is None else TraceConfig.from_dict(tracing)
+            ),
         )

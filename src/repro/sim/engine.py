@@ -18,6 +18,7 @@ single slotted object per event).
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Callable, List, Optional, Tuple
 
 __all__ = ["EventScheduler", "TimerHandle"]
@@ -71,6 +72,9 @@ class EventScheduler:
         self.now: float = 0.0
         #: number of events executed so far
         self.executed: int = 0
+        #: optional :class:`repro.obs.Profiler`; when set, every event
+        #: dispatch is timed under the ``engine.dispatch`` scope
+        self.profiler = None
 
     def schedule(self, delay: float, callback: Callable[[], None]
                  ) -> TimerHandle:
@@ -113,7 +117,13 @@ class EventScheduler:
             handle._callback = None  # fired: the handle goes inactive
             self.now = time
             self.executed += 1
-            callback()
+            profiler = self.profiler
+            if profiler is None:
+                callback()
+            else:
+                t0 = perf_counter()
+                callback()
+                profiler.add("engine.dispatch", perf_counter() - t0)
             return True
         return False
 

@@ -18,7 +18,7 @@ compare against the paper's trace sets (Figures 2-4).
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional, Tuple
 
 from ..machines.message import Message
@@ -158,6 +158,10 @@ class Metrics:
         self._completed: List[int] = []  # op ids in completion order
         #: total cost of unattributed messages (op_id None); should stay 0
         self.unattributed_cost: float = 0.0
+        #: optional :class:`repro.obs.Tracer`; every cost-charging method
+        #: below mirrors its charge into the tracer, so span costs equal
+        #: operation costs by construction
+        self.tracer = None
         #: fault-injection / reliable-delivery counters (all zero without
         #: a fault plan)
         self.reliability = ReliabilityStats()
@@ -175,19 +179,30 @@ class Metrics:
                     issue_time: float) -> None:
         """Register an operation when the application issues it."""
         self._ops[op_id] = OpRecord(op_id, node, kind, obj, issue_time)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin_op(op_id, node, kind, obj, issue_time)
 
     def record_message(self, msg: Message, cost: float) -> None:
         """Charge one message's cost to its operation (Network cost hook)."""
+        tracer = self.tracer
         if msg.op_id is None or msg.op_id not in self._ops:
             self.unattributed_cost += cost
+            if tracer is not None:
+                tracer.op_event("send", None, cost=cost, src=msg.src, dst=msg.dst,
+                                detail=msg.token.type.value)
             return
         rec = self._ops[msg.op_id]
         rec.cost += cost
         rec.signature.append(
             (msg.token.type.value, msg.token.parameter_presence.value)
         )
+        if tracer is not None:
+            tracer.op_event("send", msg.op_id, cost=cost, src=msg.src, dst=msg.dst,
+                            detail=msg.token.type.value)
 
-    def record_reliability_cost(self, op_id: Optional[int], cost: float) -> None:
+    def record_reliability_cost(self, op_id: Optional[int], cost: float,
+                                kind: str = "reliability") -> None:
         """Charge a reliability-layer message (retransmission or ack).
 
         The cost is attributed to the operation whose traffic needed it —
@@ -195,35 +210,50 @@ class Metrics:
         tracked separately so the overhead of reliable delivery can be
         broken out — and is *not* appended to the trace signature, so
         trace-set comparisons against the paper stay meaningful under
-        faults.
+        faults.  ``kind`` labels the trace event ("retransmit" / "ack").
         """
         self.reliability.cost += cost
+        tracer = self.tracer
         if op_id is None or op_id not in self._ops:
             self.unattributed_cost += cost
+            if tracer is not None:
+                tracer.op_event(kind, None, cost=cost)
             return
         rec = self._ops[op_id]
         rec.cost += cost
         rec.reliability_cost += cost
+        if tracer is not None:
+            tracer.op_event(kind, op_id, cost=cost)
 
-    def record_recovery_cost(self, cost: float) -> None:
+    def record_recovery_cost(self, cost: float, kind: str = "recovery") -> None:
         """Charge recovery-subsystem traffic (elections, snapshots).
 
         Recovery traffic serves the system as a whole, not one operation,
         so it is never attributed to an :class:`OpRecord`; it is tracked
         in :attr:`RecoveryStats.cost` and amortized over the measurement
-        window by :meth:`average_cost_breakdown`.
+        window by :meth:`average_cost_breakdown`.  ``kind`` labels the
+        system-level trace event ("election", "epoch_announce", "resync").
         """
         self.recovery.cost += cost
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.system_event(kind, cost=cost)
 
-    def record_detector_cost(self, cost: float) -> None:
+    def record_detector_cost(self, cost: float, kind: str = "detector",
+                             src: Optional[int] = None,
+                             dst: Optional[int] = None) -> None:
         """Charge failure-detector traffic (heartbeat probes and replies).
 
         Like recovery traffic, detector traffic serves the system as a
         whole rather than one operation; it is tracked in
         :attr:`PartitionStats.cost` and amortized over the measurement
-        window by :meth:`average_cost_breakdown`.
+        window by :meth:`average_cost_breakdown`.  ``kind`` labels the
+        system-level trace event ("probe", "probe_reply").
         """
         self.partition.cost += cost
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.system_event(kind, cost=cost, src=src, dst=dst)
 
     def record_complete(self, op_id: int, time: float) -> None:
         """Mark an operation complete (in global completion order)."""
@@ -232,6 +262,9 @@ class Metrics:
             raise RuntimeError(f"operation {op_id} completed twice")
         rec.complete_time = time
         self._completed.append(op_id)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.end_op(op_id, time)
 
     # ------------------------------------------------------------------
     # queries
@@ -339,3 +372,43 @@ class Metrics:
     def op(self, op_id: int) -> OpRecord:
         """Record for one operation id."""
         return self._ops[op_id]
+
+    # ------------------------------------------------------------------
+    # registry publication
+    # ------------------------------------------------------------------
+
+    def publish(self, registry, skip: int = 0, take: Optional[int] = None,
+                window: Optional[int] = None, prefix: str = "sim") -> None:
+        """Publish a snapshot into a :class:`repro.obs.MetricsRegistry`.
+
+        Per-operation latency and cost go into histograms (optionally a
+        sliding window of the last ``window`` operations); the ``acc``
+        cost shares and subsystem counters go into gauges.  Everything
+        is namespaced under ``prefix``.
+        """
+        recs = self.records(skip, take)
+        registry.gauge(prefix + ".ops_completed",
+                       "completed operations in the window").set(len(recs))
+        registry.gauge(prefix + ".unattributed_cost",
+                       "cost of messages with no operation").set(self.unattributed_cost)
+        lat = registry.histogram(prefix + ".op_latency",
+                                 "completion latency (simulated time)",
+                                 window=window)
+        cost = registry.histogram(prefix + ".op_cost",
+                                  "communication cost per operation (acc)",
+                                  window=window)
+        for r in recs:
+            lat.observe(r.complete_time - r.issue_time)
+            cost.observe(r.cost)
+        if recs:
+            for share, value in self.average_cost_breakdown(skip, take).items():
+                registry.gauge(prefix + ".acc." + share,
+                               "steady-state %s cost share" % share).set(value)
+        for group, stats in (("reliability", self.reliability),
+                             ("recovery", self.recovery),
+                             ("partition", self.partition)):
+            for f in fields(stats):
+                value = getattr(stats, f.name)
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    registry.gauge("%s.%s.%s" % (prefix, group, f.name),
+                                   f.name.replace("_", " ")).set(value)

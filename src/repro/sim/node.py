@@ -21,6 +21,7 @@ block".
 from __future__ import annotations
 
 from collections import deque
+from time import perf_counter
 from typing import Any, Callable, Deque, Dict, Optional, Tuple
 
 from ..machines.message import Message, MessageToken, MsgType, ParamPresence, QueueTag
@@ -148,14 +149,28 @@ class ObjectPort(ProcessContext):
     def enqueue_request(self, op: Operation) -> None:
         """Application request arrives on the local queue."""
         self.local_queue.append(op)
+        tracer = self._node.metrics.tracer
+        if tracer is not None:
+            tracer.op_event("enqueue", op.op_id,
+                            detail="depth=%d" % len(self.local_queue))
         self.pump()
 
     def pump(self) -> None:
         """Service local requests while the queue gate is open."""
+        node = self._node
         while self.local_enabled and self.local_queue:
             op = self.local_queue.popleft()
             self.inflight[op.op_id] = op
-            self.process.on_request(op)
+            tracer = node.metrics.tracer
+            if tracer is not None:
+                tracer.op_event("dispatch", op.op_id)
+            profiler = node.scheduler.profiler
+            if profiler is None:
+                self.process.on_request(op)
+            else:
+                t0 = perf_counter()
+                self.process.on_request(op)
+                profiler.add("protocol.on_request", perf_counter() - t0)
         if not self.local_enabled and self.degraded_reads:
             self._pump_degraded()
 
@@ -175,13 +190,23 @@ class ObjectPort(ProcessContext):
                and self.process.state in node.recovery.hit_states):
             op = self.local_queue.popleft()
             node.metrics.partition.stale_reads_served += 1
+            tracer = node.metrics.tracer
+            if tracer is not None:
+                tracer.op_event("stale_read", op.op_id,
+                                detail="served from quarantined replica")
             if node.observer is not None:
                 node.observer.on_degraded_read(op)
             self.complete(op, self.process.value)
 
     def deliver(self, msg: Message) -> None:
         """A message arrives on the distributed queue."""
-        self.process.on_message(msg)
+        profiler = self._node.scheduler.profiler
+        if profiler is None:
+            self.process.on_message(msg)
+        else:
+            t0 = perf_counter()
+            self.process.on_message(msg)
+            profiler.add("protocol.on_message", perf_counter() - t0)
         # a response may have re-enabled the local queue.
         self.pump()
 

@@ -495,13 +495,16 @@ class FailureDetector:
             if node == seq:
                 continue
             stats.heartbeats += 1
-            self.metrics.record_detector_cost(1.0)  # probe: a bare token
+            # probe: a bare token
+            self.metrics.record_detector_cost(1.0, kind="probe",
+                                              src=seq, dst=node)
             reachable = False
             node_up = (self.faults is None
                        or not self.faults.is_down(node, now))
             if not self._lost(seq, node, now) and node_up:
                 # the probe arrived; the node replies (another bare token)
-                self.metrics.record_detector_cost(1.0)
+                self.metrics.record_detector_cost(1.0, kind="probe_reply",
+                                                  src=node, dst=seq)
                 reachable = not self._lost(node, seq, now)
             if reachable:
                 self._missed[node] = 0
@@ -512,6 +515,13 @@ class FailureDetector:
                 if (self._missed[node] >= self.plan.suspect_after
                         and not self.recovery.is_quarantined(node)):
                     stats.suspicions += 1
+                    tracer = self.metrics.tracer
+                    if tracer is not None:
+                        tracer.system_event(
+                            "suspect", src=seq, dst=node,
+                            detail="node %d missed %d beats"
+                            % (node, self._missed[node]),
+                        )
                     self.recovery.quarantine_partitioned(
                         node, self.plan.policy
                     )

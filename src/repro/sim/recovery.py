@@ -229,6 +229,12 @@ class RecoveryManager:
             return
         new = min(live)  # deterministic standby election: lowest live id
         self.metrics.recovery.failovers += 1
+        tracer = self.metrics.tracer
+        if tracer is not None:
+            tracer.system_event(
+                "failover", src=old, dst=new,
+                detail="sequencer %d -> %d (%d live)" % (old, new, len(live)),
+            )
         self._demoted.add(old)
         # the sequencer role dies with the node: its pending operations
         # are lost regardless of crash semantics (it returns as a client).
@@ -238,7 +244,7 @@ class RecoveryManager:
         # sequencer fetching the standby snapshot (whole copy per object).
         num_objects = len(self.nodes[new].ports)
         self.metrics.record_recovery_cost(
-            len(live) + num_objects * (self.S + 1.0)
+            len(live) + num_objects * (self.S + 1.0), kind="election"
         )
         self._epoch_reset()
 
@@ -291,6 +297,11 @@ class RecoveryManager:
         if node_id in self._quarantined:
             return
         node = self.nodes[node_id]
+        tracer = self.metrics.tracer
+        if tracer is not None:
+            tracer.system_event("quarantine", src=node_id,
+                                detail="node %d partitioned (policy=%s)"
+                                % (node_id, policy))
         self._quarantined.add(node_id)
         self._partitioned.add(node_id)
         self.cluster.quarantined.add(node_id)
@@ -323,6 +334,10 @@ class RecoveryManager:
             return
         self._partitioned.discard(node_id)
         node = self.nodes[node_id]
+        tracer = self.metrics.tracer
+        if tracer is not None:
+            tracer.system_event("rejoin", src=node_id,
+                                detail="node %d partition healed" % node_id)
         stats = self.metrics.partition
         stats.rejoins += 1
         started = self._partition_started.pop(node_id, None)
@@ -382,6 +397,10 @@ class RecoveryManager:
         )
 
     def _finish_rejoin(self, node: "SimNode") -> None:
+        tracer = self.metrics.tracer
+        if tracer is not None:
+            tracer.system_event("rejoin_complete", src=node.node_id,
+                                detail="node %d back in view" % node.node_id)
         self._price_resync(node)
         self._quarantined.discard(node.node_id)
         self.cluster.quarantined.discard(node.node_id)
@@ -429,7 +448,7 @@ class RecoveryManager:
                 cost += min(missed * (self.P + 1.0), self.S + 1.0)
                 stats.resync_objects += 1
         stats.resync_cost += cost
-        self.metrics.record_recovery_cost(cost)
+        self.metrics.record_recovery_cost(cost, kind="resync")
 
     def _warm_state(self) -> Optional[str]:
         """The protocol's warm-rejoin client state, if it declares one.
@@ -448,6 +467,10 @@ class RecoveryManager:
         metrics = self.metrics
         metrics.recovery.epoch_resets += 1
         self.cluster.epoch += 1
+        tracer = metrics.tracer
+        if tracer is not None:
+            tracer.system_event("epoch_reset",
+                                detail="epoch %d" % self.cluster.epoch)
         for frame in self.network.advance_epoch():
             self._absorb_voided(frame)
         for node in self.nodes.values():
@@ -459,7 +482,8 @@ class RecoveryManager:
                 continue
             self._rebuild_node(node)
         # epoch announcement: one bare token to every other node.
-        metrics.record_recovery_cost(float(len(self.nodes) - 1))
+        metrics.record_recovery_cost(float(len(self.nodes) - 1),
+                                     kind="epoch_announce")
         if pump:
             self._pump_all()
 

@@ -38,6 +38,7 @@ to the paper's trace sets.  Intra-node sends bypass the transport entirely
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..machines.message import Message
@@ -217,6 +218,10 @@ class ReliableNetwork:
         self._expected: Dict[Tuple[int, int], int] = {}
         self._reorder: Dict[Tuple[int, int], Dict[int, Message]] = {}
 
+    def _tracer(self):
+        metrics = self.metrics
+        return metrics.tracer if metrics is not None else None
+
     # ------------------------------------------------------------------
     # Network interface
     # ------------------------------------------------------------------
@@ -254,6 +259,10 @@ class ReliableNetwork:
             # of quarantine — the rejoin resync replays what it missed.
             if self.metrics is not None:
                 self.metrics.partition.sends_absorbed += 1
+                tracer = self.metrics.tracer
+                if tracer is not None:
+                    tracer.op_event("absorbed", msg.op_id, src=msg.src,
+                                    dst=msg.dst, detail="quarantined dst")
             return 0.0
         channel = (msg.src, msg.dst)
         seq = self._send_seq.get(channel, 0) + 1
@@ -286,7 +295,8 @@ class ReliableNetwork:
             return
         if charge and self.metrics is not None:
             self.metrics.record_reliability_cost(
-                frame.op_id, frame.cost(pending.S, pending.P)
+                frame.op_id, frame.cost(pending.S, pending.P),
+                kind="retransmit",
             )
         self.physical.send(frame, pending.S, pending.P)
 
@@ -329,6 +339,14 @@ class ReliableNetwork:
                 stats.delivery_failures += 1
                 if frame.op_id is not None:
                     stats.failed_op_ids.append(frame.op_id)
+                tracer = self.metrics.tracer
+                if tracer is not None:
+                    tracer.op_event(
+                        "delivery_abandoned", frame.op_id,
+                        src=frame.src, dst=frame.dst,
+                        detail="seq %d after %d retries"
+                        % (frame.seq, pending.attempts),
+                    )
             return
         pending.attempts += 1
         if self.metrics is not None:
@@ -341,6 +359,15 @@ class ReliableNetwork:
     # ------------------------------------------------------------------
 
     def _on_frame(self, frame: Frame) -> None:
+        profiler = self.scheduler.profiler
+        if profiler is None:
+            self._handle_frame(frame)
+        else:
+            t0 = perf_counter()
+            self._handle_frame(frame)
+            profiler.add("reliable.on_frame", perf_counter() - t0)
+
+    def _handle_frame(self, frame: Frame) -> None:
         if frame.kind == "loop":
             self._handlers[frame.dst](frame.msg)
             return
@@ -348,6 +375,12 @@ class ReliableNetwork:
             # voided traffic from a previous view: never deliver or ack it.
             if self.metrics is not None:
                 self.metrics.recovery.stale_frames_dropped += 1
+                tracer = self.metrics.tracer
+                if tracer is not None:
+                    tracer.op_event("stale_frame_dropped", frame.op_id,
+                                    src=frame.src, dst=frame.dst,
+                                    detail="epoch %d < %d"
+                                    % (frame.epoch, self.epoch))
             return
         if frame.kind == "ack":
             # the acked data channel is the reverse of the ack's path.
@@ -364,10 +397,20 @@ class ReliableNetwork:
         if frame.seq < expected or (buffer and frame.seq in buffer):
             if self.metrics is not None:
                 self.metrics.reliability.duplicates_suppressed += 1
+                tracer = self.metrics.tracer
+                if tracer is not None:
+                    tracer.op_event("dup_suppressed", frame.op_id,
+                                    src=frame.src, dst=frame.dst)
             return
         if frame.seq > expected:
             if self.metrics is not None:
                 self.metrics.reliability.out_of_order_held += 1
+                tracer = self.metrics.tracer
+                if tracer is not None:
+                    tracer.op_event("reorder_hold", frame.op_id,
+                                    src=frame.src, dst=frame.dst,
+                                    detail="seq %d expected %d"
+                                    % (frame.seq, expected))
             self._reorder.setdefault(channel, {})[frame.seq] = frame.msg
             return
         # in order: deliver, then drain the reorder buffer behind it.
@@ -379,6 +422,10 @@ class ReliableNetwork:
         self._expected[channel] = expected
 
     def _deliver(self, dst: int, msg: Message) -> None:
+        tracer = self._tracer()
+        if tracer is not None:
+            tracer.op_event("deliver", msg.op_id, src=msg.src, dst=dst,
+                            detail=msg.token.type.value)
         self._handlers[dst](msg)
 
     def _send_ack(self, data: Frame) -> None:
@@ -386,7 +433,7 @@ class ReliableNetwork:
                     epoch=self.epoch)
         if self.metrics is not None:
             self.metrics.reliability.acks += 1
-            self.metrics.record_reliability_cost(ack.op_id, 1.0)
+            self.metrics.record_reliability_cost(ack.op_id, 1.0, kind="ack")
         # ack cost is presence-independent (a bare token), so S/P are moot.
         self.physical.send(ack, 0.0, 0.0)
 
@@ -397,6 +444,9 @@ class ReliableNetwork:
     def _on_physical_fault(self, kind: str) -> None:
         if self.metrics is None:
             return
+        tracer = self.metrics.tracer
+        if tracer is not None:
+            tracer.system_event("fault." + kind)
         stats = self.metrics.reliability
         if kind == "drop" or kind == "down_dst":
             stats.drops += 1
@@ -458,6 +508,13 @@ class ReliableNetwork:
         ]
         if self.metrics is not None:
             self.metrics.recovery.frames_voided += len(voided)
+            tracer = self.metrics.tracer
+            if tracer is not None:
+                tracer.system_event(
+                    "epoch_advance",
+                    detail="epoch %d voided %d frames"
+                    % (self.epoch, len(voided)),
+                )
         self._pending.clear()
         self._send_seq.clear()
         self._expected.clear()

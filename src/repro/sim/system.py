@@ -27,6 +27,7 @@ from ..protocols.base import (
     Operation,
     ProtocolSpec,
 )
+from ..obs.trace import TraceConfig, Tracer
 from ..protocols.registry import get_protocol
 from ..workloads.base import Workload
 from .channel import Network
@@ -88,6 +89,9 @@ class SimulationResult:
     #: failures — the consistency monitor's
     #: :class:`ConsistencyViolation` records; empty on a clean run
     violations: Tuple = field(default=())
+    #: the structured tracer (``None`` unless the system was built with
+    #: ``tracing=``); export with :func:`repro.obs.write_chrome_trace`
+    tracer: Optional[Tracer] = None
 
 
 class _Observer:
@@ -158,6 +162,14 @@ class DSMSystem:
             replica convergence and per-object sequential consistency at
             quiescence and reports findings on
             :attr:`SimulationResult.violations`.
+        tracing: optional :class:`~repro.obs.TraceConfig`; attaches a
+            structured :class:`~repro.obs.Tracer` recording per-operation
+            spans and system events in simulated time.  Tracing observes
+            but never perturbs the run: with ``tracing=None`` every hook
+            point is a single ``is not None`` check.
+        profiler: optional :class:`~repro.obs.Profiler`; times simulator
+            hot paths (event dispatch, protocol transitions,
+            reliable-delivery bookkeeping) in wall-clock time.
     """
 
     def __init__(
@@ -174,6 +186,8 @@ class DSMSystem:
         reliability: Optional[ReliabilityConfig] = None,
         failover: bool = False,
         monitor: bool = False,
+        tracing: Optional[TraceConfig] = None,
+        profiler=None,
     ):
         self.spec: ProtocolSpec = (
             protocol if isinstance(protocol, ProtocolSpec) else get_protocol(protocol)
@@ -188,6 +202,17 @@ class DSMSystem:
         self.P = float(P)
         self.scheduler = EventScheduler()
         self.metrics = Metrics()
+        #: structured tracer (pay-for-what-you-use: None keeps every hook
+        #: point a single attribute check)
+        self.tracing = tracing
+        self.tracer: Optional[Tracer] = (
+            Tracer(tracing, clock=self.scheduler) if tracing is not None
+            else None
+        )
+        self.metrics.tracer = self.tracer
+        #: wall-clock profiler for simulator hot paths
+        self.profiler = profiler
+        self.scheduler.profiler = profiler
         # a no-fault plan is treated exactly like no plan (pay-for-what-
         # you-use: fault-free runs use the paper's fabric unchanged).
         self.faults = (
@@ -215,6 +240,10 @@ class DSMSystem:
                 self.scheduler, latency=latency,
                 on_cost=self.metrics.record_message,
             )
+            # delivery events for the plain fabric come from the channel
+            # itself; a ReliableNetwork reaches the tracer via metrics and
+            # traces protocol-level deliveries instead.
+            self.network.tracer = self.tracer
         if self.faults is not None:
             self.faults.validate_nodes(N + 1)
             self._schedule_crash_markers()
@@ -317,15 +346,19 @@ class DSMSystem:
         """
         stats = self.metrics.reliability
 
-        def bump(edge_kind: str) -> None:
+        def bump(node: int, edge_kind: str) -> None:
             if edge_kind == "crash":
                 stats.crashes += 1
             else:
                 stats.recoveries += 1
+            tracer = self.metrics.tracer
+            if tracer is not None:
+                tracer.system_event(edge_kind, src=node,
+                                    detail=f"node {node}")
 
-        for time, _node, edge_kind in self.faults.crash_edges():
+        for time, node, edge_kind in self.faults.crash_edges():
             self.scheduler.schedule_at(
-                time, (lambda k=edge_kind: bump(k))
+                time, (lambda n=node, k=edge_kind: bump(n, k))
             )
 
     def _check_run_config_fabric(self, config: RunConfig) -> None:
@@ -370,6 +403,12 @@ class DSMSystem:
                 "(the monitor is attached at construction); pass "
                 "monitor= to DSMSystem(...) or run the cell through "
                 "repro.exp"
+            )
+        if config.tracing is not None and config.tracing != self.tracing:
+            raise ValueError(
+                "RunConfig.tracing does not match the TraceConfig this "
+                "DSMSystem was constructed with; pass tracing= to "
+                "DSMSystem(...) or run the cell through repro.exp"
             )
 
     # ------------------------------------------------------------------
@@ -509,6 +548,7 @@ class DSMSystem:
             metrics=self.metrics,
             incomplete_ops=incomplete,
             violations=violations,
+            tracer=self.tracer,
         )
 
     # ------------------------------------------------------------------
@@ -654,3 +694,37 @@ class DSMSystem:
     def total_attributed_cost(self) -> float:
         """Sum of per-operation costs (must equal total message cost)."""
         return sum(r.cost for r in self.metrics.records())
+
+    def publish_metrics(self, registry, skip: int = 0,
+                        take: Optional[int] = None,
+                        window: Optional[int] = None) -> None:
+        """Publish a full snapshot into a :class:`repro.obs.MetricsRegistry`.
+
+        Combines :meth:`Metrics.publish` (latency/cost histograms, ``acc``
+        shares, subsystem counters) with system-level gauges: scheduler
+        progress, local-queue depths, transport in-flight frames and the
+        quarantine census.
+        """
+        self.metrics.publish(registry, skip=skip, take=take, window=window)
+        registry.gauge("sim.events_executed",
+                       "events executed by the scheduler").set(
+            self.scheduler.executed)
+        registry.gauge("sim.events_pending",
+                       "live events still scheduled").set(len(self.scheduler))
+        depths = [
+            len(port.local_queue)
+            for node in self.nodes.values()
+            for port in node.ports.values()
+        ]
+        registry.gauge("sim.queue_depth.total",
+                       "queued local requests across all ports").set(
+            sum(depths))
+        registry.gauge("sim.queue_depth.max",
+                       "deepest local queue").set(max(depths) if depths else 0)
+        in_flight = getattr(self.network, "in_flight", None)
+        if in_flight is not None:
+            registry.gauge("sim.transport.in_flight",
+                           "unacknowledged data frames").set(in_flight)
+        registry.gauge("sim.quarantined",
+                       "nodes currently out of the view").set(
+            len(self.cluster.quarantined))

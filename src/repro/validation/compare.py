@@ -102,6 +102,7 @@ def compare_cell(
         reliability=config.reliability,
         failover=config.failover,
         monitor=config.monitor,
+        tracing=config.tracing,
     )
     result = system.run_workload(workload, config)
     disturb = params.sigma if deviation is Deviation.READ else params.xi

@@ -1,0 +1,61 @@
+"""Unit tests for the wall-clock profiler."""
+
+from time import sleep
+
+from repro.obs import Profiler
+
+
+class TestProfiler:
+    def test_add_accumulates(self):
+        prof = Profiler()
+        prof.add("dispatch", 0.5)
+        prof.add("dispatch", 1.5)
+        stats = prof.stats()
+        assert stats["dispatch"]["calls"] == 2
+        assert stats["dispatch"]["total_s"] == 2.0
+        assert stats["dispatch"]["mean_us"] == 1e6
+
+    def test_time_context_manager(self):
+        prof = Profiler()
+        with prof.time("sleepy"):
+            sleep(0.001)
+        stats = prof.stats()
+        assert stats["sleepy"]["calls"] == 1
+        assert stats["sleepy"]["total_s"] > 0
+
+    def test_merge(self):
+        a, b = Profiler(), Profiler()
+        a.add("x", 1.0)
+        b.add("x", 2.0)
+        b.add("y", 3.0)
+        a.merge(b)
+        stats = a.stats()
+        assert stats["x"] == {"calls": 2, "total_s": 3.0, "mean_us": 1.5e6}
+        assert stats["y"]["calls"] == 1
+
+    def test_stats_sorted_by_total_descending(self):
+        prof = Profiler()
+        prof.add("small", 1.0)
+        prof.add("big", 10.0)
+        assert list(prof.stats()) == ["big", "small"]
+
+    def test_bool_and_total_seconds(self):
+        prof = Profiler()
+        assert not prof
+        prof.add("x", 2.0)
+        assert prof
+        assert prof.total_seconds() == 2.0
+
+    def test_format_table_top(self):
+        prof = Profiler()
+        for name in ("a", "b", "c"):
+            prof.add(name, 1.0)
+        table = prof.format_table(top=2)
+        assert "scope" in table
+        assert len(table.splitlines()) == 3  # header + 2 rows
+
+    def test_to_dict_roundtrips_through_json(self):
+        import json
+        prof = Profiler()
+        prof.add("x", 1.0)
+        json.dumps(prof.to_dict())

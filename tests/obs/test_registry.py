@@ -1,0 +1,110 @@
+"""Unit tests for the metrics registry: counters, gauges, histograms."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(5)
+        g.inc(2)
+        g.dec()
+        assert g.value == 6.0
+
+
+class TestHistogram:
+    def test_quantiles_interpolate(self):
+        h = Histogram("lat")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.quantile(0.5) == pytest.approx(50.5)
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 100.0
+
+    def test_quantile_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").quantile(0.5)
+
+    def test_quantile_out_of_range(self):
+        h = Histogram("lat")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_sliding_window_evicts_but_lifetime_accumulates(self):
+        h = Histogram("lat", window=3)
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+            h.observe(v)
+        assert h.values == [3.0, 4.0, 5.0]
+        assert h.count == 5
+        assert h.total == 15.0
+        assert h.quantile(0.5) == 4.0
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", window=0)
+
+    def test_summary_has_percentile_keys(self):
+        h = Histogram("lat")
+        for v in range(10):
+            h.observe(float(v))
+        summary = h.summary()
+        for key in ("count", "total", "min", "max", "mean",
+                    "p50", "p95", "p99"):
+            assert key in summary
+        assert summary["count"] == 10
+
+    def test_summary_of_empty_has_counts_only(self):
+        summary = Histogram("lat").summary()
+        assert summary["count"] == 0
+        assert "p50" not in summary
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+        with pytest.raises(TypeError):
+            reg.histogram("a")
+
+    def test_names_sorted_and_membership(self):
+        reg = MetricsRegistry()
+        reg.counter("z")
+        reg.gauge("a")
+        assert reg.names() == ["a", "z"]
+        assert "z" in reg and "missing" not in reg
+        assert len(reg) == 2
+        assert reg.get("missing") is None
+
+    def test_collect_is_deterministic_and_json_shaped(self):
+        import json
+        reg = MetricsRegistry()
+        reg.counter("ops").inc(3)
+        reg.gauge("depth").set(2)
+        reg.histogram("lat").observe(1.0)
+        snapshot = reg.collect()
+        assert list(snapshot) == sorted(snapshot)
+        assert snapshot["ops"] == {"type": "counter", "value": 3.0}
+        json.dumps(snapshot)  # must be JSON-serialisable

@@ -1,0 +1,118 @@
+"""Unit tests for the tracer core: spans, sampling, cost accumulation."""
+
+import math
+
+import pytest
+
+from repro.obs import Span, TraceConfig, TraceEvent, Tracer
+
+
+class TestTraceConfig:
+    def test_defaults(self):
+        assert TraceConfig().sample_every == 1
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            TraceConfig(sample_every=0)
+        with pytest.raises(ValueError):
+            TraceConfig(sample_every=-3)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            TraceConfig(sample_every=2.5)
+        with pytest.raises(TypeError):
+            TraceConfig(sample_every=True)
+
+    def test_roundtrip(self):
+        config = TraceConfig(sample_every=7)
+        assert TraceConfig.from_dict(config.to_dict()) == config
+
+
+class TestSpans:
+    def test_begin_end_records_latency_and_cost(self):
+        tracer = Tracer()
+        tracer.begin_op(1, node=2, kind="write", obj=0, time=10.0)
+        tracer.op_event("send", op_id=1, src=2, dst=0, cost=3.0)
+        tracer.op_event("deliver", op_id=1, src=0, dst=2, cost=2.0)
+        tracer.end_op(1, time=15.0)
+        (span,) = tracer.spans
+        assert span.complete
+        assert span.latency == 5.0
+        assert span.cost == 5.0
+        assert [ev.kind for ev in span.events] == ["send", "deliver"]
+        assert sum(ev.cost for ev in span.events) == span.cost
+
+    def test_span_lookup(self):
+        tracer = Tracer()
+        tracer.begin_op(7, node=0, kind="read", obj=1, time=0.0)
+        assert tracer.span(7) is not None
+        assert tracer.span(8) is None
+
+    def test_incomplete_span_has_no_latency(self):
+        tracer = Tracer()
+        tracer.begin_op(1, node=0, kind="read", obj=0, time=1.0)
+        (span,) = tracer.spans
+        assert not span.complete
+        assert span.latency is None
+
+    def test_event_for_unknown_op_counts_as_dropped(self):
+        tracer = Tracer()
+        tracer.op_event("send", op_id=99, src=0, dst=1, cost=1.0)
+        assert tracer.dropped_events == 1
+        assert tracer.spans == []
+
+    def test_total_cost_includes_system_events(self):
+        tracer = Tracer()
+        tracer.begin_op(1, node=0, kind="read", obj=0, time=0.0)
+        tracer.op_event("send", op_id=1, src=0, dst=1, cost=2.0)
+        tracer.system_event("probe", cost=1.0)
+        assert tracer.total_cost() == 3.0
+        assert tracer.event_count() == 2
+
+
+class TestSampling:
+    def _trace_ops(self, sample_every, n=20):
+        tracer = Tracer(TraceConfig(sample_every=sample_every))
+        for op_id in range(n):
+            tracer.begin_op(op_id, node=0, kind="read", obj=0,
+                            time=float(op_id))
+            tracer.op_event("send", op_id=op_id, src=0, dst=1, cost=1.0)
+            tracer.end_op(op_id, time=float(op_id) + 0.5)
+        return tracer
+
+    def test_sample_every_1_keeps_everything(self):
+        tracer = self._trace_ops(1)
+        assert len(tracer.spans) == 20
+        assert tracer.dropped_events == 0
+
+    def test_sample_every_k_keeps_every_kth(self):
+        tracer = self._trace_ops(7)
+        assert len(tracer.spans) == math.ceil(20 / 7)
+        assert tracer.ops_seen == 20
+        # one send per unsampled op was dropped
+        assert tracer.dropped_events == 20 - len(tracer.spans)
+
+    def test_system_events_never_sampled_away(self):
+        tracer = Tracer(TraceConfig(sample_every=1000))
+        tracer.system_event("crash")
+        assert len(tracer.system_events) == 1
+
+    def test_summary_shape(self):
+        tracer = self._trace_ops(2)
+        summary = tracer.summary()
+        assert summary["ops_seen"] == 20
+        assert summary["spans"] == 10
+        assert summary["complete_spans"] == 10
+        assert summary["sample_every"] == 2
+        assert summary["total_cost"] == 10.0
+
+
+class TestEventSerialization:
+    def test_to_dict_omits_none_fields(self):
+        ev = TraceEvent("send", 1.0, None, None, None, 0.0, None)
+        assert ev.to_dict() == {"kind": "send", "time": 1.0, "cost": 0.0}
+
+    def test_span_to_dict(self):
+        span = Span(op_id=1, node=0, kind="read", obj=2, start=0.0)
+        data = span.to_dict()
+        assert data["op_id"] == 1 and data["obj"] == 2

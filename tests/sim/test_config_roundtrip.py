@@ -12,6 +12,7 @@ import random
 
 import pytest
 
+from repro.obs.trace import TraceConfig
 from repro.sim.config import RunConfig
 from repro.sim.faults import CRASH_SEMANTICS, CrashWindow, FaultPlan
 from repro.sim.partition import LinkFault, PartitionPlan
@@ -90,6 +91,8 @@ def random_run_config(rng):
                      else random_reliability(rng)),
         failover=rng.random() < 0.5,
         monitor=rng.random() < 0.5,
+        tracing=(None if rng.random() < 0.5
+                 else TraceConfig(sample_every=rng.randint(1, 200))),
     )
 
 

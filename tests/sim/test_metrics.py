@@ -173,3 +173,49 @@ class TestRecoveryShare:
         assert breakdown["acc"] == breakdown["protocol"] + \
             breakdown["reliability"]
         assert m.recovery.cost == 6.0
+
+
+class TestTraceHistogramEdges:
+    def _metrics(self, n=5):
+        """n completed ops: odd ids distributed, even ids local."""
+        m = Metrics()
+        for i in range(1, n + 1):
+            m.register_op(i, 1, "read", 1, float(i))
+            if i % 2:
+                m.record_message(msg(i), 1.0)
+            m.record_complete(i, float(i) + 1.0)
+        return m
+
+    def test_empty_metrics_yield_empty_histogram(self):
+        hist = Metrics().trace_histogram()
+        assert hist == {}
+        assert sum(hist.values()) == 0
+
+    def test_take_zero_is_an_empty_window(self):
+        assert self._metrics().trace_histogram(take=0) == {}
+
+    def test_skip_beyond_completed_is_empty(self):
+        m = self._metrics(n=3)
+        assert m.trace_histogram(skip=3) == {}
+        assert m.trace_histogram(skip=100) == {}
+
+    def test_skip_and_take_window(self):
+        m = self._metrics(n=5)
+        # completion order is 1..5; skip the first two, take two: ops 3, 4
+        hist = m.trace_histogram(skip=2, take=2)
+        assert sum(hist.values()) == 2
+        assert hist[()] == 1  # op 4 was purely local
+
+    def test_take_larger_than_remaining_is_clamped(self):
+        m = self._metrics(n=3)
+        hist = m.trace_histogram(skip=1, take=99)
+        assert sum(hist.values()) == 2
+
+    def test_full_histogram_counts_every_completion(self):
+        m = self._metrics(n=5)
+        assert sum(m.trace_histogram().values()) == 5
+
+    def test_incomplete_ops_never_counted(self):
+        m = self._metrics(n=2)
+        m.register_op(99, 1, "read", 1, 10.0)  # never completes
+        assert sum(m.trace_histogram().values()) == 2

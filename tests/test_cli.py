@@ -403,3 +403,141 @@ class TestFlagParity:
                            "--drop-rate", "0.05", "--fault-seed", "7")
         assert code == 0
         assert "discrepancy" in out
+
+
+class TestVersion:
+    def test_version_flag_prints_package_version(self, capsys):
+        import pytest
+        import repro
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out.strip()
+        assert out.startswith("repro ")
+        version = out.split()[1]
+        assert version == repro.__version__ or version[0].isdigit()
+
+    def test_version_helper_falls_back_to_dunder(self, monkeypatch):
+        import repro
+        from repro import cli
+
+        def boom(name):
+            raise Exception("no metadata")
+        monkeypatch.setattr("importlib.metadata.version", boom)
+        assert cli._version() == repro.__version__
+
+
+class TestTraceCommand:
+    BASE = ["--N", "4", "--p", "0.2", "--a", "2", "--sigma", "0.1",
+            "--ops", "300", "--warmup", "50", "--seed", "3"]
+
+    def test_trace_exports_valid_chrome_trace(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        code, out, _ = run(capsys, "trace", "berkeley", *self.BASE,
+                           "--out", str(out_path))
+        assert code == 0
+        assert "simulated acc" in out
+        assert "chrome trace" in out
+        from repro.obs.export import validate_chrome_trace
+        payload = json.loads(out_path.read_text(encoding="utf-8"))
+        assert validate_chrome_trace(payload) == []
+
+    def test_trace_jsonl_and_sampling(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        jsonl_path = tmp_path / "trace.jsonl"
+        code, out, _ = run(capsys, "trace", "berkeley", *self.BASE,
+                           "--out", str(out_path),
+                           "--jsonl", str(jsonl_path), "--sample", "5")
+        assert code == 0
+        assert "sample_every=5" in out
+        lines = jsonl_path.read_text(encoding="utf-8").splitlines()
+        header = json.loads(lines[0])
+        assert header["sample_every"] == 5
+        assert header["spans"] == 60  # 300 ops / 5
+
+    def test_trace_is_byte_identical_across_runs(self, capsys, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        for path in (a, b):
+            code, _, _ = run(capsys, "trace", "berkeley", *self.BASE,
+                             "--out", str(path))
+            assert code == 0
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestProfileCommand:
+    def test_profile_prints_hot_paths(self, capsys):
+        code, out, _ = run(capsys, "profile", "berkeley", "--N", "4",
+                           "--p", "0.2", "--a", "2", "--sigma", "0.1",
+                           "--ops", "300", "--warmup", "50")
+        assert code == 0
+        assert "engine.dispatch" in out
+        assert "protocol.on_request" in out
+        assert "events executed" in out
+
+    def test_profile_top_limits_rows(self, capsys):
+        code, out, _ = run(capsys, "profile", "berkeley", "--N", "4",
+                           "--p", "0.2", "--a", "2", "--sigma", "0.1",
+                           "--ops", "300", "--warmup", "50", "--top", "1")
+        assert code == 0
+        scope_rows = [line for line in out.splitlines()
+                      if line.startswith(("engine.", "protocol.",
+                                          "reliable."))]
+        assert len(scope_rows) == 1
+
+
+class TestSimulateTraceFlags:
+    def test_simulate_trace_out(self, capsys, tmp_path):
+        out_path = tmp_path / "sim-trace.json"
+        code, out, _ = run(capsys, "simulate", "berkeley", "--N", "4",
+                           "--p", "0.2", "--a", "2", "--sigma", "0.1",
+                           "--ops", "300", "--warmup", "50",
+                           "--trace-out", str(out_path))
+        assert code == 0
+        assert out_path.exists()
+        assert "chrome trace" in out
+        from repro.obs.export import validate_chrome_trace
+        payload = json.loads(out_path.read_text(encoding="utf-8"))
+        assert validate_chrome_trace(payload) == []
+
+    def test_simulate_without_trace_flags_prints_no_trace(self, capsys):
+        code, out, _ = run(capsys, "simulate", "berkeley", "--N", "4",
+                           "--p", "0.2", "--a", "2", "--sigma", "0.1",
+                           "--ops", "300", "--warmup", "50")
+        assert code == 0
+        assert "trace " not in out
+
+
+class TestChaosReplayTraceFlag:
+    def _write_repro(self, tmp_path):
+        from repro.core import WorkloadParams
+        from repro.exp.spec import SweepCell
+        from repro.sim import CrashWindow, FaultPlan, RunConfig
+        cell = SweepCell(
+            protocol="berkeley",
+            params=WorkloadParams(N=4, p=0.2, a=2, sigma=0.1, S=50,
+                                  P=20),
+            kind="sim", M=2,
+            config=RunConfig(
+                ops=200, warmup=20, seed=5, monitor=True,
+                faults=FaultPlan(seed=3, drop_rate=0.05,
+                                 crashes=[CrashWindow(2, 300.0,
+                                                      600.0)]),
+            ),
+        )
+        path = tmp_path / "repro.json"
+        path.write_text(json.dumps({"cell": cell.to_payload()}),
+                        encoding="utf-8")
+        return path
+
+    def test_replay_with_trace_out(self, capsys, tmp_path):
+        repro_path = self._write_repro(tmp_path)
+        trace_path = tmp_path / "replay-trace.json"
+        code, out, _ = run(capsys, "chaos", "--replay", str(repro_path),
+                           "--trace-out", str(trace_path),
+                           "--trace-sample", "2")
+        assert "chrome trace" in out
+        assert trace_path.exists()
+        from repro.obs.export import validate_chrome_trace
+        payload = json.loads(trace_path.read_text(encoding="utf-8"))
+        assert validate_chrome_trace(payload) == []
+        assert payload["otherData"]["sample_every"] == 2

@@ -11,6 +11,7 @@ SURFACES = [
     "repro.core",
     "repro.sim",
     "repro.exp",
+    "repro.obs",
     "repro.validation",
     "repro.workloads",
     "repro.protocols",
