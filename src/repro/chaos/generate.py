@@ -24,7 +24,7 @@ from typing import List, Tuple
 
 from ..core.parameters import Deviation, WorkloadParams
 from ..exp.spec import SweepCell, derive_cell_seed
-from ..protocols.registry import EXTENSION_PROTOCOLS, PROTOCOLS
+from ..protocols.registry import EXTENSION_PROTOCOLS, PROTOCOLS, get_protocol
 from ..sim.config import RunConfig
 from ..sim.faults import CRASH_SEMANTICS, CrashWindow, FaultPlan
 from ..sim.partition import PARTITION_POLICIES, LinkFault, PartitionPlan, cut
@@ -174,6 +174,16 @@ def generate_cell(protocol: str, fuzz_seed: int,
     suspect_after = rng.randint(2, 4)
     policy = rng.choice(PARTITION_POLICIES)
     failover = rng.random() < 0.5
+
+    if get_protocol(protocol).quorum_based:
+        # the quorum family rejects amnesia crashes and failover (no
+        # sequencer, durable replicas); sanitize *after* all draws so the
+        # RNG stream — and thus every other protocol's schedule — is
+        # untouched and the cell stays a pure function of the triple.
+        crashes = [
+            CrashWindow(w.node, w.start, w.end, "durable") for w in crashes
+        ]
+        failover = False
 
     faults = FaultPlan(seed=rng.getrandbits(32), drop_rate=drop,
                        duplicate_rate=dup, jitter=jitter, crashes=crashes)

@@ -548,23 +548,35 @@ def _cmd_simulate(args: argparse.Namespace, deviation: Deviation,
         print(f"latency mean/p95 = {lat['mean']:.2f} / "
               f"{lat['p95']:.2f}")
     if config.faults is not None or config.partitions is not None:
-        if config.faults is not None:
-            print(f"faults          = {config.faults.describe()}")
-        if config.partitions is not None:
-            print(f"partitions      = {config.partitions.describe()}")
+        # one unified banner: fault plan, partition plan (detector +
+        # degraded-mode policy), resolved retry policy, failover, monitor.
+        print("robustness:")
+        for line in config.describe_robustness().splitlines():
+            print(f"  {line}")
         if result.measured > 0:
             breakdown = system.metrics.average_cost_breakdown(skip=warmup)
             parts = (f"{breakdown['protocol']:.4f} protocol"
                      f" + {breakdown['reliability']:.4f} reliability")
+            if system.spec.quorum_based:
+                parts += f" (+ {breakdown['quorum']:.4f} quorum)"
             if system.recovery is not None:
                 parts += f" (+ {breakdown['recovery']:.4f} recovery)"
-            if config.partitions is not None and config.partitions.detect:
+            if (config.partitions is not None and config.partitions.detect
+                    and system.detector is not None):
                 parts += f" (+ {breakdown['detector']:.4f} detector)"
             print(f"acc breakdown   = {parts}")
         print(f"retransmissions = {stats.retransmissions}")
         print(f"acks            = {stats.acks}")
         print(f"drops           = {stats.drops}")
         print(f"dups suppressed = {stats.duplicates_suppressed}")
+        if stats.dgram_abandoned:
+            print(f"dgrams abandoned = {stats.dgram_abandoned} "
+                  f"(quorum re-selection owns liveness)")
+        part_stats = system.metrics.partition
+        if part_stats.suppressed_violations:
+            print(f"suppressed violations = "
+                  f"{part_stats.suppressed_violations} "
+                  f"(retries toward quarantined nodes)")
         if stats.crashes:
             print(f"crashes/recoveries = {stats.crashes}/"
                   f"{stats.recoveries}")

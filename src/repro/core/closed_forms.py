@@ -41,6 +41,9 @@ __all__ = [
     "acc_illinois_rd",
     "acc_dragon",
     "acc_firefly",
+    "acc_sc_abd_rd",
+    "acc_sc_abd_wd",
+    "acc_sc_abd_mac",
     "ideal_acc",
     "closed_form_acc",
     "has_closed_form",
@@ -274,6 +277,87 @@ def acc_firefly(p: ArrayLike, disturb: ArrayLike, a: int, S: float, P: float,
 
 
 # ---------------------------------------------------------------------------
+# SC-ABD majority quorums (extension; exact by construction)
+# ---------------------------------------------------------------------------
+
+
+def _quorum_fanout(node: int, N: int) -> int:
+    """Inter-node messages per SC-ABD phase leg for ``node``.
+
+    Mirrors :func:`repro.protocols.sc_abd.quorum_fanout` (kept local so
+    :mod:`repro.core` stays independent of the protocol layer; a unit
+    test pins the two together): with ``n = N + 1`` nodes and majority
+    ``m = n // 2 + 1``, a node inside the core quorum ``{1 .. m}`` sends
+    ``m - 1`` remote messages per leg (its own leg is a free intra-node
+    loop), a node outside sends ``m``.
+    """
+    m = (N + 1) // 2 + 1
+    return m - 1 if node <= m else m
+
+
+def _sc_abd_costs(N: int, S: float, P: float) -> Tuple[float, float]:
+    """Per-fanout-unit settled costs: read ``S + 2``, write ``P + 4``.
+
+    A read is one two-message round trip per quorum member (query token +
+    reply carrying the user information, ``1 + (S + 1)``); a write is two
+    round trips (timestamp query/reply, then update carrying the write
+    parameters plus ack, ``1 + 1 + (P + 1) + 1``).  Settled operations
+    never read-repair (a completed write installed at the whole core),
+    so these are exact, not bounds.
+    """
+    return S + 2.0, P + 4.0
+
+
+def acc_sc_abd_rd(p: ArrayLike, sigma: ArrayLike, a: int,
+                  S: float, P: float, N: int) -> ArrayLike:
+    """SC-ABD under read disturbance.
+
+    Every operation is distributed (there are no local hits), so ``acc``
+    is the workload mix weighted by the per-node quorum fan-out: the
+    activity center (node 1, inside the core) pays ``q1`` legs per
+    operation and each disturber ``j`` pays ``q_j``.
+    """
+    read_cost, write_cost = _sc_abd_costs(N, S, P)
+    q1 = _quorum_fanout(1, N)
+    r = 1.0 - p - a * np.asarray(sigma, dtype=float)
+    acc = q1 * (np.asarray(p, dtype=float) * write_cost + r * read_cost)
+    for j in range(2, a + 2):
+        acc = acc + _quorum_fanout(j, N) * np.asarray(sigma, float) * read_cost
+    if np.ndim(acc) == 0:
+        return float(acc)
+    return acc
+
+
+def acc_sc_abd_wd(p: ArrayLike, xi: ArrayLike, a: int,
+                  S: float, P: float, N: int) -> ArrayLike:
+    """SC-ABD under write disturbance (disturbers write instead of read)."""
+    read_cost, write_cost = _sc_abd_costs(N, S, P)
+    q1 = _quorum_fanout(1, N)
+    r = 1.0 - p - a * np.asarray(xi, dtype=float)
+    acc = q1 * (np.asarray(p, dtype=float) * write_cost + r * read_cost)
+    for j in range(2, a + 2):
+        acc = acc + _quorum_fanout(j, N) * np.asarray(xi, float) * write_cost
+    if np.ndim(acc) == 0:
+        return float(acc)
+    return acc
+
+
+def acc_sc_abd_mac(p: ArrayLike, beta: int,
+                   S: float, P: float, N: int) -> ArrayLike:
+    """SC-ABD, multiple activity centers (centers ``1 .. beta``)."""
+    read_cost, write_cost = _sc_abd_costs(N, S, P)
+    p = np.asarray(p, dtype=float)
+    acc = np.zeros_like(p)
+    for c in range(1, beta + 1):
+        q = _quorum_fanout(c, N)
+        acc = acc + q * ((1.0 - p) / beta * read_cost
+                         + p / beta * write_cost)
+    if np.ndim(acc) == 0:
+        return float(acc)
+    return acc
+
+
+# ---------------------------------------------------------------------------
 # Ideal workload (Section 5.1 bullets) and the dispatch table
 # ---------------------------------------------------------------------------
 
@@ -299,6 +383,12 @@ def ideal_acc(protocol: str, p: ArrayLike, S: float, P: float,
         return p * N * (P + 1.0)
     if protocol == "firefly":
         return p * (N * (P + 1.0) + 1.0)
+    if protocol == "sc_abd":
+        # only the activity center acts; it sits inside the core quorum
+        # and pays full quorum rounds for every operation (no hits).
+        read_cost, write_cost = _sc_abd_costs(N, S, P)
+        out = _quorum_fanout(1, N) * ((1.0 - p) * read_cost + p * write_cost)
+        return float(out) if np.ndim(out) == 0 else out
     raise KeyError(f"unknown protocol {protocol!r}")
 
 
@@ -334,6 +424,12 @@ _FORMS: Dict[Tuple[str, Deviation], Callable[[WorkloadParams], float]] = {
         w.p, w.xi, w.a, w.S, w.P, w.N, Deviation.WRITE),
     ("firefly", Deviation.MULTIPLE_ACTIVITY_CENTERS): lambda w: acc_firefly(
         w.p, 0.0, 0, w.S, w.P, w.N, Deviation.MULTIPLE_ACTIVITY_CENTERS),
+    ("sc_abd", Deviation.READ): lambda w: acc_sc_abd_rd(
+        w.p, w.sigma, w.a, w.S, w.P, w.N),
+    ("sc_abd", Deviation.WRITE): lambda w: acc_sc_abd_wd(
+        w.p, w.xi, w.a, w.S, w.P, w.N),
+    ("sc_abd", Deviation.MULTIPLE_ACTIVITY_CENTERS):
+        lambda w: acc_sc_abd_mac(w.p, w.beta, w.S, w.P, w.N),
 }
 
 

@@ -139,8 +139,8 @@ def run_cell(cell: SweepCell, on_system: Optional[Callable] = None) -> dict:
                 system.metrics.average_cost_breakdown(
                     skip=config.resolved_warmup)
                 if result.measured > 0
-                else {"protocol": nan, "reliability": nan, "recovery": nan,
-                      "detector": nan}
+                else {"protocol": nan, "reliability": nan, "quorum": nan,
+                      "recovery": nan, "detector": nan}
             )
             row.update(
                 acc_protocol_share=_finite(breakdown["protocol"]),
@@ -151,6 +151,11 @@ def run_cell(cell: SweepCell, on_system: Optional[Callable] = None) -> dict:
                 duplicates_suppressed=stats.duplicates_suppressed,
                 delivery_failures=stats.delivery_failures,
             )
+            if system.spec.quorum_based:
+                row.update(
+                    acc_quorum_share=_finite(breakdown["quorum"]),
+                    dgram_abandoned=stats.dgram_abandoned,
+                )
             if system.recovery is not None:
                 rec = system.metrics.recovery
                 row.update(
@@ -173,6 +178,7 @@ def run_cell(cell: SweepCell, on_system: Optional[Callable] = None) -> dict:
                     stale_reads_served=part.stale_reads_served,
                     sends_absorbed=part.sends_absorbed,
                     ops_stalled=part.ops_stalled,
+                    suppressed_violations=part.suppressed_violations,
                     partition_time=_finite(part.partition_time),
                 )
         if config.monitor:

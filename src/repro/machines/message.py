@@ -75,6 +75,15 @@ class MsgType(Enum):
     LK_GNT = "LK-GNT"  #: lock grant
     UNLK = "UNLK"      #: lock release
 
+    # --- SC-ABD quorum family (no sequencer; repro.protocols.sc_abd) ---
+    Q_RD = "Q-RD"    #: quorum read query (bare token)
+    Q_RR = "Q-RR"    #: quorum read reply carrying timestamp + user info
+    Q_TS = "Q-TS"    #: quorum timestamp query (write phase 1, bare token)
+    Q_TR = "Q-TR"    #: quorum timestamp reply (bare token)
+    Q_UPD = "Q-UPD"  #: quorum update carrying write parameters (phase 2)
+    Q_WB = "Q-WB"    #: read-repair write-back carrying write parameters
+    Q_ACK = "Q-ACK"  #: quorum update/write-back acknowledgement token
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
 

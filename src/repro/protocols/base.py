@@ -147,6 +147,40 @@ class ProcessContext(abc.ABC):
             self.send(dst, msg_type, presence, op_id, payload, initiator)
         return len(targets)
 
+    def send_unordered(
+        self,
+        dst: int,
+        msg_type: MsgType,
+        presence: ParamPresence,
+        op_id: Optional[int],
+        payload: Any = None,
+        initiator: Optional[int] = None,
+        quorum: bool = False,
+    ) -> None:
+        """Send one message outside the FIFO channel ordering.
+
+        Quorum protocols use this for phase messages whose loss is
+        handled by quorum re-selection rather than by the reliable
+        layer's in-order delivery guarantee: an abandoned datagram never
+        wedges the channel behind it.  ``quorum=True`` marks a
+        re-selection re-broadcast, charged to the ``quorum`` cost share
+        instead of the protocol share.  The default falls back to the
+        ordered :meth:`send` (exact on a fault-free fabric, where no
+        message is ever retried or abandoned).
+        """
+        del quorum  # only meaningful on a reliable fabric
+        self.send(dst, msg_type, presence, op_id, payload, initiator)
+
+    def schedule(self, delay: float, callback: Any) -> Any:
+        """Schedule ``callback`` after ``delay`` sim time; returns a handle.
+
+        Only quorum protocols need process-level timers (phase
+        re-selection); fabrics that cannot host them refuse loudly.
+        """
+        raise NotImplementedError(
+            "this fabric does not support protocol timers"
+        )
+
     @abc.abstractmethod
     def complete(self, op: Operation, value: Any = None) -> None:
         """Report ``op`` finished to the application process."""
@@ -257,6 +291,10 @@ class ProtocolSpec:
         client_factory: ``(ctx) -> ProtocolProcess`` for client nodes.
         sequencer_factory: ``(ctx) -> ProtocolProcess`` for node ``N + 1``.
         notes: reconstruction notes (cost choreography, cf. DESIGN.md).
+        quorum_based: ``True`` for the sequencer-less majority-quorum
+            family (SC-ABD): every node is a symmetric replica, liveness
+            needs only a majority, and the recovery/failover subsystems
+            (which assume a sequencer) do not apply.
     """
 
     name: str
@@ -268,6 +306,7 @@ class ProtocolSpec:
     client_factory: Any
     sequencer_factory: Any
     notes: str = ""
+    quorum_based: bool = False
 
     def make_process(self, ctx: ProcessContext) -> ProtocolProcess:
         """Instantiate the right process for ``ctx.node_id``'s role."""

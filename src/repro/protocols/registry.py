@@ -10,6 +10,7 @@ from . import (
     dragon,
     firefly,
     illinois,
+    sc_abd,
     synapse,
     write_once,
     write_through,
@@ -38,6 +39,7 @@ PROTOCOLS: Dict[str, ProtocolSpec] = {
 #: Protocols added by this reproduction beyond the paper's eight.
 EXTENSION_PROTOCOLS: Dict[str, ProtocolSpec] = {
     write_through_dir.SPEC.name: write_through_dir.SPEC,
+    sc_abd.SPEC.name: sc_abd.SPEC,
 }
 
 

@@ -1,0 +1,355 @@
+"""SC-ABD: sequencer-less majority-quorum protocol (extension family).
+
+Every protocol in the paper serializes writes through the sequencer, so a
+minority partition containing the sequencer stalls the whole system.
+SC-ABD removes the star: every node (including node ``N + 1``) is a
+symmetric replica holding ``(timestamp, value)`` where a timestamp is the
+logical pair ``(number, node_id)``, ordered lexicographically.  Reads and
+writes are the classic two-phase majority-quorum protocol of Attiya, Bar-
+Noy and Dolev (ABD), which gives per-object linearizability — strictly
+stronger than the sequential consistency the paper's protocols provide —
+with liveness that needs only *any* majority of live, reachable replicas:
+
+* **write** — phase 1 queries a quorum for timestamps (``Q-TS``/``Q-TR``,
+  bare tokens), the writer picks ``(max_number + 1, node_id)``; phase 2
+  installs ``(ts, value)`` at a quorum (``Q-UPD`` carrying the write
+  parameters) and completes on a quorum of ``Q-ACK``\\ s.
+* **read** — phase 1 queries a quorum for ``(ts, value)`` (``Q-RD`` bare,
+  ``Q-RR`` carrying user information).  If the quorum unanimously reports
+  the maximum timestamp the read completes immediately; otherwise the
+  reader first **write-backs** the maximum ``(ts, value)`` to the stale
+  quorum members (``Q-WB``) and completes only after their acks — the
+  read-repair that makes reads linearizable.
+
+Quorum selection and cost model: with ``n = N + 1`` nodes the majority is
+``m = n // 2 + 1`` and the *core* quorum is nodes ``1 .. m``.  Fault-free,
+every phase addresses the core (self-sends travel as free intra-node
+loops), so per-operation costs are deterministic closed forms: a read
+costs ``q * (S + 2)`` and a write ``q * (P + 4)``, where ``q = m - 1``
+for a node inside the core and ``q = m`` outside it
+(:func:`repro.core.closed_forms.acc_sc_abd`).  When a phase times out the
+initiator **re-selects**: it re-broadcasts the phase message to every
+node that has not answered (any ``m`` distinct responders then complete
+the phase), with exponential backoff.  Re-selection traffic is charged to
+the ``quorum`` share of ``acc`` — zero fault-free — and rides the
+unordered datagram transport
+(:meth:`repro.sim.reliable.ReliableNetwork.send_unordered`), whose
+retry-budget exhaustion degrades into silence rather than delivery
+violations: liveness is owned here, by re-selection, not by the channel.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..machines.message import Message, MsgType, ParamPresence
+from .base import (
+    EJECT,
+    READ,
+    Operation,
+    ProcessContext,
+    ProtocolProcess,
+    ProtocolSpec,
+)
+
+__all__ = ["SCABDProcess", "SPEC", "majority", "core_quorum",
+           "quorum_fanout"]
+
+REPLICA = "REPLICA"
+
+#: base re-selection timeout: comfortably above the transport's base ack
+#: timeout (8) plus a round trip, so fault-free phases never time out
+QUORUM_TIMEOUT = 24.0
+#: exponential backoff multiplier per re-selection attempt
+QUORUM_BACKOFF = 2.0
+#: cap on the inter-attempt delay (keeps healing partitions responsive)
+QUORUM_DELAY_CAP = 400.0
+#: re-selection attempts before an operation parks (an unhealed minority
+#: partition); a parked operation is reported as stalled, never lost
+QUORUM_MAX_ATTEMPTS = 60
+
+Timestamp = Tuple[int, int]
+
+
+def majority(num_nodes: int) -> int:
+    """Majority quorum size ``m`` for an ``n``-node system."""
+    return num_nodes // 2 + 1
+
+
+def core_quorum(all_nodes: Tuple[int, ...]) -> Tuple[int, ...]:
+    """The fault-free quorum: the ``m`` lowest-numbered nodes."""
+    return all_nodes[: majority(len(all_nodes))]
+
+
+def quorum_fanout(node: int, num_nodes: int) -> int:
+    """Inter-node messages per phase leg, fault-free (``q`` in the docs).
+
+    ``m - 1`` for a core member (its own leg is a free loop), ``m`` for a
+    node outside the core.
+    """
+    m = majority(num_nodes)
+    return m - 1 if node <= m else m
+
+
+class SCABDProcess(ProtocolProcess):
+    """The symmetric SC-ABD replica-plus-initiator process (every node)."""
+
+    def __init__(self, ctx: ProcessContext):
+        super().__init__(ctx, initial_state=REPLICA)
+        #: logical timestamp of the local copy, ``(number, node_id)``
+        self.ts: Timestamp = (0, 0)
+        # ---- initiator-side phase machine (one op at a time per port:
+        # the local queue is disabled for the whole operation) ----
+        self._op: Optional[Operation] = None
+        self._phase: Optional[str] = None
+        self._gen = 0  # bumped on every phase change; stale traffic filtered
+        self._attempts = 0
+        self._timer: Optional[Any] = None
+        self._replies: Dict[int, Any] = {}
+        self._acks: Set[int] = set()
+        self._repair_pending: Set[int] = set()
+        self._new_ts: Optional[Timestamp] = None
+        self._read_ts: Optional[Timestamp] = None
+        self._read_value: Any = None
+        #: operations parked after exhausting re-selection attempts
+        #: (an unhealed minority partition); surfaced as stalled
+        self.parked_ops = 0
+
+    # ------------------------------------------------------------------
+    # quorum geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def _m(self) -> int:
+        return majority(len(self.ctx.all_nodes))
+
+    def _core(self) -> Tuple[int, ...]:
+        return core_quorum(self.ctx.all_nodes)
+
+    # ------------------------------------------------------------------
+    # application requests
+    # ------------------------------------------------------------------
+
+    def on_request(self, op: Operation) -> None:
+        if op.kind == EJECT:
+            # a quorum replica is load-bearing: ejects are refused (free).
+            self.ctx.complete(op)
+            return
+        # every operation is distributed and two-phase: block the local
+        # queue until it completes (one in-flight op per port).
+        self._op = op
+        self._attempts = 0
+        self.ctx.disable_local_queue()
+        if op.kind == READ:
+            self._enter_phase("read", self._core(), retry=False)
+        else:
+            self._enter_phase("write_ts", self._core(), retry=False)
+
+    # ------------------------------------------------------------------
+    # phase machine
+    # ------------------------------------------------------------------
+
+    def _enter_phase(self, phase: str, targets, retry: bool) -> None:
+        self._phase = phase
+        self._gen += 1
+        self._replies = {}
+        self._acks = set()
+        self._send_phase(targets, retry)
+        self._arm_timer()
+
+    def _send_phase(self, targets, retry: bool) -> None:
+        op = self._op
+        if self._phase == "read":
+            for dst in targets:
+                self.ctx.send_unordered(
+                    dst, MsgType.Q_RD, ParamPresence.NONE, op.op_id,
+                    payload={"gen": self._gen, "retry": retry},
+                    quorum=retry,
+                )
+        elif self._phase == "write_ts":
+            for dst in targets:
+                self.ctx.send_unordered(
+                    dst, MsgType.Q_TS, ParamPresence.NONE, op.op_id,
+                    payload={"gen": self._gen, "retry": retry},
+                    quorum=retry,
+                )
+        elif self._phase == "write_upd":
+            for dst in targets:
+                self.ctx.send_unordered(
+                    dst, MsgType.Q_UPD, ParamPresence.WRITE, op.op_id,
+                    payload={"gen": self._gen, "ts": self._new_ts,
+                             "value": op.params, "retry": retry},
+                    quorum=retry,
+                )
+        elif self._phase == "repair":
+            for dst in targets:
+                self.ctx.send_unordered(
+                    dst, MsgType.Q_WB, ParamPresence.WRITE, op.op_id,
+                    payload={"gen": self._gen, "ts": self._read_ts,
+                             "value": self._read_value, "retry": retry},
+                    quorum=retry,
+                )
+
+    def _arm_timer(self) -> None:
+        delay = min(
+            QUORUM_TIMEOUT * (QUORUM_BACKOFF ** self._attempts),
+            QUORUM_DELAY_CAP,
+        )
+        gen = self._gen
+        self._timer = self.ctx.schedule(delay,
+                                        lambda: self._on_timeout(gen))
+
+    def _cancel_timer(self) -> None:
+        timer = self._timer
+        if timer is not None:
+            timer.cancel()
+            self._timer = None
+
+    def _on_timeout(self, gen: int) -> None:
+        if self._op is None or gen != self._gen:
+            return  # the phase moved on; stale timer
+        self._attempts += 1
+        if self._attempts >= QUORUM_MAX_ATTEMPTS:
+            # unhealed minority partition: park (stalled, never lost).
+            self.parked_ops += 1
+            self._timer = None
+            return
+        if self._phase == "repair":
+            # a stale member is unreachable: restart the read from phase
+            # 1 — re-selection will find a fresh majority to read (and,
+            # if needed, repair through).
+            self._enter_phase("read", self.ctx.all_nodes, retry=True)
+            return
+        responded = (self._acks if self._phase == "write_upd"
+                     else self._replies)
+        targets = [n for n in self.ctx.all_nodes if n not in responded]
+        self._send_phase(targets, retry=True)
+        self._arm_timer()
+
+    def _finish(self, value: Any = None) -> None:
+        self._cancel_timer()
+        self._gen += 1  # stragglers from the finished op are filtered
+        op, self._op = self._op, None
+        self._phase = None
+        self.ctx.enable_local_queue()
+        self.ctx.complete(op, value)
+
+    # ------------------------------------------------------------------
+    # replica duties (handle queries from any initiator, incl. self)
+    # ------------------------------------------------------------------
+
+    def _install(self, ts: Timestamp, value: Any) -> None:
+        if tuple(ts) > self.ts:
+            self.ts = tuple(ts)
+            self.value = value
+
+    def on_message(self, msg: Message) -> None:
+        mtype = msg.token.type
+        payload = msg.payload
+        if mtype is MsgType.Q_RD:
+            self.ctx.send_unordered(
+                msg.src, MsgType.Q_RR, ParamPresence.USER_INFO, msg.op_id,
+                payload={"gen": payload["gen"], "ts": self.ts,
+                         "value": self.value},
+                initiator=msg.token.operation_initiator,
+                quorum=payload["retry"],
+            )
+        elif mtype is MsgType.Q_TS:
+            self.ctx.send_unordered(
+                msg.src, MsgType.Q_TR, ParamPresence.NONE, msg.op_id,
+                payload={"gen": payload["gen"], "ts": self.ts},
+                initiator=msg.token.operation_initiator,
+                quorum=payload["retry"],
+            )
+        elif mtype in (MsgType.Q_UPD, MsgType.Q_WB):
+            self._install(payload["ts"], payload["value"])
+            self.ctx.send_unordered(
+                msg.src, MsgType.Q_ACK, ParamPresence.NONE, msg.op_id,
+                payload={"gen": payload["gen"]},
+                initiator=msg.token.operation_initiator,
+                quorum=payload["retry"],
+            )
+        elif mtype is MsgType.Q_RR:
+            self._on_read_reply(msg)
+        elif mtype is MsgType.Q_TR:
+            self._on_ts_reply(msg)
+        elif mtype is MsgType.Q_ACK:
+            self._on_ack(msg)
+        else:  # pragma: no cover - specification error
+            raise ValueError(f"sc_abd: unexpected {mtype}")
+
+    # ------------------------------------------------------------------
+    # initiator duties (collect replies, drive phases)
+    # ------------------------------------------------------------------
+
+    def _live(self, phase: str, payload) -> bool:
+        return (self._op is not None and self._phase == phase
+                and payload["gen"] == self._gen)
+
+    def _on_read_reply(self, msg: Message) -> None:
+        if not self._live("read", msg.payload):
+            return
+        self._replies[msg.src] = (tuple(msg.payload["ts"]),
+                                  msg.payload["value"])
+        if len(self._replies) < self._m:
+            return
+        # phase 1 complete: the max timestamp is the read's value.
+        max_ts, value = max(self._replies.values())
+        self._read_ts, self._read_value = max_ts, value
+        # the reader itself may install for free (it is as entitled to
+        # hold (ts, value) as any replica).
+        self._install(max_ts, value)
+        stale = {node for node, (ts, _v) in self._replies.items()
+                 if ts < max_ts and node != self.ctx.node_id}
+        if not stale:
+            # the whole counted quorum holds max_ts: linearizable as-is.
+            self._finish(value)
+            return
+        # read-repair: write max back to the stale members before
+        # completing, so no later read can travel back in time.
+        self._repair_pending = stale
+        self._enter_phase("repair", sorted(stale), retry=False)
+
+    def _on_ts_reply(self, msg: Message) -> None:
+        if not self._live("write_ts", msg.payload):
+            return
+        self._replies[msg.src] = tuple(msg.payload["ts"])
+        if len(self._replies) < self._m:
+            return
+        # phase 1 complete: mint a unique, dominating timestamp.
+        max_num = max(num for num, _node in self._replies.values())
+        self._new_ts = (max_num + 1, self.ctx.node_id)
+        self._enter_phase("write_upd", self._core(), retry=False)
+
+    def _on_ack(self, msg: Message) -> None:
+        if self._op is None or msg.payload["gen"] != self._gen:
+            return
+        if self._phase == "write_upd":
+            self._acks.add(msg.src)
+            if len(self._acks) >= self._m:
+                self._finish()
+        elif self._phase == "repair":
+            self._repair_pending.discard(msg.src)
+            if not self._repair_pending:
+                self._finish(self._read_value)
+
+
+SPEC = ProtocolSpec(
+    name="sc_abd",
+    display_name="SC-ABD (majority quorum)",
+    client_states=(REPLICA,),
+    sequencer_states=(REPLICA,),
+    invalidation_based=False,
+    migrating_owner=False,
+    client_factory=SCABDProcess,
+    sequencer_factory=SCABDProcess,
+    notes=(
+        "Extension (not in the paper): two-phase ABD majority quorums "
+        "with per-object logical timestamps and read-repair write-back; "
+        "no sequencer, so liveness needs only a majority — minority "
+        "partitions and sequencer-class crashes do not stall it.  "
+        "Fault-free costs: read q(S+2), write q(P+4) with q = m-1 "
+        "inside the core quorum, m outside."
+    ),
+    quorum_based=True,
+)

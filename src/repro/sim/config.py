@@ -114,6 +114,39 @@ class RunConfig:
         """Return a copy with the given fields replaced (validates again)."""
         return replace(self, **changes)
 
+    def describe_robustness(self) -> str:
+        """The full robustness configuration, one labelled line per layer.
+
+        Historically the CLI banner assembled this piecemeal — the
+        degraded-mode policy and detector knobs only surfaced through
+        ``partitions.describe()`` and the failover/monitor switches and
+        the *resolved* retry policy (which defaults silently whenever a
+        fault or partition plan is present) were not shown at all.  This
+        method is the single place that renders everything that makes a
+        run robust (or deliberately not): fault plan, partition plan with
+        detector and degraded-mode policy, effective reliable-delivery
+        retry policy, failover, and the consistency monitor.
+        """
+        lines = [
+            "faults:      " + (self.faults.describe()
+                               if self.faults is not None else "none"),
+            "partitions:  " + (self.partitions.describe()
+                               if self.partitions is not None else "none"),
+        ]
+        reliability = self.resolved_reliability
+        if reliability is not None:
+            lines.append(
+                f"reliability: timeout={reliability.timeout:g}, "
+                f"backoff={reliability.backoff:g}, "
+                f"max_retries={reliability.max_retries}"
+                + ("" if self.reliability is not None else " (defaulted)")
+            )
+        else:
+            lines.append("reliability: none (paper-faithful fabric)")
+        lines.append("failover:    " + ("on" if self.failover else "off"))
+        lines.append("monitor:     " + ("on" if self.monitor else "off"))
+        return "\n".join(lines)
+
     # ------------------------------------------------------------------
     # canonical serialization (cache keys, worker payloads)
     # ------------------------------------------------------------------

@@ -44,6 +44,10 @@ class OpRecord:
     #: portion of ``cost`` charged by the reliability layer (retransmissions
     #: and acknowledgements); 0 on the fault-free fabric
     reliability_cost: float = 0.0
+    #: portion of ``cost`` charged by quorum re-selection (re-broadcast
+    #: phase messages and their replies after a quorum timeout); 0 for
+    #: the star protocols and for quorum runs on a fault-free fabric
+    quorum_cost: float = 0.0
 
     @property
     def completed(self) -> bool:
@@ -80,6 +84,10 @@ class ReliabilityStats:
     recoveries: int = 0
     #: sends abandoned after the retry budget ran out (graceful degradation)
     delivery_failures: int = 0
+    #: unordered datagrams silently abandoned after the retry budget ran
+    #: out (quorum transport; liveness is owned by quorum re-selection,
+    #: so an abandoned datagram is not a delivery failure)
+    dgram_abandoned: int = 0
     #: operation ids whose traffic hit a delivery failure
     failed_op_ids: List[int] = field(default_factory=list)
     #: total communication cost charged by the reliability layer
@@ -143,6 +151,10 @@ class PartitionStats:
     sends_absorbed: int = 0
     #: local operations still gated at quarantined nodes at run end
     ops_stalled: int = 0
+    #: retry-budget delivery violations suppressed because the
+    #: destination was quarantined or crashed (expected unreachability,
+    #: not a delivery bug) — previously invisible
+    suppressed_violations: int = 0
     #: total simulated time nodes spent partition-quarantined (healed
     #: partitions only; a node still quarantined at run end is not counted)
     partition_time: float = 0.0
@@ -225,6 +237,28 @@ class Metrics:
         if tracer is not None:
             tracer.op_event(kind, op_id, cost=cost)
 
+    def record_quorum_cost(self, op_id: Optional[int], cost: float,
+                           kind: str = "quorum") -> None:
+        """Charge a quorum re-selection message (re-broadcast or reply).
+
+        Like reliability overhead it inflates the operation's ``cost``
+        without touching the trace signature, but it is tracked as its
+        own share: re-selection traffic is the price of a quorum
+        protocol's availability under faults, not of reliable delivery.
+        Zero on a fault-free fabric, where no phase ever times out.
+        """
+        tracer = self.tracer
+        if op_id is None or op_id not in self._ops:
+            self.unattributed_cost += cost
+            if tracer is not None:
+                tracer.op_event(kind, None, cost=cost)
+            return
+        rec = self._ops[op_id]
+        rec.cost += cost
+        rec.quorum_cost += cost
+        if tracer is not None:
+            tracer.op_event(kind, op_id, cost=cost)
+
     def record_recovery_cost(self, cost: float, kind: str = "recovery") -> None:
         """Charge recovery-subsystem traffic (elections, snapshots).
 
@@ -296,28 +330,32 @@ class Metrics:
                                ) -> Dict[str, float]:
         """Split steady-state ``acc`` into its cost shares.
 
-        Returns ``{"acc", "protocol", "reliability", "recovery",
-        "detector"}`` where ``acc`` is the usual per-operation total
-        (``protocol + reliability``), ``protocol`` is the cost the
-        coherence traces would incur on a fault-free fabric,
-        ``reliability`` is the per-operation overhead of retransmissions
-        and acknowledgements, and ``recovery`` / ``detector`` are the
-        crash-recovery subsystem's and the failure detector's
-        system-level traffic (elections, epoch announcements,
-        resynchronization transfers; heartbeat probes and replies)
-        amortized over the same window — they ride on top of ``acc``
-        rather than inside it because they are not attributable to
-        individual operations.
+        Returns ``{"acc", "protocol", "reliability", "quorum",
+        "recovery", "detector"}`` where ``acc`` is the usual
+        per-operation total (``protocol + reliability + quorum``),
+        ``protocol`` is the cost the coherence traces would incur on a
+        fault-free fabric, ``reliability`` is the per-operation overhead
+        of retransmissions and acknowledgements, ``quorum`` is the
+        per-operation overhead of quorum re-selection (re-broadcast
+        phase messages after quorum timeouts; SC-ABD only), and
+        ``recovery`` / ``detector`` are the crash-recovery subsystem's
+        and the failure detector's system-level traffic (elections,
+        epoch announcements, resynchronization transfers; heartbeat
+        probes and replies) amortized over the same window — they ride
+        on top of ``acc`` rather than inside it because they are not
+        attributable to individual operations.
         """
         recs = self.records(skip, take)
         if not recs:
             raise ValueError("no completed operations in the window")
         total = sum(r.cost for r in recs) / len(recs)
         overhead = sum(r.reliability_cost for r in recs) / len(recs)
+        quorum = sum(r.quorum_cost for r in recs) / len(recs)
         return {
             "acc": total,
-            "protocol": total - overhead,
+            "protocol": total - overhead - quorum,
             "reliability": overhead,
+            "quorum": quorum,
             "recovery": self.recovery.cost / len(recs),
             "detector": self.partition.cost / len(recs),
         }
@@ -404,6 +442,13 @@ class Metrics:
             for share, value in self.average_cost_breakdown(skip, take).items():
                 registry.gauge(prefix + ".acc." + share,
                                "steady-state %s cost share" % share).set(value)
+        suppressed = registry.counter(
+            prefix + ".reliable.suppressed_violations",
+            "retry-budget delivery violations suppressed because the "
+            "destination was quarantined or crashed")
+        delta = self.partition.suppressed_violations - suppressed.value
+        if delta > 0:
+            suppressed.inc(delta)
         for group, stats in (("reliability", self.reliability),
                              ("recovery", self.recovery),
                              ("partition", self.partition)):

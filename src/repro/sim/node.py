@@ -115,6 +115,37 @@ class ObjectPort(ProcessContext):
                       payload=payload, op_id=op_id)
         self._node.network.send(msg, self._node.S, self._node.P)
 
+    def send_unordered(
+        self,
+        dst: int,
+        msg_type: MsgType,
+        presence: ParamPresence,
+        op_id: Optional[int],
+        payload: Any = None,
+        initiator: Optional[int] = None,
+        quorum: bool = False,
+    ) -> None:
+        network = self._node.network
+        if not hasattr(network, "send_unordered"):
+            # fault-free fabric: plain FIFO sends are exact (nothing is
+            # ever retried or abandoned, so ordering cannot wedge).
+            self.send(dst, msg_type, presence, op_id, payload, initiator)
+            return
+        token = MessageToken(
+            type=msg_type,
+            operation_initiator=self.node_id if initiator is None else initiator,
+            object_name=self.obj,
+            queue=QueueTag.DISTRIBUTED,
+            parameter_presence=presence,
+        )
+        msg = Message(token=token, src=self.node_id, dst=dst,
+                      payload=payload, op_id=op_id)
+        network.send_unordered(msg, self._node.S, self._node.P,
+                               quorum=quorum)
+
+    def schedule(self, delay: float, callback: Any) -> Any:
+        return self._node.scheduler.schedule(delay, callback)
+
     def complete(self, op: Operation, value: Any = None) -> None:
         op.complete_time = self._node.scheduler.now
         op.result = value

@@ -134,7 +134,9 @@ class Frame:
     """Transport envelope carried by the physical fabric.
 
     ``kind`` is ``"data"`` (wraps a protocol :class:`Message`), ``"ack"``
-    (bare acknowledgement token) or ``"loop"`` (intra-node bypass).  The
+    (bare acknowledgement token), ``"dgram"`` / ``"dack"`` (the unordered
+    datagram mode used by quorum protocols) or ``"loop"`` (intra-node
+    bypass).  The
     ``cost``/``src``/``dst`` surface lets a frame travel through
     :class:`~repro.sim.channel.Network` like any message.  ``epoch`` is
     the sender's view-change epoch (:meth:`ReliableNetwork.advance_epoch`);
@@ -154,7 +156,7 @@ class Frame:
         """Inter-node communication cost of this frame."""
         if self.src == self.dst:
             return 0.0
-        if self.kind == "ack":
+        if self.kind == "ack" or self.kind == "dack":
             return 1.0  # a bare token (no parameters ride along)
         return self.msg.cost(S, P)
 
@@ -217,6 +219,13 @@ class ReliableNetwork:
         # receiver side: next expected sequence + reorder buffer per channel
         self._expected: Dict[Tuple[int, int], int] = {}
         self._reorder: Dict[Tuple[int, int], Dict[int, Message]] = {}
+        # unordered datagram mode (quorum protocols): its own sequence
+        # space, pending map and receiver dedup sets — no FIFO gating, so
+        # an abandoned datagram never wedges the channel behind it.
+        self._dgram_seq: Dict[Tuple[int, int], int] = {}
+        self._dgram_pending: Dict[Tuple[Tuple[int, int], int],
+                                  _PendingSend] = {}
+        self._dgram_seen: Dict[Tuple[int, int], Set[int]] = {}
 
     def _tracer(self):
         metrics = self.metrics
@@ -280,6 +289,50 @@ class ReliableNetwork:
         self._arm_timer(pending)
         return cost
 
+    def send_unordered(self, msg: Message, S: float, P: float,
+                       quorum: bool = False) -> float:
+        """Send ``msg`` as an at-least-once *unordered* datagram.
+
+        Quorum-protocol transport: the datagram is retransmitted on a
+        dack timeout like a data frame, but the receiver delivers it
+        immediately (no FIFO gating, duplicates suppressed by sequence
+        set), and when the retry budget runs out the send is **silently
+        abandoned** — counted in ``ReliabilityStats.dgram_abandoned``,
+        never a :class:`DeliveryViolation`: liveness toward an
+        unreachable replica is owned by the protocol's quorum
+        re-selection, not by the transport.  ``quorum=True`` marks a
+        re-selection re-broadcast, charged to the ``quorum`` cost share
+        instead of the protocol share (no trace-signature entry).
+        """
+        if msg.src == msg.dst:
+            frame = Frame("loop", msg.src, msg.dst, 0, msg=msg,
+                          op_id=msg.op_id)
+            return self.physical.send(frame, S, P)
+        if self.quarantined and msg.dst in self.quarantined:
+            if self.metrics is not None:
+                self.metrics.partition.sends_absorbed += 1
+                tracer = self.metrics.tracer
+                if tracer is not None:
+                    tracer.op_event("absorbed", msg.op_id, src=msg.src,
+                                    dst=msg.dst, detail="quarantined dst")
+            return 0.0
+        channel = (msg.src, msg.dst)
+        seq = self._dgram_seq.get(channel, 0) + 1
+        self._dgram_seq[channel] = seq
+        frame = Frame("dgram", msg.src, msg.dst, seq, msg=msg,
+                      op_id=msg.op_id, epoch=self.epoch)
+        pending = _PendingSend(frame, S, P)
+        self._dgram_pending[(channel, seq)] = pending
+        cost = frame.cost(S, P)
+        if self.metrics is not None:
+            if quorum:
+                self.metrics.record_quorum_cost(msg.op_id, cost)
+            else:
+                self.metrics.record_message(msg, cost)
+        self._transmit(pending, charge=False)
+        self._arm_dgram_timer(pending)
+        return cost
+
     # ------------------------------------------------------------------
     # sender side
     # ------------------------------------------------------------------
@@ -334,6 +387,10 @@ class ReliableNetwork:
                     op_id=frame.op_id, obj=obj, attempts=pending.attempts,
                     time=self.scheduler.now,
                 ))
+            elif self.metrics is not None:
+                # expected unreachability (crashed or quarantined dst):
+                # the violation is suppressed, but visibly so.
+                self.metrics.partition.suppressed_violations += 1
             if self.metrics is not None:
                 stats = self.metrics.reliability
                 stats.delivery_failures += 1
@@ -353,6 +410,40 @@ class ReliableNetwork:
             self.metrics.reliability.retransmissions += 1
         self._transmit(pending, charge=True)
         self._arm_timer(pending)
+
+    def _arm_dgram_timer(self, pending: _PendingSend) -> None:
+        delay = self.config.timeout * (self.config.backoff ** pending.attempts)
+        key = ((pending.frame.src, pending.frame.dst), pending.frame.seq)
+        pending.timer = self.scheduler.schedule(
+            delay, lambda: self._on_dgram_timeout(key)
+        )
+
+    def _on_dgram_timeout(self, key: Tuple[Tuple[int, int], int]) -> None:
+        pending = self._dgram_pending.get(key)
+        if pending is None:  # pragma: no cover - dacked timers are cancelled
+            return
+        if pending.attempts >= self.config.max_retries:
+            # budget exhausted: abandon *silently* — the quorum layer
+            # re-selects around the unreachable replica; no violation,
+            # no delivery failure, no wedged channel.
+            del self._dgram_pending[key]
+            if self.metrics is not None:
+                self.metrics.reliability.dgram_abandoned += 1
+                tracer = self.metrics.tracer
+                if tracer is not None:
+                    frame = pending.frame
+                    tracer.op_event(
+                        "dgram_abandoned", frame.op_id,
+                        src=frame.src, dst=frame.dst,
+                        detail="seq %d after %d retries"
+                        % (frame.seq, pending.attempts),
+                    )
+            return
+        pending.attempts += 1
+        if self.metrics is not None:
+            self.metrics.reliability.retransmissions += 1
+        self._transmit(pending, charge=True)
+        self._arm_dgram_timer(pending)
 
     # ------------------------------------------------------------------
     # receiver side
@@ -388,6 +479,29 @@ class ReliableNetwork:
             pending = self._pending.pop(key, None)
             if pending is not None and pending.timer is not None:
                 pending.timer.cancel()
+            return
+        if frame.kind == "dack":
+            key = ((frame.dst, frame.src), frame.seq)
+            pending = self._dgram_pending.pop(key, None)
+            if pending is not None and pending.timer is not None:
+                pending.timer.cancel()
+            return
+        if frame.kind == "dgram":
+            channel = (frame.src, frame.dst)
+            # always dack, even duplicates: the previous dack may be lost.
+            self._send_ack(frame, kind="dack")
+            seen = self._dgram_seen.setdefault(channel, set())
+            if frame.seq in seen:
+                if self.metrics is not None:
+                    self.metrics.reliability.duplicates_suppressed += 1
+                    tracer = self.metrics.tracer
+                    if tracer is not None:
+                        tracer.op_event("dup_suppressed", frame.op_id,
+                                        src=frame.src, dst=frame.dst)
+                return
+            seen.add(frame.seq)
+            # unordered: deliver immediately, no FIFO gating.
+            self._deliver(frame.dst, frame.msg)
             return
         channel = (frame.src, frame.dst)
         # always ack, even duplicates: the previous ack may have been lost.
@@ -428,8 +542,8 @@ class ReliableNetwork:
                             detail=msg.token.type.value)
         self._handlers[dst](msg)
 
-    def _send_ack(self, data: Frame) -> None:
-        ack = Frame("ack", data.dst, data.src, data.seq, op_id=data.op_id,
+    def _send_ack(self, data: Frame, kind: str = "ack") -> None:
+        ack = Frame(kind, data.dst, data.src, data.seq, op_id=data.op_id,
                     epoch=self.epoch)
         if self.metrics is not None:
             self.metrics.reliability.acks += 1
@@ -515,8 +629,14 @@ class ReliableNetwork:
                     detail="epoch %d voided %d frames"
                     % (self.epoch, len(voided)),
                 )
+        for pending in self._dgram_pending.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
         self._pending.clear()
         self._send_seq.clear()
         self._expected.clear()
         self._reorder.clear()
+        self._dgram_pending.clear()
+        self._dgram_seq.clear()
+        self._dgram_seen.clear()
         return voided

@@ -54,6 +54,9 @@ _HIT_STATES: Dict[str, frozenset] = {
     "berkeley": frozenset({"VALID", "DIRTY", "SHARED-DIRTY"}),
     "dragon": frozenset({"SHARED-CLEAN", "SHARED-DIRTY"}),
     "firefly": frozenset({"SHARED", "VALID"}),
+    # quorum family: no state ever serves a local read (every read is a
+    # distributed quorum round), so nothing is checkable as a "hit" copy
+    "sc_abd": frozenset(),
 }
 
 #: owner-role states for authoritative-value lookup
@@ -196,6 +199,29 @@ class DSMSystem:
             raise ValueError("need at least one client")
         if M < 1:
             raise ValueError("need at least one shared object")
+        if self.spec.quorum_based:
+            # the quorum family has no sequencer: the recovery/failover
+            # subsystems (sequencer-anchored) and the replica pool (which
+            # assumes a home node holding every copy) do not apply, and a
+            # quorum replica must be durable across crashes — refuse the
+            # combinations loudly rather than mis-simulate.
+            if capacity is not None:
+                raise ValueError(
+                    f"{self.spec.name} replicas are quorum members; a "
+                    "finite replica pool (capacity=) is not supported"
+                )
+            if failover:
+                raise ValueError(
+                    f"{self.spec.name} has no sequencer to fail over; "
+                    "drop failover=True (a majority of replicas is "
+                    "sufficient for liveness)"
+                )
+            if faults is not None and faults.has_amnesia:
+                raise ValueError(
+                    f"{self.spec.name} requires durable replicas: "
+                    "amnesia crash semantics would forget quorum-"
+                    "acknowledged state; use crash_semantics='durable'"
+                )
         self.N = N
         self.M = M
         self.S = float(S)
@@ -283,9 +309,10 @@ class DSMSystem:
         )
         self.write_log: Optional[WriteLog] = None
         self.recovery: Optional[RecoveryManager] = None
-        if (self.partitions is not None
-                or (self.faults is not None
-                    and (self.failover or self.faults.has_amnesia))):
+        if (not self.spec.quorum_based
+                and (self.partitions is not None
+                     or (self.faults is not None
+                         and (self.failover or self.faults.has_amnesia)))):
             self.write_log = WriteLog()
             self.recovery = RecoveryManager(
                 nodes=self.nodes,
@@ -303,9 +330,12 @@ class DSMSystem:
                 latency=self.latency,
                 failover=self.failover,
             )
-        #: sequencer-side heartbeat failure detector (partition plans only)
+        #: sequencer-side heartbeat failure detector (partition plans only;
+        #: the quorum family needs no detector or quarantine — liveness
+        #: comes from quorum re-selection, so partitions only act at the
+        #: link level and every node stays in the view)
         self.detector: Optional[FailureDetector] = None
-        if self.partitions is not None:
+        if self.partitions is not None and not self.spec.quorum_based:
             # the transport absorbs traffic to quarantined nodes instead
             # of retrying into a severed link forever.
             self.network.quarantined = self.cluster.quarantined
@@ -505,8 +535,19 @@ class DSMSystem:
         self.scheduler.run(max_events=config.max_events)
         incomplete = max(0, num_ops - self.metrics.completed_count)
         lost = self.metrics.recovery.ops_lost
-        stalled = (self.recovery.stalled_ops()
-                   if self.recovery is not None else 0)
+        if self.spec.quorum_based:
+            # parked quorum operations (re-selection exhausted inside an
+            # unhealed partition) stay in their port's in-flight table,
+            # with program-order successors queued behind the closed
+            # gate: both are stalled, not deadlocked.
+            stalled = sum(
+                len(port.local_queue) + len(port.inflight)
+                for node in self.nodes.values()
+                for port in node.ports.values()
+            )
+        else:
+            stalled = (self.recovery.stalled_ops()
+                       if self.recovery is not None else 0)
         self.metrics.partition.ops_stalled = stalled
         if (incomplete > lost + stalled
                 and self.metrics.reliability.delivery_failures == 0):
@@ -571,6 +612,16 @@ class DSMSystem:
         migrating-owner protocols it is the owner's copy.
         """
         name = self.spec.name
+        if self.spec.quorum_based:
+            # the serialization point is the logical timestamp order: the
+            # authoritative value is the one held with the maximum
+            # timestamp across the replicas (any majority is guaranteed
+            # to contain it once the writing operation completed).
+            best = max(
+                (self.nodes[n].process_for(obj) for n in self.all_nodes),
+                key=lambda proc: proc.ts,
+            )
+            return best.value
         if name in _OWNER_STATES:
             # a partition-quarantined node keeps its (stale) replica for
             # degraded serving, so it may still look like an owner; the

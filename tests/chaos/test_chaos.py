@@ -54,7 +54,8 @@ class TestOptions:
     def test_defaults_resolve_every_protocol(self):
         options = ChaosOptions()
         assert options.resolved_protocols == ALL_CHAOS_PROTOCOLS
-        assert len(ALL_CHAOS_PROTOCOLS) == 9
+        assert len(ALL_CHAOS_PROTOCOLS) == 10
+        assert "sc_abd" in ALL_CHAOS_PROTOCOLS
 
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -93,6 +94,26 @@ class TestGenerator:
             assert cell.protocol == protocol
             assert cell.kind == "sim"
             assert cell.config.monitor is True
+
+    def test_quorum_cells_are_sanitized(self):
+        """SC-ABD rejects amnesia crashes and failover; the generator
+        sanitizes those draws *after* the RNG stream so every other
+        protocol's schedule is untouched."""
+        options = ChaosOptions(seeds=30)
+        saw_crash = False
+        for _p, _s, cell in chaos_cells(
+                ChaosOptions(seeds=30, protocols=("sc_abd",))):
+            assert cell.config.failover is False
+            if cell.config.faults is not None:
+                for window in cell.config.faults.crashes:
+                    saw_crash = True
+                    assert window.semantics == "durable"
+        assert saw_crash  # the sweep actually exercised crash windows
+        # the RNG stream is untouched: a star protocol's cells are the
+        # same whether or not sc_abd exists in the campaign.
+        a = generate_cell("illinois", 3, options)
+        b = generate_cell("illinois", 3, ChaosOptions(seeds=30))
+        assert a.to_payload() == b.to_payload()
 
     def test_schedules_stay_within_budgets(self):
         options = ChaosOptions(seeds=20)
@@ -182,8 +203,9 @@ class TestMutationDetection:
 
 class TestHonestFuzz:
     def test_fifty_seeds_all_protocols_clean(self):
-        """No findings across 50 seeds x all 9 protocols (the PR's
-        zero-violation criterion; ~12 s single-core)."""
+        """No findings across 50 seeds x all 10 protocols — including
+        SC-ABD under minority-partition schedules (the PR's
+        zero-violation criterion)."""
         report = run_chaos(ChaosOptions(seeds=50))
         assert report.cells == 50 * len(ALL_CHAOS_PROTOCOLS)
         assert report.ok, "\n\n".join(

@@ -182,3 +182,34 @@ class TestRunConfigRoundTrip:
                              kind="sim", M=2, config=config)
             clone = SweepCell.from_payload(cell.to_payload())
             assert clone.key_dict() == cell.key_dict()
+
+
+class TestDescribeRobustness:
+    """The unified banner renders every robustness layer, including the
+    silently-defaulted retry policy (previously invisible)."""
+
+    def test_paper_faithful_config_says_so(self):
+        text = RunConfig().describe_robustness()
+        assert "faults:      none" in text
+        assert "partitions:  none" in text
+        assert "reliability: none (paper-faithful fabric)" in text
+        assert "failover:    off" in text
+        assert "monitor:     off" in text
+
+    def test_partitions_only_surfaces_detector_and_defaulted_retries(self):
+        plan = PartitionPlan(links=[LinkFault(1, 2, 0.0, 100.0)],
+                             policy="serve_local_reads")
+        text = RunConfig(partitions=plan, monitor=True).describe_robustness()
+        assert "policy=serve_local_reads" in text
+        assert "detector(" in text
+        assert "max_retries=10 (defaulted)" in text
+        assert "monitor:     on" in text
+
+    def test_explicit_reliability_is_not_marked_defaulted(self):
+        config = RunConfig(
+            faults=FaultPlan(drop_rate=0.1),
+            reliability=ReliabilityConfig(timeout=6.0, max_retries=8),
+        )
+        text = config.describe_robustness()
+        assert "timeout=6, backoff=2, max_retries=8" in text
+        assert "(defaulted)" not in text

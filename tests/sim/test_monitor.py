@@ -109,6 +109,47 @@ class TestWitnessSearch:
             ConsistencyMonitor(step_budget=0)
 
 
+class TestDegradedReadExemption:
+    """The monitor must distinguish policy-exempt staleness (a
+    ``serve_local_reads`` read flagged via ``on_degraded_read``) from a
+    genuine sequential-consistency violation in the same history."""
+
+    def _interleaved_history(self, m, flag_stale):
+        # node 1 completes two quorum writes (5 then 6); node 2 performs
+        # a quorum read observing 6, then a degraded local read serving
+        # the stale 5 — antichronological, so not SC on its face.
+        w1, w2 = op(1, 1, "write", 5), op(2, 1, "write", 6)
+        quorum_read, stale_read = op(3, 2, "read", 6), op(4, 2, "read", 5)
+        record(m, w1, w2, quorum_read)
+        m.on_submit(stale_read)
+        if flag_stale:
+            m.on_degraded_read(stale_read)
+        m.on_complete(stale_read)
+
+    def test_unflagged_stale_read_is_a_real_violation(self):
+        m = ConsistencyMonitor()
+        self._interleaved_history(m, flag_stale=False)
+        v = m.check_object(1)
+        assert v is not None and v.kind == "sequential_consistency"
+
+    def test_flagged_stale_read_is_counted_but_exempt(self):
+        m = ConsistencyMonitor()
+        self._interleaved_history(m, flag_stale=True)
+        assert m.check_object(1) is None
+        assert m.stale_reads == 1
+
+    def test_exemption_is_per_operation_not_per_node(self):
+        # a *second*, unflagged stale read by the same node still trips
+        # the witness search: the exemption covers exactly the reads the
+        # policy served degraded.
+        m = ConsistencyMonitor()
+        self._interleaved_history(m, flag_stale=True)
+        late = op(5, 2, "read", 5)
+        record(m, late)
+        v = m.check_object(1)
+        assert v is not None and v.kind == "sequential_consistency"
+
+
 class TestConvergence:
     def test_readable_mismatch_is_divergence(self):
         m = ConsistencyMonitor()

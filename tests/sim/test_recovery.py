@@ -19,7 +19,11 @@ from repro.sim.recovery import RecoveryManager
 from repro.workloads import read_disturbance_workload
 
 PARAMS = WorkloadParams(N=4, p=0.3, a=3, sigma=0.15, S=100.0, P=30.0)
-ALL_PROTOCOLS = list(PROTOCOLS) + list(EXTENSION_PROTOCOLS)
+# every star protocol: amnesia crashes and sequencer failover are
+# meaningless for the quorum family (DSMSystem rejects both by design).
+ALL_PROTOCOLS = [name for name, spec
+                 in {**PROTOCOLS, **EXTENSION_PROTOCOLS}.items()
+                 if not spec.quorum_based]
 
 
 def run(protocol, crashes, failover=False, monitor=True, ops=1200,

@@ -261,6 +261,89 @@ class TestDeliveryViolations:
         assert all(v.attempts == 2 for v in delivery)
 
 
+class TestSuppressedViolations:
+    """Retry-budget exhaustion toward a quarantined destination is the
+    intended degradation — suppressed, but *visibly* so (satellite of the
+    quorum PR: the count was previously invisible)."""
+
+    def _exhaust_toward_quarantined(self, metrics):
+        plan = FaultPlan(seed=0, drop_rate=1.0)
+        sched, net, _ = make(
+            faults=plan, metrics=metrics,
+            config=ReliabilityConfig(timeout=2.0, max_retries=2),
+        )
+        net.send(msg(1, 2), 100, 30)  # in flight...
+        net.quarantined = {2}         # ...then the view ejects the dst
+        sched.run()
+        return net
+
+    def test_counted_in_partition_stats_not_violations(self):
+        metrics = Metrics()
+        net = self._exhaust_toward_quarantined(metrics)
+        assert net.violations == []
+        assert metrics.partition.suppressed_violations == 1
+        # still a delivery failure (the op is incomplete) — just not a
+        # reliability-contract violation.
+        assert metrics.reliability.delivery_failures == 1
+
+    def test_published_to_registry_as_counter(self):
+        from repro.obs import MetricsRegistry
+        metrics = Metrics()
+        self._exhaust_toward_quarantined(metrics)
+        reg = MetricsRegistry()
+        metrics.publish(reg)
+        counter = reg.counter("sim.reliable.suppressed_violations")
+        assert counter.value == 1
+        metrics.publish(reg)  # delta-inc: republishing must not double
+        assert counter.value == 1
+
+
+class TestUnorderedDatagrams:
+    """The quorum transport: at-least-once unordered delivery whose
+    abandonment is silent (re-selection owns liveness, not the channel)."""
+
+    def test_delivers_and_suppresses_duplicates(self):
+        metrics = Metrics()
+        plan = FaultPlan(seed=0, duplicate_rate=1.0)
+        sched, net, inboxes = make(faults=plan, metrics=metrics)
+        for i in range(5):
+            net.send_unordered(msg(1, 2, payload=i), 100, 30)
+        sched.run()
+        assert sorted(m.payload for m in inboxes[2]) == list(range(5))
+        assert metrics.reliability.duplicates_suppressed >= 5
+
+    def test_abandonment_is_silent_and_never_wedges(self):
+        metrics = Metrics()
+        metrics.register_op(9, 1, "read", 1, 0.0)
+        plan = FaultPlan(seed=0, drop_rate=1.0)
+        sched, net, inboxes = make(
+            faults=plan, metrics=metrics,
+            config=ReliabilityConfig(timeout=2.0, max_retries=3),
+        )
+        net.send_unordered(msg(1, 2, op_id=9), 100, 30)
+        sched.run()
+        # no violation, no delivery failure, no failed op — only the
+        # dgram_abandoned counter moves.
+        assert net.violations == []
+        assert metrics.reliability.delivery_failures == 0
+        assert metrics.reliability.failed_op_ids == []
+        assert metrics.reliability.dgram_abandoned == 1
+        # and the channel is NOT wedged: after healing, later datagrams
+        # deliver immediately (no FIFO hole to close).
+        net.physical.faults = None
+        net.send_unordered(msg(1, 2, payload="after"), 100, 30)
+        sched.run()
+        assert [m.payload for m in inboxes[2]] == ["after"]
+
+    def test_self_send_bypasses_transport(self):
+        metrics = Metrics()
+        sched, net, inboxes = make(metrics=metrics)
+        net.send_unordered(msg(1, 1, payload="loop"), 100, 30)
+        sched.run()
+        assert [m.payload for m in inboxes[1]] == ["loop"]
+        assert metrics.reliability.acks == 0
+
+
 class TestExactlyOnceFifoProperty:
     @settings(max_examples=25, deadline=None)
     @given(

@@ -136,11 +136,25 @@ class TestSimulatePartitions:
         code, out, _ = run(capsys, *self.ARGV,
                            "--cut", "2:5:500:900", "--monitor")
         assert code == 0
-        assert "partitions      = " in out
+        assert "robustness:" in out
         assert "cut(2<->5: 500..900)" in out
         assert "heartbeats" in out
         assert "detector" in out  # priced share in the breakdown
         assert "consistency     = ok" in out
+
+    def test_banner_renders_full_robustness_config(self, capsys):
+        """Partitions-only runs surface detector knobs, degraded-mode
+        policy and the silently-defaulted retry policy in one banner."""
+        code, out, _ = run(capsys, *self.ARGV,
+                           "--cut", "2:5:500:900", "--monitor")
+        assert code == 0
+        assert "faults:      none" in out
+        assert ("partitions:  seed=0, detector(interval=40, "
+                "suspect_after=3, policy=stall), "
+                "cut(2<->5: 500..900)" in out)
+        assert "reliability: timeout=8, backoff=2, max_retries=10" in out
+        assert "failover:    off" in out
+        assert "monitor:     on" in out
 
     def test_one_way_cut_parses(self, capsys):
         code, out, _ = run(capsys, *self.ARGV,
@@ -181,6 +195,32 @@ class TestSimulatePartitions:
                            "--crash-semantics", "amnesia")
         assert code == 0
         assert "crash(nodes 2,3: 300..500, amnesia)" in out
+
+
+class TestSimulateQuorum:
+    ARGV = ("simulate", "sc_abd", "--N", "4", "--p", "0.3",
+            "--a", "2", "--sigma", "0.1", "--ops", "600", "--seed", "1")
+
+    def test_fault_free_run_matches_analytic(self, capsys):
+        code, out, _ = run(capsys, *self.ARGV)
+        assert code == 0
+        assert "simulated acc" in out
+        sim = float(out.split("simulated acc   =")[1].split()[0])
+        analytic = float(out.split("analytic acc    =")[1].split()[0])
+        assert abs(sim - analytic) / analytic < 0.05
+
+    def test_partitioned_run_reports_quorum_share(self, capsys):
+        code, out, _ = run(capsys, *self.ARGV,
+                           "--cut", "1:3:500:900", "--monitor")
+        assert code == 0
+        assert "quorum)" in out  # the quorum share in the breakdown
+        assert "consistency     = ok" in out
+
+    def test_failover_flag_rejected(self, capsys):
+        code, _out, err = run(capsys, *self.ARGV, "--crash-at", "2:100:300",
+                              "--failover")
+        assert code == 2
+        assert "no sequencer" in err
 
 
 class TestChaosCommand:
