@@ -16,34 +16,35 @@ Run:  python examples/protocol_comparison.py
 
 import numpy as np
 
-from repro import Deviation, WorkloadParams, rank_protocols
+from repro import Deviation, WorkloadParams, api
 from repro.core import min_acc_region_map
-from repro.protocols import PROTOCOLS
+from repro.protocols import get_protocol
 
 SCENARIOS = {
     "producer/consumer (one writer, many readers, big objects)":
-        WorkloadParams(N=20, p=0.15, a=8, sigma=0.08, S=2000.0, P=20.0),
+        {"N": 20, "p": 0.15, "a": 8, "sigma": 0.08, "S": 2000.0, "P": 20.0},
     "write-heavy private working set (rare sharing)":
-        WorkloadParams(N=20, p=0.6, a=2, sigma=0.01, S=500.0, P=30.0),
+        {"N": 20, "p": 0.6, "a": 2, "sigma": 0.01, "S": 500.0, "P": 30.0},
     "small updates, chatty sharing (sensor-style)":
-        WorkloadParams(N=20, p=0.05, a=8, sigma=0.1, S=5000.0, P=2.0),
+        {"N": 20, "p": 0.05, "a": 8, "sigma": 0.1, "S": 5000.0, "P": 2.0},
 }
 
 
 def show_rankings() -> None:
-    for title, params in SCENARIOS.items():
-        ranking = rank_protocols(params, Deviation.READ)
+    for title, point in SCENARIOS.items():
+        ranking = api.rank(point, deviation="read")
         best_name, best_acc = ranking[0]
         worst_name, worst_acc = ranking[-1]
         print(f"\n{title}")
-        print(f"  {params}")
+        print(f"  {WorkloadParams.from_dict(point)}")
         for name, acc in ranking:
-            display = PROTOCOLS[name].display_name
+            display = get_protocol(name).display_name
             marker = "  <== best" if name == best_name else ""
             print(f"    {display:18s} acc = {acc:10.2f}{marker}")
         factor = worst_acc / best_acc if best_acc else float("inf")
-        print(f"  choosing {PROTOCOLS[worst_name].display_name} instead of "
-              f"{PROTOCOLS[best_name].display_name} costs {factor:.1f}x")
+        print(f"  choosing {get_protocol(worst_name).display_name} "
+              f"instead of {get_protocol(best_name).display_name} "
+              f"costs {factor:.1f}x")
 
 
 def show_region_map() -> None:

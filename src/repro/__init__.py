@@ -16,9 +16,24 @@ The package provides:
 * :mod:`repro.exp` — the parallel sweep engine with result caching;
 * :mod:`repro.obs` — observability: structured tracing, a metrics
   registry, wall-clock profiling and Chrome-trace export;
+* :mod:`repro.scenarios` — the declarative scenario catalog: whole
+  studies as validated JSON/TOML documents with ``extends:`` inheritance;
+* :mod:`repro.api` — the one-stop facade (:func:`~repro.api.acc`,
+  :func:`~repro.api.rank`, :func:`~repro.api.simulate`,
+  :func:`~repro.api.load_scenario`, :func:`~repro.api.run_scenario`);
 * :mod:`repro.adaptive` — the self-tuning protocol-selection extension.
 
-Quickstart::
+Quickstart (the facade)::
+
+    from repro import api
+
+    point = {"N": 8, "p": 0.2, "a": 3, "sigma": 0.1}
+    api.acc("berkeley", point)            # analytic cost
+    api.rank(point)[0]                    # cheapest protocol
+    api.simulate("berkeley", point).acc   # simulated cost
+    api.run_scenario("smoke-table7")      # a committed catalog entry
+
+Quickstart (the underlying objects)::
 
     from repro import (
         Deviation, DSMSystem, RunConfig, WorkloadParams, analytical_acc,
@@ -39,7 +54,7 @@ Grid-shaped experiments go through the sweep engine::
     from repro.exp import SweepSpec, run_sweep
 """
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 from .core import (
     ALL_PROTOCOLS,
@@ -61,7 +76,13 @@ from .obs import (
     Tracer,
     write_chrome_trace,
 )
-from .protocols import PROTOCOLS, get_protocol, protocol_names
+from .protocols import (
+    PROTOCOLS,
+    UnknownProtocolError,
+    all_protocol_names,
+    get_protocol,
+    protocol_names,
+)
 from .sim import (
     ConsistencyMonitor,
     ConsistencyViolation,
@@ -86,6 +107,13 @@ from .exp import (  # noqa: E402
     SweepSpec,
     run_sweep,
 )
+from .scenarios import (  # noqa: E402  (imports repro.exp)
+    Scenario,
+    ScenarioCatalog,
+    ScenarioError,
+)
+from . import api  # noqa: E402  (imports repro.scenarios)
+from .api import load_scenario, run_scenario  # noqa: E402
 
 __all__ = [
     "ALL_PROTOCOLS",
@@ -105,6 +133,8 @@ __all__ = [
     "Tracer",
     "write_chrome_trace",
     "PROTOCOLS",
+    "UnknownProtocolError",
+    "all_protocol_names",
     "get_protocol",
     "protocol_names",
     "ConsistencyMonitor",
@@ -125,5 +155,11 @@ __all__ = [
     "SweepRunner",
     "SweepSpec",
     "run_sweep",
+    "Scenario",
+    "ScenarioCatalog",
+    "ScenarioError",
+    "api",
+    "load_scenario",
+    "run_scenario",
     "__version__",
 ]

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight commands cover the library's day-to-day uses:
+Nine commands cover the library's day-to-day uses:
 
 * ``acc`` — evaluate the analytic steady-state cost for one protocol;
 * ``rank`` — rank all protocols for a workload (the classifier's view);
@@ -15,7 +15,10 @@ Eight commands cover the library's day-to-day uses:
 * ``trace`` — run one simulation with structured tracing on and export
   the Chrome trace (and optionally the JSONL event stream);
 * ``profile`` — run one simulation under the wall-clock profiler and
-  print the hot-path table.
+  print the hot-path table;
+* ``scenarios`` — the declarative scenario catalog
+  (:mod:`repro.scenarios`): ``list`` / ``show`` / ``run`` / ``compare``
+  whole committed studies without writing a benchmark script.
 
 All commands share the same flag vocabulary through parent parsers: the
 workload group (``--N --p --a --sigma ...``), the run group
@@ -23,6 +26,10 @@ workload group (``--N --p --a --sigma ...``), the run group
 --dup-rate --jitter --crash-at --crash-semantics --failover --monitor
 --fault-seed``) and the reliability group (``--retry-timeout
 --retry-backoff --max-retries``) spell identically wherever they appear.
+The argparse → model translation lives in two public helpers —
+:func:`workload_from_args` and :func:`runconfig_from_args` — shared by
+every subcommand (external tools embedding this CLI's flag vocabulary
+can reuse them).
 
 Examples::
 
@@ -33,6 +40,8 @@ Examples::
     python -m repro sweep --protocols write_once,write_through_v \\
         --N 3 --a 2 --p-values 0,0.2,0.4 --disturb-values 0,0.1,0.2 \\
         --ops 2000 --workers 4 --out table7.jsonl
+    python -m repro scenarios list
+    python -m repro scenarios run smoke-table7 --workers 4
 """
 
 from __future__ import annotations
@@ -49,7 +58,7 @@ from .exp import SweepSpec, SweepRunner
 from .obs.export import write_chrome_trace, write_events_jsonl
 from .obs.profile import Profiler
 from .obs.trace import TraceConfig
-from .protocols.registry import EXTENSION_PROTOCOLS, PROTOCOLS
+from .protocols.registry import all_protocol_names, protocol_names
 from .sim.config import RunConfig
 from .sim.faults import CrashWindow, FaultPlan
 from .sim.partition import PARTITION_POLICIES, LinkFault, PartitionPlan, cut
@@ -58,7 +67,8 @@ from .sim.system import DSMSystem
 from .validation.compare import compare_cell
 from .workloads.synthetic import SyntheticWorkload
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "runconfig_from_args",
+           "workload_from_args"]
 
 _DEVIATIONS = {
     "read": Deviation.READ,
@@ -226,12 +236,21 @@ def _reliability_parent() -> argparse.ArgumentParser:
 
 
 # ----------------------------------------------------------------------
-# argument -> model translation
+# argument -> model translation (public: the one assembly path every
+# subcommand shares; reusable by tools embedding this flag vocabulary)
 # ----------------------------------------------------------------------
 
-def _params(args: argparse.Namespace) -> WorkloadParams:
-    return WorkloadParams(N=args.N, p=args.p, a=args.a, sigma=args.sigma,
-                          xi=args.xi, beta=args.beta, S=args.S, P=args.P)
+def workload_from_args(args: argparse.Namespace) -> WorkloadParams:
+    """The :class:`WorkloadParams` described by the workload flag groups.
+
+    Point flags (``--p --sigma --xi``) default to ``0`` when the
+    subcommand does not take a workload point (e.g. ``sweep``, whose grid
+    supplies them per cell).
+    """
+    return WorkloadParams(N=args.N, p=getattr(args, "p", 0.0),
+                          a=args.a, sigma=getattr(args, "sigma", 0.0),
+                          xi=getattr(args, "xi", 0.0), beta=args.beta,
+                          S=args.S, P=args.P)
 
 
 def _parse_crash(spec: str, semantics: str = "durable") -> CrashWindow:
@@ -308,8 +327,9 @@ def _trace_config(args: argparse.Namespace) -> Optional[TraceConfig]:
     return TraceConfig(sample_every=getattr(args, "trace_sample", 1))
 
 
-def _run_config(args: argparse.Namespace) -> RunConfig:
-    """The unified :class:`RunConfig` shared by simulate/validate/sweep."""
+def runconfig_from_args(args: argparse.Namespace) -> RunConfig:
+    """The unified :class:`RunConfig` described by the run/fault/partition/
+    reliability/trace flag groups — shared by every simulating subcommand."""
     faults = _fault_plan(args)
     partitions = _partition_plan(args)
     reliability = (
@@ -331,7 +351,7 @@ def _csv_floats(text: str) -> List[float]:
 
 def _csv_protocols(text: str) -> List[str]:
     if text.strip() == "all":
-        return list(PROTOCOLS)
+        return protocol_names()
     return [part.strip() for part in text.split(",") if part.strip()]
 
 
@@ -350,7 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
                         version="%(prog)s " + _version())
     sub = parser.add_subparsers(dest="command", required=True)
 
-    known = ", ".join(list(PROTOCOLS) + list(EXTENSION_PROTOCOLS))
+    known = ", ".join(all_protocol_names())
     system, point = _system_parent(), _point_parent()
     run, fault, rel = _run_parent(), _fault_parent(), _reliability_parent()
     part, trace = _partition_parent(), _trace_parent()
@@ -420,7 +440,7 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[system, run, fault, part, rel],
     )
     p_sweep.add_argument("--protocols", type=_csv_protocols,
-                         default=list(PROTOCOLS), metavar="NAME[,NAME...]",
+                         default=protocol_names(), metavar="NAME[,NAME...]",
                          help=f"comma-separated protocols or 'all' "
                               f"(default: all; known: {known})")
     p_sweep.add_argument("--p-values", type=_csv_floats, required=True,
@@ -494,6 +514,66 @@ def build_parser() -> argparse.ArgumentParser:
                               "K-th operation span")
     p_chaos.add_argument("--quiet", action="store_true",
                          help="suppress per-cell progress output")
+
+    p_scen = sub.add_parser(
+        "scenarios",
+        help="the declarative scenario catalog (list/show/run/compare)",
+        description="Work with the scenario catalog: committed JSON/TOML "
+                    "documents that describe whole studies (protocol set, "
+                    "workload, run configuration, sweep axes) and run "
+                    "through the standard sweep engine and result cache.",
+    )
+    scen_sub = p_scen.add_subparsers(dest="scenarios_command", required=True)
+
+    scen_catalog = argparse.ArgumentParser(add_help=False)
+    scen_catalog.add_argument("--catalog", default=None, metavar="DIR",
+                              help="scenario catalog directory (default: "
+                                   "$REPRO_SCENARIOS, ./scenarios, or the "
+                                   "repository's committed catalog)")
+
+    scen_run = argparse.ArgumentParser(add_help=False)
+    scen_run.add_argument("name", help="scenario name (or a .json/.toml "
+                                       "file path)")
+    scen_run.add_argument("--cells", type=int, default=None, metavar="K",
+                          help="run only the first K cells (smoke runs)")
+    scen_run.add_argument("--workers", type=int, default=1,
+                          help="worker processes (1 = in-process)")
+    scen_run.add_argument("--cache-dir", default=".repro-sweep-cache",
+                          help="result-cache directory (shared with the "
+                               "sweep command and the benchmarks)")
+    scen_run.add_argument("--no-cache", action="store_true",
+                          help="disable the result cache")
+    scen_run.add_argument("--quiet", action="store_true",
+                          help="suppress per-cell progress output")
+    scen_run.add_argument("--out", default=None, metavar="PATH",
+                          help="JSONL output path (run default: "
+                               "scenario-<name>.jsonl; compare writes "
+                               "rows only when given)")
+
+    p_list = scen_sub.add_parser("list", parents=[scen_catalog],
+                                 help="list the catalog's scenarios")
+    p_list.add_argument("--tag", default=None,
+                        help="only scenarios carrying this tag")
+
+    p_show = scen_sub.add_parser("show", parents=[scen_catalog],
+                                 help="show one resolved scenario")
+    p_show.add_argument("name", help="scenario name (or a .json/.toml "
+                                     "file path)")
+    p_show.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the resolved document as JSON instead "
+                             "of the human-readable summary")
+
+    scen_sub.add_parser("run", parents=[scen_catalog, scen_run],
+                        help="run one scenario through the sweep engine")
+
+    p_cmp = scen_sub.add_parser(
+        "compare", parents=[scen_catalog, scen_run],
+        help="run one scenario and compare its rows byte-for-byte "
+             "against a committed baseline JSONL",
+    )
+    p_cmp.add_argument("--baseline", default=None, metavar="PATH",
+                       help="baseline JSONL (default: "
+                            "<catalog>/baselines/<name>.jsonl)")
     return parser
 
 
@@ -523,14 +603,9 @@ def _export_trace(tracer, chrome_path, jsonl_path, label: str) -> None:
 
 def _cmd_simulate(args: argparse.Namespace, deviation: Deviation,
                   params: WorkloadParams) -> int:
-    config = _run_config(args)
-    system = DSMSystem(args.protocol, N=params.N, M=args.M,
-                       S=params.S, P=params.P,
-                       capacity=args.capacity,
-                       faults=config.faults, partitions=config.partitions,
-                       reliability=config.reliability,
-                       failover=config.failover, monitor=config.monitor,
-                       tracing=config.tracing)
+    config = runconfig_from_args(args)
+    system = DSMSystem.from_config(args.protocol, params, config,
+                                   M=args.M, capacity=args.capacity)
     workload = SyntheticWorkload(params, deviation, M=args.M)
     result = system.run_workload(workload, config)
     warmup = config.resolved_warmup
@@ -632,15 +707,10 @@ def _cmd_simulate(args: argparse.Namespace, deviation: Deviation,
 
 def _cmd_trace(args: argparse.Namespace, deviation: Deviation,
                params: WorkloadParams) -> int:
-    config = _run_config(args).with_(
+    config = runconfig_from_args(args).with_(
         tracing=TraceConfig(sample_every=args.sample)
     )
-    system = DSMSystem(args.protocol, N=params.N, M=args.M,
-                       S=params.S, P=params.P,
-                       faults=config.faults, partitions=config.partitions,
-                       reliability=config.reliability,
-                       failover=config.failover, monitor=config.monitor,
-                       tracing=config.tracing)
+    system = DSMSystem.from_config(args.protocol, params, config, M=args.M)
     workload = SyntheticWorkload(params, deviation, M=args.M)
     result = system.run_workload(workload, config)
     print(f"simulated acc   = {result.acc:.4f}")
@@ -652,14 +722,10 @@ def _cmd_trace(args: argparse.Namespace, deviation: Deviation,
 
 def _cmd_profile(args: argparse.Namespace, deviation: Deviation,
                  params: WorkloadParams) -> int:
-    config = _run_config(args)
+    config = runconfig_from_args(args)
     profiler = Profiler()
-    system = DSMSystem(args.protocol, N=params.N, M=args.M,
-                       S=params.S, P=params.P,
-                       faults=config.faults, partitions=config.partitions,
-                       reliability=config.reliability,
-                       failover=config.failover, monitor=config.monitor,
-                       tracing=config.tracing, profiler=profiler)
+    system = DSMSystem.from_config(args.protocol, params, config,
+                                   M=args.M, profiler=profiler)
     workload = SyntheticWorkload(params, deviation, M=args.M)
     result = system.run_workload(workload, config)
     print(f"simulated acc   = {result.acc:.4f}")
@@ -670,9 +736,8 @@ def _cmd_profile(args: argparse.Namespace, deviation: Deviation,
 
 
 def _cmd_sweep(args: argparse.Namespace, deviation: Deviation) -> int:
-    base = WorkloadParams(N=args.N, p=0.0, a=args.a, beta=args.beta,
-                          S=args.S, P=args.P)
-    config = _run_config(args)
+    base = workload_from_args(args)  # the point flags default to 0 here
+    config = runconfig_from_args(args)
     spec = SweepSpec.cartesian(
         protocols=args.protocols,
         base=base,
@@ -792,6 +857,107 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 1
 
 
+def _scenario_progress(done: int, total: int, row: dict) -> None:
+    tag = row["status"]
+    detail = ""
+    if tag == "ok" and row.get("discrepancy_pct") is not None:
+        detail = f" disc={row['discrepancy_pct']:+.2f}%"
+    elif tag == "failed":
+        detail = f" ({row['error']})"
+    print(f"[{done}/{total}] {row['protocol']} p={row['p']:g} "
+          f"disturb={row['disturb']:g} {tag}{detail}", file=sys.stderr)
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from .scenarios import (ScenarioCatalog, compare_to_baseline,
+                            default_catalog_dir, load_scenario, run_scenario)
+
+    catalog = None
+    if args.catalog is not None:
+        catalog = ScenarioCatalog(args.catalog)
+
+    if args.scenarios_command == "list":
+        if catalog is None:
+            root = default_catalog_dir()
+            if root is None:
+                print("error: no scenario catalog found (set "
+                      "REPRO_SCENARIOS, create ./scenarios, or pass "
+                      "--catalog)", file=sys.stderr)
+                return 2
+            catalog = ScenarioCatalog(root)
+        print(f"catalog: {catalog.root}")
+        shown = 0
+        for scenario in catalog.load_all():
+            if args.tag is not None and args.tag not in scenario.tags:
+                continue
+            shown += 1
+            cells = len(scenario.to_spec())
+            tags = f" [{', '.join(scenario.tags)}]" if scenario.tags else ""
+            title = scenario.title or scenario.description
+            print(f"  {scenario.name:18s} {cells:4d} cells  "
+                  f"{scenario.kind:8s}{tags}  {title}")
+        if not shown:
+            print("  (no scenarios" +
+                  (f" tagged {args.tag!r})" if args.tag else ")"))
+        return 0
+
+    if args.scenarios_command == "show":
+        scenario = load_scenario(args.name, catalog=catalog)
+        if args.as_json:
+            import json as _json
+            print(_json.dumps(scenario.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(scenario.describe())
+        return 0
+
+    # run / compare share the execution path
+    scenario = load_scenario(args.name, catalog=catalog)
+    out_path = args.out
+    if args.scenarios_command == "run" and out_path is None:
+        out_path = f"scenario-{scenario.name}.jsonl"
+    result = run_scenario(
+        scenario,
+        cells=args.cells,
+        workers=args.workers,
+        cache=None if args.no_cache else args.cache_dir,
+        out_path=out_path,
+        progress=None if args.quiet else _scenario_progress,
+    )
+    print(f"scenario  = {scenario.name}")
+    print(f"cells     = {result.total} "
+          f"({result.computed} computed, {result.cached} cached, "
+          f"{result.failed} failed)")
+    if result.cache_stats is not None:
+        print(f"cache     = {result.cache_stats.hits} hits / "
+              f"{result.cache_stats.lookups} lookups "
+              f"({100 * result.cache_stats.hit_rate:.0f}%)")
+    if scenario.kind == "compare":
+        print(f"max |disc| = {result.max_abs_discrepancy_pct():.2f}%")
+    if args.scenarios_command == "compare":
+        baseline = args.baseline
+        if baseline is None:
+            root = (catalog.root if catalog is not None
+                    else default_catalog_dir())
+            if root is None:
+                print("error: no catalog to locate the baseline in; pass "
+                      "--baseline", file=sys.stderr)
+                return 2
+            from pathlib import Path
+            baseline = Path(root) / "baselines" / f"{scenario.name}.jsonl"
+        diff = compare_to_baseline(result, baseline)
+        print(f"baseline  = {baseline}")
+        print(f"compare   = {diff.summary()}")
+        if not diff.identical:
+            for line in diff.missing_in_baseline[:3]:
+                print(f"  not in baseline: {line}", file=sys.stderr)
+            for line in diff.missing_in_run[:3]:
+                print(f"  not reproduced:  {line}", file=sys.stderr)
+            return 1
+        return 0
+    print(f"results   -> {result.out_path}")
+    return 1 if result.failed else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -799,6 +965,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "chaos":
             return _cmd_chaos(args)
+        if args.command == "scenarios":
+            return _cmd_scenarios(args)
         if getattr(args, "protocol", None) is not None:
             # resolve early for a uniform "unknown protocol" error.
             from .protocols.registry import get_protocol
@@ -808,7 +976,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 from .protocols.registry import get_protocol
                 get_protocol(name)
             return _cmd_sweep(args, deviation)
-        params = _params(args)
+        params = workload_from_args(args)
         if args.command == "acc":
             value = analytical_acc(args.protocol, params, deviation,
                                    method=args.method)
@@ -834,7 +1002,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                   + ("  (placement-indifferent)" if abs(saving) < 1e-9
                      else ""))
         elif args.command == "validate":
-            config = _run_config(args)
+            config = runconfig_from_args(args)
             cell = compare_cell(args.protocol, params, deviation, M=args.M,
                                 config=config)
             print(f"analytic  = {cell.acc_analytic:.4f}")

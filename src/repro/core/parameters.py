@@ -38,6 +38,8 @@ from dataclasses import dataclass, replace
 from enum import Enum
 from typing import Iterator, Sequence, Tuple
 
+from ..util import reject_unknown_keys
+
 
 __all__ = [
     "Deviation",
@@ -208,7 +210,15 @@ class WorkloadParams:
 
     @classmethod
     def from_dict(cls, data: dict) -> "WorkloadParams":
-        """Rebuild a bundle from :meth:`to_dict` output (validates again)."""
+        """Rebuild a bundle from :meth:`to_dict` output (validates again).
+
+        Unknown keys raise ``ValueError`` instead of being silently
+        dropped.
+        """
+        reject_unknown_keys(
+            data, ("N", "p", "a", "sigma", "xi", "beta", "S", "P"),
+            "WorkloadParams",
+        )
         return cls(
             N=int(data["N"]), p=float(data["p"]), a=int(data.get("a", 0)),
             sigma=float(data.get("sigma", 0.0)),

@@ -100,17 +100,9 @@ def run_cell(cell: SweepCell, on_system: Optional[Callable] = None) -> dict:
         )
         if config.partitions is not None:
             row["partitions"] = config.partitions.to_dict()
-        system = DSMSystem(
-            cell.protocol, N=cell.params.N, M=cell.M,
-            S=cell.params.S, P=cell.params.P,
-            faults=(None if config.faults is None
-                    else config.faults.replay()),
-            partitions=(None if config.partitions is None
-                        else config.partitions.replay()),
-            reliability=config.reliability,
-            failover=config.failover,
-            monitor=config.monitor,
-            tracing=config.tracing,
+        system = DSMSystem.from_config(
+            cell.protocol, cell.params, config, M=cell.M,
+            replay_plans=True,
         )
         workload = SyntheticWorkload(cell.params, cell.deviation, M=cell.M)
         try:

@@ -29,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ..util import reject_unknown_keys
+
 __all__ = ["TraceConfig", "TraceEvent", "Span", "Tracer"]
 
 
@@ -55,6 +57,7 @@ class TraceConfig:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "TraceConfig":
+        reject_unknown_keys(data, ("sample_every",), "TraceConfig")
         return cls(sample_every=int(data.get("sample_every", 1)))
 
 

@@ -20,6 +20,8 @@ from .base import (
 from .registry import (
     EXTENSION_PROTOCOLS,
     PROTOCOLS,
+    UnknownProtocolError,
+    all_protocol_names,
     get_protocol,
     protocol_names,
 )
@@ -37,6 +39,8 @@ __all__ = [
     "ProtocolSpec",
     "EXTENSION_PROTOCOLS",
     "PROTOCOLS",
+    "UnknownProtocolError",
+    "all_protocol_names",
     "get_protocol",
     "protocol_names",
 ]

@@ -1,9 +1,19 @@
-"""Registry of the eight coherence protocols analyzed by the paper."""
+"""Registry of the eight coherence protocols analyzed by the paper.
+
+:func:`get_protocol` is the one lookup API: it resolves base and
+extension protocols alike (registry name or display name, case- and
+separator-insensitive) and raises :class:`UnknownProtocolError` — listing
+every valid name, with a did-you-mean suggestion — for anything else.
+Direct ``PROTOCOLS[...]`` / ``EXTENSION_PROTOCOLS[...]`` indexing is
+deprecated in docs and examples: it only sees half the registry and fails
+with a bare ``KeyError``.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, List
 
+from ..util import did_you_mean
 from .base import ProtocolSpec
 from . import (
     berkeley,
@@ -18,8 +28,8 @@ from . import (
     write_through_v,
 )
 
-__all__ = ["PROTOCOLS", "EXTENSION_PROTOCOLS", "get_protocol",
-           "protocol_names"]
+__all__ = ["PROTOCOLS", "EXTENSION_PROTOCOLS", "UnknownProtocolError",
+           "all_protocol_names", "get_protocol", "protocol_names"]
 
 #: The paper's eight protocols keyed by registry name, in the paper's order.
 PROTOCOLS: Dict[str, ProtocolSpec] = {
@@ -43,13 +53,37 @@ EXTENSION_PROTOCOLS: Dict[str, ProtocolSpec] = {
 }
 
 
+class UnknownProtocolError(KeyError):
+    """A protocol name that resolves to nothing in either registry table.
+
+    Subclasses ``KeyError`` so historical ``except KeyError`` handlers
+    (the CLI's, among others) keep working, but renders as a clean
+    message (no ``KeyError`` quote-wrapping) that lists every valid name
+    and suggests the closest one.
+    """
+
+    def __init__(self, name: str) -> None:
+        known = all_protocol_names()
+        super().__init__(
+            f"unknown protocol {name!r}{did_you_mean(name, known)}; "
+            f"known: {', '.join(known)}"
+        )
+        self.name = name
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
 def get_protocol(name: str) -> ProtocolSpec:
     """Look up a protocol by registry name or display name (case-insensitive).
 
-    Searches the paper's eight protocols first, then the extensions.
+    The single lookup API for base and extension protocols alike:
+    searches the paper's eight protocols first, then the extensions, then
+    display names (``"Write-Once"`` works as well as ``"write_once"``).
 
     Raises:
-        KeyError: with the list of known protocols when the name is unknown.
+        UnknownProtocolError: (a ``KeyError``) listing every valid name,
+            with a did-you-mean suggestion, when the name is unknown.
     """
     key = name.strip().lower().replace("-", "_").replace(" ", "_")
     for table in (PROTOCOLS, EXTENSION_PROTOCOLS):
@@ -59,10 +93,14 @@ def get_protocol(name: str) -> ProtocolSpec:
         for spec in table.values():
             if spec.display_name.lower() == name.strip().lower():
                 return spec
-    known = list(PROTOCOLS) + list(EXTENSION_PROTOCOLS)
-    raise KeyError(f"unknown protocol {name!r}; known: {', '.join(known)}")
+    raise UnknownProtocolError(name)
 
 
 def protocol_names() -> List[str]:
     """Registry names in the paper's order."""
     return list(PROTOCOLS)
+
+
+def all_protocol_names() -> List[str]:
+    """Every registry name — the paper's eight, then the extensions."""
+    return list(PROTOCOLS) + list(EXTENSION_PROTOCOLS)

@@ -1,0 +1,43 @@
+"""Declarative scenario catalog (``repro.scenarios``).
+
+Every headline study of this reproduction — the Table 6 cost model, the
+Table 7 analytic-vs-simulation validation, the Figure 5 surfaces, the
+fault/partition robustness grids and the quorum campaign — is *data*: a
+protocol set, a workload point, a run configuration and a sweep axis.
+This package makes that literal.  A scenario is a JSON (or, on
+Python >= 3.11, TOML) document validated by a strict parser (unknown
+keys rejected with did-you-mean suggestions), composed via ``extends:``
+inheritance, and expanded into the exact :class:`~repro.exp.SweepCell`
+objects a hand-written benchmark would build — so scenario runs flow
+through the parallel sweep engine and its content-addressed result cache
+unchanged, byte-identical to the legacy harnesses they replace.
+
+The repository ships a committed catalog under ``scenarios/`` and a CLI
+(``repro scenarios list|show|run|compare``) over it; programmatic access
+goes through :func:`load_scenario` / :func:`run_scenario` (also
+re-exported on :mod:`repro.api`).
+"""
+
+from .loader import (
+    ScenarioCatalog,
+    default_catalog_dir,
+    load_scenario,
+    load_scenario_dict,
+)
+from .runner import BaselineDiff, compare_to_baseline, run_scenario
+from .schema import CellOverride, Scenario, ScenarioError, SweepAxes, deep_merge
+
+__all__ = [
+    "BaselineDiff",
+    "CellOverride",
+    "Scenario",
+    "ScenarioCatalog",
+    "ScenarioError",
+    "SweepAxes",
+    "compare_to_baseline",
+    "deep_merge",
+    "default_catalog_dir",
+    "load_scenario",
+    "load_scenario_dict",
+    "run_scenario",
+]

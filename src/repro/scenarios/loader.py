@@ -1,0 +1,236 @@
+"""Loading scenario files and catalogs.
+
+A *catalog* is a directory of scenario documents — ``*.json`` always,
+``*.toml`` when the interpreter ships :mod:`tomllib` (Python >= 3.11; on
+older interpreters TOML files are reported with an actionable error
+rather than silently skipped).  The loader resolves ``extends:``
+inheritance (child fields deep-merge over the parent, ``name`` is never
+inherited, cycles are detected) before handing the merged document to
+:meth:`~repro.scenarios.schema.Scenario.from_dict` for strict validation.
+
+Catalog discovery order for the default catalog:
+
+1. the ``REPRO_SCENARIOS`` environment variable,
+2. ``./scenarios`` under the current working directory,
+3. the repository's committed ``scenarios/`` directory (when running
+   from a source checkout).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .schema import Scenario, ScenarioError, deep_merge
+
+try:  # Python >= 3.11
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - depends on interpreter
+    tomllib = None
+
+__all__ = [
+    "ScenarioCatalog",
+    "default_catalog_dir",
+    "load_scenario",
+    "load_scenario_dict",
+]
+
+_SUFFIXES = (".json", ".toml")
+
+
+def default_catalog_dir() -> Optional[Path]:
+    """The default scenario catalog directory, or ``None`` if none exists.
+
+    Checks ``$REPRO_SCENARIOS``, then ``./scenarios``, then the
+    repository's committed ``scenarios/`` directory (source checkouts).
+    """
+    env = os.environ.get("REPRO_SCENARIOS")
+    if env:
+        return Path(env)
+    cwd_catalog = Path.cwd() / "scenarios"
+    if cwd_catalog.is_dir():
+        return cwd_catalog
+    repo_catalog = Path(__file__).resolve().parents[3] / "scenarios"
+    if repo_catalog.is_dir():
+        return repo_catalog
+    return None
+
+
+def load_scenario_dict(path: Union[str, Path]) -> dict:
+    """Parse one scenario file (JSON or TOML) into a raw document dict.
+
+    No validation beyond well-formedness — ``extends`` is still
+    unresolved.  TOML requires :mod:`tomllib` (Python >= 3.11); on older
+    interpreters loading a ``.toml`` file raises :class:`ScenarioError`
+    suggesting the JSON form.
+    """
+    path = Path(path)
+    if path.suffix == ".toml":
+        if tomllib is None:
+            raise ScenarioError(
+                f"cannot load {path}: TOML scenario files need Python >= "
+                f"3.11 (tomllib); convert the scenario to JSON or upgrade"
+            )
+        try:
+            with path.open("rb") as fh:
+                data = tomllib.load(fh)
+        except tomllib.TOMLDecodeError as exc:
+            raise ScenarioError(f"invalid TOML in {path}: {exc}") from None
+    elif path.suffix == ".json":
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"invalid JSON in {path}: {exc}") from None
+    else:
+        raise ScenarioError(
+            f"unsupported scenario file {path}: expected one of "
+            f"{', '.join(_SUFFIXES)}"
+        )
+    if not isinstance(data, dict):
+        raise ScenarioError(
+            f"{path}: a scenario document must be a table/object, "
+            f"got {type(data).__name__}"
+        )
+    return data
+
+
+class ScenarioCatalog:
+    """A directory of scenario documents with ``extends:`` resolution.
+
+    Documents are discovered eagerly (file stem = default scenario name)
+    but validated lazily — a broken scenario only errors when loaded, so
+    one bad file does not take down ``repro scenarios list``.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        if not self.root.is_dir():
+            raise ScenarioError(f"scenario catalog {self.root} is not a directory")
+        self._raw: Dict[str, dict] = {}
+        self._paths: Dict[str, Path] = {}
+        self._resolved: Dict[str, Scenario] = {}
+        for path in sorted(self.root.iterdir()):
+            if path.suffix not in _SUFFIXES or not path.is_file():
+                continue
+            if path.suffix == ".toml" and tomllib is None:
+                # surfaced on load, not discovery — keep `list` working
+                self._paths[path.stem] = path
+                continue
+            doc = load_scenario_dict(path)
+            name = doc.get("name", path.stem)
+            if name in self._raw:
+                raise ScenarioError(
+                    f"duplicate scenario name {name!r}: "
+                    f"{self._paths[name]} and {path}"
+                )
+            doc.setdefault("name", name)
+            self._raw[name] = doc
+            self._paths[name] = path
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._paths
+
+    def names(self) -> List[str]:
+        """All scenario names in the catalog, sorted."""
+        return sorted(self._paths)
+
+    def path(self, name: str) -> Path:
+        """The file a scenario was discovered in."""
+        self._check_known(name)
+        return self._paths[name]
+
+    def raw(self, name: str) -> dict:
+        """The unresolved document (``extends`` intact) for ``name``."""
+        self._check_known(name)
+        if name not in self._raw:  # .toml discovered without tomllib
+            self._raw[name] = load_scenario_dict(self._paths[name])
+        return self._raw[name]
+
+    def resolve(self, name: str) -> dict:
+        """The fully merged document for ``name`` (``extends`` applied)."""
+        return self._resolve(name, chain=())
+
+    def load(self, name: str) -> Scenario:
+        """Resolve and validate one scenario."""
+        if name not in self._resolved:
+            doc = self.resolve(name)
+            try:
+                self._resolved[name] = Scenario.from_dict(doc)
+            except ScenarioError as exc:
+                raise ScenarioError(f"{self._paths[name]}: {exc}") from None
+        return self._resolved[name]
+
+    def load_all(self) -> List[Scenario]:
+        """Every scenario in the catalog, validated, sorted by name."""
+        return [self.load(name) for name in self.names()]
+
+    def _check_known(self, name: str) -> None:
+        if name not in self._paths:
+            from ..util import did_you_mean
+
+            raise ScenarioError(
+                f"no scenario named {name!r} in {self.root}"
+                f"{did_you_mean(name, self._paths)}; "
+                f"available: {', '.join(self.names()) or '(none)'}"
+            )
+
+    def _resolve(self, name: str, chain: tuple) -> dict:
+        self._check_known(name)
+        if name in chain:
+            cycle = " -> ".join((*chain, name))
+            raise ScenarioError(f"'extends' cycle: {cycle}")
+        doc = dict(self.raw(name))
+        parent_name = doc.pop("extends", None)
+        if parent_name is None:
+            return doc
+        if not isinstance(parent_name, str):
+            raise ScenarioError(
+                f"{self._paths[name]}: 'extends' must be a scenario name"
+            )
+        parent = dict(self._resolve(parent_name, (*chain, name)))
+        # identity and provenance are never inherited
+        for key in ("name", "title", "description", "tags"):
+            parent.pop(key, None)
+        # a child that switches sweep mode replaces the sweep wholesale —
+        # deep-merging across modes would leave stale axis keys behind
+        child_sweep = doc.get("sweep")
+        if (isinstance(child_sweep, dict)
+                and isinstance(parent.get("sweep"), dict)
+                and child_sweep.get("mode") is not None
+                and child_sweep.get("mode") != parent["sweep"].get("mode")):
+            parent.pop("sweep")
+        return deep_merge(parent, doc)
+
+
+def load_scenario(
+    name_or_path: Union[str, Path],
+    *,
+    catalog: Union[None, str, Path, ScenarioCatalog] = None,
+) -> Scenario:
+    """Load one scenario by catalog name or by file path.
+
+    A path (existing file, or anything ending in ``.json``/``.toml``)
+    loads that file, resolving ``extends`` against the file's own
+    directory.  Anything else is looked up by name in ``catalog``
+    (defaulting to :func:`default_catalog_dir`).
+    """
+    if isinstance(catalog, (str, Path)):
+        catalog = ScenarioCatalog(catalog)
+    path = Path(name_or_path)
+    if path.suffix in _SUFFIXES or path.is_file():
+        file_catalog = ScenarioCatalog(path.parent if str(path.parent) else ".")
+        return file_catalog.load(
+            load_scenario_dict(path).get("name", path.stem)
+        )
+    if catalog is None:
+        root = default_catalog_dir()
+        if root is None:
+            raise ScenarioError(
+                f"no scenario catalog found for {str(name_or_path)!r}: set "
+                f"REPRO_SCENARIOS, create ./scenarios, or pass catalog="
+            )
+        catalog = ScenarioCatalog(root)
+    return catalog.load(str(name_or_path))

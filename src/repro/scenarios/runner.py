@@ -1,0 +1,111 @@
+"""Running scenarios and comparing their rows against committed baselines.
+
+Thin glue: a scenario expands to a :class:`~repro.exp.spec.SweepSpec`
+(:meth:`Scenario.to_spec`) and runs through the existing parallel sweep
+engine and content-addressed result cache *unchanged* — so a scenario
+that mirrors a legacy benchmark reproduces its JSONL rows byte-for-byte
+and shares its cache entries.  :func:`compare_to_baseline` turns that
+byte-identity into a regression check against a committed baseline file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..exp.cache import ResultCache
+from ..exp.runner import SweepResult, row_line, run_sweep
+from ..obs.registry import MetricsRegistry
+from .schema import Scenario, ScenarioError
+
+__all__ = ["BaselineDiff", "compare_to_baseline", "run_scenario"]
+
+
+def run_scenario(
+    scenario: Scenario,
+    *,
+    cells: Optional[int] = None,
+    workers: int = 1,
+    cache: Union[ResultCache, str, Path, None] = None,
+    out_path: Union[str, Path, None] = None,
+    progress=None,
+    registry: Optional[MetricsRegistry] = None,
+) -> SweepResult:
+    """Expand ``scenario`` and evaluate it with the sweep engine.
+
+    Args:
+        cells: evaluate only the first ``cells`` cells (smoke runs);
+            ``None`` runs everything.
+        workers, cache, out_path, progress, registry: passed through to
+            :func:`repro.exp.run_sweep` verbatim.
+    """
+    spec = scenario.to_spec()
+    if cells is not None:
+        if cells < 1:
+            raise ScenarioError(f"cells must be >= 1, got {cells}")
+        spec = type(spec)(cells=spec.cells[:cells])
+    return run_sweep(
+        spec, workers=workers, cache=cache, out_path=out_path,
+        progress=progress, registry=registry,
+    )
+
+
+@dataclass(frozen=True)
+class BaselineDiff:
+    """The outcome of one scenario-vs-baseline comparison."""
+
+    #: lines the run produced but the baseline lacks
+    missing_in_baseline: List[str]
+    #: lines the baseline has but the run did not produce
+    missing_in_run: List[str]
+    #: run lines compared (after any ``cells`` truncation)
+    compared: int
+
+    @property
+    def identical(self) -> bool:
+        return not self.missing_in_baseline and not self.missing_in_run
+
+    def summary(self) -> str:
+        if self.identical:
+            return f"identical: {self.compared} rows match the baseline"
+        return (
+            f"DIFFERS: {len(self.missing_in_baseline)} row(s) not in "
+            f"baseline, {len(self.missing_in_run)} baseline row(s) not "
+            f"reproduced (of {self.compared} run rows)"
+        )
+
+
+def compare_to_baseline(
+    result: SweepResult, baseline_path: Union[str, Path]
+) -> BaselineDiff:
+    """Compare a scenario run's rows byte-for-byte against a baseline JSONL.
+
+    Rows are matched as canonical JSONL lines (:func:`row_line` — sorted
+    keys, no whitespace), order-insensitively: the run and the baseline
+    must contain exactly the same line multiset.  When the run was
+    truncated (``--cells``), pass the truncated result — the comparison
+    only requires the run's lines to appear in the baseline, plus reports
+    baseline lines beyond the run's coverage as missing.
+    """
+    baseline_path = Path(baseline_path)
+    if not baseline_path.is_file():
+        raise ScenarioError(f"baseline file not found: {baseline_path}")
+    baseline_lines = [
+        line.strip()
+        for line in baseline_path.read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+    run_lines = [row_line(row) for row in result.rows]
+    remaining = list(baseline_lines)
+    missing_in_baseline = []
+    for line in run_lines:
+        try:
+            remaining.remove(line)
+        except ValueError:
+            missing_in_baseline.append(line)
+    return BaselineDiff(
+        missing_in_baseline=missing_in_baseline,
+        missing_in_run=remaining,
+        compared=len(run_lines),
+    )

@@ -21,6 +21,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Dict, Optional
 
 from ..obs.trace import TraceConfig
+from ..util import reject_unknown_keys
 from .faults import FaultPlan
 from .partition import PartitionPlan
 from .reliable import ReliabilityConfig
@@ -183,13 +184,25 @@ class RunConfig:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunConfig":
-        """Rebuild a config from :meth:`to_dict` output."""
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Every key must be understood: an unknown key raises
+        ``ValueError`` (with a did-you-mean suggestion) instead of being
+        silently dropped, so a stale scenario file or payload cannot
+        half-apply.  Missing keys take the dataclass defaults.
+        """
+        reject_unknown_keys(
+            data,
+            ("ops", "warmup", "seed", "mean_gap", "max_events", "faults",
+             "partitions", "reliability", "failover", "monitor", "tracing"),
+            "RunConfig",
+        )
         faults = data.get("faults")
         partitions = data.get("partitions")
         reliability = data.get("reliability")
         tracing = data.get("tracing")
         return cls(
-            ops=int(data["ops"]),
+            ops=int(data.get("ops", 4000)),
             warmup=data.get("warmup"),
             seed=data.get("seed", 0),
             mean_gap=float(data.get("mean_gap", 25.0)),

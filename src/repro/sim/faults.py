@@ -41,6 +41,8 @@ import random
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+from ..util import reject_unknown_keys
+
 __all__ = ["CRASH_SEMANTICS", "CrashWindow", "FaultPlan"]
 
 
@@ -245,8 +247,14 @@ class FaultPlan:
 
         Accepts both the historical 3-element crash entries
         (``[node, start, end]``, durable) and the 4-element form carrying
-        an explicit semantics tag.
+        an explicit semantics tag.  Unknown keys raise ``ValueError``
+        instead of being silently dropped.
         """
+        reject_unknown_keys(
+            data,
+            ("seed", "drop_rate", "duplicate_rate", "jitter", "crashes"),
+            "FaultPlan",
+        )
         crashes = [
             CrashWindow(int(entry[0]), float(entry[1]),
                         math.inf if entry[2] is None else float(entry[2]),

@@ -45,6 +45,7 @@ import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from ..util import reject_unknown_keys
 from .engine import EventScheduler
 from .faults import FaultPlan
 from .metrics import Metrics
@@ -271,7 +272,17 @@ class PartitionPlan:
 
     @classmethod
     def from_dict(cls, data: dict) -> "PartitionPlan":
-        """Rebuild a fresh (rewound) plan from :meth:`to_dict` output."""
+        """Rebuild a fresh (rewound) plan from :meth:`to_dict` output.
+
+        Unknown keys raise ``ValueError`` instead of being silently
+        dropped (a stale scenario file cannot half-apply).
+        """
+        reject_unknown_keys(
+            data,
+            ("seed", "heartbeat_interval", "suspect_after", "policy",
+             "detect", "links"),
+            "PartitionPlan",
+        )
         links = [
             LinkFault(
                 int(entry[0]), int(entry[1]), float(entry[2]),

@@ -42,6 +42,7 @@ from time import perf_counter
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..machines.message import Message
+from ..util import reject_unknown_keys
 from .channel import Network
 from .engine import EventScheduler, TimerHandle
 from .faults import FaultPlan
@@ -88,7 +89,14 @@ class ReliabilityConfig:
 
     @classmethod
     def from_dict(cls, data: dict) -> "ReliabilityConfig":
-        """Rebuild a config from :meth:`to_dict` output."""
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys raise ``ValueError`` instead of being silently
+        dropped.
+        """
+        reject_unknown_keys(
+            data, ("timeout", "backoff", "max_retries"), "ReliabilityConfig"
+        )
         return cls(
             timeout=float(data.get("timeout", 8.0)),
             backoff=float(data.get("backoff", 2.0)),

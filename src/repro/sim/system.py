@@ -356,6 +356,60 @@ class DSMSystem:
                 node.observer = observer
                 node.recovery = self.recovery
 
+    @classmethod
+    def from_config(
+        cls,
+        protocol,
+        params,
+        config,
+        M: int = 1,
+        *,
+        capacity: Optional[int] = None,
+        profiler=None,
+        replay_plans: bool = False,
+    ) -> "DSMSystem":
+        """Build a system for a workload point from a :class:`RunConfig`.
+
+        The one construction path shared by the CLI, the sweep engine and
+        the scenario runner — historically each copied the same
+        eight-argument ``DSMSystem(...)`` block.
+
+        Args:
+            protocol: registry name or :class:`ProtocolSpec`.
+            params: a :class:`~repro.core.parameters.WorkloadParams`
+                (supplies ``N``, ``S`` and ``P``).
+            config: the :class:`~repro.sim.config.RunConfig` whose fault,
+                partition, reliability, failover, monitor and tracing
+                settings drive the system.
+            M: number of shared objects.
+            capacity: optional finite replica pool per client.
+            profiler: optional wall-clock :class:`~repro.obs.Profiler`.
+            replay_plans: rebuild the fault/partition plans with rewound
+                RNG streams (``plan.replay()``) instead of consuming the
+                config's own instances — what a sweep worker needs when a
+                plan object may already have been driven once.
+        """
+        faults = config.faults
+        partitions = config.partitions
+        if replay_plans:
+            faults = None if faults is None else faults.replay()
+            partitions = None if partitions is None else partitions.replay()
+        return cls(
+            protocol,
+            N=params.N,
+            M=M,
+            S=params.S,
+            P=params.P,
+            capacity=capacity,
+            faults=faults,
+            partitions=partitions,
+            reliability=config.reliability,
+            failover=config.failover,
+            monitor=config.monitor,
+            tracing=config.tracing,
+            profiler=profiler,
+        )
+
     @property
     def sequencer_id(self) -> int:
         """The node currently acting as sequencer (dynamic under failover)."""

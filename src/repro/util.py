@@ -1,0 +1,52 @@
+"""Small shared helpers with no dependencies on the rest of the package.
+
+The one that matters is :func:`reject_unknown_keys`: every ``from_dict``
+constructor in the configuration layer (:class:`~repro.sim.config.RunConfig`,
+:class:`~repro.sim.faults.FaultPlan`,
+:class:`~repro.sim.partition.PartitionPlan`,
+:class:`~repro.sim.reliable.ReliabilityConfig`, ...) and the scenario
+parser (:mod:`repro.scenarios`) call it so a stale or typo'd key fails
+loudly with a did-you-mean suggestion instead of being silently dropped —
+a half-applied configuration is the worst possible failure mode for a
+reproducibility tool.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Iterable, Mapping
+
+__all__ = ["did_you_mean", "reject_unknown_keys"]
+
+
+def did_you_mean(name: str, candidates: Iterable[str]) -> str:
+    """A `` (did you mean 'x'?)`` suffix, or ``""`` with no close match."""
+    matches = difflib.get_close_matches(name, list(candidates), n=1,
+                                        cutoff=0.6)
+    return f" (did you mean {matches[0]!r}?)" if matches else ""
+
+
+def reject_unknown_keys(
+    data: Mapping, allowed: Iterable[str], context: str
+) -> None:
+    """Raise ``ValueError`` when ``data`` carries keys not in ``allowed``.
+
+    Args:
+        data: the mapping being deserialized.
+        allowed: every key the consumer understands.
+        context: what is being parsed, for the error message
+            (e.g. ``"RunConfig"`` or ``"scenario 'table7'"``).
+    """
+    allowed = list(allowed)
+    unknown = [k for k in data if k not in allowed]
+    if not unknown:
+        return
+    hints = "".join(
+        f"\n  {key!r} is not a valid key{did_you_mean(str(key), allowed)}"
+        for key in sorted(map(str, unknown))
+    )
+    raise ValueError(
+        f"unknown key{'s' if len(unknown) > 1 else ''} in {context}: "
+        f"{', '.join(sorted(map(repr, unknown)))}{hints}\n"
+        f"  valid keys: {', '.join(allowed)}"
+    )

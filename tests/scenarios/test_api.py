@@ -1,0 +1,86 @@
+"""The ``repro.api`` facade: dict-friendly wrappers over the real APIs."""
+
+import pytest
+
+import repro
+from repro import api
+from repro.core.acc import analytical_acc
+from repro.core.parameters import Deviation, WorkloadParams
+from repro.protocols import UnknownProtocolError
+from repro.sim.config import RunConfig
+
+POINT = {"N": 8, "p": 0.2, "a": 3, "sigma": 0.1}
+PARAMS = WorkloadParams(N=8, p=0.2, a=3, sigma=0.1)
+
+
+class TestAcc:
+    def test_matches_analytical_acc(self):
+        assert api.acc("berkeley", POINT) == \
+            analytical_acc("berkeley", PARAMS, Deviation.READ)
+
+    def test_accepts_value_objects_and_display_names(self):
+        assert api.acc("Berkeley", PARAMS) == api.acc("berkeley", POINT)
+
+    def test_deviation_alias(self):
+        assert api.acc("berkeley", {"N": 8, "p": 0.2, "a": 3, "xi": 0.1},
+                       deviation="write") == \
+            analytical_acc("berkeley",
+                           WorkloadParams(N=8, p=0.2, a=3, xi=0.1),
+                           Deviation.WRITE)
+
+    def test_bad_deviation(self):
+        with pytest.raises(ValueError, match="deviation"):
+            api.acc("berkeley", POINT, deviation="raed")
+
+    def test_unknown_protocol(self):
+        with pytest.raises(UnknownProtocolError):
+            api.acc("berkely", POINT)
+
+
+class TestRank:
+    def test_defaults_to_the_papers_eight_sorted(self):
+        table = api.rank(POINT)
+        assert len(table) == 8
+        accs = [a for _, a in table]
+        assert accs == sorted(accs)
+
+    def test_protocol_subset(self):
+        table = api.rank(POINT, protocols=["berkeley", "Write-Once"])
+        assert {name for name, _ in table} == {"berkeley", "write_once"}
+
+
+class TestSimulate:
+    def test_deterministic_and_config_dict_friendly(self):
+        run = {"ops": 400, "seed": 3}
+        a = api.simulate("berkeley", POINT, run=run, M=2)
+        b = api.simulate("berkeley", POINT,
+                         run=RunConfig(ops=400, seed=3), M=2)
+        assert a.acc == b.acc and a.messages == b.messages
+
+    def test_unknown_run_key_rejected(self):
+        with pytest.raises(ValueError, match="ops"):
+            api.simulate("berkeley", POINT, run={"opps": 400})
+
+
+class TestScenarios:
+    def test_list_scenarios_sees_the_committed_catalog(self):
+        names = api.list_scenarios()
+        assert {"table6", "table7", "smoke-table7"} <= set(names)
+
+    def test_load_and_run_by_name(self):
+        scenario = api.load_scenario("table6")
+        result = api.run_scenario(scenario, cells=3)
+        assert result.total == 3 and result.failed == 0
+
+    def test_run_by_name_string(self):
+        assert api.run_scenario("table6", cells=1).total == 1
+
+
+class TestTopLevelReexports:
+    def test_facade_names_on_the_package(self):
+        assert repro.api is api
+        assert repro.load_scenario is api.load_scenario
+        assert repro.run_scenario is api.run_scenario
+        assert repro.Scenario is not None
+        assert issubclass(repro.ScenarioError, ValueError)
+        assert issubclass(repro.UnknownProtocolError, KeyError)

@@ -1,0 +1,167 @@
+"""Catalog loading: discovery, extends resolution, strictness, TOML gate."""
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    ScenarioCatalog,
+    ScenarioError,
+    default_catalog_dir,
+    load_scenario,
+)
+from repro.scenarios import loader as loader_mod
+
+
+def write(root, name, doc, suffix=".json"):
+    doc.setdefault("name", name)
+    path = root / f"{name}{suffix}"
+    path.write_text(json.dumps(doc))
+    return path
+
+
+BASE_DOC = {
+    "protocols": ["write_once"],
+    "workload": {"N": 3, "a": 2},
+    "run": {"ops": 1000, "warmup": 250},
+    "sweep": {"mode": "cartesian", "p_values": [0.0, 0.2],
+              "disturb_values": [0.0, 0.1]},
+}
+
+
+class TestCatalog:
+    def test_names_and_load(self, tmp_path):
+        write(tmp_path, "base", dict(BASE_DOC))
+        catalog = ScenarioCatalog(tmp_path)
+        assert catalog.names() == ["base"]
+        assert "base" in catalog
+        scenario = catalog.load("base")
+        assert scenario.name == "base"
+        assert catalog.path("base").name == "base.json"
+
+    def test_unknown_name_has_did_you_mean(self, tmp_path):
+        write(tmp_path, "table7", dict(BASE_DOC))
+        catalog = ScenarioCatalog(tmp_path)
+        with pytest.raises(ScenarioError, match="did you mean 'table7'"):
+            catalog.load("tabel7")
+
+    def test_duplicate_names_rejected(self, tmp_path):
+        write(tmp_path, "a", dict(BASE_DOC, name="same"))
+        write(tmp_path, "b", dict(BASE_DOC, name="same"))
+        with pytest.raises(ScenarioError, match="duplicate"):
+            ScenarioCatalog(tmp_path)
+
+    def test_invalid_json_reported_with_path(self, tmp_path):
+        (tmp_path / "broken.json").write_text("{nope")
+        with pytest.raises(ScenarioError, match="broken.json"):
+            ScenarioCatalog(tmp_path)
+
+    def test_validation_error_reports_the_file(self, tmp_path):
+        write(tmp_path, "bad", dict(BASE_DOC, protocl=["write_once"]))
+        catalog = ScenarioCatalog(tmp_path)
+        with pytest.raises(ScenarioError, match="bad.json"):
+            catalog.load("bad")
+
+
+class TestExtends:
+    def test_child_overrides_merge_into_parent(self, tmp_path):
+        write(tmp_path, "base", dict(BASE_DOC, title="Parent",
+                                     tags=["paper"]))
+        write(tmp_path, "child", {
+            "extends": "base",
+            "run": {"ops": 2000},
+            "protocols": ["berkeley"],
+        })
+        child = ScenarioCatalog(tmp_path).load("child")
+        assert child.name == "child"
+        assert child.protocols == ("berkeley",)
+        assert child.run.ops == 2000
+        assert child.run.resolved_warmup == 250  # inherited
+        assert child.sweep.p_values == (0.0, 0.2)  # inherited
+        # identity/provenance never inherited
+        assert child.title == "" and child.tags == ()
+
+    def test_grandparent_chain(self, tmp_path):
+        write(tmp_path, "a", dict(BASE_DOC))
+        write(tmp_path, "b", {"extends": "a", "run": {"ops": 500}})
+        write(tmp_path, "c", {"extends": "b", "M": 3})
+        c = ScenarioCatalog(tmp_path).load("c")
+        assert c.run.ops == 500 and c.M == 3
+
+    def test_cycle_detected(self, tmp_path):
+        write(tmp_path, "a", {"extends": "b"})
+        write(tmp_path, "b", {"extends": "a"})
+        with pytest.raises(ScenarioError, match="cycle"):
+            ScenarioCatalog(tmp_path).load("a")
+
+    def test_sweep_mode_switch_replaces_wholesale(self, tmp_path):
+        write(tmp_path, "base", dict(BASE_DOC))
+        write(tmp_path, "child", {
+            "extends": "base",
+            "sweep": {"mode": "explicit", "cells": [{"p": 0.3}]},
+        })
+        child = ScenarioCatalog(tmp_path).load("child")
+        # no stale cartesian keys survive the mode switch
+        assert child.sweep.mode == "explicit"
+        assert len(child.to_spec()) == 1
+
+    def test_same_mode_sweep_merges(self, tmp_path):
+        write(tmp_path, "base", dict(BASE_DOC))
+        write(tmp_path, "child", {
+            "extends": "base",
+            "sweep": {"mode": "cartesian", "p_values": [0.5]},
+        })
+        child = ScenarioCatalog(tmp_path).load("child")
+        assert child.sweep.p_values == (0.5,)
+        assert child.sweep.disturb_values == (0.0, 0.1)  # inherited
+
+
+class TestLoadScenario:
+    def test_by_path(self, tmp_path):
+        path = write(tmp_path, "solo", dict(BASE_DOC))
+        assert load_scenario(path).name == "solo"
+
+    def test_by_path_resolves_extends_in_the_same_directory(self, tmp_path):
+        write(tmp_path, "base", dict(BASE_DOC))
+        path = write(tmp_path, "kid", {"extends": "base", "M": 2})
+        assert load_scenario(path).M == 2
+
+    def test_by_name_in_explicit_catalog(self, tmp_path):
+        write(tmp_path, "base", dict(BASE_DOC))
+        assert load_scenario("base", catalog=tmp_path).name == "base"
+
+    def test_env_var_catalog_discovery(self, tmp_path, monkeypatch):
+        write(tmp_path, "base", dict(BASE_DOC))
+        monkeypatch.setenv("REPRO_SCENARIOS", str(tmp_path))
+        assert default_catalog_dir() == tmp_path
+        assert load_scenario("base").name == "base"
+
+    def test_repo_catalog_is_discovered(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_SCENARIOS", raising=False)
+        monkeypatch.chdir(tmp_path)  # no ./scenarios here
+        root = default_catalog_dir()
+        assert root is not None and (root / "table7.json").is_file()
+
+    def test_unsupported_suffix(self, tmp_path):
+        path = tmp_path / "x.yaml"
+        path.write_text("a: 1")
+        with pytest.raises(ScenarioError, match="expected one of"):
+            load_scenario(path)
+
+
+class TestTomlGate:
+    def test_toml_loads_when_tomllib_present(self, tmp_path):
+        pytest.importorskip("tomllib")
+        (tmp_path / "t.toml").write_text(
+            'name = "t"\n'
+            'protocols = ["write_once"]\n'
+            "[workload]\nN = 3\na = 2\n"
+        )
+        assert load_scenario(tmp_path / "t.toml").name == "t"
+
+    def test_missing_tomllib_is_an_actionable_error(self, tmp_path,
+                                                    monkeypatch):
+        monkeypatch.setattr(loader_mod, "tomllib", None)
+        (tmp_path / "t.toml").write_text('name = "t"')
+        with pytest.raises(ScenarioError, match="3.11"):
+            load_scenario(tmp_path / "t.toml")

@@ -1,0 +1,81 @@
+"""Strict ``from_dict`` round-trips: unknown keys never half-apply.
+
+A stale scenario file, worker payload or chaos repro that spells a field
+wrong must fail loudly — with a did-you-mean suggestion — rather than
+silently dropping the key and running a different experiment.
+"""
+
+import pytest
+
+from repro.core.parameters import WorkloadParams
+from repro.obs.trace import TraceConfig
+from repro.sim import FaultPlan, PartitionPlan, ReliabilityConfig, RunConfig
+from repro.util import did_you_mean, reject_unknown_keys
+
+
+class TestHelpers:
+    def test_did_you_mean_close_match(self):
+        assert "did you mean 'warmup'" in did_you_mean(
+            "warmpu", ["ops", "warmup", "seed"]
+        )
+
+    def test_did_you_mean_no_match_is_empty(self):
+        assert did_you_mean("zzz", ["ops", "warmup"]) == ""
+
+    def test_reject_unknown_keys_lists_valid_keys(self):
+        with pytest.raises(ValueError) as err:
+            reject_unknown_keys({"sedd": 1}, ("seed", "ops"), "RunConfig")
+        message = str(err.value)
+        assert "RunConfig" in message and "sedd" in message
+        assert "did you mean 'seed'" in message
+        assert "ops" in message  # valid keys listed
+
+    def test_accepts_known_keys(self):
+        reject_unknown_keys({"seed": 1, "ops": 2}, ("seed", "ops"), "x")
+
+
+CASES = [
+    (RunConfig, {"ops": 400, "warmpu": 10}, "warmup"),
+    (WorkloadParams, {"N": 3, "p": 0.1, "sgma": 0.2}, "sigma"),
+    (FaultPlan, {"drop_rte": 0.1}, "drop_rate"),
+    (PartitionPlan, {"heartbeat_intervl": 10.0}, "heartbeat_interval"),
+    (ReliabilityConfig, {"timeot": 4.0}, "timeout"),
+    (TraceConfig, {"sample_evry": 2}, "sample_every"),
+]
+
+
+@pytest.mark.parametrize("cls,data,suggestion", CASES,
+                         ids=[c[0].__name__ for c in CASES])
+def test_unknown_key_rejected_with_suggestion(cls, data, suggestion):
+    with pytest.raises(ValueError, match=suggestion):
+        cls.from_dict(data)
+
+
+@pytest.mark.parametrize("cls", [c[0] for c in CASES],
+                         ids=[c[0].__name__ for c in CASES])
+def test_canonical_round_trip_still_works(cls):
+    if cls is WorkloadParams:
+        obj = WorkloadParams(N=3, p=0.1, a=2, sigma=0.2)
+    elif cls is RunConfig:
+        obj = RunConfig(ops=400, seed=7, monitor=True)
+    elif cls is FaultPlan:
+        obj = FaultPlan(seed=3, drop_rate=0.1)
+    elif cls is PartitionPlan:
+        from repro.sim.partition import cut
+        obj = PartitionPlan(seed=3, links=cut(1, 2, 100.0, 200.0))
+    elif cls is ReliabilityConfig:
+        obj = ReliabilityConfig(timeout=4.0)
+    else:
+        obj = TraceConfig(sample_every=2)
+    assert cls.from_dict(obj.to_dict()).to_dict() == obj.to_dict()
+
+
+def test_runconfig_ops_now_optional():
+    # partial scenario `run:` sections rely on the dataclass defaults
+    config = RunConfig.from_dict({"seed": 5})
+    assert config.ops == 4000 and config.seed == 5
+
+
+def test_nested_plan_keys_are_checked_through_runconfig():
+    with pytest.raises(ValueError, match="drop_rate"):
+        RunConfig.from_dict({"ops": 100, "faults": {"drop_rte": 0.5}})

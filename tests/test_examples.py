@@ -39,6 +39,12 @@ def test_tuning_guide(capsys):
     assert "Step 4" in out and "measured" in out
 
 
+def test_protocol_comparison(capsys):
+    out = run_example("protocol_comparison.py", capsys)
+    assert "region map" in out
+    assert "<== best" in out
+
+
 def test_trace_driven_analysis(capsys):
     out = run_example("trace_driven_analysis.py", capsys)
     assert "Recommendation" in out and "confirmed by replay" in out
