@@ -8,7 +8,12 @@ randomly drawn :class:`~repro.sim.faults.FaultPlan` (drop/dup/jitter plus
 crash windows of random semantics), a randomly drawn
 :class:`~repro.sim.partition.PartitionPlan` (symmetric cuts, asymmetric
 cuts and degraded links, plus failure-detector knobs), a coin-flipped
-sequencer failover, and the consistency monitor switched on.
+sequencer failover, and the consistency monitor switched on.  Quorum
+protocols additionally draw a random
+:class:`~repro.sim.reconfig.ReconfigPlan` — online joins and leaves
+overlapping the crash and partition windows — from draws made strictly
+inside the quorum-only branch, so every non-quorum protocol's schedule
+is bit-identical to what it was before reconfiguration fuzzing existed.
 
 The draw is a pure function of the triple: no wall clock, no process
 state, no shared RNG.  Re-generating a cell from the same triple is
@@ -28,6 +33,7 @@ from ..protocols.registry import EXTENSION_PROTOCOLS, PROTOCOLS, get_protocol
 from ..sim.config import RunConfig
 from ..sim.faults import CRASH_SEMANTICS, CrashWindow, FaultPlan
 from ..sim.partition import PARTITION_POLICIES, LinkFault, PartitionPlan, cut
+from ..sim.reconfig import MembershipChange, ReconfigPlan
 
 __all__ = ["ALL_CHAOS_PROTOCOLS", "ChaosOptions", "chaos_cells",
            "generate_cell"]
@@ -175,6 +181,7 @@ def generate_cell(protocol: str, fuzz_seed: int,
     policy = rng.choice(PARTITION_POLICIES)
     failover = rng.random() < 0.5
 
+    reconfig = None
     if get_protocol(protocol).quorum_based:
         # the quorum family rejects amnesia crashes and failover (no
         # sequencer, durable replicas); sanitize *after* all draws so the
@@ -184,6 +191,34 @@ def generate_cell(protocol: str, fuzz_seed: int,
             CrashWindow(w.node, w.start, w.end, "durable") for w in crashes
         ]
         failover = False
+        # randomized online-membership schedules (joins/leaves that
+        # overlap the crash and partition windows drawn above).  All
+        # reconfiguration draws live inside this branch, so every
+        # non-quorum protocol's RNG stream — and schedule — is untouched.
+        members = set(range(1, options.N + 2))
+        next_join = options.N + 2
+        changes: List[MembershipChange] = []
+        for window in ((0.15, 0.45), (0.55, 0.8)):
+            if rng.random() >= 0.55:
+                continue
+            at = round(rng.uniform(*window) * horizon, 1)
+            joins: List[int] = []
+            leaves: List[int] = []
+            if rng.random() < 0.6:
+                joins.append(next_join)
+            if (rng.random() < 0.5
+                    and len(members) + len(joins) - 1 >= 2):
+                leaves.append(rng.choice(sorted(members)))
+            if not joins and not leaves:
+                continue
+            next_join += len(joins)
+            members.update(joins)
+            members.difference_update(leaves)
+            changes.append(MembershipChange(at=at, joins=tuple(joins),
+                                            leaves=tuple(leaves)))
+        if changes:
+            reconfig = ReconfigPlan(seed=rng.getrandbits(32),
+                                    changes=tuple(changes))
 
     faults = FaultPlan(seed=rng.getrandbits(32), drop_rate=drop,
                        duplicate_rate=dup, jitter=jitter, crashes=crashes)
@@ -201,6 +236,7 @@ def generate_cell(protocol: str, fuzz_seed: int,
         partitions=None if partitions.is_none else partitions,
         failover=failover,
         monitor=True,
+        reconfig=reconfig,
     )
     return SweepCell(
         protocol=protocol,

@@ -9,6 +9,7 @@ fault schedules:
 
 * drop one crash window;
 * drop one link fault;
+* drop one membership change (or the whole reconfiguration plan);
 * zero the global drop / duplicate / jitter rates;
 * disable sequencer failover;
 * simplify the degraded-mode policy back to ``stall``;
@@ -31,6 +32,7 @@ from ..exp.runner import run_cell
 from ..exp.spec import SweepCell
 from ..sim.faults import FaultPlan
 from ..sim.partition import PartitionPlan
+from ..sim.reconfig import ReconfigPlan
 
 __all__ = ["ShrinkResult", "fault_window_count", "shrink"]
 
@@ -46,6 +48,8 @@ def fault_window_count(cell: SweepCell) -> int:
         count += len(config.faults.crashes)
     if config.partitions is not None:
         count += len(config.partitions.links)
+    if config.reconfig is not None:
+        count += len(config.reconfig.changes)
     return count
 
 
@@ -98,6 +102,22 @@ def _candidates(cell: SweepCell) -> Iterator[SweepCell]:
             kept = partitions.links[:index] + partitions.links[index + 1:]
             yield _with_partitions(cell,
                                    _partitions_with(partitions, links=kept))
+
+    # 2b. drop one membership change (a candidate whose remaining chain
+    # is inconsistent — e.g. a later change leaving a node an earlier,
+    # now-removed change joined — is skipped, not yielded)
+    if config.reconfig is not None:
+        plan = config.reconfig
+        for index in range(len(plan.changes)):
+            kept = plan.changes[:index] + plan.changes[index + 1:]
+            candidate = ReconfigPlan(seed=plan.seed, changes=kept)
+            try:
+                candidate.validate_membership(cell.params.N + 1)
+            except ValueError:
+                continue
+            yield cell.with_(config=config.with_(
+                reconfig=None if candidate.is_none else candidate
+            ))
 
     # 3. zero the global noise rates
     if faults is not None:

@@ -51,6 +51,7 @@ import sys
 from typing import List, Optional
 
 from .core.acc import analytical_acc
+from .core.closed_forms import weighted_quorum_acc
 from .core.comparison import ALL_PROTOCOLS, rank_protocols
 from .core.parameters import Deviation, WorkloadParams
 from .core.placement import placement_advantage
@@ -62,6 +63,7 @@ from .protocols.registry import all_protocol_names, protocol_names
 from .sim.config import RunConfig
 from .sim.faults import CrashWindow, FaultPlan
 from .sim.partition import PARTITION_POLICIES, LinkFault, PartitionPlan, cut
+from .sim.reconfig import MembershipChange, ReconfigPlan
 from .sim.reliable import ReliabilityConfig
 from .sim.system import DSMSystem
 from .validation.compare import compare_cell
@@ -235,6 +237,33 @@ def _reliability_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _reconfig_parent() -> argparse.ArgumentParser:
+    """``--join-at --leave-at --reconfig-seed --quorum-weight``."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group(
+        "online reconfiguration (quorum protocols)"
+    )
+    group.add_argument("--join-at", action="append", default=[],
+                       metavar="NODE:TIME",
+                       help="add NODE to the replica set at sim TIME "
+                            "(joint-quorum transition with versioned "
+                            "state transfer); repeatable — events at "
+                            "the same TIME form one transition")
+    group.add_argument("--leave-at", action="append", default=[],
+                       metavar="NODE:TIME",
+                       help="remove NODE from the replica set at sim "
+                            "TIME; repeatable")
+    group.add_argument("--reconfig-seed", type=int, default=0,
+                       help="seed of the reconfiguration plan's RNG "
+                            "stream (reserved for randomized schedules)")
+    group.add_argument("--quorum-weight", action="append", default=[],
+                       metavar="NODE:WEIGHT",
+                       help="per-node quorum vote weight (unnamed nodes "
+                            "weigh 1; a quorum needs > half the total "
+                            "weight); repeatable")
+    return parent
+
+
 # ----------------------------------------------------------------------
 # argument -> model translation (public: the one assembly path every
 # subcommand shares; reusable by tools embedding this flag vocabulary)
@@ -318,6 +347,57 @@ def _partition_plan(args: argparse.Namespace) -> Optional[PartitionPlan]:
     return plan
 
 
+def _parse_member_event(spec: str, flag: str) -> tuple:
+    """Parse a ``NODE:TIME`` membership-event argument."""
+    parts = spec.split(":")
+    if len(parts) != 2:
+        raise ValueError(
+            f"invalid {flag} {spec!r}: expected NODE:TIME"
+        )
+    return int(parts[0]), float(parts[1])
+
+
+def _reconfig_plan(args: argparse.Namespace) -> Optional[ReconfigPlan]:
+    """Build the reconfiguration plan from ``--join-at``/``--leave-at``.
+
+    Events sharing the same time coalesce into one transition (one
+    joint-quorum window), matching the semantics of a single
+    :class:`MembershipChange` with several joins/leaves.
+    """
+    events: dict = {}
+    for spec in getattr(args, "join_at", []):
+        node, at = _parse_member_event(spec, "--join-at")
+        events.setdefault(at, ([], []))[0].append(node)
+    for spec in getattr(args, "leave_at", []):
+        node, at = _parse_member_event(spec, "--leave-at")
+        events.setdefault(at, ([], []))[1].append(node)
+    if not events:
+        return None
+    changes = [
+        MembershipChange(at=at, joins=tuple(joins), leaves=tuple(leaves))
+        for at, (joins, leaves) in sorted(events.items())
+    ]
+    plan = ReconfigPlan(seed=getattr(args, "reconfig_seed", 0),
+                        changes=tuple(changes))
+    # fail loudly on an inconsistent membership chain before any system
+    # is built (e.g. leaving a node that never joined)
+    plan.validate_membership(args.N + 1)
+    return plan
+
+
+def _quorum_weights(args: argparse.Namespace) -> Optional[tuple]:
+    """Parse repeated ``--quorum-weight NODE:WEIGHT`` flags (or None)."""
+    pairs = []
+    for spec in getattr(args, "quorum_weight", []):
+        parts = spec.split(":")
+        if len(parts) != 2:
+            raise ValueError(
+                f"invalid --quorum-weight {spec!r}: expected NODE:WEIGHT"
+            )
+        pairs.append((int(parts[0]), float(parts[1])))
+    return tuple(pairs) if pairs else None
+
+
 def _trace_config(args: argparse.Namespace) -> Optional[TraceConfig]:
     """The tracing config implied by the trace flags (or None)."""
     wants_trace = (getattr(args, "trace_out", None) is not None
@@ -332,17 +412,20 @@ def runconfig_from_args(args: argparse.Namespace) -> RunConfig:
     reliability/trace flag groups — shared by every simulating subcommand."""
     faults = _fault_plan(args)
     partitions = _partition_plan(args)
+    reconfig = _reconfig_plan(args)
     reliability = (
         ReliabilityConfig(timeout=args.retry_timeout,
                           backoff=args.retry_backoff,
                           max_retries=args.max_retries)
-        if faults is not None or partitions is not None else None
+        if (faults is not None or partitions is not None
+            or reconfig is not None) else None
     )
     return RunConfig(ops=args.ops, warmup=args.warmup, seed=args.seed,
                      mean_gap=args.mean_gap, faults=faults,
                      partitions=partitions, reliability=reliability,
                      failover=args.failover, monitor=args.monitor,
-                     tracing=_trace_config(args))
+                     tracing=_trace_config(args), reconfig=reconfig,
+                     quorum_weights=_quorum_weights(args))
 
 
 def _csv_floats(text: str) -> List[float]:
@@ -374,6 +457,7 @@ def build_parser() -> argparse.ArgumentParser:
     system, point = _system_parent(), _point_parent()
     run, fault, rel = _run_parent(), _fault_parent(), _reliability_parent()
     part, trace = _partition_parent(), _trace_parent()
+    reconf = _reconfig_parent()
 
     p_acc = sub.add_parser("acc", help="analytic steady-state cost",
                            parents=[system, point])
@@ -386,7 +470,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sim = sub.add_parser("simulate", help="run the simulator",
                            parents=[system, point, run, fault, part, rel,
-                                    trace])
+                                    reconf, trace])
     p_sim.add_argument("protocol", help=f"one of: {known}")
     p_sim.add_argument("--M", type=int, default=1,
                        help="number of shared objects")
@@ -429,7 +513,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_val = sub.add_parser("validate",
                            help="analytical vs simulated acc (Table 7 cell)",
-                           parents=[system, point, run, fault, part, rel])
+                           parents=[system, point, run, fault, part, rel,
+                                    reconf])
     p_val.add_argument("protocol", help=f"one of: {known}")
     p_val.add_argument("--M", type=int, default=20,
                        help="number of shared objects")
@@ -437,7 +522,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep = sub.add_parser(
         "sweep",
         help="evaluate a parameter grid through the sweep engine",
-        parents=[system, run, fault, part, rel],
+        parents=[system, run, fault, part, rel, reconf],
     )
     p_sweep.add_argument("--protocols", type=_csv_protocols,
                          default=protocol_names(), metavar="NAME[,NAME...]",
@@ -614,17 +699,26 @@ def _cmd_simulate(args: argparse.Namespace, deviation: Deviation,
         # a degraded run legitimately leaves copies incoherent
         # (an abandoned message may have been an invalidation).
         system.check_coherence()
-    predicted = analytical_acc(args.protocol, params, deviation)
+    if config.quorum_weights is not None:
+        predicted = weighted_quorum_acc(params, deviation,
+                                        config.quorum_weights)
+        analytic_note = "(no pool, fault-free, weighted quorums)"
+    else:
+        predicted = analytical_acc(args.protocol, params, deviation)
+        analytic_note = "(no pool, fault-free)"
     print(f"simulated acc   = {result.acc:.4f}")
-    print(f"analytic acc    = {predicted:.4f} (no pool, fault-free)")
+    print(f"analytic acc    = {predicted:.4f} {analytic_note}")
     print(f"messages        = {result.messages}")
     if result.measured > 0:
         lat = result.metrics.latency_stats(skip=warmup)
         print(f"latency mean/p95 = {lat['mean']:.2f} / "
               f"{lat['p95']:.2f}")
-    if config.faults is not None or config.partitions is not None:
+    if (config.faults is not None or config.partitions is not None
+            or config.reconfig is not None
+            or config.quorum_weights is not None):
         # one unified banner: fault plan, partition plan (detector +
-        # degraded-mode policy), resolved retry policy, failover, monitor.
+        # degraded-mode policy), resolved retry policy, reconfiguration
+        # plan, vote weights, failover, monitor.
         print("robustness:")
         for line in config.describe_robustness().splitlines():
             print(f"  {line}")
@@ -634,6 +728,8 @@ def _cmd_simulate(args: argparse.Namespace, deviation: Deviation,
                      f" + {breakdown['reliability']:.4f} reliability")
             if system.spec.quorum_based:
                 parts += f" (+ {breakdown['quorum']:.4f} quorum)"
+            if system.reconfig is not None:
+                parts += f" (+ {breakdown['reconfig']:.4f} reconfig)"
             if system.recovery is not None:
                 parts += f" (+ {breakdown['recovery']:.4f} recovery)"
             if (config.partitions is not None and config.partitions.detect
@@ -644,7 +740,13 @@ def _cmd_simulate(args: argparse.Namespace, deviation: Deviation,
         print(f"acks            = {stats.acks}")
         print(f"drops           = {stats.drops}")
         print(f"dups suppressed = {stats.duplicates_suppressed}")
-        if stats.dgram_abandoned:
+        if system.spec.quorum_based:
+            # quorum liveness counters, printed unconditionally: a zero
+            # confirms no phase was ever starved (the interesting datum).
+            print(f"dgrams abandoned = {stats.dgram_abandoned} "
+                  f"(quorum re-selection owns liveness)")
+            print(f"quorum re-selections = {stats.quorum_reselections}")
+        elif stats.dgram_abandoned:
             print(f"dgrams abandoned = {stats.dgram_abandoned} "
                   f"(quorum re-selection owns liveness)")
         part_stats = system.metrics.partition
@@ -682,6 +784,21 @@ def _cmd_simulate(args: argparse.Namespace, deviation: Deviation,
             print(f"resync cost     = {rec.resync_cost:.1f} "
                   f"({rec.resync_objects} objects)")
             print(f"quarantine time = {rec.quarantine_time:.1f}")
+        if system.reconfig is not None:
+            rc = system.metrics.reconfig
+            members = ",".join(str(n)
+                               for n in system.membership.committed)
+            print(f"transitions     = {rc.transitions} "
+                  f"({rc.commits} committed, {rc.aborts} aborted)")
+            print(f"membership      = {{{members}}} "
+                  f"(epoch {system.cluster.epoch}, "
+                  f"joint time {rc.joint_time:.1f})")
+            print(f"ops redriven    = {rc.ops_redriven} "
+                  f"(epoch-boundary re-drives)")
+            print(f"state transfer  = {rc.transfer_objects} objects, "
+                  f"cost {rc.transfer_cost:.1f} "
+                  f"({rc.transfer_retries} retries, "
+                  f"{rc.transfers_failed} failed)")
     if args.capacity is not None:
         print(f"data-op cost    = {system.data_cost_rate(warmup):.4f}")
         evictions = sum(

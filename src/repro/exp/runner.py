@@ -100,6 +100,12 @@ def run_cell(cell: SweepCell, on_system: Optional[Callable] = None) -> dict:
         )
         if config.partitions is not None:
             row["partitions"] = config.partitions.to_dict()
+        if config.reconfig is not None:
+            row["reconfig"] = config.reconfig.to_dict()
+        if config.quorum_weights is not None:
+            row["quorum_weights"] = [
+                [int(n), float(w)] for n, w in config.quorum_weights
+            ]
         system = DSMSystem.from_config(
             cell.protocol, cell.params, config, M=cell.M,
             replay_plans=True,
@@ -132,7 +138,7 @@ def run_cell(cell: SweepCell, on_system: Optional[Callable] = None) -> dict:
                     skip=config.resolved_warmup)
                 if result.measured > 0
                 else {"protocol": nan, "reliability": nan, "quorum": nan,
-                      "recovery": nan, "detector": nan}
+                      "reconfig": nan, "recovery": nan, "detector": nan}
             )
             row.update(
                 acc_protocol_share=_finite(breakdown["protocol"]),
@@ -147,6 +153,21 @@ def run_cell(cell: SweepCell, on_system: Optional[Callable] = None) -> dict:
                 row.update(
                     acc_quorum_share=_finite(breakdown["quorum"]),
                     dgram_abandoned=stats.dgram_abandoned,
+                )
+            if system.reconfig is not None:
+                rc = system.metrics.reconfig
+                row.update(
+                    acc_reconfig_share=_finite(breakdown["reconfig"]),
+                    reconfig_transitions=rc.transitions,
+                    reconfig_commits=rc.commits,
+                    reconfig_aborts=rc.aborts,
+                    reconfig_ops_redriven=rc.ops_redriven,
+                    transfer_objects=rc.transfer_objects,
+                    transfer_retries=rc.transfer_retries,
+                    transfer_cost=_finite(rc.transfer_cost),
+                    joint_time=_finite(rc.joint_time),
+                    quorum_reselections=stats.quorum_reselections,
+                    final_epoch=system.cluster.epoch,
                 )
             if system.recovery is not None:
                 rec = system.metrics.recovery

@@ -181,6 +181,14 @@ class ProcessContext(abc.ABC):
             "this fabric does not support protocol timers"
         )
 
+    def record_quorum_reselection(self) -> None:
+        """Hook: a quorum phase timed out and re-selected its quorum.
+
+        The default is a no-op; the simulator's port overrides it to
+        count re-selection attempts for the robustness banner and the
+        metrics registry.
+        """
+
     @abc.abstractmethod
     def complete(self, op: Operation, value: Any = None) -> None:
         """Report ``op`` finished to the application process."""

@@ -123,8 +123,41 @@ class SCABDProcess(ProtocolProcess):
     def _m(self) -> int:
         return majority(len(self.ctx.all_nodes))
 
+    def _view(self):
+        """The shared :class:`~repro.sim.reconfig.MembershipView`, if any.
+
+        ``None`` on static unweighted memberships (every context grows
+        the attribute only when reconfiguration or vote weights are
+        configured), which keeps the classic fixed-majority fast path
+        bit-identical.
+        """
+        return getattr(self.ctx, "membership", None)
+
     def _core(self) -> Tuple[int, ...]:
-        return core_quorum(self.ctx.all_nodes)
+        view = self._view()
+        if view is None:
+            return core_quorum(self.ctx.all_nodes)
+        return view.core()
+
+    def _broadcast(self) -> Tuple[int, ...]:
+        """Every node a re-selection re-broadcast may target."""
+        view = self._view()
+        if view is None:
+            return self.ctx.all_nodes
+        return view.broadcast()
+
+    def _quorum_reached(self, responders) -> bool:
+        """Whether ``responders`` satisfy the current quorum predicate.
+
+        Fixed membership: any ``m`` distinct responders.  With a
+        membership view: a weight majority of the committed set and,
+        during a joint-mode transition, of the old set too — replies
+        from non-members can never complete a phase.
+        """
+        view = self._view()
+        if view is None:
+            return len(responders) >= self._m
+        return view.satisfied(responders)
 
     # ------------------------------------------------------------------
     # application requests
@@ -214,15 +247,16 @@ class SCABDProcess(ProtocolProcess):
             self.parked_ops += 1
             self._timer = None
             return
+        self.ctx.record_quorum_reselection()
         if self._phase == "repair":
             # a stale member is unreachable: restart the read from phase
             # 1 — re-selection will find a fresh majority to read (and,
             # if needed, repair through).
-            self._enter_phase("read", self.ctx.all_nodes, retry=True)
+            self._enter_phase("read", self._broadcast(), retry=True)
             return
         responded = (self._acks if self._phase == "write_upd"
                      else self._replies)
-        targets = [n for n in self.ctx.all_nodes if n not in responded]
+        targets = [n for n in self._broadcast() if n not in responded]
         self._send_phase(targets, retry=True)
         self._arm_timer()
 
@@ -234,6 +268,29 @@ class SCABDProcess(ProtocolProcess):
         self.ctx.enable_local_queue()
         self.ctx.complete(op, value)
 
+    def restart_inflight(self) -> bool:
+        """Re-drive the in-flight operation from its first phase.
+
+        Called by the reconfiguration manager at membership boundaries
+        (joint-mode entry, epoch commit, abort): the quorum predicate
+        just changed, so the operation restarts its phase machine under
+        a fresh generation against the current quorum geometry.  Replies
+        to the superseded generation are filtered (and the old epoch's
+        frames are voided at commit), so the operation still completes
+        exactly once.  A parked operation is revived — the membership
+        change may be exactly what unblocks it.  Returns whether an
+        operation was in flight.
+        """
+        if self._op is None:
+            return False
+        self._cancel_timer()
+        self._attempts = 0
+        if self._op.kind == READ:
+            self._enter_phase("read", self._core(), retry=False)
+        else:
+            self._enter_phase("write_ts", self._core(), retry=False)
+        return True
+
     # ------------------------------------------------------------------
     # replica duties (handle queries from any initiator, incl. self)
     # ------------------------------------------------------------------
@@ -242,6 +299,19 @@ class SCABDProcess(ProtocolProcess):
         if tuple(ts) > self.ts:
             self.ts = tuple(ts)
             self.value = value
+
+    def absorb_snapshot(self, ts: Timestamp, value: Any) -> bool:
+        """Install a state-transfer copy (monotone, exactly like ``Q-UPD``).
+
+        Used by the reconfiguration manager to catch up joining replicas
+        and to establish the authoritative state at the new quorum before
+        an epoch commits.  Returns whether the copy was newer than the
+        local one.
+        """
+        if tuple(ts) <= self.ts:
+            return False
+        self._install(ts, value)
+        return True
 
     def on_message(self, msg: Message) -> None:
         mtype = msg.token.type
@@ -291,7 +361,7 @@ class SCABDProcess(ProtocolProcess):
             return
         self._replies[msg.src] = (tuple(msg.payload["ts"]),
                                   msg.payload["value"])
-        if len(self._replies) < self._m:
+        if not self._quorum_reached(self._replies):
             return
         # phase 1 complete: the max timestamp is the read's value.
         max_ts, value = max(self._replies.values())
@@ -314,7 +384,7 @@ class SCABDProcess(ProtocolProcess):
         if not self._live("write_ts", msg.payload):
             return
         self._replies[msg.src] = tuple(msg.payload["ts"])
-        if len(self._replies) < self._m:
+        if not self._quorum_reached(self._replies):
             return
         # phase 1 complete: mint a unique, dominating timestamp.
         max_num = max(num for num, _node in self._replies.values())
@@ -326,7 +396,7 @@ class SCABDProcess(ProtocolProcess):
             return
         if self._phase == "write_upd":
             self._acks.add(msg.src)
-            if len(self._acks) >= self._m:
+            if self._quorum_reached(self._acks):
                 self._finish()
         elif self._phase == "repair":
             self._repair_pending.discard(msg.src)

@@ -16,6 +16,7 @@ from .metrics import (
     Metrics,
     OpRecord,
     PartitionStats,
+    ReconfigStats,
     RecoveryStats,
     ReliabilityStats,
 )
@@ -28,6 +29,12 @@ from .partition import (
     PartitionPlan,
 )
 from .pool import ReplicaPool
+from .reconfig import (
+    MembershipChange,
+    MembershipView,
+    ReconfigManager,
+    ReconfigPlan,
+)
 from .recovery import RecoveryManager, WriteLog
 from .reliable import (
     DeliveryViolation,
@@ -59,8 +66,13 @@ __all__ = [
     "Metrics",
     "OpRecord",
     "PartitionStats",
+    "ReconfigStats",
     "RecoveryStats",
     "ReliabilityStats",
+    "MembershipChange",
+    "MembershipView",
+    "ReconfigManager",
+    "ReconfigPlan",
     "ClusterView",
     "ConsistencyMonitor",
     "ConsistencyViolation",

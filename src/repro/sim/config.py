@@ -17,16 +17,48 @@ it from a plain-JSON payload.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from ..obs.trace import TraceConfig
 from ..util import reject_unknown_keys
 from .faults import FaultPlan
 from .partition import PartitionPlan
+from .reconfig import ReconfigPlan
 from .reliable import ReliabilityConfig
 
 __all__ = ["RunConfig"]
+
+
+def _canonical_weights(weights) -> Optional[Tuple[Tuple[int, float], ...]]:
+    """Canonicalize quorum vote weights to sorted ``(node, weight)`` pairs.
+
+    Accepts a mapping or pair iterable; validates nodes and weights.
+    All-default weights (every named node weighing 1) collapse to
+    ``None`` — they drive a run bit-identical to the unweighted count
+    majority, and the serialization must be canonical for the cache.
+    """
+    if weights is None:
+        return None
+    items = weights.items() if hasattr(weights, "items") else weights
+    out: Dict[int, float] = {}
+    for node, weight in items:
+        node = int(node)
+        weight = float(weight)
+        if node < 1:
+            raise ValueError(f"quorum weight node must be >= 1, got {node}")
+        if node in out:
+            raise ValueError(f"duplicate quorum weight for node {node}")
+        if not (weight > 0 and math.isfinite(weight)):
+            raise ValueError(
+                f"quorum weight for node {node} must be a positive "
+                f"finite number, got {weight}"
+            )
+        out[node] = weight
+    if not out or all(w == 1.0 for w in out.values()):
+        return None
+    return tuple(sorted(out.items()))
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -60,6 +92,14 @@ class RunConfig:
             Tracing never changes simulation results — it only observes —
             but it is carried in the canonical serialization so worker
             processes rebuild it faithfully.
+        reconfig: optional :class:`~repro.sim.reconfig.ReconfigPlan`
+            scheduling online replica-set membership changes (quorum
+            protocols only); ``None`` — or a plan with no changes —
+            keeps the static membership.
+        quorum_weights: optional per-node vote weights for the quorum
+            family, as a mapping or ``(node, weight)`` pairs (unnamed
+            nodes weigh 1).  Canonicalized to a sorted pair tuple;
+            all-default weights collapse to ``None``.
     """
 
     ops: int = 4000
@@ -73,6 +113,8 @@ class RunConfig:
     failover: bool = False
     monitor: bool = False
     tracing: Optional[TraceConfig] = None
+    reconfig: Optional[ReconfigPlan] = None
+    quorum_weights: Optional[Tuple[Tuple[int, float], ...]] = None
 
     def __post_init__(self) -> None:
         if self.ops < 1:
@@ -96,6 +138,13 @@ class RunConfig:
                 f"tracing must be a TraceConfig or None, got "
                 f"{type(self.tracing).__name__}"
             )
+        # a no-change reconfiguration plan is the same as no plan
+        if self.reconfig is not None and self.reconfig.is_none:
+            object.__setattr__(self, "reconfig", None)
+        object.__setattr__(
+            self, "quorum_weights",
+            _canonical_weights(self.quorum_weights),
+        )
 
     @property
     def resolved_warmup(self) -> int:
@@ -107,7 +156,8 @@ class RunConfig:
         """The effective reliability config (defaults under a fault plan)."""
         if self.reliability is not None:
             return self.reliability
-        if self.faults is not None or self.partitions is not None:
+        if (self.faults is not None or self.partitions is not None
+                or self.reconfig is not None):
             return ReliabilityConfig()
         return None
 
@@ -144,6 +194,12 @@ class RunConfig:
             )
         else:
             lines.append("reliability: none (paper-faithful fabric)")
+        if self.reconfig is not None:
+            lines.append("reconfig:    " + self.reconfig.describe())
+        if self.quorum_weights is not None:
+            lines.append("weights:     " + ", ".join(
+                f"{node}={weight:g}" for node, weight in self.quorum_weights
+            ))
         lines.append("failover:    " + ("on" if self.failover else "off"))
         lines.append("monitor:     " + ("on" if self.monitor else "off"))
         return "\n".join(lines)
@@ -160,7 +216,7 @@ class RunConfig:
         resolved, a no-fault plan collapses to ``None``), so it is safe to
         hash for the sweep engine's result cache.
         """
-        return {
+        data: Dict[str, Any] = {
             "ops": int(self.ops),
             "warmup": int(self.resolved_warmup),
             "seed": None if self.seed is None else int(self.seed),
@@ -181,6 +237,17 @@ class RunConfig:
                 None if self.tracing is None else self.tracing.to_dict()
             ),
         }
+        # pay-for-what-you-use: the reconfiguration and vote-weight keys
+        # appear only when configured, so every pre-existing config — and
+        # every cell id, cache key and committed baseline row hashed from
+        # it — stays byte-identical to the static-membership era.
+        if self.reconfig is not None:
+            data["reconfig"] = self.reconfig.to_dict()
+        if self.quorum_weights is not None:
+            data["quorum_weights"] = [
+                [int(n), float(w)] for n, w in self.quorum_weights
+            ]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunConfig":
@@ -194,13 +261,16 @@ class RunConfig:
         reject_unknown_keys(
             data,
             ("ops", "warmup", "seed", "mean_gap", "max_events", "faults",
-             "partitions", "reliability", "failover", "monitor", "tracing"),
+             "partitions", "reliability", "failover", "monitor", "tracing",
+             "reconfig", "quorum_weights"),
             "RunConfig",
         )
         faults = data.get("faults")
         partitions = data.get("partitions")
         reliability = data.get("reliability")
         tracing = data.get("tracing")
+        reconfig = data.get("reconfig")
+        quorum_weights = data.get("quorum_weights")
         return cls(
             ops=int(data.get("ops", 4000)),
             warmup=data.get("warmup"),
@@ -220,5 +290,13 @@ class RunConfig:
             monitor=bool(data.get("monitor", False)),
             tracing=(
                 None if tracing is None else TraceConfig.from_dict(tracing)
+            ),
+            reconfig=(
+                None if reconfig is None
+                else ReconfigPlan.from_dict(reconfig)
+            ),
+            quorum_weights=(
+                None if quorum_weights is None
+                else tuple((int(n), float(w)) for n, w in quorum_weights)
             ),
         )

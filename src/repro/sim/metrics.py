@@ -23,8 +23,8 @@ from typing import Dict, List, Optional, Tuple
 
 from ..machines.message import Message
 
-__all__ = ["OpRecord", "PartitionStats", "RecoveryStats", "ReliabilityStats",
-           "Metrics"]
+__all__ = ["OpRecord", "PartitionStats", "ReconfigStats", "RecoveryStats",
+           "ReliabilityStats", "Metrics"]
 
 
 @dataclass(slots=True)
@@ -88,6 +88,9 @@ class ReliabilityStats:
     #: out (quorum transport; liveness is owned by quorum re-selection,
     #: so an abandoned datagram is not a delivery failure)
     dgram_abandoned: int = 0
+    #: quorum re-selection attempts (phase timeouts that triggered a
+    #: re-broadcast to non-responders); zero on a fault-free fabric
+    quorum_reselections: int = 0
     #: operation ids whose traffic hit a delivery failure
     failed_op_ids: List[int] = field(default_factory=list)
     #: total communication cost charged by the reliability layer
@@ -162,6 +165,46 @@ class PartitionStats:
     cost: float = 0.0
 
 
+@dataclass(slots=True)
+class ReconfigStats:
+    """Counters for online replica-set reconfiguration
+    (:mod:`repro.sim.reconfig`).
+
+    All zero without a :class:`~repro.sim.reconfig.ReconfigPlan` that
+    schedules membership changes.  ``cost`` is the total communication
+    cost the reconfiguration protocol charged (change announcements,
+    versioned state transfers, new-quorum sync, epoch announcements);
+    like recovery traffic it is system-level and amortized over the
+    measurement window as the ``reconfig`` share of
+    :meth:`Metrics.average_cost_breakdown`.
+    """
+
+    #: membership transitions entered (joint mode begun)
+    transitions: int = 0
+    #: transitions committed (new membership took effect, epoch bumped)
+    commits: int = 0
+    #: transitions rolled back after the transfer retry budget ran out
+    aborts: int = 0
+    #: nodes that joined / left across all scheduled changes
+    joins: int = 0
+    leaves: int = 0
+    #: in-flight operations re-driven at a joint-mode entry, commit or
+    #: abort boundary (each still completes exactly once)
+    ops_redriven: int = 0
+    #: object copies installed by state transfer and new-quorum sync
+    transfer_objects: int = 0
+    #: state-transfer / commit attempts retried (donors unreachable)
+    transfer_retries: int = 0
+    #: transitions whose transfer exhausted its retries (each aborted)
+    transfers_failed: int = 0
+    #: communication cost of state transfers and sync alone
+    transfer_cost: float = 0.0
+    #: total simulated time spent in joint (two-majority) mode
+    joint_time: float = 0.0
+    #: total communication cost charged by the reconfiguration subsystem
+    cost: float = 0.0
+
+
 class Metrics:
     """Accumulates operation records and computes steady-state ``acc``."""
 
@@ -182,6 +225,9 @@ class Metrics:
         #: partition / failure-detector counters (all zero without a
         #: partition plan)
         self.partition = PartitionStats()
+        #: replica-set reconfiguration counters (all zero without a
+        #: reconfiguration plan)
+        self.reconfig = ReconfigStats()
 
     # ------------------------------------------------------------------
     # recording
@@ -273,6 +319,20 @@ class Metrics:
         if tracer is not None:
             tracer.system_event(kind, cost=cost)
 
+    def record_reconfig_cost(self, cost: float, kind: str = "reconfig") -> None:
+        """Charge reconfiguration traffic (announcements, state transfer).
+
+        Like recovery traffic it serves the system as a whole rather than
+        one operation; it is tracked in :attr:`ReconfigStats.cost` and
+        amortized over the measurement window by
+        :meth:`average_cost_breakdown`.  ``kind`` labels the system-level
+        trace event ("announce", "transfer", "sync", "epoch_announce").
+        """
+        self.reconfig.cost += cost
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.system_event(kind, cost=cost)
+
     def record_detector_cost(self, cost: float, kind: str = "detector",
                              src: Optional[int] = None,
                              dst: Optional[int] = None) -> None:
@@ -331,7 +391,7 @@ class Metrics:
         """Split steady-state ``acc`` into its cost shares.
 
         Returns ``{"acc", "protocol", "reliability", "quorum",
-        "recovery", "detector"}`` where ``acc`` is the usual
+        "recovery", "detector", "reconfig"}`` where ``acc`` is the usual
         per-operation total (``protocol + reliability + quorum``),
         ``protocol`` is the cost the coherence traces would incur on a
         fault-free fabric, ``reliability`` is the per-operation overhead
@@ -343,7 +403,9 @@ class Metrics:
         epoch announcements, resynchronization transfers; heartbeat
         probes and replies) amortized over the same window — they ride
         on top of ``acc`` rather than inside it because they are not
-        attributable to individual operations.
+        attributable to individual operations.  ``reconfig`` amortizes
+        replica-set reconfiguration traffic (membership announcements,
+        versioned state transfers, epoch announcements) the same way.
         """
         recs = self.records(skip, take)
         if not recs:
@@ -358,6 +420,7 @@ class Metrics:
             "quorum": quorum,
             "recovery": self.recovery.cost / len(recs),
             "detector": self.partition.cost / len(recs),
+            "reconfig": self.reconfig.cost / len(recs),
         }
 
     def average_cost_by(self, skip: int = 0, take: Optional[int] = None
@@ -451,7 +514,8 @@ class Metrics:
             suppressed.inc(delta)
         for group, stats in (("reliability", self.reliability),
                              ("recovery", self.recovery),
-                             ("partition", self.partition)):
+                             ("partition", self.partition),
+                             ("reconfig", self.reconfig)):
             for f in fields(stats):
                 value = getattr(stats, f.name)
                 if isinstance(value, (int, float)) and not isinstance(value, bool):

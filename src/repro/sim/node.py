@@ -87,6 +87,10 @@ class ObjectPort(ProcessContext):
         #: dispatched-but-incomplete operations (op_id -> Operation); the
         #: recovery subsystem re-drives these after an epoch reset
         self.inflight: Dict[int, Operation] = {}
+        #: shared :class:`~repro.sim.reconfig.MembershipView`; attached by
+        #: DSMSystem only when reconfiguration or quorum vote weights are
+        #: configured (``None`` keeps the static fast path bit-identical)
+        self.membership = None
 
     @property
     def sequencer_id(self) -> int:  # type: ignore[override]
@@ -145,6 +149,9 @@ class ObjectPort(ProcessContext):
 
     def schedule(self, delay: float, callback: Any) -> Any:
         return self._node.scheduler.schedule(delay, callback)
+
+    def record_quorum_reselection(self) -> None:
+        self._node.metrics.reliability.quorum_reselections += 1
 
     def complete(self, op: Operation, value: Any = None) -> None:
         op.complete_time = self._node.scheduler.now

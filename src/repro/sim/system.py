@@ -16,6 +16,7 @@ serialized value) and conservation of cost attribution.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -38,6 +39,7 @@ from .metrics import Metrics
 from .monitor import ConsistencyMonitor, ConsistencyViolation
 from .node import ClusterView, SimNode
 from .partition import FailureDetector, PartitionPlan
+from .reconfig import MembershipView, ReconfigManager, ReconfigPlan
 from .recovery import RecoveryManager, WriteLog
 from .reliable import ReliabilityConfig, ReliableNetwork
 
@@ -64,6 +66,34 @@ _OWNER_STATES: Dict[str, frozenset] = {
     "berkeley": frozenset({"DIRTY", "SHARED-DIRTY"}),
     "dragon": frozenset({"SHARED-DIRTY"}),
 }
+
+
+def _normalize_weights(weights) -> Optional[Dict[int, float]]:
+    """Canonicalize quorum vote weights to ``{node: weight}`` (or ``None``).
+
+    Accepts a mapping or ``(node, weight)`` pairs.  All-default weights
+    (every named node weighing 1) normalize to ``None`` — they *are* the
+    unweighted count majority, and collapsing them keeps such runs
+    bit-identical to systems built without the argument.
+    """
+    if weights is None:
+        return None
+    items = weights.items() if hasattr(weights, "items") else weights
+    out: Dict[int, float] = {}
+    for node, weight in items:
+        node = int(node)
+        weight = float(weight)
+        if node in out:
+            raise ValueError(f"duplicate quorum weight for node {node}")
+        if not (weight > 0 and math.isfinite(weight)):
+            raise ValueError(
+                f"quorum weight for node {node} must be a positive "
+                f"finite number, got {weight}"
+            )
+        out[node] = weight
+    if not out or all(w == 1.0 for w in out.values()):
+        return None
+    return out
 
 
 @dataclass
@@ -173,6 +203,19 @@ class DSMSystem:
         profiler: optional :class:`~repro.obs.Profiler`; times simulator
             hot paths (event dispatch, protocol transitions,
             reliable-delivery bookkeeping) in wall-clock time.
+        reconfig: optional :class:`~repro.sim.reconfig.ReconfigPlan`
+            scheduling online replica-set membership changes (quorum
+            protocols only).  ``None`` (or a plan with no changes) keeps
+            the static membership, bit-identical to a system built
+            without the argument.  A real plan implies the
+            reliable-delivery layer (epoch commits void the old view's
+            in-flight frames through the transport).
+        quorum_weights: optional per-node vote weights for the quorum
+            family (``{node: weight}`` or ``(node, weight)`` pairs;
+            unnamed nodes weigh 1).  Quorums are then *weight*
+            majorities: any responder set carrying more than half the
+            membership's total weight.  ``None`` (or all-equal weights
+            of 1) keeps the classic count majority bit-identical.
     """
 
     def __init__(
@@ -191,6 +234,8 @@ class DSMSystem:
         monitor: bool = False,
         tracing: Optional[TraceConfig] = None,
         profiler=None,
+        reconfig: Optional[ReconfigPlan] = None,
+        quorum_weights=None,
     ):
         self.spec: ProtocolSpec = (
             protocol if isinstance(protocol, ProtocolSpec) else get_protocol(protocol)
@@ -222,6 +267,39 @@ class DSMSystem:
                     "amnesia crash semantics would forget quorum-"
                     "acknowledged state; use crash_semantics='durable'"
                 )
+        # a no-change plan is treated exactly like no plan (pay-for-what-
+        # you-use: static-membership runs stay bit-identical).
+        self.reconfig_plan: Optional[ReconfigPlan] = (
+            reconfig if reconfig is not None and not reconfig.is_none
+            else None
+        )
+        self.quorum_weights = _normalize_weights(quorum_weights)
+        if not self.spec.quorum_based:
+            if self.reconfig_plan is not None:
+                raise ValueError(
+                    f"{self.spec.name} has a fixed star membership; online "
+                    "reconfiguration (reconfig=) needs a quorum protocol"
+                )
+            if self.quorum_weights is not None:
+                raise ValueError(
+                    f"{self.spec.name} has no quorums to weight; "
+                    "quorum_weights= needs a quorum protocol"
+                )
+        # the node universe: the initial members 1..N+1 plus any nodes the
+        # reconfiguration plan will join later (they exist from the start
+        # as empty replicas, but are not members until their epoch commits).
+        universe = N + 1
+        if self.reconfig_plan is not None:
+            self.reconfig_plan.validate_membership(N + 1)
+            universe = max(universe, self.reconfig_plan.max_node())
+        if self.quorum_weights is not None:
+            bad = sorted(n for n in self.quorum_weights
+                         if not 1 <= n <= universe)
+            if bad:
+                raise ValueError(
+                    f"quorum_weights name unknown nodes {bad} "
+                    f"(the node universe is 1..{universe})"
+                )
         self.N = N
         self.M = M
         self.S = float(S)
@@ -248,8 +326,11 @@ class DSMSystem:
             partitions
             if partitions is not None and not partitions.is_none else None
         )
-        if ((self.faults is not None or self.partitions is not None)
+        if ((self.faults is not None or self.partitions is not None
+                or self.reconfig_plan is not None)
                 and reliability is None):
+            # reconfiguration needs the reliable transport too: the epoch
+            # commit voids the old view's in-flight frames through it.
             reliability = ReliabilityConfig()
         self.reliability = reliability
         if reliability is not None:
@@ -271,10 +352,10 @@ class DSMSystem:
             # traces protocol-level deliveries instead.
             self.network.tracer = self.tracer
         if self.faults is not None:
-            self.faults.validate_nodes(N + 1)
+            self.faults.validate_nodes(universe)
             self._schedule_crash_markers()
         if self.partitions is not None:
-            self.partitions.validate_nodes(N + 1)
+            self.partitions.validate_nodes(universe)
         if capacity is not None and capacity < 1:
             raise ValueError("capacity must be at least 1 replica")
         self.capacity = capacity
@@ -282,7 +363,7 @@ class DSMSystem:
         self.failover = bool(failover)
         #: shared, mutable sequencer-role view (reassigned by failover)
         self.cluster = ClusterView(N + 1)
-        self.all_nodes: Tuple[int, ...] = tuple(range(1, N + 2))
+        self.all_nodes: Tuple[int, ...] = tuple(range(1, universe + 1))
         self._next_op_id = 0
         self.nodes: Dict[int, SimNode] = {
             node_id: SimNode(
@@ -301,6 +382,33 @@ class DSMSystem:
             )
             for node_id in self.all_nodes
         }
+        # membership view and reconfiguration driver (quorum family only;
+        # without a plan or weights the view stays None and every quorum
+        # phase takes the static fixed-majority fast path).
+        self.membership: Optional[MembershipView] = None
+        if self.reconfig_plan is not None or self.quorum_weights is not None:
+            self.membership = MembershipView(
+                tuple(range(1, N + 2)), self.quorum_weights
+            )
+            for node in self.nodes.values():
+                for port in node.ports.values():
+                    port.membership = self.membership
+        self.reconfig: Optional[ReconfigManager] = None
+        if self.reconfig_plan is not None:
+            self.reconfig = ReconfigManager(
+                plan=self.reconfig_plan,
+                view=self.membership,
+                nodes=self.nodes,
+                cluster=self.cluster,
+                scheduler=self.scheduler,
+                network=self.network,
+                metrics=self.metrics,
+                faults=self.faults,
+                reliability=self.reliability,
+                S=self.S,
+                P=self.P,
+                latency=self.latency,
+            )
         # crash recovery and consistency monitoring (both opt-in; without
         # them the hooks stay None and runs are bit-identical to a system
         # built before these subsystems existed).
@@ -391,9 +499,11 @@ class DSMSystem:
         """
         faults = config.faults
         partitions = config.partitions
+        reconfig = config.reconfig
         if replay_plans:
             faults = None if faults is None else faults.replay()
             partitions = None if partitions is None else partitions.replay()
+            reconfig = None if reconfig is None else reconfig.replay()
         return cls(
             protocol,
             N=params.N,
@@ -408,6 +518,8 @@ class DSMSystem:
             monitor=config.monitor,
             tracing=config.tracing,
             profiler=profiler,
+            reconfig=reconfig,
+            quorum_weights=config.quorum_weights,
         )
 
     @property
@@ -493,6 +605,21 @@ class DSMSystem:
                 "RunConfig.tracing does not match the TraceConfig this "
                 "DSMSystem was constructed with; pass tracing= to "
                 "DSMSystem(...) or run the cell through repro.exp"
+            )
+        if (config.reconfig is not None
+                and config.reconfig != self.reconfig_plan):
+            raise ValueError(
+                "RunConfig.reconfig does not match the ReconfigPlan this "
+                "DSMSystem was constructed with; pass reconfig= to "
+                "DSMSystem(...) or run the cell through repro.exp"
+            )
+        if (config.quorum_weights is not None
+                and _normalize_weights(config.quorum_weights)
+                != self.quorum_weights):
+            raise ValueError(
+                "RunConfig.quorum_weights does not match the vote weights "
+                "this DSMSystem was constructed with; pass quorum_weights= "
+                "to DSMSystem(...) or run the cell through repro.exp"
             )
 
     # ------------------------------------------------------------------

@@ -103,6 +103,9 @@ def compare_cell(
         failover=config.failover,
         monitor=config.monitor,
         tracing=config.tracing,
+        reconfig=(None if config.reconfig is None
+                  else config.reconfig.replay()),
+        quorum_weights=config.quorum_weights,
     )
     result = system.run_workload(workload, config)
     disturb = params.sigma if deviation is Deviation.READ else params.xi

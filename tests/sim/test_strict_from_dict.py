@@ -9,7 +9,14 @@ import pytest
 
 from repro.core.parameters import WorkloadParams
 from repro.obs.trace import TraceConfig
-from repro.sim import FaultPlan, PartitionPlan, ReliabilityConfig, RunConfig
+from repro.sim import (
+    FaultPlan,
+    MembershipChange,
+    PartitionPlan,
+    ReconfigPlan,
+    ReliabilityConfig,
+    RunConfig,
+)
 from repro.util import did_you_mean, reject_unknown_keys
 
 
@@ -38,6 +45,7 @@ CASES = [
     (RunConfig, {"ops": 400, "warmpu": 10}, "warmup"),
     (WorkloadParams, {"N": 3, "p": 0.1, "sgma": 0.2}, "sigma"),
     (FaultPlan, {"drop_rte": 0.1}, "drop_rate"),
+    (ReconfigPlan, {"chnges": []}, "changes"),
     (PartitionPlan, {"heartbeat_intervl": 10.0}, "heartbeat_interval"),
     (ReliabilityConfig, {"timeot": 4.0}, "timeout"),
     (TraceConfig, {"sample_evry": 2}, "sample_every"),
@@ -60,6 +68,10 @@ def test_canonical_round_trip_still_works(cls):
         obj = RunConfig(ops=400, seed=7, monitor=True)
     elif cls is FaultPlan:
         obj = FaultPlan(seed=3, drop_rate=0.1)
+    elif cls is ReconfigPlan:
+        obj = ReconfigPlan(seed=3, changes=(
+            MembershipChange(at=100.0, joins=(6,)),
+        ))
     elif cls is PartitionPlan:
         from repro.sim.partition import cut
         obj = PartitionPlan(seed=3, links=cut(1, 2, 100.0, 200.0))
@@ -79,3 +91,19 @@ def test_runconfig_ops_now_optional():
 def test_nested_plan_keys_are_checked_through_runconfig():
     with pytest.raises(ValueError, match="drop_rate"):
         RunConfig.from_dict({"ops": 100, "faults": {"drop_rte": 0.5}})
+    with pytest.raises(ValueError, match="changes"):
+        RunConfig.from_dict({"ops": 100, "reconfig": {"chnges": []}})
+
+
+def test_runconfig_round_trips_reconfig_and_weights():
+    config = RunConfig(
+        ops=100, seed=5,
+        reconfig=ReconfigPlan(seed=3, changes=(
+            MembershipChange(at=100.0, joins=(6,), leaves=(2,)),
+        )),
+        quorum_weights=((5, 3.0),),
+    )
+    rebuilt = RunConfig.from_dict(config.to_dict())
+    assert rebuilt.to_dict() == config.to_dict()
+    assert rebuilt.reconfig == config.reconfig
+    assert rebuilt.quorum_weights == config.quorum_weights

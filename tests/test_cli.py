@@ -223,6 +223,65 @@ class TestSimulateQuorum:
         assert "no sequencer" in err
 
 
+class TestSimulateReconfig:
+    ARGV = ("simulate", "sc_abd", "--N", "4", "--p", "0.3",
+            "--a", "2", "--sigma", "0.1", "--ops", "600", "--seed", "1")
+
+    def test_join_leave_run_reports_reconfig_block(self, capsys):
+        code, out, _ = run(capsys, *self.ARGV,
+                           "--join-at", "6:900", "--leave-at", "2:1800",
+                           "--monitor")
+        assert code == 0
+        assert "reconfig:    seed=0, change(@900: +6), change(@1800: -2)" \
+            in out
+        assert "reconfig)" in out  # the reconfig share in the breakdown
+        assert "transitions     = 2 (2 committed, 0 aborted)" in out
+        assert "membership      = {1,3,4,5,6} (epoch 2" in out
+        assert "ops redriven" in out
+        assert "state transfer" in out
+        assert "consistency     = ok" in out
+
+    def test_robustness_banner_always_reports_reselections(self, capsys):
+        # the robustness banner surfaces the abandoned-dgram and quorum
+        # re-selection counters for every quorum run — zeroes included
+        # (a zero confirms no phase was ever starved)
+        code, out, _ = run(capsys, *self.ARGV, "--join-at", "6:900")
+        assert code == 0
+        assert "dgrams abandoned = 0 (quorum re-selection owns liveness)" \
+            in out
+        assert "quorum re-selections = 0" in out
+        code, out, _ = run(capsys, *self.ARGV, "--cut", "1:3:500:900")
+        assert code == 0
+        assert "dgrams abandoned" in out
+        assert "quorum re-selections" in out
+
+    def test_weighted_run_uses_weighted_closed_form(self, capsys):
+        code, out, _ = run(capsys, *self.ARGV, "--quorum-weight", "5:3")
+        assert code == 0
+        assert "weights:     5=3" in out
+        assert "weighted quorums" in out
+        sim = float(out.split("simulated acc   =")[1].split()[0])
+        analytic = float(out.split("analytic acc    =")[1].split()[0])
+        assert abs(sim - analytic) / analytic < 0.05
+
+    def test_bad_join_spec_errors(self, capsys):
+        code, _out, err = run(capsys, *self.ARGV, "--join-at", "nonsense")
+        assert code == 2
+        assert "--join-at" in err
+
+    def test_invalid_membership_walk_errors(self, capsys):
+        code, _out, err = run(capsys, *self.ARGV, "--join-at", "3:100")
+        assert code == 2
+        assert "already replica-set members" in err
+
+    def test_star_protocol_rejects_reconfig(self, capsys):
+        code, _out, err = run(capsys, "simulate", "write_through",
+                              "--N", "4", "--p", "0.3", "--a", "2",
+                              "--sigma", "0.1", "--join-at", "6:100")
+        assert code == 2
+        assert "fixed star membership" in err
+
+
 class TestChaosCommand:
     def test_clean_campaign_exits_zero(self, capsys):
         code, out, _ = run(capsys, "chaos", "--seeds", "2",

@@ -10,6 +10,7 @@ from pathlib import Path
 
 
 EXAMPLES = Path(__file__).parent.parent / "examples"
+README = Path(__file__).parent.parent / "README.md"
 
 
 def run_example(name, capsys):
@@ -48,3 +49,17 @@ def test_protocol_comparison(capsys):
 def test_trace_driven_analysis(capsys):
     out = run_example("trace_driven_analysis.py", capsys)
     assert "Recommendation" in out and "confirmed by replay" in out
+
+
+def test_readme_reconfig_snippet():
+    """The online-reconfiguration quickstart in README.md, executed
+    verbatim: the snippet is extracted from the fenced block that builds
+    a ReconfigPlan, and its own assertions must hold."""
+    text = README.read_text()
+    blocks = [
+        chunk.split("```", 1)[0]
+        for chunk in text.split("```python")[1:]
+    ]
+    snippets = [b for b in blocks if "ReconfigPlan(" in b]
+    assert len(snippets) == 1, "expected exactly one ReconfigPlan snippet"
+    exec(compile(snippets[0], str(README), "exec"), {})
