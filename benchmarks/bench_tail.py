@@ -1,0 +1,145 @@
+"""Tail-latency benchmark: hedged quorum requests vs a flapping straggler.
+
+Not a paper artifact — the paper's cost model is throughput-shaped (acc
+per operation) and blind to latency percentiles — but the study the
+gray-failure machinery (:mod:`repro.sim.faults` slow windows,
+latency-aware demotion in :mod:`repro.sim.partition`, hedging in
+:mod:`repro.protocols.sc_abd`) exists to answer: when does *spending*
+messages on hedge legs beat *waiting* on a straggling replica?
+
+The adversary is a **flapping** straggler: node 2 alternates 100 time
+units slowed by ``factor`` with 100 time units healthy, for the whole
+run.  A persistent straggler is the easy case — the phi-accrual detector
+demotes it within ~2 probe intervals and quorum selection simply routes
+around it, so hedging has nothing left to win.  Flapping re-opens the
+*detection gap* on every cycle: each slow episode hits quorum phases for
+up to a probe interval before demotion lands, and those phases stall for
+the straggler's inflated round trip unless a hedge leg covers them.
+
+The grid sweeps slowdown factor x hedge budget (including unhedged) for
+SC-ABD on the ideal workload — every operation issues from node 1, the
+straggler is a quorum *member*, never the initiator.  Expectations
+encoded as assertions: zero violations and zero incomplete operations
+everywhere, hedging strictly cuts p99 under the 10x straggler, and the
+hedge share prices what was spent to get it.
+
+The default-ops (800) rows are committed at
+``benchmarks/baselines/tail_latency.jsonl``; CI re-runs the study on a
+reduced budget (``REPRO_TAIL_OPS``) and uploads the fresh artifacts.
+"""
+
+import math
+import os
+
+from repro.core.parameters import WorkloadParams
+from repro.exp import SweepCell, SweepSpec, run_sweep
+from repro.sim import FaultPlan, HedgeConfig, RunConfig, SlowWindow
+
+from .conftest import emit
+
+#: ideal workload: sigma = xi = 0, every operation issued by node 1
+PARAMS = WorkloadParams(N=6, p=0.2, S=100.0, P=30.0)
+STRAGGLER = 2
+WORKERS = int(os.environ.get("REPRO_SWEEP_WORKERS", "2"))
+#: operations per sweep cell; the CI smoke run shrinks this via env
+OPS = int(os.environ.get("REPRO_TAIL_OPS", "800"))
+MEAN_GAP = 25.0
+
+FACTORS = (4.0, 10.0)
+#: hedge budgets (sim time until backup legs launch); None = no hedging
+BUDGETS = (None, 8.0, 16.0)
+FLAP_ON, FLAP_PERIOD = 100.0, 200.0
+
+
+def _windows(factor: float):
+    """Flapping slow windows covering the whole run horizon."""
+    horizon = OPS * MEAN_GAP + FLAP_PERIOD
+    return [
+        SlowWindow(STRAGGLER, 100.0 + k * FLAP_PERIOD,
+                   100.0 + k * FLAP_PERIOD + FLAP_ON, factor=factor)
+        for k in range(int(horizon / FLAP_PERIOD) + 1)
+    ]
+
+
+def _config(factor: float, budget) -> RunConfig:
+    hedge = (HedgeConfig(budget=budget, max_legs=2, seed=3)
+             if budget is not None else None)
+    return RunConfig(ops=OPS, warmup=OPS // 8, seed=21,
+                     faults=FaultPlan(seed=5, slowdowns=_windows(factor)),
+                     monitor=True, hedge=hedge)
+
+
+def build_spec() -> SweepSpec:
+    return SweepSpec.explicit([
+        SweepCell(protocol="sc_abd", params=PARAMS, kind="sim", M=2,
+                  config=_config(factor, budget))
+        for factor in FACTORS
+        for budget in BUDGETS
+    ])
+
+
+def run_grid(out_path=None):
+    result = run_sweep(build_spec(), workers=WORKERS, out_path=out_path)
+    assert result.failed == 0, [r for r in result.rows
+                                if r["status"] == "failed"]
+    table = {}
+    it = iter(result.rows)
+    for factor in FACTORS:
+        for budget in BUDGETS:
+            table[(factor, budget)] = next(it)
+    return table
+
+
+def test_tail_latency_vs_hedging(benchmark, results_dir):
+    out_path = results_dir / "tail_latency.jsonl"
+    table = benchmark.pedantic(run_grid, args=(out_path,),
+                               rounds=1, iterations=1)
+    lines = [
+        "sc_abd tail latency vs flapping straggler (node 2, "
+        f"{FLAP_ON:g}/{FLAP_PERIOD - FLAP_ON:g} on/off), "
+        "slowdown factor x hedge budget; monitor on",
+        f"{'factor':>7} {'budget':>7} {'acc':>9} {'p50':>7} {'p95':>7} "
+        f"{'p99':>7} {'hedges':>7} {'hedge-share':>12} {'demotions':>10}",
+    ]
+    for (factor, budget), row in table.items():
+        label = "-" if budget is None else f"{budget:g}"
+        lines.append(
+            f"{factor:7g} {label:>7} {row['acc_sim']:9.2f} "
+            f"{row['latency_p50']:7.2f} {row['latency_p95']:7.2f} "
+            f"{row['latency_p99']:7.2f} {row['hedges_launched']:7d} "
+            f"{row['acc_hedge_share']:12.4f} {row['demotions']:10d}"
+        )
+    emit(results_dir, "tail_latency_vs_hedging.txt", "\n".join(lines))
+
+    for key, row in table.items():
+        assert row["violations"] == 0, (key, row)
+        assert row["incomplete_ops"] == 0, (key, row)
+        assert math.isfinite(row["latency_p99"]), (key, row)
+        # the flapping straggler keeps the detector cycling: it demotes
+        # on every slow episode and restores on the healthy half.
+        assert row["demotions"] > 0, (key, row)
+        assert row["restorations"] > 0, (key, row)
+        if key[1] is None:
+            assert row["hedges_launched"] == 0, (key, row)
+            assert row["acc_hedge_share"] == 0.0, (key, row)
+
+    # under the 10x straggler every budget fires and strictly beats
+    # waiting at the tail — the crossover the subsystem exists for.
+    unhedged = table[(10.0, None)]
+    for budget in BUDGETS[1:]:
+        hedged = table[(10.0, budget)]
+        assert hedged["hedges_launched"] > 0, (budget, hedged)
+        assert hedged["acc_hedge_share"] > 0.0, (budget, hedged)
+        assert hedged["latency_p99"] < unhedged["latency_p99"], (
+            budget, hedged["latency_p99"], unhedged["latency_p99"])
+        assert hedged["latency_p95"] < unhedged["latency_p95"], (
+            budget, hedged["latency_p95"], unhedged["latency_p95"])
+
+    # under the milder 4x straggler the short budget still fires, but a
+    # budget beyond the inflated round trip never does — and a hedge
+    # timer that never expires leaves the run identical to unhedged.
+    assert table[(4.0, 8.0)]["hedges_launched"] > 0, table[(4.0, 8.0)]
+    never, base = table[(4.0, 16.0)], table[(4.0, None)]
+    assert never["hedges_launched"] == 0, never
+    for column in ("acc_sim", "latency_p50", "latency_p95", "latency_p99"):
+        assert never[column] == base[column], (column, never, base)

@@ -14,6 +14,11 @@ protocols additionally draw a random
 overlapping the crash and partition windows — from draws made strictly
 inside the quorum-only branch, so every non-quorum protocol's schedule
 is bit-identical to what it was before reconfiguration fuzzing existed.
+With ``slow_windows`` enabled the generator additionally draws straggler
+:class:`~repro.sim.faults.SlowWindow` schedules and (for quorum
+protocols) a coin-flipped :class:`~repro.sim.hedge.HedgeConfig`; every
+draw sits strictly inside the flag's branch, so campaigns predating the
+straggler model keep bit-identical schedules.
 
 The draw is a pure function of the triple: no wall clock, no process
 state, no shared RNG.  Re-generating a cell from the same triple is
@@ -31,7 +36,8 @@ from ..core.parameters import Deviation, WorkloadParams
 from ..exp.spec import SweepCell, derive_cell_seed
 from ..protocols.registry import EXTENSION_PROTOCOLS, PROTOCOLS, get_protocol
 from ..sim.config import RunConfig
-from ..sim.faults import CRASH_SEMANTICS, CrashWindow, FaultPlan
+from ..sim.faults import CRASH_SEMANTICS, CrashWindow, FaultPlan, SlowWindow
+from ..sim.hedge import HedgeConfig
 from ..sim.partition import PARTITION_POLICIES, LinkFault, PartitionPlan, cut
 from ..sim.reconfig import MembershipChange, ReconfigPlan
 
@@ -66,6 +72,14 @@ class ChaosOptions:
         max_crashes: most crash windows one schedule may contain.
         max_links: most link-fault draws one schedule may contain (a
             symmetric cut counts as one draw).
+        slow_windows: also draw gray-failure straggler windows
+            (:class:`~repro.sim.faults.SlowWindow`), and — for quorum
+            protocols — a coin-flipped :class:`~repro.sim.hedge.
+            HedgeConfig`.  Off by default; every draw sits strictly
+            inside the flag's branch, so campaigns predating the
+            straggler model keep bit-identical schedules.
+        max_slow: most slow windows one schedule may contain (only
+            consulted when ``slow_windows`` is on).
         workers: worker processes for the fuzzing sweep (shrinking is
             always in-process).
         shrink_budget: most simulator runs one shrink may spend.
@@ -86,6 +100,8 @@ class ChaosOptions:
     P: float = 30.0
     max_crashes: int = 3
     max_links: int = 2
+    slow_windows: bool = False
+    max_slow: int = 2
     workers: int = 1
     shrink_budget: int = 64
 
@@ -158,6 +174,26 @@ def _draw_links(rng: random.Random, options: ChaosOptions,
     return links
 
 
+def _draw_slow_windows(rng: random.Random, options: ChaosOptions,
+                       horizon: float) -> List[SlowWindow]:
+    """Draw up to ``max_slow`` non-overlapping-per-node straggler windows."""
+    windows: List[SlowWindow] = []
+    spans: dict = {}
+    for _ in range(rng.randint(0, options.max_slow)):
+        node = rng.randint(1, options.N + 1)
+        start = round(rng.uniform(0.0, 0.7 * horizon), 1)
+        end = round(start + rng.uniform(100.0, 600.0), 1)
+        if any(s < end and start < e for s, e in spans.get(node, ())):
+            # overlapping windows on one node are rejected by FaultPlan;
+            # dropping the draw keeps the RNG stream bounded.
+            continue
+        spans.setdefault(node, []).append((start, end))
+        windows.append(SlowWindow(
+            node, start, end, factor=round(rng.uniform(2.0, 12.0), 1)
+        ))
+    return windows
+
+
 def generate_cell(protocol: str, fuzz_seed: int,
                   options: ChaosOptions) -> SweepCell:
     """The schedule for one fuzz coordinate, as a ready-to-run cell.
@@ -175,6 +211,19 @@ def generate_cell(protocol: str, fuzz_seed: int,
     jitter = round(rng.uniform(0.5, 4.0), 2) if rng.random() < 0.5 else 0.0
     crashes = _draw_crashes(rng, options, horizon)
     links = _draw_links(rng, options, horizon)
+    slowdowns: List[SlowWindow] = []
+    hedge = None
+    if options.slow_windows:
+        # gray-failure fuzzing is opt-in, and every draw sits strictly
+        # inside this branch: with the flag off the RNG stream — and
+        # thus every schedule — is bit-identical to earlier campaigns.
+        slowdowns = _draw_slow_windows(rng, options, horizon)
+        if get_protocol(protocol).quorum_based and rng.random() < 0.6:
+            hedge = HedgeConfig(
+                budget=round(rng.uniform(4.0, 16.0), 1),
+                max_legs=rng.randint(1, 2),
+                seed=rng.getrandbits(32),
+            )
 
     heartbeat = rng.choice(_HEARTBEAT_INTERVALS)
     suspect_after = rng.randint(2, 4)
@@ -221,7 +270,8 @@ def generate_cell(protocol: str, fuzz_seed: int,
                                     changes=tuple(changes))
 
     faults = FaultPlan(seed=rng.getrandbits(32), drop_rate=drop,
-                       duplicate_rate=dup, jitter=jitter, crashes=crashes)
+                       duplicate_rate=dup, jitter=jitter, crashes=crashes,
+                       slowdowns=slowdowns)
     partitions = PartitionPlan(
         seed=rng.getrandbits(32), links=links,
         heartbeat_interval=heartbeat, suspect_after=suspect_after,
@@ -237,6 +287,7 @@ def generate_cell(protocol: str, fuzz_seed: int,
         failover=failover,
         monitor=True,
         reconfig=reconfig,
+        hedge=hedge,
     )
     return SweepCell(
         protocol=protocol,

@@ -61,7 +61,8 @@ from .obs.profile import Profiler
 from .obs.trace import TraceConfig
 from .protocols.registry import all_protocol_names, protocol_names
 from .sim.config import RunConfig
-from .sim.faults import CrashWindow, FaultPlan
+from .sim.faults import CrashWindow, FaultPlan, SlowWindow
+from .sim.hedge import HedgeConfig
 from .sim.partition import PARTITION_POLICIES, LinkFault, PartitionPlan, cut
 from .sim.reconfig import MembershipChange, ReconfigPlan
 from .sim.reliable import ReliabilityConfig
@@ -171,6 +172,12 @@ def _fault_parent() -> argparse.ArgumentParser:
                             "violations at quiescence")
     group.add_argument("--fault-seed", type=int, default=0,
                        help="seed of the fault plan's RNG stream")
+    group.add_argument("--slow-at", action="append", default=[],
+                       metavar="NODE:START:END[:FACTOR]",
+                       help="gray failure: multiply every message delay "
+                            "to/from NODE by FACTOR (default 10) for "
+                            "[START, END) sim time (END of 'inf': never "
+                            "recovers); repeatable")
     return parent
 
 
@@ -234,6 +241,18 @@ def _reliability_parent() -> argparse.ArgumentParser:
                        help="exponential backoff multiplier per retry")
     group.add_argument("--max-retries", type=int, default=10,
                        help="retry budget before a send is abandoned")
+    group = parent.add_argument_group("hedged quorum requests")
+    group.add_argument("--hedge-budget", type=float, default=None,
+                       metavar="T",
+                       help="launch hedge legs to backup replicas when a "
+                            "quorum phase is still short T sim-time "
+                            "units after it started (quorum protocols "
+                            "only; unset: no hedging)")
+    group.add_argument("--hedge-legs", type=int, default=1,
+                       help="max extra replicas contacted per phase "
+                            "when the hedge budget expires")
+    group.add_argument("--hedge-seed", type=int, default=0,
+                       help="seed of the hedge target-selection stream")
     return parent
 
 
@@ -296,13 +315,28 @@ def _parse_crash(spec: str, semantics: str = "durable") -> CrashWindow:
     return CrashWindow(node, start, semantics=semantics)
 
 
+def _parse_slow(spec: str) -> SlowWindow:
+    """Parse a ``NODE:START:END[:FACTOR]`` slow-window argument."""
+    parts = spec.split(":")
+    if len(parts) not in (3, 4):
+        raise ValueError(
+            f"invalid --slow-at {spec!r}: expected NODE:START:END[:FACTOR]"
+        )
+    node, start, end = int(parts[0]), float(parts[1]), float(parts[2])
+    if len(parts) == 4:
+        return SlowWindow(node, start, end, factor=float(parts[3]))
+    return SlowWindow(node, start, end)
+
+
 def _fault_plan(args: argparse.Namespace) -> Optional[FaultPlan]:
     """Build the fault plan from the fault flags (None when fault-free)."""
     crashes = [_parse_crash(spec, args.crash_semantics)
                for spec in args.crash_at]
+    slowdowns = [_parse_slow(spec)
+                 for spec in getattr(args, "slow_at", [])]
     plan = FaultPlan(seed=args.fault_seed, drop_rate=args.drop_rate,
                      duplicate_rate=args.dup_rate, jitter=args.jitter,
-                     crashes=crashes)
+                     crashes=crashes, slowdowns=slowdowns)
     if plan.is_none:
         return None
     # fail loudly on a typo'd node index before any system is built
@@ -407,25 +441,36 @@ def _trace_config(args: argparse.Namespace) -> Optional[TraceConfig]:
     return TraceConfig(sample_every=getattr(args, "trace_sample", 1))
 
 
+def _hedge_config(args: argparse.Namespace) -> Optional[HedgeConfig]:
+    """The hedging config implied by ``--hedge-budget`` (or None)."""
+    budget = getattr(args, "hedge_budget", None)
+    if budget is None:
+        return None
+    return HedgeConfig(budget=budget,
+                       max_legs=getattr(args, "hedge_legs", 1),
+                       seed=getattr(args, "hedge_seed", 0))
+
+
 def runconfig_from_args(args: argparse.Namespace) -> RunConfig:
     """The unified :class:`RunConfig` described by the run/fault/partition/
     reliability/trace flag groups — shared by every simulating subcommand."""
     faults = _fault_plan(args)
     partitions = _partition_plan(args)
     reconfig = _reconfig_plan(args)
+    hedge = _hedge_config(args)
     reliability = (
         ReliabilityConfig(timeout=args.retry_timeout,
                           backoff=args.retry_backoff,
                           max_retries=args.max_retries)
         if (faults is not None or partitions is not None
-            or reconfig is not None) else None
+            or reconfig is not None or hedge is not None) else None
     )
     return RunConfig(ops=args.ops, warmup=args.warmup, seed=args.seed,
                      mean_gap=args.mean_gap, faults=faults,
                      partitions=partitions, reliability=reliability,
                      failover=args.failover, monitor=args.monitor,
                      tracing=_trace_config(args), reconfig=reconfig,
-                     quorum_weights=_quorum_weights(args))
+                     quorum_weights=_quorum_weights(args), hedge=hedge)
 
 
 def _csv_floats(text: str) -> List[float]:
@@ -597,6 +642,11 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="K",
                          help="with --replay --trace-out: record every "
                               "K-th operation span")
+    p_chaos.add_argument("--slow-windows", action="store_true",
+                         help="also fuzz gray failures: draw straggler "
+                              "slow windows and (for quorum protocols) "
+                              "coin-flipped hedging; off keeps schedules "
+                              "bit-identical to earlier campaigns")
     p_chaos.add_argument("--quiet", action="store_true",
                          help="suppress per-cell progress output")
 
@@ -715,7 +765,8 @@ def _cmd_simulate(args: argparse.Namespace, deviation: Deviation,
               f"{lat['p95']:.2f}")
     if (config.faults is not None or config.partitions is not None
             or config.reconfig is not None
-            or config.quorum_weights is not None):
+            or config.quorum_weights is not None
+            or config.hedge is not None):
         # one unified banner: fault plan, partition plan (detector +
         # degraded-mode policy), resolved retry policy, reconfiguration
         # plan, vote weights, failover, monitor.
@@ -728,14 +779,26 @@ def _cmd_simulate(args: argparse.Namespace, deviation: Deviation,
                      f" + {breakdown['reliability']:.4f} reliability")
             if system.spec.quorum_based:
                 parts += f" (+ {breakdown['quorum']:.4f} quorum)"
+            if config.hedge is not None:
+                parts += f" (+ {breakdown['hedge']:.4f} hedge)"
             if system.reconfig is not None:
                 parts += f" (+ {breakdown['reconfig']:.4f} reconfig)"
             if system.recovery is not None:
                 parts += f" (+ {breakdown['recovery']:.4f} recovery)"
-            if (config.partitions is not None and config.partitions.detect
-                    and system.detector is not None):
+            if system.detector is not None:
                 parts += f" (+ {breakdown['detector']:.4f} detector)"
             print(f"acc breakdown   = {parts}")
+        if system.detector is not None:
+            counts = system.detector.state_counts()
+            print(f"detector states = {counts['healthy']} healthy / "
+                  f"{counts['demoted']} demoted / "
+                  f"{counts['suspected']} suspected")
+            part = system.metrics.partition
+            if part.demotions or part.restorations:
+                print(f"demotions       = {part.demotions} "
+                      f"({part.restorations} restored)")
+        if config.hedge is not None:
+            print(f"hedges launched = {stats.hedges_launched}")
         print(f"retransmissions = {stats.retransmissions}")
         print(f"acks            = {stats.acks}")
         print(f"drops           = {stats.drops}")
@@ -944,6 +1007,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         mean_gap=args.mean_gap,
         shrink_budget=args.shrink_budget,
         workers=args.workers,
+        slow_windows=args.slow_windows,
     )
 
     def progress(done: int, total: int, row: dict) -> None:

@@ -102,6 +102,8 @@ def run_cell(cell: SweepCell, on_system: Optional[Callable] = None) -> dict:
             row["partitions"] = config.partitions.to_dict()
         if config.reconfig is not None:
             row["reconfig"] = config.reconfig.to_dict()
+        if config.hedge is not None:
+            row["hedge"] = config.hedge.to_dict()
         if config.quorum_weights is not None:
             row["quorum_weights"] = [
                 [int(n), float(w)] for n, w in config.quorum_weights
@@ -138,7 +140,8 @@ def run_cell(cell: SweepCell, on_system: Optional[Callable] = None) -> dict:
                     skip=config.resolved_warmup)
                 if result.measured > 0
                 else {"protocol": nan, "reliability": nan, "quorum": nan,
-                      "reconfig": nan, "recovery": nan, "detector": nan}
+                      "hedge": nan, "reconfig": nan, "recovery": nan,
+                      "detector": nan}
             )
             row.update(
                 acc_protocol_share=_finite(breakdown["protocol"]),
@@ -153,6 +156,29 @@ def run_cell(cell: SweepCell, on_system: Optional[Callable] = None) -> dict:
                 row.update(
                     acc_quorum_share=_finite(breakdown["quorum"]),
                     dgram_abandoned=stats.dgram_abandoned,
+                )
+            if (config.hedge is not None
+                    or (config.faults is not None
+                        and config.faults.has_slowdowns)):
+                # gray-failure columns, gated on the new config surface
+                # (slow windows / hedging) so every pre-existing row —
+                # and the committed scenario baselines compared byte-
+                # for-byte in CI — stays byte-identical.
+                part = system.metrics.partition
+                lat = (
+                    system.metrics.latency_stats(
+                        skip=config.resolved_warmup)
+                    if result.measured > 0
+                    else {"p50": nan, "p95": nan, "p99": nan}
+                )
+                row.update(
+                    acc_hedge_share=_finite(breakdown["hedge"]),
+                    hedges_launched=stats.hedges_launched,
+                    demotions=part.demotions,
+                    restorations=part.restorations,
+                    latency_p50=_finite(lat["p50"]),
+                    latency_p95=_finite(lat["p95"]),
+                    latency_p99=_finite(lat["p99"]),
                 )
             if system.reconfig is not None:
                 rc = system.metrics.reconfig

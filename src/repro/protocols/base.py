@@ -156,6 +156,7 @@ class ProcessContext(abc.ABC):
         payload: Any = None,
         initiator: Optional[int] = None,
         quorum: bool = False,
+        hedge: bool = False,
     ) -> None:
         """Send one message outside the FIFO channel ordering.
 
@@ -164,12 +165,31 @@ class ProcessContext(abc.ABC):
         layer's in-order delivery guarantee: an abandoned datagram never
         wedges the channel behind it.  ``quorum=True`` marks a
         re-selection re-broadcast, charged to the ``quorum`` cost share
-        instead of the protocol share.  The default falls back to the
-        ordered :meth:`send` (exact on a fault-free fabric, where no
-        message is ever retried or abandoned).
+        instead of the protocol share; ``hedge=True`` marks a hedge leg
+        (:mod:`repro.sim.hedge`), charged to the ``hedge`` share.  The
+        default falls back to the ordered :meth:`send` (exact on a
+        fault-free fabric, where no message is ever retried or
+        abandoned).
         """
-        del quorum  # only meaningful on a reliable fabric
+        del quorum, hedge  # only meaningful on a reliable fabric
         self.send(dst, msg_type, presence, op_id, payload, initiator)
+
+    def cancel_unordered(self, op_id: int) -> int:
+        """Hook: void pending unordered retries for ``op_id`` (hedging).
+
+        The default is a no-op returning 0; the simulator's port
+        forwards it to the reliable transport's datagram cancellation.
+        """
+        del op_id
+        return 0
+
+    def record_hedge_launch(self, legs: int) -> None:
+        """Hook: a quorum phase launched ``legs`` hedge legs.
+
+        The default is a no-op; the simulator's port overrides it to
+        count hedge launches for the robustness banner.
+        """
+        del legs
 
     def schedule(self, delay: float, callback: Any) -> Any:
         """Schedule ``callback`` after ``delay`` sim time; returns a handle.

@@ -40,9 +40,11 @@ violations: liveness is owned here, by re-selection, not by the channel.
 
 from __future__ import annotations
 
+import random
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..machines.message import Message, MsgType, ParamPresence
+from ..util import backoff_delay
 from .base import (
     EJECT,
     READ,
@@ -111,6 +113,11 @@ class SCABDProcess(ProtocolProcess):
         self._new_ts: Optional[Timestamp] = None
         self._read_ts: Optional[Timestamp] = None
         self._read_value: Any = None
+        # ---- hedged requests (repro.sim.hedge); all dormant unless the
+        # context carries a HedgeConfig ----
+        self._contacted: Set[int] = set()
+        self._hedge_timer: Optional[Any] = None
+        self._hedge_rng: Optional[random.Random] = None
         #: operations parked after exhausting re-selection attempts
         #: (an unhealed minority partition); surfaced as stalled
         self.parked_ops = 0
@@ -135,9 +142,19 @@ class SCABDProcess(ProtocolProcess):
 
     def _core(self) -> Tuple[int, ...]:
         view = self._view()
-        if view is None:
+        if view is not None:
+            return view.core()
+        demoted = getattr(self.ctx, "demoted_nodes", None)
+        if not demoted:
             return core_quorum(self.ctx.all_nodes)
-        return view.core()
+        # latency-aware primary selection (static count-majority mode
+        # only): demoted stragglers sort behind every healthy node, so
+        # the cheapest *responsive* majority is contacted first.  Any
+        # majority is a legal ABD quorum, so this is purely a latency
+        # policy — correctness is untouched.  With a membership view the
+        # joint-quorum geometry takes precedence (see above).
+        nodes = sorted(self.ctx.all_nodes, key=lambda n: (n in demoted, n))
+        return tuple(nodes[: self._m])
 
     def _broadcast(self) -> Tuple[int, ...]:
         """Every node a re-selection re-broadcast may target."""
@@ -187,47 +204,51 @@ class SCABDProcess(ProtocolProcess):
         self._gen += 1
         self._replies = {}
         self._acks = set()
+        self._contacted = set(targets)
         self._send_phase(targets, retry)
         self._arm_timer()
+        self._arm_hedge_timer()
 
-    def _send_phase(self, targets, retry: bool) -> None:
+    def _send_phase(self, targets, retry: bool, hedge: bool = False) -> None:
         op = self._op
         if self._phase == "read":
             for dst in targets:
                 self.ctx.send_unordered(
                     dst, MsgType.Q_RD, ParamPresence.NONE, op.op_id,
-                    payload={"gen": self._gen, "retry": retry},
-                    quorum=retry,
+                    payload={"gen": self._gen, "retry": retry,
+                             "hedge": hedge},
+                    quorum=retry, hedge=hedge,
                 )
         elif self._phase == "write_ts":
             for dst in targets:
                 self.ctx.send_unordered(
                     dst, MsgType.Q_TS, ParamPresence.NONE, op.op_id,
-                    payload={"gen": self._gen, "retry": retry},
-                    quorum=retry,
+                    payload={"gen": self._gen, "retry": retry,
+                             "hedge": hedge},
+                    quorum=retry, hedge=hedge,
                 )
         elif self._phase == "write_upd":
             for dst in targets:
                 self.ctx.send_unordered(
                     dst, MsgType.Q_UPD, ParamPresence.WRITE, op.op_id,
                     payload={"gen": self._gen, "ts": self._new_ts,
-                             "value": op.params, "retry": retry},
-                    quorum=retry,
+                             "value": op.params, "retry": retry,
+                             "hedge": hedge},
+                    quorum=retry, hedge=hedge,
                 )
         elif self._phase == "repair":
             for dst in targets:
                 self.ctx.send_unordered(
                     dst, MsgType.Q_WB, ParamPresence.WRITE, op.op_id,
                     payload={"gen": self._gen, "ts": self._read_ts,
-                             "value": self._read_value, "retry": retry},
-                    quorum=retry,
+                             "value": self._read_value, "retry": retry,
+                             "hedge": hedge},
+                    quorum=retry, hedge=hedge,
                 )
 
     def _arm_timer(self) -> None:
-        delay = min(
-            QUORUM_TIMEOUT * (QUORUM_BACKOFF ** self._attempts),
-            QUORUM_DELAY_CAP,
-        )
+        delay = backoff_delay(QUORUM_TIMEOUT, QUORUM_BACKOFF, self._attempts,
+                              cap=QUORUM_DELAY_CAP)
         gen = self._gen
         self._timer = self.ctx.schedule(delay,
                                         lambda: self._on_timeout(gen))
@@ -237,6 +258,68 @@ class SCABDProcess(ProtocolProcess):
         if timer is not None:
             timer.cancel()
             self._timer = None
+
+    # ------------------------------------------------------------------
+    # hedged requests (repro.sim.hedge)
+    # ------------------------------------------------------------------
+
+    def _hedge_config(self):
+        """The :class:`~repro.sim.hedge.HedgeConfig`, if one is attached."""
+        return getattr(self.ctx, "hedge", None)
+
+    def _arm_hedge_timer(self) -> None:
+        self._cancel_hedge_timer()
+        cfg = self._hedge_config()
+        if cfg is None or self._phase == "repair":
+            # repair targets *specific* stale members — no backup can
+            # stand in for them, so there is nothing to hedge toward.
+            return
+        gen = self._gen
+        self._hedge_timer = self.ctx.schedule(
+            cfg.budget, lambda: self._on_hedge_timeout(gen)
+        )
+
+    def _cancel_hedge_timer(self) -> None:
+        timer = self._hedge_timer
+        if timer is not None:
+            timer.cancel()
+            self._hedge_timer = None
+
+    def _on_hedge_timeout(self, gen: int) -> None:
+        self._hedge_timer = None
+        if self._op is None or gen != self._gen:
+            return  # the phase moved on; stale timer
+        cfg = self._hedge_config()
+        responded = (self._acks if self._phase == "write_upd"
+                     else self._replies)
+        legs = self._hedge_candidates(responded)[: cfg.max_legs]
+        if not legs:
+            return
+        self._contacted.update(legs)
+        self.ctx.record_hedge_launch(len(legs))
+        self._send_phase(legs, retry=False, hedge=True)
+
+    def _hedge_candidates(self, responded) -> List[int]:
+        """Backup replicas a hedge leg may target, best first.
+
+        Un-contacted, un-responded, non-self nodes of the broadcast set;
+        seeded shuffle for tie-breaking, then a stable partition that
+        puts detector-demoted stragglers last — hedging exists to route
+        *around* them.
+        """
+        if self._hedge_rng is None:
+            cfg = self._hedge_config()
+            obj = getattr(self.ctx, "obj", 0)
+            self._hedge_rng = random.Random(
+                cfg.seed * 1000003 + self.ctx.node_id * 1009 + obj
+            )
+        pool = [n for n in self._broadcast()
+                if n not in self._contacted and n not in responded
+                and n != self.ctx.node_id]
+        self._hedge_rng.shuffle(pool)
+        demoted = getattr(self.ctx, "demoted_nodes", None) or set()
+        pool.sort(key=lambda n: n in demoted)
+        return pool
 
     def _on_timeout(self, gen: int) -> None:
         if self._op is None or gen != self._gen:
@@ -257,14 +340,21 @@ class SCABDProcess(ProtocolProcess):
         responded = (self._acks if self._phase == "write_upd"
                      else self._replies)
         targets = [n for n in self._broadcast() if n not in responded]
+        self._contacted.update(targets)
         self._send_phase(targets, retry=True)
         self._arm_timer()
 
     def _finish(self, value: Any = None) -> None:
         self._cancel_timer()
+        self._cancel_hedge_timer()
         self._gen += 1  # stragglers from the finished op are filtered
         op, self._op = self._op, None
         self._phase = None
+        if self._hedge_config() is not None:
+            # hedge-loser cancellation: the op is decided, so pending
+            # datagram retries toward slow losers are pure waste — void
+            # them (late replies are already gen-filtered above).
+            self.ctx.cancel_unordered(op.op_id)
         self.ctx.enable_local_queue()
         self.ctx.complete(op, value)
 
@@ -323,6 +413,7 @@ class SCABDProcess(ProtocolProcess):
                          "value": self.value},
                 initiator=msg.token.operation_initiator,
                 quorum=payload["retry"],
+                hedge=payload.get("hedge", False),
             )
         elif mtype is MsgType.Q_TS:
             self.ctx.send_unordered(
@@ -330,6 +421,7 @@ class SCABDProcess(ProtocolProcess):
                 payload={"gen": payload["gen"], "ts": self.ts},
                 initiator=msg.token.operation_initiator,
                 quorum=payload["retry"],
+                hedge=payload.get("hedge", False),
             )
         elif mtype in (MsgType.Q_UPD, MsgType.Q_WB):
             self._install(payload["ts"], payload["value"])
@@ -338,6 +430,7 @@ class SCABDProcess(ProtocolProcess):
                 payload={"gen": payload["gen"]},
                 initiator=msg.token.operation_initiator,
                 quorum=payload["retry"],
+                hedge=payload.get("hedge", False),
             )
         elif mtype is MsgType.Q_RR:
             self._on_read_reply(msg)

@@ -10,7 +10,8 @@ consistency monitor (:mod:`repro.sim.monitor`)."""
 from .channel import Network
 from .config import RunConfig
 from .engine import EventScheduler, TimerHandle
-from .faults import CRASH_SEMANTICS, CrashWindow, FaultPlan
+from .faults import CRASH_SEMANTICS, CrashWindow, FaultPlan, SlowWindow
+from .hedge import HedgeConfig
 from .locks import LockClient, LockManager
 from .metrics import (
     Metrics,
@@ -55,6 +56,8 @@ __all__ = [
     "CRASH_SEMANTICS",
     "CrashWindow",
     "FaultPlan",
+    "SlowWindow",
+    "HedgeConfig",
     "DeliveryViolation",
     "Frame",
     "ReliabilityConfig",

@@ -191,6 +191,12 @@ class Network:
                 delay += plan.jitter_for(msg.src, msg.dst)
             if parts is not None:
                 delay += parts.jitter_for(msg.src, msg.dst, now)
+            if plan is not None and plan.slowdowns:
+                # gray failure: a straggler endpoint stretches the whole
+                # delivery multiplicatively.  Deterministic (no RNG), and
+                # exactly 1.0 without slow windows, so plans predating
+                # the straggler model keep byte-identical delays.
+                delay *= plan.link_slowdown(msg.src, msg.dst, now)
             return delay
 
         # the global plan rolls first; a loss there short-circuits the

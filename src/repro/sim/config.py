@@ -24,6 +24,7 @@ from typing import Any, Dict, Optional, Tuple
 from ..obs.trace import TraceConfig
 from ..util import reject_unknown_keys
 from .faults import FaultPlan
+from .hedge import HedgeConfig
 from .partition import PartitionPlan
 from .reconfig import ReconfigPlan
 from .reliable import ReliabilityConfig
@@ -100,6 +101,9 @@ class RunConfig:
             family, as a mapping or ``(node, weight)`` pairs (unnamed
             nodes weigh 1).  Canonicalized to a sorted pair tuple;
             all-default weights collapse to ``None``.
+        hedge: optional :class:`~repro.sim.hedge.HedgeConfig` arming
+            hedged quorum requests (quorum protocols only); ``None``
+            keeps every phase waiting on its primary quorum.
     """
 
     ops: int = 4000
@@ -115,6 +119,7 @@ class RunConfig:
     tracing: Optional[TraceConfig] = None
     reconfig: Optional[ReconfigPlan] = None
     quorum_weights: Optional[Tuple[Tuple[int, float], ...]] = None
+    hedge: Optional[HedgeConfig] = None
 
     def __post_init__(self) -> None:
         if self.ops < 1:
@@ -141,6 +146,12 @@ class RunConfig:
         # a no-change reconfiguration plan is the same as no plan
         if self.reconfig is not None and self.reconfig.is_none:
             object.__setattr__(self, "reconfig", None)
+        if self.hedge is not None and not isinstance(self.hedge,
+                                                     HedgeConfig):
+            raise TypeError(
+                f"hedge must be a HedgeConfig or None, got "
+                f"{type(self.hedge).__name__}"
+            )
         object.__setattr__(
             self, "quorum_weights",
             _canonical_weights(self.quorum_weights),
@@ -200,6 +211,8 @@ class RunConfig:
             lines.append("weights:     " + ", ".join(
                 f"{node}={weight:g}" for node, weight in self.quorum_weights
             ))
+        if self.hedge is not None:
+            lines.append("hedge:       " + self.hedge.describe())
         lines.append("failover:    " + ("on" if self.failover else "off"))
         lines.append("monitor:     " + ("on" if self.monitor else "off"))
         return "\n".join(lines)
@@ -247,6 +260,8 @@ class RunConfig:
             data["quorum_weights"] = [
                 [int(n), float(w)] for n, w in self.quorum_weights
             ]
+        if self.hedge is not None:
+            data["hedge"] = self.hedge.to_dict()
         return data
 
     @classmethod
@@ -262,7 +277,7 @@ class RunConfig:
             data,
             ("ops", "warmup", "seed", "mean_gap", "max_events", "faults",
              "partitions", "reliability", "failover", "monitor", "tracing",
-             "reconfig", "quorum_weights"),
+             "reconfig", "quorum_weights", "hedge"),
             "RunConfig",
         )
         faults = data.get("faults")
@@ -271,6 +286,7 @@ class RunConfig:
         tracing = data.get("tracing")
         reconfig = data.get("reconfig")
         quorum_weights = data.get("quorum_weights")
+        hedge = data.get("hedge")
         return cls(
             ops=int(data.get("ops", 4000)),
             warmup=data.get("warmup"),
@@ -298,5 +314,8 @@ class RunConfig:
             quorum_weights=(
                 None if quorum_weights is None
                 else tuple((int(n), float(w)) for n, w in quorum_weights)
+            ),
+            hedge=(
+                None if hedge is None else HedgeConfig.from_dict(hedge)
             ),
         )

@@ -12,6 +12,13 @@ A plan injects, reproducibly from a single seed:
 * **latency jitter** — each delivery is delayed by an extra
   ``U(0, jitter)`` on top of the channel latency (which reorders
   messages across a channel);
+* **gray failures / stragglers** — during a :class:`SlowWindow` the node
+  is alive and correct but persistently slow: every delivery it sends or
+  receives takes ``factor``× the base latency (plus any jitter).  Unlike
+  the stochastic ``jitter``, the slowdown is *multiplicative and
+  deterministic* — it consumes no randomness, so layering slow windows
+  onto an existing plan leaves every drop/duplicate/jitter decision of
+  that plan untouched;
 * **timed node crashes** — during a :class:`CrashWindow` the node's network
   interface is silent: nothing it sends leaves the node and nothing
   addressed to it is delivered.  Crashing the sequencer is allowed (and is
@@ -43,11 +50,46 @@ from typing import List, Sequence, Tuple
 
 from ..util import reject_unknown_keys
 
-__all__ = ["CRASH_SEMANTICS", "CrashWindow", "FaultPlan"]
+__all__ = ["CRASH_SEMANTICS", "CrashWindow", "FaultPlan", "SlowWindow"]
 
 
 #: legal values of :attr:`CrashWindow.semantics`
 CRASH_SEMANTICS = ("durable", "amnesia")
+
+
+@dataclass(frozen=True, slots=True)
+class SlowWindow:
+    """One gray-failure interval ``[start, end)``: the node stays alive
+    but every delivery touching it is ``factor``× slower.
+
+    The slowdown is deterministic (no RNG draw) and multiplicative on the
+    base channel latency plus jitter, modelling a straggler — a node that
+    acks heartbeats yet serves an order of magnitude slower than its
+    peers — as opposed to the stochastic per-delivery ``jitter``.
+    """
+
+    node: int
+    start: float
+    end: float = math.inf
+    factor: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"slow start must be >= 0, got {self.start}")
+        if self.end <= self.start:
+            raise ValueError(
+                f"slow window must end after it starts "
+                f"({self.start} .. {self.end})"
+            )
+        if not (self.factor > 1.0 and math.isfinite(self.factor)):
+            raise ValueError(
+                f"slowdown factor must be a finite number > 1 "
+                f"(1 is no slowdown), got {self.factor}"
+            )
+
+    def covers(self, time: float) -> bool:
+        """Whether the node is slowed at ``time``."""
+        return self.start <= time < self.end
 
 
 @dataclass(frozen=True, slots=True)
@@ -95,6 +137,9 @@ class FaultPlan:
         crashes: node-outage windows (:class:`CrashWindow` instances or
             ``(node, start[, end[, semantics]])`` tuples).  Windows on the
             same node must not overlap (a config-time :class:`ValueError`).
+        slowdowns: gray-failure windows (:class:`SlowWindow` instances or
+            ``(node, start[, end[, factor]])`` tuples).  Windows on the
+            same node must not overlap.
     """
 
     def __init__(
@@ -104,6 +149,7 @@ class FaultPlan:
         duplicate_rate: float = 0.0,
         jitter: float = 0.0,
         crashes: Sequence = (),
+        slowdowns: Sequence = (),
     ) -> None:
         if not 0.0 <= drop_rate <= 1.0:
             raise ValueError(f"drop_rate must be in [0, 1], got {drop_rate}")
@@ -121,43 +167,52 @@ class FaultPlan:
             w if isinstance(w, CrashWindow) else CrashWindow(*w)
             for w in crashes
         )
-        self._check_window_overlap()
+        self.slowdowns: Tuple[SlowWindow, ...] = tuple(
+            w if isinstance(w, SlowWindow) else SlowWindow(*w)
+            for w in slowdowns
+        )
+        self._check_window_overlap(self.crashes, "crash")
+        self._check_window_overlap(self.slowdowns, "slow")
         self._rng = random.Random(seed)
 
-    def _check_window_overlap(self) -> None:
+    @staticmethod
+    def _check_window_overlap(windows: Sequence, label: str) -> None:
         """Reject overlapping windows on the same node at config time.
 
-        Two simultaneous outages of one node have no sensible meaning (is
-        the second crash edge a crash or a no-op?) and would mis-drive the
-        recovery subsystem's crash/rejoin events.  Adjacent windows
+        Two simultaneous outages (or slowdowns) of one node have no
+        sensible meaning (is the second crash edge a crash or a no-op?
+        do the factors stack?) and would mis-drive the recovery
+        subsystem's crash/rejoin events.  Adjacent windows
         (``prev.end == next.start``) are allowed; windows on *different*
         nodes may overlap freely.
         """
         last_end: dict = {}
-        for w in sorted(self.crashes, key=lambda w: (w.node, w.start)):
+        for w in sorted(windows, key=lambda w: (w.node, w.start)):
             prev = last_end.get(w.node)
             if prev is not None and w.start < prev:
                 raise ValueError(
-                    f"overlapping crash windows for node {w.node}: a window "
-                    f"starting at {w.start:g} begins before the previous one "
-                    f"ends at {prev:g}"
+                    f"overlapping {label} windows for node {w.node}: a "
+                    f"window starting at {w.start:g} begins before the "
+                    f"previous one ends at {prev:g}"
                 )
             last_end[w.node] = w.end
 
     def validate_nodes(self, num_nodes: int) -> None:
-        """Reject crash windows naming nodes outside ``1 .. num_nodes``.
+        """Reject windows naming nodes outside ``1 .. num_nodes``.
 
         Called with ``N + 1`` by :class:`~repro.sim.system.DSMSystem` (and
         by the CLI) so a typo'd node index fails loudly at configuration
         time instead of silently never firing.
         """
-        for w in self.crashes:
-            if not 1 <= w.node <= num_nodes:
-                raise ValueError(
-                    f"crash window names node {w.node}, but the system has "
-                    f"nodes 1 .. {num_nodes} (clients 1 .. {num_nodes - 1}, "
-                    f"sequencer {num_nodes})"
-                )
+        for label, windows in (("crash", self.crashes),
+                               ("slow", self.slowdowns)):
+            for w in windows:
+                if not 1 <= w.node <= num_nodes:
+                    raise ValueError(
+                        f"{label} window names node {w.node}, but the "
+                        f"system has nodes 1 .. {num_nodes} (clients 1 .. "
+                        f"{num_nodes - 1}, sequencer {num_nodes})"
+                    )
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -176,6 +231,7 @@ class FaultPlan:
             duplicate_rate=self.duplicate_rate,
             jitter=self.jitter,
             crashes=self.crashes,
+            slowdowns=self.slowdowns,
         )
 
     @property
@@ -186,12 +242,18 @@ class FaultPlan:
             and self.duplicate_rate == 0.0
             and self.jitter == 0.0
             and not self.crashes
+            and not self.slowdowns
         )
 
     @property
     def has_amnesia(self) -> bool:
         """Whether any crash window loses node state (needs recovery)."""
         return any(w.semantics == "amnesia" for w in self.crashes)
+
+    @property
+    def has_slowdowns(self) -> bool:
+        """Whether any gray-failure window is scheduled."""
+        return bool(self.slowdowns)
 
     # ------------------------------------------------------------------
     # configuration identity and serialization
@@ -211,6 +273,8 @@ class FaultPlan:
             self.jitter,
             tuple((w.node, w.start, w.end, w.semantics)
                   for w in self.crashes),
+            tuple((w.node, w.start, w.end, w.factor)
+                  for w in self.slowdowns),
         )
 
     def __eq__(self, other: object) -> bool:
@@ -226,7 +290,7 @@ class FaultPlan:
 
     def to_dict(self) -> dict:
         """A plain-JSON dict of the configuration (``inf`` ends → None)."""
-        return {
+        data = {
             "seed": int(self.seed),
             "drop_rate": float(self.drop_rate),
             "duplicate_rate": float(self.duplicate_rate),
@@ -240,6 +304,17 @@ class FaultPlan:
                 for w in self.crashes
             ],
         }
+        # pay-for-what-you-use: the slowdown key appears only when gray
+        # failures are scheduled, so every pre-existing plan — and every
+        # cell id and cache key hashed from it — stays byte-identical.
+        if self.slowdowns:
+            data["slowdowns"] = [
+                [int(w.node), float(w.start),
+                 None if math.isinf(w.end) else float(w.end),
+                 float(w.factor)]
+                for w in self.slowdowns
+            ]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultPlan":
@@ -252,7 +327,8 @@ class FaultPlan:
         """
         reject_unknown_keys(
             data,
-            ("seed", "drop_rate", "duplicate_rate", "jitter", "crashes"),
+            ("seed", "drop_rate", "duplicate_rate", "jitter", "crashes",
+             "slowdowns"),
             "FaultPlan",
         )
         crashes = [
@@ -261,12 +337,19 @@ class FaultPlan:
                         str(entry[3]) if len(entry) > 3 else "durable")
             for entry in data.get("crashes", ())
         ]
+        slowdowns = [
+            SlowWindow(int(entry[0]), float(entry[1]),
+                       math.inf if entry[2] is None else float(entry[2]),
+                       float(entry[3]))
+            for entry in data.get("slowdowns", ())
+        ]
         return cls(
             seed=int(data.get("seed", 0)),
             drop_rate=float(data.get("drop_rate", 0.0)),
             duplicate_rate=float(data.get("duplicate_rate", 0.0)),
             jitter=float(data.get("jitter", 0.0)),
             crashes=crashes,
+            slowdowns=slowdowns,
         )
 
     # ------------------------------------------------------------------
@@ -290,6 +373,43 @@ class FaultPlan:
         if self.jitter == 0.0:
             return 0.0
         return self._rng.uniform(0.0, self.jitter)
+
+    # ------------------------------------------------------------------
+    # gray-failure schedule (deterministic: no RNG is ever consumed, so
+    # layering slowdowns onto a plan leaves its decision stream intact)
+    # ------------------------------------------------------------------
+
+    def slowdown_for(self, node: int, time: float) -> float:
+        """The node's service slowdown factor at ``time`` (>= 1.0)."""
+        for window in self.slowdowns:
+            if window.node == node and window.covers(time):
+                return window.factor
+        return 1.0
+
+    def link_slowdown(self, src: int, dst: int, time: float) -> float:
+        """The delivery slowdown on ``src -> dst`` at ``time``.
+
+        A link is as slow as its slowest endpoint: the straggler is slow
+        both to emit and to service arriving messages.
+        """
+        if not self.slowdowns:
+            return 1.0
+        return max(self.slowdown_for(src, time),
+                   self.slowdown_for(dst, time))
+
+    def slowdown_edges(self) -> List[Tuple[float, int, str]]:
+        """Sorted ``(time, node, "slow"|"restore")`` bookkeeping events.
+
+        Restore edges at ``inf`` (a node that never speeds back up) are
+        omitted.
+        """
+        edges: List[Tuple[float, int, str]] = []
+        for w in self.slowdowns:
+            edges.append((w.start, w.node, "slow"))
+            if math.isfinite(w.end):
+                edges.append((w.end, w.node, "restore"))
+        edges.sort()
+        return edges
 
     # ------------------------------------------------------------------
     # crash schedule
@@ -337,4 +457,13 @@ class FaultPlan:
             label = (f"node {nodes[0]}" if len(nodes) == 1
                      else "nodes " + ",".join(str(n) for n in sorted(nodes)))
             parts.append(f"crash({label}: {start:g}..{end}, {semantics})")
+        slow_groups: dict = {}
+        for w in self.slowdowns:
+            slow_groups.setdefault((w.start, w.end, w.factor), []).append(
+                w.node)
+        for (start, end_t, factor), nodes in slow_groups.items():
+            end = "∞" if math.isinf(end_t) else f"{end_t:g}"
+            label = (f"node {nodes[0]}" if len(nodes) == 1
+                     else "nodes " + ",".join(str(n) for n in sorted(nodes)))
+            parts.append(f"slow({label}: {start:g}..{end}, x{factor:g})")
         return ", ".join(parts)

@@ -48,6 +48,10 @@ class OpRecord:
     #: phase messages and their replies after a quorum timeout); 0 for
     #: the star protocols and for quorum runs on a fault-free fabric
     quorum_cost: float = 0.0
+    #: portion of ``cost`` charged by hedged quorum legs (backup-replica
+    #: phase messages launched after the hedge latency budget); 0 unless
+    #: hedging is configured
+    hedge_cost: float = 0.0
 
     @property
     def completed(self) -> bool:
@@ -91,6 +95,9 @@ class ReliabilityStats:
     #: quorum re-selection attempts (phase timeouts that triggered a
     #: re-broadcast to non-responders); zero on a fault-free fabric
     quorum_reselections: int = 0
+    #: hedge legs launched by quorum phases whose latency budget expired
+    #: (:mod:`repro.sim.hedge`); zero unless hedging is configured
+    hedges_launched: int = 0
     #: operation ids whose traffic hit a delivery failure
     failed_op_ids: List[int] = field(default_factory=list)
     #: total communication cost charged by the reliability layer
@@ -146,6 +153,11 @@ class PartitionStats:
     heartbeats: int = 0
     #: nodes declared suspect (``suspect_after`` consecutive missed beats)
     suspicions: int = 0
+    #: nodes demoted for persistent slowness (phi-accrual score high for
+    #: consecutive probes) — deprioritized, not quarantined
+    demotions: int = 0
+    #: demoted nodes restored to healthy after their speed recovered
+    restorations: int = 0
     #: partition-quarantined nodes driven through a resync rejoin
     rejoins: int = 0
     #: reads served from a stale local replica under ``serve_local_reads``
@@ -305,6 +317,28 @@ class Metrics:
         if tracer is not None:
             tracer.op_event(kind, op_id, cost=cost)
 
+    def record_hedge_cost(self, op_id: Optional[int], cost: float,
+                          kind: str = "hedge") -> None:
+        """Charge a hedged quorum leg (backup-replica phase message).
+
+        Like re-selection overhead it inflates the operation's ``cost``
+        without touching the trace signature, but it is tracked as its
+        own share: hedge traffic is the price of tail-latency tolerance
+        under gray failures, deliberately spent *before* any timeout
+        fires.  Zero unless hedging is configured.
+        """
+        tracer = self.tracer
+        if op_id is None or op_id not in self._ops:
+            self.unattributed_cost += cost
+            if tracer is not None:
+                tracer.op_event(kind, None, cost=cost)
+            return
+        rec = self._ops[op_id]
+        rec.cost += cost
+        rec.hedge_cost += cost
+        if tracer is not None:
+            tracer.op_event(kind, op_id, cost=cost)
+
     def record_recovery_cost(self, cost: float, kind: str = "recovery") -> None:
         """Charge recovery-subsystem traffic (elections, snapshots).
 
@@ -390,15 +424,18 @@ class Metrics:
                                ) -> Dict[str, float]:
         """Split steady-state ``acc`` into its cost shares.
 
-        Returns ``{"acc", "protocol", "reliability", "quorum",
+        Returns ``{"acc", "protocol", "reliability", "quorum", "hedge",
         "recovery", "detector", "reconfig"}`` where ``acc`` is the usual
-        per-operation total (``protocol + reliability + quorum``),
+        per-operation total (``protocol + reliability + quorum +
+        hedge``),
         ``protocol`` is the cost the coherence traces would incur on a
         fault-free fabric, ``reliability`` is the per-operation overhead
         of retransmissions and acknowledgements, ``quorum`` is the
         per-operation overhead of quorum re-selection (re-broadcast
-        phase messages after quorum timeouts; SC-ABD only), and
-        ``recovery`` / ``detector`` are the crash-recovery subsystem's
+        phase messages after quorum timeouts; SC-ABD only), ``hedge``
+        is the per-operation overhead of hedged backup legs (extra
+        phase fan-out after the hedge latency budget; zero unless
+        hedging is configured), and ``recovery`` / ``detector`` are the crash-recovery subsystem's
         and the failure detector's system-level traffic (elections,
         epoch announcements, resynchronization transfers; heartbeat
         probes and replies) amortized over the same window — they ride
@@ -413,11 +450,13 @@ class Metrics:
         total = sum(r.cost for r in recs) / len(recs)
         overhead = sum(r.reliability_cost for r in recs) / len(recs)
         quorum = sum(r.quorum_cost for r in recs) / len(recs)
+        hedge = sum(r.hedge_cost for r in recs) / len(recs)
         return {
             "acc": total,
-            "protocol": total - overhead - quorum,
+            "protocol": total - overhead - quorum - hedge,
             "reliability": overhead,
             "quorum": quorum,
+            "hedge": hedge,
             "recovery": self.recovery.cost / len(recs),
             "detector": self.partition.cost / len(recs),
             "reconfig": self.reconfig.cost / len(recs),

@@ -55,7 +55,7 @@ class ClusterView:
     the whole system switches to the new sequencer atomically.
     """
 
-    __slots__ = ("sequencer_id", "epoch", "quarantined")
+    __slots__ = ("sequencer_id", "epoch", "quarantined", "demoted")
 
     def __init__(self, sequencer_id: int):
         #: the node currently acting as the sequencer
@@ -65,6 +65,10 @@ class ClusterView:
         #: node ids currently evicted from the view (amnesia rejoin or
         #: partition quarantine); the transport absorbs sends to them
         self.quarantined: set[int] = set()
+        #: node ids demoted by the latency-aware failure detector (gray
+        #: failures): still in the view and reachable, but deprioritized
+        #: when quorum protocols pick their primary target set
+        self.demoted: set[int] = set()
 
 
 class ObjectPort(ProcessContext):
@@ -91,6 +95,15 @@ class ObjectPort(ProcessContext):
         #: DSMSystem only when reconfiguration or quorum vote weights are
         #: configured (``None`` keeps the static fast path bit-identical)
         self.membership = None
+        #: :class:`~repro.sim.hedge.HedgeConfig`; attached by DSMSystem
+        #: only when hedged quorum requests are configured (``None`` keeps
+        #: the unhedged phase machine bit-identical)
+        self.hedge = None
+
+    @property
+    def demoted_nodes(self) -> "set[int]":
+        """Nodes demoted by the latency-aware detector (gray failures)."""
+        return self._node.cluster.demoted
 
     @property
     def sequencer_id(self) -> int:  # type: ignore[override]
@@ -128,6 +141,7 @@ class ObjectPort(ProcessContext):
         payload: Any = None,
         initiator: Optional[int] = None,
         quorum: bool = False,
+        hedge: bool = False,
     ) -> None:
         network = self._node.network
         if not hasattr(network, "send_unordered"):
@@ -145,7 +159,22 @@ class ObjectPort(ProcessContext):
         msg = Message(token=token, src=self.node_id, dst=dst,
                       payload=payload, op_id=op_id)
         network.send_unordered(msg, self._node.S, self._node.P,
-                               quorum=quorum)
+                               quorum=quorum, hedge=hedge)
+
+    def cancel_unordered(self, op_id: int) -> int:
+        """Cancel this node's pending datagram retries for ``op_id``.
+
+        Hedge-loser cancellation; a no-op (returns 0) on fabrics without
+        the datagram transport.
+        """
+        network = self._node.network
+        if not hasattr(network, "cancel_dgrams"):
+            return 0
+        return network.cancel_dgrams(self.node_id, op_id)
+
+    def record_hedge_launch(self, legs: int) -> None:
+        """Count hedge legs fired by a quorum phase (CLI banner stat)."""
+        self._node.metrics.reliability.hedges_launched += legs
 
     def schedule(self, delay: float, callback: Any) -> Any:
         return self._node.scheduler.schedule(delay, callback)

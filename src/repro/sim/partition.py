@@ -55,6 +55,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .recovery import RecoveryManager
 
 __all__ = [
+    "DEMOTE_AFTER",
+    "DEMOTE_PHI",
     "PARTITION_POLICIES",
     "LinkFault",
     "PartitionPlan",
@@ -160,14 +162,18 @@ class PartitionPlan:
         policy: str = "stall",
         detect: bool = True,
     ) -> None:
-        if heartbeat_interval <= 0:
+        # NaN slips past a plain `<= 0` comparison and inf past `< 1`;
+        # either would silently wedge the probe scheduling, so demand
+        # finite values explicitly.
+        if not (heartbeat_interval > 0 and math.isfinite(heartbeat_interval)):
             raise ValueError(
-                f"heartbeat_interval must be positive, got "
-                f"{heartbeat_interval}"
+                f"heartbeat_interval must be a positive finite number, "
+                f"got {heartbeat_interval}"
             )
-        if suspect_after < 1:
+        if not (suspect_after >= 1 and math.isfinite(suspect_after)):
             raise ValueError(
-                f"suspect_after must be >= 1, got {suspect_after}"
+                f"suspect_after must be a finite count >= 1, got "
+                f"{suspect_after}"
             )
         if policy not in PARTITION_POLICIES:
             raise ValueError(
@@ -406,6 +412,20 @@ class PartitionPlan:
         return times
 
 
+#: phi-like score a response time must exceed for a probe to count as
+#: "suspiciously slow" (standard deviations above the healthy baseline)
+DEMOTE_PHI = 4.0
+
+#: consecutive suspiciously-slow probes before a node is demoted, and
+#: consecutive healthy-speed probes before a demoted node is restored
+DEMOTE_AFTER = 2
+
+#: floor on the baseline's standard deviation, as a fraction of its
+#: mean — a perfectly constant RTT history must not make every future
+#: sample infinitely surprising
+_PHI_SIGMA_FLOOR = 0.05
+
+
 class FailureDetector:
     """Sequencer-side heartbeat prober feeding the recovery subsystem.
 
@@ -420,9 +440,26 @@ class FailureDetector:
     (:meth:`RecoveryManager.quarantine_partitioned`); once probes flow
     again it is rejoined (:meth:`RecoveryManager.rejoin_partitioned`).
 
+    **Latency-aware suspicion** (gray failures): successful probes also
+    feed a phi-accrual-style score over the observed round-trip time —
+    an EWMA baseline of mean and deviation, updated only by samples the
+    score accepts as healthy so a straggler cannot normalize itself into
+    the baseline.  A node whose RTT scores above :data:`DEMOTE_PHI` for
+    :data:`DEMOTE_AFTER` consecutive probes is **demoted**: placed in
+    ``cluster.demoted``, a state between healthy and suspected that
+    deprioritizes the node (quorum phases prefer non-demoted replicas,
+    hedged requests fire sooner) without quarantining it.  The RTT is
+    the deterministic fabric delay (base latency × the fault plan's
+    slowdown factor) — no RNG is consumed, so attaching the scorer
+    changes no fault decisions either.
+
+    ``recovery`` may be ``None`` (the quorum family): the detector then
+    runs in demote-only mode — it never quarantines, since quorum
+    liveness comes from re-selection, not eviction.
+
     Probing is horizon-bounded so the event list drains: rounds stop a
-    few intervals after the last scheduled fault/partition edge unless a
-    quarantined node is still reachable-and-rejoining.
+    few intervals after the last scheduled fault/partition/slowdown edge
+    unless a quarantined node is still reachable-and-rejoining.
     """
 
     def __init__(
@@ -431,10 +468,23 @@ class FailureDetector:
         cluster: "ClusterView",
         scheduler: EventScheduler,
         metrics: Metrics,
-        recovery: "RecoveryManager",
+        recovery: Optional["RecoveryManager"],
         faults: Optional[FaultPlan],
         all_nodes: Tuple[int, ...],
+        latency: float = 1.0,
     ) -> None:
+        if not (plan.heartbeat_interval > 0
+                and math.isfinite(plan.heartbeat_interval)):
+            raise ValueError(
+                f"heartbeat_interval must be a positive finite number, "
+                f"got {plan.heartbeat_interval}"
+            )
+        if not (plan.suspect_after >= 1
+                and math.isfinite(plan.suspect_after)):
+            raise ValueError(
+                f"suspect_after must be a finite count >= 1, got "
+                f"{plan.suspect_after}"
+            )
         self.plan = plan
         self.cluster = cluster
         self.scheduler = scheduler
@@ -442,12 +492,20 @@ class FailureDetector:
         self.recovery = recovery
         self.faults = faults
         self.all_nodes = all_nodes
+        self.latency = float(latency)
         # derived stream: deterministic, independent of the fabric's
         self._rng = random.Random(plan.seed ^ 0x9E3779B97F4A7C15)
         self._missed: Dict[int, int] = {}
+        # phi-accrual state per node: healthy-baseline EWMA of the probe
+        # RTT's mean and absolute deviation, plus streak counters
+        self._rtt_mean: Dict[int, float] = {}
+        self._rtt_dev: Dict[int, float] = {}
+        self._slow_streak: Dict[int, int] = {}
+        self._fast_streak: Dict[int, int] = {}
         times = plan.edges()
         if faults is not None:
             times = times + [t for t, _n, _k in faults.crash_edges()]
+            times = times + [t for t, _n, _k in faults.slowdown_edges()]
         slack = (plan.suspect_after + 3) * plan.heartbeat_interval
         self._horizon = (max(times) + slack) if times else 0.0
 
@@ -492,7 +550,7 @@ class FailureDetector:
             self._probe_round(now, seq)
         # keep probing until the schedule's horizon, then only while a
         # quarantined node could still be driven through a rejoin.
-        rejoining = any(
+        rejoining = self.recovery is not None and any(
             self.recovery.is_partition_quarantined(n)
             and self._healable(n, now)
             for n in self.all_nodes
@@ -519,11 +577,14 @@ class FailureDetector:
                 reachable = not self._lost(node, seq, now)
             if reachable:
                 self._missed[node] = 0
-                if self.recovery.is_partition_quarantined(node):
+                self._score_rtt(node, seq, now)
+                if (self.recovery is not None
+                        and self.recovery.is_partition_quarantined(node)):
                     self.recovery.rejoin_partitioned(node)
             else:
                 self._missed[node] = self._missed.get(node, 0) + 1
-                if (self._missed[node] >= self.plan.suspect_after
+                if (self.recovery is not None
+                        and self._missed[node] >= self.plan.suspect_after
                         and not self.recovery.is_quarantined(node)):
                     stats.suspicions += 1
                     tracer = self.metrics.tracer
@@ -536,3 +597,88 @@ class FailureDetector:
                     self.recovery.quarantine_partitioned(
                         node, self.plan.policy
                     )
+
+    # ------------------------------------------------------------------
+    # latency-aware suspicion (phi-accrual over probe RTTs)
+    # ------------------------------------------------------------------
+
+    def _probe_rtt(self, node: int, seq: int, now: float) -> float:
+        """The round trip's deterministic fabric delay.
+
+        Two hops of base latency, stretched by the fault plan's
+        slowdown factor.  Jitter is excluded on purpose: sampling it
+        would consume RNG and perturb the fabric's decision stream.
+        """
+        factor = (self.faults.link_slowdown(seq, node, now)
+                  if self.faults is not None else 1.0)
+        return 2.0 * self.latency * factor
+
+    def _score_rtt(self, node: int, seq: int, now: float) -> None:
+        rtt = self._probe_rtt(node, seq, now)
+        mean = self._rtt_mean.get(node)
+        if mean is None:
+            # first observation seeds the healthy baseline
+            self._rtt_mean[node] = rtt
+            self._rtt_dev[node] = 0.0
+            return
+        dev = self._rtt_dev[node]
+        sigma = max(dev, _PHI_SIGMA_FLOOR * mean)
+        phi = (rtt - mean) / sigma if sigma > 0.0 else 0.0
+        if phi > DEMOTE_PHI:
+            self._slow_streak[node] = self._slow_streak.get(node, 0) + 1
+            self._fast_streak[node] = 0
+            if (self._slow_streak[node] >= DEMOTE_AFTER
+                    and node not in self.cluster.demoted):
+                self._set_demoted(node, seq, True)
+        else:
+            # healthy sample: fold it into the baseline (EWMA) — only
+            # accepted samples adapt it, so a persistent straggler can
+            # never normalize its own slowness away.
+            alpha = 0.2
+            self._rtt_mean[node] = (1 - alpha) * mean + alpha * rtt
+            self._rtt_dev[node] = ((1 - alpha) * dev
+                                   + alpha * abs(rtt - mean))
+            self._fast_streak[node] = self._fast_streak.get(node, 0) + 1
+            self._slow_streak[node] = 0
+            if (self._fast_streak[node] >= DEMOTE_AFTER
+                    and node in self.cluster.demoted):
+                self._set_demoted(node, seq, False)
+
+    def _set_demoted(self, node: int, seq: int, demoted: bool) -> None:
+        stats = self.metrics.partition
+        tracer = self.metrics.tracer
+        if demoted:
+            self.cluster.demoted.add(node)
+            stats.demotions += 1
+            if tracer is not None:
+                tracer.system_event(
+                    "demote", src=seq, dst=node,
+                    detail="node %d persistently slow" % node,
+                )
+        else:
+            self.cluster.demoted.discard(node)
+            stats.restorations += 1
+            if tracer is not None:
+                tracer.system_event(
+                    "restore", src=seq, dst=node,
+                    detail="node %d back to healthy speed" % node,
+                )
+
+    def state_counts(self) -> Dict[str, int]:
+        """Census of detector states over the probed nodes.
+
+        ``suspected`` counts currently-quarantined nodes, ``demoted``
+        the deprioritized stragglers, ``healthy`` the rest (the probing
+        sequencer itself is not counted).
+        """
+        seq = self.cluster.sequencer_id
+        probed = [n for n in self.all_nodes if n != seq]
+        suspected = sum(1 for n in probed if n in self.cluster.quarantined)
+        demoted = sum(1 for n in probed
+                      if n in self.cluster.demoted
+                      and n not in self.cluster.quarantined)
+        return {
+            "healthy": len(probed) - suspected - demoted,
+            "demoted": demoted,
+            "suspected": suspected,
+        }

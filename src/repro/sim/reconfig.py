@@ -59,6 +59,7 @@ from typing import (
 )
 
 from ..util import reject_unknown_keys
+from ..util import backoff_delay
 from .engine import EventScheduler
 from .faults import FaultPlan
 from .metrics import Metrics
@@ -533,8 +534,8 @@ class ReconfigManager:
         )
 
     def _retry_delay(self, attempt: int) -> float:
-        return min(self.retry_timeout * (self.retry_backoff ** attempt),
-                   TRANSFER_DELAY_CAP)
+        return backoff_delay(self.retry_timeout, self.retry_backoff,
+                             attempt, cap=TRANSFER_DELAY_CAP)
 
     # ------------------------------------------------------------------
     # commit: establish the new quorum, bump the epoch, re-drive

@@ -43,6 +43,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..machines.message import Message
 from ..util import reject_unknown_keys
+from ..util import backoff_delay
 from .channel import Network
 from .engine import EventScheduler, TimerHandle
 from .faults import FaultPlan
@@ -298,7 +299,7 @@ class ReliableNetwork:
         return cost
 
     def send_unordered(self, msg: Message, S: float, P: float,
-                       quorum: bool = False) -> float:
+                       quorum: bool = False, hedge: bool = False) -> float:
         """Send ``msg`` as an at-least-once *unordered* datagram.
 
         Quorum-protocol transport: the datagram is retransmitted on a
@@ -310,7 +311,10 @@ class ReliableNetwork:
         unreachable replica is owned by the protocol's quorum
         re-selection, not by the transport.  ``quorum=True`` marks a
         re-selection re-broadcast, charged to the ``quorum`` cost share
-        instead of the protocol share (no trace-signature entry).
+        instead of the protocol share; ``hedge=True`` marks a hedge leg
+        (:mod:`repro.sim.hedge`), charged to the ``hedge`` share (in
+        both cases no trace-signature entry, so signatures stay
+        comparable to the fault-free runs).
         """
         if msg.src == msg.dst:
             frame = Frame("loop", msg.src, msg.dst, 0, msg=msg,
@@ -333,13 +337,35 @@ class ReliableNetwork:
         self._dgram_pending[(channel, seq)] = pending
         cost = frame.cost(S, P)
         if self.metrics is not None:
-            if quorum:
+            if hedge:
+                self.metrics.record_hedge_cost(msg.op_id, cost)
+            elif quorum:
                 self.metrics.record_quorum_cost(msg.op_id, cost)
             else:
                 self.metrics.record_message(msg, cost)
         self._transmit(pending, charge=False)
         self._arm_dgram_timer(pending)
         return cost
+
+    def cancel_dgrams(self, src: int, op_id: int) -> int:
+        """Void the pending datagram retries ``src`` holds for ``op_id``.
+
+        Hedge-loser cancellation (:mod:`repro.sim.hedge`): once a quorum
+        phase finishes, the losing legs' unacknowledged datagrams stop
+        retransmitting — their retry timers are cancelled and the pending
+        entries dropped, so an unreachable straggler no longer costs
+        retransmission traffic for a phase that already won.  Frames
+        already on the wire still arrive and are dacked; their replies
+        are filtered by the phase generation counter like any stale
+        traffic.  Returns the number of sends cancelled.
+        """
+        stale = [key for key, pending in self._dgram_pending.items()
+                 if key[0][0] == src and pending.frame.op_id == op_id]
+        for key in stale:
+            pending = self._dgram_pending.pop(key)
+            if pending.timer is not None:
+                pending.timer.cancel()
+        return len(stale)
 
     # ------------------------------------------------------------------
     # sender side
@@ -362,7 +388,8 @@ class ReliableNetwork:
         self.physical.send(frame, pending.S, pending.P)
 
     def _arm_timer(self, pending: _PendingSend) -> None:
-        delay = self.config.timeout * (self.config.backoff ** pending.attempts)
+        delay = backoff_delay(self.config.timeout, self.config.backoff,
+                              pending.attempts)
         key = ((pending.frame.src, pending.frame.dst), pending.frame.seq)
         pending.timer = self.scheduler.schedule(
             delay, lambda: self._on_timeout(key)
@@ -420,7 +447,8 @@ class ReliableNetwork:
         self._arm_timer(pending)
 
     def _arm_dgram_timer(self, pending: _PendingSend) -> None:
-        delay = self.config.timeout * (self.config.backoff ** pending.attempts)
+        delay = backoff_delay(self.config.timeout, self.config.backoff,
+                              pending.attempts)
         key = ((pending.frame.src, pending.frame.dst), pending.frame.seq)
         pending.timer = self.scheduler.schedule(
             delay, lambda: self._on_dgram_timeout(key)

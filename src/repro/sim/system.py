@@ -35,6 +35,7 @@ from .channel import Network
 from .config import RunConfig
 from .engine import EventScheduler
 from .faults import FaultPlan
+from .hedge import HedgeConfig
 from .metrics import Metrics
 from .monitor import ConsistencyMonitor, ConsistencyViolation
 from .node import ClusterView, SimNode
@@ -216,6 +217,13 @@ class DSMSystem:
             majorities: any responder set carrying more than half the
             membership's total weight.  ``None`` (or all-equal weights
             of 1) keeps the classic count majority bit-identical.
+        hedge: optional :class:`~repro.sim.hedge.HedgeConfig` enabling
+            hedged quorum requests (quorum protocols only): phases that
+            miss the latency budget launch extra legs to backup
+            replicas, charged to the ``hedge`` cost share.  Implies the
+            reliable-delivery layer (hedge legs ride the unordered
+            datagram transport and losers are cancelled through it).
+            ``None`` keeps the unhedged phase machine bit-identical.
     """
 
     def __init__(
@@ -236,6 +244,7 @@ class DSMSystem:
         profiler=None,
         reconfig: Optional[ReconfigPlan] = None,
         quorum_weights=None,
+        hedge: Optional[HedgeConfig] = None,
     ):
         self.spec: ProtocolSpec = (
             protocol if isinstance(protocol, ProtocolSpec) else get_protocol(protocol)
@@ -274,6 +283,12 @@ class DSMSystem:
             else None
         )
         self.quorum_weights = _normalize_weights(quorum_weights)
+        if hedge is not None and not isinstance(hedge, HedgeConfig):
+            raise TypeError(
+                f"hedge must be a HedgeConfig or None, "
+                f"got {type(hedge).__name__}"
+            )
+        self.hedge = hedge
         if not self.spec.quorum_based:
             if self.reconfig_plan is not None:
                 raise ValueError(
@@ -284,6 +299,11 @@ class DSMSystem:
                 raise ValueError(
                     f"{self.spec.name} has no quorums to weight; "
                     "quorum_weights= needs a quorum protocol"
+                )
+            if self.hedge is not None:
+                raise ValueError(
+                    f"{self.spec.name} has no quorum phases to hedge; "
+                    "hedge= needs a quorum protocol"
                 )
         # the node universe: the initial members 1..N+1 plus any nodes the
         # reconfiguration plan will join later (they exist from the start
@@ -327,10 +347,13 @@ class DSMSystem:
             if partitions is not None and not partitions.is_none else None
         )
         if ((self.faults is not None or self.partitions is not None
-                or self.reconfig_plan is not None)
+                or self.reconfig_plan is not None
+                or self.hedge is not None)
                 and reliability is None):
             # reconfiguration needs the reliable transport too: the epoch
-            # commit voids the old view's in-flight frames through it.
+            # commit voids the old view's in-flight frames through it —
+            # as does hedging (legs ride the datagram transport and the
+            # losers are cancelled through it).
             reliability = ReliabilityConfig()
         self.reliability = reliability
         if reliability is not None:
@@ -393,6 +416,10 @@ class DSMSystem:
             for node in self.nodes.values():
                 for port in node.ports.values():
                     port.membership = self.membership
+        if self.hedge is not None:
+            for node in self.nodes.values():
+                for port in node.ports.values():
+                    port.hedge = self.hedge
         self.reconfig: Optional[ReconfigManager] = None
         if self.reconfig_plan is not None:
             self.reconfig = ReconfigManager(
@@ -439,9 +466,13 @@ class DSMSystem:
                 failover=self.failover,
             )
         #: sequencer-side heartbeat failure detector (partition plans only;
-        #: the quorum family needs no detector or quarantine — liveness
-        #: comes from quorum re-selection, so partitions only act at the
-        #: link level and every node stays in the view)
+        #: the quorum family needs no detector or quarantine for *liveness*
+        #: — that comes from quorum re-selection, so partitions only act at
+        #: the link level and every node stays in the view.  Gray failures
+        #: are different: when slow windows or hedging are configured, the
+        #: quorum family gets a demote-only detector (recovery=None, so it
+        #: can never quarantine) whose latency scoring feeds the
+        #: demotion-aware quorum selection and hedge targeting)
         self.detector: Optional[FailureDetector] = None
         if self.partitions is not None and not self.spec.quorum_based:
             # the transport absorbs traffic to quarantined nodes instead
@@ -456,6 +487,30 @@ class DSMSystem:
                     recovery=self.recovery,
                     faults=self.faults,
                     all_nodes=self.all_nodes,
+                    latency=self.latency,
+                )
+                self.detector.start()
+        elif (self.spec.quorum_based
+                and (self.hedge is not None
+                     or (self.faults is not None
+                         and self.faults.has_slowdowns))):
+            # knobs come from the partition plan when one is present;
+            # otherwise a links-free local plan supplies the defaults
+            # (never stored as self.partitions — a plan without links is
+            # no partition plan, and the plan-equality fabric checks
+            # must keep seeing None).
+            knobs = (self.partitions if self.partitions is not None
+                     else PartitionPlan())
+            if knobs.detect:
+                self.detector = FailureDetector(
+                    plan=knobs,
+                    cluster=self.cluster,
+                    scheduler=self.scheduler,
+                    metrics=self.metrics,
+                    recovery=None,
+                    faults=self.faults,
+                    all_nodes=self.all_nodes,
+                    latency=self.latency,
                 )
                 self.detector.start()
         if self.monitor is not None or self.write_log is not None:
@@ -520,6 +575,7 @@ class DSMSystem:
             profiler=profiler,
             reconfig=reconfig,
             quorum_weights=config.quorum_weights,
+            hedge=config.hedge,
         )
 
     @property
@@ -620,6 +676,12 @@ class DSMSystem:
                 "RunConfig.quorum_weights does not match the vote weights "
                 "this DSMSystem was constructed with; pass quorum_weights= "
                 "to DSMSystem(...) or run the cell through repro.exp"
+            )
+        if config.hedge is not None and config.hedge != self.hedge:
+            raise ValueError(
+                "RunConfig.hedge does not match the HedgeConfig this "
+                "DSMSystem was constructed with; pass hedge= to "
+                "DSMSystem(...) or run the cell through repro.exp"
             )
 
     # ------------------------------------------------------------------

@@ -14,9 +14,10 @@ reproducibility tool.
 from __future__ import annotations
 
 import difflib
+import math
 from typing import Iterable, Mapping
 
-__all__ = ["did_you_mean", "reject_unknown_keys"]
+__all__ = ["backoff_delay", "did_you_mean", "reject_unknown_keys"]
 
 
 def did_you_mean(name: str, candidates: Iterable[str]) -> str:
@@ -50,3 +51,21 @@ def reject_unknown_keys(
         f"{', '.join(sorted(map(repr, unknown)))}{hints}\n"
         f"  valid keys: {', '.join(allowed)}"
     )
+
+
+def backoff_delay(base: float, factor: float, attempt: int,
+                  cap: float = math.inf) -> float:
+    """The delay before retry number ``attempt`` (0-based).
+
+    Bounded exponential backoff, shared by every retry discipline: the
+    reliable transport's frame retransmissions
+    (:mod:`repro.sim.reliable`), the reconfiguration manager's
+    state-transfer attempts (:mod:`repro.sim.reconfig`) and the quorum
+    family's phase re-selection (:mod:`repro.protocols.sc_abd`) all
+    retry with the same ``base * factor ** attempt`` shape and each
+    historically inlined it with its own (sometimes missing) cap.
+    With the default infinite cap the result is exactly the uncapped
+    product (``min(x, inf)`` returns ``x``), so callers that never
+    capped keep byte-identical delays.
+    """
+    return min(base * (factor ** attempt), cap)

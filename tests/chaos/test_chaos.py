@@ -126,6 +126,39 @@ class TestGenerator:
                 # a symmetric cut expands to two mirrored LinkFaults
                 assert len(partitions.links) <= 2 * options.max_links
 
+    def test_slow_windows_off_draws_no_gray_failures(self):
+        """The flag-off stream never carries slow windows or hedging, so
+        campaigns predating the straggler model keep their schedules."""
+        for _p, _s, cell in chaos_cells(ChaosOptions(seeds=15)):
+            faults = cell.config.faults
+            assert faults is None or not faults.has_slowdowns
+            assert cell.config.hedge is None
+
+    def test_slow_windows_on_draws_stragglers_and_hedges(self):
+        options = ChaosOptions(seeds=25, slow_windows=True,
+                               protocols=("illinois", "sc_abd"))
+        saw_slow = saw_hedge = False
+        for protocol, _s, cell in chaos_cells(options):
+            faults = cell.config.faults
+            if faults is not None and faults.has_slowdowns:
+                saw_slow = True
+                assert len(faults.slowdowns) <= options.max_slow
+                for window in faults.slowdowns:
+                    assert 1 <= window.node <= options.N + 1
+                    assert window.factor > 1
+            if cell.config.hedge is not None:
+                saw_hedge = True
+                # hedging is a quorum-phase mechanism: only the quorum
+                # family ever draws it.
+                assert protocol == "sc_abd"
+        assert saw_slow and saw_hedge
+
+    def test_slow_window_cells_are_deterministic(self):
+        options = ChaosOptions(base_seed=9, slow_windows=True)
+        a = generate_cell("sc_abd", 4, options)
+        b = generate_cell("sc_abd", 4, options)
+        assert a.to_payload() == b.to_payload()
+
 
 class TestViolates:
     def test_failed_row_is_a_finding(self):

@@ -343,6 +343,37 @@ class TestUnorderedDatagrams:
         assert [m.payload for m in inboxes[1]] == ["loop"]
         assert metrics.reliability.acks == 0
 
+    def test_cancel_dgrams_voids_pending_retries(self):
+        """Hedge cancellation: a finished phase voids its operation's
+        pending datagram retries without touching other operations."""
+        metrics = Metrics()
+        metrics.register_op(9, 1, "read", 1, 0.0)
+        metrics.register_op(10, 1, "read", 1, 0.0)
+        plan = FaultPlan(seed=0, drop_rate=1.0)
+        sched, net, inboxes = make(
+            faults=plan, metrics=metrics,
+            config=ReliabilityConfig(timeout=2.0, max_retries=3),
+        )
+        net.send_unordered(msg(1, 2, op_id=9), 100, 30)
+        net.send_unordered(msg(1, 3, op_id=9), 100, 30)
+        net.send_unordered(msg(1, 2, op_id=10), 100, 30)
+        assert net.cancel_dgrams(1, 9) == 2
+        # cancelling again is a no-op; op 10's retry loop is untouched.
+        assert net.cancel_dgrams(1, 9) == 0
+        sched.run()
+        assert metrics.reliability.dgram_abandoned == 1  # op 10 only
+
+    def test_hedge_kind_routes_to_hedge_share(self):
+        metrics = Metrics()
+        metrics.register_op(9, 1, "read", 1, 0.0)
+        sched, net, inboxes = make(metrics=metrics)
+        net.send_unordered(msg(1, 2, op_id=9), 100, 30, hedge=True)
+        sched.run()
+        assert [m.op_id for m in inboxes[2]] == [9]
+        rec = metrics._ops[9]
+        assert rec.hedge_cost > 0
+        assert rec.quorum_cost == 0
+
 
 class TestExactlyOnceFifoProperty:
     @settings(max_examples=25, deadline=None)

@@ -197,6 +197,54 @@ class TestSimulatePartitions:
         assert "crash(nodes 2,3: 300..500, amnesia)" in out
 
 
+class TestSimulateGrayFailures:
+    ARGV = ("simulate", "sc_abd", "--N", "6", "--p", "0.2",
+            "--ops", "600", "--seed", "1")
+
+    def test_slow_at_reports_detector_states(self, capsys):
+        code, out, _ = run(capsys, *self.ARGV,
+                           "--slow-at", "2:100:inf", "--monitor")
+        assert code == 0
+        assert "slow(node 2: 100..∞, x10)" in out
+        assert "detector states" in out
+        assert "demoted" in out
+        assert "demotions" in out
+        assert "consistency     = ok" in out
+
+    def test_hedged_run_reports_share_and_launches(self, capsys):
+        code, out, _ = run(capsys, *self.ARGV, "--warmup", "0",
+                           "--slow-at", "2:100:300:10",
+                           "--hedge-budget", "8", "--hedge-legs", "2",
+                           "--monitor")
+        assert code == 0
+        assert "hedge:       budget=8, max_legs=2, seed=0" in out
+        assert "hedge)" in out  # priced share in the breakdown
+        assert "hedges launched" in out
+        assert "consistency     = ok" in out
+
+    def test_slow_at_factor_defaults_to_ten(self, capsys):
+        code, out, _ = run(capsys, *self.ARGV, "--slow-at", "2:100:300")
+        assert code == 0
+        assert "slow(node 2: 100..300, x10)" in out
+
+    def test_bad_slow_spec_errors(self, capsys):
+        code, _out, err = run(capsys, *self.ARGV, "--slow-at", "2:100")
+        assert code == 2
+        assert "--slow-at" in err
+
+    def test_unknown_slow_node_errors(self, capsys):
+        code, _out, err = run(capsys, *self.ARGV, "--slow-at", "9:100:300")
+        assert code == 2
+        assert "node 9" in err
+
+    def test_hedge_on_star_protocol_errors(self, capsys):
+        code, _out, err = run(capsys, "simulate", "write_through",
+                              "--N", "3", "--p", "0.3",
+                              "--hedge-budget", "8")
+        assert code == 2
+        assert "quorum" in err
+
+
 class TestSimulateQuorum:
     ARGV = ("simulate", "sc_abd", "--N", "4", "--p", "0.3",
             "--a", "2", "--sigma", "0.1", "--ops", "600", "--seed", "1")
