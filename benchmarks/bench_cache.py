@@ -1,0 +1,221 @@
+"""Partial-replication benchmark: acc vs bounded replica-cache capacity.
+
+The paper prices *full replication* — every client holds every object,
+so ``acc`` never pays a capacity miss.  This study bounds each client to
+``C`` resident copies (:mod:`repro.sim.cache`) and charts steady-state
+acc against ``C`` for each protocol family x eviction policy, next to
+the closed-form ``acc(C)`` model (:mod:`repro.core.cache_model`), on two
+workloads:
+
+* **hot-set grid**: read-mostly hot-set workload (4 of 16 objects carry
+  90% of the mass) across Write-Through (invalidation), Firefly
+  (update) and SC-ABD (quorum), capacities 2/4/8 under all three
+  eviction policies.  Expectations encoded as assertions: the model
+  tracks the simulator within 10% on every LRU row, acc(C) decreases in
+  C for the star protocols, and SC-ABD — whose quorum replicas are
+  load-bearing, making the cache a pure overlay — is *exactly* flat in
+  both capacity and policy.
+* **win grid**: the write-heavy uniform workload where partial
+  replication *beats* full replication for Firefly.  A bounded cache
+  ejects copies, the ``EJ`` departure notice drops them from the
+  sequencer's update fan-out, and when the per-write multicast saved
+  (``P + 1`` per departed copy) outweighs refetches (``S + 2``) and
+  carried-copy ACKs (``+S``), total acc lands *below* the paper's
+  full-replication floor — the crossover this subsystem exists to
+  demonstrate.  Asserted: every bounded capacity beats ``C = inf``, in
+  the simulator and in the closed form.
+
+The default-ops (2000) rows are committed byte-for-byte at
+``benchmarks/baselines/cache_acc.jsonl``; CI re-runs the full study and
+diffs the fresh rows against the baseline (``cache-bench-smoke``).
+Rows are emitted in cell order — completion order varies with worker
+scheduling, so the results file is rebuilt from ``result.rows`` rather
+than streamed.
+"""
+
+import math
+import os
+from pathlib import Path
+
+from repro.core.acc import analytical_acc
+from repro.core.cache_model import cache_acc
+from repro.core.parameters import WorkloadParams
+from repro.exp import SweepCell, SweepSpec, row_line, run_sweep
+from repro.sim import CacheConfig, RunConfig
+
+from .conftest import emit
+
+#: read-mostly hot-set workload: 4 of 16 objects carry 90% of accesses
+PARAMS_HOT = WorkloadParams(N=4, p=0.3, a=3, sigma=0.15, S=100.0, P=30.0,
+                            hot_set=4, hot_fraction=0.9)
+#: write-heavy uniform workload where the Firefly fan-out savings
+#: (p * a * (P+1) per unit miss) outweigh refetch + carried-copy costs
+PARAMS_WIN = WorkloadParams(N=4, p=0.8, a=3, sigma=0.05, S=50.0, P=30.0)
+M = 16
+WORKERS = int(os.environ.get("REPRO_SWEEP_WORKERS", "2"))
+#: operations per sweep cell; committed baseline uses the default
+OPS = int(os.environ.get("REPRO_CACHE_OPS", "2000"))
+DEFAULT_OPS = 2000
+BASELINE = Path(__file__).parent / "baselines" / "cache_acc.jsonl"
+
+PROTOCOLS = ("write_through", "firefly", "sc_abd")
+CAPACITIES = (2, 4, 8)
+POLICIES = ("lru", "clock", "cost_aware")
+#: capacities charted for the Firefly win study (None = full replication)
+WIN_CAPACITIES = (None, 2, 4, 8)
+
+
+def _config(capacity, policy) -> RunConfig:
+    cache = (CacheConfig(capacity=capacity, policy=policy, seed=7)
+             if capacity is not None else None)
+    return RunConfig(ops=OPS, warmup=OPS // 8, seed=21, monitor=True,
+                     cache=cache)
+
+
+def build_spec() -> SweepSpec:
+    hot = [
+        SweepCell(protocol=protocol, params=PARAMS_HOT, kind="sim", M=M,
+                  config=_config(capacity, policy))
+        for protocol in PROTOCOLS
+        for capacity, policy in (
+            [(None, "lru")]
+            + [(c, pol) for c in CAPACITIES for pol in POLICIES]
+        )
+    ]
+    win = [
+        SweepCell(protocol="firefly", params=PARAMS_WIN, kind="sim", M=M,
+                  config=_config(capacity, "lru"))
+        for capacity in WIN_CAPACITIES
+    ]
+    return SweepSpec.explicit(hot + win)
+
+
+def run_grid(out_path=None):
+    result = run_sweep(build_spec(), workers=WORKERS)
+    assert result.failed == 0, [r for r in result.rows
+                                if r["status"] == "failed"]
+    if out_path is not None:
+        # cell order, not completion order: byte-stable across workers.
+        out_path.write_text(
+            "".join(row_line(row) + "\n" for row in result.rows)
+        )
+    it = iter(result.rows)
+    hot = {}
+    for protocol in PROTOCOLS:
+        hot[(protocol, None, "lru")] = next(it)
+        for capacity in CAPACITIES:
+            for policy in POLICIES:
+                hot[(protocol, capacity, policy)] = next(it)
+    win = {capacity: next(it) for capacity in WIN_CAPACITIES}
+    return hot, win
+
+
+def _model(params, capacity, protocol="firefly"):
+    if capacity is None:
+        return analytical_acc(protocol, params)
+    return cache_acc(protocol, params, M=M, capacity=capacity)
+
+
+def test_cache_acc_vs_capacity(benchmark, results_dir):
+    out_path = results_dir / "cache_acc.jsonl"
+    hot, win = benchmark.pedantic(run_grid, args=(out_path,),
+                                  rounds=1, iterations=1)
+
+    lines = [
+        "acc vs bounded replica-cache capacity, hot-set workload "
+        f"(M={M}, hot 4@90%, p={PARAMS_HOT.p:g}); monitor on",
+        f"{'protocol':>15} {'C':>4} {'policy':>10} {'acc':>9} "
+        f"{'model':>9} {'err%':>6} {'hits':>6} {'capmiss':>7} "
+        f"{'evict':>6} {'wb':>4} {'cache-share':>12}",
+    ]
+    for (protocol, capacity, policy), row in hot.items():
+        cap = "inf" if capacity is None else str(capacity)
+        model = (_model(PARAMS_HOT, capacity, protocol)
+                 if policy == "lru" else float("nan"))
+        err = (abs(model - row["acc_sim"]) / row["acc_sim"] * 100.0
+               if policy == "lru" else float("nan"))
+        lines.append(
+            f"{protocol:>15} {cap:>4} {policy:>10} {row['acc_sim']:9.2f} "
+            f"{model:9.2f} {err:6.2f} {row.get('cache_hits', 0):6d} "
+            f"{row.get('capacity_misses', 0):7d} "
+            f"{row.get('cache_evictions', 0):6d} "
+            f"{row.get('cache_writebacks', 0):4d} "
+            f"{row.get('acc_cache_share', 0.0):12.4f}"
+        )
+    lines.append("")
+    lines.append(
+        "firefly win study: write-heavy uniform workload "
+        f"(p={PARAMS_WIN.p:g}, S={PARAMS_WIN.S:g}): departed copies "
+        "leave the update fan-out, so bounded caches beat full "
+        "replication",
+    )
+    lines.append(f"{'C':>4} {'acc':>9} {'model':>9} {'vs-full':>8}")
+    full_acc = win[None]["acc_sim"]
+    for capacity, row in win.items():
+        cap = "inf" if capacity is None else str(capacity)
+        lines.append(
+            f"{cap:>4} {row['acc_sim']:9.2f} "
+            f"{_model(PARAMS_WIN, capacity):9.2f} "
+            f"{row['acc_sim'] - full_acc:+8.2f}"
+        )
+    emit(results_dir, "cache_acc_vs_capacity.txt", "\n".join(lines))
+
+    for key, row in {**hot, **{("firefly-win", c, "lru"): r
+                               for c, r in win.items()}}.items():
+        assert row["violations"] == 0, (key, row)
+        assert math.isfinite(row["acc_sim"]), (key, row)
+
+    # the closed-form model must track the simulator within 10% on
+    # every LRU row (including the full-replication C=inf endpoints).
+    for (protocol, capacity, policy), row in hot.items():
+        if policy != "lru":
+            continue
+        model = _model(PARAMS_HOT, capacity, protocol)
+        err = abs(model - row["acc_sim"]) / row["acc_sim"]
+        assert err <= 0.10, (protocol, capacity, model, row["acc_sim"])
+    for capacity, row in win.items():
+        model = _model(PARAMS_WIN, capacity)
+        err = abs(model - row["acc_sim"]) / row["acc_sim"]
+        assert err <= 0.10, (capacity, model, row["acc_sim"])
+
+    for protocol in ("write_through", "firefly"):
+        # more capacity, fewer capacity misses, cheaper: acc decreases
+        # in C for the star protocols on the read-mostly workload.
+        accs = [hot[(protocol, c, "lru")]["acc_sim"] for c in CAPACITIES]
+        assert accs == sorted(accs, reverse=True), (protocol, accs)
+        assert hot[(protocol, None, "lru")]["acc_sim"] < accs[-1], (
+            protocol, accs)
+        for capacity in CAPACITIES:
+            for policy in POLICIES:
+                row = hot[(protocol, capacity, policy)]
+                assert row["cache_evictions"] > 0, (protocol, row)
+                assert row["capacity_misses"] > 0, (protocol, row)
+                assert row["acc_cache_share"] > 0.0, (protocol, row)
+                # write-through drops clean copies, firefly sends EJ
+                # notices: neither family ever flushes on eviction.
+                assert row["cache_writebacks"] == 0, (protocol, row)
+
+    # SC-ABD's quorum replicas are load-bearing: the cache is overlay
+    # bookkeeping, so acc is *exactly* flat in capacity and policy.
+    sc_full = hot[("sc_abd", None, "lru")]["acc_sim"]
+    for capacity in CAPACITIES:
+        for policy in POLICIES:
+            row = hot[("sc_abd", capacity, policy)]
+            assert row["acc_sim"] == sc_full, (capacity, policy, row)
+            assert row["cache_evictions"] > 0, (capacity, policy, row)
+
+    # the win: every bounded capacity undercuts full replication, in
+    # the simulator and in the closed form.
+    for capacity in WIN_CAPACITIES[1:]:
+        row = win[capacity]
+        assert row["acc_sim"] < full_acc, (capacity, row["acc_sim"],
+                                           full_acc)
+        assert _model(PARAMS_WIN, capacity) < _model(PARAMS_WIN, None), (
+            capacity)
+
+    # at the default budget the study must reproduce the committed
+    # baseline byte-for-byte (rows are emitted in cell order, so this
+    # holds for any worker count).
+    if OPS == DEFAULT_OPS and BASELINE.exists():
+        assert out_path.read_text() == BASELINE.read_text(), (
+            f"{out_path} diverged from committed {BASELINE}")

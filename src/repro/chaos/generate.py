@@ -18,7 +18,12 @@ With ``slow_windows`` enabled the generator additionally draws straggler
 :class:`~repro.sim.faults.SlowWindow` schedules and (for quorum
 protocols) a coin-flipped :class:`~repro.sim.hedge.HedgeConfig`; every
 draw sits strictly inside the flag's branch, so campaigns predating the
-straggler model keep bit-identical schedules.
+straggler model keep bit-identical schedules.  With ``bounded_caches``
+enabled it additionally coin-flips a random
+:class:`~repro.sim.cache.CacheConfig` (capacity, eviction policy and
+tie-break seed) onto each cell, layering partial replication over the
+crash and partition schedules — again with every draw strictly inside
+the flag's branch.
 
 The draw is a pure function of the triple: no wall clock, no process
 state, no shared RNG.  Re-generating a cell from the same triple is
@@ -35,6 +40,7 @@ from typing import List, Tuple
 from ..core.parameters import Deviation, WorkloadParams
 from ..exp.spec import SweepCell, derive_cell_seed
 from ..protocols.registry import EXTENSION_PROTOCOLS, PROTOCOLS, get_protocol
+from ..sim.cache import CACHE_POLICIES, CacheConfig
 from ..sim.config import RunConfig
 from ..sim.faults import CRASH_SEMANTICS, CrashWindow, FaultPlan, SlowWindow
 from ..sim.hedge import HedgeConfig
@@ -80,6 +86,13 @@ class ChaosOptions:
             straggler model keep bit-identical schedules.
         max_slow: most slow windows one schedule may contain (only
             consulted when ``slow_windows`` is on).
+        bounded_caches: also coin-flip a random bounded replica cache
+            (:class:`~repro.sim.cache.CacheConfig`) onto each cell,
+            layering partial replication — evictions, write-backs and
+            capacity refetches — over the fault and partition
+            schedules.  Off by default; every draw sits strictly inside
+            the flag's branch, so campaigns predating partial
+            replication keep bit-identical schedules.
         workers: worker processes for the fuzzing sweep (shrinking is
             always in-process).
         shrink_budget: most simulator runs one shrink may spend.
@@ -102,6 +115,7 @@ class ChaosOptions:
     max_links: int = 2
     slow_windows: bool = False
     max_slow: int = 2
+    bounded_caches: bool = False
     workers: int = 1
     shrink_budget: int = 64
 
@@ -224,6 +238,18 @@ def generate_cell(protocol: str, fuzz_seed: int,
                 max_legs=rng.randint(1, 2),
                 seed=rng.getrandbits(32),
             )
+    cache = None
+    if options.bounded_caches:
+        # partial-replication fuzzing is opt-in, and every draw sits
+        # strictly inside this branch: with the flag off the RNG stream
+        # — and thus every schedule — is bit-identical to campaigns
+        # predating bounded caches.
+        if rng.random() < 0.8:
+            cache = CacheConfig(
+                capacity=rng.randint(1, max(options.M - 1, 1)),
+                policy=rng.choice(CACHE_POLICIES),
+                seed=rng.getrandbits(32),
+            )
 
     heartbeat = rng.choice(_HEARTBEAT_INTERVALS)
     suspect_after = rng.randint(2, 4)
@@ -288,6 +314,7 @@ def generate_cell(protocol: str, fuzz_seed: int,
         monitor=True,
         reconfig=reconfig,
         hedge=hedge,
+        cache=cache,
     )
     return SweepCell(
         protocol=protocol,

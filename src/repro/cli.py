@@ -62,6 +62,7 @@ from .obs.trace import TraceConfig
 from .protocols.registry import all_protocol_names, protocol_names
 from .sim.config import RunConfig
 from .sim.faults import CrashWindow, FaultPlan, SlowWindow
+from .sim.cache import CACHE_POLICIES, CacheConfig
 from .sim.hedge import HedgeConfig
 from .sim.partition import PARTITION_POLICIES, LinkFault, PartitionPlan, cut
 from .sim.reconfig import MembershipChange, ReconfigPlan
@@ -110,6 +111,12 @@ def _system_parent() -> argparse.ArgumentParser:
                        help="write-parameter transfer cost parameter")
     group.add_argument("--deviation", choices=sorted(_DEVIATIONS),
                        default="read", help="workload deviation")
+    group.add_argument("--hot-set", type=int, default=None,
+                       help="working-set size: the first HOT_SET objects "
+                            "receive --hot-fraction of the accesses "
+                            "(both flags together; default: uniform)")
+    group.add_argument("--hot-fraction", type=float, default=None,
+                       help="probability mass on the hot set, in (0, 1]")
     return parent
 
 
@@ -298,7 +305,9 @@ def workload_from_args(args: argparse.Namespace) -> WorkloadParams:
     return WorkloadParams(N=args.N, p=getattr(args, "p", 0.0),
                           a=args.a, sigma=getattr(args, "sigma", 0.0),
                           xi=getattr(args, "xi", 0.0), beta=args.beta,
-                          S=args.S, P=args.P)
+                          S=args.S, P=args.P,
+                          hot_set=getattr(args, "hot_set", None),
+                          hot_fraction=getattr(args, "hot_fraction", None))
 
 
 def _parse_crash(spec: str, semantics: str = "durable") -> CrashWindow:
@@ -451,6 +460,33 @@ def _hedge_config(args: argparse.Namespace) -> Optional[HedgeConfig]:
                        seed=getattr(args, "hedge_seed", 0))
 
 
+def _cache_parent() -> argparse.ArgumentParser:
+    """``--cache-capacity --cache-policy --cache-seed``: bounded caches."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("bounded replica caches")
+    group.add_argument("--cache-capacity", type=int, default=None,
+                       metavar="C",
+                       help="bound every client to C resident replica "
+                            "copies (partial replication; unset: the "
+                            "paper's full replication)")
+    group.add_argument("--cache-policy", choices=CACHE_POLICIES,
+                       default="lru",
+                       help="eviction policy of the bounded cache")
+    group.add_argument("--cache-seed", type=int, default=0,
+                       help="seed of the eviction tie-break stream")
+    return parent
+
+
+def _cache_config(args: argparse.Namespace) -> Optional[CacheConfig]:
+    """The cache config implied by ``--cache-capacity`` (or None)."""
+    capacity = getattr(args, "cache_capacity", None)
+    if capacity is None:
+        return None
+    return CacheConfig(capacity=capacity,
+                       policy=getattr(args, "cache_policy", "lru"),
+                       seed=getattr(args, "cache_seed", 0))
+
+
 def runconfig_from_args(args: argparse.Namespace) -> RunConfig:
     """The unified :class:`RunConfig` described by the run/fault/partition/
     reliability/trace flag groups — shared by every simulating subcommand."""
@@ -470,7 +506,8 @@ def runconfig_from_args(args: argparse.Namespace) -> RunConfig:
                      partitions=partitions, reliability=reliability,
                      failover=args.failover, monitor=args.monitor,
                      tracing=_trace_config(args), reconfig=reconfig,
-                     quorum_weights=_quorum_weights(args), hedge=hedge)
+                     quorum_weights=_quorum_weights(args), hedge=hedge,
+                     cache=_cache_config(args))
 
 
 def _csv_floats(text: str) -> List[float]:
@@ -502,7 +539,7 @@ def build_parser() -> argparse.ArgumentParser:
     system, point = _system_parent(), _point_parent()
     run, fault, rel = _run_parent(), _fault_parent(), _reliability_parent()
     part, trace = _partition_parent(), _trace_parent()
-    reconf = _reconfig_parent()
+    reconf, cache = _reconfig_parent(), _cache_parent()
 
     p_acc = sub.add_parser("acc", help="analytic steady-state cost",
                            parents=[system, point])
@@ -515,7 +552,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sim = sub.add_parser("simulate", help="run the simulator",
                            parents=[system, point, run, fault, part, rel,
-                                    reconf, trace])
+                                    reconf, cache, trace])
     p_sim.add_argument("protocol", help=f"one of: {known}")
     p_sim.add_argument("--M", type=int, default=1,
                        help="number of shared objects")
@@ -647,12 +684,19 @@ def build_parser() -> argparse.ArgumentParser:
                               "slow windows and (for quorum protocols) "
                               "coin-flipped hedging; off keeps schedules "
                               "bit-identical to earlier campaigns")
+    p_chaos.add_argument("--bounded-caches", action="store_true",
+                         help="also fuzz partial replication: coin-flip "
+                              "a random bounded replica cache (capacity, "
+                              "eviction policy, seed) onto each cell; off "
+                              "keeps schedules bit-identical to earlier "
+                              "campaigns")
     p_chaos.add_argument("--quiet", action="store_true",
                          help="suppress per-cell progress output")
 
     p_scen = sub.add_parser(
         "scenarios",
-        help="the declarative scenario catalog (list/show/run/compare)",
+        help="the declarative scenario catalog "
+             "(list/show/run/compare/report)",
         description="Work with the scenario catalog: committed JSON/TOML "
                     "documents that describe whole studies (protocol set, "
                     "workload, run configuration, sweep axes) and run "
@@ -709,6 +753,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--baseline", default=None, metavar="PATH",
                        help="baseline JSONL (default: "
                             "<catalog>/baselines/<name>.jsonl)")
+
+    p_rep = scen_sub.add_parser(
+        "report", parents=[scen_catalog],
+        help="render Markdown tables from scenario result rows",
+        description="Render a Markdown report — one table per scenario "
+                    "family — from JSONL row files (scenario run outputs "
+                    "or committed baselines). With no paths, reports on "
+                    "every file under <catalog>/baselines/.",
+    )
+    p_rep.add_argument("paths", nargs="*", metavar="ROWS_JSONL",
+                       help="JSONL row files; each file is one family "
+                            "(section) named by its stem")
+    p_rep.add_argument("--out", default=None, metavar="PATH",
+                       help="write the Markdown report to PATH instead "
+                            "of stdout")
     return parser
 
 
@@ -766,7 +825,8 @@ def _cmd_simulate(args: argparse.Namespace, deviation: Deviation,
     if (config.faults is not None or config.partitions is not None
             or config.reconfig is not None
             or config.quorum_weights is not None
-            or config.hedge is not None):
+            or config.hedge is not None
+            or config.cache is not None):
         # one unified banner: fault plan, partition plan (detector +
         # degraded-mode policy), resolved retry policy, reconfiguration
         # plan, vote weights, failover, monitor.
@@ -781,6 +841,8 @@ def _cmd_simulate(args: argparse.Namespace, deviation: Deviation,
                 parts += f" (+ {breakdown['quorum']:.4f} quorum)"
             if config.hedge is not None:
                 parts += f" (+ {breakdown['hedge']:.4f} hedge)"
+            if config.cache is not None:
+                parts += f" (+ {breakdown['cache']:.4f} cache)"
             if system.reconfig is not None:
                 parts += f" (+ {breakdown['reconfig']:.4f} reconfig)"
             if system.recovery is not None:
@@ -799,6 +861,12 @@ def _cmd_simulate(args: argparse.Namespace, deviation: Deviation,
                       f"({part.restorations} restored)")
         if config.hedge is not None:
             print(f"hedges launched = {stats.hedges_launched}")
+        if config.cache is not None:
+            cstats = system.metrics.cache
+            print(f"cache hits/misses = {cstats.hits}/{cstats.misses} "
+                  f"({cstats.capacity_misses} capacity misses)")
+            print(f"evictions       = {cstats.evictions} "
+                  f"({cstats.writebacks} write-backs)")
         print(f"retransmissions = {stats.retransmissions}")
         print(f"acks            = {stats.acks}")
         print(f"drops           = {stats.drops}")
@@ -1008,6 +1076,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         shrink_budget=args.shrink_budget,
         workers=args.workers,
         slow_windows=args.slow_windows,
+        bounded_caches=args.bounded_caches,
     )
 
     def progress(done: int, total: int, row: dict) -> None:
@@ -1080,6 +1149,36 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         if not shown:
             print("  (no scenarios" +
                   (f" tagged {args.tag!r})" if args.tag else ")"))
+        return 0
+
+    if args.scenarios_command == "report":
+        from .scenarios import collect_families, render_report
+        paths = list(args.paths)
+        if not paths:
+            root = (catalog.root if catalog is not None
+                    else default_catalog_dir())
+            if root is None:
+                print("error: no scenario catalog found (set "
+                      "REPRO_SCENARIOS, create ./scenarios, pass "
+                      "--catalog, or name rows files)", file=sys.stderr)
+                return 2
+            from pathlib import Path
+            paths = sorted((Path(root) / "baselines").glob("*.jsonl"))
+            if not paths:
+                print(f"error: no baseline rows under {root}/baselines",
+                      file=sys.stderr)
+                return 2
+        try:
+            report = render_report(collect_families(paths))
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.out is not None:
+            from pathlib import Path
+            Path(args.out).write_text(report, encoding="utf-8")
+            print(f"report    -> {args.out}")
+        else:
+            print(report, end="")
         return 0
 
     if args.scenarios_command == "show":

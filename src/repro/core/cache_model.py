@@ -1,0 +1,248 @@
+"""Closed-form miss ratios and ``acc(C)`` for bounded replica caches.
+
+Companion model for :mod:`repro.sim.cache`: each client holds at most
+``C`` replica copies under LRU-like eviction, and a capacity miss
+re-fetches the copy at protocol price.  Under the paper's independent
+reference model (every operation slot an independent trial, object drawn
+from a fixed distribution ``q``), the steady-state cost decomposes as
+
+    ``acc(C) = acc(inf) + extra_miss_cost(C)``
+
+where ``acc(inf)`` is the paper's full-replication cost
+(:func:`~repro.core.acc.analytical_acc`) and the extra term prices the
+accesses that find their copy evicted.
+
+Two miss-ratio engines back the model:
+
+* **Exact LRU stack analysis** (:func:`lru_hit_ratio`): the stationary
+  distribution of the move-to-front list under IRM has the classic
+  product form ``P(pi) = prod_i q_{pi_i} / (1 - sum_{j<i} q_{pi_j})``,
+  and an LRU cache of capacity ``C`` holds exactly the top-``C`` stack
+  prefix.  When ``q`` has few *distinct* values (the hot-set workload
+  has two), the marginal over prefixes collapses to a dynamic program
+  over per-class counts — exact and O(C * states).
+* **Che approximation** (:func:`che_characteristic_time`): solve
+  ``sum_i (1 - exp(-q_i * T)) = C`` for the characteristic time ``T``;
+  object ``i`` hits with probability ``1 - exp(-q_i * T)``.  Used when
+  the class structure is too rich for the exact DP, and — with a
+  *fractional* effective capacity — for protocols where only a fraction
+  of accesses install a resident copy.
+
+Per-protocol ``extra_miss_cost`` (validated against the simulator within
+10% by ``benchmarks/bench_cache.py``):
+
+* ``write_through``: a client copy is resident only while it was read
+  since the last write (writes invalidate every copy), so each reading
+  client contests its cache slots with reads alone.  For a client whose
+  read stream is a fraction ``rf`` of operations, copies of object
+  ``j`` flip valid/invalid at combined rate ``(rf + w) q_j`` (``w`` the
+  total write fraction), the valid fraction is ``v = rf / (rf + w)``,
+  and the Che occupancy equation collapses to the *effective capacity*
+  ``C / v``.  The extra cost — a read that would have hit under full
+  replication but finds its copy evicted — is
+  ``rf * v * (S + 2) * sum_j q_j exp(-q_j T)`` with ``T`` the Che time
+  at capacity ``C / v``, summed over the reading clients (the activity
+  center plus the ``a`` read disturbers).
+* ``firefly``: updates keep every resident copy readable, so each
+  acting client's cache is a pure LRU over its own (identically
+  ``q``-distributed) access stream and the per-access miss ratio is the
+  exact stack-analysis ``m``.  Four terms ride on it, all linear in
+  ``m``: a capacity-missed read re-fetches (``S + 2``); an ejected
+  writer's ACK carries the whole copy back (``+S``); every eviction
+  sends a one-token ``EJ`` departure notice; and — the term that can
+  turn the total *negative* — the sequencer skips departed copies in
+  its update fan-out, saving ``P + 1`` per acting other client whose
+  copy of the written object is out (idle clients never evict and stay
+  in the fan-out).  ``extra = m * ((1 - w)(S + 2) + w*S + 1 -
+  w * a_acting * (P + 1))`` with ``w`` the total write fraction.
+* ``sc_abd``: quorum replicas are load-bearing, so the bounded cache is
+  overlay bookkeeping and ``acc(C) = acc(inf)`` — flat in ``C`` (the
+  read/write quorum rounds already touch a majority regardless of local
+  residency).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .acc import analytical_acc
+from .parameters import Deviation, WorkloadParams, object_access_probs
+
+__all__ = [
+    "CACHE_MODEL_PROTOCOLS",
+    "cache_acc",
+    "che_characteristic_time",
+    "expected_miss_ratio",
+    "lru_hit_ratio",
+]
+
+#: protocols the closed-form ``acc(C)`` model covers (the rest of the
+#: family is simulator-only — their invalidate/ownership interactions
+#: with eviction have no tractable product form).
+CACHE_MODEL_PROTOCOLS = ("write_through", "firefly", "sc_abd")
+
+#: exact-DP state budget; richer class structures fall back to Che.
+_MAX_DP_STATES = 100_000
+
+
+def _class_counts(probs: Sequence[float]) -> List[Tuple[float, int]]:
+    counts: Dict[float, int] = {}
+    for q in probs:
+        key = round(float(q), 15)
+        counts[key] = counts.get(key, 0) + 1
+    return sorted(counts.items(), reverse=True)
+
+
+def lru_hit_ratio(probs: Sequence[float], capacity: int) -> float:
+    """Exact stationary LRU hit ratio under IRM (stack analysis).
+
+    Sums the move-to-front product form over all top-``capacity`` stack
+    prefixes, grouped by per-class occupancy counts.  Exact whenever the
+    DP state space fits (always true for the two-class hot-set
+    distributions); otherwise falls back to the Che approximation.
+    """
+    if capacity < 1:
+        raise ValueError(f"capacity must be at least 1, got {capacity}")
+    classes = _class_counts(probs)
+    population = sum(n for _, n in classes)
+    if capacity >= population:
+        return 1.0
+    states = 1
+    for _, n in classes:
+        states *= min(n, capacity) + 1
+    if states > _MAX_DP_STATES:
+        t = che_characteristic_time(probs, float(capacity))
+        return sum(q * (1.0 - math.exp(-q * t)) for q in probs)
+    # W[occupancy] = P(the stack prefix so far holds occupancy[k] objects
+    # of class k); extend one stack position at a time.
+    weights: Dict[Tuple[int, ...], float] = {(0,) * len(classes): 1.0}
+    for _ in range(capacity):
+        nxt: Dict[Tuple[int, ...], float] = {}
+        for occ, w in weights.items():
+            used = sum(c * q for (q, _), c in zip(classes, occ))
+            rem = 1.0 - used
+            if rem <= 0.0:  # numerically saturated prefix
+                continue
+            for k, (q, n) in enumerate(classes):
+                if occ[k] >= n or q <= 0.0:
+                    continue
+                occ2 = occ[:k] + (occ[k] + 1,) + occ[k + 1:]
+                nxt[occ2] = nxt.get(occ2, 0.0) + w * (n - occ[k]) * q / rem
+        weights = nxt
+    return sum(
+        w * sum(c * q for (q, _), c in zip(classes, occ))
+        for occ, w in weights.items()
+    )
+
+
+def che_characteristic_time(probs: Sequence[float],
+                            capacity: float) -> float:
+    """Solve ``sum_i (1 - exp(-q_i T)) = capacity`` for ``T`` (bisection).
+
+    ``capacity`` may be fractional (effective-capacity corrections).
+    Returns ``inf`` when every object with positive probability fits.
+    """
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity}")
+    nonzero = sum(1 for q in probs if q > 0)
+    if capacity >= nonzero:
+        return math.inf
+
+    def occupancy_gap(t: float) -> float:
+        return sum(1.0 - math.exp(-q * t) for q in probs) - capacity
+
+    lo, hi = 0.0, 1.0
+    while occupancy_gap(hi) < 0.0:
+        hi *= 2.0
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if occupancy_gap(mid) < 0.0:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def expected_miss_ratio(probs: Sequence[float], capacity: int) -> float:
+    """Expected LRU miss ratio ``m = sum_i q_i (1 - h_i)`` under IRM."""
+    return max(0.0, 1.0 - lru_hit_ratio(probs, capacity))
+
+
+def _access_probs(params: WorkloadParams, M: int) -> List[float]:
+    probs = object_access_probs(M, params.hot_set, params.hot_fraction)
+    if probs is None:
+        probs = [1.0 / M] * M
+    return probs
+
+
+def cache_acc(
+    protocol: str,
+    params: WorkloadParams,
+    deviation: Deviation = Deviation.READ,
+    M: int = 1,
+    capacity: Optional[int] = None,
+) -> float:
+    """Closed-form ``acc`` with a bounded replica cache of ``capacity``.
+
+    ``capacity=None`` (or ``capacity >= M``) reduces to the paper's
+    full-replication :func:`~repro.core.acc.analytical_acc`.  Raises
+    ``KeyError`` for protocols outside :data:`CACHE_MODEL_PROTOCOLS`.
+    """
+    if protocol not in CACHE_MODEL_PROTOCOLS:
+        raise KeyError(
+            f"no closed-form cache model for {protocol!r}; "
+            f"choose from: {', '.join(CACHE_MODEL_PROTOCOLS)}"
+        )
+    base = analytical_acc(protocol, params, deviation)
+    if capacity is None or capacity >= M:
+        return base
+    probs = _access_probs(params, M)
+    refetch = params.S + 2.0  # token request + whole-copy reply
+    if protocol == "sc_abd":
+        return base
+    if protocol == "write_through":
+        # one Che term per reading client class: stream fraction rf,
+        # valid fraction rf / (rf + total write fraction).
+        if deviation is Deviation.MULTIPLE_ACTIVITY_CENTERS:
+            beta = max(params.beta, 1)
+            streams = [((1.0 - params.p) / beta, beta)]
+            write_frac = params.p
+        elif deviation is Deviation.WRITE:
+            streams = [(1.0 - params.p - params.a * params.sigma, 1)]
+            write_frac = params.p + params.a * params.sigma
+        else:  # READ disturbance (ideal workload when sigma = 0)
+            streams = [(1.0 - params.p - params.a * params.sigma, 1),
+                       (params.sigma, params.a)]
+            write_frac = params.p
+        extra = 0.0
+        for read_frac, count in streams:
+            if read_frac <= 0.0 or count < 1:
+                continue
+            valid = read_frac / (read_frac + write_frac)
+            t = che_characteristic_time(probs, capacity / valid)
+            if math.isinf(t):
+                continue
+            miss = sum(q * math.exp(-q * t) for q in probs)
+            extra += count * read_frac * valid * refetch * miss
+        return base + extra
+    # firefly: refetch + carried-copy ACK + EJ notices - fan-out savings,
+    # all linear in the exact stack-analysis miss ratio.
+    m = expected_miss_ratio(probs, capacity)
+    if deviation is Deviation.MULTIPLE_ACTIVITY_CENTERS:
+        write_frac = params.p
+        acting_others = max(params.beta - 1, 0)
+    elif deviation is Deviation.WRITE:
+        write_frac = params.p + params.a * params.sigma
+        acting_others = params.a if params.sigma > 0 else 0
+    else:  # READ disturbance (a = 0 / sigma = 0 degenerates to ideal)
+        write_frac = params.p
+        acting_others = params.a if params.sigma > 0 else 0
+    read_frac = 1.0 - write_frac
+    extra = m * (
+        read_frac * refetch  # capacity-missed reads re-fetch (S + 2)
+        + write_frac * params.S  # ejected writer's ACK carries the copy
+        + 1.0  # one EJ departure notice per eviction
+        - write_frac * acting_others * (params.P + 1.0)  # fan-out savings
+    )
+    return base + extra

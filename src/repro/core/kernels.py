@@ -560,12 +560,21 @@ class DragonKernel(ProtocolKernel):
 class FireflyKernel(ProtocolKernel):
     """Firefly: update protocol through the fixed sequencer.
 
-    The ``I`` member state exists only for the eject extension.
+    The ``I`` member state exists only for the eject extension: an
+    ejected copy announces its departure (one token) and the sequencer
+    drops it from the update fan-out until it re-fetches or writes, so
+    the broadcast width is state-dependent — ``N - 1`` minus the tracked
+    departed copies (idle untracked clients never eject and always stay
+    in the fan-out).
     """
 
     name = "firefly"
     member_states = ("S", "I")
     initial_member = "S"
+
+    def _fanout_savings(self, v: StateView, s: str, env: Env) -> float:
+        departed_others = v.count("I") - (1 if s == "I" else 0)
+        return departed_others * (env.P + 1.0)
 
     def _read(self, v: StateView, g: int, s: str, env: Env) -> float:
         if s == "I":
@@ -574,14 +583,22 @@ class FireflyKernel(ProtocolKernel):
         return 0.0
 
     def _write(self, v: StateView, g: int, s: str, env: Env) -> float:
+        savings = self._fanout_savings(v, s, env)
         if s == "I":
             # the ACK carries the whole copy back (S+1 instead of 1).
             v.move(g, "I", "S")
-            return env.N * (env.P + 1.0) + env.S + 1.0
-        return env.N * (env.P + 1.0) + 1.0
+            return env.N * (env.P + 1.0) + env.S + 1.0 - savings
+        return env.N * (env.P + 1.0) + 1.0 - savings
+
+    def _eject(self, v: StateView, g: int, s: str, env: Env) -> float:
+        if s == "S":
+            v.move(g, "S", "I")
+            return 1.0  # EJ departure notice keeps the fan-out exact
+        return 0.0
 
     def _home_write(self, v: StateView, env: Env) -> float:
-        return env.N * (env.P + 1.0)  # broadcast to all N clients
+        # broadcast to all N clients minus the departed tracked ones
+        return env.N * (env.P + 1.0) - v.count("I") * (env.P + 1.0)
 
 
 class DirectoryWriteThroughKernel(ProtocolKernel):

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from enum import Enum
-from typing import Iterator, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..util import reject_unknown_keys
 
@@ -46,6 +46,7 @@ __all__ = [
     "WorkloadParams",
     "feasible_sigma_max",
     "feasible_xi_max",
+    "object_access_probs",
     "parameter_grid",
 ]
 
@@ -99,11 +100,20 @@ class WorkloadParams:
         S: cost of a user-information (whole copy) transfer, excluding the
             token.
         P: cost of a write-parameter transfer, excluding the token.
+        hot_set: optional working-set size — with ``hot_fraction``, the
+            first ``hot_set`` objects receive ``hot_fraction`` of the
+            accesses (uniformly within the hot set) and the remaining
+            objects split the rest.  Both knobs must be given together;
+            ``None`` (the default) keeps the paper's uniform object
+            selection bit-identical.  Drives the bounded-replica-cache
+            study (:mod:`repro.sim.cache`): a cache of capacity ``C >=
+            hot_set`` captures almost all accesses.
+        hot_fraction: probability mass on the hot set, in ``(0, 1]``.
 
     Raises:
         ValueError: if any constraint of Section 4.2 is violated (negative
             sizes, probabilities outside ``[0, 1]``, infeasible simplex such
-            as ``p + a * sigma > 1``).
+            as ``p + a * sigma > 1``, or a half-specified hot set).
     """
 
     N: int
@@ -114,6 +124,8 @@ class WorkloadParams:
     beta: int = 1
     S: float = 100.0
     P: float = 30.0
+    hot_set: Optional[int] = None
+    hot_fraction: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.N < 1:
@@ -144,6 +156,22 @@ class WorkloadParams:
                 f"infeasible write disturbance: p + a*xi = "
                 f"{self.p + self.a * self.xi:.6f} > 1"
             )
+        if (self.hot_set is None) != (self.hot_fraction is None):
+            raise ValueError(
+                "hot_set and hot_fraction must be given together "
+                f"(got hot_set={self.hot_set!r}, "
+                f"hot_fraction={self.hot_fraction!r})"
+            )
+        if self.hot_set is not None:
+            if self.hot_set < 1:
+                raise ValueError(
+                    f"hot_set must be at least 1, got {self.hot_set}"
+                )
+            if not (0.0 < self.hot_fraction <= 1.0):
+                raise ValueError(
+                    f"hot_fraction must lie in (0, 1], "
+                    f"got {self.hot_fraction!r}"
+                )
 
     # ------------------------------------------------------------------
     # Derived event probabilities (Section 4.2)
@@ -202,11 +230,17 @@ class WorkloadParams:
         Values are canonicalized (``S=100`` and ``S=100.0`` serialize
         identically) so the dict is safe to hash for cache keys.
         """
-        return {
+        data = {
             "N": int(self.N), "p": float(self.p), "a": int(self.a),
             "sigma": float(self.sigma), "xi": float(self.xi),
             "beta": int(self.beta), "S": float(self.S), "P": float(self.P),
         }
+        # pay-for-what-you-use: the hot-set knobs appear only when set, so
+        # every pre-existing cache key stays byte-identical.
+        if self.hot_set is not None:
+            data["hot_set"] = int(self.hot_set)
+            data["hot_fraction"] = float(self.hot_fraction)
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "WorkloadParams":
@@ -216,14 +250,21 @@ class WorkloadParams:
         dropped.
         """
         reject_unknown_keys(
-            data, ("N", "p", "a", "sigma", "xi", "beta", "S", "P"),
+            data,
+            ("N", "p", "a", "sigma", "xi", "beta", "S", "P",
+             "hot_set", "hot_fraction"),
             "WorkloadParams",
         )
+        hot_set = data.get("hot_set")
+        hot_fraction = data.get("hot_fraction")
         return cls(
             N=int(data["N"]), p=float(data["p"]), a=int(data.get("a", 0)),
             sigma=float(data.get("sigma", 0.0)),
             xi=float(data.get("xi", 0.0)), beta=int(data.get("beta", 1)),
             S=float(data.get("S", 100.0)), P=float(data.get("P", 30.0)),
+            hot_set=(None if hot_set is None else int(hot_set)),
+            hot_fraction=(None if hot_fraction is None
+                          else float(hot_fraction)),
         )
 
     def event_probabilities(self, deviation: Deviation) -> dict:
@@ -250,6 +291,43 @@ class WorkloadParams:
             "Ar_k": self.per_center_read_prob,
             "Aw_k": self.per_center_write_prob,
         }
+
+
+def object_access_probs(
+    M: int, hot_set: Optional[int], hot_fraction: Optional[float]
+) -> Optional[List[float]]:
+    """Per-object access probabilities for the hot-set workload skew.
+
+    Objects ``1 .. hot_set`` split ``hot_fraction`` uniformly; objects
+    ``hot_set + 1 .. M`` split the remainder.  Returns ``None`` for the
+    paper's uniform selection (``hot_set is None``) so callers can keep
+    the uniform sampling path bit-identical.  The same distribution feeds
+    the simulator's object sampler and the closed-form miss-ratio model
+    (:mod:`repro.core.cache_model`), which is what makes the two
+    comparable.
+
+    Raises:
+        ValueError: if ``hot_set > M``, or ``hot_set == M`` with
+            ``hot_fraction < 1`` (there is no cold object to carry the
+            leftover mass).
+    """
+    if hot_set is None:
+        return None
+    if hot_set > M:
+        raise ValueError(
+            f"hot_set must be <= M, got hot_set={hot_set}, M={M}"
+        )
+    cold = M - hot_set
+    if cold == 0:
+        if hot_fraction < 1.0:
+            raise ValueError(
+                f"hot_set == M needs hot_fraction == 1, "
+                f"got {hot_fraction!r}"
+            )
+        return [1.0 / M] * M
+    hot_p = hot_fraction / hot_set
+    cold_p = (1.0 - hot_fraction) / cold
+    return [hot_p] * hot_set + [cold_p] * cold
 
 
 def feasible_sigma_max(p: float, a: int) -> float:

@@ -104,6 +104,8 @@ def run_cell(cell: SweepCell, on_system: Optional[Callable] = None) -> dict:
             row["reconfig"] = config.reconfig.to_dict()
         if config.hedge is not None:
             row["hedge"] = config.hedge.to_dict()
+        if config.cache is not None:
+            row["cache"] = config.cache.to_dict()
         if config.quorum_weights is not None:
             row["quorum_weights"] = [
                 [int(n), float(w)] for n, w in config.quorum_weights
@@ -140,8 +142,8 @@ def run_cell(cell: SweepCell, on_system: Optional[Callable] = None) -> dict:
                     skip=config.resolved_warmup)
                 if result.measured > 0
                 else {"protocol": nan, "reliability": nan, "quorum": nan,
-                      "hedge": nan, "reconfig": nan, "recovery": nan,
-                      "detector": nan}
+                      "hedge": nan, "cache": nan, "reconfig": nan,
+                      "recovery": nan, "detector": nan}
             )
             row.update(
                 acc_protocol_share=_finite(breakdown["protocol"]),
@@ -220,6 +222,27 @@ def run_cell(cell: SweepCell, on_system: Optional[Callable] = None) -> dict:
                     suppressed_violations=part.suppressed_violations,
                     partition_time=_finite(part.partition_time),
                 )
+        if config.cache is not None:
+            # bounded-replica-cache columns, gated on the cache being
+            # configured so cache-off rows stay byte-identical.  Not
+            # nested under the reliability block: a cache needs no
+            # reliable-delivery layer.
+            cstats = system.metrics.cache
+            cache_share = (
+                system.metrics.average_cost_breakdown(
+                    skip=config.resolved_warmup)["cache"]
+                if result.measured > 0 else float("nan")
+            )
+            row.update(
+                acc_cache_share=_finite(cache_share),
+                cache_hits=cstats.hits,
+                cache_misses=cstats.misses,
+                capacity_misses=cstats.capacity_misses,
+                cache_evictions=cstats.evictions,
+                cache_writebacks=cstats.writebacks,
+                cache_refetch_cost=_finite(cstats.refetch_cost),
+                cache_cost=_finite(cstats.cost),
+            )
         if config.monitor:
             row.update(
                 violations=len(result.violations),

@@ -18,11 +18,23 @@ valid and reads are free; every write funnels through node ``N + 1``:
 
 The client's local queue is disabled between the update and its ``ACK`` so
 writes from one node are applied in serialization order everywhere.
+
+Section 6 extension (bounded replica caches): an ejecting client sends a
+one-token ``EJ`` departure notice, and the sequencer — the natural
+directory for a fixed-sequencer update protocol — drops departed clients
+from its update fan-out until they re-fetch (``R-PER``) or write (their
+``ACK`` re-installs the copy).  Updates to a departed client were ignored
+anyway, so the multicast is semantically identical to the blind broadcast;
+it just stops paying ``P + 1`` per evicted copy per write.  This is where
+partial replication can undercut full replication: bounding the replica
+set trades refetch cost (``S + 2`` per capacity miss) against update
+fan-out (``P + 1`` per resident copy per write).  With no cache configured
+nothing ever departs and the protocol is byte-identical to the paper's.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Set
 
 from ..machines.message import Message, MsgType, ParamPresence
 from .base import (
@@ -51,8 +63,13 @@ class FireflyClient(ProtocolProcess):
 
     def on_request(self, op: Operation) -> None:
         if op.kind == EJECT:
+            # announce the departure so the sequencer stops sending this
+            # copy updates (one token); ejecting an ejected copy is free.
+            if self.state == SHARED:
+                self.ctx.send(self.ctx.sequencer_id, MsgType.EJ,
+                              ParamPresence.NONE, op.op_id)
             self.state = INVALID
-            self.ctx.complete(op)  # silent: updates are broadcast blindly
+            self.ctx.complete(op)
             return
         if op.kind == READ:
             if self.state == SHARED:
@@ -106,6 +123,9 @@ class FireflySequencer(ProtocolProcess):
     def __init__(self, ctx: ProcessContext):
         super().__init__(ctx, initial_state=VALID, initial_value=0)
         self.serialized_writes = 0
+        #: clients that announced an eject (``EJ``) and did not re-fetch
+        #: or write since; they are skipped by the update fan-out.
+        self.departed: Set[int] = set()
 
     def on_request(self, op: Operation) -> None:
         if op.kind == EJECT:
@@ -117,15 +137,20 @@ class FireflySequencer(ProtocolProcess):
         self.value = op.params
         self.serialized_writes += 1
         self.ctx.broadcast_except(
-            [], MsgType.UPD, ParamPresence.WRITE, op.op_id,
-            payload={"value": op.params},
+            sorted(self.departed), MsgType.UPD, ParamPresence.WRITE,
+            op.op_id, payload={"value": op.params},
         )
         self.ctx.complete(op)
 
     def on_message(self, msg: Message) -> None:
         mtype = msg.token.type
+        if mtype is MsgType.EJ:
+            self.departed.add(msg.src)
+            return
         if mtype is MsgType.R_PER:
-            # an ejected client re-fetches its copy.
+            # an ejected client re-fetches its copy (and rejoins the
+            # update fan-out: the grant re-installs a SHARED copy).
+            self.departed.discard(msg.src)
             self.ctx.send(
                 msg.src, MsgType.R_GNT, ParamPresence.USER_INFO, msg.op_id,
                 payload={"value": self.value},
@@ -137,8 +162,11 @@ class FireflySequencer(ProtocolProcess):
         needs_ui = bool(msg.payload.get("needs_ui"))
         self.value = msg.payload["value"]
         self.serialized_writes += 1
+        # the writer's ACK re-installs its copy whatever its state was.
+        self.departed.discard(msg.src)
         self.ctx.broadcast_except(
-            [msg.src], MsgType.UPD, ParamPresence.WRITE, msg.op_id,
+            sorted(self.departed | {msg.src}), MsgType.UPD,
+            ParamPresence.WRITE, msg.op_id,
             payload={"value": msg.payload["value"]},
             initiator=msg.token.operation_initiator,
         )
@@ -165,6 +193,8 @@ SPEC = ProtocolSpec(
     notes=(
         "Reconstructed update protocol with a fixed sequencer: client "
         "writes cost N*(P+1)+1 (parameters in, N-1 update broadcasts, ACK); "
-        "sequencer writes cost N*(P+1); reads are always local."
+        "sequencer writes cost N*(P+1); reads are always local. Ejected "
+        "copies leave the update fan-out (EJ departure notice) until they "
+        "re-fetch or write."
     ),
 )

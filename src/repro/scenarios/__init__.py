@@ -13,7 +13,7 @@ through the parallel sweep engine and its content-addressed result cache
 unchanged, byte-identical to the legacy harnesses they replace.
 
 The repository ships a committed catalog under ``scenarios/`` and a CLI
-(``repro scenarios list|show|run|compare``) over it; programmatic access
+(``repro scenarios list|show|run|compare|report``) over it; programmatic access
 goes through :func:`load_scenario` / :func:`run_scenario` (also
 re-exported on :mod:`repro.api`).
 """
@@ -24,6 +24,7 @@ from .loader import (
     load_scenario,
     load_scenario_dict,
 )
+from .report import collect_families, render_report
 from .runner import BaselineDiff, compare_to_baseline, run_scenario
 from .schema import CellOverride, Scenario, ScenarioError, SweepAxes, deep_merge
 
@@ -34,7 +35,9 @@ __all__ = [
     "ScenarioCatalog",
     "ScenarioError",
     "SweepAxes",
+    "collect_families",
     "compare_to_baseline",
+    "render_report",
     "deep_merge",
     "default_catalog_dir",
     "load_scenario",

@@ -1,0 +1,123 @@
+"""Markdown reports over scenario result rows.
+
+Turns the JSONL rows a scenario run (or committed baseline) produces
+into a human-readable Markdown document: one table per scenario
+*family*, where a family is one JSONL file (its stem names the
+section).  Columns are adaptive — a family only gets the columns its
+rows actually carry, in a fixed canonical order — so a plain analytic
+sweep renders a compact table while a bounded-cache robustness run
+grows hit/miss/write-back and ``cache`` cost-share columns without any
+per-scenario configuration.
+
+Exposed on the CLI as ``repro scenarios report``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+__all__ = ["collect_families", "render_family", "render_report"]
+
+#: canonical column order; a family shows the subset its rows carry.
+_COLUMN_ORDER = (
+    "protocol",
+    "kind",
+    "p",
+    "disturb",
+    "seed",
+    "M",
+    "acc_analytic",
+    "acc_sim",
+    "discrepancy_pct",
+    "acc_reliability_share",
+    "acc_quorum_share",
+    "acc_hedge_share",
+    "acc_cache_share",
+    "cache_hits",
+    "cache_misses",
+    "capacity_misses",
+    "cache_evictions",
+    "cache_writebacks",
+    "violations",
+    "coherent",
+    "status",
+)
+
+#: columns only shown when they vary across the family's rows.
+_ELIDE_WHEN_CONSTANT = ("kind", "seed", "M", "status")
+
+
+def collect_families(
+    paths: Sequence[Union[str, Path]]
+) -> Dict[str, List[dict]]:
+    """Load JSONL row files into ``{family: rows}`` (insertion-ordered).
+
+    The family name is the file stem; a missing or empty file is an
+    error — a report that silently skips a family reads as coverage.
+    """
+    families: Dict[str, List[dict]] = {}
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_file():
+            raise FileNotFoundError(f"no such rows file: {path}")
+        rows = [
+            json.loads(line)
+            for line in path.read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        ]
+        if not rows:
+            raise ValueError(f"rows file is empty: {path}")
+        families[path.stem] = rows
+    return families
+
+
+def _columns(rows: Sequence[dict]) -> List[str]:
+    present = [
+        col for col in _COLUMN_ORDER if any(col in row for row in rows)
+    ]
+    return [
+        col for col in present
+        if col not in _ELIDE_WHEN_CONSTANT
+        or len({json.dumps(row.get(col)) for row in rows}) > 1
+    ]
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        return f"{value:g}"
+    return str(value)
+
+
+def render_family(name: str, rows: Sequence[dict]) -> str:
+    """Render one family: a ``##`` heading plus a Markdown table."""
+    columns = _columns(rows)
+    lines = [
+        f"## {name} ({len(rows)} row{'s' if len(rows) != 1 else ''})",
+        "",
+        "| " + " | ".join(columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_fmt(row.get(col)) for col in columns) + " |"
+        )
+    return "\n".join(lines)
+
+
+def render_report(families: Dict[str, List[dict]]) -> str:
+    """Render the full report: one section per family."""
+    if not families:
+        raise ValueError("no families to report on")
+    sections = [
+        render_family(name, rows) for name, rows in families.items()
+    ]
+    return "# Scenario report\n\n" + "\n\n".join(sections) + "\n"

@@ -7,6 +7,7 @@ plus the robustness extensions: seeded fault injection
 and sequencer failover (:mod:`repro.sim.recovery`), and the runtime
 consistency monitor (:mod:`repro.sim.monitor`)."""
 
+from .cache import CACHE_POLICIES, CacheConfig, ReplicaCache
 from .channel import Network
 from .config import RunConfig
 from .engine import EventScheduler, TimerHandle
@@ -20,6 +21,7 @@ from .metrics import (
     ReconfigStats,
     RecoveryStats,
     ReliabilityStats,
+    ReplicaCacheStats,
 )
 from .monitor import ConsistencyMonitor, ConsistencyViolation
 from .node import ClusterView, ObjectPort, SimNode
@@ -46,6 +48,10 @@ from .reliable import (
 from .system import DSMSystem, SimulationResult
 
 __all__ = [
+    "CACHE_POLICIES",
+    "CacheConfig",
+    "ReplicaCache",
+    "ReplicaCacheStats",
     "Network",
     "RunConfig",
     "LockClient",

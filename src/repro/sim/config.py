@@ -23,6 +23,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from ..obs.trace import TraceConfig
 from ..util import reject_unknown_keys
+from .cache import CacheConfig
 from .faults import FaultPlan
 from .hedge import HedgeConfig
 from .partition import PartitionPlan
@@ -104,6 +105,10 @@ class RunConfig:
         hedge: optional :class:`~repro.sim.hedge.HedgeConfig` arming
             hedged quorum requests (quorum protocols only); ``None``
             keeps every phase waiting on its primary quorum.
+        cache: optional :class:`~repro.sim.cache.CacheConfig` bounding
+            each client to a fixed number of resident replica copies
+            (partial replication); ``None`` keeps the paper's full
+            replication.
     """
 
     ops: int = 4000
@@ -120,6 +125,7 @@ class RunConfig:
     reconfig: Optional[ReconfigPlan] = None
     quorum_weights: Optional[Tuple[Tuple[int, float], ...]] = None
     hedge: Optional[HedgeConfig] = None
+    cache: Optional[CacheConfig] = None
 
     def __post_init__(self) -> None:
         if self.ops < 1:
@@ -151,6 +157,12 @@ class RunConfig:
             raise TypeError(
                 f"hedge must be a HedgeConfig or None, got "
                 f"{type(self.hedge).__name__}"
+            )
+        if self.cache is not None and not isinstance(self.cache,
+                                                     CacheConfig):
+            raise TypeError(
+                f"cache must be a CacheConfig or None, got "
+                f"{type(self.cache).__name__}"
             )
         object.__setattr__(
             self, "quorum_weights",
@@ -213,6 +225,8 @@ class RunConfig:
             ))
         if self.hedge is not None:
             lines.append("hedge:       " + self.hedge.describe())
+        if self.cache is not None:
+            lines.append("cache:       " + self.cache.describe())
         lines.append("failover:    " + ("on" if self.failover else "off"))
         lines.append("monitor:     " + ("on" if self.monitor else "off"))
         return "\n".join(lines)
@@ -262,6 +276,8 @@ class RunConfig:
             ]
         if self.hedge is not None:
             data["hedge"] = self.hedge.to_dict()
+        if self.cache is not None:
+            data["cache"] = self.cache.to_dict()
         return data
 
     @classmethod
@@ -277,7 +293,7 @@ class RunConfig:
             data,
             ("ops", "warmup", "seed", "mean_gap", "max_events", "faults",
              "partitions", "reliability", "failover", "monitor", "tracing",
-             "reconfig", "quorum_weights", "hedge"),
+             "reconfig", "quorum_weights", "hedge", "cache"),
             "RunConfig",
         )
         faults = data.get("faults")
@@ -287,6 +303,7 @@ class RunConfig:
         reconfig = data.get("reconfig")
         quorum_weights = data.get("quorum_weights")
         hedge = data.get("hedge")
+        cache = data.get("cache")
         return cls(
             ops=int(data.get("ops", 4000)),
             warmup=data.get("warmup"),
@@ -317,5 +334,8 @@ class RunConfig:
             ),
             hedge=(
                 None if hedge is None else HedgeConfig.from_dict(hedge)
+            ),
+            cache=(
+                None if cache is None else CacheConfig.from_dict(cache)
             ),
         )

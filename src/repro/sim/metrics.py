@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Tuple
 from ..machines.message import Message
 
 __all__ = ["OpRecord", "PartitionStats", "ReconfigStats", "RecoveryStats",
-           "ReliabilityStats", "Metrics"]
+           "ReliabilityStats", "ReplicaCacheStats", "Metrics"]
 
 
 @dataclass(slots=True)
@@ -52,6 +52,11 @@ class OpRecord:
     #: phase messages launched after the hedge latency budget); 0 unless
     #: hedging is configured
     hedge_cost: float = 0.0
+    #: portion of ``cost`` charged by the bounded replica cache: eviction
+    #: traffic (write-backs, directory departure notices) redirected from
+    #: the eject this operation triggered, plus the refetch cost of a
+    #: capacity-missed read; 0 unless a cache is configured
+    cache_cost: float = 0.0
 
     @property
     def completed(self) -> bool:
@@ -217,6 +222,37 @@ class ReconfigStats:
     cost: float = 0.0
 
 
+@dataclass(slots=True)
+class ReplicaCacheStats:
+    """Counters for bounded replica caches (:mod:`repro.sim.cache`).
+
+    All zero without a :class:`~repro.sim.cache.CacheConfig`.  A *hit*
+    is a data operation dispatched while its object's copy was resident;
+    a *miss* is one dispatched without it; ``capacity_misses`` is the
+    subset of misses on objects the issuing node's cache evicted and had
+    not re-accessed since — the misses full replication would not have
+    paid.  ``cost`` totals the cache's communication charges (eviction
+    write-backs and departure notices plus reclassified refetches);
+    dividing it over the measurement window gives the ``cache`` share of
+    :meth:`Metrics.average_cost_breakdown`.
+    """
+
+    #: data operations dispatched with the object's copy resident
+    hits: int = 0
+    #: data operations dispatched without a resident copy
+    misses: int = 0
+    #: misses caused by this cache's own evictions (first re-access only)
+    capacity_misses: int = 0
+    #: copies evicted to enforce capacity
+    evictions: int = 0
+    #: evictions of dirty copies that flushed the value home (``WB``)
+    writebacks: int = 0
+    #: protocol refetch cost reclassified from capacity-missed reads
+    refetch_cost: float = 0.0
+    #: total communication cost charged to the cache share
+    cost: float = 0.0
+
+
 class Metrics:
     """Accumulates operation records and computes steady-state ``acc``."""
 
@@ -240,6 +276,16 @@ class Metrics:
         #: replica-set reconfiguration counters (all zero without a
         #: reconfiguration plan)
         self.reconfig = ReconfigStats()
+        #: bounded-replica-cache counters (all zero without a cache)
+        self.cache = ReplicaCacheStats()
+        #: eject op id -> data op id whose completion forced the eviction;
+        #: redirected operations are never registered or counted — their
+        #: traffic lands on the target's ``cache_cost``
+        self._redirects: Dict[int, int] = {}
+        #: read op ids classified as capacity misses at dispatch; their
+        #: protocol refetch cost is reclassified into the cache share at
+        #: completion
+        self._capacity_miss_ops: set = set()
 
     # ------------------------------------------------------------------
     # recording
@@ -253,9 +299,37 @@ class Metrics:
         if tracer is not None:
             tracer.begin_op(op_id, node, kind, obj, issue_time)
 
+    def redirect_op(self, op_id: int, target_id: int) -> None:
+        """Route one operation's charges onto another's ``cache_cost``.
+
+        Used by the replica cache for its eject operations: the eject is
+        internal bookkeeping (never an application operation), so its
+        traffic is charged to the data operation whose completion forced
+        the eviction, under the ``cache`` share, and the eject itself is
+        excluded from completion counts and ``acc`` denominators.
+        """
+        self._redirects[op_id] = self._redirects.get(target_id, target_id)
+
+    def mark_capacity_miss(self, op_id: int) -> None:
+        """Flag a read whose refetch cost belongs to the ``cache`` share."""
+        self._capacity_miss_ops.add(op_id)
+
     def record_message(self, msg: Message, cost: float) -> None:
         """Charge one message's cost to its operation (Network cost hook)."""
         tracer = self.tracer
+        target = self._redirects.get(msg.op_id)
+        if target is not None:
+            # eviction traffic (write-back / departure notice): charge
+            # the triggering data operation's cache share, but keep its
+            # trace signature protocol-pure.
+            rec = self._ops[target]
+            rec.cost += cost
+            rec.cache_cost += cost
+            self.cache.cost += cost
+            if tracer is not None:
+                tracer.op_event("evict", target, cost=cost, src=msg.src,
+                                dst=msg.dst, detail=msg.token.type.value)
+            return
         if msg.op_id is None or msg.op_id not in self._ops:
             self.unattributed_cost += cost
             if tracer is not None:
@@ -282,6 +356,11 @@ class Metrics:
         trace-set comparisons against the paper stay meaningful under
         faults.  ``kind`` labels the trace event ("retransmit" / "ack").
         """
+        if op_id is not None and op_id in self._redirects:
+            # retransmitted eviction traffic: the reliability overhead of
+            # the eject lands on the triggering data operation like any
+            # other per-operation reliability charge.
+            op_id = self._redirects[op_id]
         self.reliability.cost += cost
         tracer = self.tracer
         if op_id is None or op_id not in self._ops:
@@ -385,11 +464,22 @@ class Metrics:
 
     def record_complete(self, op_id: int, time: float) -> None:
         """Mark an operation complete (in global completion order)."""
+        if op_id in self._redirects:
+            return  # cache ejects are bookkeeping, not operations
         rec = self._ops[op_id]
         if rec.completed:  # pragma: no cover - protocol bug guard
             raise RuntimeError(f"operation {op_id} completed twice")
         rec.complete_time = time
         self._completed.append(op_id)
+        if op_id in self._capacity_miss_ops:
+            # the protocol traffic this read paid was a cache-capacity
+            # refetch: move it into the cache share (total unchanged).
+            extra = (rec.cost - rec.reliability_cost - rec.quorum_cost
+                     - rec.hedge_cost - rec.cache_cost)
+            if extra > 0:
+                rec.cache_cost += extra
+                self.cache.refetch_cost += extra
+                self.cache.cost += extra
         tracer = self.tracer
         if tracer is not None:
             tracer.end_op(op_id, time)
@@ -425,9 +515,9 @@ class Metrics:
         """Split steady-state ``acc`` into its cost shares.
 
         Returns ``{"acc", "protocol", "reliability", "quorum", "hedge",
-        "recovery", "detector", "reconfig"}`` where ``acc`` is the usual
-        per-operation total (``protocol + reliability + quorum +
-        hedge``),
+        "cache", "recovery", "detector", "reconfig"}`` where ``acc`` is
+        the usual per-operation total (``protocol + reliability + quorum
+        + hedge + cache``),
         ``protocol`` is the cost the coherence traces would incur on a
         fault-free fabric, ``reliability`` is the per-operation overhead
         of retransmissions and acknowledgements, ``quorum`` is the
@@ -435,7 +525,10 @@ class Metrics:
         phase messages after quorum timeouts; SC-ABD only), ``hedge``
         is the per-operation overhead of hedged backup legs (extra
         phase fan-out after the hedge latency budget; zero unless
-        hedging is configured), and ``recovery`` / ``detector`` are the crash-recovery subsystem's
+        hedging is configured), ``cache`` is the per-operation cost of
+        bounded replica caches (eviction write-backs / departure notices
+        plus capacity-miss refetches; zero unless a cache is
+        configured), and ``recovery`` / ``detector`` are the crash-recovery subsystem's
         and the failure detector's system-level traffic (elections,
         epoch announcements, resynchronization transfers; heartbeat
         probes and replies) amortized over the same window — they ride
@@ -451,12 +544,14 @@ class Metrics:
         overhead = sum(r.reliability_cost for r in recs) / len(recs)
         quorum = sum(r.quorum_cost for r in recs) / len(recs)
         hedge = sum(r.hedge_cost for r in recs) / len(recs)
+        cache = sum(r.cache_cost for r in recs) / len(recs)
         return {
             "acc": total,
-            "protocol": total - overhead - quorum - hedge,
+            "protocol": total - overhead - quorum - hedge - cache,
             "reliability": overhead,
             "quorum": quorum,
             "hedge": hedge,
+            "cache": cache,
             "recovery": self.recovery.cost / len(recs),
             "detector": self.partition.cost / len(recs),
             "reconfig": self.reconfig.cost / len(recs),
@@ -554,7 +649,8 @@ class Metrics:
         for group, stats in (("reliability", self.reliability),
                              ("recovery", self.recovery),
                              ("partition", self.partition),
-                             ("reconfig", self.reconfig)):
+                             ("reconfig", self.reconfig),
+                             ("cache", self.cache)):
             for f in fields(stats):
                 value = getattr(stats, f.name)
                 if isinstance(value, (int, float)) and not isinstance(value, bool):

@@ -36,6 +36,7 @@ from ..protocols.base import (
     ProtocolProcess,
     ProtocolSpec,
 )
+from .cache import CacheConfig, ReplicaCache
 from .locks import LOCK_MESSAGE_TYPES, LockClient, LockManager
 from .pool import ReplicaPool
 from .channel import Network
@@ -228,6 +229,8 @@ class ObjectPort(ProcessContext):
         while self.local_enabled and self.local_queue:
             op = self.local_queue.popleft()
             self.inflight[op.op_id] = op
+            if node.cache is not None:
+                node.cache.on_dispatch(op, self.process.state)
             tracer = node.metrics.tracer
             if tracer is not None:
                 tracer.op_event("dispatch", op.op_id)
@@ -296,6 +299,8 @@ class SimNode:
         on_complete: Optional[Callable[[Operation], None]] = None,
         capacity: Optional[int] = None,
         new_op: Optional[Callable[[str, int, int], Operation]] = None,
+        cache: Optional[CacheConfig] = None,
+        cache_overlay: bool = False,
     ):
         self.node_id = node_id
         #: shared cluster role view; an ``int`` is wrapped for callers that
@@ -335,6 +340,15 @@ class SimNode:
             if new_op is None:
                 raise ValueError("a replica pool needs the new_op factory")
             self.pool = ReplicaPool(capacity, spec.name, self._request_eject)
+        # bounded replica cache (partial replication); built on every node
+        # — enforcement no-ops while this node is the current sequencer,
+        # so the cache follows the node through failover promotions.
+        self.cache: Optional[ReplicaCache] = None
+        if cache is not None:
+            if new_op is None:
+                raise ValueError("a replica cache needs the new_op factory")
+            self.cache = ReplicaCache(cache, spec.name, self, S, P,
+                                      overlay=cache_overlay)
         network.attach(node_id, self._on_message)
 
     @property
@@ -359,7 +373,9 @@ class SimNode:
         self.ports[op.obj].enqueue_request(op)
 
     def after_local_op(self, op: Operation) -> None:
-        """Pool bookkeeping after an operation completes at this node."""
+        """Pool / cache bookkeeping after an operation completes here."""
+        if self.cache is not None:
+            self.cache.after_op(op)
         if self.pool is None:
             return
         if op.kind in (READ, WRITE):
@@ -371,6 +387,20 @@ class SimNode:
     def _request_eject(self, obj: int) -> None:
         op = self.new_op(EJECT, self.node_id, obj)
         self.submit(op)
+
+    def request_cache_eject(self, obj: int, trigger_id: int) -> None:
+        """Issue a cache eviction's EJECT, charged to its trigger.
+
+        Unlike :meth:`_request_eject` (the legacy replica pool, whose
+        ejects are application-visible operations), a cache eject is
+        internal bookkeeping: it is never registered or counted, and all
+        its traffic is redirected onto the ``cache_cost`` of the data
+        operation whose completion forced the eviction.
+        """
+        op = self.new_op(EJECT, self.node_id, obj)
+        op.issue_time = self.scheduler.now
+        self.metrics.redirect_op(op.op_id, trigger_id)
+        self.ports[obj].enqueue_request(op)
 
     def _on_message(self, msg: Message) -> None:
         if msg.token.type in LOCK_MESSAGE_TYPES:

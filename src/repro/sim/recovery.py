@@ -51,6 +51,14 @@ separate ``recovery`` share of
 Pay-for-what-you-use: :class:`DSMSystem` builds a :class:`RecoveryManager`
 only when the fault plan contains amnesia windows or failover is enabled,
 so durable-only fault runs stay bit-identical to the PR-2 simulator.
+
+**Bounded replica caches** (:mod:`repro.sim.cache`): an evicted copy is a
+capacity decision, not a failure — recovery must not resurrect it.  Every
+rebuild/rejoin path consults :meth:`ReplicaCache.is_evicted` and leaves
+evicted copies non-resident (``INVALID``), and :meth:`_price_resync`
+skips them entirely (no version probe, no transfer): a bounded rejoiner
+resynchronizes only its resident set, which is exactly where partial
+replication beats full replication under churn.
 """
 
 from __future__ import annotations
@@ -343,10 +351,10 @@ class RecoveryManager:
         started = self._partition_started.pop(node_id, None)
         if started is not None:
             stats.partition_time += self.scheduler.now - started
-        for port in node.ports.values():
+        for obj, port in node.ports.items():
             port.degraded_reads = False
             port.local_enabled = False
-            port.process = self.spec.make_process(port)
+            self._fresh_process(node, obj, port)
         delay = 2.0 * self.latency  # probe the log, fetch the catch-up
         self.metrics.recovery.quarantine_time += delay
         self.scheduler.schedule(
@@ -370,10 +378,10 @@ class RecoveryManager:
             # ports fresh, drop the catch-up baseline (it now needs a
             # full resync) and leave the rejoin to the failure detector.
             self._partition_base.pop(node_id, None)
-            for port in node.ports.values():
+            for obj, port in node.ports.items():
                 port.degraded_reads = False  # the stale copy is gone
                 port.local_enabled = False
-                port.process = self.spec.make_process(port)
+                self._fresh_process(node, obj, port)
             return
         # quarantine: the node is back on the network but must not serve
         # local operations until resynchronized.  Its ports are rebuilt
@@ -386,8 +394,7 @@ class RecoveryManager:
         self._quarantined.add(node_id)
         for obj, port in node.ports.items():
             port.local_enabled = False
-            process = self.spec.make_process(port)
-            port.process = process
+            process = self._fresh_process(node, obj, port)
             if process.state in self.hit_states:
                 process.value = self.log.current(obj)
         delay = 2.0 * self.latency  # probe the log, fetch the snapshot
@@ -411,7 +418,11 @@ class RecoveryManager:
             # warm rejoin: install the fetched snapshot readable.  Sound
             # only for protocols that declare it (writes reach every node
             # unconditionally — see ProtocolProcess.WARM_REJOIN_STATE).
+            # Copies the node's bounded cache evicted stay non-resident:
+            # eviction is a capacity decision, not damage to repair.
             for obj, port in node.ports.items():
+                if node.cache is not None and node.cache.is_evicted(obj):
+                    continue
                 proc = port.process
                 if proc.state not in self.hit_states:
                     proc.state = warm_state
@@ -436,6 +447,10 @@ class RecoveryManager:
         cost = 0.0
         stats = self.metrics.recovery
         for obj, port in node.ports.items():
+            if node.cache is not None and node.cache.is_evicted(obj):
+                # a bounded rejoiner resynchronizes only its resident
+                # set: evicted copies are neither probed nor transferred.
+                continue
             cost += 1.0  # version probe: a bare token to the sequencer
             warm = (warm_state is not None
                     or port.process.state in self.hit_states)
@@ -512,14 +527,28 @@ class RecoveryManager:
             for op in reversed(inflight):
                 port.local_queue.appendleft(op)
             stats.ops_redriven += len(inflight)
-            process = self.spec.make_process(port)
-            port.process = process
+            process = self._fresh_process(node, obj, port)
             if process.state in self.hit_states:
                 # a fresh copy that serves reads must hold the
                 # authoritative value, not the initial one.
                 process.value = self.log.current(obj)
             if node.node_id not in self._quarantined:
                 port.local_enabled = True
+
+    def _fresh_process(self, node: "SimNode", obj: int, port) -> object:
+        """Rebuild ``port``'s protocol process for the node's current role.
+
+        Copies the node's bounded replica cache has evicted come back
+        non-resident (``INVALID``) no matter what the protocol's fresh
+        state would be — an epoch reset repairs failures, it does not
+        grant capacity (``is_evicted`` is ``False`` for sequencers and
+        quorum overlays, so load-bearing copies are never demoted).
+        """
+        process = self.spec.make_process(port)
+        port.process = process
+        if node.cache is not None and node.cache.is_evicted(obj):
+            process.state = "INVALID"
+        return process
 
     def _pump_all(self) -> None:
         for node in self.nodes.values():

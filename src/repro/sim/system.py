@@ -31,6 +31,7 @@ from ..protocols.base import (
 from ..obs.trace import TraceConfig, Tracer
 from ..protocols.registry import get_protocol
 from ..workloads.base import Workload
+from .cache import CacheConfig
 from .channel import Network
 from .config import RunConfig
 from .engine import EventScheduler
@@ -224,6 +225,17 @@ class DSMSystem:
             reliable-delivery layer (hedge legs ride the unordered
             datagram transport and losers are cancelled through it).
             ``None`` keeps the unhedged phase machine bit-identical.
+        cache: optional :class:`~repro.sim.cache.CacheConfig` bounding
+            each client to ``capacity`` resident replica copies under a
+            pluggable eviction policy (partial replication).  Star
+            protocols evict through their own ``EJECT`` operations
+            (write-backs and directory notices priced per protocol) and
+            capacity-missed reads are re-fetched at protocol price,
+            charged to the ``cache`` cost share; the quorum family runs
+            the cache as free-eviction overlay bookkeeping (quorum
+            replicas are load-bearing).  ``None`` keeps the paper's full
+            replication bit-identical.  Mutually exclusive with the
+            legacy ``capacity=`` replica pool.
     """
 
     def __init__(
@@ -245,6 +257,7 @@ class DSMSystem:
         reconfig: Optional[ReconfigPlan] = None,
         quorum_weights=None,
         hedge: Optional[HedgeConfig] = None,
+        cache: Optional[CacheConfig] = None,
     ):
         self.spec: ProtocolSpec = (
             protocol if isinstance(protocol, ProtocolSpec) else get_protocol(protocol)
@@ -289,6 +302,18 @@ class DSMSystem:
                 f"got {type(hedge).__name__}"
             )
         self.hedge = hedge
+        if cache is not None and not isinstance(cache, CacheConfig):
+            raise TypeError(
+                f"cache must be a CacheConfig or None, "
+                f"got {type(cache).__name__}"
+            )
+        if cache is not None and capacity is not None:
+            raise ValueError(
+                "cache= (bounded replica caches) and capacity= (the "
+                "legacy replica pool) are both eviction drivers; "
+                "configure at most one"
+            )
+        self.cache_config = cache
         if not self.spec.quorum_based:
             if self.reconfig_plan is not None:
                 raise ValueError(
@@ -402,6 +427,8 @@ class DSMSystem:
                 self.cluster,
                 capacity=capacity,
                 new_op=self._make_internal_op,
+                cache=cache,
+                cache_overlay=self.spec.quorum_based,
             )
             for node_id in self.all_nodes
         }
@@ -576,6 +603,7 @@ class DSMSystem:
             reconfig=reconfig,
             quorum_weights=config.quorum_weights,
             hedge=config.hedge,
+            cache=config.cache,
         )
 
     @property
@@ -681,6 +709,12 @@ class DSMSystem:
             raise ValueError(
                 "RunConfig.hedge does not match the HedgeConfig this "
                 "DSMSystem was constructed with; pass hedge= to "
+                "DSMSystem(...) or run the cell through repro.exp"
+            )
+        if config.cache is not None and config.cache != self.cache_config:
+            raise ValueError(
+                "RunConfig.cache does not match the CacheConfig this "
+                "DSMSystem was constructed with; pass cache= to "
                 "DSMSystem(...) or run the cell through repro.exp"
             )
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -70,17 +70,44 @@ class TableWorkload(Workload):
     """A workload defined by one :class:`EventTable` per object.
 
     Objects are selected uniformly (the paper: "the probabilities of the
-    accesses to all of the shared objects are the same").
+    accesses to all of the shared objects are the same") unless
+    ``object_probs`` supplies a skewed distribution (the hot-set knob of
+    the bounded-replica-cache study).  The uniform path keeps its
+    historical ``rng.integers`` draw, so every pre-existing seeded run
+    stays bit-identical.
     """
 
-    def __init__(self, tables: Sequence[EventTable]):
+    def __init__(self, tables: Sequence[EventTable],
+                 object_probs: Optional[Sequence[float]] = None):
         if not tables:
             raise ValueError("at least one object table required")
         self.tables = list(tables)
         self.M = len(self.tables)
+        if object_probs is None:
+            self.object_probs: Optional[np.ndarray] = None
+        else:
+            probs = np.asarray(object_probs, dtype=float)
+            if probs.shape != (self.M,):
+                raise ValueError(
+                    f"object_probs must have one entry per object "
+                    f"(M={self.M}), got shape {probs.shape}"
+                )
+            if (probs < -1e-12).any():
+                raise ValueError("negative object probability")
+            if abs(float(probs.sum()) - 1.0) > 1e-9:
+                raise ValueError(
+                    f"object probabilities sum to {float(probs.sum())}, "
+                    f"expected 1"
+                )
+            self.object_probs = probs
 
     def sample(self, rng: np.random.Generator, n: int) -> List[OpTriple]:
-        objs = rng.integers(1, self.M + 1, size=n)
+        if self.object_probs is None:
+            objs = rng.integers(1, self.M + 1, size=n)
+        else:
+            objs = rng.choice(
+                np.arange(1, self.M + 1), size=n, p=self.object_probs
+            )
         out: List[OpTriple] = []
         # group by object for vectorized event sampling per table.
         if len({id(t) for t in self.tables}) == 1:

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 
-from ..core.parameters import Deviation, WorkloadParams
+from ..core.parameters import Deviation, WorkloadParams, object_access_probs
 from ..protocols.base import READ, WRITE
 from .base import EventTable, TableWorkload
 
@@ -100,9 +100,12 @@ class SyntheticWorkload(TableWorkload):
         self.params = params
         self.deviation = deviation
         self.rotate_roles = rotate_roles
+        object_probs = object_access_probs(
+            M, params.hot_set, params.hot_fraction
+        )
         if not rotate_roles:
             table = make_event_table(params, deviation)
-            super().__init__([table] * M)
+            super().__init__([table] * M, object_probs=object_probs)
             return
         tables: List[EventTable] = []
         for j in range(M):
@@ -121,7 +124,7 @@ class SyntheticWorkload(TableWorkload):
                         params, deviation, activity_center=ac, disturbers=dist
                     )
                 )
-        super().__init__(tables)
+        super().__init__(tables, object_probs=object_probs)
 
     def describe(self) -> str:
         p = self.params
@@ -130,9 +133,11 @@ class SyntheticWorkload(TableWorkload):
             Deviation.WRITE: f"a={p.a}, xi={p.xi}",
             Deviation.MULTIPLE_ACTIVITY_CENTERS: f"beta={p.beta}",
         }[self.deviation]
+        hot = ("" if p.hot_set is None
+               else f", hot_set={p.hot_set}@{p.hot_fraction}")
         return (
             f"{self.deviation.value} (N={p.N}, p={p.p}, {extra}, "
-            f"M={self.M}{', rotated' if self.rotate_roles else ''})"
+            f"M={self.M}{hot}{', rotated' if self.rotate_roles else ''})"
         )
 
 

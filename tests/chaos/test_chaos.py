@@ -29,6 +29,7 @@ from repro.chaos import (
     write_repros,
 )
 from repro.exp.runner import run_cell
+from repro.sim.cache import CACHE_POLICIES
 from repro.sim.recovery import RecoveryManager
 
 
@@ -158,6 +159,45 @@ class TestGenerator:
         a = generate_cell("sc_abd", 4, options)
         b = generate_cell("sc_abd", 4, options)
         assert a.to_payload() == b.to_payload()
+
+    def test_bounded_caches_off_draws_no_caches(self):
+        """The flag-off stream never carries a cache config (and its
+        serialized payload stays byte-identical to a pre-cache tree)."""
+        for _p, _s, cell in chaos_cells(ChaosOptions(seeds=15)):
+            assert cell.config.cache is None
+            assert "cache" not in cell.to_payload()["config"]
+
+    def test_bounded_caches_on_draws_capped_configs(self):
+        options = ChaosOptions(seeds=25, bounded_caches=True, M=3,
+                               protocols=("illinois", "sc_abd"))
+        saw = False
+        for _p, _s, cell in chaos_cells(options):
+            cache = cell.config.cache
+            if cache is None:
+                continue
+            saw = True
+            # a cache that holds every object never evicts: the fuzzer
+            # only draws capacities that actually bound the client.
+            assert 1 <= cache.capacity < options.M
+            assert cache.policy in CACHE_POLICIES
+        assert saw
+
+    def test_bounded_cache_cells_are_deterministic(self):
+        options = ChaosOptions(base_seed=9, bounded_caches=True)
+        a = generate_cell("firefly", 4, options)
+        b = generate_cell("firefly", 4, options)
+        assert a.to_payload() == b.to_payload()
+
+    def test_bounded_cache_repro_round_trips(self, tmp_path):
+        options = ChaosOptions(base_seed=9, bounded_caches=True)
+        cell = next(
+            c for seed in range(20)
+            for c in [generate_cell("write_once", seed, options)]
+            if c.config.cache is not None
+        )
+        again = type(cell).from_payload(cell.to_payload())
+        assert again.config.cache == cell.config.cache
+        assert again.cell_id() == cell.cell_id()
 
 
 class TestViolates:

@@ -1,0 +1,172 @@
+"""The closed-form ``acc(C)`` cache model (``repro.core.cache_model``).
+
+Exactness and limit checks for the miss-ratio engines (LRU stack
+analysis, Che characteristic time) plus the per-protocol pricing:
+``capacity >= M`` recovers the paper's full-replication ``acc``
+exactly, SC-ABD is flat, and the Firefly departure-notice savings make
+the model dip *below* full replication on the write-heavy workload —
+the crossover `benchmarks/bench_cache.py` validates against the
+simulator.
+"""
+
+import math
+
+import pytest
+
+from repro.core.acc import analytical_acc
+from repro.core.cache_model import (
+    CACHE_MODEL_PROTOCOLS,
+    cache_acc,
+    che_characteristic_time,
+    expected_miss_ratio,
+    lru_hit_ratio,
+)
+from repro.core.parameters import (
+    Deviation,
+    WorkloadParams,
+    object_access_probs,
+)
+
+UNIFORM_16 = [1.0 / 16] * 16
+HOT = object_access_probs(16, 4, 0.9)
+
+PARAMS_HOT = WorkloadParams(N=4, p=0.3, a=3, sigma=0.15, S=100.0, P=30.0,
+                            hot_set=4, hot_fraction=0.9)
+PARAMS_WIN = WorkloadParams(N=4, p=0.8, a=3, sigma=0.05, S=50.0, P=30.0)
+
+
+class TestLruHitRatio:
+    def test_uniform_is_capacity_over_population(self):
+        # under IRM with equal weights the top-C stack prefix is a
+        # uniform random C-subset: hit ratio is exactly C / M.
+        for capacity in (1, 4, 8, 15):
+            assert lru_hit_ratio(UNIFORM_16, capacity) == \
+                pytest.approx(capacity / 16)
+
+    def test_monotone_in_capacity(self):
+        ratios = [lru_hit_ratio(HOT, c) for c in range(1, 17)]
+        assert all(b > a for a, b in zip(ratios, ratios[1:]))
+
+    def test_full_capacity_always_hits(self):
+        assert lru_hit_ratio(HOT, 16) == 1.0
+        assert lru_hit_ratio(HOT, 20) == 1.0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            lru_hit_ratio(HOT, 0)
+
+    def test_skew_beats_uniform(self):
+        # a hot-set-sized cache captures most of the hot mass.
+        assert lru_hit_ratio(HOT, 4) > 0.7 > lru_hit_ratio(UNIFORM_16, 4)
+
+    def test_miss_ratio_is_the_complement(self):
+        assert expected_miss_ratio(HOT, 4) == \
+            pytest.approx(1.0 - lru_hit_ratio(HOT, 4))
+
+
+class TestCheCharacteristicTime:
+    def test_occupancies_sum_to_capacity(self):
+        for capacity in (2.0, 4.0, 7.5):
+            t = che_characteristic_time(HOT, capacity)
+            occupancy = sum(1.0 - math.exp(-q * t) for q in HOT)
+            assert occupancy == pytest.approx(capacity, rel=1e-6)
+
+    def test_infinite_beyond_population(self):
+        assert math.isinf(che_characteristic_time(HOT, 16.0))
+
+    def test_tracks_exact_lru_on_uniform(self):
+        t = che_characteristic_time(UNIFORM_16, 4.0)
+        che_hit = sum(q * (1.0 - math.exp(-q * t)) for q in UNIFORM_16)
+        assert che_hit == pytest.approx(lru_hit_ratio(UNIFORM_16, 4),
+                                        abs=0.05)
+
+
+class TestCacheAcc:
+    def test_unknown_protocol_is_a_key_error(self):
+        with pytest.raises(KeyError, match="berkeley"):
+            cache_acc("berkeley", PARAMS_HOT, M=16, capacity=4)
+
+    @pytest.mark.parametrize("protocol", CACHE_MODEL_PROTOCOLS)
+    def test_full_capacity_recovers_the_paper(self, protocol):
+        base = analytical_acc(protocol, PARAMS_HOT)
+        assert cache_acc(protocol, PARAMS_HOT, M=16, capacity=None) == base
+        assert cache_acc(protocol, PARAMS_HOT, M=16, capacity=16) == base
+        assert cache_acc(protocol, PARAMS_HOT, M=16, capacity=99) == base
+
+    def test_sc_abd_is_flat_in_capacity(self):
+        base = analytical_acc("sc_abd", PARAMS_HOT)
+        for capacity in (1, 2, 4, 8):
+            assert cache_acc("sc_abd", PARAMS_HOT, M=16,
+                             capacity=capacity) == base
+
+    def test_write_through_misses_cost_extra(self):
+        base = analytical_acc("write_through", PARAMS_HOT)
+        accs = [cache_acc("write_through", PARAMS_HOT, M=16, capacity=c)
+                for c in (2, 4, 8)]
+        assert all(acc >= base for acc in accs)
+        # bigger caches miss less; by C = 8 the *valid-copy* effective
+        # capacity covers all 16 objects and the extra term vanishes.
+        assert accs[0] > accs[1] > accs[2] == base
+
+    @pytest.mark.parametrize("deviation", list(Deviation))
+    def test_every_deviation_prices_finitely(self, deviation):
+        params = WorkloadParams(N=4, p=0.3, a=3, sigma=0.1, xi=0.1,
+                                beta=2, S=100.0, P=30.0)
+        for protocol in ("write_through", "firefly"):
+            acc = cache_acc(protocol, params, deviation, M=16, capacity=4)
+            assert math.isfinite(acc) and acc > 0.0
+
+    def test_firefly_departure_notices_beat_full_replication(self):
+        # the headline crossover: on the write-heavy uniform workload
+        # the per-write fan-out saved by EJ departure notices outweighs
+        # refetches, so bounded caches price *below* the paper's floor.
+        base = analytical_acc("firefly", PARAMS_WIN)
+        for capacity in (2, 4, 8):
+            assert cache_acc("firefly", PARAMS_WIN, M=16,
+                             capacity=capacity) < base
+
+    def test_firefly_read_mostly_costs_extra(self):
+        # with p = 0.3 the savings term cannot cover the refetches.
+        base = analytical_acc("firefly", PARAMS_HOT)
+        assert cache_acc("firefly", PARAMS_HOT, M=16, capacity=4) > base
+
+
+class TestHotSetKnob:
+    def test_mass_split(self):
+        probs = object_access_probs(16, 4, 0.9)
+        assert sum(probs) == pytest.approx(1.0)
+        assert sum(probs[:4]) == pytest.approx(0.9)
+        assert probs[0] == pytest.approx(0.9 / 4)
+        assert probs[-1] == pytest.approx(0.1 / 12)
+
+    def test_uniform_sampling_path_is_none(self):
+        assert object_access_probs(16, None, None) is None
+
+    def test_hot_set_larger_than_m_rejected(self):
+        with pytest.raises(ValueError, match="hot_set must be <= M"):
+            object_access_probs(4, 5, 0.9)
+
+    def test_hot_set_equals_m_needs_full_fraction(self):
+        with pytest.raises(ValueError, match="hot_fraction == 1"):
+            object_access_probs(4, 4, 0.9)
+        assert object_access_probs(4, 4, 1.0) == [0.25] * 4
+
+    def test_params_require_both_knobs(self):
+        with pytest.raises(ValueError, match="together"):
+            WorkloadParams(N=4, p=0.3, hot_set=4)
+        with pytest.raises(ValueError, match="together"):
+            WorkloadParams(N=4, p=0.3, hot_fraction=0.9)
+
+    def test_params_validate_ranges(self):
+        with pytest.raises(ValueError, match="hot_set"):
+            WorkloadParams(N=4, p=0.3, hot_set=0, hot_fraction=0.9)
+        with pytest.raises(ValueError, match="hot_fraction"):
+            WorkloadParams(N=4, p=0.3, hot_set=4, hot_fraction=1.5)
+
+    def test_params_round_trip(self):
+        params = WorkloadParams(N=4, p=0.3, hot_set=4, hot_fraction=0.9)
+        data = params.to_dict()
+        assert data["hot_set"] == 4 and data["hot_fraction"] == 0.9
+        assert WorkloadParams.from_dict(data) == params
+        # pay-for-what-you-use: uniform workloads keep their old dict.
+        assert "hot_set" not in WorkloadParams(N=4, p=0.3).to_dict()

@@ -1,0 +1,106 @@
+"""Markdown reports over scenario rows (``repro.scenarios.report``)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios import collect_families, render_report
+from repro.scenarios.report import render_family
+
+
+ROWS = [
+    {"protocol": "firefly", "p": 0.3, "acc_sim": 55.1, "status": "ok",
+     "violations": 0},
+    {"protocol": "berkeley", "p": 0.3, "acc_sim": 48.2, "status": "ok",
+     "violations": 0},
+]
+
+CACHE_ROWS = [
+    {"protocol": "firefly", "acc_sim": 79.9, "acc_cache_share": 1.2,
+     "cache_hits": 900, "capacity_misses": 40, "status": "ok"},
+]
+
+
+def write_rows(path, rows):
+    path.write_text("".join(json.dumps(row) + "\n" for row in rows))
+    return path
+
+
+class TestCollectFamilies:
+    def test_family_per_file_named_by_stem(self, tmp_path):
+        a = write_rows(tmp_path / "grid.jsonl", ROWS)
+        b = write_rows(tmp_path / "cache.jsonl", CACHE_ROWS)
+        families = collect_families([a, b])
+        assert list(families) == ["grid", "cache"]
+        assert families["grid"] == ROWS
+
+    def test_missing_file_is_an_error(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="nope"):
+            collect_families([tmp_path / "nope.jsonl"])
+
+    def test_empty_file_is_an_error(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("\n")
+        with pytest.raises(ValueError, match="empty"):
+            collect_families([empty])
+
+
+class TestRender:
+    def test_adaptive_columns(self, tmp_path):
+        # a family only grows the columns its rows actually carry.
+        plain = render_family("grid", ROWS)
+        assert "| protocol |" in plain and "cache_hits" not in plain
+        cached = render_family("cache", CACHE_ROWS)
+        assert "acc_cache_share" in cached and "capacity_misses" in cached
+
+    def test_constant_columns_elided(self):
+        # every row says status=ok: the column adds nothing.
+        assert "status" not in render_family("grid", ROWS)
+        varied = ROWS + [dict(ROWS[0], status="failed")]
+        assert "status" in render_family("grid", varied)
+
+    def test_report_heading_and_sections(self, tmp_path):
+        a = write_rows(tmp_path / "grid.jsonl", ROWS)
+        report = render_report(collect_families([a]))
+        assert report.startswith("# Scenario report")
+        assert "## grid (2 rows)" in report
+
+    def test_no_families_is_an_error(self):
+        with pytest.raises(ValueError, match="no families"):
+            render_report({})
+
+
+class TestReportCli:
+    def run(self, capsys, *argv):
+        code = main(list(argv))
+        out = capsys.readouterr()
+        return code, out.out, out.err
+
+    def test_explicit_paths(self, capsys, tmp_path):
+        rows = write_rows(tmp_path / "grid.jsonl", ROWS)
+        code, out, _ = self.run(capsys, "scenarios", "report", str(rows))
+        assert code == 0
+        assert out.startswith("# Scenario report")
+        assert "firefly" in out
+
+    def test_out_file(self, capsys, tmp_path):
+        rows = write_rows(tmp_path / "grid.jsonl", ROWS)
+        target = tmp_path / "report.md"
+        code, out, _ = self.run(capsys, "scenarios", "report", str(rows),
+                                "--out", str(target))
+        assert code == 0 and "report" in out
+        assert target.read_text().startswith("# Scenario report")
+
+    def test_missing_rows_file_fails_cleanly(self, capsys, tmp_path):
+        code, _, err = self.run(capsys, "scenarios", "report",
+                                str(tmp_path / "nope.jsonl"))
+        assert code == 2 and "error:" in err
+
+    def test_committed_baselines_are_the_default(self, capsys):
+        # with no paths, every committed baseline family renders —
+        # including the cache scenario with its cache columns.
+        code, out, _ = self.run(capsys, "scenarios", "report")
+        assert code == 0
+        assert "## smoke-cache" in out
+        assert "acc_cache_share" in out

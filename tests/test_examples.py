@@ -51,15 +51,29 @@ def test_trace_driven_analysis(capsys):
     assert "Recommendation" in out and "confirmed by replay" in out
 
 
-def test_readme_reconfig_snippet():
-    """The online-reconfiguration quickstart in README.md, executed
-    verbatim: the snippet is extracted from the fenced block that builds
-    a ReconfigPlan, and its own assertions must hold."""
+def _readme_snippet(marker):
     text = README.read_text()
     blocks = [
         chunk.split("```", 1)[0]
         for chunk in text.split("```python")[1:]
     ]
-    snippets = [b for b in blocks if "ReconfigPlan(" in b]
-    assert len(snippets) == 1, "expected exactly one ReconfigPlan snippet"
-    exec(compile(snippets[0], str(README), "exec"), {})
+    snippets = [b for b in blocks if marker in b]
+    assert len(snippets) == 1, f"expected exactly one {marker} snippet"
+    return snippets[0]
+
+
+def test_readme_reconfig_snippet():
+    """The online-reconfiguration quickstart in README.md, executed
+    verbatim: the snippet is extracted from the fenced block that builds
+    a ReconfigPlan, and its own assertions must hold."""
+    snippet = _readme_snippet("ReconfigPlan(")
+    exec(compile(snippet, str(README), "exec"), {})
+
+
+def test_readme_cache_snippet():
+    """The bounded replica-cache quickstart in README.md, executed
+    verbatim: a capacity-4 LRU cache on the write-heavy Firefly workload
+    must beat full replication, and the closed-form acc(C) model must
+    track the measured acc within 10%."""
+    snippet = _readme_snippet("CacheConfig(")
+    exec(compile(snippet, str(README), "exec"), {})
